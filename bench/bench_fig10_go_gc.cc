@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 10: garbage-collection-induced tail latency of a 10 us
+ * periodic Go tick benchmark on the 4-core OoO SoC, across
+ * GOMAXPROCS and CPU-affinity settings.
+ *
+ * Expected shape: GOMAXPROCS=1 shows a very high 99% tail (GC runs
+ * serially with the main goroutine); with more OS threads the tail
+ * collapses; and pinning all threads to a single core produces a
+ * *lower* tail than spreading them (cache affinity beats parallelism
+ * on a weak memory subsystem). The appendix rows reproduce the Xeon
+ * NUMA corroboration: exaggerated inter-core latency worsens the
+ * spread configuration.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "goruntime/gc_model.hh"
+
+using namespace fireaxe;
+using namespace fireaxe::goruntime;
+
+int
+main()
+{
+    TextTable table({"GOMAXPROCS", "affinity", "p95 (us)",
+                     "p99 (us)", "max (us)", "GC cycles"});
+    struct Point
+    {
+        unsigned gomaxprocs, affinity;
+    };
+    const Point points[] = {{1, 1}, {2, 1}, {2, 2},
+                            {3, 1}, {3, 3}, {4, 1}, {4, 4}};
+    for (const auto &pt : points) {
+        GoGcConfig cfg;
+        cfg.gomaxprocs = pt.gomaxprocs;
+        cfg.affinityCores = pt.affinity;
+        auto r = runGoGcBenchmark(cfg);
+        table.addRow({std::to_string(pt.gomaxprocs),
+                      pt.affinity == 1
+                          ? "1 core (pinned)"
+                          : std::to_string(pt.affinity) + " cores",
+                      TextTable::num(r.p95Us, 2),
+                      TextTable::num(r.p99Us, 2),
+                      TextTable::num(r.maxUs, 2),
+                      std::to_string(r.gcCycles)});
+    }
+    std::cout << "=== Figure 10: Go GC tail latency on the 4-core "
+                 "OoO SoC ===\n";
+    table.print(std::cout);
+
+    // Xeon NUMA corroboration (§V-D): same benchmark, GOMAXPROCS=2
+    // spread over 2 cores, with near- vs cross-NUMA communication
+    // costs.
+    TextTable numa({"placement", "p99 (us)"});
+    GoGcConfig near;
+    near.gomaxprocs = 2;
+    near.affinityCores = 2;
+    GoGcConfig far = near;
+    far.coherenceFactor *= 1.6;
+    far.ipiUs *= 2.5;
+    numa.addRow({"same NUMA node",
+                 TextTable::num(runGoGcBenchmark(near).p99Us, 2)});
+    numa.addRow({"cross NUMA node",
+                 TextTable::num(runGoGcBenchmark(far).p99Us, 2)});
+    std::cout << "\n=== Xeon NUMA corroboration (GOMAXPROCS=2) ===\n";
+    numa.print(std::cout);
+    return 0;
+}

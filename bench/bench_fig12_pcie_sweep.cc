@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 12: PCIe peer-to-peer performance sweeps (AWS EC2 F1), plus
+ * the §IV-A host-managed-PCIe ceiling.
+ *
+ * Expected shape: same characteristics as the QSFP sweep — exact
+ * flat, fast ~2x until serialization dominates — but overall ~1.5x
+ * slower due to the higher inter-FPGA latency, topping out around
+ * 1 MHz. The host-managed path is capped near 26.4 kHz by driver
+ * overhead regardless of width or frequency.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "sweep_common.hh"
+
+using namespace fireaxe;
+using namespace fireaxe::bench;
+using ripper::PartitionMode;
+
+namespace {
+
+struct WidthStep
+{
+    unsigned tilesOut;
+    unsigned traceWords;
+};
+
+const WidthStep widthSteps[] = {
+    {1, 0}, {2, 0}, {4, 0}, {4, 2}, {4, 6}, {4, 12}, {4, 24},
+};
+
+} // namespace
+
+int
+main()
+{
+    auto pcie = transport::pciePeerToPeer();
+    auto qsfp = transport::qsfpAurora();
+    const unsigned total_tiles = 4;
+
+    for (double mhz : {10.0, 30.0, 50.0, 70.0, 90.0}) {
+        TextTable table({"interface (bits)", "exact (MHz)",
+                         "fast (MHz)", "fast vs exact",
+                         "QSFP fast (MHz)"});
+        for (const auto &step : widthSteps) {
+            auto exact = runTilePartitionSweep(
+                total_tiles, step.tilesOut, step.traceWords,
+                PartitionMode::Exact, pcie, mhz);
+            auto fast = runTilePartitionSweep(
+                total_tiles, step.tilesOut, step.traceWords,
+                PartitionMode::Fast, pcie, mhz);
+            auto qsfp_fast = runTilePartitionSweep(
+                total_tiles, step.tilesOut, step.traceWords,
+                PartitionMode::Fast, qsfp, mhz);
+            table.addRow(
+                {std::to_string(exact.interfaceBits),
+                 TextTable::num(exact.simRateMhz, 3),
+                 TextTable::num(fast.simRateMhz, 3),
+                 TextTable::num(fast.simRateMhz / exact.simRateMhz,
+                                2) +
+                     "x",
+                 TextTable::num(qsfp_fast.simRateMhz, 3)});
+        }
+        std::cout << "=== Figure 12: PCIe peer-to-peer sweep @ "
+                  << mhz << " MHz bitstream ===\n";
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // §IV-A: host-managed PCIe through the C++ drivers.
+    auto host = transport::hostManagedPcie();
+    TextTable host_table({"interface (bits)", "exact (kHz)",
+                          "fast (kHz)"});
+    for (const auto &step : {widthSteps[0], widthSteps[4]}) {
+        auto exact = runTilePartitionSweep(
+            total_tiles, step.tilesOut, step.traceWords,
+            PartitionMode::Exact, host, 90.0, 60);
+        auto fast = runTilePartitionSweep(
+            total_tiles, step.tilesOut, step.traceWords,
+            PartitionMode::Fast, host, 90.0, 60);
+        host_table.addRow(
+            {std::to_string(exact.interfaceBits),
+             TextTable::num(exact.simRateMhz * 1000.0, 1),
+             TextTable::num(fast.simRateMhz * 1000.0, 1)});
+    }
+    std::cout << "=== Host-managed PCIe (driver-limited, §IV-A: "
+                 "max ~26.4 kHz) ===\n";
+    host_table.print(std::cout);
+    return 0;
+}

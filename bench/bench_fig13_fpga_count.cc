@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 13: FPGA-count performance sweeps. A ring-NoC SoC is
+ * partitioned across 2..5 FPGAs with NoC-partition-mode; each FPGA
+ * exchanges tokens only with its ring neighbours, so the interface
+ * width per link stays constant.
+ *
+ * Expected shape: the rate declines mildly as FPGAs are added (each
+ * additional hop adds token-exchange timing slack even though links
+ * are point-to-point), and higher bitstream frequencies help.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "platform/executor.hh"
+#include "platform/fpga.hh"
+#include "ripper/nocselect.hh"
+#include "ripper/partition.hh"
+#include "target/noc_soc.hh"
+#include "transport/link.hh"
+
+using namespace fireaxe;
+using namespace fireaxe::platform;
+using namespace fireaxe::ripper;
+
+namespace {
+
+/**
+ * Partition the 9-node ring SoC (8 tiles + subsystem) across
+ * @p fpgas FPGAs: the 8 tile nodes are divided into fpgas-1 groups
+ * of consecutive routers, the subsystem keeps the last FPGA.
+ */
+double
+ringRateMhz(unsigned fpgas, double mhz)
+{
+    target::RingNocSocConfig cfg;
+    cfg.numNodes = 9;
+    cfg.memWords = 256;
+    auto soc = target::buildRingNocSoc(cfg);
+
+    unsigned groups = fpgas - 1;
+    unsigned nodes_per_group = 8 / groups;
+    PartitionSpec spec;
+    spec.mode = PartitionMode::Exact;
+    unsigned node = 1;
+    for (unsigned g = 0; g < groups; ++g) {
+        std::set<unsigned> indices;
+        unsigned take = g == groups - 1 ? (9 - node)
+                                        : nodes_per_group;
+        for (unsigned i = 0; i < take && node < 9; ++i)
+            indices.insert(node++);
+        PartitionGroupSpec gs;
+        gs.name = "nodes" + std::to_string(g);
+        gs.instancePaths = selectNocGroup(soc, indices);
+        spec.groups.push_back(gs);
+    }
+    auto plan = partition(soc, spec);
+
+    // The paper attributes the mild decline with FPGA count to
+    // "minor timing issues regarding token exchange": every board
+    // runs its own oscillator, and with more boards in the ring the
+    // Aurora channel alignment and credit-return slack accumulate.
+    // Model both: per-board clock skew and per-ring-size link slack.
+    std::vector<FpgaSpec> boards;
+    for (unsigned i = 0; i < fpgas; ++i)
+        boards.push_back(alveoU250(mhz * (1.0 - 0.02 * i)));
+    auto link = transport::qsfpAurora();
+    link.latencyNs *= 1.0 + 0.06 * (fpgas - 2);
+
+    MultiFpgaSim sim(plan, boards, link);
+    auto result = sim.run(400);
+    return result.deadlocked ? 0.0 : result.simRateMhz();
+}
+
+} // namespace
+
+int
+main()
+{
+    TextTable table({"FPGAs (ring)", "20 MHz", "40 MHz", "60 MHz"});
+    for (unsigned fpgas = 2; fpgas <= 5; ++fpgas) {
+        table.addRow({std::to_string(fpgas),
+                      TextTable::num(ringRateMhz(fpgas, 20.0), 3),
+                      TextTable::num(ringRateMhz(fpgas, 40.0), 3),
+                      TextTable::num(ringRateMhz(fpgas, 60.0), 3)});
+    }
+    std::cout << "=== Figure 13: simulation rate (MHz) vs FPGA "
+                 "count, ring NoC partition ===\n";
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 14: amortizing inter-FPGA communication latency with
+ * FAME-5. All N BOOM-like tiles of a bus SoC are partitioned onto
+ * one FPGA (fixed at 15 MHz) and multi-threaded with FAME-5, while
+ * the SoC-subsystem FPGA sweeps 20..30 MHz.
+ *
+ * Expected shape: scaling from 1 to 6 threaded tiles degrades the
+ * simulation rate by less than 2x, because the inter-FPGA latency is
+ * paid once per target cycle regardless of the thread count — even
+ * though the token payload (and thus serialization time) grows
+ * linearly with the number of tiles.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "platform/executor.hh"
+#include "platform/fpga.hh"
+#include "ripper/partition.hh"
+#include "target/bus_soc.hh"
+#include "transport/link.hh"
+
+using namespace fireaxe;
+using namespace fireaxe::platform;
+using namespace fireaxe::ripper;
+
+namespace {
+
+double
+fame5RateMhz(unsigned tiles, double soc_mhz)
+{
+    target::BusSocConfig cfg;
+    cfg.numTiles = tiles;
+    cfg.memWords = 256;
+    auto soc = target::buildBusSoc(cfg);
+
+    PartitionSpec spec;
+    spec.mode = PartitionMode::Exact;
+    PartitionGroupSpec group;
+    group.name = "tiles";
+    group.instancePaths = target::busSocTilePaths(tiles);
+    group.fame5Threads = tiles;
+    spec.groups.push_back(group);
+    auto plan = partition(soc, spec);
+
+    MultiFpgaSim sim(plan,
+                     {alveoU250(soc_mhz), alveoU250(15.0)},
+                     transport::qsfpAurora());
+    auto result = sim.run(400);
+    return result.deadlocked ? 0.0 : result.simRateMhz();
+}
+
+} // namespace
+
+int
+main()
+{
+    TextTable table({"FAME-5 tiles", "SoC @ 20 MHz", "SoC @ 25 MHz",
+                     "SoC @ 30 MHz", "boundary bits"});
+    for (unsigned tiles = 1; tiles <= 6; ++tiles) {
+        // Boundary width grows linearly with the tile count.
+        target::BusSocConfig cfg;
+        cfg.numTiles = tiles;
+        auto soc = target::buildBusSoc(cfg);
+        PartitionSpec spec;
+        spec.groups.push_back(
+            {"tiles", target::busSocTilePaths(tiles), tiles});
+        auto plan = partition(soc, spec);
+
+        table.addRow({std::to_string(tiles),
+                      TextTable::num(fame5RateMhz(tiles, 20.0), 3),
+                      TextTable::num(fame5RateMhz(tiles, 25.0), 3),
+                      TextTable::num(fame5RateMhz(tiles, 30.0), 3),
+                      std::to_string(
+                          plan.feedback.interfaceWidths[1])});
+    }
+    std::cout << "=== Figure 14: FAME-5 multithreaded tiles, tile "
+                 "FPGA fixed at 15 MHz ===\n";
+    table.print(std::cout);
+    std::cout << "(1 -> 6 tiles should degrade the rate by less "
+                 "than 2x)\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator infrastructure
+ * itself: RTL-interpreter cycle throughput, LI-BDN tick cost,
+ * FireRipper compile time, and the uarch model's instruction
+ * throughput. These guard the host-side performance that the
+ * figure-level harnesses depend on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "passes/flatten.hh"
+#include "platform/executor.hh"
+#include "platform/fpga.hh"
+#include "ripper/partition.hh"
+#include "rtlsim/simulator.hh"
+#include "target/bus_soc.hh"
+#include "target/noc_soc.hh"
+#include "transport/link.hh"
+#include "uarch/core_model.hh"
+#include "uarch/params.hh"
+
+using namespace fireaxe;
+
+static void
+BM_RtlSimCycle(benchmark::State &state)
+{
+    target::BusSocConfig cfg;
+    cfg.numTiles = unsigned(state.range(0));
+    cfg.memWords = 256;
+    auto soc = target::buildBusSoc(cfg);
+    rtlsim::Simulator sim(passes::flattenAll(soc));
+    for (auto _ : state) {
+        sim.step();
+        benchmark::DoNotOptimize(sim.peek("status"));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RtlSimCycle)->Arg(2)->Arg(8)->Arg(24);
+
+static void
+BM_FireRipperCompile(benchmark::State &state)
+{
+    target::BusSocConfig cfg;
+    cfg.numTiles = unsigned(state.range(0));
+    auto soc = target::buildBusSoc(cfg);
+    ripper::PartitionSpec spec;
+    spec.groups.push_back(
+        {"tiles", target::busSocTilePaths(cfg.numTiles / 2), 1});
+    for (auto _ : state) {
+        auto plan = ripper::partition(soc, spec);
+        benchmark::DoNotOptimize(plan.nets.size());
+    }
+}
+BENCHMARK(BM_FireRipperCompile)->Arg(4)->Arg(16);
+
+static void
+BM_MultiFpgaTargetCycle(benchmark::State &state)
+{
+    target::BusSocConfig cfg;
+    cfg.numTiles = 4;
+    cfg.memWords = 256;
+    auto soc = target::buildBusSoc(cfg);
+    ripper::PartitionSpec spec;
+    spec.groups.push_back(
+        {"tiles", target::busSocTilePaths(2), 1});
+    auto plan = ripper::partition(soc, spec);
+    platform::MultiFpgaSim sim(
+        plan, {platform::alveoU250(50.0), platform::alveoU250(50.0)},
+        transport::qsfpAurora());
+    sim.init();
+    uint64_t goal = 0;
+    for (auto _ : state) {
+        goal += 10;
+        sim.run(goal);
+    }
+    state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_MultiFpgaTargetCycle);
+
+static void
+BM_UarchModelInstruction(benchmark::State &state)
+{
+    uarch::CoreModel model(uarch::gc40BoomParams());
+    auto profile = uarch::embenchProfile("crc32");
+    profile.instructions = 20000;
+    for (auto _ : state) {
+        auto r = model.run(profile);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_UarchModelInstruction);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Section VIII-A: the hybrid cloud/on-premises usage model.
+ *
+ * Quantifies the paper's three decision factors:
+ *  1. capacity — usable LUTs of a local U250 vs a cloud VU9P (the
+ *     paper reports ~50% more locally due to the cloud shell);
+ *  2. performance — the same partitioned simulation over QSFP
+ *     (on-prem) vs peer-to-peer PCIe (cloud);
+ *  3. cost — pay-as-you-go cloud hours vs upfront board purchase,
+ *     with the break-even campaign size.
+ *
+ * The recommended workflow follows: develop interactively on-prem,
+ * burst large benchmark campaigns to the cloud.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "platform/cost.hh"
+#include "platform/executor.hh"
+#include "platform/fpga.hh"
+#include "ripper/partition.hh"
+#include "target/bus_soc.hh"
+#include "transport/link.hh"
+
+using namespace fireaxe;
+using namespace fireaxe::platform;
+
+int
+main()
+{
+    // Factor 1: capacity.
+    auto u250 = alveoU250(60.0);
+    auto vu9p = awsF1Vu9p(60.0);
+    TextTable capacity({"board", "usable LUTs", "vs cloud"});
+    capacity.addRow({u250.board, std::to_string(u250.lutCapacity),
+                     TextTable::num(double(u250.lutCapacity) /
+                                        vu9p.lutCapacity,
+                                    2) +
+                         "x"});
+    capacity.addRow({vu9p.board, std::to_string(vu9p.lutCapacity),
+                     "1.00x"});
+    std::cout << "=== Capacity (paper: U250 ~50% more usable LUTs) "
+                 "===\n";
+    capacity.print(std::cout);
+
+    // Factor 2: performance on the same partitioned target.
+    target::BusSocConfig cfg;
+    cfg.numTiles = 4;
+    cfg.memWords = 256;
+    auto soc = target::buildBusSoc(cfg);
+    ripper::PartitionSpec spec;
+    spec.mode = ripper::PartitionMode::Fast;
+    spec.groups.push_back(
+        {"tiles", target::busSocTilePaths(2), 1});
+    auto plan = ripper::partition(soc, spec);
+
+    auto rate = [&](const FpgaSpec &board,
+                    const transport::LinkParams &link) {
+        MultiFpgaSim sim(plan, {board, board}, link);
+        return sim.run(400).simRateMhz();
+    };
+    double on_prem = rate(u250, transport::qsfpAurora());
+    double cloud = rate(vu9p, transport::pciePeerToPeer());
+
+    TextTable perf({"deployment", "rate (MHz)", "relative"});
+    perf.addRow({"on-prem U250 + QSFP", TextTable::num(on_prem, 3),
+                 TextTable::num(on_prem / cloud, 2) + "x"});
+    perf.addRow({"cloud F1 + PCIe p2p", TextTable::num(cloud, 3),
+                 "1.00x"});
+    std::cout << "\n=== Performance (paper: ~1.5x for on-prem) ===\n";
+    perf.print(std::cout);
+
+    // Factor 3: cost vs campaign size.
+    DeploymentCosts costs;
+    costs.onPremSpeedup = on_prem / cloud;
+    TextTable money({"campaign (cloud sim-hours)", "cloud ($)",
+                     "on-prem ($)", "cheaper"});
+    for (double hours : {40.0, 400.0, 4000.0, 40000.0}) {
+        auto c = projectCampaign(hours, 2, costs);
+        money.addRow({TextTable::num(hours, 0),
+                      TextTable::num(c.cloudUsd, 0),
+                      TextTable::num(c.onPremUsd, 0),
+                      c.cloudUsd < c.onPremUsd ? "cloud"
+                                               : "on-prem"});
+    }
+    auto be = projectCampaign(1.0, 2, costs);
+    std::cout << "\n=== Cost (2 FPGAs; break-even at "
+              << TextTable::num(be.breakEvenHours, 0)
+              << " cloud sim-hours) ===\n";
+    money.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared helpers for the simulation-performance sweep benches
+ * (Figs. 11-14): build a bus SoC, partition its tiles out with
+ * FireRipper, co-simulate on modeled FPGAs over a given transport,
+ * and report the achieved target frequency.
+ */
+
+#ifndef FIREAXE_BENCH_SWEEP_COMMON_HH
+#define FIREAXE_BENCH_SWEEP_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "platform/executor.hh"
+#include "platform/fpga.hh"
+#include "ripper/partition.hh"
+#include "target/bus_soc.hh"
+#include "transport/link.hh"
+
+namespace fireaxe::bench {
+
+/** One sweep measurement. */
+struct SweepPoint
+{
+    unsigned interfaceBits = 0;
+    double simRateMhz = 0.0;
+    bool deadlocked = false;
+};
+
+/**
+ * Partition @p tiles_out tiles (each with @p trace_words extra
+ * boundary words) out of a bus SoC and measure the simulation rate
+ * over @p link with both FPGAs at @p bitstream_mhz.
+ */
+inline SweepPoint
+runTilePartitionSweep(unsigned total_tiles, unsigned tiles_out,
+                      unsigned trace_words,
+                      ripper::PartitionMode mode,
+                      const transport::LinkParams &link,
+                      double bitstream_mhz, uint64_t cycles = 400)
+{
+    target::BusSocConfig cfg;
+    cfg.numTiles = total_tiles;
+    cfg.memWords = 256;
+    cfg.tile.traceWords = trace_words;
+    auto soc = target::buildBusSoc(cfg);
+
+    ripper::PartitionSpec spec;
+    spec.mode = mode;
+    ripper::PartitionGroupSpec group;
+    group.name = "tiles";
+    group.instancePaths = target::busSocTilePaths(tiles_out);
+    spec.groups.push_back(group);
+    auto plan = ripper::partition(soc, spec);
+
+    platform::MultiFpgaSim sim(
+        plan,
+        {platform::alveoU250(bitstream_mhz),
+         platform::alveoU250(bitstream_mhz)},
+        link);
+    auto result = sim.run(cycles);
+
+    SweepPoint point;
+    // Boundary width of the extracted partition (one side).
+    point.interfaceBits = plan.feedback.interfaceWidths[1];
+    point.simRateMhz = result.simRateMhz();
+    point.deadlocked = result.deadlocked;
+    return point;
+}
+
+/**
+ * Analytic lower-bound rate model (the ablation companion of the
+ * executed sweeps): per target cycle the boundary is crossed
+ * `crossings` times, each paying flight latency plus serialization,
+ * plus a few host cycles of FSM work.
+ */
+inline double
+analyticRateMhz(const transport::LinkParams &link, unsigned bits,
+                unsigned crossings, double bitstream_mhz,
+                double host_cycles_per_crossing = 3.0)
+{
+    double per_cycle_ns =
+        crossings * (transport::tokenLatencyNs(link) +
+                     transport::tokenSerNs(link, bits) +
+                     host_cycles_per_crossing * 1000.0 /
+                         bitstream_mhz);
+    return 1000.0 / per_cycle_ns;
+}
+
+} // namespace fireaxe::bench
+
+#endif // FIREAXE_BENCH_SWEEP_COMMON_HH

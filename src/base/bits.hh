@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the IR evaluator and the
+ * token-serialization models.
+ */
+
+#ifndef FIREAXE_BASE_BITS_HH
+#define FIREAXE_BASE_BITS_HH
+
+#include <cstdint>
+
+#include "base/logging.hh"
+
+namespace fireaxe {
+
+/** Maximum supported port width in bits. */
+constexpr unsigned maxBitWidth = 64;
+
+/** Return a mask with the low @p width bits set. width must be <= 64. */
+inline uint64_t
+bitMask(unsigned width)
+{
+    FIREAXE_ASSERT(width <= maxBitWidth, "width=", width);
+    if (width == maxBitWidth)
+        return ~uint64_t(0);
+    return (uint64_t(1) << width) - 1;
+}
+
+/** Truncate @p value to @p width bits. */
+inline uint64_t
+truncate(uint64_t value, unsigned width)
+{
+    return value & bitMask(width);
+}
+
+/** Extract bits [hi:lo] (inclusive) from @p value. */
+inline uint64_t
+extractBits(uint64_t value, unsigned hi, unsigned lo)
+{
+    FIREAXE_ASSERT(hi >= lo && hi < maxBitWidth, "hi=", hi, " lo=", lo);
+    return (value >> lo) & bitMask(hi - lo + 1);
+}
+
+/** Number of bits needed to represent @p value. Returns 1 for 0. */
+inline unsigned
+bitsNeeded(uint64_t value)
+{
+    unsigned n = 0;
+    while (value) {
+        ++n;
+        value >>= 1;
+    }
+    return n == 0 ? 1 : n;
+}
+
+/** Ceiling division for positive integers. */
+inline uint64_t
+ceilDiv(uint64_t num, uint64_t den)
+{
+    FIREAXE_ASSERT(den != 0);
+    return (num + den - 1) / den;
+}
+
+} // namespace fireaxe
+
+#endif // FIREAXE_BASE_BITS_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Logging and error-reporting primitives.
+ *
+ * Follows the gem5 convention: panic() for internal invariant
+ * violations (simulator bugs), fatal() for user-caused configuration
+ * errors, warn()/inform() for non-fatal status reporting.
+ */
+
+#ifndef FIREAXE_BASE_LOGGING_HH
+#define FIREAXE_BASE_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fireaxe {
+
+/** Exception thrown by fatal(): a user-caused, recoverable-by-caller
+ *  configuration error (bad partition spec, unsupported boundary...). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Exception thrown by panic(): an internal invariant violation. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename T, typename... Args>
+void
+formatInto(std::ostringstream &os, const T &first, const Args &...rest)
+{
+    os << first;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatMsg(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation and throw PanicError.
+ * Use only for conditions that indicate a bug in FireAxe itself.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::string msg = detail::formatMsg(args...);
+    std::cerr << "panic: " << msg << std::endl;
+    throw PanicError(msg);
+}
+
+/**
+ * Report a user error (bad configuration, unsupported partition
+ * boundary, ...) and throw FatalError.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::string msg = detail::formatMsg(args...);
+    throw FatalError(msg);
+}
+
+/** Report a condition that may indicate a problem but is survivable. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::cerr << "warn: " << detail::formatMsg(args...) << std::endl;
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::cout << "info: " << detail::formatMsg(args...) << std::endl;
+}
+
+/** panic() unless the given invariant holds. */
+#define FIREAXE_ASSERT(cond, ...)                                         \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::fireaxe::panic("assertion failed: ", #cond, " ",            \
+                             ::fireaxe::detail::formatMsg(__VA_ARGS__));   \
+        }                                                                  \
+    } while (0)
+
+} // namespace fireaxe
+
+#endif // FIREAXE_BASE_LOGGING_HH

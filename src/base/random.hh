@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic models in FireAxe (workload traces, packet arrivals,
+ * GC trigger jitter) draw from this generator so that simulations are
+ * reproducible given a seed — mirroring FireSim's determinism goal.
+ */
+
+#ifndef FIREAXE_BASE_RANDOM_HH
+#define FIREAXE_BASE_RANDOM_HH
+
+#include <cstdint>
+
+namespace fireaxe {
+
+/**
+ * A small, fast, deterministic PRNG (xoshiro256** core).
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed via splitmix64. */
+    void
+    reseed(uint64_t seed)
+    {
+        for (auto &word : state_) {
+            seed += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Geometric-ish positive sample with the given mean (>= 1). */
+    uint64_t
+    geometric(double mean)
+    {
+        if (mean <= 1.0)
+            return 1;
+        uint64_t n = 1;
+        double p = 1.0 / mean;
+        while (!chance(p) && n < 100000)
+            ++n;
+        return n;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace fireaxe
+
+#endif // FIREAXE_BASE_RANDOM_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Lightweight statistics collection: running means, histograms with
+ * percentile extraction, and named counters. Used by the uarch model,
+ * the NIC latency counters, and the Go-runtime tail-latency benchmark.
+ */
+
+#ifndef FIREAXE_BASE_STATS_HH
+#define FIREAXE_BASE_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace fireaxe {
+
+/** Running scalar statistic: count / sum / min / max / mean. */
+class RunningStat
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0) {
+            min_ = max_ = v;
+        } else {
+            min_ = std::min(min_, v);
+            max_ = std::max(max_, v);
+        }
+        sum_ += v;
+        ++count_;
+    }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0.0;
+        min_ = max_ = 0.0;
+    }
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Sample reservoir with exact percentile extraction. Stores all samples;
+ * suitable for the experiment scales used here (<= millions of samples).
+ */
+class Distribution
+{
+  public:
+    void sample(double v) { samples_.push_back(v); }
+
+    uint64_t count() const { return samples_.size(); }
+
+    double
+    mean() const
+    {
+        if (samples_.empty())
+            return 0.0;
+        double s = 0.0;
+        for (double v : samples_)
+            s += v;
+        return s / samples_.size();
+    }
+
+    /**
+     * Exact percentile (nearest-rank). @p p in [0, 100].
+     */
+    double
+    percentile(double p) const
+    {
+        FIREAXE_ASSERT(p >= 0.0 && p <= 100.0, "p=", p);
+        if (samples_.empty())
+            return 0.0;
+        std::vector<double> sorted(samples_);
+        std::sort(sorted.begin(), sorted.end());
+        size_t rank = static_cast<size_t>(
+            (p / 100.0) * (sorted.size() - 1) + 0.5);
+        return sorted[std::min(rank, sorted.size() - 1)];
+    }
+
+    double max() const { return percentile(100.0); }
+
+    void reset() { samples_.clear(); }
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+};
+
+/** A named bag of integer counters (e.g. CPI-stack cycle attribution). */
+class CounterSet
+{
+  public:
+    void add(const std::string &name, uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    uint64_t
+    total() const
+    {
+        uint64_t t = 0;
+        for (const auto &kv : counters_)
+            t += kv.second;
+        return t;
+    }
+
+    const std::map<std::string, uint64_t> &all() const { return counters_; }
+
+    void reset() { counters_.clear(); }
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace fireaxe
+
+#endif // FIREAXE_BASE_STATS_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses. Each bench
+ * binary prints the rows/series of the paper table or figure it
+ * regenerates; this helper keeps the output aligned and parseable.
+ */
+
+#ifndef FIREAXE_BASE_TABLE_HH
+#define FIREAXE_BASE_TABLE_HH
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fireaxe {
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header)
+        : header_(std::move(header))
+    {}
+
+    /** Append one row; must have the same arity as the header. */
+    void
+    addRow(std::vector<std::string> row)
+    {
+        rows_.push_back(std::move(row));
+    }
+
+    /** Format a double with fixed precision. */
+    static std::string
+    num(double v, int precision = 3)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << v;
+        return os.str();
+    }
+
+    void
+    print(std::ostream &os) const
+    {
+        std::vector<size_t> widths(header_.size(), 0);
+        auto grow = [&](const std::vector<std::string> &row) {
+            for (size_t i = 0; i < row.size() && i < widths.size(); ++i)
+                widths[i] = std::max(widths[i], row[i].size());
+        };
+        grow(header_);
+        for (const auto &r : rows_)
+            grow(r);
+
+        auto emit = [&](const std::vector<std::string> &row) {
+            for (size_t i = 0; i < widths.size(); ++i) {
+                std::string cell = i < row.size() ? row[i] : "";
+                os << std::left << std::setw(int(widths[i]) + 2) << cell;
+            }
+            os << "\n";
+        };
+        emit(header_);
+        std::vector<std::string> rule;
+        for (size_t w : widths)
+            rule.push_back(std::string(w, '-'));
+        emit(rule);
+        for (const auto &r : rows_)
+            emit(r);
+    }
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fireaxe
+
+#endif // FIREAXE_BASE_TABLE_HH

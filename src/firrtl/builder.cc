@@ -1,0 +1,260 @@
+#include "firrtl/builder.hh"
+
+#include <set>
+
+#include "base/bits.hh"
+#include "base/logging.hh"
+
+namespace fireaxe::firrtl {
+
+ExprPtr
+ModuleBuilder::input(const std::string &port_name, unsigned width)
+{
+    FIREAXE_ASSERT(width >= 1 && width <= maxBitWidth,
+                   "port ", port_name, " width=", width);
+    mod_.ports.push_back({port_name, PortDir::Input, width});
+    return ref(port_name, width);
+}
+
+ExprPtr
+ModuleBuilder::output(const std::string &port_name, unsigned width)
+{
+    FIREAXE_ASSERT(width >= 1 && width <= maxBitWidth,
+                   "port ", port_name, " width=", width);
+    mod_.ports.push_back({port_name, PortDir::Output, width});
+    return ref(port_name, width);
+}
+
+ExprPtr
+ModuleBuilder::wire(const std::string &wire_name, unsigned width)
+{
+    FIREAXE_ASSERT(width >= 1 && width <= maxBitWidth,
+                   "wire ", wire_name, " width=", width);
+    mod_.wires.push_back({wire_name, width});
+    return ref(wire_name, width);
+}
+
+ExprPtr
+ModuleBuilder::reg(const std::string &reg_name, unsigned width,
+                   uint64_t init)
+{
+    FIREAXE_ASSERT(width >= 1 && width <= maxBitWidth,
+                   "reg ", reg_name, " width=", width);
+    mod_.regs.push_back({reg_name, width, truncate(init, width)});
+    return ref(reg_name, width);
+}
+
+void
+ModuleBuilder::mem(const std::string &mem_name, unsigned depth,
+                   unsigned width)
+{
+    FIREAXE_ASSERT(depth >= 1, "mem ", mem_name, " depth=", depth);
+    FIREAXE_ASSERT(width >= 1 && width <= maxBitWidth,
+                   "mem ", mem_name, " width=", width);
+    mod_.mems.push_back({mem_name, depth, width});
+}
+
+void
+ModuleBuilder::instance(const std::string &inst_name,
+                        const std::string &module_name)
+{
+    if (!parent_.circuit().findModule(module_name)) {
+        fatal("module '", mod_.name, "' instantiates undefined module '",
+              module_name, "' (declare children before parents)");
+    }
+    mod_.instances.push_back({inst_name, module_name});
+}
+
+void
+ModuleBuilder::connect(const std::string &lhs, ExprPtr rhs)
+{
+    SignalInfo info = mod_.resolve(parent_.circuit(), lhs);
+    if (info.kind == SignalKind::Unknown)
+        fatal("connect to unknown signal '", lhs, "' in module '",
+              mod_.name, "'");
+    mod_.connects.push_back({lhs, std::move(rhs)});
+}
+
+void
+ModuleBuilder::connect(const ExprPtr &lhs, ExprPtr rhs)
+{
+    FIREAXE_ASSERT(lhs->kind == ExprKind::Ref,
+                   "connect sink must be a reference");
+    connect(lhs->name, std::move(rhs));
+}
+
+ExprPtr
+ModuleBuilder::sig(const std::string &sig_name) const
+{
+    SignalInfo info = mod_.resolve(parent_.circuit(), sig_name);
+    if (info.kind == SignalKind::Unknown)
+        fatal("reference to unknown signal '", sig_name, "' in module '",
+              mod_.name, "'");
+    return ref(sig_name, info.width);
+}
+
+void
+ModuleBuilder::annotateReadyValid(const ReadyValidBundle &bundle)
+{
+    mod_.rvBundles.push_back(bundle);
+}
+
+void
+ModuleBuilder::attr(const std::string &key, const std::string &value)
+{
+    mod_.attrs[key] = value;
+}
+
+ModuleBuilder
+CircuitBuilder::module(const std::string &mod_name)
+{
+    Module m;
+    m.name = mod_name;
+    Module &stored = circuit_.addModule(std::move(m));
+    return ModuleBuilder(*this, stored);
+}
+
+Circuit
+CircuitBuilder::finish()
+{
+    verifyCircuit(circuit_);
+    return std::move(circuit_);
+}
+
+namespace {
+
+/** Whether a resolved signal kind may appear as a connect sink. */
+bool
+isSinkKind(SignalKind kind)
+{
+    switch (kind) {
+      case SignalKind::OutPort:
+      case SignalKind::Wire:
+      case SignalKind::Reg:
+      case SignalKind::InstIn:
+      case SignalKind::MemRAddr:
+      case SignalKind::MemWAddr:
+      case SignalKind::MemWData:
+      case SignalKind::MemWEn:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Whether a resolved signal kind may be read in an expression. */
+bool
+isSourceKind(SignalKind kind)
+{
+    switch (kind) {
+      case SignalKind::InPort:
+      case SignalKind::OutPort: // reading back an output is legal
+      case SignalKind::Wire:
+      case SignalKind::Reg:
+      case SignalKind::InstOut:
+      case SignalKind::MemRData:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+verifyModule(const Circuit &circuit, const Module &mod)
+{
+    // Unique signal names across namespaces.
+    std::set<std::string> names;
+    auto claim = [&](const std::string &n, const char *what) {
+        if (!names.insert(n).second) {
+            fatal("module '", mod.name, "': duplicate ", what,
+                  " name '", n, "'");
+        }
+    };
+    for (const auto &p : mod.ports)
+        claim(p.name, "port");
+    for (const auto &w : mod.wires)
+        claim(w.name, "wire");
+    for (const auto &r : mod.regs)
+        claim(r.name, "reg");
+    for (const auto &m : mod.mems)
+        claim(m.name, "mem");
+    for (const auto &i : mod.instances)
+        claim(i.name, "instance");
+
+    std::set<std::string> driven;
+    for (const auto &c : mod.connects) {
+        SignalInfo lhs = mod.resolve(circuit, c.lhs);
+        if (!isSinkKind(lhs.kind)) {
+            fatal("module '", mod.name, "': connect sink '", c.lhs,
+                  "' is not a drivable signal");
+        }
+        if (!driven.insert(c.lhs).second) {
+            fatal("module '", mod.name, "': signal '", c.lhs,
+                  "' has multiple drivers");
+        }
+        std::vector<std::string> refs;
+        collectRefs(c.rhs, refs);
+        for (const auto &r : refs) {
+            SignalInfo src = mod.resolve(circuit, r);
+            if (!isSourceKind(src.kind)) {
+                fatal("module '", mod.name, "': expression reads '", r,
+                      "' which is not a readable signal (driving '",
+                      c.lhs, "')");
+            }
+        }
+    }
+
+    // Every output port, wire and instance input must be driven.
+    auto requireDriven = [&](const std::string &n, const char *what) {
+        if (!driven.count(n)) {
+            fatal("module '", mod.name, "': ", what, " '", n,
+                  "' is never driven");
+        }
+    };
+    for (const auto &p : mod.ports)
+        if (p.dir == PortDir::Output)
+            requireDriven(p.name, "output port");
+    for (const auto &w : mod.wires)
+        requireDriven(w.name, "wire");
+    for (const auto &inst : mod.instances) {
+        const Module *child = circuit.findModule(inst.moduleName);
+        FIREAXE_ASSERT(child, "instance of unknown module");
+        for (const auto &p : child->ports) {
+            if (p.dir == PortDir::Input)
+                requireDriven(inst.name + "." + p.name,
+                              "instance input");
+        }
+    }
+    // Memory read addresses must be driven; write side may be left
+    // undriven (defaults to never-write).
+    for (const auto &m : mod.mems)
+        requireDriven(m.name + ".raddr", "memory read address");
+
+    // Ready-valid annotations must name real ports.
+    for (const auto &rv : mod.rvBundles) {
+        auto check = [&](const std::string &pn) {
+            if (!mod.findPort(pn)) {
+                fatal("module '", mod.name, "': ready-valid bundle '",
+                      rv.name, "' names unknown port '", pn, "'");
+            }
+        };
+        check(rv.validPort);
+        check(rv.readyPort);
+        for (const auto &d : rv.dataPorts)
+            check(d);
+    }
+}
+
+} // namespace
+
+void
+verifyCircuit(const Circuit &circuit)
+{
+    for (const auto &name : circuit.topoOrder()) {
+        const Module *m = circuit.findModule(name);
+        FIREAXE_ASSERT(m);
+        verifyModule(circuit, *m);
+    }
+}
+
+} // namespace fireaxe::firrtl

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fluent construction API for circuits. Plays the role Chisel plays
+ * for FireSim: target-design generators (src/target) use this to emit
+ * IR. The builder resolves reference widths eagerly so expressions
+ * carry correct inferred widths, and checks single-driver rules.
+ */
+
+#ifndef FIREAXE_FIRRTL_BUILDER_HH
+#define FIREAXE_FIRRTL_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "firrtl/ir.hh"
+
+namespace fireaxe::firrtl {
+
+class CircuitBuilder;
+
+/**
+ * Builds one module. Obtained from CircuitBuilder::module(); child
+ * modules must be declared before they are instantiated so port
+ * widths can be resolved.
+ */
+class ModuleBuilder
+{
+  public:
+    ModuleBuilder(CircuitBuilder &parent, Module &mod)
+        : parent_(parent), mod_(mod)
+    {}
+
+    /** Declare an input port and return a reference to it. */
+    ExprPtr input(const std::string &name, unsigned width);
+    /** Declare an output port and return a reference to it. */
+    ExprPtr output(const std::string &name, unsigned width);
+    /** Declare a wire. */
+    ExprPtr wire(const std::string &name, unsigned width);
+    /** Declare a register with an initial value. */
+    ExprPtr reg(const std::string &name, unsigned width,
+                uint64_t init = 0);
+    /** Declare a memory (comb read, sync write). */
+    void mem(const std::string &name, unsigned depth, unsigned width);
+    /** Instantiate a previously declared module. */
+    void instance(const std::string &name, const std::string &module_name);
+
+    /** Connect a sink signal to an expression (single driver). */
+    void connect(const std::string &lhs, ExprPtr rhs);
+    /** Shorthand taking a Ref expression for the sink. */
+    void connect(const ExprPtr &lhs, ExprPtr rhs);
+
+    /** Reference a signal of this module with resolved width. */
+    ExprPtr sig(const std::string &name) const;
+
+    /** Attach a ready-valid interface annotation. */
+    void annotateReadyValid(const ReadyValidBundle &bundle);
+    /** Set a free-form module attribute. */
+    void attr(const std::string &key, const std::string &value);
+
+    Module &module() { return mod_; }
+    const std::string &name() const { return mod_.name; }
+
+  private:
+    CircuitBuilder &parent_;
+    Module &mod_;
+};
+
+/**
+ * Builds a whole circuit. Typical use:
+ * @code
+ *   CircuitBuilder cb("Top");
+ *   auto q = cb.module("Queue");
+ *   ... build queue ...
+ *   auto top = cb.module("Top");
+ *   top.instance("q0", "Queue");
+ *   Circuit c = cb.finish();
+ * @endcode
+ */
+class CircuitBuilder
+{
+  public:
+    explicit CircuitBuilder(std::string top_name)
+    {
+        circuit_.topName = std::move(top_name);
+    }
+
+    /** Start a new module (name must be unique). */
+    ModuleBuilder module(const std::string &name);
+
+    /** Access the circuit under construction (for lookups). */
+    const Circuit &circuit() const { return circuit_; }
+
+    /**
+     * Finalize: verifies structure (all references resolve, single
+     * driver per sink, widths sane) and returns the circuit.
+     */
+    Circuit finish();
+
+  private:
+    Circuit circuit_;
+};
+
+/**
+ * Structural verification of a circuit. fatal()s with a diagnostic on
+ * dangling references, multiply-driven or undriven sinks, instances
+ * of unknown modules, or zero/over-wide signals. Registers are
+ * allowed to be undriven (they hold their value).
+ */
+void verifyCircuit(const Circuit &circuit);
+
+} // namespace fireaxe::firrtl
+
+#endif // FIREAXE_FIRRTL_BUILDER_HH

@@ -1,0 +1,337 @@
+#include "firrtl/ir.hh"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "base/bits.hh"
+#include "base/logging.hh"
+
+namespace fireaxe::firrtl {
+
+unsigned
+inferUnOpWidth(UnOpKind op, unsigned w)
+{
+    switch (op) {
+      case UnOpKind::Not:
+        return w;
+      case UnOpKind::AndR:
+      case UnOpKind::OrR:
+      case UnOpKind::XorR:
+        return 1;
+    }
+    panic("unreachable unop");
+}
+
+unsigned
+inferBinOpWidth(BinOpKind op, unsigned wa, unsigned wb)
+{
+    unsigned wmax = std::max(wa, wb);
+    switch (op) {
+      case BinOpKind::Add:
+      case BinOpKind::Sub:
+        return std::min(wmax + 1, maxBitWidth);
+      case BinOpKind::Mul:
+        return std::min(wa + wb, maxBitWidth);
+      case BinOpKind::Div:
+      case BinOpKind::Rem:
+        return wa;
+      case BinOpKind::And:
+      case BinOpKind::Or:
+      case BinOpKind::Xor:
+        return wmax;
+      case BinOpKind::Eq:
+      case BinOpKind::Neq:
+      case BinOpKind::Lt:
+      case BinOpKind::Leq:
+      case BinOpKind::Gt:
+      case BinOpKind::Geq:
+        return 1;
+      case BinOpKind::Shl:
+      case BinOpKind::Shr:
+        return wa;
+    }
+    panic("unreachable binop");
+}
+
+ExprPtr
+ref(const std::string &name, unsigned width)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Ref;
+    e->name = name;
+    e->width = width;
+    return e;
+}
+
+ExprPtr
+lit(uint64_t value, unsigned width)
+{
+    FIREAXE_ASSERT(width >= 1 && width <= maxBitWidth, "width=", width);
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Literal;
+    e->value = truncate(value, width);
+    e->width = width;
+    return e;
+}
+
+ExprPtr
+unOp(UnOpKind op, ExprPtr a)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::UnOp;
+    e->unOp = op;
+    e->width = inferUnOpWidth(op, a->width);
+    e->args = {std::move(a)};
+    return e;
+}
+
+ExprPtr
+binOp(BinOpKind op, ExprPtr a, ExprPtr b)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::BinOp;
+    e->binOp = op;
+    e->width = inferBinOpWidth(op, a->width, b->width);
+    e->args = {std::move(a), std::move(b)};
+    return e;
+}
+
+ExprPtr
+mux(ExprPtr sel, ExprPtr tval, ExprPtr fval)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Mux;
+    e->width = std::max(tval->width, fval->width);
+    e->args = {std::move(sel), std::move(tval), std::move(fval)};
+    return e;
+}
+
+ExprPtr
+bits(ExprPtr a, unsigned hi, unsigned lo)
+{
+    FIREAXE_ASSERT(hi >= lo, "hi=", hi, " lo=", lo);
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Bits;
+    e->width = hi - lo + 1;
+    e->hi = hi;
+    e->lo = lo;
+    e->args = {std::move(a)};
+    return e;
+}
+
+ExprPtr
+cat(ExprPtr hi, ExprPtr lo)
+{
+    unsigned w = hi->width + lo->width;
+    FIREAXE_ASSERT(w <= maxBitWidth,
+                   "cat width ", w, " exceeds ", maxBitWidth);
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Cat;
+    e->width = w;
+    e->args = {std::move(hi), std::move(lo)};
+    return e;
+}
+
+std::pair<std::string, std::string>
+splitRef(const std::string &name)
+{
+    auto pos = name.find('.');
+    if (pos == std::string::npos)
+        return {"", name};
+    return {name.substr(0, pos), name.substr(pos + 1)};
+}
+
+void
+collectRefs(const ExprPtr &expr, std::vector<std::string> &out)
+{
+    if (expr->kind == ExprKind::Ref) {
+        out.push_back(expr->name);
+        return;
+    }
+    for (const auto &arg : expr->args)
+        collectRefs(arg, out);
+}
+
+ExprPtr
+renameRefs(const ExprPtr &expr,
+           const std::map<std::string, std::string> &renames)
+{
+    if (expr->kind == ExprKind::Ref) {
+        auto it = renames.find(expr->name);
+        if (it == renames.end())
+            return expr;
+        return ref(it->second, expr->width);
+    }
+    if (expr->args.empty())
+        return expr;
+
+    auto e = std::make_shared<Expr>(*expr);
+    for (auto &arg : e->args)
+        arg = renameRefs(arg, renames);
+    return e;
+}
+
+const Port *
+Module::findPort(const std::string &port_name) const
+{
+    for (const auto &p : ports)
+        if (p.name == port_name)
+            return &p;
+    return nullptr;
+}
+
+const Wire *
+Module::findWire(const std::string &wire_name) const
+{
+    for (const auto &w : wires)
+        if (w.name == wire_name)
+            return &w;
+    return nullptr;
+}
+
+const Reg *
+Module::findReg(const std::string &reg_name) const
+{
+    for (const auto &r : regs)
+        if (r.name == reg_name)
+            return &r;
+    return nullptr;
+}
+
+const Mem *
+Module::findMem(const std::string &mem_name) const
+{
+    for (const auto &m : mems)
+        if (m.name == mem_name)
+            return &m;
+    return nullptr;
+}
+
+const Instance *
+Module::findInstance(const std::string &inst_name) const
+{
+    for (const auto &i : instances)
+        if (i.name == inst_name)
+            return &i;
+    return nullptr;
+}
+
+SignalInfo
+Module::resolve(const Circuit &circuit, const std::string &sig_name) const
+{
+    auto [owner, field] = splitRef(sig_name);
+    if (owner.empty()) {
+        if (const Port *p = findPort(field)) {
+            return {p->dir == PortDir::Input ? SignalKind::InPort
+                                             : SignalKind::OutPort,
+                    p->width};
+        }
+        if (const Wire *w = findWire(field))
+            return {SignalKind::Wire, w->width};
+        if (const Reg *r = findReg(field))
+            return {SignalKind::Reg, r->width};
+        return {};
+    }
+
+    if (const Mem *m = findMem(owner)) {
+        unsigned addr_w = bitsNeeded(m->depth > 0 ? m->depth - 1 : 0);
+        if (field == "raddr")
+            return {SignalKind::MemRAddr, addr_w};
+        if (field == "rdata")
+            return {SignalKind::MemRData, m->width};
+        if (field == "waddr")
+            return {SignalKind::MemWAddr, addr_w};
+        if (field == "wdata")
+            return {SignalKind::MemWData, m->width};
+        if (field == "wen")
+            return {SignalKind::MemWEn, 1};
+        return {};
+    }
+
+    if (const Instance *inst = findInstance(owner)) {
+        const Module *child = circuit.findModule(inst->moduleName);
+        if (!child)
+            return {};
+        if (const Port *p = child->findPort(field)) {
+            // Directions flip from the parent's point of view: a child
+            // input is a sink the parent drives.
+            return {p->dir == PortDir::Input ? SignalKind::InstIn
+                                             : SignalKind::InstOut,
+                    p->width};
+        }
+    }
+    return {};
+}
+
+const Module &
+Circuit::top() const
+{
+    const Module *m = findModule(topName);
+    if (!m)
+        fatal("circuit has no top module named '", topName, "'");
+    return *m;
+}
+
+Module &
+Circuit::top()
+{
+    Module *m = findModule(topName);
+    if (!m)
+        fatal("circuit has no top module named '", topName, "'");
+    return *m;
+}
+
+const Module *
+Circuit::findModule(const std::string &mod_name) const
+{
+    auto it = modules.find(mod_name);
+    return it == modules.end() ? nullptr : &it->second;
+}
+
+Module *
+Circuit::findModule(const std::string &mod_name)
+{
+    auto it = modules.find(mod_name);
+    return it == modules.end() ? nullptr : &it->second;
+}
+
+Module &
+Circuit::addModule(Module m)
+{
+    if (modules.count(m.name))
+        fatal("duplicate module name '", m.name, "'");
+    std::string name = m.name;
+    auto [it, ok] = modules.emplace(name, std::move(m));
+    FIREAXE_ASSERT(ok);
+    return it->second;
+}
+
+std::vector<std::string>
+Circuit::topoOrder() const
+{
+    std::vector<std::string> order;
+    std::set<std::string> visiting, done;
+
+    // Depth-first post-order from the top.
+    std::function<void(const std::string &)> visit =
+        [&](const std::string &name) {
+            if (done.count(name))
+                return;
+            if (visiting.count(name))
+                fatal("module instantiation cycle involving '", name, "'");
+            const Module *m = findModule(name);
+            if (!m)
+                fatal("instance of undefined module '", name, "'");
+            visiting.insert(name);
+            for (const auto &inst : m->instances)
+                visit(inst.moduleName);
+            visiting.erase(name);
+            done.insert(name);
+            order.push_back(name);
+        };
+    visit(topName);
+    return order;
+}
+
+} // namespace fireaxe::firrtl

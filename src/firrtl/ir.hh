@@ -1,0 +1,254 @@
+/**
+ * @file
+ * A FIRRTL-like hierarchical circuit intermediate representation.
+ *
+ * This is the substrate FireRipper (src/ripper) operates on. It
+ * implements the subset of FIRRTL that the paper's passes need:
+ * unsigned integer signals up to 64 bits per port, wires, registers
+ * with initial values, combinational-read memories, module instances,
+ * and single-driver connects. Aggregate interfaces wider than 64 bits
+ * are expressed as multiple ports (as FIRRTL lowers bundles anyway).
+ *
+ * Signal references are strings: a bare name refers to a port, wire or
+ * register of the enclosing module; "inst.port" refers to a port of a
+ * child instance; "mem.rdata" / "mem.raddr" / "mem.waddr" /
+ * "mem.wdata" / "mem.wen" refer to the implicit ports of a memory.
+ */
+
+#ifndef FIREAXE_FIRRTL_IR_HH
+#define FIREAXE_FIRRTL_IR_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fireaxe::firrtl {
+
+/** Direction of a module port. */
+enum class PortDir { Input, Output };
+
+/** Expression node kinds. */
+enum class ExprKind { Ref, Literal, UnOp, BinOp, Mux, Bits, Cat };
+
+/** Unary operators. */
+enum class UnOpKind { Not, AndR, OrR, XorR };
+
+/** Binary operators. All operate on UInts; comparisons yield 1 bit. */
+enum class BinOpKind {
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor,
+    Eq, Neq, Lt, Leq, Gt, Geq,
+    Shl, Shr,   // shift amount is the (dynamic) second operand
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/**
+ * Immutable expression tree node. Width is inferred at construction.
+ */
+struct Expr
+{
+    ExprKind kind;
+    unsigned width = 0;
+
+    // Ref
+    std::string name;
+    // Literal
+    uint64_t value = 0;
+    // Ops
+    UnOpKind unOp = UnOpKind::Not;
+    BinOpKind binOp = BinOpKind::Add;
+    std::vector<ExprPtr> args;
+    // Bits extract
+    unsigned hi = 0, lo = 0;
+};
+
+/** Build a reference expression; width resolved later by the builder
+ *  or by analysis (width 0 = unresolved). */
+ExprPtr ref(const std::string &name, unsigned width = 0);
+/** Build a literal of the given width. Value is truncated to width. */
+ExprPtr lit(uint64_t value, unsigned width);
+ExprPtr unOp(UnOpKind op, ExprPtr a);
+ExprPtr binOp(BinOpKind op, ExprPtr a, ExprPtr b);
+ExprPtr mux(ExprPtr sel, ExprPtr tval, ExprPtr fval);
+ExprPtr bits(ExprPtr a, unsigned hi, unsigned lo);
+ExprPtr cat(ExprPtr hi, ExprPtr lo);
+
+// Convenience wrappers.
+inline ExprPtr eAdd(ExprPtr a, ExprPtr b) { return binOp(BinOpKind::Add, a, b); }
+inline ExprPtr eSub(ExprPtr a, ExprPtr b) { return binOp(BinOpKind::Sub, a, b); }
+inline ExprPtr eMul(ExprPtr a, ExprPtr b) { return binOp(BinOpKind::Mul, a, b); }
+inline ExprPtr eAnd(ExprPtr a, ExprPtr b) { return binOp(BinOpKind::And, a, b); }
+inline ExprPtr eOr(ExprPtr a, ExprPtr b) { return binOp(BinOpKind::Or, a, b); }
+inline ExprPtr eXor(ExprPtr a, ExprPtr b) { return binOp(BinOpKind::Xor, a, b); }
+inline ExprPtr eEq(ExprPtr a, ExprPtr b) { return binOp(BinOpKind::Eq, a, b); }
+inline ExprPtr eNeq(ExprPtr a, ExprPtr b) { return binOp(BinOpKind::Neq, a, b); }
+inline ExprPtr eLt(ExprPtr a, ExprPtr b) { return binOp(BinOpKind::Lt, a, b); }
+inline ExprPtr eGeq(ExprPtr a, ExprPtr b) { return binOp(BinOpKind::Geq, a, b); }
+inline ExprPtr eNot(ExprPtr a) { return unOp(UnOpKind::Not, a); }
+
+/** A module port. */
+struct Port
+{
+    std::string name;
+    PortDir dir;
+    unsigned width;
+};
+
+/** A combinationally-driven named signal. */
+struct Wire
+{
+    std::string name;
+    unsigned width;
+};
+
+/** A register clocked by the implicit clock; starts at @c init. */
+struct Reg
+{
+    std::string name;
+    unsigned width;
+    uint64_t init = 0;
+};
+
+/**
+ * A memory with one combinational read port and one synchronous write
+ * port. Implicit signals: raddr/rdata/waddr/wdata/wen.
+ */
+struct Mem
+{
+    std::string name;
+    unsigned depth;
+    unsigned width;
+};
+
+/** A child module instance. */
+struct Instance
+{
+    std::string name;
+    std::string moduleName;
+};
+
+/**
+ * A single-driver connection: lhs is a sink signal reference (wire,
+ * register next-value, output port, instance input port, memory input
+ * signal); rhs is an expression over source signals.
+ */
+struct Connect
+{
+    std::string lhs;
+    ExprPtr rhs;
+};
+
+/**
+ * A ready-valid (decoupled) interface annotation. Used by
+ * FireRipper's fast-mode boundary transform (Fig. 3c in the paper) to
+ * know where to insert skid buffers and valid&ready gating.
+ *
+ * All port names are relative to the annotated module's ports. When
+ * @c isSource is true the module drives valid/data and consumes ready
+ * (it is the transaction source); otherwise it is the sink.
+ */
+struct ReadyValidBundle
+{
+    std::string name;
+    std::string validPort;
+    std::string readyPort;
+    std::vector<std::string> dataPorts;
+    bool isSource;
+};
+
+/** Kinds of signal a reference can resolve to within a module. */
+enum class SignalKind {
+    InPort, OutPort, Wire, Reg,
+    InstIn, InstOut,
+    MemRAddr, MemRData, MemWAddr, MemWData, MemWEn,
+    Unknown
+};
+
+/** Result of resolving a signal reference within a module. */
+struct SignalInfo
+{
+    SignalKind kind = SignalKind::Unknown;
+    unsigned width = 0;
+};
+
+struct Circuit;
+
+/** A hardware module. */
+struct Module
+{
+    std::string name;
+    std::vector<Port> ports;
+    std::vector<Wire> wires;
+    std::vector<Reg> regs;
+    std::vector<Mem> mems;
+    std::vector<Instance> instances;
+    std::vector<Connect> connects;
+    std::vector<ReadyValidBundle> rvBundles;
+    /** Free-form attributes; used e.g. by the NoC generator to mark
+     *  router nodes ("nocRouter") and layer membership. */
+    std::map<std::string, std::string> attrs;
+
+    const Port *findPort(const std::string &name) const;
+    const Wire *findWire(const std::string &name) const;
+    const Reg *findReg(const std::string &name) const;
+    const Mem *findMem(const std::string &name) const;
+    const Instance *findInstance(const std::string &name) const;
+
+    /**
+     * Resolve a signal reference ("sig" or "owner.field") against this
+     * module. Requires the circuit to look up instance port widths.
+     */
+    SignalInfo resolve(const Circuit &circuit, const std::string &name)
+        const;
+
+    bool hasAttr(const std::string &key) const
+    {
+        return attrs.count(key) != 0;
+    }
+};
+
+/** A whole design: a set of modules and a designated top. */
+struct Circuit
+{
+    std::string topName;
+    std::map<std::string, Module> modules;
+
+    const Module &top() const;
+    Module &top();
+    const Module *findModule(const std::string &name) const;
+    Module *findModule(const std::string &name);
+
+    /** Add a module; fatal() on duplicate name. */
+    Module &addModule(Module m);
+
+    /**
+     * Return module names sorted so that every module appears after
+     * all modules it instantiates (leaves first). Only modules
+     * reachable from the top are included. fatal() on instantiation
+     * cycles or dangling instance references.
+     */
+    std::vector<std::string> topoOrder() const;
+};
+
+/** Split "owner.field" into its two parts; empty owner if no dot. */
+std::pair<std::string, std::string> splitRef(const std::string &name);
+
+/** Collect the names of all Ref leaves in an expression. */
+void collectRefs(const ExprPtr &expr, std::vector<std::string> &out);
+
+/** Rewrite every Ref leaf via the given map (identity if missing). */
+ExprPtr renameRefs(const ExprPtr &expr,
+                   const std::map<std::string, std::string> &renames);
+
+/** Infer the result width of an operator application. */
+unsigned inferUnOpWidth(UnOpKind op, unsigned w);
+unsigned inferBinOpWidth(BinOpKind op, unsigned wa, unsigned wb);
+
+} // namespace fireaxe::firrtl
+
+#endif // FIREAXE_FIRRTL_IR_HH

@@ -1,0 +1,395 @@
+#include "firrtl/parser.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "base/logging.hh"
+#include "firrtl/builder.hh"
+
+namespace fireaxe::firrtl {
+
+namespace {
+
+/** Recursive-descent expression parser over a string cursor. */
+class ExprParser
+{
+  public:
+    ExprParser(const std::string &text, const Circuit &circuit,
+               const Module &mod)
+        : text_(text), circuit_(circuit), mod_(mod)
+    {}
+
+    ExprPtr
+    parse()
+    {
+        ExprPtr e = expr();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after expression");
+        return e;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        fatal("expression parse error at offset ", pos_, " in '",
+              text_, "': ", why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() && std::isspace(text_[pos_]))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(char c)
+    {
+        if (!consume(c))
+            fail(std::string("expected '") + c + "'");
+    }
+
+    std::string
+    ident()
+    {
+        skipWs();
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(text_[pos_]) || text_[pos_] == '_' ||
+                text_[pos_] == '/' || text_[pos_] == '.'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected identifier");
+        return text_.substr(start, pos_ - start);
+    }
+
+    uint64_t
+    number()
+    {
+        skipWs();
+        size_t start = pos_;
+        while (pos_ < text_.size() && std::isdigit(text_[pos_]))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected number");
+        return std::stoull(text_.substr(start, pos_ - start));
+    }
+
+    ExprPtr
+    expr()
+    {
+        std::string head = ident();
+
+        if (head == "UInt") {
+            expect('<');
+            unsigned width = unsigned(number());
+            expect('>');
+            expect('(');
+            uint64_t value = number();
+            expect(')');
+            return lit(value, width);
+        }
+
+        static const std::map<std::string, BinOpKind> bin_ops = {
+            {"add", BinOpKind::Add},   {"sub", BinOpKind::Sub},
+            {"mul", BinOpKind::Mul},   {"div", BinOpKind::Div},
+            {"rem", BinOpKind::Rem},   {"and", BinOpKind::And},
+            {"or", BinOpKind::Or},     {"xor", BinOpKind::Xor},
+            {"eq", BinOpKind::Eq},     {"neq", BinOpKind::Neq},
+            {"lt", BinOpKind::Lt},     {"leq", BinOpKind::Leq},
+            {"gt", BinOpKind::Gt},     {"geq", BinOpKind::Geq},
+            {"dshl", BinOpKind::Shl},  {"dshr", BinOpKind::Shr},
+        };
+        static const std::map<std::string, UnOpKind> un_ops = {
+            {"not", UnOpKind::Not},
+            {"andr", UnOpKind::AndR},
+            {"orr", UnOpKind::OrR},
+            {"xorr", UnOpKind::XorR},
+        };
+
+        skipWs();
+        bool call = pos_ < text_.size() && text_[pos_] == '(';
+        if (!call) {
+            // Signal reference; resolve its width.
+            SignalInfo info = mod_.resolve(circuit_, head);
+            if (info.kind == SignalKind::Unknown)
+                fail("unknown signal '" + head + "'");
+            return ref(head, info.width);
+        }
+
+        expect('(');
+        if (head == "mux") {
+            ExprPtr s = expr();
+            expect(',');
+            ExprPtr t = expr();
+            expect(',');
+            ExprPtr f = expr();
+            expect(')');
+            return mux(s, t, f);
+        }
+        if (head == "bits") {
+            ExprPtr a = expr();
+            expect(',');
+            unsigned hi = unsigned(number());
+            expect(',');
+            unsigned lo = unsigned(number());
+            expect(')');
+            return bits(a, hi, lo);
+        }
+        if (head == "cat") {
+            ExprPtr a = expr();
+            expect(',');
+            ExprPtr b = expr();
+            expect(')');
+            return cat(a, b);
+        }
+        if (auto it = bin_ops.find(head); it != bin_ops.end()) {
+            ExprPtr a = expr();
+            expect(',');
+            ExprPtr b = expr();
+            expect(')');
+            return binOp(it->second, a, b);
+        }
+        if (auto it = un_ops.find(head); it != un_ops.end()) {
+            ExprPtr a = expr();
+            expect(')');
+            return unOp(it->second, a);
+        }
+        fail("unknown operator '" + head + "'");
+    }
+
+    const std::string &text_;
+    const Circuit &circuit_;
+    const Module &mod_;
+    size_t pos_ = 0;
+};
+
+/** Trim leading/trailing whitespace. */
+std::string
+trim(const std::string &s)
+{
+    size_t a = s.find_first_not_of(" \t\r");
+    if (a == std::string::npos)
+        return "";
+    size_t b = s.find_last_not_of(" \t\r");
+    return s.substr(a, b - a + 1);
+}
+
+/** Split on whitespace. */
+std::vector<std::string>
+words(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string w;
+    while (is >> w)
+        out.push_back(w);
+    return out;
+}
+
+/** Parse "UInt<8>" -> 8. */
+unsigned
+parseTypeWidth(const std::string &type, unsigned line_no)
+{
+    if (type.rfind("UInt<", 0) != 0 || type.back() != '>')
+        fatal("line ", line_no, ": bad type '", type, "'");
+    return unsigned(std::stoul(type.substr(5, type.size() - 6)));
+}
+
+struct PendingConnect
+{
+    std::string lhs;
+    std::string rhs;
+    unsigned lineNo;
+};
+
+} // namespace
+
+Circuit
+parseCircuit(std::istream &in)
+{
+    Circuit circuit;
+    Module *mod = nullptr;
+    // Expressions are parsed after all declarations of a module are
+    // known (references may appear before their declarations and
+    // instance ports need the child module's ports).
+    std::map<std::string, std::vector<PendingConnect>> pending;
+
+    std::string raw;
+    unsigned line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string line = trim(raw);
+        if (line.empty())
+            continue;
+
+        auto tokens = words(line);
+        const std::string &kw = tokens[0];
+
+        if (kw == "circuit") {
+            if (tokens.size() < 2)
+                fatal("line ", line_no, ": circuit needs a name");
+            circuit.topName = tokens[1];
+            continue;
+        }
+        if (kw == "module") {
+            if (tokens.size() < 2)
+                fatal("line ", line_no, ": module needs a name");
+            Module m;
+            m.name = tokens[1];
+            mod = &circuit.addModule(std::move(m));
+            continue;
+        }
+        if (!mod)
+            fatal("line ", line_no, ": statement outside a module");
+
+        if (kw == ";") {
+            // Metadata comments emitted by the printer.
+            if (tokens.size() >= 5 && tokens[1] == "attr" &&
+                tokens[3] == "=") {
+                std::string value = tokens[4];
+                for (size_t i = 5; i < tokens.size(); ++i)
+                    value += " " + tokens[i];
+                mod->attrs[tokens[2]] = value;
+            } else if (tokens.size() >= 6 &&
+                       tokens[1] == "ready-valid") {
+                ReadyValidBundle rv;
+                rv.name = tokens[2];
+                rv.isSource = tokens[3] == "(source)";
+                auto field = [&](const std::string &t,
+                                 const char *prefix) {
+                    FIREAXE_ASSERT(t.rfind(prefix, 0) == 0,
+                                   "line ", line_no, " bad rv field ",
+                                   t);
+                    return t.substr(std::string(prefix).size());
+                };
+                rv.validPort = field(tokens[4], "valid=");
+                rv.readyPort = field(tokens[5], "ready=");
+                if (tokens.size() >= 7) {
+                    std::string data =
+                        field(tokens[6], "data=");
+                    FIREAXE_ASSERT(data.size() >= 2 &&
+                                   data.front() == '[' &&
+                                   data.back() == ']');
+                    std::string inner =
+                        data.substr(1, data.size() - 2);
+                    std::istringstream ds(inner);
+                    std::string d;
+                    while (std::getline(ds, d, ','))
+                        if (!d.empty())
+                            rv.dataPorts.push_back(d);
+                }
+                mod->rvBundles.push_back(std::move(rv));
+            }
+            continue;
+        }
+        if (kw == "input" || kw == "output") {
+            // input <name> : UInt<w>
+            if (tokens.size() < 4 || tokens[2] != ":")
+                fatal("line ", line_no, ": bad port declaration");
+            mod->ports.push_back(
+                {tokens[1],
+                 kw == "input" ? PortDir::Input : PortDir::Output,
+                 parseTypeWidth(tokens[3], line_no)});
+            continue;
+        }
+        if (kw == "wire") {
+            if (tokens.size() < 4 || tokens[2] != ":")
+                fatal("line ", line_no, ": bad wire declaration");
+            mod->wires.push_back(
+                {tokens[1], parseTypeWidth(tokens[3], line_no)});
+            continue;
+        }
+        if (kw == "reg") {
+            // reg <name> : UInt<w>, init <v>
+            if (tokens.size() < 6 || tokens[2] != ":" ||
+                tokens[4] != "init")
+                fatal("line ", line_no, ": bad reg declaration");
+            std::string type = tokens[3];
+            if (type.back() == ',')
+                type.pop_back();
+            mod->regs.push_back({tokens[1],
+                                 parseTypeWidth(type, line_no),
+                                 std::stoull(tokens[5])});
+            continue;
+        }
+        if (kw == "mem") {
+            // mem <name> : UInt<w>[depth]
+            if (tokens.size() < 4 || tokens[2] != ":")
+                fatal("line ", line_no, ": bad mem declaration");
+            const std::string &type = tokens[3];
+            auto bracket = type.find('[');
+            if (bracket == std::string::npos || type.back() != ']')
+                fatal("line ", line_no, ": bad mem type '", type,
+                      "'");
+            unsigned width =
+                parseTypeWidth(type.substr(0, bracket), line_no);
+            unsigned depth = unsigned(std::stoul(type.substr(
+                bracket + 1, type.size() - bracket - 2)));
+            mod->mems.push_back({tokens[1], depth, width});
+            continue;
+        }
+        if (kw == "inst") {
+            // inst <name> of <module>
+            if (tokens.size() < 4 || tokens[2] != "of")
+                fatal("line ", line_no, ": bad instance");
+            mod->instances.push_back({tokens[1], tokens[3]});
+            continue;
+        }
+        // Connect: <lhs> <= <expr>
+        auto arrow = line.find("<=");
+        if (arrow == std::string::npos)
+            fatal("line ", line_no, ": unrecognized statement '",
+                  line, "'");
+        pending[mod->name].push_back(
+            {trim(line.substr(0, arrow)),
+             trim(line.substr(arrow + 2)), line_no});
+    }
+
+    if (circuit.topName.empty())
+        fatal("no 'circuit' header found");
+
+    for (auto &[mod_name, connects] : pending) {
+        Module *m = circuit.findModule(mod_name);
+        FIREAXE_ASSERT(m);
+        for (const auto &pc : connects) {
+            ExprParser ep(pc.rhs, circuit, *m);
+            m->connects.push_back({pc.lhs, ep.parse()});
+        }
+    }
+
+    verifyCircuit(circuit);
+    return circuit;
+}
+
+Circuit
+parseCircuitString(const std::string &text)
+{
+    std::istringstream is(text);
+    return parseCircuit(is);
+}
+
+ExprPtr
+parseExpr(const std::string &text, const Circuit &circuit,
+          const Module &mod)
+{
+    ExprParser ep(text, circuit, mod);
+    return ep.parse();
+}
+
+} // namespace fireaxe::firrtl

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Parser for the FIRRTL-flavoured text format emitted by
+ * printer.hh. Together they give the IR a durable on-disk form:
+ * printCircuit() and parseCircuit() round-trip exactly, so designs
+ * can be stored, diffed, and loaded without the builder API — the
+ * role .fir files play for FireSim.
+ */
+
+#ifndef FIREAXE_FIRRTL_PARSER_HH
+#define FIREAXE_FIRRTL_PARSER_HH
+
+#include <istream>
+#include <string>
+
+#include "firrtl/ir.hh"
+
+namespace fireaxe::firrtl {
+
+/**
+ * Parse a circuit from text. fatal() with a line-numbered diagnostic
+ * on syntax errors; the result additionally passes verifyCircuit().
+ */
+Circuit parseCircuit(std::istream &in);
+
+/** Convenience: parse from a string. */
+Circuit parseCircuitString(const std::string &text);
+
+/** Parse one expression (widths must be explicit via UInt<w>(v) for
+ *  literals; reference widths are resolved against @p mod). */
+ExprPtr parseExpr(const std::string &text, const Circuit &circuit,
+                  const Module &mod);
+
+} // namespace fireaxe::firrtl
+
+#endif // FIREAXE_FIRRTL_PARSER_HH

@@ -1,0 +1,141 @@
+#include "firrtl/printer.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace fireaxe::firrtl {
+
+namespace {
+
+const char *
+binOpName(BinOpKind op)
+{
+    switch (op) {
+      case BinOpKind::Add: return "add";
+      case BinOpKind::Sub: return "sub";
+      case BinOpKind::Mul: return "mul";
+      case BinOpKind::Div: return "div";
+      case BinOpKind::Rem: return "rem";
+      case BinOpKind::And: return "and";
+      case BinOpKind::Or:  return "or";
+      case BinOpKind::Xor: return "xor";
+      case BinOpKind::Eq:  return "eq";
+      case BinOpKind::Neq: return "neq";
+      case BinOpKind::Lt:  return "lt";
+      case BinOpKind::Leq: return "leq";
+      case BinOpKind::Gt:  return "gt";
+      case BinOpKind::Geq: return "geq";
+      case BinOpKind::Shl: return "dshl";
+      case BinOpKind::Shr: return "dshr";
+    }
+    panic("unreachable");
+}
+
+const char *
+unOpName(UnOpKind op)
+{
+    switch (op) {
+      case UnOpKind::Not:  return "not";
+      case UnOpKind::AndR: return "andr";
+      case UnOpKind::OrR:  return "orr";
+      case UnOpKind::XorR: return "xorr";
+    }
+    panic("unreachable");
+}
+
+} // namespace
+
+std::string
+printExpr(const ExprPtr &expr)
+{
+    std::ostringstream os;
+    switch (expr->kind) {
+      case ExprKind::Ref:
+        os << expr->name;
+        break;
+      case ExprKind::Literal:
+        os << "UInt<" << expr->width << ">(" << expr->value << ")";
+        break;
+      case ExprKind::UnOp:
+        os << unOpName(expr->unOp) << "(" << printExpr(expr->args[0])
+           << ")";
+        break;
+      case ExprKind::BinOp:
+        os << binOpName(expr->binOp) << "(" << printExpr(expr->args[0])
+           << ", " << printExpr(expr->args[1]) << ")";
+        break;
+      case ExprKind::Mux:
+        os << "mux(" << printExpr(expr->args[0]) << ", "
+           << printExpr(expr->args[1]) << ", "
+           << printExpr(expr->args[2]) << ")";
+        break;
+      case ExprKind::Bits:
+        os << "bits(" << printExpr(expr->args[0]) << ", " << expr->hi
+           << ", " << expr->lo << ")";
+        break;
+      case ExprKind::Cat:
+        os << "cat(" << printExpr(expr->args[0]) << ", "
+           << printExpr(expr->args[1]) << ")";
+        break;
+    }
+    return os.str();
+}
+
+void
+printModule(std::ostream &os, const Circuit &circuit, const Module &mod)
+{
+    (void)circuit;
+    os << "  module " << mod.name << " :\n";
+    for (const auto &[k, v] : mod.attrs)
+        os << "    ; attr " << k << " = " << v << "\n";
+    for (const auto &p : mod.ports) {
+        os << "    " << (p.dir == PortDir::Input ? "input " : "output ")
+           << p.name << " : UInt<" << p.width << ">\n";
+    }
+    for (const auto &w : mod.wires)
+        os << "    wire " << w.name << " : UInt<" << w.width << ">\n";
+    for (const auto &r : mod.regs) {
+        os << "    reg " << r.name << " : UInt<" << r.width
+           << ">, init " << r.init << "\n";
+    }
+    for (const auto &m : mod.mems) {
+        os << "    mem " << m.name << " : UInt<" << m.width << ">["
+           << m.depth << "]\n";
+    }
+    for (const auto &inst : mod.instances) {
+        os << "    inst " << inst.name << " of " << inst.moduleName
+           << "\n";
+    }
+    for (const auto &c : mod.connects)
+        os << "    " << c.lhs << " <= " << printExpr(c.rhs) << "\n";
+    for (const auto &rv : mod.rvBundles) {
+        os << "    ; ready-valid " << rv.name
+           << (rv.isSource ? " (source)" : " (sink)") << " valid="
+           << rv.validPort << " ready=" << rv.readyPort << " data=[";
+        for (size_t i = 0; i < rv.dataPorts.size(); ++i)
+            os << (i ? "," : "") << rv.dataPorts[i];
+        os << "]\n";
+    }
+}
+
+void
+printCircuit(std::ostream &os, const Circuit &circuit)
+{
+    os << "circuit " << circuit.topName << " :\n";
+    for (const auto &name : circuit.topoOrder()) {
+        const Module *m = circuit.findModule(name);
+        printModule(os, circuit, *m);
+        os << "\n";
+    }
+}
+
+std::string
+circuitToString(const Circuit &circuit)
+{
+    std::ostringstream os;
+    printCircuit(os, circuit);
+    return os.str();
+}
+
+} // namespace fireaxe::firrtl

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Text serialization of circuits in a FIRRTL-flavoured syntax. Used
+ * for debugging, golden tests, and FireRipper's partition-feedback
+ * reports.
+ */
+
+#ifndef FIREAXE_FIRRTL_PRINTER_HH
+#define FIREAXE_FIRRTL_PRINTER_HH
+
+#include <ostream>
+#include <string>
+
+#include "firrtl/ir.hh"
+
+namespace fireaxe::firrtl {
+
+/** Render an expression to a string. */
+std::string printExpr(const ExprPtr &expr);
+
+/** Print one module. */
+void printModule(std::ostream &os, const Circuit &circuit,
+                 const Module &mod);
+
+/** Print the whole circuit (topological order, top last). */
+void printCircuit(std::ostream &os, const Circuit &circuit);
+
+/** Convenience: circuit to string. */
+std::string circuitToString(const Circuit &circuit);
+
+} // namespace fireaxe::firrtl
+
+#endif // FIREAXE_FIRRTL_PRINTER_HH

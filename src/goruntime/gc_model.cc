@@ -1,0 +1,137 @@
+#include "goruntime/gc_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace fireaxe::goruntime {
+
+namespace {
+
+/** One garbage-collection cycle's timeline. */
+struct GcCycle
+{
+    double stw1Start = 0.0, stw1End = 0.0;
+    double markStart = 0.0, markEnd = 0.0;
+    double stw2Start = 0.0, stw2End = 0.0;
+};
+
+} // namespace
+
+GoGcResult
+runGoGcBenchmark(const GoGcConfig &cfg)
+{
+    FIREAXE_ASSERT(cfg.gomaxprocs >= 1 &&
+                   cfg.affinityCores >= 1 &&
+                   cfg.affinityCores <= cfg.totalCores);
+
+    Rng rng(0x60c0 + cfg.gomaxprocs * 17 + cfg.affinityCores);
+    Distribution latency;
+
+    bool single = cfg.gomaxprocs == 1;
+    bool pinned = cfg.affinityCores == 1;
+
+    double heap_kb = 0.0;
+    unsigned gc_cycles = 0;
+    GcCycle gc;
+    bool gc_active = false;
+
+    // Effective concurrent-mark duration per mode.
+    auto markDuration = [&]() {
+        if (single) {
+            // All mark work executes on the lone P, interleaved with
+            // the mutator in chunks.
+            return cfg.markWorkUs;
+        }
+        unsigned workers = std::max(1u, cfg.gomaxprocs / 4 + 1);
+        double base = cfg.markWorkUs / workers;
+        if (pinned) {
+            // GC threads timeshare the single core with the mutator:
+            // mark stretches but stays preemptible.
+            return base * 1.6;
+        }
+        return base;
+    };
+
+    double busy_until = 0.0; // mutator thread occupancy
+
+    for (uint64_t i = 0; i < cfg.ticks; ++i) {
+        double sched = double(i) * cfg.tickIntervalUs;
+
+        // Allocation-driven GC trigger.
+        heap_kb += cfg.allocPerTickKb;
+        if (!gc_active && heap_kb >= cfg.gcTriggerMb * 1024.0) {
+            gc_active = true;
+            ++gc_cycles;
+            gc.stw1Start = sched;
+            gc.stw1End = sched + cfg.stwUs;
+            gc.markStart = gc.stw1End;
+            gc.markEnd = gc.markStart + markDuration();
+            gc.stw2Start = gc.markEnd;
+            gc.stw2End = gc.stw2Start + cfg.stwUs;
+            heap_kb = 0.0;
+        }
+        if (gc_active && sched >= gc.stw2End)
+            gc_active = false;
+
+        // --- When can the handler start? ---
+        double start = sched + rng.uniform() * cfg.wakeJitterUs;
+        start = std::max(start, busy_until);
+
+        if (gc_active) {
+            // Stop-the-world phases block every mutator.
+            if (start >= gc.stw1Start && start < gc.stw1End)
+                start = gc.stw1End;
+            if (start >= gc.stw2Start && start < gc.stw2End)
+                start = gc.stw2End;
+
+            bool in_mark = start >= gc.markStart &&
+                           start < gc.markEnd;
+            if (in_mark && single) {
+                // The lone thread is inside a mark chunk; the timer
+                // goroutine cannot run until the chunk yields.
+                double into =
+                    start - gc.markStart;
+                double chunk_end =
+                    gc.markStart +
+                    (std::floor(into / cfg.markChunkUs) + 1.0) *
+                        cfg.markChunkUs;
+                start = std::min(chunk_end, gc.markEnd) +
+                        cfg.preemptUs;
+            } else if (in_mark && pinned) {
+                // Preempt the GC thread sharing our core.
+                start += cfg.preemptUs;
+            } else if (in_mark) {
+                // Cross-core wakeup while mark runs elsewhere.
+                start += cfg.ipiUs;
+            }
+        }
+
+        // --- Handler execution. ---
+        double work = cfg.handlerWorkUs;
+        if (gc_active && start >= gc.markStart &&
+            start < gc.markEnd && !single && !pinned) {
+            // Write-barrier + assist traffic against a mark worker
+            // on another core: every pointer write ping-pongs cache
+            // lines across the coherence fabric.
+            work *= cfg.coherenceFactor;
+        }
+        double end = start + work;
+        busy_until = end;
+
+        latency.sample(end - sched - cfg.handlerWorkUs);
+    }
+
+    GoGcResult result;
+    result.gomaxprocs = cfg.gomaxprocs;
+    result.affinityCores = cfg.affinityCores;
+    result.p95Us = latency.percentile(95.0);
+    result.p99Us = latency.percentile(99.0);
+    result.maxUs = latency.max();
+    result.gcCycles = gc_cycles;
+    return result;
+}
+
+} // namespace fireaxe::goruntime

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Go runtime garbage-collection tail-latency model (Section V-D,
+ * Fig. 10; golang/go issue #18534).
+ *
+ * The benchmark: a main goroutine is woken by a periodic 10 us tick
+ * and allocates heap objects, stressing the collector. The measured
+ * quantity is the tail of the tick-to-handler-completion delay.
+ *
+ * The model reproduces the three regimes the paper reports:
+ *  - GOMAXPROCS=1: every goroutine — including the GC mark worker —
+ *    shares one OS thread, so mark work runs in long, effectively
+ *    non-preemptible chunks that delay the tick handler: very high
+ *    99% tail latency.
+ *  - GOMAXPROCS>1, threads pinned to one core: the runtime puts GC
+ *    work on another thread; the Linux scheduler preempts it quickly
+ *    when the tick fires, and all sharing stays within one cache:
+ *    low tails.
+ *  - GOMAXPROCS>1, threads spread over GOMAXPROCS cores: the GC
+ *    worker runs truly in parallel, but write barriers and assist
+ *    interactions ping-pong cache lines between cores; on an SoC
+ *    with a weak memory subsystem this coherence overhead outweighs
+ *    the parallelism, giving a *higher* tail than pinning — the
+ *    paper's surprising result.
+ */
+
+#ifndef FIREAXE_GORUNTIME_GC_MODEL_HH
+#define FIREAXE_GORUNTIME_GC_MODEL_HH
+
+#include <cstdint>
+
+#include "base/stats.hh"
+
+namespace fireaxe::goruntime {
+
+/** Benchmark and machine parameters. */
+struct GoGcConfig
+{
+    unsigned gomaxprocs = 1;
+    /** Number of cores the CPU-affinity mask allows (1 = pinned). */
+    unsigned affinityCores = 1;
+    unsigned totalCores = 4;
+
+    double tickIntervalUs = 10.0;
+    uint64_t ticks = 200000;
+    double handlerWorkUs = 2.0;
+    /** Baseline scheduler wake jitter (uniform 0..jitter). */
+    double wakeJitterUs = 0.4;
+
+    // Allocation / GC pacing.
+    double allocPerTickKb = 2.5;
+    double gcTriggerMb = 16.0;
+    double stwUs = 50.0;
+    /** Total concurrent mark work per GC cycle. */
+    double markWorkUs = 2500.0;
+    /** Non-preemptible mark chunk on a single-threaded runtime. */
+    double markChunkUs = 300.0;
+    /** Preemption latency when the tick thread must displace a GC
+     *  thread sharing its core. */
+    double preemptUs = 1.2;
+    /** Per-tick slowdown factor while mark runs on another core
+     *  (coherence/write-barrier overhead on a weak memory system). */
+    double coherenceFactor = 2.2;
+    /** Cross-core wakeup (IPI) cost. */
+    double ipiUs = 0.6;
+};
+
+/** Tail-latency results (the Fig. 10 bars). */
+struct GoGcResult
+{
+    unsigned gomaxprocs = 0;
+    unsigned affinityCores = 0;
+    double p95Us = 0.0;
+    double p99Us = 0.0;
+    double maxUs = 0.0;
+    unsigned gcCycles = 0;
+};
+
+/** Run the tick benchmark. Deterministic. */
+GoGcResult runGoGcBenchmark(const GoGcConfig &cfg);
+
+} // namespace fireaxe::goruntime
+
+#endif // FIREAXE_GORUNTIME_GC_MODEL_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Latency-insensitive channel queues (Section II-A of the paper).
+ *
+ * A token is the vector of net values crossing one LI-BDN channel for
+ * one target cycle. Channels are bounded FIFOs; each token carries a
+ * host-time "ready" stamp so that the multi-FPGA executor
+ * (src/platform) can model inter-FPGA link latency and serialization:
+ * a consumer only sees a token once host time has passed its stamp.
+ */
+
+#ifndef FIREAXE_LIBDN_CHANNEL_HH
+#define FIREAXE_LIBDN_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace fireaxe::libdn {
+
+/** One channel's worth of net values for one target cycle. */
+using Token = std::vector<uint64_t>;
+
+/**
+ * Serialization state of one physical link direction. Channels that
+ * share a physical link (e.g. the source and sink channels of an
+ * exact-mode boundary, or all FAME-5 thread channels of one FPGA
+ * pair) share one serializer, so their tokens contend for link
+ * bandwidth.
+ */
+struct LinkSerializer
+{
+    double lastDepart = 0.0;
+};
+
+/**
+ * A bounded latency-insensitive channel queue with host-time stamps.
+ */
+class TokenChannel
+{
+  public:
+    TokenChannel(std::string name, unsigned width_bits,
+                 size_t capacity = 16)
+        : name_(std::move(name)), widthBits_(width_bits),
+          capacity_(capacity)
+    {}
+
+    const std::string &name() const { return name_; }
+    /** Total payload width of one token, in bits. Determines the
+     *  serialization cost on the inter-FPGA link. */
+    unsigned widthBits() const { return widthBits_; }
+
+    bool full() const { return queue_.size() >= capacity_; }
+    bool empty() const { return queue_.empty(); }
+    size_t size() const { return queue_.size(); }
+    size_t capacity() const { return capacity_; }
+
+    /**
+     * Configure the link-timing model applied by enqTimed():
+     * @p ser_time models the serialization occupancy of one token on
+     * the link (ns; tokens depart back-to-back no faster than this),
+     * and @p latency is the flight latency from departure to
+     * visibility at the consumer (ns).
+     */
+    void
+    setTiming(double ser_time, double latency,
+              std::shared_ptr<LinkSerializer> serializer = nullptr)
+    {
+        serTime_ = ser_time;
+        latency_ = latency;
+        if (serializer)
+            serializer_ = std::move(serializer);
+    }
+
+    double serTime() const { return serTime_; }
+    double latency() const { return latency_; }
+
+    /** Enqueue a token that becomes visible at host time
+     *  @p ready_time (ns). */
+    void
+    enq(Token token, double ready_time)
+    {
+        FIREAXE_ASSERT(!full(), "channel '", name_, "' overflow");
+        queue_.push_back({std::move(token), ready_time});
+        ++enqCount_;
+    }
+
+    /**
+     * Enqueue a token produced at host time @p now, applying the
+     * configured serialization + latency model.
+     */
+    void
+    enqTimed(Token token, double now)
+    {
+        double depart = std::max(now, serializer_->lastDepart) +
+                        serTime_;
+        serializer_->lastDepart = depart;
+        enq(std::move(token), depart + latency_);
+    }
+
+    /** Is a token present and visible at host time @p now? */
+    bool
+    headReady(double now) const
+    {
+        return !queue_.empty() && queue_.front().readyTime <= now;
+    }
+
+    /** Earliest time the head token becomes visible; +inf if empty. */
+    double
+    headReadyTime() const
+    {
+        if (queue_.empty())
+            return std::numeric_limits<double>::infinity();
+        return queue_.front().readyTime;
+    }
+
+    const Token &
+    head() const
+    {
+        FIREAXE_ASSERT(!queue_.empty(), "channel '", name_,
+                       "' head of empty queue");
+        return queue_.front().token;
+    }
+
+    void
+    deq()
+    {
+        FIREAXE_ASSERT(!queue_.empty(), "channel '", name_,
+                       "' deq of empty queue");
+        queue_.pop_front();
+    }
+
+    /** Tokens enqueued over the channel's lifetime (statistics). */
+    uint64_t tokensEnqueued() const { return enqCount_; }
+
+  private:
+    struct Entry
+    {
+        Token token;
+        double readyTime;
+    };
+
+    std::string name_;
+    unsigned widthBits_;
+    size_t capacity_;
+    std::deque<Entry> queue_;
+    uint64_t enqCount_ = 0;
+    double serTime_ = 0.0;
+    double latency_ = 0.0;
+    std::shared_ptr<LinkSerializer> serializer_ =
+        std::make_shared<LinkSerializer>();
+};
+
+using ChannelPtr = std::shared_ptr<TokenChannel>;
+
+} // namespace fireaxe::libdn
+
+#endif // FIREAXE_LIBDN_CHANNEL_HH

@@ -1,0 +1,304 @@
+#include "libdn/model.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "passes/flatten.hh"
+
+namespace fireaxe::libdn {
+
+LIBDNModel::LIBDNModel(std::string name, const firrtl::Circuit &circuit,
+                       unsigned num_threads)
+    : name_(std::move(name)), numThreads_(num_threads)
+{
+    FIREAXE_ASSERT(num_threads >= 1);
+    firrtl::Circuit flat = passes::flattenAll(circuit);
+    sim_ = std::make_unique<rtlsim::Simulator>(flat);
+    threads_.resize(numThreads_);
+    if (numThreads_ > 1) {
+        for (auto &th : threads_)
+            sim_->saveState(th.seq);
+    }
+}
+
+unsigned
+LIBDNModel::channelWidth(const ChannelSpec &spec) const
+{
+    unsigned width = 0;
+    for (const auto &port : spec.ports) {
+        int idx = sim_->signalIndex(port);
+        if (idx < 0) {
+            fatal("partition '", name_, "': channel '", spec.name,
+                  "' names unknown port '", port, "'");
+        }
+        width += sim_->signal(idx).width;
+    }
+    return width;
+}
+
+int
+LIBDNModel::defineInputChannel(const ChannelSpec &spec)
+{
+    FIREAXE_ASSERT(!finalized_, "model already finalized");
+    std::vector<int> idx;
+    for (const auto &port : spec.ports) {
+        int sig = sim_->signalIndex(port);
+        if (sig < 0 || sim_->signal(sig).kind != rtlsim::SigKind::Input) {
+            fatal("partition '", name_, "': input channel '", spec.name,
+                  "' port '", port, "' is not an input port");
+        }
+        idx.push_back(sig);
+    }
+    inSpecs_.push_back(spec);
+    inPortIdx_.push_back(std::move(idx));
+    for (auto &th : threads_)
+        th.inChans.resize(inSpecs_.size());
+    return int(inSpecs_.size()) - 1;
+}
+
+int
+LIBDNModel::defineOutputChannel(const ChannelSpec &spec)
+{
+    FIREAXE_ASSERT(!finalized_, "model already finalized");
+    std::vector<int> idx;
+    for (const auto &port : spec.ports) {
+        int sig = sim_->signalIndex(port);
+        if (sig < 0 ||
+            sim_->signal(sig).kind != rtlsim::SigKind::Output) {
+            fatal("partition '", name_, "': output channel '",
+                  spec.name, "' port '", port,
+                  "' is not an output port");
+        }
+        idx.push_back(sig);
+    }
+    outSpecs_.push_back(spec);
+    outPortIdx_.push_back(std::move(idx));
+    for (auto &th : threads_) {
+        th.outChans.resize(outSpecs_.size());
+        th.fired.resize(outSpecs_.size(), false);
+    }
+    return int(outSpecs_.size()) - 1;
+}
+
+void
+LIBDNModel::bindInput(int slot, unsigned thread, ChannelPtr channel)
+{
+    FIREAXE_ASSERT(slot >= 0 && size_t(slot) < inSpecs_.size());
+    FIREAXE_ASSERT(thread < numThreads_);
+    threads_[thread].inChans[slot] = std::move(channel);
+}
+
+void
+LIBDNModel::bindOutput(int slot, unsigned thread, ChannelPtr channel)
+{
+    FIREAXE_ASSERT(slot >= 0 && size_t(slot) < outSpecs_.size());
+    FIREAXE_ASSERT(thread < numThreads_);
+    threads_[thread].outChans[slot] = std::move(channel);
+}
+
+unsigned
+LIBDNModel::inputChannelWidth(int slot) const
+{
+    FIREAXE_ASSERT(slot >= 0 && size_t(slot) < inSpecs_.size());
+    return channelWidth(inSpecs_[slot]);
+}
+
+unsigned
+LIBDNModel::outputChannelWidth(int slot) const
+{
+    FIREAXE_ASSERT(slot >= 0 && size_t(slot) < outSpecs_.size());
+    return channelWidth(outSpecs_[slot]);
+}
+
+void
+LIBDNModel::finalize()
+{
+    FIREAXE_ASSERT(!finalized_);
+
+    // Map each bound input signal to its owning channel slot.
+    std::map<int, int> sigToInChan;
+    for (size_t c = 0; c < inPortIdx_.size(); ++c)
+        for (int sig : inPortIdx_[c])
+            sigToInChan[sig] = int(c);
+
+    // Channel-level dependency sets from the simulator's signal-level
+    // dependency matrix: output channel C depends on input channel D
+    // when any port of C combinationally depends on any port of D.
+    outDeps_.assign(outSpecs_.size(), {});
+    if (forceOutputDeps_) {
+        // Fast-mode (Fig. 3b): one concatenated token out per
+        // concatenated token in, lockstep.
+        for (size_t c = 0; c < outSpecs_.size(); ++c)
+            for (size_t i = 0; i < inSpecs_.size(); ++i)
+                outDeps_[c].insert(int(i));
+    } else {
+        for (size_t c = 0; c < outPortIdx_.size(); ++c) {
+            for (int out_sig : outPortIdx_[c]) {
+                for (int in_sig : sim_->outputDeps(out_sig)) {
+                    auto it = sigToInChan.find(in_sig);
+                    if (it != sigToInChan.end())
+                        outDeps_[c].insert(it->second);
+                }
+            }
+        }
+    }
+
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        const ThreadState &th = threads_[t];
+        for (size_t c = 0; c < inSpecs_.size(); ++c) {
+            if (!th.inChans[c]) {
+                fatal("partition '", name_, "': input channel '",
+                      inSpecs_[c].name, "' unbound for thread ", t);
+            }
+        }
+        for (size_t c = 0; c < outSpecs_.size(); ++c) {
+            if (!th.outChans[c]) {
+                fatal("partition '", name_, "': output channel '",
+                      outSpecs_[c].name, "' unbound for thread ", t);
+            }
+        }
+    }
+    finalized_ = true;
+}
+
+void
+LIBDNModel::seedOutputs(double now)
+{
+    FIREAXE_ASSERT(finalized_, "finalize() before seedOutputs()");
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        ThreadState &th = threads_[t];
+        if (numThreads_ > 1)
+            sim_->loadState(th.seq);
+        sim_->evalComb();
+        for (size_t c = 0; c < outSpecs_.size(); ++c) {
+            Token token;
+            token.reserve(outPortIdx_[c].size());
+            for (int sig : outPortIdx_[c])
+                token.push_back(sim_->peekIdx(sig));
+            th.outChans[c]->enq(std::move(token), now);
+        }
+    }
+}
+
+bool
+LIBDNModel::threadTick(ThreadState &th, double now)
+{
+    // Cheap no-change check: if the channel situation is identical to
+    // the last tick of this thread within the same target cycle, the
+    // FSMs cannot make new progress, so skip the evaluation.
+    std::vector<bool> situation;
+    situation.reserve(th.inChans.size() + th.outChans.size());
+    for (const auto &ch : th.inChans)
+        situation.push_back(ch->headReady(now));
+    for (size_t c = 0; c < th.outChans.size(); ++c)
+        situation.push_back(!th.fired[c] && !th.outChans[c]->full());
+    if (th.situationValid && situation == th.lastSituation)
+        return false;
+    th.lastSituation = situation;
+    th.situationValid = true;
+
+    if (numThreads_ > 1)
+        sim_->loadState(th.seq);
+
+    // Poke values of every visible input token.
+    std::vector<bool> in_avail(th.inChans.size(), false);
+    for (size_t c = 0; c < th.inChans.size(); ++c) {
+        if (th.inChans[c]->headReady(now)) {
+            in_avail[c] = true;
+            const Token &token = th.inChans[c]->head();
+            FIREAXE_ASSERT(token.size() == inPortIdx_[c].size());
+            for (size_t i = 0; i < token.size(); ++i)
+                sim_->pokeIdx(inPortIdx_[c][i], token[i]);
+        }
+    }
+
+    unsigned thread_id = unsigned(&th - threads_.data());
+    if (driver_)
+        driver_(*sim_, thread_id, th.cycle);
+    sim_->evalComb();
+
+    bool progress = false;
+
+    // Output-channel FSMs: fire once all dependencies are visible.
+    for (size_t c = 0; c < th.outChans.size(); ++c) {
+        if (th.fired[c] || th.outChans[c]->full())
+            continue;
+        bool deps_ok = true;
+        for (int dep : outDeps_[c]) {
+            if (!in_avail[dep]) {
+                deps_ok = false;
+                break;
+            }
+        }
+        if (!deps_ok)
+            continue;
+        Token token;
+        token.reserve(outPortIdx_[c].size());
+        for (int sig : outPortIdx_[c])
+            token.push_back(sim_->peekIdx(sig));
+        th.outChans[c]->enqTimed(std::move(token), now);
+        th.fired[c] = true;
+        ++fires_;
+        progress = true;
+    }
+
+    // fireFSM: advance a target cycle when every input channel has a
+    // token and every output channel has fired.
+    bool all_in = std::all_of(in_avail.begin(), in_avail.end(),
+                              [](bool b) { return b; });
+    bool all_fired = std::all_of(th.fired.begin(), th.fired.end(),
+                                 [](bool b) { return b; });
+    if (all_in && all_fired) {
+        if (monitor_)
+            monitor_(*sim_, thread_id, th.cycle);
+        for (auto &ch : th.inChans)
+            ch->deq();
+        sim_->step();
+        ++th.cycle;
+        ++advances_;
+        std::fill(th.fired.begin(), th.fired.end(), false);
+        th.situationValid = false;
+        progress = true;
+        if (numThreads_ > 1)
+            sim_->saveState(th.seq);
+        curThread_ = (curThread_ + 1) % numThreads_;
+    } else if (progress && numThreads_ > 1) {
+        sim_->saveState(th.seq);
+    }
+    if (progress)
+        th.situationValid = false;
+    return progress;
+}
+
+bool
+LIBDNModel::tick(double now)
+{
+    FIREAXE_ASSERT(finalized_, "finalize() before tick()");
+    return threadTick(threads_[curThread_], now);
+}
+
+uint64_t
+LIBDNModel::targetCycle(unsigned thread) const
+{
+    FIREAXE_ASSERT(thread < numThreads_);
+    return threads_[thread].cycle;
+}
+
+uint64_t
+LIBDNModel::minTargetCycle() const
+{
+    uint64_t m = threads_[0].cycle;
+    for (const auto &th : threads_)
+        m = std::min(m, th.cycle);
+    return m;
+}
+
+const std::set<int> &
+LIBDNModel::outputChannelDeps(int slot) const
+{
+    FIREAXE_ASSERT(finalized_ && slot >= 0 &&
+                   size_t(slot) < outDeps_.size());
+    return outDeps_[slot];
+}
+
+} // namespace fireaxe::libdn

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The LI-BDN simulation model: a FAME-1/FAME-5-transformed target
+ * partition (Sections II and VI-B of the paper), executed in software.
+ *
+ * An LIBDNModel wraps one RTL partition (an IR circuit) in the
+ * latency-insensitive machinery of Fig. 1: input/output token
+ * channels attached to groups of boundary ports, a per-output-channel
+ * FSM that fires once all combinationally-connected input channels
+ * hold a token, and a fireFSM that advances the target a cycle when
+ * every input channel has a token and every output channel has fired.
+ *
+ * With numThreads > 1 the model becomes a FAME-5 multi-threaded
+ * simulator: combinational logic (the compiled netlist) is shared
+ * while sequential state is replicated per thread, and a round-robin
+ * scheduler selects which thread's state to update on each host
+ * cycle. This is what FireAxe uses to amortize inter-FPGA
+ * communication latency across duplicate tiles.
+ */
+
+#ifndef FIREAXE_LIBDN_MODEL_HH
+#define FIREAXE_LIBDN_MODEL_HH
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "libdn/channel.hh"
+#include "rtlsim/simulator.hh"
+
+namespace fireaxe::libdn {
+
+/** A named group of boundary ports carried by one LI-BDN channel. */
+struct ChannelSpec
+{
+    std::string name;
+    std::vector<std::string> ports;
+};
+
+/** Drives external (non-channel) input ports of a partition before
+ *  each combinational evaluation. Arguments: simulator, thread id,
+ *  target cycle about to be simulated. */
+using Driver =
+    std::function<void(rtlsim::Simulator &, unsigned, uint64_t)>;
+
+/** Observes a partition after its target cycle's final combinational
+ *  evaluation, just before the state update. Arguments: simulator,
+ *  thread id, target cycle just completed. */
+using Monitor =
+    std::function<void(rtlsim::Simulator &, unsigned, uint64_t)>;
+
+/**
+ * A host-decoupled simulation model of one partition.
+ */
+class LIBDNModel
+{
+  public:
+    /**
+     * @param name      Display name (e.g. "fpga0").
+     * @param circuit   The partition's circuit; flattened internally.
+     * @param num_threads FAME-5 thread count (1 = plain FAME-1).
+     */
+    LIBDNModel(std::string name, const firrtl::Circuit &circuit,
+               unsigned num_threads = 1);
+
+    /** Declare an input channel over the given input ports. Returns
+     *  the channel slot used by bindInput(). */
+    int defineInputChannel(const ChannelSpec &spec);
+    /** Declare an output channel over the given output ports. */
+    int defineOutputChannel(const ChannelSpec &spec);
+
+    /** Attach the concrete queue backing a channel slot for one
+     *  FAME-5 thread. Every slot/thread pair must be bound. */
+    void bindInput(int slot, unsigned thread, ChannelPtr channel);
+    void bindOutput(int slot, unsigned thread, ChannelPtr channel);
+
+    /** Total width in bits of a channel slot's ports. */
+    unsigned inputChannelWidth(int slot) const;
+    unsigned outputChannelWidth(int slot) const;
+
+    void setDriver(Driver driver) { driver_ = std::move(driver); }
+    void setMonitor(Monitor monitor) { monitor_ = std::move(monitor); }
+
+    /**
+     * Fast-mode channel semantics (Section III-A2, Fig. 3b): the
+     * partition produces its single concatenated output token only
+     * as part of advancing a cycle — "each FPGA partition run[s] a
+     * single cycle in parallel before they produce an output token".
+     * Operationally every output channel depends on every input
+     * channel, regardless of the target's combinational structure.
+     * Must be called before finalize().
+     */
+    void forceAllOutputDeps() { forceOutputDeps_ = true; }
+
+    /** Compute channel dependency sets and validate bindings. Must be
+     *  called after all channels are defined and bound. */
+    void finalize();
+
+    /**
+     * Fast-mode seeding (Section III-A2): evaluate each thread's
+     * outputs at reset and push one initial token into every output
+     * channel, so both sides of a combinationally-coupled boundary
+     * can simulate a cycle in parallel.
+     */
+    void seedOutputs(double now);
+
+    /**
+     * Execute one host clock cycle at host time @p now: poke token
+     * values for ready input channels, fire any output channels whose
+     * dependencies are satisfied, and advance the scheduled thread's
+     * target cycle when the fireFSM condition holds.
+     *
+     * @return true if any token moved or a target cycle advanced.
+     */
+    bool tick(double now);
+
+    /** Target cycle count of a thread. */
+    uint64_t targetCycle(unsigned thread = 0) const;
+
+    /** Lowest target cycle across threads (overall progress). */
+    uint64_t minTargetCycle() const;
+
+    const std::string &name() const { return name_; }
+    unsigned numThreads() const { return numThreads_; }
+    rtlsim::Simulator &sim() { return *sim_; }
+    const rtlsim::Simulator &sim() const { return *sim_; }
+
+    /** Number of input/output channel slots. */
+    size_t numInputChannels() const { return inSpecs_.size(); }
+    size_t numOutputChannels() const { return outSpecs_.size(); }
+
+    /** Dependency set of an output channel slot (input slots). */
+    const std::set<int> &outputChannelDeps(int slot) const;
+
+    /** Lifetime statistics (all threads). */
+    uint64_t totalFires() const { return fires_; }
+    uint64_t totalAdvances() const { return advances_; }
+
+  private:
+    struct ThreadState
+    {
+        rtlsim::SeqState seq;
+        std::vector<ChannelPtr> inChans;
+        std::vector<ChannelPtr> outChans;
+        std::vector<bool> fired;
+        uint64_t cycle = 0;
+        // Situation signature for cheap no-change detection.
+        std::vector<bool> lastSituation;
+        bool situationValid = false;
+    };
+
+    unsigned channelWidth(const ChannelSpec &spec) const;
+    bool threadTick(ThreadState &th, double now);
+
+    std::string name_;
+    unsigned numThreads_;
+    std::unique_ptr<rtlsim::Simulator> sim_;
+    Driver driver_;
+    Monitor monitor_;
+
+    std::vector<ChannelSpec> inSpecs_;
+    std::vector<ChannelSpec> outSpecs_;
+    std::vector<std::vector<int>> inPortIdx_;  // per slot: signal idx
+    std::vector<std::vector<int>> outPortIdx_;
+    std::vector<std::set<int>> outDeps_; // out slot -> in slots
+    std::vector<ThreadState> threads_;
+    unsigned curThread_ = 0;
+    bool finalized_ = false;
+    uint64_t fires_ = 0;
+    uint64_t advances_ = 0;
+    bool forceOutputDeps_ = false;
+};
+
+} // namespace fireaxe::libdn
+
+#endif // FIREAXE_LIBDN_MODEL_HH

@@ -1,0 +1,79 @@
+#include "mem/cache.hh"
+
+namespace fireaxe::mem {
+
+WayPartitionedCache::WayPartitionedCache(const CacheConfig &cfg)
+    : cfg_(cfg)
+{
+    FIREAXE_ASSERT(cfg.ways >= 2 && cfg.ioWays >= 1 &&
+                   cfg.ioWays < cfg.ways,
+                   "bad way partition: ", cfg.ioWays, "/", cfg.ways);
+    uint64_t lines = cfg.sizeBytes / cfg.lineBytes;
+    FIREAXE_ASSERT(lines % cfg.ways == 0);
+    sets_ = lines / cfg.ways;
+    FIREAXE_ASSERT((sets_ & (sets_ - 1)) == 0,
+                   "set count must be a power of two");
+    lines_.resize(lines);
+}
+
+AccessResult
+WayPartitionedCache::access(uint64_t addr, bool write, WayClass cls,
+                            uint64_t time)
+{
+    uint64_t line_addr = addr / cfg_.lineBytes;
+    uint64_t set = line_addr & (sets_ - 1);
+    uint64_t tag = line_addr >> 1; // full line address as tag is fine
+    Line *set_base = &lines_[set * cfg_.ways];
+
+    AccessResult result;
+    // Hits may be found in any way.
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        Line &line = set_base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = time;
+            line.dirty = line.dirty || write;
+            ++hits_;
+            result.hit = true;
+            return result;
+        }
+    }
+
+    // Miss: allocate within the class's way partition only.
+    ++misses_;
+    unsigned lo = cls == WayClass::Io ? 0 : cfg_.ioWays;
+    unsigned hi = cls == WayClass::Io ? cfg_.ioWays : cfg_.ways;
+    Line *victim = &set_base[lo];
+    for (unsigned w = lo; w < hi; ++w) {
+        Line &line = set_base[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    if (victim->valid && victim->dirty) {
+        result.writeback = true;
+        ++writebacks_;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = write;
+    victim->lastUse = time;
+    return result;
+}
+
+bool
+WayPartitionedCache::probe(uint64_t addr) const
+{
+    uint64_t line_addr = addr / cfg_.lineBytes;
+    uint64_t set = line_addr & (sets_ - 1);
+    uint64_t tag = line_addr >> 1;
+    const Line *set_base = &lines_[set * cfg_.ways];
+    for (unsigned w = 0; w < cfg_.ways; ++w)
+        if (set_base[w].valid && set_base[w].tag == tag)
+            return true;
+    return false;
+}
+
+} // namespace fireaxe::mem

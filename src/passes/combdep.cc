@@ -1,0 +1,180 @@
+#include "passes/combdep.hh"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+#include "base/logging.hh"
+
+namespace fireaxe::passes {
+
+using firrtl::Circuit;
+using firrtl::Module;
+using firrtl::PortDir;
+using firrtl::SignalKind;
+
+CombDepAnalysis::CombDepAnalysis(const Circuit &circuit)
+{
+    // Bottom-up: children are analyzed before their parents so that
+    // instance edges can be derived from child summaries.
+    for (const auto &name : circuit.topoOrder())
+        analyzeModule(circuit, *circuit.findModule(name));
+}
+
+void
+CombDepAnalysis::analyzeModule(const Circuit &circuit, const Module &mod)
+{
+    ModuleGraph graph;
+
+    auto addEdge = [&](const std::string &from, const std::string &to) {
+        graph.fwd[from].insert(to);
+    };
+
+    // Connect statements: the sink depends on every referenced source,
+    // except when the sink is a register (sequential barrier) or a
+    // memory write-port signal (writes land on the next clock edge).
+    for (const auto &c : mod.connects) {
+        SignalKind lhs_kind = mod.resolve(circuit, c.lhs).kind;
+        bool sequential_sink =
+            lhs_kind == SignalKind::Reg ||
+            lhs_kind == SignalKind::MemWAddr ||
+            lhs_kind == SignalKind::MemWData ||
+            lhs_kind == SignalKind::MemWEn;
+        if (sequential_sink)
+            continue;
+        std::vector<std::string> refs;
+        collectRefs(c.rhs, refs);
+        for (const auto &r : refs) {
+            SignalKind src_kind = mod.resolve(circuit, r).kind;
+            // Registers and memory read data... rdata IS combinational
+            // (comb-read memory); registers are not sources of comb
+            // dependence on inputs by themselves, but an edge from a
+            // reg hurts nothing: regs have no incoming comb edges.
+            (void)src_kind;
+            addEdge(r, c.lhs);
+        }
+    }
+
+    // Memories: combinational read path raddr -> rdata.
+    for (const auto &m : mod.mems)
+        addEdge(m.name + ".raddr", m.name + ".rdata");
+
+    // Instances: edges from the child's input ports to the output
+    // ports that the child's summary says are combinationally
+    // dependent on them.
+    for (const auto &inst : mod.instances) {
+        const PortDeps &child = forModule(inst.moduleName);
+        for (const auto &[out, ins] : child.deps) {
+            for (const auto &in : ins) {
+                addEdge(inst.name + "." + in, inst.name + "." + out);
+            }
+        }
+    }
+
+    // Detect combinational loops (would make the module
+    // unsimulatable) with an iterative DFS.
+    {
+        std::map<std::string, int> state; // 0 new, 1 visiting, 2 done
+        std::function<void(const std::string &)> dfs =
+            [&](const std::string &node) {
+                state[node] = 1;
+                auto it = graph.fwd.find(node);
+                if (it != graph.fwd.end()) {
+                    for (const auto &next : it->second) {
+                        int s = state.count(next) ? state[next] : 0;
+                        if (s == 1) {
+                            fatal("module '", mod.name,
+                                  "': combinational loop through '",
+                                  node, "' -> '", next, "'");
+                        }
+                        if (s == 0)
+                            dfs(next);
+                    }
+                }
+                state[node] = 2;
+            };
+        for (const auto &[node, _] : graph.fwd) {
+            if (!state.count(node) || state[node] == 0)
+                dfs(node);
+        }
+    }
+
+    // Forward BFS from each input port; record reached output ports.
+    PortDeps summary;
+    for (const auto &p : mod.ports)
+        if (p.dir == PortDir::Output)
+            summary.deps[p.name]; // ensure entry exists (maybe empty)
+
+    for (const auto &p : mod.ports) {
+        if (p.dir != PortDir::Input)
+            continue;
+        std::set<std::string> seen{p.name};
+        std::deque<std::string> work{p.name};
+        while (!work.empty()) {
+            std::string cur = work.front();
+            work.pop_front();
+            auto it = graph.fwd.find(cur);
+            if (it == graph.fwd.end())
+                continue;
+            for (const auto &next : it->second) {
+                if (seen.insert(next).second)
+                    work.push_back(next);
+            }
+        }
+        for (const auto &q : mod.ports) {
+            if (q.dir == PortDir::Output && seen.count(q.name))
+                summary.deps[q.name].insert(p.name);
+        }
+    }
+
+    graphs_[mod.name] = std::move(graph);
+    summaries_[mod.name] = std::move(summary);
+}
+
+const PortDeps &
+CombDepAnalysis::forModule(const std::string &name) const
+{
+    auto it = summaries_.find(name);
+    if (it == summaries_.end())
+        fatal("no combinational summary for module '", name, "'");
+    return it->second;
+}
+
+std::vector<std::string>
+CombDepAnalysis::combPath(const std::string &module_name,
+                          const std::string &from_input,
+                          const std::string &to_output) const
+{
+    auto git = graphs_.find(module_name);
+    if (git == graphs_.end())
+        fatal("no combinational graph for module '", module_name, "'");
+    const ModuleGraph &graph = git->second;
+
+    // BFS with parent tracking for a shortest diagnostic path.
+    std::map<std::string, std::string> parent;
+    std::deque<std::string> work{from_input};
+    parent[from_input] = "";
+    while (!work.empty()) {
+        std::string cur = work.front();
+        work.pop_front();
+        if (cur == to_output) {
+            std::vector<std::string> path;
+            for (std::string n = cur; !n.empty(); n = parent[n])
+                path.push_back(n);
+            std::reverse(path.begin(), path.end());
+            return path;
+        }
+        auto it = graph.fwd.find(cur);
+        if (it == graph.fwd.end())
+            continue;
+        for (const auto &next : it->second) {
+            if (!parent.count(next)) {
+                parent[next] = cur;
+                work.push_back(next);
+            }
+        }
+    }
+    return {};
+}
+
+} // namespace fireaxe::passes

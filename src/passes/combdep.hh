@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Port-level combinational dependency analysis.
+ *
+ * Implements the analysis of Section III-A1 of the FireAxe paper:
+ * FireRipper "topologically sorts the modules according to their
+ * position in the module hierarchy [then] traverses the FIRRTL AST of
+ * each module identifying statements that are combinationally
+ * dependent on each other. Once this is done for a module, it can
+ * identify the output ports of the module that are combinationally
+ * dependent on its input ports."
+ *
+ * The summaries are used to (a) split partition-boundary ports into
+ * sink ports (combinationally dependent on inputs) and source ports,
+ * (b) verify the exact-mode dependency-chain-length bound, and (c)
+ * schedule LI-BDN output-channel FSMs.
+ */
+
+#ifndef FIREAXE_PASSES_COMBDEP_HH
+#define FIREAXE_PASSES_COMBDEP_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "firrtl/ir.hh"
+
+namespace fireaxe::passes {
+
+/** Per-module summary: output port -> set of input ports it
+ *  combinationally depends on. Outputs with empty sets are source
+ *  ports in the paper's terminology; others are sink ports. */
+struct PortDeps
+{
+    std::map<std::string, std::set<std::string>> deps;
+
+    bool
+    isSinkOutput(const std::string &out) const
+    {
+        auto it = deps.find(out);
+        return it != deps.end() && !it->second.empty();
+    }
+};
+
+/**
+ * Computes and caches port-level dependency summaries for every module
+ * in a circuit (bottom-up over the instantiation order). fatal()s on
+ * intra-module combinational loops.
+ */
+class CombDepAnalysis
+{
+  public:
+    explicit CombDepAnalysis(const firrtl::Circuit &circuit);
+
+    /** Summary for a module by name; fatal() if unknown. */
+    const PortDeps &forModule(const std::string &name) const;
+
+    /**
+     * A combinational path between two signals of one module, used
+     * for compiler diagnostics ("the chain of combinational ports
+     * that caused the termination", §III-A1). Signals are listed
+     * source-first. Empty if no path exists.
+     */
+    std::vector<std::string> combPath(const std::string &module_name,
+                                      const std::string &from_input,
+                                      const std::string &to_output) const;
+
+  private:
+    struct ModuleGraph
+    {
+        // adjacency: signal -> combinationally-driven signals
+        std::map<std::string, std::set<std::string>> fwd;
+    };
+
+    void analyzeModule(const firrtl::Circuit &circuit,
+                       const firrtl::Module &mod);
+
+    std::map<std::string, PortDeps> summaries_;
+    std::map<std::string, ModuleGraph> graphs_;
+};
+
+} // namespace fireaxe::passes
+
+#endif // FIREAXE_PASSES_COMBDEP_HH

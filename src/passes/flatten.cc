@@ -1,0 +1,181 @@
+#include "passes/flatten.hh"
+
+#include <functional>
+
+#include "base/logging.hh"
+
+namespace fireaxe::passes {
+
+using firrtl::Circuit;
+using firrtl::Connect;
+using firrtl::Expr;
+using firrtl::ExprKind;
+using firrtl::ExprPtr;
+using firrtl::Module;
+using firrtl::splitRef;
+
+namespace {
+
+/** Rewrite every Ref leaf through @p fn. */
+ExprPtr
+rewriteRefs(const ExprPtr &expr,
+            const std::function<std::string(const std::string &)> &fn)
+{
+    if (expr->kind == ExprKind::Ref)
+        return firrtl::ref(fn(expr->name), expr->width);
+    if (expr->args.empty())
+        return expr;
+    auto e = std::make_shared<Expr>(*expr);
+    for (auto &arg : e->args)
+        arg = rewriteRefs(arg, fn);
+    return e;
+}
+
+class Flattener
+{
+  public:
+    Flattener(const Circuit &src, const KeepPredicate &keep)
+        : src_(src), keep_(keep)
+    {}
+
+    Circuit
+    run()
+    {
+        Circuit out;
+        const Module &top = src_.top();
+
+        Module flat;
+        flat.name = top.name + "_flat";
+        flat.ports = top.ports;
+        flat.attrs = top.attrs;
+        flat.rvBundles = top.rvBundles;
+        flat_ = &flat;
+
+        inlineModule(top, "");
+
+        out.topName = flat.name;
+        out.addModule(std::move(flat));
+        for (auto &[name, mod] : kept_modules_)
+            out.addModule(std::move(mod));
+        return out;
+    }
+
+  private:
+    std::string
+    mangle(const std::string &path, const std::string &name) const
+    {
+        return path.empty() ? name : path + "/" + name;
+    }
+
+    /** Recursively copy a kept module definition (and children). */
+    void
+    copyModuleDef(const std::string &module_name)
+    {
+        if (kept_modules_.count(module_name))
+            return;
+        const Module *m = src_.findModule(module_name);
+        FIREAXE_ASSERT(m, "unknown module ", module_name);
+        kept_modules_.emplace(module_name, *m);
+        for (const auto &inst : m->instances)
+            copyModuleDef(inst.moduleName);
+    }
+
+    void
+    inlineModule(const Module &mod, const std::string &path)
+    {
+        bool is_top = path.empty();
+
+        // Non-top ports become wires carrying the boundary values.
+        if (!is_top) {
+            for (const auto &p : mod.ports)
+                flat_->wires.push_back({mangle(path, p.name), p.width});
+        }
+        for (const auto &w : mod.wires)
+            flat_->wires.push_back({mangle(path, w.name), w.width});
+        for (const auto &r : mod.regs)
+            flat_->regs.push_back(
+                {mangle(path, r.name), r.width, r.init});
+        for (const auto &m : mod.mems)
+            flat_->mems.push_back(
+                {mangle(path, m.name), m.depth, m.width});
+
+        // Decide instance fates before rewriting connects.
+        std::set<std::string> kept_here;
+        for (const auto &inst : mod.instances) {
+            std::string child_path = mangle(path, inst.name);
+            if (keep_(child_path)) {
+                kept_here.insert(inst.name);
+                flat_->instances.push_back(
+                    {child_path, inst.moduleName});
+                copyModuleDef(inst.moduleName);
+            }
+        }
+
+        auto renameSignal = [&](const std::string &name) -> std::string {
+            auto [owner, field] = splitRef(name);
+            if (owner.empty()) {
+                // Local signal; top port names stay as-is.
+                if (is_top && mod.findPort(field))
+                    return field;
+                return mangle(path, field);
+            }
+            if (mod.findMem(owner))
+                return mangle(path, owner) + "." + field;
+            const firrtl::Instance *inst = mod.findInstance(owner);
+            FIREAXE_ASSERT(inst, "unknown ref owner '", owner,
+                           "' in module ", mod.name);
+            std::string child_path = mangle(path, owner);
+            if (kept_here.count(owner))
+                return child_path + "." + field; // instance port
+            return child_path + "/" + field;     // inlined wire
+        };
+
+        for (const auto &c : mod.connects) {
+            Connect fc;
+            fc.lhs = renameSignal(c.lhs);
+            fc.rhs = rewriteRefs(c.rhs, renameSignal);
+            flat_->connects.push_back(std::move(fc));
+        }
+
+        // Recurse into inlined children.
+        for (const auto &inst : mod.instances) {
+            if (kept_here.count(inst.name))
+                continue;
+            const Module *child = src_.findModule(inst.moduleName);
+            FIREAXE_ASSERT(child, "unknown module ", inst.moduleName);
+            inlineModule(*child, mangle(path, inst.name));
+        }
+    }
+
+    const Circuit &src_;
+    const KeepPredicate &keep_;
+    Module *flat_ = nullptr;
+    std::map<std::string, Module> kept_modules_;
+};
+
+} // namespace
+
+Circuit
+flattenCircuit(const Circuit &circuit, const KeepPredicate &keep)
+{
+    Flattener f(circuit, keep);
+    return f.run();
+}
+
+Circuit
+flattenAll(const Circuit &circuit)
+{
+    return flattenCircuit(circuit,
+                          [](const std::string &) { return false; });
+}
+
+Circuit
+flattenExcept(const Circuit &circuit,
+              const std::set<std::string> &keep_paths)
+{
+    return flattenCircuit(circuit, [&](const std::string &path) {
+        return keep_paths.count(path) != 0;
+    });
+}
+
+} // namespace fireaxe::passes

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Hierarchy flattening / selective inlining.
+ *
+ * Two users:
+ *  - src/rtlsim flattens the entire hierarchy to build its netlist
+ *    interpreter (keep-nothing);
+ *  - FireRipper's Reparent step (Fig. 5 of the paper) inlines every
+ *    module *except* the user-selected partition instances, which
+ *    thereby float up to the top of the module hierarchy with their
+ *    I/O connectivity preserved ("I/O ports are punched out as
+ *    necessary").
+ *
+ * Inlined signal names are mangled with '/' separators, e.g. register
+ * "head" of instance "q0" inside instance "tile2" becomes
+ * "tile2/q0/head". Kept instances are renamed to their full path
+ * ("tile2/q0") and become direct children of the flat top.
+ */
+
+#ifndef FIREAXE_PASSES_FLATTEN_HH
+#define FIREAXE_PASSES_FLATTEN_HH
+
+#include <functional>
+#include <set>
+#include <string>
+
+#include "firrtl/ir.hh"
+
+namespace fireaxe::passes {
+
+/**
+ * Predicate deciding whether an instance subtree is kept as an
+ * instance (true) or inlined (false). The argument is the full
+ * instance path from the top, '/'-separated (e.g. "subsys/tile0").
+ */
+using KeepPredicate = std::function<bool(const std::string &path)>;
+
+/**
+ * Flatten the circuit's top module, inlining every instance subtree
+ * for which @p keep returns false. The returned circuit has a new
+ * top module named "<top>_flat" containing only wires, registers,
+ * memories, connects, and the kept instances; the module definitions
+ * of kept instances are copied over unchanged (recursively).
+ */
+firrtl::Circuit flattenCircuit(const firrtl::Circuit &circuit,
+                               const KeepPredicate &keep);
+
+/** Flatten everything (keep no instances). */
+firrtl::Circuit flattenAll(const firrtl::Circuit &circuit);
+
+/**
+ * Flatten keeping exactly the given instance paths (and their
+ * subtrees) as instances.
+ */
+firrtl::Circuit flattenExcept(const firrtl::Circuit &circuit,
+                              const std::set<std::string> &keep_paths);
+
+} // namespace fireaxe::passes
+
+#endif // FIREAXE_PASSES_FLATTEN_HH

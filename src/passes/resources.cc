@@ -1,0 +1,132 @@
+#include "passes/resources.hh"
+
+#include <map>
+
+#include "base/bits.hh"
+#include "base/logging.hh"
+
+namespace fireaxe::passes {
+
+using firrtl::Circuit;
+using firrtl::Expr;
+using firrtl::ExprKind;
+using firrtl::ExprPtr;
+using firrtl::Module;
+
+namespace {
+
+/** LUT cost of one expression tree. Costs are per-bit heuristics:
+ *  a 6-input LUT implements ~1 bit of add/compare, ~2-3 bits of
+ *  plain logic, and multipliers cost quadratically (DSPs are not
+ *  modelled separately; they show up as a large LUT-equivalent). */
+uint64_t
+exprLuts(const ExprPtr &e)
+{
+    uint64_t cost = 0;
+    switch (e->kind) {
+      case ExprKind::Ref:
+      case ExprKind::Literal:
+        break;
+      case ExprKind::UnOp:
+        cost = (e->args[0]->width + 2) / 3;
+        break;
+      case ExprKind::BinOp:
+        switch (e->binOp) {
+          case firrtl::BinOpKind::Add:
+          case firrtl::BinOpKind::Sub:
+            cost = e->width;
+            break;
+          case firrtl::BinOpKind::Mul:
+            cost = uint64_t(e->args[0]->width) * e->args[1]->width / 2;
+            break;
+          case firrtl::BinOpKind::Div:
+          case firrtl::BinOpKind::Rem:
+            cost = uint64_t(e->args[0]->width) * e->args[1]->width;
+            break;
+          case firrtl::BinOpKind::Eq:
+          case firrtl::BinOpKind::Neq:
+          case firrtl::BinOpKind::Lt:
+          case firrtl::BinOpKind::Leq:
+          case firrtl::BinOpKind::Gt:
+          case firrtl::BinOpKind::Geq:
+            cost = std::max(e->args[0]->width, e->args[1]->width);
+            break;
+          case firrtl::BinOpKind::Shl:
+          case firrtl::BinOpKind::Shr:
+            // Dynamic barrel shifter: width * log2(width) muxes.
+            cost = uint64_t(e->width) * bitsNeeded(e->width);
+            break;
+          default:
+            cost = (e->width + 2) / 3;
+            break;
+        }
+        break;
+      case ExprKind::Mux:
+        cost = (e->width + 1) / 2;
+        break;
+      case ExprKind::Bits:
+      case ExprKind::Cat:
+        break; // pure wiring
+    }
+    for (const auto &arg : e->args)
+        cost += exprLuts(arg);
+    return cost;
+}
+
+ResourceEstimate
+moduleLocal(const Module &mod)
+{
+    ResourceEstimate est;
+    for (const auto &r : mod.regs)
+        est.flipFlops += r.width;
+    for (const auto &m : mod.mems) {
+        uint64_t bits = uint64_t(m.depth) * m.width;
+        est.brams += ceilDiv(bits, 36 * 1024);
+        // Address decode / read mux overhead for small memories that
+        // would be LUTRAM in practice.
+        est.luts += ceilDiv(bits, 64);
+    }
+    for (const auto &c : mod.connects)
+        est.luts += exprLuts(c.rhs);
+    return est;
+}
+
+} // namespace
+
+ResourceEstimate
+estimateResources(const Circuit &circuit, const std::string &module_name)
+{
+    // Bottom-up accumulation over the instantiation DAG, memoized.
+    std::map<std::string, ResourceEstimate> memo;
+    for (const auto &name : circuit.topoOrder()) {
+        const Module *m = circuit.findModule(name);
+        ResourceEstimate est = moduleLocal(*m);
+        for (const auto &inst : m->instances) {
+            auto it = memo.find(inst.moduleName);
+            if (it != memo.end())
+                est += it->second;
+        }
+        memo[name] = est;
+    }
+    auto it = memo.find(module_name);
+    if (it == memo.end()) {
+        // Module not reachable from top: analyze its subtree directly.
+        const Module *m = circuit.findModule(module_name);
+        if (!m)
+            fatal("estimateResources: unknown module '", module_name,
+                  "'");
+        ResourceEstimate est = moduleLocal(*m);
+        for (const auto &inst : m->instances)
+            est += estimateResources(circuit, inst.moduleName);
+        return est;
+    }
+    return it->second;
+}
+
+ResourceEstimate
+estimateResources(const Circuit &circuit)
+{
+    return estimateResources(circuit, circuit.topName);
+}
+
+} // namespace fireaxe::passes

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * FPGA resource estimation from the RTL-level circuit representation.
+ *
+ * Section VIII-B of the paper proposes that FireRipper "make rough
+ * per-FPGA resource consumption estimates based on the RTL-level
+ * circuit representation to provide users quick feedback about
+ * whether the partition will fit on an FPGA or not". This pass
+ * implements that estimator: it walks a module hierarchy and charges
+ * LUTs for combinational operators (scaled by bit width), flip-flops
+ * for register bits, and BRAM tiles for memories.
+ *
+ * The absolute numbers are coarse by design; what matters is the
+ * relative comparison against an FpgaModel's capacity (src/platform).
+ */
+
+#ifndef FIREAXE_PASSES_RESOURCES_HH
+#define FIREAXE_PASSES_RESOURCES_HH
+
+#include <cstdint>
+#include <string>
+
+#include "firrtl/ir.hh"
+
+namespace fireaxe::passes {
+
+/** Estimated FPGA resource consumption of a module subtree. */
+struct ResourceEstimate
+{
+    uint64_t luts = 0;
+    uint64_t flipFlops = 0;
+    uint64_t brams = 0; // 36 kbit tiles
+
+    ResourceEstimate &
+    operator+=(const ResourceEstimate &other)
+    {
+        luts += other.luts;
+        flipFlops += other.flipFlops;
+        brams += other.brams;
+        return *this;
+    }
+
+    ResourceEstimate
+    operator*(uint64_t n) const
+    {
+        return {luts * n, flipFlops * n, brams * n};
+    }
+};
+
+/**
+ * Estimate resources of @p module_name including all children
+ * (multiplied by instantiation count).
+ */
+ResourceEstimate estimateResources(const firrtl::Circuit &circuit,
+                                   const std::string &module_name);
+
+/** Estimate resources of the whole design (top module subtree). */
+ResourceEstimate estimateResources(const firrtl::Circuit &circuit);
+
+} // namespace fireaxe::passes
+
+#endif // FIREAXE_PASSES_RESOURCES_HH

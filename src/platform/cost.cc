@@ -1,0 +1,34 @@
+#include "platform/cost.hh"
+
+#include "base/logging.hh"
+
+namespace fireaxe::platform {
+
+CampaignCost
+projectCampaign(double cloud_sim_hours, unsigned fpgas,
+                const DeploymentCosts &costs)
+{
+    FIREAXE_ASSERT(cloud_sim_hours >= 0.0 && fpgas >= 1);
+    CampaignCost out;
+    out.cloudHours = cloud_sim_hours;
+    out.onPremHours = cloud_sim_hours / costs.onPremSpeedup;
+
+    out.cloudUsd =
+        cloud_sim_hours * fpgas * costs.cloudUsdPerFpgaHour;
+    out.onPremUsd = fpgas * costs.onPremUpfrontUsdPerFpga +
+                    out.onPremHours * fpgas *
+                        costs.onPremPowerUsdPerFpgaHour;
+
+    // Break-even: cloud spend equals the upfront investment (power
+    // cost folded into the effective hourly delta).
+    double hourly_delta =
+        costs.cloudUsdPerFpgaHour -
+        costs.onPremPowerUsdPerFpgaHour / costs.onPremSpeedup;
+    out.breakEvenHours =
+        hourly_delta > 0.0
+            ? costs.onPremUpfrontUsdPerFpga / hourly_delta
+            : 0.0;
+    return out;
+}
+
+} // namespace fireaxe::platform

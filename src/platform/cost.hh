@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The hybrid cloud/on-premises usage model of Section VIII-A.
+ *
+ * "When deciding between cloud and on-premises FPGAs, three key
+ * factors stand out": cost (cloud is pay-by-the-hour, on-prem is an
+ * upfront investment), capacity (a U250 offers ~50% more usable
+ * LUTs than a cloud VU9P because of the fixed shell), and
+ * performance (QSFP beats PCIe p2p). The paper advocates developing
+ * on-premises and bursting benchmark campaigns to the cloud.
+ *
+ * This model quantifies the trade-off: given a campaign of
+ * simulation-hours, it reports the cost and wall-clock of each
+ * deployment and the break-even point.
+ */
+
+#ifndef FIREAXE_PLATFORM_COST_HH
+#define FIREAXE_PLATFORM_COST_HH
+
+#include <cstdint>
+
+namespace fireaxe::platform {
+
+/** Deployment cost parameters (2024-era list prices). */
+struct DeploymentCosts
+{
+    /** On-prem: boards + host server, amortized upfront. */
+    double onPremUpfrontUsdPerFpga = 9000.0;
+    double onPremPowerUsdPerFpgaHour = 0.06;
+    /** Cloud: f1.2xlarge-equivalent hourly price per FPGA. */
+    double cloudUsdPerFpgaHour = 1.65;
+    /** QSFP on-prem vs PCIe-p2p cloud simulation-rate ratio. */
+    double onPremSpeedup = 1.5;
+};
+
+/** One campaign's cost/latency projection. */
+struct CampaignCost
+{
+    double onPremUsd = 0.0;
+    double cloudUsd = 0.0;
+    double onPremHours = 0.0;
+    double cloudHours = 0.0;
+    /** Cloud simulation-hours at which buying boards pays off. */
+    double breakEvenHours = 0.0;
+};
+
+/**
+ * Project costs for a campaign needing @p cloud_sim_hours of
+ * simulation on @p fpgas cloud FPGAs (the on-prem variant finishes
+ * faster by the speedup factor).
+ */
+CampaignCost projectCampaign(double cloud_sim_hours, unsigned fpgas,
+                             const DeploymentCosts &costs = {});
+
+} // namespace fireaxe::platform
+
+#endif // FIREAXE_PLATFORM_COST_HH

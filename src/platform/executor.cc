@@ -1,0 +1,269 @@
+#include "platform/executor.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "base/logging.hh"
+#include "passes/flatten.hh"
+#include "rtlsim/simulator.hh"
+
+namespace fireaxe::platform {
+
+using libdn::ChannelPtr;
+using libdn::LIBDNModel;
+using libdn::TokenChannel;
+using ripper::PartitionMode;
+
+MultiFpgaSim::MultiFpgaSim(const ripper::PartitionPlan &plan,
+                           std::vector<FpgaSpec> fpgas,
+                           const transport::LinkParams &link)
+    : plan_(plan), fpgas_(std::move(fpgas)), link_(link)
+{
+    if (fpgas_.size() != plan_.partitions.size()) {
+        fatal("MultiFpgaSim: ", plan_.partitions.size(),
+              " partitions but ", fpgas_.size(), " FPGA specs");
+    }
+    drivers_.resize(plan_.partitions.size());
+    monitors_.resize(plan_.partitions.size());
+}
+
+void
+MultiFpgaSim::setDriver(int part, libdn::Driver driver)
+{
+    FIREAXE_ASSERT(!initialized_, "setDriver before init");
+    drivers_.at(part) = std::move(driver);
+}
+
+void
+MultiFpgaSim::setMonitor(int part, libdn::Monitor monitor)
+{
+    FIREAXE_ASSERT(!initialized_, "setMonitor before init");
+    monitors_.at(part) = std::move(monitor);
+}
+
+void
+MultiFpgaSim::attachVcd(int part, std::ostream &os)
+{
+    FIREAXE_ASSERT(!initialized_, "attachVcd before init");
+    vcdStreams_.resize(plan_.partitions.size(), nullptr);
+    vcdStreams_.at(part) = &os;
+}
+
+void
+MultiFpgaSim::init()
+{
+    FIREAXE_ASSERT(!initialized_);
+    vcdStreams_.resize(plan_.partitions.size(), nullptr);
+    vcdWriters_.resize(plan_.partitions.size());
+
+    for (size_t p = 0; p < plan_.partitions.size(); ++p) {
+        models_.push_back(std::make_unique<LIBDNModel>(
+            plan_.partitionNames[p], plan_.partitions[p]));
+        if (drivers_[p])
+            models_[p]->setDriver(drivers_[p]);
+
+        libdn::Monitor user = monitors_[p];
+        if (vcdStreams_[p]) {
+            vcdWriters_[p] = std::make_unique<rtlsim::VcdWriter>(
+                *vcdStreams_[p], models_[p]->sim(),
+                plan_.partitionNames[p]);
+            rtlsim::VcdWriter *vcd = vcdWriters_[p].get();
+            models_[p]->setMonitor(
+                [user, vcd](rtlsim::Simulator &sim, unsigned thread,
+                            uint64_t cycle) {
+                    vcd->sample();
+                    if (user)
+                        user(sim, thread, cycle);
+                });
+        } else if (user) {
+            models_[p]->setMonitor(user);
+        }
+    }
+
+    // One serializer per physical link direction (FPGA pair).
+    std::map<std::pair<int, int>, std::shared_ptr<libdn::LinkSerializer>>
+        serializers;
+
+    for (const auto &ch : plan_.channels) {
+        libdn::ChannelSpec out_spec, in_spec;
+        out_spec.name = ch.name;
+        in_spec.name = ch.name;
+        for (int n : ch.netIndices) {
+            out_spec.ports.push_back(plan_.nets[n].srcPort);
+            in_spec.ports.push_back(plan_.nets[n].dstPort);
+        }
+
+        auto chan = std::make_shared<TokenChannel>(ch.name,
+                                                   ch.widthBits);
+        auto &ser = serializers[{ch.srcPart, ch.dstPart}];
+        if (!ser)
+            ser = std::make_shared<libdn::LinkSerializer>();
+        chan->setTiming(transport::tokenSerNs(link_, ch.widthBits),
+                        transport::tokenLatencyNs(link_), ser);
+
+        int out_slot = models_[ch.srcPart]->defineOutputChannel(
+            out_spec);
+        models_[ch.srcPart]->bindOutput(out_slot, 0, chan);
+        int in_slot = models_[ch.dstPart]->defineInputChannel(
+            in_spec);
+        models_[ch.dstPart]->bindInput(in_slot, 0, chan);
+    }
+
+    if (plan_.mode == PartitionMode::Fast) {
+        for (auto &model : models_)
+            model->forceAllOutputDeps();
+    }
+    for (auto &model : models_)
+        model->finalize();
+
+    if (plan_.mode == PartitionMode::Fast) {
+        for (auto &model : models_)
+            model->seedOutputs(0.0);
+    }
+    initialized_ = true;
+}
+
+RunResult
+MultiFpgaSim::run(uint64_t target_cycles)
+{
+    if (!initialized_)
+        init();
+
+    size_t num_parts = models_.size();
+    if (nextTick_.size() != num_parts) {
+        nextTick_.assign(num_parts, 0.0);
+        lastProgress_ = 0.0;
+        now_ = 0.0;
+    }
+    std::vector<double> &next_tick = nextTick_;
+    std::vector<double> period(num_parts);
+    double max_period = 0.0;
+    for (size_t p = 0; p < num_parts; ++p) {
+        period[p] = fpgas_[p].hostPeriodNs();
+        max_period = std::max(max_period, period[p]);
+    }
+
+    unsigned max_width = std::max(plan_.feedback.maxChannelWidth, 1u);
+    double deadlock_window =
+        10.0 * (transport::tokenLatencyNs(link_) +
+                transport::tokenSerNs(link_, max_width)) +
+        1000.0 * max_period + 1000.0;
+
+    RunResult result;
+    double &now = now_;
+    double &last_progress = lastProgress_;
+    last_progress = now;
+
+    auto allDone = [&]() {
+        for (const auto &model : models_)
+            if (model->minTargetCycle() < target_cycles)
+                return false;
+        return true;
+    };
+
+    while (true) {
+        if (allDone())
+            break;
+
+        // Next partition tick in host time.
+        size_t p = 0;
+        for (size_t i = 1; i < num_parts; ++i)
+            if (next_tick[i] < next_tick[p])
+                p = i;
+        now = next_tick[p];
+
+        uint64_t before = models_[p]->minTargetCycle();
+        bool progress = models_[p]->tick(now);
+        bool advanced = models_[p]->minTargetCycle() != before;
+
+        // FAME-5: a multi-threaded partition consumes N host cycles
+        // to simulate one target cycle across its threads.
+        double step = advanced ? period[p] * plan_.fame5Threads[p]
+                               : period[p];
+        next_tick[p] = now + step;
+
+        if (progress)
+            last_progress = now;
+        if (now - last_progress > deadlock_window) {
+            result.deadlocked = true;
+            warn("multi-FPGA simulation deadlocked at host time ",
+                 now, " ns (no token progress for ", deadlock_window,
+                 " ns)");
+            break;
+        }
+        if (advanced && stopCondition_ && stopCondition_()) {
+            result.stopped = true;
+            break;
+        }
+    }
+
+    uint64_t min_cycles = models_[0]->minTargetCycle();
+    for (const auto &model : models_)
+        min_cycles = std::min(min_cycles, model->minTargetCycle());
+    result.targetCycles = min_cycles;
+    result.hostTimeNs = now;
+    return result;
+}
+
+libdn::LIBDNModel &
+MultiFpgaSim::model(int part)
+{
+    FIREAXE_ASSERT(initialized_, "init() before model()");
+    return *models_.at(part);
+}
+
+bool
+MultiFpgaSim::checkFit(bool fatal_on_overflow) const
+{
+    bool ok = true;
+    for (size_t p = 0; p < plan_.partitions.size(); ++p) {
+        passes::ResourceEstimate est = plan_.feedback.resources[p];
+        unsigned threads = plan_.fame5Threads[p];
+        if (threads > 1) {
+            // Estimate one duplicate as the partition divided by the
+            // thread count (duplicates dominate a FAME-5 partition).
+            passes::ResourceEstimate single = est;
+            single.luts /= threads;
+            single.flipFlops /= threads;
+            single.brams /= threads;
+            est = fame5Estimate(est, single, threads);
+        }
+        if (!fits(fpgas_[p], est)) {
+            ok = false;
+            if (fatal_on_overflow) {
+                fatal("partition '", plan_.partitionNames[p],
+                      "' does not fit ", fpgas_[p].board, ": needs ",
+                      est.luts, " LUTs / ", est.flipFlops, " FFs / ",
+                      est.brams, " BRAMs");
+            }
+            warn("partition '", plan_.partitionNames[p],
+                 "' overflows ", fpgas_[p].board, " (",
+                 est.luts, " LUTs of ", fpgas_[p].lutCapacity, ")");
+        }
+    }
+    return ok;
+}
+
+uint64_t
+runMonolithic(const firrtl::Circuit &circuit,
+              const libdn::Driver &driver,
+              const libdn::Monitor &monitor, uint64_t target_cycles,
+              const std::function<bool()> &stop)
+{
+    firrtl::Circuit flat = passes::flattenAll(circuit);
+    rtlsim::Simulator sim(flat);
+    uint64_t cycle = 0;
+    for (; cycle < target_cycles; ++cycle) {
+        if (driver)
+            driver(sim, 0, cycle);
+        sim.evalComb();
+        if (monitor)
+            monitor(sim, 0, cycle);
+        sim.step();
+        if (stop && stop())
+            return cycle + 1;
+    }
+    return cycle;
+}
+
+} // namespace fireaxe::platform

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The multi-FPGA co-simulation executor.
+ *
+ * Takes a FireRipper PartitionPlan, instantiates one LI-BDN model per
+ * partition on its own simulated host FPGA (with its own bitstream
+ * clock), wires the planned channels through a transport's
+ * serialization/latency model, and executes everything in host time
+ * with a discrete-event loop.
+ *
+ * Two things fall out of the same execution:
+ *  - functional results — the partitions exchange real tokens, so
+ *    target behaviour (and target cycle counts) can be compared
+ *    against the monolithic rtlsim::Simulator run (Table II);
+ *  - simulation performance — the achieved target frequency is
+ *    target-cycles / elapsed-host-time, which reproduces the sweeps
+ *    of Figs. 11-14 from mechanics rather than a formula.
+ *
+ * FAME-5 partitions (fame5Threads > 1) simulate all duplicate
+ * instances functionally, while the executor charges N host cycles
+ * per target cycle and the shared channel serializer charges the
+ * linearly-growing token payload — the cost model of Section VI-B.
+ */
+
+#ifndef FIREAXE_PLATFORM_EXECUTOR_HH
+#define FIREAXE_PLATFORM_EXECUTOR_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "libdn/channel.hh"
+#include "libdn/model.hh"
+#include "platform/fpga.hh"
+#include "ripper/partition.hh"
+#include "rtlsim/vcd.hh"
+#include "transport/link.hh"
+
+namespace fireaxe::platform {
+
+/** Outcome of a co-simulation run. */
+struct RunResult
+{
+    uint64_t targetCycles = 0;
+    double hostTimeNs = 0.0;
+    bool deadlocked = false;
+    bool stopped = false; ///< stop condition fired before the limit
+
+    /** Achieved target simulation rate in MHz. */
+    double
+    simRateMhz() const
+    {
+        return hostTimeNs > 0.0 ? targetCycles / hostTimeNs * 1000.0
+                                : 0.0;
+    }
+};
+
+/**
+ * Executes a partitioned simulation.
+ */
+class MultiFpgaSim
+{
+  public:
+    /**
+     * @param plan  FireRipper output (owned by caller; circuits are
+     *              copied into the models).
+     * @param fpgas one spec per partition (plan.partitions.size()).
+     * @param link  transport used for every inter-FPGA channel.
+     */
+    MultiFpgaSim(const ripper::PartitionPlan &plan,
+                 std::vector<FpgaSpec> fpgas,
+                 const transport::LinkParams &link);
+
+    /** Attach a driver for a partition's external input ports; must
+     *  be called before init(). */
+    void setDriver(int part, libdn::Driver driver);
+    /** Attach an observer called after each target cycle of a
+     *  partition; must be called before init(). */
+    void setMonitor(int part, libdn::Monitor monitor);
+
+    /**
+     * Stream a VCD waveform of one partition's signals (sampled at
+     * every completed target cycle of that partition). Must be
+     * called before init(); the stream must outlive the simulation.
+     * Composes with setMonitor().
+     */
+    void attachVcd(int part, std::ostream &os);
+
+    /** Build models and channels. Implicitly called by run() if
+     *  needed. */
+    void init();
+
+    /** Stop condition checked after every event batch. */
+    void setStopCondition(std::function<bool()> cond)
+    {
+        stopCondition_ = std::move(cond);
+    }
+
+    /**
+     * Run until every partition has simulated @p target_cycles
+     * target cycles (or the stop condition fires / the simulation
+     * deadlocks).
+     */
+    RunResult run(uint64_t target_cycles);
+
+    /** Access a partition model (valid after init()). */
+    libdn::LIBDNModel &model(int part);
+
+    /**
+     * Verify each partition fits its FPGA (FAME-5-adjusted);
+     * fatal() on overflow when @p fatal_on_overflow, otherwise
+     * warn(). Returns true when everything fits.
+     */
+    bool checkFit(bool fatal_on_overflow = false) const;
+
+    const ripper::PartitionPlan &plan() const { return plan_; }
+
+  private:
+    ripper::PartitionPlan plan_;
+    std::vector<FpgaSpec> fpgas_;
+    transport::LinkParams link_;
+    std::vector<std::unique_ptr<libdn::LIBDNModel>> models_;
+    std::vector<libdn::Driver> drivers_;
+    std::vector<libdn::Monitor> monitors_;
+    std::vector<std::ostream *> vcdStreams_;
+    std::vector<std::unique_ptr<rtlsim::VcdWriter>> vcdWriters_;
+    std::function<bool()> stopCondition_;
+    bool initialized_ = false;
+    // Host-time state persists across run() calls, so simulations
+    // can be resumed with a larger target-cycle goal.
+    std::vector<double> nextTick_;
+    double lastProgress_ = 0.0;
+    double now_ = 0.0;
+};
+
+/**
+ * Convenience: run a monolithic (non-partitioned) simulation of a
+ * circuit with the same driver/monitor interface, as the golden
+ * reference. Returns the cycle count executed.
+ */
+uint64_t runMonolithic(const firrtl::Circuit &circuit,
+                       const libdn::Driver &driver,
+                       const libdn::Monitor &monitor,
+                       uint64_t target_cycles,
+                       const std::function<bool()> &stop = nullptr);
+
+} // namespace fireaxe::platform
+
+#endif // FIREAXE_PLATFORM_EXECUTOR_HH

@@ -1,0 +1,64 @@
+#include "platform/fpga.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace fireaxe::platform {
+
+FpgaSpec
+alveoU250(double clock_mhz)
+{
+    // 1728k LUTs, 3456k FFs, 2000 BRAM-36 tiles (XCU250).
+    return {"alveo-u250", clock_mhz, 1728000, 3456000, 2000};
+}
+
+FpgaSpec
+awsF1Vu9p(double clock_mhz)
+{
+    // VU9P nominally ~1182k LUTs; the F1 shell consumes a fixed
+    // region, leaving roughly 2/3 usable (paper §VIII-A: U250 offers
+    // ~50% more usable LUTs than cloud VU9Ps).
+    return {"aws-f1-vu9p", clock_mhz, 1152000, 2364000, 1680};
+}
+
+passes::ResourceEstimate
+fame5Estimate(const passes::ResourceEstimate &full,
+              const passes::ResourceEstimate &single_copy,
+              unsigned threads)
+{
+    FIREAXE_ASSERT(threads >= 1);
+    passes::ResourceEstimate est = full;
+    // Remove the duplicated combinational logic, keep one copy, and
+    // charge a small scheduler/mux overhead per extra thread.
+    uint64_t shared_luts = single_copy.luts * (threads - 1);
+    est.luts = est.luts > shared_luts ? est.luts - shared_luts : 0;
+    est.luts += (threads - 1) * (single_copy.flipFlops / 8 + 64);
+    return est;
+}
+
+bool
+fits(const FpgaSpec &fpga, const passes::ResourceEstimate &est)
+{
+    return est.luts <=
+               uint64_t(fpga.lutCapacity * routableLutFraction) &&
+           est.flipFlops <= fpga.ffCapacity &&
+           est.brams <= fpga.bramCapacity;
+}
+
+double
+lutUtilization(const FpgaSpec &fpga,
+               const passes::ResourceEstimate &est)
+{
+    return double(est.luts) / double(fpga.lutCapacity);
+}
+
+double
+softwareRtlSimRateHz(const passes::ResourceEstimate &est)
+{
+    // Calibrated so a ~1.7M-LUT SoC simulates at 1.26 kHz.
+    uint64_t luts = std::max<uint64_t>(est.luts, 1);
+    return 2.14e9 / double(luts);
+}
+
+} // namespace fireaxe::platform

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * FPGA host platform models: board capacities and FAME-5-adjusted
+ * resource estimation.
+ */
+
+#ifndef FIREAXE_PLATFORM_FPGA_HH
+#define FIREAXE_PLATFORM_FPGA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "passes/resources.hh"
+#include "firrtl/ir.hh"
+
+namespace fireaxe::platform {
+
+/** One simulation-host FPGA. */
+struct FpgaSpec
+{
+    std::string board;
+    /** Bitstream (host clock) frequency in MHz. */
+    double clockMhz;
+    uint64_t lutCapacity;
+    uint64_t ffCapacity;
+    uint64_t bramCapacity;
+
+    double hostPeriodNs() const { return 1000.0 / clockMhz; }
+};
+
+/**
+ * Fraction of an FPGA's LUTs that can be used before routing
+ * congestion makes bitstream builds fail (the §V-B monolithic GC40
+ * build "fails due to congestion", not capacity).
+ */
+constexpr double routableLutFraction = 0.78;
+
+/** Xilinx Alveo U250 (the paper's on-premises board). */
+FpgaSpec alveoU250(double clock_mhz);
+
+/** AWS EC2 F1 VU9P. Per Section VIII-A, roughly 50% fewer usable
+ *  LUTs than a U250 because of the fixed cloud shell IP. */
+FpgaSpec awsF1Vu9p(double clock_mhz);
+
+/**
+ * Resource estimate of a partition after the FAME-5 transformation
+ * with @p threads threads: combinational logic of the duplicated
+ * modules is shared (counted once) while sequential state stays
+ * replicated. @p full is the estimate with all duplicates
+ * instantiated, @p single_copy the estimate of one duplicate.
+ */
+passes::ResourceEstimate
+fame5Estimate(const passes::ResourceEstimate &full,
+              const passes::ResourceEstimate &single_copy,
+              unsigned threads);
+
+/** Does the estimate fit the board? */
+bool fits(const FpgaSpec &fpga, const passes::ResourceEstimate &est);
+
+/** LUT utilization fraction. */
+double lutUtilization(const FpgaSpec &fpga,
+                      const passes::ResourceEstimate &est);
+
+/**
+ * Modeled throughput of a commercial software RTL simulator for a
+ * design of the given estimated size. Section V-A reports 1.26 kHz
+ * for the 24-core BOOM SoC (~1.7M LUTs of logic), which FireAxe
+ * beats by 460x; software simulation rate scales roughly inversely
+ * with design size.
+ */
+double softwareRtlSimRateHz(const passes::ResourceEstimate &est);
+
+} // namespace fireaxe::platform
+
+#endif // FIREAXE_PLATFORM_FPGA_HH

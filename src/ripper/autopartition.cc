@@ -1,0 +1,172 @@
+#include "ripper/autopartition.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "passes/resources.hh"
+
+namespace fireaxe::ripper {
+
+using firrtl::Circuit;
+using firrtl::Module;
+
+namespace {
+
+/** Build the top-level instance affinity graph: pairs of instances
+ *  that share a net get affinity proportional to the shared signal
+ *  width, so the packer can prefer keeping them together. */
+std::map<std::pair<std::string, std::string>, uint64_t>
+instanceAffinity(const Circuit &circuit)
+{
+    const Module &top = circuit.top();
+    std::map<std::pair<std::string, std::string>, uint64_t> affinity;
+
+    for (const auto &c : top.connects) {
+        std::vector<std::string> ends;
+        ends.push_back(c.lhs);
+        collectRefs(c.rhs, ends);
+        std::set<std::string> insts;
+        for (const auto &e : ends) {
+            auto [owner, field] = firrtl::splitRef(e);
+            if (!owner.empty() && top.findInstance(owner))
+                insts.insert(owner);
+        }
+        unsigned width = c.rhs->width;
+        for (auto a = insts.begin(); a != insts.end(); ++a) {
+            for (auto b = std::next(a); b != insts.end(); ++b)
+                affinity[{*a, *b}] += width;
+        }
+    }
+    return affinity;
+}
+
+} // namespace
+
+AutoPartitionResult
+autoPartition(const Circuit &target, const AutoPartitionOptions &opts)
+{
+    FIREAXE_ASSERT(opts.lutBudget > 0 && opts.maxFpgas >= 1);
+    const Module &top = target.top();
+
+    // Per-instance resource estimates.
+    struct Item
+    {
+        std::string name;
+        uint64_t luts;
+    };
+    std::vector<Item> items;
+    for (const auto &inst : top.instances) {
+        auto est =
+            passes::estimateResources(target, inst.moduleName);
+        items.push_back({inst.name, est.luts});
+    }
+    // Rest-of-SoC logic (the top module's own wires/regs/memories)
+    // stays on partition 0.
+    uint64_t rest_luts =
+        passes::estimateResources(target).luts;
+    for (const auto &item : items)
+        rest_luts -= std::min(rest_luts, item.luts);
+
+    for (const auto &item : items) {
+        if (item.luts > opts.lutBudget) {
+            fatal("autoPartition: instance '", item.name, "' alone "
+                  "needs ", item.luts, " LUTs, more than the ",
+                  opts.lutBudget, "-LUT per-FPGA budget; ",
+                  "partition inside the module instead");
+        }
+    }
+
+    // First-fit decreasing with affinity tie-breaking: place each
+    // instance (largest first) into the feasible bin holding the
+    // most strongly connected already-placed instances; fall back
+    // to the emptiest feasible bin.
+    std::sort(items.begin(), items.end(),
+              [](const Item &a, const Item &b) {
+                  return a.luts > b.luts;
+              });
+    auto affinity = instanceAffinity(target);
+
+    AutoPartitionResult result;
+    result.bins.push_back({{}, rest_luts, 0.0}); // bin 0 = rest
+
+    std::map<std::string, size_t> placed;
+    for (const auto &item : items) {
+        size_t best_bin = SIZE_MAX;
+        uint64_t best_affinity = 0;
+        for (size_t b = 0; b < result.bins.size(); ++b) {
+            if (result.bins[b].luts + item.luts > opts.lutBudget)
+                continue;
+            uint64_t score = 0;
+            for (const auto &other : result.bins[b].instances) {
+                auto key = item.name < other
+                               ? std::make_pair(item.name, other)
+                               : std::make_pair(other, item.name);
+                auto it = affinity.find(key);
+                if (it != affinity.end())
+                    score += it->second;
+            }
+            bool better =
+                best_bin == SIZE_MAX || score > best_affinity ||
+                (score == best_affinity &&
+                 result.bins[b].luts < result.bins[best_bin].luts);
+            if (better) {
+                best_bin = b;
+                best_affinity = score;
+            }
+        }
+        if (best_bin == SIZE_MAX) {
+            if (result.bins.size() >= opts.maxFpgas) {
+                fatal("autoPartition: design needs more than ",
+                      opts.maxFpgas, " FPGAs at ", opts.lutBudget,
+                      " LUTs each");
+            }
+            result.bins.push_back({});
+            best_bin = result.bins.size() - 1;
+        }
+        result.bins[best_bin].instances.push_back(item.name);
+        result.bins[best_bin].luts += item.luts;
+        placed[item.name] = best_bin;
+    }
+
+    result.fpgasUsed = unsigned(result.bins.size());
+    result.fits = true;
+    for (auto &bin : result.bins) {
+        bin.utilization = double(bin.luts) / double(opts.lutBudget);
+        if (bin.luts > opts.lutBudget)
+            result.fits = false;
+    }
+
+    result.spec.mode = opts.mode;
+    for (size_t b = 1; b < result.bins.size(); ++b) {
+        PartitionGroupSpec group;
+        group.name = "auto" + std::to_string(b);
+        group.instancePaths.insert(result.bins[b].instances.begin(),
+                                   result.bins[b].instances.end());
+        result.spec.groups.push_back(std::move(group));
+    }
+    return result;
+}
+
+std::string
+describeAutoPartition(const AutoPartitionResult &result)
+{
+    std::ostringstream os;
+    os << "automatic placement onto " << result.fpgasUsed
+       << " FPGA(s)" << (result.fits ? "" : " [OVER BUDGET]")
+       << ":\n";
+    for (size_t b = 0; b < result.bins.size(); ++b) {
+        const auto &bin = result.bins[b];
+        os << "  fpga" << b << (b == 0 ? " (rest)" : "") << ": "
+           << bin.luts << " LUTs ("
+           << unsigned(bin.utilization * 100.0) << "%)";
+        for (const auto &inst : bin.instances)
+            os << " " << inst;
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace fireaxe::ripper

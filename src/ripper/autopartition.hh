@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Automated partitioning (the Section VIII-B future-work feature):
+ * "FireRipper would need to be able to make rough per-FPGA resource
+ * consumption estimates based on the RTL-level circuit
+ * representation to provide users quick feedback about whether the
+ * partition will fit on an FPGA or not. Using existing graph
+ * partitioning tools to automatically search for boundaries that
+ * are amenable to partitioning would be another possible
+ * direction."
+ *
+ * autoPartition() implements that flow: it estimates each top-level
+ * instance's resource footprint, greedily bin-packs instances onto
+ * FPGAs (first-fit decreasing, with the rest-of-SoC logic charged to
+ * partition 0), prefers placements that keep directly-connected
+ * instances together (narrower boundaries), and reports the
+ * projected per-FPGA utilization before any simulation is built.
+ */
+
+#ifndef FIREAXE_RIPPER_AUTOPARTITION_HH
+#define FIREAXE_RIPPER_AUTOPARTITION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ripper/partition.hh"
+
+namespace fireaxe::ripper {
+
+/** Inputs to the automated flow. */
+struct AutoPartitionOptions
+{
+    /** Usable (routability-derated) LUTs per FPGA. */
+    uint64_t lutBudget = 1000000;
+    /** Upper bound on FPGAs (including the rest partition). */
+    unsigned maxFpgas = 8;
+    PartitionMode mode = PartitionMode::Exact;
+};
+
+/** Per-FPGA placement feedback. */
+struct AutoPartitionBin
+{
+    std::vector<std::string> instances;
+    uint64_t luts = 0;
+    double utilization = 0.0;
+};
+
+/** Result: a ready-to-run spec plus the placement report. */
+struct AutoPartitionResult
+{
+    PartitionSpec spec;   ///< empty groups if everything fits FPGA 0
+    bool fits = false;    ///< all bins within budget
+    unsigned fpgasUsed = 0;
+    std::vector<AutoPartitionBin> bins; ///< bin 0 = rest partition
+};
+
+/**
+ * Compute an automatic placement of the top module's instances.
+ * fatal() if a single instance exceeds the per-FPGA budget (no
+ * legal placement exists at this granularity) or if more than
+ * maxFpgas would be needed.
+ */
+AutoPartitionResult autoPartition(const firrtl::Circuit &target,
+                                  const AutoPartitionOptions &opts);
+
+/** Human-readable placement report. */
+std::string describeAutoPartition(const AutoPartitionResult &result);
+
+} // namespace fireaxe::ripper
+
+#endif // FIREAXE_RIPPER_AUTOPARTITION_HH

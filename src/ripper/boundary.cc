@@ -1,0 +1,273 @@
+#include "ripper/boundary.hh"
+
+#include <vector>
+
+#include "base/logging.hh"
+#include "firrtl/builder.hh"
+#include "ripper/partition.hh"
+
+namespace fireaxe::ripper {
+
+using firrtl::Circuit;
+using firrtl::Connect;
+using firrtl::ExprPtr;
+using firrtl::Module;
+using firrtl::PortDir;
+
+namespace {
+
+/** Indices of plan nets whose originating flat signal matches. */
+std::vector<int>
+findNets(const PartitionPlan &plan, const std::string &flat_signal)
+{
+    std::vector<int> out;
+    for (size_t n = 0; n < plan.nets.size(); ++n)
+        if (plan.nets[n].flatSignal == flat_signal)
+            out.push_back(int(n));
+    return out;
+}
+
+} // namespace
+
+std::string
+addSkidBufferModule(Circuit &circuit, const std::vector<unsigned> &widths)
+{
+    using namespace firrtl;
+
+    // Name keyed by the width signature, deduplicated per circuit.
+    std::string name = "SkidBuffer2";
+    for (unsigned w : widths)
+        name += "_" + std::to_string(w);
+    if (circuit.findModule(name))
+        return name;
+
+    // Latency-aware skid buffer. The fast-mode boundary delays valid
+    // and ready by one target cycle each, so the source's view of
+    // ready is two cycles stale: after enq_ready drops, up to two
+    // more in-flight transactions can still arrive. The buffer
+    // therefore advertises ready conservatively (fewer than 2
+    // occupied of 4 slots) while accepting arrivals up to its full
+    // capacity — in-flight entries are never lost, and the gated
+    // source never produces duplicates.
+    constexpr unsigned depth = 4;      // total slots
+    constexpr unsigned threshold = 2;  // advertise-ready threshold
+    constexpr unsigned cw = 3;         // count width
+    constexpr unsigned pw = 2;         // pointer width
+
+    Module m;
+    m.name = name;
+    m.attrs["fireRipperGenerated"] = "skidBuffer";
+    m.ports.push_back({"enq_valid", PortDir::Input, 1});
+    m.ports.push_back({"enq_ready", PortDir::Output, 1});
+    m.ports.push_back({"deq_valid", PortDir::Output, 1});
+    m.ports.push_back({"deq_ready", PortDir::Input, 1});
+    for (size_t i = 0; i < widths.size(); ++i) {
+        m.ports.push_back({"enq_bits" + std::to_string(i),
+                           PortDir::Input, widths[i]});
+        m.ports.push_back({"deq_bits" + std::to_string(i),
+                           PortDir::Output, widths[i]});
+    }
+
+    m.regs.push_back({"cnt", cw, 0});
+    m.regs.push_back({"head", pw, 0});
+    m.regs.push_back({"tail", pw, 0});
+    m.wires.push_back({"do_enq", 1});
+    m.wires.push_back({"do_deq", 1});
+
+    auto cnt = ref("cnt", cw);
+    auto head = ref("head", pw);
+    auto tail = ref("tail", pw);
+    auto enq_valid = ref("enq_valid", 1);
+    auto deq_ready = ref("deq_ready", 1);
+    auto do_enq = ref("do_enq", 1);
+    auto do_deq = ref("do_deq", 1);
+
+    auto advertise = eLt(cnt, lit(threshold, cw));
+    auto has_space = eLt(cnt, lit(depth, cw));
+    auto non_empty = eNeq(cnt, lit(0, cw));
+    m.connects.push_back({"enq_ready", advertise});
+    m.connects.push_back({"deq_valid", non_empty});
+    m.connects.push_back({"do_enq", eAnd(enq_valid, has_space)});
+    m.connects.push_back({"do_deq", eAnd(deq_ready, non_empty)});
+    m.connects.push_back(
+        {"cnt", bits(eSub(eAdd(cnt, do_enq), do_deq), cw - 1, 0)});
+    m.connects.push_back(
+        {"head",
+         mux(do_deq, bits(eAdd(head, lit(1, pw)), pw - 1, 0), head)});
+    m.connects.push_back(
+        {"tail",
+         mux(do_enq, bits(eAdd(tail, lit(1, pw)), pw - 1, 0), tail)});
+
+    for (size_t i = 0; i < widths.size(); ++i) {
+        unsigned w = widths[i];
+        std::string store = "store" + std::to_string(i);
+        m.mems.push_back({store, depth, w});
+        m.connects.push_back({store + ".raddr", head});
+        m.connects.push_back(
+            {"deq_bits" + std::to_string(i),
+             ref(store + ".rdata", w)});
+        m.connects.push_back({store + ".waddr", tail});
+        m.connects.push_back(
+            {store + ".wdata",
+             ref("enq_bits" + std::to_string(i), w)});
+        m.connects.push_back({store + ".wen", do_enq});
+    }
+
+    circuit.addModule(std::move(m));
+    return name;
+}
+
+unsigned
+applyReadyValidTransforms(PartitionPlan &plan, const Circuit &target,
+                          const std::map<std::string, int> &path_group)
+{
+    (void)target;
+    unsigned transformed = 0;
+    unsigned skid_count = 0;
+
+    for (const auto &[path, group] : path_group) {
+        const Circuit &pc = plan.partitions[group];
+        const Module &ptop = pc.top();
+        const firrtl::Instance *inst = ptop.findInstance(path);
+        if (!inst)
+            continue;
+        const Module *def = pc.findModule(inst->moduleName);
+        FIREAXE_ASSERT(def, "missing module ", inst->moduleName);
+
+        for (const auto &bundle : def->rvBundles) {
+            std::string flat_valid = path + "." + bundle.validPort;
+            std::string flat_ready = path + "." + bundle.readyPort;
+
+            auto valid_nets = findNets(plan, flat_valid);
+            auto ready_nets = findNets(plan, flat_ready);
+            if (valid_nets.size() != 1 || ready_nets.size() != 1)
+                continue; // bundle does not cross, or fans out
+
+            std::vector<int> data_nets;
+            bool data_ok = true;
+            for (const auto &dp : bundle.dataPorts) {
+                auto nets = findNets(plan, path + "." + dp);
+                if (nets.size() != 1) {
+                    data_ok = false;
+                    break;
+                }
+                data_nets.push_back(nets[0]);
+            }
+            if (!data_ok) {
+                warn("ready-valid bundle '", bundle.name, "' of '",
+                     path, "' only partially crosses the partition "
+                     "boundary; skipping transform");
+                continue;
+            }
+
+            const BoundaryNet &vnet = plan.nets[valid_nets[0]];
+            const BoundaryNet &rnet = plan.nets[ready_nets[0]];
+
+            int src_side, snk_side;
+            if (bundle.isSource) {
+                src_side = vnet.srcPart;
+                snk_side = vnet.dstPart;
+            } else {
+                src_side = vnet.srcPart;
+                snk_side = vnet.dstPart;
+            }
+            if (rnet.srcPart != snk_side || rnet.dstPart != src_side) {
+                warn("ready-valid bundle '", bundle.name, "' of '",
+                     path, "' has inconsistent boundary direction; "
+                     "skipping transform");
+                continue;
+            }
+            bool dirs_ok = true;
+            for (int dn : data_nets) {
+                if (plan.nets[dn].srcPart != src_side ||
+                    plan.nets[dn].dstPart != snk_side) {
+                    dirs_ok = false;
+                    break;
+                }
+            }
+            if (!dirs_ok) {
+                warn("ready-valid bundle '", bundle.name, "' of '",
+                     path, "' mixes directions; skipping transform");
+                continue;
+            }
+
+            // --- Source side: valid := valid & delayed-ready. ---
+            {
+                Module &src_mod = plan.partitions[src_side].top();
+                bool gated = false;
+                for (auto &c : src_mod.connects) {
+                    if (c.lhs == vnet.srcPort) {
+                        c.rhs = firrtl::eAnd(
+                            c.rhs, firrtl::ref(rnet.dstPort, 1));
+                        gated = true;
+                        break;
+                    }
+                }
+                FIREAXE_ASSERT(gated, "no driver for boundary valid ",
+                               vnet.srcPort);
+            }
+
+            // --- Sink side: insert a skid buffer at the ports. ---
+            {
+                Circuit &snk_circuit = plan.partitions[snk_side];
+                Module &snk_mod = snk_circuit.top();
+
+                std::vector<unsigned> widths;
+                for (int dn : data_nets)
+                    widths.push_back(plan.nets[dn].width);
+                std::string skid_mod =
+                    addSkidBufferModule(snk_circuit, widths);
+                std::string skid =
+                    "rv_skid_" + std::to_string(skid_count++);
+                snk_mod.instances.push_back({skid, skid_mod});
+
+                // Consumer logic now reads the skid's deq side.
+                std::map<std::string, std::string> renames;
+                renames[vnet.dstPort] = skid + ".deq_valid";
+                for (size_t i = 0; i < data_nets.size(); ++i) {
+                    renames[plan.nets[data_nets[i]].dstPort] =
+                        skid + ".deq_bits" + std::to_string(i);
+                }
+                for (auto &c : snk_mod.connects)
+                    c.rhs = firrtl::renameRefs(c.rhs, renames);
+
+                // The original ready driver becomes the skid's
+                // deq_ready; the boundary ready is the skid's
+                // enq_ready.
+                bool rerouted = false;
+                for (auto &c : snk_mod.connects) {
+                    if (c.lhs == rnet.srcPort) {
+                        c.lhs = skid + ".deq_ready";
+                        rerouted = true;
+                        break;
+                    }
+                }
+                FIREAXE_ASSERT(rerouted,
+                               "no driver for boundary ready ",
+                               rnet.srcPort);
+                snk_mod.connects.push_back(
+                    {rnet.srcPort,
+                     firrtl::ref(skid + ".enq_ready", 1)});
+                snk_mod.connects.push_back(
+                    {skid + ".enq_valid",
+                     firrtl::ref(vnet.dstPort, 1)});
+                for (size_t i = 0; i < data_nets.size(); ++i) {
+                    const BoundaryNet &dnet =
+                        plan.nets[data_nets[i]];
+                    snk_mod.connects.push_back(
+                        {skid + ".enq_bits" + std::to_string(i),
+                         firrtl::ref(dnet.dstPort, dnet.width)});
+                }
+            }
+            ++transformed;
+        }
+    }
+
+    if (transformed > 0) {
+        for (auto &pc : plan.partitions)
+            firrtl::verifyCircuit(pc);
+    }
+    return transformed;
+}
+
+} // namespace fireaxe::ripper

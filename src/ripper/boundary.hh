@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fast-mode ready-valid boundary transform (Section III-A2, Fig. 3c).
+ *
+ * Fast-mode seeds each side of the boundary with an initial token,
+ * which injects one cycle of latency between the partitions. On a
+ * ready-valid interface this breaks backpressure: the source can
+ * observe a stale ready and send the same transaction twice, and an
+ * in-flight transaction can be dropped when the sink's ready falls.
+ *
+ * FireRipper repairs this with two target-RTL modifications:
+ *  - a skid buffer on the ready-valid *sink* side absorbs in-flight
+ *    transactions so none are lost;
+ *  - the *source* side's outgoing valid is gated with the (delayed)
+ *    incoming ready, so a transaction is only presented when the
+ *    handshake can complete, preventing duplicates.
+ *
+ * The resulting target is no longer cycle-exact with respect to the
+ * unmodified RTL, but is cycle-exact with respect to the modified
+ * RTL — exactly the fast-mode contract in the paper.
+ */
+
+#ifndef FIREAXE_RIPPER_BOUNDARY_HH
+#define FIREAXE_RIPPER_BOUNDARY_HH
+
+#include <map>
+#include <string>
+
+#include "firrtl/ir.hh"
+
+namespace fireaxe::ripper {
+
+struct PartitionPlan;
+
+/**
+ * Apply the ready-valid transform to every annotated bundle whose
+ * ports cross a partition boundary in @p plan.
+ *
+ * @param plan        the plan whose partition circuits are modified
+ *                    in place
+ * @param target      the original (pre-partitioning) circuit, used to
+ *                    look up ReadyValidBundle annotations on the
+ *                    extracted instances' modules
+ * @param path_group  instance path -> partition index mapping
+ * @return the number of bundles transformed
+ */
+unsigned applyReadyValidTransforms(
+    PartitionPlan &plan, const firrtl::Circuit &target,
+    const std::map<std::string, int> &path_group);
+
+/**
+ * Generate a 2-entry skid-buffer module for the given data-port
+ * widths and add it to @p circuit. Ports: enq_valid/enq_ready and
+ * enq_bits<i>, deq_valid/deq_ready and deq_bits<i>.
+ * Returns the module name.
+ */
+std::string addSkidBufferModule(firrtl::Circuit &circuit,
+                                const std::vector<unsigned> &widths);
+
+} // namespace fireaxe::ripper
+
+#endif // FIREAXE_RIPPER_BOUNDARY_HH

@@ -1,0 +1,249 @@
+#include "ripper/nocselect.hh"
+
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "base/logging.hh"
+
+namespace fireaxe::ripper {
+
+using firrtl::Circuit;
+using firrtl::Module;
+using firrtl::splitRef;
+
+std::vector<NocRouterInfo>
+findNocRouters(const Circuit &circuit)
+{
+    std::vector<NocRouterInfo> routers;
+
+    std::function<void(const Module &, const std::string &)> walk =
+        [&](const Module &mod, const std::string &path) {
+            for (const auto &inst : mod.instances) {
+                const Module *child =
+                    circuit.findModule(inst.moduleName);
+                FIREAXE_ASSERT(child);
+                std::string child_path =
+                    path.empty() ? inst.name : path + "/" + inst.name;
+                if (child->hasAttr("nocRouter")) {
+                    unsigned index = unsigned(
+                        std::stoul(child->attrs.at("nocIndex")));
+                    routers.push_back({child_path, index, path});
+                }
+                walk(*child, child_path);
+            }
+        };
+    walk(circuit.top(), "");
+    return routers;
+}
+
+namespace {
+
+/** Union-find over strings (wire names). */
+class UnionFind
+{
+  public:
+    std::string
+    find(const std::string &x)
+    {
+        auto it = parent_.find(x);
+        if (it == parent_.end()) {
+            parent_[x] = x;
+            return x;
+        }
+        if (it->second == x)
+            return x;
+        std::string root = find(it->second);
+        parent_[x] = root;
+        return root;
+    }
+
+    void
+    unite(const std::string &a, const std::string &b)
+    {
+        parent_[find(a)] = find(b);
+    }
+
+  private:
+    std::map<std::string, std::string> parent_;
+};
+
+} // namespace
+
+std::set<std::string>
+selectNocGroup(const Circuit &circuit,
+               const std::set<unsigned> &indices)
+{
+    if (indices.empty())
+        fatal("NoC-partition-mode: empty router index set");
+
+    auto routers = findNocRouters(circuit);
+    if (routers.empty())
+        fatal("NoC-partition-mode: design contains no router nodes "
+              "(missing nocRouter attributes)");
+
+    // Selected routers must share one enclosing module so the
+    // connectivity traversal happens in a single namespace.
+    std::string parent_path;
+    std::map<unsigned, const NocRouterInfo *> by_index;
+    for (const auto &r : routers)
+        by_index[r.index] = &r;
+    bool first = true;
+    std::set<std::string> selected_router_names;
+    std::set<std::string> all_router_names;
+    for (const auto &r : routers) {
+        auto slash = r.path.rfind('/');
+        std::string local =
+            slash == std::string::npos ? r.path
+                                       : r.path.substr(slash + 1);
+        all_router_names.insert(local);
+    }
+    for (unsigned idx : indices) {
+        auto it = by_index.find(idx);
+        if (it == by_index.end())
+            fatal("NoC-partition-mode: no router with index ", idx);
+        const NocRouterInfo &r = *it->second;
+        if (first) {
+            parent_path = r.parentPath;
+            first = false;
+        } else if (parent_path != r.parentPath) {
+            fatal("NoC-partition-mode: selected routers live in "
+                  "different modules ('", parent_path, "' vs '",
+                  r.parentPath, "')");
+        }
+        auto slash = r.path.rfind('/');
+        selected_router_names.insert(
+            slash == std::string::npos ? r.path
+                                       : r.path.substr(slash + 1));
+    }
+
+    // Locate the enclosing module.
+    const Module *parent = &circuit.top();
+    if (!parent_path.empty()) {
+        const Module *cur = &circuit.top();
+        std::string remaining = parent_path;
+        while (!remaining.empty()) {
+            auto slash = remaining.find('/');
+            std::string head = slash == std::string::npos
+                                   ? remaining
+                                   : remaining.substr(0, slash);
+            remaining = slash == std::string::npos
+                            ? ""
+                            : remaining.substr(slash + 1);
+            const firrtl::Instance *inst = cur->findInstance(head);
+            FIREAXE_ASSERT(inst, "bad parent path ", parent_path);
+            cur = circuit.findModule(inst->moduleName);
+        }
+        parent = cur;
+    }
+
+    // Build instance adjacency through wire nets. Wires on one net
+    // are unified; instances touching a net are mutually adjacent.
+    // Direct instance-to-instance connects add edges as well.
+    // Registers, memories and ports anchor nets to the parent module
+    // itself and do not create instance adjacency.
+    UnionFind nets;
+    std::map<std::string, std::set<std::string>> net_insts;
+    std::set<std::string> net_anchored;
+    std::map<std::string, std::set<std::string>> direct_adj;
+
+    auto classify = [&](const std::string &ref_name)
+        -> std::pair<char, std::string> {
+        auto [owner, field] = splitRef(ref_name);
+        if (!owner.empty()) {
+            if (parent->findInstance(owner))
+                return {'i', owner};
+            return {'x', ""}; // memory port: module-anchored
+        }
+        if (parent->findWire(field))
+            return {'w', field};
+        return {'x', ""}; // port / register: module-anchored
+    };
+
+    for (const auto &c : parent->connects) {
+        std::vector<std::string> ends;
+        ends.push_back(c.lhs);
+        collectRefs(c.rhs, ends);
+
+        std::vector<std::string> wires;
+        std::vector<std::string> insts;
+        bool anchored = false;
+        for (const auto &e : ends) {
+            auto [kind, name] = classify(e);
+            if (kind == 'w')
+                wires.push_back(name);
+            else if (kind == 'i')
+                insts.push_back(name);
+            else
+                anchored = true;
+        }
+        if (!wires.empty()) {
+            for (size_t i = 1; i < wires.size(); ++i)
+                nets.unite(wires[0], wires[i]);
+            for (const auto &inst : insts)
+                net_insts[wires[0]].insert(inst);
+            if (anchored)
+                net_anchored.insert(wires[0]);
+        } else if (!anchored) {
+            // Point-to-point instance connections. Connects that
+            // also touch the parent's own logic (ports, registers,
+            // memories) — e.g. a status-aggregation XOR over every
+            // tile — are module-level observation, not structural
+            // adjacency, and are skipped.
+            for (size_t i = 0; i < insts.size(); ++i)
+                for (size_t j = i + 1; j < insts.size(); ++j) {
+                    direct_adj[insts[i]].insert(insts[j]);
+                    direct_adj[insts[j]].insert(insts[i]);
+                }
+        }
+    }
+
+    // Collapse per-net instance sets onto net roots; anchored nets
+    // do not create adjacency (see above).
+    std::map<std::string, std::set<std::string>> root_insts;
+    std::set<std::string> root_anchored;
+    for (const auto &wire : net_anchored)
+        root_anchored.insert(nets.find(wire));
+    for (auto &[wire, insts] : net_insts) {
+        auto &bucket = root_insts[nets.find(wire)];
+        bucket.insert(insts.begin(), insts.end());
+    }
+    std::map<std::string, std::set<std::string>> adj = direct_adj;
+    for (const auto &[root, insts] : root_insts) {
+        if (root_anchored.count(root))
+            continue;
+        for (const auto &a : insts)
+            for (const auto &b : insts)
+                if (a != b)
+                    adj[a].insert(b);
+    }
+
+    // BFS from the selected routers; unselected routers are walls.
+    std::set<std::string> group = selected_router_names;
+    std::deque<std::string> work(selected_router_names.begin(),
+                                 selected_router_names.end());
+    while (!work.empty()) {
+        std::string cur = work.front();
+        work.pop_front();
+        for (const auto &next : adj[cur]) {
+            if (group.count(next))
+                continue;
+            if (all_router_names.count(next) &&
+                !selected_router_names.count(next)) {
+                continue; // do not cross other routers
+            }
+            group.insert(next);
+            work.push_back(next);
+        }
+    }
+
+    // Prefix with the parent path to obtain full instance paths.
+    std::set<std::string> paths;
+    for (const auto &name : group) {
+        paths.insert(parent_path.empty() ? name
+                                         : parent_path + "/" + name);
+    }
+    return paths;
+}
+
+} // namespace fireaxe::ripper

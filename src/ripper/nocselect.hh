@@ -1,0 +1,53 @@
+/**
+ * @file
+ * NoC-partition-mode module selection (Section III-B, Fig. 4).
+ *
+ * NoC router boundaries are credit-based (latency-insensitive) and
+ * have no combinational input->output dependencies, so they make
+ * ideal partition seams. Instead of listing every module to extract,
+ * the user names a set of router node indices; FireRipper grows a
+ * wrapper around those routers by traversing the circuit
+ * representation and pulling in every module that hangs off them
+ * (protocol converters, tiles, ...) without being connected to any
+ * unselected router.
+ *
+ * Router instances are identified by the "nocRouter" module
+ * attribute with a "nocIndex" index attribute — set automatically by
+ * the Constellation-style generator in src/target/noc.
+ */
+
+#ifndef FIREAXE_RIPPER_NOCSELECT_HH
+#define FIREAXE_RIPPER_NOCSELECT_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "firrtl/ir.hh"
+
+namespace fireaxe::ripper {
+
+/** A discovered NoC router node. */
+struct NocRouterInfo
+{
+    std::string path;       ///< full instance path from the top
+    unsigned index;         ///< router node index
+    std::string parentPath; ///< instance path of the enclosing module
+};
+
+/** Enumerate all NoC router instances in the design. */
+std::vector<NocRouterInfo> findNocRouters(const firrtl::Circuit &circuit);
+
+/**
+ * Compute the instance paths that form one NoC partition group: the
+ * selected routers plus everything reachable from them in the
+ * instance-connectivity graph without crossing an unselected router.
+ * fatal() if an index is unknown or the routers do not share a
+ * common enclosing module.
+ */
+std::set<std::string> selectNocGroup(const firrtl::Circuit &circuit,
+                                     const std::set<unsigned> &indices);
+
+} // namespace fireaxe::ripper
+
+#endif // FIREAXE_RIPPER_NOCSELECT_HH

@@ -1,0 +1,583 @@
+#include "ripper/partition.hh"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <tuple>
+
+#include "base/logging.hh"
+#include "firrtl/builder.hh"
+#include "passes/combdep.hh"
+#include "passes/flatten.hh"
+#include "ripper/boundary.hh"
+
+namespace fireaxe::ripper {
+
+using firrtl::Circuit;
+using firrtl::Connect;
+using firrtl::ExprKind;
+using firrtl::ExprPtr;
+using firrtl::Module;
+using firrtl::PortDir;
+using firrtl::splitRef;
+
+namespace {
+
+/** Turn a flat signal name into a legal, readable port name. */
+std::string
+sanitizeName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name)
+        out.push_back((c == '/' || c == '.') ? '_' : c);
+    return out;
+}
+
+/** Allocates unique names within one module namespace. */
+class NameAllocator
+{
+  public:
+    explicit NameAllocator(const Module &mod)
+    {
+        for (const auto &p : mod.ports)
+            used_.insert(p.name);
+        for (const auto &w : mod.wires)
+            used_.insert(w.name);
+        for (const auto &r : mod.regs)
+            used_.insert(r.name);
+        for (const auto &m : mod.mems)
+            used_.insert(m.name);
+        for (const auto &i : mod.instances)
+            used_.insert(i.name);
+    }
+
+    std::string
+    allocate(const std::string &base)
+    {
+        std::string name = base;
+        unsigned n = 0;
+        while (!used_.insert(name).second)
+            name = base + "_" + std::to_string(++n);
+        return name;
+    }
+
+  private:
+    std::set<std::string> used_;
+};
+
+/**
+ * Copy-propagate single-reference wire aliases in a flat module so
+ * that pure feedthroughs between partitions can be shortcut into
+ * direct partition-to-partition nets.
+ */
+void
+copyPropagate(Module &mod)
+{
+    // wire -> the ref it is an alias of (equal width, single-Ref rhs)
+    std::map<std::string, std::string> alias;
+    for (const auto &c : mod.connects) {
+        const firrtl::Wire *w = mod.findWire(c.lhs);
+        if (!w || c.rhs->kind != ExprKind::Ref)
+            continue;
+        if (c.rhs->width == w->width)
+            alias[c.lhs] = c.rhs->name;
+    }
+    if (alias.empty())
+        return;
+
+    // Resolve alias chains (bounded by map size; cycles impossible in
+    // a verified single-driver design).
+    auto resolve = [&](std::string name) {
+        size_t guard = alias.size() + 1;
+        while (guard-- > 0) {
+            auto it = alias.find(name);
+            if (it == alias.end())
+                return name;
+            name = it->second;
+        }
+        return name;
+    };
+
+    std::map<std::string, std::string> resolved;
+    for (const auto &[from, _] : alias)
+        resolved[from] = resolve(from);
+
+    for (auto &c : mod.connects)
+        c.rhs = firrtl::renameRefs(c.rhs, resolved);
+
+    // Drop alias wires that are no longer read.
+    std::set<std::string> read;
+    for (const auto &c : mod.connects) {
+        std::vector<std::string> refs;
+        collectRefs(c.rhs, refs);
+        read.insert(refs.begin(), refs.end());
+    }
+    std::set<std::string> dead;
+    for (const auto &[from, _] : resolved)
+        if (!read.count(from))
+            dead.insert(from);
+    std::erase_if(mod.connects, [&](const Connect &c) {
+        return dead.count(c.lhs) != 0;
+    });
+    std::erase_if(mod.wires, [&](const firrtl::Wire &w) {
+        return dead.count(w.name) != 0;
+    });
+}
+
+struct ChainNode
+{
+    int part;
+    std::string port;
+
+    bool
+    operator<(const ChainNode &other) const
+    {
+        return std::tie(part, port) < std::tie(other.part, other.port);
+    }
+};
+
+/**
+ * Exact-mode boundary verification (Section III-A1): reject
+ * combinational dependency chains that would require more than two
+ * link crossings per cycle, and token-dependency cycles that would
+ * deadlock. Weight-1 edges are intra-partition input->output
+ * combinational paths; weight-0 edges are the boundary nets.
+ */
+void
+checkDependencyChains(const PartitionPlan &plan,
+                      const std::vector<passes::PortDeps> &summaries,
+                      const std::vector<passes::CombDepAnalysis *>
+                          &analyses)
+{
+    std::map<ChainNode, std::vector<std::pair<ChainNode, int>>> graph;
+
+    for (size_t p = 0; p < plan.partitions.size(); ++p) {
+        for (const auto &[out, ins] : summaries[p].deps) {
+            for (const auto &in : ins) {
+                graph[{int(p), in}].push_back(
+                    {{int(p), out}, 1});
+            }
+        }
+    }
+    for (const auto &net : plan.nets) {
+        graph[{net.srcPart, net.srcPort}].push_back(
+            {{net.dstPart, net.dstPort}, 0});
+    }
+
+    // DFS longest-path with cycle detection.
+    std::map<ChainNode, int> state;  // 0 new, 1 on stack, 2 done
+    std::map<ChainNode, int> depth;  // max weight to any leaf
+    std::map<ChainNode, ChainNode> heavyNext;
+
+    std::function<int(const ChainNode &)> dfs =
+        [&](const ChainNode &node) -> int {
+        auto sit = state.find(node);
+        if (sit != state.end()) {
+            if (sit->second == 1) {
+                fatal("partition boundary contains a combinational "
+                      "token-dependency cycle through partition ",
+                      node.part, " port '", node.port,
+                      "'; this boundary cannot be simulated in "
+                      "exact-mode");
+            }
+            return depth[node];
+        }
+        state[node] = 1;
+        int best = 0;
+        auto git = graph.find(node);
+        if (git != graph.end()) {
+            for (const auto &[next, weight] : git->second) {
+                int d = dfs(next) + weight;
+                if (d > best) {
+                    best = d;
+                    heavyNext[node] = next;
+                }
+            }
+        }
+        state[node] = 2;
+        depth[node] = best;
+        return best;
+    };
+
+    std::vector<ChainNode> roots;
+    for (const auto &[node, _] : graph)
+        roots.push_back(node);
+    for (const auto &node : roots) {
+        if (dfs(node) >= 2) {
+            // Reconstruct the offending chain for the diagnostic.
+            std::ostringstream chain;
+            ChainNode cur = node;
+            chain << "p" << cur.part << "." << cur.port;
+            while (heavyNext.count(cur)) {
+                cur = heavyNext[cur];
+                chain << " -> p" << cur.part << "." << cur.port;
+            }
+            // Expand with an intra-partition signal path if possible.
+            std::string detail;
+            (void)analyses;
+            fatal("exact-mode: combinational dependency chain between "
+                  "boundary ports exceeds the supported length "
+                  "(more than two link crossings would be needed per "
+                  "target cycle). Offending chain: ", chain.str(),
+                  ". Re-partition so the boundary is register-to-",
+                  "register on at least one side, or use fast-mode ",
+                  "on a latency-insensitive boundary.");
+        }
+    }
+}
+
+} // namespace
+
+std::vector<int>
+PartitionPlan::channelsFrom(int src_part) const
+{
+    std::vector<int> out;
+    for (size_t c = 0; c < channels.size(); ++c)
+        if (channels[c].srcPart == src_part)
+            out.push_back(int(c));
+    return out;
+}
+
+PartitionPlan
+partition(const Circuit &target, const PartitionSpec &spec)
+{
+    if (spec.groups.empty())
+        fatal("partition spec has no groups");
+
+    // Map instance path -> group (1-based partition index).
+    std::map<std::string, int> path_group;
+    std::set<std::string> all_paths;
+    for (size_t g = 0; g < spec.groups.size(); ++g) {
+        if (spec.groups[g].instancePaths.empty())
+            fatal("partition group '", spec.groups[g].name,
+                  "' selects no instances");
+        for (const auto &path : spec.groups[g].instancePaths) {
+            if (!path_group.emplace(path, int(g) + 1).second)
+                fatal("instance '", path,
+                      "' selected by more than one group");
+            all_paths.insert(path);
+        }
+    }
+
+    // --- Reparent: hoist selected instances to the top. ---
+    Circuit flat = passes::flattenExcept(target, all_paths);
+    Module &ftop = flat.top();
+
+    // All requested paths must have materialized as kept instances.
+    {
+        std::set<std::string> found;
+        for (const auto &inst : ftop.instances)
+            found.insert(inst.name);
+        for (const auto &path : all_paths) {
+            if (!found.count(path))
+                fatal("selected instance path '", path,
+                      "' does not exist in the design");
+        }
+    }
+
+    copyPropagate(ftop);
+
+    auto ownerOf = [&](const std::string &ref_name) -> int {
+        auto [owner, field] = splitRef(ref_name);
+        if (owner.empty())
+            return 0;
+        auto it = path_group.find(owner);
+        return it == path_group.end() ? 0 : it->second;
+    };
+
+    size_t num_parts = spec.groups.size() + 1;
+
+    PartitionPlan plan;
+    plan.mode = spec.mode;
+    plan.partitionNames.resize(num_parts);
+    plan.partitionNames[0] = "rest";
+    plan.fame5Threads.assign(num_parts, 1);
+
+    // --- Grouping: build partition top modules. ---
+    std::vector<Module> pmods(num_parts);
+    pmods[0].name = "Partition_rest";
+    pmods[0].ports = ftop.ports;
+    pmods[0].wires = ftop.wires;
+    pmods[0].regs = ftop.regs;
+    pmods[0].mems = ftop.mems;
+    pmods[0].attrs = ftop.attrs;
+    for (size_t g = 0; g < spec.groups.size(); ++g) {
+        plan.partitionNames[g + 1] = spec.groups[g].name;
+        plan.fame5Threads[g + 1] = spec.groups[g].fame5Threads;
+        pmods[g + 1].name = "Partition_" + spec.groups[g].name;
+    }
+    for (const auto &inst : ftop.instances) {
+        int g = path_group.at(inst.name);
+        pmods[g].instances.push_back(inst);
+    }
+
+    // Classify connects: internal-to-group ones move inside.
+    std::vector<Connect> rest_connects;
+    for (const auto &c : ftop.connects) {
+        int gl = ownerOf(c.lhs);
+        std::vector<std::string> refs;
+        collectRefs(c.rhs, refs);
+        bool internal = gl > 0;
+        for (const auto &r : refs) {
+            if (ownerOf(r) != gl) {
+                internal = false;
+                break;
+            }
+        }
+        if (internal)
+            pmods[gl].connects.push_back(c);
+        else
+            rest_connects.push_back(c);
+    }
+
+    // --- Extract/Remove: punch boundary ports. ---
+    std::vector<NameAllocator> alloc;
+    alloc.reserve(num_parts);
+    for (size_t p = 0; p < num_parts; ++p)
+        alloc.emplace_back(pmods[p]);
+
+    auto signalWidth = [&](const std::string &ref_name) -> unsigned {
+        firrtl::SignalInfo info = ftop.resolve(flat, ref_name);
+        FIREAXE_ASSERT(info.kind != firrtl::SignalKind::Unknown,
+                       "unresolved flat signal ", ref_name);
+        return info.width;
+    };
+
+    // Exported instance outputs: (flat ref) -> output port on its
+    // owning partition. Shared by every consumer of that signal.
+    std::map<std::string, std::string> export_port;
+    auto exportSignal = [&](const std::string &ref_name) {
+        auto it = export_port.find(ref_name);
+        if (it != export_port.end())
+            return it->second;
+        int g = ownerOf(ref_name);
+        FIREAXE_ASSERT(g > 0);
+        unsigned width = signalWidth(ref_name);
+        std::string pname = alloc[g].allocate(sanitizeName(ref_name));
+        pmods[g].ports.push_back({pname, PortDir::Output, width});
+        pmods[g].connects.push_back(
+            {pname, firrtl::ref(ref_name, width)});
+        export_port[ref_name] = pname;
+        return pname;
+    };
+
+    // Imports into the rest partition: (flat ref) -> rest input port.
+    std::map<std::string, std::string> rest_import_port;
+    auto importToRest = [&](const std::string &ref_name) {
+        auto it = rest_import_port.find(ref_name);
+        if (it != rest_import_port.end())
+            return it->second;
+        unsigned width = signalWidth(ref_name);
+        std::string pname = alloc[0].allocate(sanitizeName(ref_name));
+        pmods[0].ports.push_back({pname, PortDir::Input, width});
+        rest_import_port[ref_name] = pname;
+
+        std::string src_port = exportSignal(ref_name);
+        plan.nets.push_back({width, ownerOf(ref_name), 0, src_port,
+                             pname, ref_name});
+        return pname;
+    };
+
+    for (const auto &c : rest_connects) {
+        int gl = ownerOf(c.lhs);
+        // Pure feedthrough into a partition: direct net, bypassing
+        // the rest partition entirely.
+        if (gl > 0 && c.rhs->kind == ExprKind::Ref &&
+            ownerOf(c.rhs->name) > 0 &&
+            signalWidth(c.rhs->name) == signalWidth(c.lhs)) {
+            int gs = ownerOf(c.rhs->name);
+            unsigned width = signalWidth(c.lhs);
+            std::string src_port = exportSignal(c.rhs->name);
+            std::string dst_port =
+                alloc[gl].allocate(sanitizeName(c.lhs));
+            pmods[gl].ports.push_back(
+                {dst_port, PortDir::Input, width});
+            pmods[gl].connects.push_back(
+                {c.lhs, firrtl::ref(dst_port, width)});
+            plan.nets.push_back(
+                {width, gs, gl, src_port, dst_port, c.lhs});
+            continue;
+        }
+
+        // General case: the expression stays in the rest partition.
+        std::map<std::string, std::string> renames;
+        std::vector<std::string> refs;
+        collectRefs(c.rhs, refs);
+        for (const auto &r : refs)
+            if (ownerOf(r) > 0)
+                renames[r] = importToRest(r);
+        ExprPtr rhs = renames.empty()
+                          ? c.rhs
+                          : firrtl::renameRefs(c.rhs, renames);
+
+        if (gl > 0) {
+            // Rest drives a partitioned instance input: punch an
+            // output port on rest and an input port on the partition.
+            unsigned width = signalWidth(c.lhs);
+            std::string rest_port =
+                alloc[0].allocate(sanitizeName(c.lhs));
+            pmods[0].ports.push_back(
+                {rest_port, PortDir::Output, width});
+            pmods[0].connects.push_back({rest_port, rhs});
+
+            std::string dst_port =
+                alloc[gl].allocate(sanitizeName(c.lhs));
+            pmods[gl].ports.push_back(
+                {dst_port, PortDir::Input, width});
+            pmods[gl].connects.push_back(
+                {c.lhs, firrtl::ref(dst_port, width)});
+            plan.nets.push_back(
+                {width, 0, gl, rest_port, dst_port, c.lhs});
+        } else {
+            pmods[0].connects.push_back({c.lhs, rhs});
+        }
+    }
+
+    // --- Assemble per-partition circuits. ---
+    for (size_t p = 0; p < num_parts; ++p) {
+        Circuit pc;
+        pc.topName = pmods[p].name;
+        // Copy kept module definitions reachable from this partition.
+        std::function<void(const std::string &)> copyDef =
+            [&](const std::string &mod_name) {
+                if (pc.findModule(mod_name))
+                    return;
+                const Module *def = flat.findModule(mod_name);
+                FIREAXE_ASSERT(def, "missing module ", mod_name);
+                pc.addModule(*def);
+                for (const auto &inst : def->instances)
+                    copyDef(inst.moduleName);
+            };
+        for (const auto &inst : pmods[p].instances)
+            copyDef(inst.moduleName);
+        pc.addModule(pmods[p]);
+        plan.partitions.push_back(std::move(pc));
+    }
+    for (auto &pc : plan.partitions)
+        firrtl::verifyCircuit(pc);
+
+    // --- Combinational analysis of each partition. ---
+    std::vector<std::unique_ptr<passes::CombDepAnalysis>> analyses;
+    std::vector<passes::PortDeps> summaries;
+    for (const auto &pc : plan.partitions) {
+        analyses.push_back(
+            std::make_unique<passes::CombDepAnalysis>(pc));
+        summaries.push_back(analyses.back()->forModule(pc.topName));
+    }
+
+    if (spec.mode == PartitionMode::Exact) {
+        std::vector<passes::CombDepAnalysis *> raw;
+        for (auto &a : analyses)
+            raw.push_back(a.get());
+        checkDependencyChains(plan, summaries, raw);
+    }
+
+    // --- Channelization. ---
+    bool any_comb_boundary = false;
+    std::map<std::pair<int, int>, std::vector<int>> by_pair;
+    for (size_t n = 0; n < plan.nets.size(); ++n) {
+        by_pair[{plan.nets[n].srcPart, plan.nets[n].dstPart}]
+            .push_back(int(n));
+    }
+
+    for (const auto &[pair, net_idxs] : by_pair) {
+        auto [src, dst] = pair;
+        std::vector<int> source_nets, sink_nets;
+        for (int n : net_idxs) {
+            bool sink = summaries[src].isSinkOutput(
+                plan.nets[n].srcPort);
+            (sink ? sink_nets : source_nets).push_back(n);
+        }
+        if (!sink_nets.empty())
+            any_comb_boundary = true;
+
+        auto addChannel = [&](const std::string &suffix,
+                              std::vector<int> nets, bool sink_class) {
+            if (nets.empty())
+                return;
+            ChannelPlan ch;
+            ch.name = "p" + std::to_string(src) + "_to_p" +
+                      std::to_string(dst) + suffix;
+            ch.srcPart = src;
+            ch.dstPart = dst;
+            ch.sinkClass = sink_class;
+            for (int n : nets)
+                ch.widthBits += plan.nets[n].width;
+            ch.netIndices = std::move(nets);
+            plan.channels.push_back(std::move(ch));
+        };
+
+        if (spec.mode == PartitionMode::Exact) {
+            addChannel("_src", std::move(source_nets), false);
+            addChannel("_snk", std::move(sink_nets), true);
+        } else {
+            std::vector<int> all_nets(net_idxs);
+            bool sink_class = !sink_nets.empty();
+            addChannel("", std::move(all_nets), sink_class);
+        }
+    }
+
+    // --- Fast-mode ready-valid boundary transform. ---
+    if (spec.mode == PartitionMode::Fast) {
+        unsigned transformed =
+            applyReadyValidTransforms(plan, target, path_group);
+        if (any_comb_boundary && transformed == 0) {
+            warn("fast-mode partition boundary has combinational "
+                 "dependencies but no ready-valid annotations; "
+                 "results will be cycle-approximate and backpressure "
+                 "may be violated at the boundary");
+        }
+    }
+
+    // --- Feedback. ---
+    plan.feedback.resources.resize(num_parts);
+    plan.feedback.interfaceWidths.assign(num_parts, 0);
+    for (size_t p = 0; p < num_parts; ++p) {
+        plan.feedback.resources[p] =
+            passes::estimateResources(plan.partitions[p]);
+    }
+    for (const auto &net : plan.nets) {
+        plan.feedback.interfaceWidths[net.srcPart] += net.width;
+        plan.feedback.interfaceWidths[net.dstPart] += net.width;
+    }
+    for (const auto &ch : plan.channels) {
+        plan.feedback.maxChannelWidth =
+            std::max(plan.feedback.maxChannelWidth, ch.widthBits);
+    }
+    plan.feedback.linkCrossingsPerCycle =
+        (spec.mode == PartitionMode::Exact && any_comb_boundary) ? 2
+                                                                 : 1;
+    return plan;
+}
+
+std::string
+describePlan(const PartitionPlan &plan)
+{
+    std::ostringstream os;
+    os << "FireRipper partition plan ("
+       << (plan.mode == PartitionMode::Exact ? "exact" : "fast")
+       << "-mode)\n";
+    for (size_t p = 0; p < plan.partitions.size(); ++p) {
+        const auto &res = plan.feedback.resources[p];
+        os << "  partition " << p << " '" << plan.partitionNames[p]
+           << "': " << res.luts << " LUTs, " << res.flipFlops
+           << " FFs, " << res.brams << " BRAMs, boundary "
+           << plan.feedback.interfaceWidths[p] << " bits";
+        if (plan.fame5Threads[p] > 1)
+            os << ", FAME-5 x" << plan.fame5Threads[p];
+        os << "\n";
+    }
+    for (const auto &ch : plan.channels) {
+        os << "  channel " << ch.name << ": " << ch.netIndices.size()
+           << " nets, " << ch.widthBits << " bits"
+           << (ch.sinkClass ? " (sink)" : " (source)") << "\n";
+    }
+    os << "  link crossings per target cycle: "
+       << plan.feedback.linkCrossingsPerCycle << "\n";
+    return os.str();
+}
+
+} // namespace fireaxe::ripper

@@ -1,0 +1,105 @@
+#include "rtlsim/vcd.hh"
+
+#include <bitset>
+
+namespace fireaxe::rtlsim {
+
+namespace {
+
+/** Sanitize a hierarchical flat name for VCD identifiers. */
+std::string
+vcdName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name)
+        out.push_back((c == '/' || c == '.') ? '_' : c);
+    return out;
+}
+
+/** Binary rendering without leading zeros (VCD convention). */
+std::string
+binary(uint64_t value, unsigned width)
+{
+    if (value == 0)
+        return "0";
+    std::string out;
+    bool started = false;
+    for (int b = int(width) - 1; b >= 0; --b) {
+        bool bit = (value >> b) & 1;
+        if (bit)
+            started = true;
+        if (started)
+            out.push_back(bit ? '1' : '0');
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+VcdWriter::idFor(size_t index)
+{
+    // Printable-ASCII base-94 identifiers, as the VCD spec allows.
+    std::string id;
+    size_t n = index;
+    do {
+        id.push_back(char('!' + n % 94));
+        n /= 94;
+    } while (n > 0);
+    return id;
+}
+
+VcdWriter::VcdWriter(std::ostream &os, Simulator &sim,
+                     const std::string &scope_name)
+    : os_(os), sim_(sim)
+{
+    os_ << "$timescale 1ns $end\n";
+    os_ << "$scope module " << scope_name << " $end\n";
+    ids_.reserve(sim_.numSignals());
+    last_.assign(sim_.numSignals(), 0);
+    for (size_t i = 0; i < sim_.numSignals(); ++i) {
+        const Signal &sig = sim_.signal(int(i));
+        ids_.push_back(idFor(i));
+        os_ << "$var wire " << sig.width << " " << ids_[i] << " "
+            << vcdName(sig.name) << " $end\n";
+    }
+    os_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void
+VcdWriter::emitValue(size_t index)
+{
+    const Signal &sig = sim_.signal(int(index));
+    uint64_t value = sim_.peekIdx(int(index));
+    if (sig.width == 1)
+        os_ << (value ? '1' : '0') << ids_[index] << "\n";
+    else
+        os_ << "b" << binary(value, sig.width) << " " << ids_[index]
+            << "\n";
+    last_[index] = value;
+}
+
+void
+VcdWriter::sample()
+{
+    uint64_t now = sim_.cycle();
+    if (!first_ && now == lastTime_)
+        return;
+
+    os_ << "#" << now << "\n";
+    if (first_) {
+        os_ << "$dumpvars\n";
+        for (size_t i = 0; i < sim_.numSignals(); ++i)
+            emitValue(i);
+        os_ << "$end\n";
+        first_ = false;
+    } else {
+        for (size_t i = 0; i < sim_.numSignals(); ++i)
+            if (sim_.peekIdx(int(i)) != last_[i])
+                emitValue(i);
+    }
+    lastTime_ = now;
+}
+
+} // namespace fireaxe::rtlsim

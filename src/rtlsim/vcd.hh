@@ -1,0 +1,54 @@
+/**
+ * @file
+ * VCD (value-change-dump) waveform writer for the RTL interpreter.
+ * Lets users inspect monolithic or per-partition simulations in any
+ * standard waveform viewer — the debugging loop FireSim users get
+ * from its metasimulation mode.
+ */
+
+#ifndef FIREAXE_RTLSIM_VCD_HH
+#define FIREAXE_RTLSIM_VCD_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "rtlsim/simulator.hh"
+
+namespace fireaxe::rtlsim {
+
+/**
+ * Streams value changes of every signal of a Simulator to an
+ * ostream in VCD format. Usage:
+ * @code
+ *   VcdWriter vcd(file, sim, "top");
+ *   for (...) { sim.step(); vcd.sample(); }
+ * @endcode
+ */
+class VcdWriter
+{
+  public:
+    /** Writes the header (var declarations + initial dump). The
+     *  simulator must outlive the writer. */
+    VcdWriter(std::ostream &os, Simulator &sim,
+              const std::string &scope_name = "top");
+
+    /** Emit changes since the last sample at the simulator's current
+     *  cycle. Idempotent per cycle. */
+    void sample();
+
+  private:
+    static std::string idFor(size_t index);
+    void emitValue(size_t index);
+
+    std::ostream &os_;
+    Simulator &sim_;
+    std::vector<uint64_t> last_;
+    std::vector<std::string> ids_;
+    uint64_t lastTime_ = 0;
+    bool first_ = true;
+};
+
+} // namespace fireaxe::rtlsim
+
+#endif // FIREAXE_RTLSIM_VCD_HH

@@ -1,0 +1,53 @@
+#include "transport/link.hh"
+
+#include "base/logging.hh"
+
+namespace fireaxe::transport {
+
+LinkParams
+qsfpAurora()
+{
+    // Aurora 64b/66b over a passive QSFP DAC: sub-microsecond
+    // round-trips; 4 lanes x ~10 Gbps of payload bandwidth.
+    return {"qsfp-aurora", 540.0, 5.0, 30.0};
+}
+
+LinkParams
+pciePeerToPeer()
+{
+    // Posted PCIe writes FPGA-to-FPGA: roughly one PCIe round more
+    // latency than Aurora and TLP framing overhead per token.
+    return {"pcie-p2p", 820.0, 16.0, 120.0};
+}
+
+LinkParams
+hostManagedPcie()
+{
+    // Token path: FPGA -> host DMA -> driver -> shared memory ->
+    // peer driver -> host DMA -> FPGA. Driver software dominates.
+    return {"host-pcie", 900.0, 8.0, 18000.0};
+}
+
+LinkParams
+ethernetSwitch()
+{
+    // 100G Ethernet NIC + store-and-forward switch hop: arbitrary
+    // topology, but an extra ~1.3 us of MAC + switch latency and
+    // per-frame overhead.
+    return {"ethernet-switch", 1300.0, 12.5, 220.0};
+}
+
+double
+tokenSerNs(const LinkParams &link, unsigned bits)
+{
+    FIREAXE_ASSERT(link.bitsPerNs > 0.0);
+    return link.perTokenOverheadNs + double(bits) / link.bitsPerNs;
+}
+
+double
+tokenLatencyNs(const LinkParams &link)
+{
+    return link.latencyNs;
+}
+
+} // namespace fireaxe::transport

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * FPGA-to-FPGA transport models (Section IV of the paper).
+ *
+ * FireAxe moves LI-BDN tokens between FPGAs over one of three
+ * transports, which differ in flight latency, serialization
+ * bandwidth, and per-token software overhead:
+ *
+ *  - QSFP direct-attach cables + Aurora IP (on-premises, §IV-C):
+ *    ultra-low latency, highest achievable target frequency
+ *    (~1.6 MHz in the paper).
+ *  - Peer-to-peer PCIe between FPGAs on one AWS F1 instance
+ *    (§IV-B): no host involvement, ~1 MHz, overall ~1.5x slower
+ *    than QSFP.
+ *  - Host-managed PCIe DMA through the drivers and shared memory
+ *    (§IV-A): works anywhere but software overhead caps the rate at
+ *    ~26.4 kHz.
+ *
+ * A token of W bits occupies the link for
+ * `perTokenOverheadNs + W / bitsPerNs` and becomes visible at the
+ * consumer `latencyNs` after departure. The constants below are
+ * calibrated so that the partitioned-simulation benchmarks land in
+ * the paper's reported rate ranges (see EXPERIMENTS.md); the *shape*
+ * of every sweep comes from the executed token mechanics, not from
+ * these constants.
+ */
+
+#ifndef FIREAXE_TRANSPORT_LINK_HH
+#define FIREAXE_TRANSPORT_LINK_HH
+
+#include <string>
+
+namespace fireaxe::transport {
+
+/** Timing parameters of one inter-FPGA transport. */
+struct LinkParams
+{
+    std::string name;
+    /** One-way flight latency from departure to visibility (ns). */
+    double latencyNs;
+    /** Serialization bandwidth (bits per ns). */
+    double bitsPerNs;
+    /** Fixed per-token occupancy (framing, DMA setup, driver; ns). */
+    double perTokenOverheadNs;
+};
+
+/** QSFP direct-attach cable with Aurora 64b/66b IP (on-premises). */
+LinkParams qsfpAurora();
+
+/** Peer-to-peer PCIe between FPGAs of one AWS EC2 F1 instance. */
+LinkParams pciePeerToPeer();
+
+/** Host-managed PCIe DMA through the C++ simulation drivers and a
+ *  shared-memory region. */
+LinkParams hostManagedPcie();
+
+/**
+ * Switched Ethernet between FPGA NICs (the Section VIII-C
+ * future-work transport): routes tokens between *any* pair of FPGAs
+ * through a central switch, lifting the ring/tree topology limit of
+ * the two QSFP cages — at the price of switch-hop latency and
+ * packetization overhead.
+ */
+LinkParams ethernetSwitch();
+
+/** Serialization occupancy of one token of @p bits on the link. */
+double tokenSerNs(const LinkParams &link, unsigned bits);
+
+/** Flight latency of the link. */
+double tokenLatencyNs(const LinkParams &link);
+
+} // namespace fireaxe::transport
+
+#endif // FIREAXE_TRANSPORT_LINK_HH

@@ -1,0 +1,320 @@
+#include "uarch/core_model.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace fireaxe::uarch {
+
+namespace {
+
+/** What bound a pipeline stage's time (for TIP attribution). */
+enum class Reason : uint8_t {
+    None,
+    FetchBandwidth,
+    FetchBuffer,
+    ICacheMiss,
+    Redirect,
+    Dispatch,     // bound by an upstream stage
+    Window,       // ROB / phys regs / LQ / SQ
+    DepExecute,   // waiting on an ALU/MUL/FP producer
+    DepMemory,    // waiting on a missing load
+    FuBusy,       // functional-unit contention
+    MemPortBusy,
+    CommitBandwidth,
+};
+
+/** Execution latency per instruction class. */
+unsigned
+latencyOf(const Instr &in, const CoreParams &p, bool effective_miss)
+{
+    switch (in.kind) {
+      case InstrKind::IntAlu:
+        return 1;
+      case InstrKind::Mul:
+        return 3;
+      case InstrKind::Fp:
+        return 4;
+      case InstrKind::Load:
+        return 3 + (effective_miss ? p.l1dMissCycles : 0);
+      case InstrKind::Store:
+        return 1;
+      case InstrKind::Branch:
+        return 1;
+    }
+    return 1;
+}
+
+/** Deterministic per-instruction demotion hash in [0,1). */
+double
+demoteHash(uint64_t i)
+{
+    uint64_t z = (i + 0x9e3779b97f4a7c15ull) * 0xbf58476d1ce4e5b9ull;
+    z ^= z >> 31;
+    return double(z >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/** Ring history of the last N values (for occupancy constraints). */
+class TimeRing
+{
+  public:
+    explicit TimeRing(size_t depth) : buf_(std::max<size_t>(depth, 1))
+    {}
+
+    /** Value recorded `depth` pushes ago (0 if not yet filled). */
+    uint64_t
+    oldest() const
+    {
+        return count_ >= buf_.size() ? buf_[head_] : 0;
+    }
+
+    void
+    push(uint64_t v)
+    {
+        buf_[head_] = v;
+        head_ = (head_ + 1) % buf_.size();
+        ++count_;
+    }
+
+  private:
+    std::vector<uint64_t> buf_;
+    size_t head_ = 0;
+    size_t count_ = 0;
+};
+
+} // namespace
+
+CoreResult
+CoreModel::run(const WorkloadProfile &profile, uint64_t seed) const
+{
+    const CoreParams &p = params_;
+    std::vector<Instr> trace = generateTrace(profile, seed);
+    size_t n = trace.size();
+
+    CoreResult result;
+    result.core = p.name;
+    result.workload = profile.name;
+    result.instructions = n;
+
+    std::vector<uint64_t> fetch(n), dispatch(n), complete(n),
+        commit(n);
+    std::vector<Reason> complete_reason(n), dispatch_reason(n),
+        fetch_reason(n);
+
+    // Occupancy rings: commit time of the instruction whose release
+    // frees the structure.
+    TimeRing rob_ring(p.robEntries);
+    TimeRing int_ring(p.intPhysRegs > p.archRegs
+                          ? p.intPhysRegs - p.archRegs
+                          : 1);
+    TimeRing fp_ring(p.fpPhysRegs > p.archRegs
+                         ? p.fpPhysRegs - p.archRegs
+                         : 1);
+    TimeRing ldq_ring(p.ldqEntries);
+    TimeRing stq_ring(p.stqEntries);
+    TimeRing fetch_bw_ring(p.fetchWidth);
+    TimeRing fb_ring(p.fetchBufferEntries);
+    TimeRing commit_bw_ring(p.issueWidth);
+    TimeRing dispatch_bw_ring(p.issueWidth);
+
+    // Functional-unit pools: next-free time per unit.
+    std::vector<uint64_t> alu(p.intAlus, 0), mem(p.memPorts, 0),
+        fpu(p.fpUnits, 0), mul(std::max(1u, p.intAlus / 2), 0);
+
+    uint64_t redirect_ready = 0;
+    uint64_t last_commit = 0;
+    double l1d_demote = p.l1dKb > 32 ? 1.0 - 32.0 / p.l1dKb : 0.0;
+    double bp_demote = 1.0 - p.branchPredictorFactor;
+
+    for (size_t i = 0; i < n; ++i) {
+        const Instr &in = trace[i];
+
+        // ---- Fetch ----
+        uint64_t f = fetch_bw_ring.oldest() + 1;
+        Reason fr = Reason::FetchBandwidth;
+        uint64_t fb_bound = fb_ring.oldest();
+        if (fb_bound > f) {
+            f = fb_bound;
+            fr = Reason::FetchBuffer;
+        }
+        if (redirect_ready > f) {
+            f = redirect_ready;
+            fr = Reason::Redirect;
+        }
+        if (in.l1iMiss) {
+            f += p.l1iMissCycles;
+            fr = Reason::ICacheMiss;
+        }
+        fetch[i] = f;
+        fetch_reason[i] = fr;
+        fetch_bw_ring.push(f);
+
+        // ---- Dispatch (rename + window allocation) ----
+        uint64_t d = f + 1;
+        Reason dr = Reason::Dispatch;
+        auto bound = [&](uint64_t t, Reason why) {
+            if (t > d) {
+                d = t;
+                dr = why;
+            }
+        };
+        bound(dispatch_bw_ring.oldest() + 1, Reason::Dispatch);
+        if (i > 0)
+            bound(dispatch[i - 1], Reason::Dispatch);
+        bound(rob_ring.oldest(), Reason::Window);
+        bool fp_dest = in.kind == InstrKind::Fp;
+        bool has_dest =
+            in.kind != InstrKind::Store && in.kind != InstrKind::Branch;
+        if (has_dest)
+            bound((fp_dest ? fp_ring : int_ring).oldest(),
+                  Reason::Window);
+        if (in.kind == InstrKind::Load)
+            bound(ldq_ring.oldest(), Reason::Window);
+        if (in.kind == InstrKind::Store)
+            bound(stq_ring.oldest(), Reason::Window);
+        dispatch[i] = d;
+        dispatch_reason[i] = dr;
+        dispatch_bw_ring.push(d);
+
+        // ---- Execute ----
+        uint64_t ready = d + 1;
+        Reason cr = Reason::Dispatch;
+        auto depBound = [&](uint16_t dist) {
+            if (dist == 0 || dist > i)
+                return;
+            size_t j = i - dist;
+            if (complete[j] > ready) {
+                ready = complete[j];
+                const Instr &prod = trace[j];
+                bool was_miss =
+                    prod.kind == InstrKind::Load &&
+                    complete_reason[j] == Reason::DepMemory;
+                bool slow_fu = prod.kind == InstrKind::Fp ||
+                               prod.kind == InstrKind::Mul;
+                cr = (was_miss || (prod.kind == InstrKind::Load &&
+                                   complete[j] - dispatch[j] >
+                                       4 + p.l1dMissCycles / 2))
+                         ? Reason::DepMemory
+                         : (slow_fu ? Reason::DepExecute
+                                    : Reason::DepExecute);
+            }
+        };
+        depBound(in.dep1);
+        depBound(in.dep2);
+
+        std::vector<uint64_t> *pool = &alu;
+        Reason busy_reason = Reason::FuBusy;
+        switch (in.kind) {
+          case InstrKind::Load:
+          case InstrKind::Store:
+            pool = &mem;
+            busy_reason = Reason::MemPortBusy;
+            break;
+          case InstrKind::Fp:
+            pool = &fpu;
+            break;
+          case InstrKind::Mul:
+            pool = &mul;
+            break;
+          default:
+            pool = &alu;
+            break;
+        }
+        auto slot = std::min_element(pool->begin(), pool->end());
+        uint64_t start = ready;
+        if (*slot > start) {
+            start = *slot;
+            cr = busy_reason;
+        }
+        *slot = start + 1; // pipelined units: one issue per cycle
+
+        bool miss = in.kind == InstrKind::Load && in.l1dMiss &&
+                    demoteHash(i) >= l1d_demote;
+        uint64_t done = start + latencyOf(in, p, miss);
+        if (miss)
+            cr = Reason::DepMemory;
+        complete[i] = done;
+        complete_reason[i] = cr;
+
+        // Branch redirect: re-steer fetch after resolution.
+        if (in.kind == InstrKind::Branch && in.mispredict &&
+            demoteHash(i * 3 + 1) >= bp_demote) {
+            redirect_ready = std::max(
+                redirect_ready, done + p.mispredictPenalty);
+        }
+
+        // ---- Commit (in order) ----
+        uint64_t c = done + 1;
+        Reason final_reason = cr;
+        if (last_commit > c) {
+            c = last_commit;
+            final_reason = Reason::CommitBandwidth;
+        }
+        uint64_t cbw = commit_bw_ring.oldest() + 1;
+        if (cbw > c) {
+            c = cbw;
+            final_reason = Reason::CommitBandwidth;
+        }
+        commit[i] = c;
+        commit_bw_ring.push(c);
+
+        // Structures release at commit.
+        rob_ring.push(c);
+        if (has_dest)
+            (fp_dest ? fp_ring : int_ring).push(c);
+        if (in.kind == InstrKind::Load)
+            ldq_ring.push(c);
+        if (in.kind == InstrKind::Store)
+            stq_ring.push(c);
+        fb_ring.push(d); // fetch-buffer entry frees at dispatch
+
+        // ---- TIP attribution of the commit gap ----
+        uint64_t gap = c - last_commit;
+        last_commit = c;
+        if (gap == 0)
+            continue;
+        const char *cat = cpi::base;
+        if (final_reason == Reason::CommitBandwidth) {
+            cat = cpi::base;
+        } else {
+            // Walk back to the stage that actually bound us.
+            Reason why = final_reason;
+            if (why == Reason::Dispatch) {
+                why = dispatch_reason[i];
+                if (why == Reason::Dispatch)
+                    why = fetch_reason[i];
+            }
+            switch (why) {
+              case Reason::FetchBandwidth:
+              case Reason::FetchBuffer:
+              case Reason::ICacheMiss:
+                cat = cpi::frontend;
+                break;
+              case Reason::Redirect:
+                cat = cpi::branch;
+                break;
+              case Reason::Window:
+                cat = cpi::window;
+                break;
+              case Reason::DepMemory:
+              case Reason::MemPortBusy:
+                cat = cpi::memory;
+                break;
+              case Reason::DepExecute:
+              case Reason::FuBusy:
+                cat = cpi::execute;
+                break;
+              default:
+                cat = cpi::base;
+                break;
+            }
+        }
+        result.cpiStack.add(cat, gap);
+    }
+
+    result.cycles = n ? commit[n - 1] : 0;
+    return result;
+}
+
+} // namespace fireaxe::uarch

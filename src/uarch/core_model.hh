@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Trace-driven out-of-order core performance model.
+ *
+ * A one-pass dataflow model with structural constraints: each
+ * instruction's fetch, dispatch, execute and commit times are
+ * computed in program order, bounded by fetch bandwidth and buffer,
+ * branch redirects, I/D-cache misses, ROB/physical-register/LQ/SQ
+ * occupancy, functional-unit contention, data dependencies and
+ * commit bandwidth. Every Table I parameter is load-bearing.
+ *
+ * The model also produces a TIP-style time-proportional cycle
+ * attribution (Gottschall et al., MICRO'21 — the profiler the paper
+ * integrates into FireAxe): each cycle between consecutive commits
+ * is attributed to the pipeline constraint that bound the younger
+ * instruction, yielding the CPI stacks of Fig. 8.
+ */
+
+#ifndef FIREAXE_UARCH_CORE_MODEL_HH
+#define FIREAXE_UARCH_CORE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/stats.hh"
+#include "uarch/params.hh"
+#include "uarch/trace.hh"
+
+namespace fireaxe::uarch {
+
+/** Cycle-attribution categories (Fig. 8 stack components). */
+namespace cpi {
+inline const char *base = "base";
+inline const char *frontend = "frontend";
+inline const char *branch = "branch";
+inline const char *window = "window";
+inline const char *execute = "execute";
+inline const char *memory = "memory";
+} // namespace cpi
+
+/** Result of one benchmark run on one core configuration. */
+struct CoreResult
+{
+    std::string core;
+    std::string workload;
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    CounterSet cpiStack;
+
+    double
+    ipc() const
+    {
+        return cycles ? double(instructions) / double(cycles) : 0.0;
+    }
+
+    /** Wall-clock runtime at a target frequency (Fig. 7). */
+    double
+    runtimeSeconds(double ghz) const
+    {
+        return double(cycles) / (ghz * 1e9);
+    }
+};
+
+/**
+ * The core model. Stateless between runs; construct once per
+ * parameter set.
+ */
+class CoreModel
+{
+  public:
+    explicit CoreModel(const CoreParams &params) : params_(params) {}
+
+    /** Simulate a workload trace. Deterministic for a given seed. */
+    CoreResult run(const WorkloadProfile &profile,
+                   uint64_t seed = 1) const;
+
+    const CoreParams &params() const { return params_; }
+
+  private:
+    CoreParams params_;
+};
+
+} // namespace fireaxe::uarch
+
+#endif // FIREAXE_UARCH_CORE_MODEL_HH

@@ -1,0 +1,80 @@
+#include "uarch/params.hh"
+
+namespace fireaxe::uarch {
+
+CoreParams
+largeBoomParams()
+{
+    CoreParams p;
+    p.name = "LargeBOOM";
+    p.issueWidth = 3;
+    p.robEntries = 96;
+    p.intPhysRegs = 100;
+    p.fpPhysRegs = 96;
+    p.ldqEntries = 24;
+    p.stqEntries = 24;
+    p.fetchBufferEntries = 24;
+    p.l1iKb = 32;
+    p.l1dKb = 32;
+    p.fetchWidth = 4;
+    p.intAlus = 3;
+    p.memPorts = 1;
+    p.fpUnits = 1;
+    p.mispredictPenalty = 12;
+    p.l1dMissCycles = 22;
+    p.l1iMissCycles = 18;
+    p.branchPredictorFactor = 1.0;
+    return p;
+}
+
+CoreParams
+gc40BoomParams()
+{
+    CoreParams p;
+    p.name = "GC40BOOM";
+    p.issueWidth = 6;
+    p.robEntries = 216;
+    p.intPhysRegs = 115;
+    p.fpPhysRegs = 132;
+    p.ldqEntries = 76;
+    p.stqEntries = 45;
+    p.fetchBufferEntries = 54;
+    p.l1iKb = 32;
+    p.l1dKb = 32;
+    p.fetchWidth = 8;
+    p.intAlus = 5;
+    p.memPorts = 2;
+    p.fpUnits = 2;
+    p.mispredictPenalty = 14;
+    p.l1dMissCycles = 22;
+    p.l1iMissCycles = 18;
+    p.branchPredictorFactor = 0.95;
+    return p;
+}
+
+CoreParams
+gcXeonParams()
+{
+    CoreParams p;
+    p.name = "GCXeon";
+    p.issueWidth = 6;
+    p.robEntries = 512;
+    p.intPhysRegs = 280;
+    p.fpPhysRegs = 332;
+    p.ldqEntries = 192;
+    p.stqEntries = 114;
+    p.fetchBufferEntries = 144;
+    p.l1iKb = 32;
+    p.l1dKb = 48;
+    p.fetchWidth = 8;
+    p.intAlus = 5;
+    p.memPorts = 3;
+    p.fpUnits = 3;
+    p.mispredictPenalty = 17;
+    p.l1dMissCycles = 14; // large, fast mid-level cache
+    p.l1iMissCycles = 12;
+    p.branchPredictorFactor = 0.55; // mature TAGE-class predictor
+    return p;
+}
+
+} // namespace fireaxe::uarch

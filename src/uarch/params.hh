@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Microarchitectural parameter sets (Table I of the paper).
+ *
+ * The paper compares three cores on Embench: Large BOOM, a
+ * Golden-Cove-downsized-by-40% BOOM ("GC40 BOOM"), and a Golden Cove
+ * Xeon. These structs drive the trace-driven OoO performance model
+ * in core_model.hh, which substitutes for running Embench on the
+ * FPGA-simulated RTL cores (see DESIGN.md).
+ */
+
+#ifndef FIREAXE_UARCH_PARAMS_HH
+#define FIREAXE_UARCH_PARAMS_HH
+
+#include <string>
+
+namespace fireaxe::uarch {
+
+/** Core parameters; the Table I rows plus modelled latencies. */
+struct CoreParams
+{
+    std::string name;
+
+    // Table I rows.
+    unsigned issueWidth;
+    unsigned robEntries;
+    unsigned intPhysRegs;
+    unsigned fpPhysRegs;
+    unsigned ldqEntries;
+    unsigned stqEntries;
+    unsigned fetchBufferEntries;
+    unsigned l1iKb;
+    unsigned l1dKb;
+
+    // Derived / modelled microarchitecture.
+    unsigned fetchWidth;         ///< frontend fetch bandwidth
+    unsigned intAlus;
+    unsigned memPorts;
+    unsigned fpUnits;
+    unsigned mispredictPenalty;  ///< redirect-to-refetch cycles
+    unsigned l1dMissCycles;      ///< L2 hit latency
+    unsigned l1iMissCycles;
+    /** Branch predictor quality: multiplier on a workload's
+     *  baseline misprediction rate (lower is better). */
+    double branchPredictorFactor;
+    /** Number of architectural registers per class (rename frees). */
+    unsigned archRegs = 32;
+};
+
+/** Table I column 1: Large BOOM. */
+CoreParams largeBoomParams();
+/** Table I column 2: Golden-Cove-like BOOM (GC40). */
+CoreParams gc40BoomParams();
+/** Table I column 3: Golden Cove Xeon. */
+CoreParams gcXeonParams();
+
+} // namespace fireaxe::uarch
+
+#endif // FIREAXE_UARCH_PARAMS_HH

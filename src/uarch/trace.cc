@@ -1,0 +1,98 @@
+#include "uarch/trace.hh"
+
+#include "base/logging.hh"
+
+namespace fireaxe::uarch {
+
+std::vector<Instr>
+generateTrace(const WorkloadProfile &p, uint64_t seed)
+{
+    Rng rng(seed ^ std::hash<std::string>{}(p.name));
+    std::vector<Instr> trace;
+    trace.reserve(p.instructions);
+
+    for (uint64_t i = 0; i < p.instructions; ++i) {
+        Instr in;
+        double roll = rng.uniform();
+        if (roll < p.loadFrac) {
+            in.kind = InstrKind::Load;
+            in.l1dMiss = rng.chance(p.l1dMissRate);
+        } else if (roll < p.loadFrac + p.storeFrac) {
+            in.kind = InstrKind::Store;
+        } else if (roll < p.loadFrac + p.storeFrac + p.branchFrac) {
+            in.kind = InstrKind::Branch;
+            in.mispredict = rng.chance(p.mispredictRate);
+        } else if (roll < p.loadFrac + p.storeFrac + p.branchFrac +
+                              p.fpFrac) {
+            in.kind = InstrKind::Fp;
+        } else if (roll < p.loadFrac + p.storeFrac + p.branchFrac +
+                              p.fpFrac + p.mulFrac) {
+            in.kind = InstrKind::Mul;
+        } else {
+            in.kind = InstrKind::IntAlu;
+        }
+
+        // Dependencies: geometric backward distances around the
+        // profile's mean; distance 0 (no producer) happens for long
+        // distances past the window anyway.
+        if (i > 0) {
+            uint64_t d1 = rng.geometric(p.depDistance);
+            in.dep1 = uint16_t(std::min<uint64_t>(d1, i));
+            if (rng.chance(0.5)) {
+                uint64_t d2 = rng.geometric(p.depDistance * 2);
+                in.dep2 = uint16_t(std::min<uint64_t>(d2, i));
+            }
+        }
+        in.l1iMiss = rng.chance(p.l1iMissRate);
+        trace.push_back(in);
+    }
+    return trace;
+}
+
+std::vector<WorkloadProfile>
+embenchProfiles()
+{
+    // name, load, store, branch, fp, mul, mispred, l1d, l1i,
+    // depDist, instructions
+    return {
+        // High-ILP crypto kernel: straight-line unrolled code,
+        // frontend-bandwidth-bound on a narrow fetch unit.
+        {"nettle-aes", 0.28, 0.06, 0.04, 0.00, 0.02, 0.004, 0.002,
+         0.004, 14.0, 120000},
+        // FP N-body: long serial FP dependency chains, bound by FP
+        // unit latency/throughput; wider fetch barely helps.
+        {"nbody", 0.18, 0.08, 0.06, 0.38, 0.02, 0.010, 0.004, 0.001,
+         2.2, 120000},
+        {"aha-mont64", 0.14, 0.06, 0.10, 0.00, 0.22, 0.020, 0.002,
+         0.002, 4.5, 100000},
+        {"crc32", 0.24, 0.02, 0.16, 0.00, 0.00, 0.006, 0.001, 0.001,
+         3.0, 100000},
+        {"cubic", 0.16, 0.08, 0.07, 0.30, 0.04, 0.015, 0.003, 0.002,
+         3.2, 100000},
+        {"huffbench", 0.26, 0.10, 0.18, 0.00, 0.00, 0.060, 0.012,
+         0.006, 3.5, 100000},
+        {"matmult-int", 0.30, 0.08, 0.06, 0.00, 0.18, 0.008, 0.020,
+         0.001, 8.0, 120000},
+        {"minver", 0.22, 0.10, 0.09, 0.22, 0.05, 0.025, 0.005, 0.003,
+         3.8, 90000},
+        {"nsichneu", 0.20, 0.08, 0.22, 0.00, 0.00, 0.080, 0.010,
+         0.060, 4.0, 90000},
+        {"slre", 0.24, 0.08, 0.20, 0.00, 0.00, 0.070, 0.008, 0.020,
+         3.6, 90000},
+        {"st", 0.20, 0.09, 0.08, 0.26, 0.03, 0.012, 0.006, 0.002,
+         4.2, 100000},
+        {"wikisort", 0.27, 0.12, 0.15, 0.04, 0.02, 0.050, 0.015,
+         0.008, 4.0, 110000},
+    };
+}
+
+WorkloadProfile
+embenchProfile(const std::string &name)
+{
+    for (const auto &p : embenchProfiles())
+        if (p.name == name)
+            return p;
+    fatal("unknown Embench profile '", name, "'");
+}
+
+} // namespace fireaxe::uarch

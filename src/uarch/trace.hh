@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Synthetic workload traces with Embench-like characteristics.
+ *
+ * Running real Embench binaries requires an RTL core with a full ISA
+ * and toolchain; instead each benchmark is characterized by its
+ * instruction mix, dependency structure, branch behaviour and cache
+ * footprint, and a deterministic trace with those statistics is
+ * generated per run. The profiles are chosen so the microarchitec-
+ * tural contrasts the paper highlights are present: nettle-aes is
+ * high-ILP and frontend-bandwidth-bound, nbody is FP-latency-bound,
+ * etc. (Section V-B, Figs. 7 and 8.)
+ */
+
+#ifndef FIREAXE_UARCH_TRACE_HH
+#define FIREAXE_UARCH_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+
+namespace fireaxe::uarch {
+
+/** Instruction classes modelled. */
+enum class InstrKind : uint8_t { IntAlu, Mul, Fp, Load, Store, Branch };
+
+/** One trace entry. Dependencies are distances (in instructions)
+ *  backwards; 0 means no dependency. */
+struct Instr
+{
+    InstrKind kind;
+    uint16_t dep1 = 0;
+    uint16_t dep2 = 0;
+    bool mispredict = false; ///< baseline-predictor outcome
+    bool l1dMiss = false;    ///< at the reference 32 kB L1D
+    bool l1iMiss = false;    ///< fetch-group miss marker
+};
+
+/** Statistical profile of a benchmark. */
+struct WorkloadProfile
+{
+    std::string name;
+    double loadFrac;
+    double storeFrac;
+    double branchFrac;
+    double fpFrac;
+    double mulFrac;
+    /** Mispredictions per branch with the baseline predictor. */
+    double mispredictRate;
+    /** L1D misses per memory access at 32 kB. */
+    double l1dMissRate;
+    /** I-cache misses per fetch group at 32 kB. */
+    double l1iMissRate;
+    /** Mean backward dependency distance; higher = more ILP. */
+    double depDistance;
+    uint64_t instructions;
+};
+
+/** Generate the deterministic trace of a profile. */
+std::vector<Instr> generateTrace(const WorkloadProfile &profile,
+                                 uint64_t seed = 1);
+
+/** The Embench-like benchmark suite used by Figs. 7 and 8. */
+std::vector<WorkloadProfile> embenchProfiles();
+
+/** Look up a profile by name; fatal() if unknown. */
+WorkloadProfile embenchProfile(const std::string &name);
+
+} // namespace fireaxe::uarch
+
+#endif // FIREAXE_UARCH_TRACE_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the Go GC tail-latency model (Fig. 10 invariants and
+ * sensitivity of the machine-model knobs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "goruntime/gc_model.hh"
+
+using namespace fireaxe;
+using namespace fireaxe::goruntime;
+
+namespace {
+
+GoGcResult
+run(unsigned gomaxprocs, unsigned affinity)
+{
+    GoGcConfig cfg;
+    cfg.gomaxprocs = gomaxprocs;
+    cfg.affinityCores = affinity;
+    cfg.ticks = 100000;
+    return runGoGcBenchmark(cfg);
+}
+
+} // namespace
+
+TEST(GoGc, Deterministic)
+{
+    auto r1 = run(2, 2);
+    auto r2 = run(2, 2);
+    EXPECT_DOUBLE_EQ(r1.p99Us, r2.p99Us);
+    EXPECT_EQ(r1.gcCycles, r2.gcCycles);
+}
+
+TEST(GoGc, GcActuallyRuns)
+{
+    auto r = run(1, 1);
+    EXPECT_GT(r.gcCycles, 5u);
+}
+
+TEST(GoGc, SingleProcHasVeryHighTail)
+{
+    // Fig. 10: "the 99% tail latency is very high when GOMAXPROCS is
+    // set to one" — the GC goroutine executes serially with the main
+    // goroutine.
+    auto single = run(1, 1);
+    auto dual = run(2, 2);
+    EXPECT_GT(single.p99Us, 100.0);
+    EXPECT_GT(single.p99Us, 20.0 * dual.p99Us);
+}
+
+TEST(GoGc, P95IsMuchLowerThanP99ForSingleProc)
+{
+    auto single = run(1, 1);
+    EXPECT_LT(single.p95Us, single.p99Us / 10.0);
+}
+
+TEST(GoGc, PinningToOneCoreBeatsSpreading)
+{
+    // The paper's surprising result: with a weak memory subsystem,
+    // running all OS threads on one core (high cache affinity) gives
+    // a lower tail than spreading across GOMAXPROCS cores.
+    for (unsigned gmp : {2u, 4u}) {
+        auto pinned = run(gmp, 1);
+        auto spread = run(gmp, gmp);
+        EXPECT_LT(pinned.p99Us, spread.p99Us)
+            << "GOMAXPROCS=" << gmp;
+    }
+}
+
+TEST(GoGc, TailBoundedByStopTheWorldWhenMultiThreaded)
+{
+    auto r = run(4, 1);
+    GoGcConfig cfg;
+    // Max delay is dominated by a stop-the-world pause plus the
+    // handler backlog, far below the single-proc mark chunks.
+    EXPECT_LT(r.maxUs, 3.0 * cfg.stwUs);
+}
+
+TEST(GoGc, HigherCoherenceCostWorsensSpreadTail)
+{
+    // The NUMA corroboration experiment (§V-D): exaggerating the
+    // inter-core communication latency raises the spread tail.
+    GoGcConfig near, far;
+    near.gomaxprocs = far.gomaxprocs = 2;
+    near.affinityCores = far.affinityCores = 2;
+    near.ticks = far.ticks = 100000;
+    far.coherenceFactor = near.coherenceFactor * 3.0;
+    far.ipiUs = near.ipiUs * 4.0;
+    auto r_near = runGoGcBenchmark(near);
+    auto r_far = runGoGcBenchmark(far);
+    EXPECT_GT(r_far.p99Us, r_near.p99Us);
+}
+
+TEST(GoGc, LongerMarkChunksWorsenSingleProcTail)
+{
+    GoGcConfig short_chunk, long_chunk;
+    short_chunk.ticks = long_chunk.ticks = 100000;
+    short_chunk.markChunkUs = 50.0;
+    long_chunk.markChunkUs = 600.0;
+    auto r_short = runGoGcBenchmark(short_chunk);
+    auto r_long = runGoGcBenchmark(long_chunk);
+    EXPECT_GT(r_long.maxUs, r_short.maxUs);
+}
+
+TEST(GoGc, RejectsBadAffinity)
+{
+    GoGcConfig cfg;
+    cfg.affinityCores = 9;
+    cfg.totalCores = 4;
+    EXPECT_THROW(runGoGcBenchmark(cfg), PanicError);
+}

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Unit tests for the FIRRTL-like IR: expression construction, width
+ * inference, reference utilities, builder checks, and the printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "firrtl/builder.hh"
+#include "firrtl/ir.hh"
+#include "firrtl/printer.hh"
+
+using namespace fireaxe;
+using namespace fireaxe::firrtl;
+
+TEST(Expr, LiteralTruncatesToWidth)
+{
+    auto e = lit(0x1ff, 8);
+    EXPECT_EQ(e->value, 0xffu);
+    EXPECT_EQ(e->width, 8u);
+}
+
+TEST(Expr, AddGrowsWidthByOne)
+{
+    auto e = eAdd(lit(1, 8), lit(2, 8));
+    EXPECT_EQ(e->width, 9u);
+}
+
+TEST(Expr, AddWidthIsMaxPlusOne)
+{
+    auto e = eAdd(lit(1, 4), lit(2, 12));
+    EXPECT_EQ(e->width, 13u);
+}
+
+TEST(Expr, AddWidthCapsAt64)
+{
+    auto e = eAdd(lit(1, 64), lit(2, 64));
+    EXPECT_EQ(e->width, 64u);
+}
+
+TEST(Expr, MulWidthIsSumOfWidths)
+{
+    auto e = eMul(lit(3, 8), lit(3, 8));
+    EXPECT_EQ(e->width, 16u);
+}
+
+TEST(Expr, ComparisonsAreOneBit)
+{
+    EXPECT_EQ(eEq(lit(1, 32), lit(1, 32))->width, 1u);
+    EXPECT_EQ(eLt(lit(1, 32), lit(1, 32))->width, 1u);
+    EXPECT_EQ(eNeq(lit(1, 7), lit(1, 9))->width, 1u);
+}
+
+TEST(Expr, ReductionsAreOneBit)
+{
+    EXPECT_EQ(unOp(UnOpKind::OrR, lit(5, 16))->width, 1u);
+    EXPECT_EQ(unOp(UnOpKind::AndR, lit(5, 16))->width, 1u);
+    EXPECT_EQ(unOp(UnOpKind::XorR, lit(5, 16))->width, 1u);
+}
+
+TEST(Expr, BitsWidth)
+{
+    auto e = bits(lit(0xab, 8), 7, 4);
+    EXPECT_EQ(e->width, 4u);
+}
+
+TEST(Expr, CatWidthIsSum)
+{
+    auto e = cat(lit(1, 4), lit(2, 12));
+    EXPECT_EQ(e->width, 16u);
+}
+
+TEST(Expr, MuxWidthIsMaxOfArms)
+{
+    auto e = mux(lit(1, 1), lit(1, 4), lit(2, 9));
+    EXPECT_EQ(e->width, 9u);
+}
+
+TEST(Expr, CollectRefsFindsAllLeaves)
+{
+    auto e = eAdd(ref("a", 8), mux(ref("s", 1), ref("b", 8),
+                                   lit(0, 8)));
+    std::vector<std::string> refs;
+    collectRefs(e, refs);
+    ASSERT_EQ(refs.size(), 3u);
+    EXPECT_EQ(refs[0], "a");
+    EXPECT_EQ(refs[1], "s");
+    EXPECT_EQ(refs[2], "b");
+}
+
+TEST(Expr, RenameRefsRewritesMatchingLeaves)
+{
+    auto e = eAdd(ref("a", 8), ref("b", 8));
+    auto r = renameRefs(e, {{"a", "x"}});
+    std::vector<std::string> refs;
+    collectRefs(r, refs);
+    EXPECT_EQ(refs[0], "x");
+    EXPECT_EQ(refs[1], "b");
+    // Original untouched.
+    refs.clear();
+    collectRefs(e, refs);
+    EXPECT_EQ(refs[0], "a");
+}
+
+TEST(SplitRef, LocalAndOwnerField)
+{
+    auto [o1, f1] = splitRef("sig");
+    EXPECT_EQ(o1, "");
+    EXPECT_EQ(f1, "sig");
+    auto [o2, f2] = splitRef("inst.port");
+    EXPECT_EQ(o2, "inst");
+    EXPECT_EQ(f2, "port");
+}
+
+namespace {
+
+/** A 2-entry ready-valid queue used by several tests. */
+Circuit
+buildQueueCircuit()
+{
+    CircuitBuilder cb("Top");
+    auto q = cb.module("Queue");
+    auto enq_valid = q.input("enq_valid", 1);
+    auto enq_bits = q.input("enq_bits", 8);
+    q.output("enq_ready", 1);
+    q.output("deq_valid", 1);
+    q.output("deq_bits", 8);
+    auto deq_ready = q.input("deq_ready", 1);
+
+    auto data0 = q.reg("data0", 8);
+    auto full = q.reg("full", 1);
+    auto do_enq = q.wire("do_enq", 1);
+    auto do_deq = q.wire("do_deq", 1);
+
+    q.connect("enq_ready", eNot(full));
+    q.connect("deq_valid", full);
+    q.connect("deq_bits", data0);
+    q.connect(do_enq, eAnd(enq_valid, eNot(full)));
+    q.connect(do_deq, eAnd(deq_ready, full));
+    q.connect("full", mux(do_enq, lit(1, 1),
+                          mux(do_deq, lit(0, 1), full)));
+    q.connect("data0", mux(do_enq, enq_bits, data0));
+
+    auto top = cb.module("Top");
+    auto in_valid = top.input("in_valid", 1);
+    auto in_bits = top.input("in_bits", 8);
+    top.output("in_ready", 1);
+    top.output("out_valid", 1);
+    top.output("out_bits", 8);
+    auto out_ready = top.input("out_ready", 1);
+    top.instance("q0", "Queue");
+    top.connect("q0.enq_valid", in_valid);
+    top.connect("q0.enq_bits", in_bits);
+    top.connect("in_ready", top.sig("q0.enq_ready"));
+    top.connect("out_valid", top.sig("q0.deq_valid"));
+    top.connect("out_bits", top.sig("q0.deq_bits"));
+    top.connect("q0.deq_ready", out_ready);
+    return cb.finish();
+}
+
+} // namespace
+
+TEST(Builder, BuildsHierarchyAndResolvesWidths)
+{
+    Circuit c = buildQueueCircuit();
+    EXPECT_EQ(c.topName, "Top");
+    EXPECT_EQ(c.modules.size(), 2u);
+    const Module &top = c.top();
+    EXPECT_EQ(top.instances.size(), 1u);
+    SignalInfo info = top.resolve(c, "q0.deq_bits");
+    EXPECT_EQ(info.kind, SignalKind::InstOut);
+    EXPECT_EQ(info.width, 8u);
+}
+
+TEST(Builder, TopoOrderPutsChildrenFirst)
+{
+    Circuit c = buildQueueCircuit();
+    auto order = c.topoOrder();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], "Queue");
+    EXPECT_EQ(order[1], "Top");
+}
+
+TEST(Builder, RejectsUndefinedChildModule)
+{
+    CircuitBuilder cb("T");
+    auto m = cb.module("T");
+    EXPECT_THROW(m.instance("x", "Nope"), FatalError);
+}
+
+TEST(Builder, RejectsConnectToUnknownSignal)
+{
+    CircuitBuilder cb("T");
+    auto m = cb.module("T");
+    m.output("o", 4);
+    EXPECT_THROW(m.connect("nope", lit(0, 4)), FatalError);
+}
+
+TEST(Builder, RejectsDuplicateModule)
+{
+    CircuitBuilder cb("T");
+    cb.module("A");
+    EXPECT_THROW(cb.module("A"), FatalError);
+}
+
+TEST(Verify, RejectsMultipleDrivers)
+{
+    CircuitBuilder cb("T");
+    auto m = cb.module("T");
+    m.output("o", 4);
+    m.connect("o", lit(1, 4));
+    m.connect("o", lit(2, 4));
+    EXPECT_THROW(cb.finish(), FatalError);
+}
+
+TEST(Verify, RejectsUndrivenOutput)
+{
+    CircuitBuilder cb("T");
+    auto m = cb.module("T");
+    m.output("o", 4);
+    EXPECT_THROW(cb.finish(), FatalError);
+}
+
+TEST(Verify, RejectsUndrivenWire)
+{
+    CircuitBuilder cb("T");
+    auto m = cb.module("T");
+    m.output("o", 4);
+    m.wire("w", 4);
+    m.connect("o", lit(0, 4));
+    EXPECT_THROW(cb.finish(), FatalError);
+}
+
+TEST(Verify, AllowsUndrivenRegisterAndMemWritePort)
+{
+    CircuitBuilder cb("T");
+    auto m = cb.module("T");
+    m.output("o", 4);
+    m.reg("r", 4, 7);
+    m.mem("m", 16, 4);
+    m.connect("m.raddr", lit(0, 4));
+    m.connect("o", eAnd(m.sig("r"), m.sig("m.rdata")));
+    EXPECT_NO_THROW(cb.finish());
+}
+
+TEST(Verify, RejectsDanglingReadyValidAnnotation)
+{
+    CircuitBuilder cb("T");
+    auto m = cb.module("T");
+    m.output("o", 1);
+    m.connect("o", lit(0, 1));
+    m.annotateReadyValid({"bus", "valid_nope", "ready_nope", {}, true});
+    EXPECT_THROW(cb.finish(), FatalError);
+}
+
+TEST(Printer, RoundTripsStructure)
+{
+    Circuit c = buildQueueCircuit();
+    std::string text = circuitToString(c);
+    EXPECT_NE(text.find("module Queue :"), std::string::npos);
+    EXPECT_NE(text.find("module Top :"), std::string::npos);
+    EXPECT_NE(text.find("inst q0 of Queue"), std::string::npos);
+    EXPECT_NE(text.find("reg full : UInt<1>"), std::string::npos);
+    EXPECT_NE(text.find("out_bits <= q0.deq_bits"), std::string::npos);
+}
+
+TEST(Printer, ExprFormats)
+{
+    EXPECT_EQ(printExpr(eAdd(ref("a", 4), lit(3, 4))),
+              "add(a, UInt<4>(3))");
+    EXPECT_EQ(printExpr(mux(ref("s", 1), ref("t", 2), ref("f", 2))),
+              "mux(s, t, f)");
+    EXPECT_EQ(printExpr(bits(ref("x", 8), 7, 4)), "bits(x, 7, 4)");
+}

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the memory-system substrate (way-partitioned DDIO cache,
+ * interconnect contention models) and the leaky-DMA experiment
+ * (Fig. 9 invariants).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "mem/cache.hh"
+#include "mem/interconnect.hh"
+#include "nic/leaky_dma.hh"
+
+using namespace fireaxe;
+using namespace fireaxe::mem;
+using namespace fireaxe::nic;
+
+TEST(Cache, HitAfterFill)
+{
+    WayPartitionedCache c({1024, 4, 64, 2});
+    EXPECT_FALSE(c.access(0x1000, false, WayClass::Core, 1).hit);
+    EXPECT_TRUE(c.access(0x1000, false, WayClass::Core, 2).hit);
+    EXPECT_TRUE(c.access(0x1020, false, WayClass::Core, 3).hit);
+    EXPECT_FALSE(c.access(0x2000, false, WayClass::Core, 4).hit);
+}
+
+TEST(Cache, LruEvictionWithinPartition)
+{
+    // 4 sets x 4 ways, 2 core ways: the 3rd distinct line mapping to
+    // one set evicts the least recently used of the two core ways.
+    WayPartitionedCache c({1024, 4, 64, 2});
+    uint64_t set_stride = c.numSets() * 64;
+    c.access(0, false, WayClass::Core, 1);
+    c.access(set_stride, false, WayClass::Core, 2);
+    c.access(2 * set_stride, false, WayClass::Core, 3); // evicts 0
+    EXPECT_FALSE(c.probe(0));
+    EXPECT_TRUE(c.probe(set_stride));
+    EXPECT_TRUE(c.probe(2 * set_stride));
+}
+
+TEST(Cache, IoAllocationsDoNotEvictCoreWays)
+{
+    WayPartitionedCache c({1024, 4, 64, 2});
+    uint64_t set_stride = c.numSets() * 64;
+    // Fill the two core ways of set 0.
+    c.access(0, false, WayClass::Core, 1);
+    c.access(set_stride, false, WayClass::Core, 2);
+    // Hammer set 0 with IO allocations.
+    for (int i = 2; i < 20; ++i)
+        c.access(i * set_stride, true, WayClass::Io, 10 + i);
+    // The core lines survive: DDIO only thrashes its own ways.
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_TRUE(c.probe(set_stride));
+}
+
+TEST(Cache, HitsFoundAcrossPartitions)
+{
+    // A core access hits a line the NIC placed in an IO way.
+    WayPartitionedCache c({1024, 4, 64, 2});
+    c.access(0x4000, true, WayClass::Io, 1);
+    EXPECT_TRUE(c.access(0x4000, false, WayClass::Core, 2).hit);
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    WayPartitionedCache c({1024, 4, 64, 1});
+    uint64_t set_stride = c.numSets() * 64;
+    c.access(0, true, WayClass::Io, 1); // dirty line in the IO way
+    auto res = c.access(set_stride, true, WayClass::Io, 2);
+    EXPECT_FALSE(res.hit);
+    EXPECT_TRUE(res.writeback);
+}
+
+TEST(Cache, RejectsBadWayPartition)
+{
+    EXPECT_THROW(WayPartitionedCache c({1024, 4, 64, 4}),
+                 PanicError);
+}
+
+TEST(Interconnect, CrossbarQueuesContendingTransactions)
+{
+    CrossbarBus bus(4.0, 6.0);
+    double first = bus.serve(0.0);
+    double second = bus.serve(0.0); // same-instant transaction queues
+    EXPECT_DOUBLE_EQ(first, 10.0);
+    EXPECT_DOUBLE_EQ(second, 14.0);
+}
+
+TEST(Interconnect, RingServesInParallelWithHopLatency)
+{
+    RingNoc ring(4, 4.0, 22.0);
+    // Four same-instant transactions ride four links in parallel.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(ring.serve(0.0), 26.0);
+    // The fifth queues behind one of them.
+    EXPECT_DOUBLE_EQ(ring.serve(0.0), 30.0);
+}
+
+TEST(LeakyDma, Deterministic)
+{
+    LeakyDmaConfig cfg;
+    cfg.forwardingCores = 4;
+    cfg.packets = 2000;
+    auto r1 = runLeakyDma(cfg);
+    auto r2 = runLeakyDma(cfg);
+    EXPECT_DOUBLE_EQ(r1.avgReadLatencyNs, r2.avgReadLatencyNs);
+    EXPECT_DOUBLE_EQ(r1.avgWriteLatencyNs, r2.avgWriteLatencyNs);
+}
+
+TEST(LeakyDma, LatencyGrowsWithCoreCount)
+{
+    // Fig. 9: "as we scale the number of cores, the average access
+    // latency goes up due to cache and bus contention."
+    auto lat = [](unsigned cores, Topology topo) {
+        LeakyDmaConfig cfg;
+        cfg.forwardingCores = cores;
+        cfg.topology = topo;
+        return runLeakyDma(cfg);
+    };
+    auto x1 = lat(1, Topology::Crossbar);
+    auto x12 = lat(12, Topology::Crossbar);
+    EXPECT_GT(x12.avgReadLatencyNs, x1.avgReadLatencyNs * 1.5);
+    EXPECT_GT(x12.avgWriteLatencyNs, x1.avgWriteLatencyNs * 1.3);
+
+    auto r1 = lat(1, Topology::Ring);
+    auto r12 = lat(12, Topology::Ring);
+    EXPECT_GT(r12.avgReadLatencyNs, r1.avgReadLatencyNs);
+}
+
+TEST(LeakyDma, CacheContentionGrowsWithFootprint)
+{
+    auto miss = [](unsigned cores) {
+        LeakyDmaConfig cfg;
+        cfg.forwardingCores = cores;
+        return runLeakyDma(cfg).llcMissRate;
+    };
+    EXPECT_GT(miss(12), miss(1) + 0.05);
+}
+
+TEST(LeakyDma, RingHasHigherOverheadUnderLowLoad)
+{
+    // "a NoC has a higher per bus transaction overhead compared to a
+    // cross-bar under low load"
+    LeakyDmaConfig xbar, ring;
+    xbar.forwardingCores = ring.forwardingCores = 1;
+    ring.topology = Topology::Ring;
+    auto rx = runLeakyDma(xbar);
+    auto rr = runLeakyDma(ring);
+    EXPECT_GT(rr.avgReadLatencyNs, rx.avgReadLatencyNs);
+    EXPECT_GT(rr.avgWriteLatencyNs, rx.avgWriteLatencyNs);
+}
+
+TEST(LeakyDma, XbarWriteLatencyOvertakesRingPast6Cores)
+{
+    // "the write latency of the cross bar bus (XBar) increases much
+    // more quickly than the Ring bus topology, resulting in a longer
+    // latency when scaling up to more than 6 cores"
+    auto wr = [](unsigned cores, Topology topo) {
+        LeakyDmaConfig cfg;
+        cfg.forwardingCores = cores;
+        cfg.topology = topo;
+        return runLeakyDma(cfg).avgWriteLatencyNs;
+    };
+    // Below the crossover the ring is slower...
+    EXPECT_LT(wr(2, Topology::Crossbar), wr(2, Topology::Ring));
+    // ...above it the crossbar is slower.
+    EXPECT_GT(wr(10, Topology::Crossbar), wr(10, Topology::Ring));
+    EXPECT_GT(wr(12, Topology::Crossbar), wr(12, Topology::Ring));
+    // And the crossbar's slope is much steeper.
+    double xbar_slope =
+        wr(12, Topology::Crossbar) - wr(2, Topology::Crossbar);
+    double ring_slope = wr(12, Topology::Ring) - wr(2, Topology::Ring);
+    EXPECT_GT(xbar_slope, 4.0 * std::abs(ring_slope));
+}
+
+TEST(LeakyDma, LargerLlcRelievesThrash)
+{
+    // The paper resizes the L2 down to 128 kB precisely to make the
+    // DDIO portion smaller than the I/O buffer footprint; growing
+    // the LLC (same way split) must relieve the leak.
+    // A server-class LLC large enough to hold the full in-flight
+    // buffer footprint (12 cores x 128 descriptors x 1.5 kB x 2).
+    LeakyDmaConfig small, big;
+    small.forwardingCores = big.forwardingCores = 12;
+    big.llc.sizeBytes = 8 * 1024 * 1024;
+    big.llc.ways = 16;
+    big.llc.ioWays = 4;
+    auto r_small = runLeakyDma(small);
+    auto r_big = runLeakyDma(big);
+    EXPECT_LT(r_big.llcMissRate, r_small.llcMissRate - 0.05);
+}
+
+TEST(LeakyDma, RejectsBadCoreCount)
+{
+    LeakyDmaConfig cfg;
+    cfg.forwardingCores = 0;
+    EXPECT_THROW(runLeakyDma(cfg), PanicError);
+}

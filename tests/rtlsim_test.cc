@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Tests for the cycle-accurate RTL interpreter: expression
+ * evaluation, register/memory semantics, the output->input
+ * combinational dependency matrix (used by the LI-BDN runtime), and
+ * sequential-state snapshots (used by FAME-5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "firrtl/builder.hh"
+#include "passes/flatten.hh"
+#include "rtlsim/simulator.hh"
+
+using namespace fireaxe;
+using namespace fireaxe::firrtl;
+using rtlsim::Simulator;
+
+namespace {
+
+Circuit
+combCircuit(ExprPtr (*body)(ModuleBuilder &))
+{
+    CircuitBuilder cb("M");
+    auto m = cb.module("M");
+    m.input("a", 16);
+    m.input("b", 16);
+    m.output("o", 32);
+    m.connect("o", body(m));
+    return cb.finish();
+}
+
+} // namespace
+
+TEST(Interp, AddSubWrapAtWidth)
+{
+    CircuitBuilder cb("M");
+    auto m = cb.module("M");
+    auto a = m.input("a", 8);
+    auto b = m.input("b", 8);
+    m.output("sum", 8);
+    m.output("diff", 8);
+    m.connect("sum", bits(eAdd(a, b), 7, 0));
+    m.connect("diff", bits(eSub(a, b), 7, 0));
+    Simulator sim(cb.finish());
+    sim.poke("a", 200);
+    sim.poke("b", 100);
+    sim.evalComb();
+    EXPECT_EQ(sim.peek("sum"), (200 + 100) & 0xff);
+    sim.poke("a", 10);
+    sim.poke("b", 20);
+    sim.evalComb();
+    EXPECT_EQ(sim.peek("diff"), (uint64_t(10) - uint64_t(20)) & 0xff);
+}
+
+TEST(Interp, MulDivRem)
+{
+    auto c = combCircuit(+[](ModuleBuilder &m) {
+        return eMul(m.sig("a"), m.sig("b"));
+    });
+    Simulator sim(c);
+    sim.poke("a", 123);
+    sim.poke("b", 45);
+    sim.evalComb();
+    EXPECT_EQ(sim.peek("o"), 123u * 45u);
+}
+
+TEST(Interp, DivideByZeroYieldsZero)
+{
+    auto c = combCircuit(+[](ModuleBuilder &m) {
+        return binOp(BinOpKind::Div, m.sig("a"), m.sig("b"));
+    });
+    Simulator sim(c);
+    sim.poke("a", 100);
+    sim.poke("b", 0);
+    sim.evalComb();
+    EXPECT_EQ(sim.peek("o"), 0u);
+    sim.poke("b", 7);
+    sim.evalComb();
+    EXPECT_EQ(sim.peek("o"), 100u / 7u);
+}
+
+TEST(Interp, LogicAndCompare)
+{
+    CircuitBuilder cb("M");
+    auto m = cb.module("M");
+    auto a = m.input("a", 8);
+    auto b = m.input("b", 8);
+    m.output("and_o", 8);
+    m.output("lt_o", 1);
+    m.output("not_o", 8);
+    m.connect("and_o", eAnd(a, b));
+    m.connect("lt_o", eLt(a, b));
+    m.connect("not_o", eNot(a));
+    Simulator sim(cb.finish());
+    sim.poke("a", 0xf0);
+    sim.poke("b", 0x3c);
+    sim.evalComb();
+    EXPECT_EQ(sim.peek("and_o"), 0xf0u & 0x3cu);
+    EXPECT_EQ(sim.peek("lt_o"), 0u);
+    EXPECT_EQ(sim.peek("not_o"), 0x0fu);
+}
+
+TEST(Interp, ShiftsSaturateAt64)
+{
+    CircuitBuilder cb("M");
+    auto m = cb.module("M");
+    auto a = m.input("a", 32);
+    auto sh = m.input("sh", 8);
+    m.output("shl_o", 32);
+    m.output("shr_o", 32);
+    m.connect("shl_o", binOp(BinOpKind::Shl, a, sh));
+    m.connect("shr_o", binOp(BinOpKind::Shr, a, sh));
+    Simulator sim(cb.finish());
+    sim.poke("a", 0x80000001u);
+    sim.poke("sh", 4);
+    sim.evalComb();
+    EXPECT_EQ(sim.peek("shl_o"), (0x80000001ull << 4) & 0xffffffffull);
+    EXPECT_EQ(sim.peek("shr_o"), 0x80000001ull >> 4);
+    sim.poke("sh", 100);
+    sim.evalComb();
+    EXPECT_EQ(sim.peek("shl_o"), 0u);
+    EXPECT_EQ(sim.peek("shr_o"), 0u);
+}
+
+TEST(Interp, ReductionOps)
+{
+    CircuitBuilder cb("M");
+    auto m = cb.module("M");
+    auto a = m.input("a", 4);
+    m.output("andr_o", 1);
+    m.output("orr_o", 1);
+    m.output("xorr_o", 1);
+    m.connect("andr_o", unOp(UnOpKind::AndR, a));
+    m.connect("orr_o", unOp(UnOpKind::OrR, a));
+    m.connect("xorr_o", unOp(UnOpKind::XorR, a));
+    Simulator sim(cb.finish());
+    sim.poke("a", 0xf);
+    sim.evalComb();
+    EXPECT_EQ(sim.peek("andr_o"), 1u);
+    EXPECT_EQ(sim.peek("orr_o"), 1u);
+    EXPECT_EQ(sim.peek("xorr_o"), 0u);
+    sim.poke("a", 0x7);
+    sim.evalComb();
+    EXPECT_EQ(sim.peek("andr_o"), 0u);
+    EXPECT_EQ(sim.peek("xorr_o"), 1u);
+}
+
+TEST(Interp, CatAndBits)
+{
+    CircuitBuilder cb("M");
+    auto m = cb.module("M");
+    auto a = m.input("a", 8);
+    auto b = m.input("b", 8);
+    m.output("cat_o", 16);
+    m.output("hi_o", 4);
+    m.connect("cat_o", cat(a, b));
+    m.connect("hi_o", bits(a, 7, 4));
+    Simulator sim(cb.finish());
+    sim.poke("a", 0xab);
+    sim.poke("b", 0xcd);
+    sim.evalComb();
+    EXPECT_EQ(sim.peek("cat_o"), 0xabcdu);
+    EXPECT_EQ(sim.peek("hi_o"), 0xau);
+}
+
+TEST(Interp, RegisterLatchesOnStep)
+{
+    CircuitBuilder cb("M");
+    auto m = cb.module("M");
+    auto d = m.input("d", 8);
+    m.output("q", 8);
+    auto r = m.reg("r", 8, 42);
+    m.connect("r", d);
+    m.connect("q", r);
+    Simulator sim(cb.finish());
+    EXPECT_EQ(sim.peek("q"), 42u); // initial value visible
+    sim.poke("d", 7);
+    sim.evalComb();
+    EXPECT_EQ(sim.peek("q"), 42u); // not yet latched
+    sim.step();
+    EXPECT_EQ(sim.peek("q"), 7u);
+}
+
+TEST(Interp, UndrivenRegisterHoldsValue)
+{
+    CircuitBuilder cb("M");
+    auto m = cb.module("M");
+    m.output("q", 8);
+    m.reg("r", 8, 99);
+    m.connect("q", m.sig("r"));
+    Simulator sim(cb.finish());
+    sim.run(10);
+    EXPECT_EQ(sim.peek("q"), 99u);
+}
+
+TEST(Interp, CounterCounts)
+{
+    CircuitBuilder cb("M");
+    auto m = cb.module("M");
+    m.output("count", 8);
+    auto r = m.reg("cnt", 8, 0);
+    m.connect("cnt", bits(eAdd(r, lit(1, 8)), 7, 0));
+    m.connect("count", r);
+    Simulator sim(cb.finish());
+    sim.run(300);
+    EXPECT_EQ(sim.peek("count"), 300u % 256);
+    EXPECT_EQ(sim.cycle(), 300u);
+}
+
+TEST(Interp, MemoryWriteThenRead)
+{
+    CircuitBuilder cb("M");
+    auto m = cb.module("M");
+    auto waddr = m.input("waddr", 4);
+    auto wdata = m.input("wdata", 8);
+    auto wen = m.input("wen", 1);
+    auto raddr = m.input("raddr", 4);
+    m.output("rdata", 8);
+    m.mem("ram", 16, 8);
+    m.connect("ram.waddr", waddr);
+    m.connect("ram.wdata", wdata);
+    m.connect("ram.wen", wen);
+    m.connect("ram.raddr", raddr);
+    m.connect("rdata", m.sig("ram.rdata"));
+    Simulator sim(cb.finish());
+
+    sim.poke("waddr", 5);
+    sim.poke("wdata", 0x5a);
+    sim.poke("wen", 1);
+    sim.poke("raddr", 5);
+    sim.evalComb();
+    EXPECT_EQ(sim.peek("rdata"), 0u); // write not visible same cycle
+    sim.step();
+    sim.poke("wen", 0);
+    sim.evalComb();
+    EXPECT_EQ(sim.peek("rdata"), 0x5au);
+}
+
+TEST(Interp, MemoryBackdoorAccess)
+{
+    CircuitBuilder cb("M");
+    auto m = cb.module("M");
+    auto raddr = m.input("raddr", 4);
+    m.output("rdata", 8);
+    m.mem("rom", 16, 8);
+    m.connect("rom.raddr", raddr);
+    m.connect("rdata", m.sig("rom.rdata"));
+    Simulator sim(cb.finish());
+    sim.writeMem("rom", 3, 0x77);
+    EXPECT_EQ(sim.readMem("rom", 3), 0x77u);
+    sim.poke("raddr", 3);
+    sim.evalComb();
+    EXPECT_EQ(sim.peek("rdata"), 0x77u);
+}
+
+TEST(Interp, DepMatrixSeparatesSinkAndSourceOutputs)
+{
+    CircuitBuilder cb("M");
+    auto m = cb.module("M");
+    auto a = m.input("a", 8);
+    auto b = m.input("b", 8);
+    m.output("comb_o", 8);  // sink output: depends on a
+    m.output("reg_o", 8);   // source output: register only
+    auto r = m.reg("r", 8);
+    m.connect("comb_o", eXor(a, lit(1, 8)));
+    m.connect("r", b);
+    m.connect("reg_o", r);
+    Simulator sim(cb.finish());
+    int comb_o = sim.signalIndex("comb_o");
+    int reg_o = sim.signalIndex("reg_o");
+    int a_idx = sim.signalIndex("a");
+    EXPECT_EQ(sim.outputDeps(comb_o), std::set<int>{a_idx});
+    EXPECT_TRUE(sim.outputDeps(reg_o).empty());
+}
+
+TEST(Interp, SeqStateSnapshotRoundTrip)
+{
+    CircuitBuilder cb("M");
+    auto m = cb.module("M");
+    m.output("count", 16);
+    auto r = m.reg("cnt", 16, 0);
+    m.connect("cnt", bits(eAdd(r, lit(1, 16)), 15, 0));
+    m.connect("count", r);
+    Simulator sim(cb.finish());
+    sim.run(10);
+    rtlsim::SeqState snap;
+    sim.saveState(snap);
+    sim.run(7);
+    EXPECT_EQ(sim.peek("count"), 17u);
+    sim.loadState(snap);
+    sim.evalComb();
+    EXPECT_EQ(sim.peek("count"), 10u);
+}
+
+TEST(Interp, ResetRestoresInitialState)
+{
+    CircuitBuilder cb("M");
+    auto m = cb.module("M");
+    m.output("count", 16);
+    auto r = m.reg("cnt", 16, 5);
+    m.connect("cnt", bits(eAdd(r, lit(1, 16)), 15, 0));
+    m.connect("count", r);
+    Simulator sim(cb.finish());
+    sim.run(10);
+    sim.reset();
+    EXPECT_EQ(sim.peek("count"), 5u);
+    EXPECT_EQ(sim.cycle(), 0u);
+}
+
+TEST(Interp, RejectsNonFlatModule)
+{
+    CircuitBuilder cb("Top");
+    auto leaf = cb.module("Leaf");
+    leaf.output("o", 1);
+    leaf.connect("o", lit(0, 1));
+    auto top = cb.module("Top");
+    top.output("o", 1);
+    top.instance("l", "Leaf");
+    top.connect("o", top.sig("l.o"));
+    Circuit c = cb.finish();
+    EXPECT_THROW(Simulator sim(c), FatalError);
+}
+
+TEST(Interp, RejectsCombLoop)
+{
+    CircuitBuilder cb("M");
+    auto m = cb.module("M");
+    m.output("o", 1);
+    auto w1 = m.wire("w1", 1);
+    auto w2 = m.wire("w2", 1);
+    m.connect(w1, eNot(w2));
+    m.connect(w2, eNot(w1));
+    m.connect("o", w1);
+    Circuit c = cb.finish();
+    EXPECT_THROW(Simulator sim(c), FatalError);
+}
+
+TEST(Interp, GcdComputesCorrectly)
+{
+    // A small GCD engine: start pulses load a/b; busy until b == 0.
+    CircuitBuilder cb("Gcd");
+    auto m = cb.module("Gcd");
+    auto a_in = m.input("a_in", 16);
+    auto b_in = m.input("b_in", 16);
+    auto start = m.input("start", 1);
+    m.output("result", 16);
+    m.output("busy", 1);
+    auto x = m.reg("x", 16);
+    auto y = m.reg("y", 16);
+    auto running = m.reg("running", 1);
+
+    auto x_gt_y = binOp(BinOpKind::Gt, x, y);
+    auto y_zero = eEq(y, lit(0, 16));
+    m.connect("x", mux(start, a_in,
+                       mux(eAnd(running, x_gt_y),
+                           bits(eSub(x, y), 15, 0), x)));
+    m.connect("y", mux(start, b_in,
+                       mux(eAnd(running, eNot(x_gt_y)),
+                           mux(y_zero, y, bits(eSub(y, x), 15, 0)),
+                           y)));
+    m.connect("running", mux(start, lit(1, 1),
+                             mux(y_zero, lit(0, 1), running)));
+    m.connect("result", x);
+    m.connect("busy", running);
+
+    Simulator sim(cb.finish());
+    sim.poke("a_in", 48);
+    sim.poke("b_in", 36);
+    sim.poke("start", 1);
+    sim.evalComb();
+    sim.step();
+    sim.poke("start", 0);
+    sim.evalComb();
+    for (int i = 0; i < 100 && sim.peek("busy"); ++i)
+        sim.step();
+    EXPECT_EQ(sim.peek("result"), 12u);
+}

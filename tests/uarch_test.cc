@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the OoO core performance model: determinism, parameter
+ * sensitivity (every Table I knob must matter in the right
+ * direction), the Fig. 7 core ordering, the paper's nettle-aes /
+ * nbody contrast, and the Fig. 8 TIP attribution invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "uarch/core_model.hh"
+#include "uarch/params.hh"
+#include "uarch/trace.hh"
+
+using namespace fireaxe;
+using namespace fireaxe::uarch;
+
+namespace {
+
+double
+ipcOf(const CoreParams &p, const std::string &workload)
+{
+    CoreModel model(p);
+    return model.run(embenchProfile(workload)).ipc();
+}
+
+/** Geometric-mean IPC over the whole suite. */
+double
+meanIpc(const CoreParams &p)
+{
+    CoreModel model(p);
+    double log_sum = 0.0;
+    auto profiles = embenchProfiles();
+    for (const auto &w : profiles)
+        log_sum += std::log(model.run(w).ipc());
+    return std::exp(log_sum / profiles.size());
+}
+
+} // namespace
+
+TEST(Trace, DeterministicForSeed)
+{
+    auto p = embenchProfile("crc32");
+    auto t1 = generateTrace(p, 7);
+    auto t2 = generateTrace(p, 7);
+    ASSERT_EQ(t1.size(), t2.size());
+    for (size_t i = 0; i < t1.size(); ++i) {
+        EXPECT_EQ(t1[i].kind, t2[i].kind);
+        EXPECT_EQ(t1[i].dep1, t2[i].dep1);
+    }
+}
+
+TEST(Trace, MixMatchesProfile)
+{
+    auto p = embenchProfile("nbody");
+    auto t = generateTrace(p, 1);
+    uint64_t fp = 0, loads = 0;
+    for (const auto &in : t) {
+        fp += in.kind == InstrKind::Fp;
+        loads += in.kind == InstrKind::Load;
+    }
+    EXPECT_NEAR(double(fp) / t.size(), p.fpFrac, 0.02);
+    EXPECT_NEAR(double(loads) / t.size(), p.loadFrac, 0.02);
+}
+
+TEST(CoreModel, DeterministicRuns)
+{
+    CoreModel model(largeBoomParams());
+    auto r1 = model.run(embenchProfile("crc32"));
+    auto r2 = model.run(embenchProfile("crc32"));
+    EXPECT_EQ(r1.cycles, r2.cycles);
+}
+
+TEST(CoreModel, IpcIsPlausible)
+{
+    for (const auto &w : embenchProfiles()) {
+        double ipc = CoreModel(largeBoomParams()).run(w).ipc();
+        EXPECT_GT(ipc, 0.2) << w.name;
+        EXPECT_LE(ipc, 3.0) << w.name;
+    }
+}
+
+TEST(CoreModel, Gc40BeatsLargeBoomOnAverage)
+{
+    // Fig. 7 / §V-B: "GC40 BOOM consistently does well compared to
+    // Large BOOM with a 15.8% increase in average IPC."
+    double large = meanIpc(largeBoomParams());
+    double gc40 = meanIpc(gc40BoomParams());
+    double gain = gc40 / large - 1.0;
+    EXPECT_GT(gain, 0.08);
+    EXPECT_LT(gain, 0.40);
+}
+
+TEST(CoreModel, XeonBeatsBothBoomVariants)
+{
+    double large = meanIpc(largeBoomParams());
+    double gc40 = meanIpc(gc40BoomParams());
+    double xeon = meanIpc(gcXeonParams());
+    EXPECT_GT(xeon, gc40);
+    EXPECT_GT(gc40, large);
+}
+
+TEST(CoreModel, NettleAesIsFetchBoundNbodyIsNot)
+{
+    // §V-B: nettle-aes gains ~56% from the wider GC40 frontend
+    // while nbody gains only ~2% (execution-throughput bound).
+    double aes_gain = ipcOf(gc40BoomParams(), "nettle-aes") /
+                          ipcOf(largeBoomParams(), "nettle-aes") -
+                      1.0;
+    double nbody_gain = ipcOf(gc40BoomParams(), "nbody") /
+                            ipcOf(largeBoomParams(), "nbody") -
+                        1.0;
+    EXPECT_GT(aes_gain, 0.30);
+    EXPECT_LT(nbody_gain, 0.15);
+    EXPECT_GT(aes_gain, nbody_gain + 0.2);
+}
+
+TEST(CoreModel, WiderFetchHelpsHighIlpCode)
+{
+    CoreParams narrow = largeBoomParams();
+    CoreParams wide = largeBoomParams();
+    wide.fetchWidth = 8;
+    EXPECT_GT(ipcOf(wide, "nettle-aes"), ipcOf(narrow, "nettle-aes"));
+}
+
+TEST(CoreModel, RobSizeGovernsMissOverlap)
+{
+    // With long memory latency, a small window cannot hide misses:
+    // the instruction window (ROB / phys regs) becomes the binding
+    // constraint and shrinking it costs IPC.
+    CoreParams base = largeBoomParams();
+    base.l1dMissCycles = 120; // model a DRAM-latency backing store
+    CoreParams tiny = base;
+    tiny.robEntries = 16;
+    tiny.intPhysRegs = 40;
+    tiny.fpPhysRegs = 40;
+    tiny.ldqEntries = 8;
+    tiny.stqEntries = 8;
+    // matmult-int has L1D misses to overlap.
+    EXPECT_GT(ipcOf(base, "matmult-int"),
+              ipcOf(tiny, "matmult-int") * 1.05);
+}
+
+TEST(CoreModel, BetterBranchPredictorHelpsBranchyCode)
+{
+    CoreParams base = largeBoomParams();
+    CoreParams good = largeBoomParams();
+    good.branchPredictorFactor = 0.3;
+    EXPECT_GT(ipcOf(good, "nsichneu"), ipcOf(base, "nsichneu"));
+}
+
+TEST(CoreModel, LargerL1dReducesMemoryStalls)
+{
+    CoreParams base = gcXeonParams();
+    CoreParams small_cache = gcXeonParams();
+    small_cache.l1dKb = 32;
+    EXPECT_GE(ipcOf(base, "matmult-int"),
+              ipcOf(small_cache, "matmult-int"));
+}
+
+TEST(CoreModel, CpiStackAccountsForAllCycles)
+{
+    CoreModel model(largeBoomParams());
+    for (const auto &name : {"nettle-aes", "nbody", "huffbench"}) {
+        auto r = model.run(embenchProfile(name));
+        // The attributed cycles must equal total commit time (every
+        // commit gap is attributed exactly once).
+        EXPECT_NEAR(double(r.cpiStack.total()), double(r.cycles),
+                    double(r.cycles) * 0.01)
+            << name;
+    }
+}
+
+TEST(CoreModel, CpiStackShapesMatchFig8)
+{
+    // Fig. 8 / §V-B: "with nettle-aes we see that the instructions
+    // in the core spend most of its cycles committing while for
+    // nbody the instructions stall due to pipeline hazards."
+    CoreModel large(largeBoomParams());
+    auto aes = large.run(embenchProfile("nettle-aes"));
+    auto nbody = large.run(embenchProfile("nbody"));
+
+    double aes_base =
+        double(aes.cpiStack.get(cpi::base)) / aes.cycles;
+    double aes_ex =
+        double(aes.cpiStack.get(cpi::execute)) / aes.cycles;
+    EXPECT_GT(aes_base, 0.30); // committing dominates
+    EXPECT_GT(aes_base, aes_ex);
+
+    double nb_base =
+        double(nbody.cpiStack.get(cpi::base)) / nbody.cycles;
+    double nb_ex =
+        double(nbody.cpiStack.get(cpi::execute)) / nbody.cycles;
+    EXPECT_GT(nb_ex, 0.50); // execution hazards dominate
+    EXPECT_GT(nb_ex, nb_base);
+    EXPECT_GT(aes_base, nb_base);
+}
+
+TEST(CoreModel, RuntimeScalesWithFrequency)
+{
+    auto r = CoreModel(largeBoomParams())
+                 .run(embenchProfile("crc32"));
+    EXPECT_NEAR(r.runtimeSeconds(3.4) * 2.0, r.runtimeSeconds(1.7),
+                1e-12);
+}
