@@ -7,6 +7,10 @@
  * host-time "ready" stamp so that the multi-FPGA executor
  * (src/platform) can model inter-FPGA link latency and serialization:
  * a consumer only sees a token once host time has passed its stamp.
+ *
+ * The hot-path accessors are virtual so that transports with
+ * link-level reliability machinery (libdn::ReliableTokenChannel) can
+ * interpose on delivery without the model or the executor knowing.
  */
 
 #ifndef FIREAXE_LIBDN_CHANNEL_HH
@@ -50,14 +54,16 @@ class TokenChannel
           capacity_(capacity)
     {}
 
+    virtual ~TokenChannel() = default;
+
     const std::string &name() const { return name_; }
     /** Total payload width of one token, in bits. Determines the
      *  serialization cost on the inter-FPGA link. */
     unsigned widthBits() const { return widthBits_; }
 
-    bool full() const { return queue_.size() >= capacity_; }
-    bool empty() const { return queue_.empty(); }
-    size_t size() const { return queue_.size(); }
+    virtual bool full() const { return queue_.size() >= capacity_; }
+    virtual bool empty() const { return queue_.empty(); }
+    virtual size_t size() const { return queue_.size(); }
     size_t capacity() const { return capacity_; }
 
     /**
@@ -66,6 +72,11 @@ class TokenChannel
      * the link (ns; tokens depart back-to-back no faster than this),
      * and @p latency is the flight latency from departure to
      * visibility at the consumer (ns).
+     *
+     * A null @p serializer detaches the channel onto a fresh private
+     * serializer — it never silently keeps a previously-shared one,
+     * so retiming a channel (e.g. on link failover) cannot keep
+     * contending with the old physical link.
      */
     void
     setTiming(double ser_time, double latency,
@@ -73,45 +84,78 @@ class TokenChannel
     {
         serTime_ = ser_time;
         latency_ = latency;
-        if (serializer)
-            serializer_ = std::move(serializer);
+        serializer_ = serializer
+                          ? std::move(serializer)
+                          : std::make_shared<LinkSerializer>();
     }
 
     double serTime() const { return serTime_; }
     double latency() const { return latency_; }
 
+    /**
+     * Try to enqueue a token that becomes visible at host time
+     * @p ready_time (ns). Returns false (and leaves the token
+     * untouched) when the channel is full — recoverable
+     * backpressure; the producer simply retries on a later host
+     * cycle.
+     */
+    virtual bool
+    tryEnq(Token &token, double ready_time)
+    {
+        if (full())
+            return false;
+        queue_.push_back({std::move(token), ready_time});
+        ++enqCount_;
+        return true;
+    }
+
     /** Enqueue a token that becomes visible at host time
-     *  @p ready_time (ns). */
+     *  @p ready_time (ns). The channel must not be full. */
     void
     enq(Token token, double ready_time)
     {
-        FIREAXE_ASSERT(!full(), "channel '", name_, "' overflow");
-        queue_.push_back({std::move(token), ready_time});
-        ++enqCount_;
+        bool ok = tryEnq(token, ready_time);
+        FIREAXE_ASSERT(ok, "channel '", name_, "' overflow");
+    }
+
+    /**
+     * Try to enqueue a token produced at host time @p now, applying
+     * the configured serialization + latency model. Returns false on
+     * backpressure (channel full) without consuming a serializer
+     * slot.
+     */
+    virtual bool
+    tryEnqTimed(Token &token, double now)
+    {
+        if (full())
+            return false;
+        double depart = std::max(now, serializer_->lastDepart) +
+                        serTime_;
+        serializer_->lastDepart = depart;
+        return tryEnq(token, depart + latency_);
     }
 
     /**
      * Enqueue a token produced at host time @p now, applying the
-     * configured serialization + latency model.
+     * configured serialization + latency model. The channel must not
+     * be full.
      */
     void
     enqTimed(Token token, double now)
     {
-        double depart = std::max(now, serializer_->lastDepart) +
-                        serTime_;
-        serializer_->lastDepart = depart;
-        enq(std::move(token), depart + latency_);
+        bool ok = tryEnqTimed(token, now);
+        FIREAXE_ASSERT(ok, "channel '", name_, "' overflow");
     }
 
     /** Is a token present and visible at host time @p now? */
-    bool
+    virtual bool
     headReady(double now) const
     {
         return !queue_.empty() && queue_.front().readyTime <= now;
     }
 
     /** Earliest time the head token becomes visible; +inf if empty. */
-    double
+    virtual double
     headReadyTime() const
     {
         if (queue_.empty())
@@ -119,7 +163,7 @@ class TokenChannel
         return queue_.front().readyTime;
     }
 
-    const Token &
+    virtual const Token &
     head() const
     {
         FIREAXE_ASSERT(!queue_.empty(), "channel '", name_,
@@ -127,18 +171,21 @@ class TokenChannel
         return queue_.front().token;
     }
 
-    void
+    virtual void
     deq()
     {
         FIREAXE_ASSERT(!queue_.empty(), "channel '", name_,
                        "' deq of empty queue");
         queue_.pop_front();
+        ++deqCount_;
     }
 
     /** Tokens enqueued over the channel's lifetime (statistics). */
-    uint64_t tokensEnqueued() const { return enqCount_; }
+    virtual uint64_t tokensEnqueued() const { return enqCount_; }
+    /** Tokens retired (consumed) over the channel's lifetime. */
+    virtual uint64_t tokensRetired() const { return deqCount_; }
 
-  private:
+  protected:
     struct Entry
     {
         Token token;
@@ -150,6 +197,7 @@ class TokenChannel
     size_t capacity_;
     std::deque<Entry> queue_;
     uint64_t enqCount_ = 0;
+    uint64_t deqCount_ = 0;
     double serTime_ = 0.0;
     double latency_ = 0.0;
     std::shared_ptr<LinkSerializer> serializer_ =

@@ -236,7 +236,11 @@ LIBDNModel::threadTick(ThreadState &th, double now)
         token.reserve(outPortIdx_[c].size());
         for (int sig : outPortIdx_[c])
             token.push_back(sim_->peekIdx(sig));
-        th.outChans[c]->enqTimed(std::move(token), now);
+        // Backpressure (channel or retransmit-buffer full) is
+        // recoverable: leave the FSM unfired and retry on a later
+        // host cycle.
+        if (!th.outChans[c]->tryEnqTimed(token, now))
+            continue;
         th.fired[c] = true;
         ++fires_;
         progress = true;
@@ -299,6 +303,22 @@ LIBDNModel::outputChannelDeps(int slot) const
     FIREAXE_ASSERT(finalized_ && slot >= 0 &&
                    size_t(slot) < outDeps_.size());
     return outDeps_[slot];
+}
+
+LIBDNModel::FsmState
+LIBDNModel::fsmState(double now, unsigned thread) const
+{
+    FIREAXE_ASSERT(finalized_, "finalize() before fsmState()");
+    const ThreadState &th = threads_.at(thread);
+    FsmState state;
+    state.cycle = th.cycle;
+    for (size_t c = 0; c < th.inChans.size(); ++c)
+        if (!th.inChans[c]->headReady(now))
+            state.waitingInputs.push_back(inSpecs_[c].name);
+    for (size_t c = 0; c < th.outChans.size(); ++c)
+        if (!th.fired[c])
+            state.unfiredOutputs.push_back(outSpecs_[c].name);
+    return state;
 }
 
 } // namespace fireaxe::libdn

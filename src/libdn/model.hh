@@ -138,6 +138,20 @@ class LIBDNModel
     uint64_t totalFires() const { return fires_; }
     uint64_t totalAdvances() const { return advances_; }
 
+    /**
+     * Snapshot of one thread's LI-BDN FSM state at host time @p now,
+     * for deadlock diagnostics: which input channels the fireFSM is
+     * still waiting on, and which output-channel FSMs have not fired
+     * this target cycle.
+     */
+    struct FsmState
+    {
+        uint64_t cycle = 0;
+        std::vector<std::string> waitingInputs;
+        std::vector<std::string> unfiredOutputs;
+    };
+    FsmState fsmState(double now, unsigned thread = 0) const;
+
   private:
     struct ThreadState
     {

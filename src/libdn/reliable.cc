@@ -1,0 +1,269 @@
+#include "libdn/reliable.hh"
+
+#include <algorithm>
+
+namespace fireaxe::libdn {
+
+uint32_t
+tokenCrc(const Token &token)
+{
+    // Bitwise CRC-32 (IEEE 802.3, reflected 0xEDB88320) over the
+    // little-endian bytes of each payload word.
+    uint32_t crc = 0xFFFFFFFFu;
+    for (uint64_t word : token) {
+        for (int b = 0; b < 8; ++b) {
+            crc ^= uint32_t((word >> (8 * b)) & 0xFF);
+            for (int k = 0; k < 8; ++k)
+                crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+        }
+    }
+    return ~crc;
+}
+
+ReliableTokenChannel::ReliableTokenChannel(
+    std::string name, unsigned width_bits,
+    transport::FaultModel faults, Params params, size_t capacity)
+    : TokenChannel(std::move(name), width_bits, capacity),
+      faults_(std::move(faults)), params_(params),
+      rng_(faults_.channelRng(TokenChannel::name())),
+      faultsActive_(faults_.enabled())
+{}
+
+double
+ReliableTokenChannel::effTimeoutNs() const
+{
+    if (params_.timeoutNs > 0.0)
+        return params_.timeoutNs;
+    return 4.0 * (serTime_ + latency_);
+}
+
+double
+ReliableTokenChannel::effNakNs() const
+{
+    return params_.nakNs > 0.0 ? params_.nakNs : latency_;
+}
+
+size_t
+ReliableTokenChannel::effWindow() const
+{
+    return params_.retransmitWindow > 0 ? params_.retransmitWindow
+                                        : capacity_;
+}
+
+transport::FaultEvent
+ReliableTokenChannel::drawFault() const
+{
+    if (!faultsActive_)
+        return {};
+    return faults_.draw(rng_, widthBits_ ? widthBits_ : 1);
+}
+
+bool
+ReliableTokenChannel::full() const
+{
+    return queue2_.size() >= capacity_ ||
+           rtxBuf_.size() >= effWindow();
+}
+
+bool
+ReliableTokenChannel::tryEnq(Token &token, double ready_time)
+{
+    // Untimed path (reset seeding): no link, no faults — but the
+    // token still enters the sequence/ack machinery so delivery
+    // bookkeeping stays consistent.
+    if (full())
+        return false;
+    uint64_t seq = nextSeq_++;
+    uint32_t crc = tokenCrc(token);
+    rtxBuf_.push_back({token, 0.0, seq, crc});
+    queue2_.push_back({std::move(token), ready_time, seq, crc});
+    ++enqCount2_;
+    return true;
+}
+
+bool
+ReliableTokenChannel::tryEnqTimed(Token &token, double now)
+{
+    if (full())
+        return false;
+
+    uint64_t seq = nextSeq_++;
+    uint32_t crc = tokenCrc(token);
+    rtxBuf_.push_back({token, 0.0, seq, crc});
+    ++enqCount2_;
+
+    transport::FaultEvent ev = drawFault();
+
+    // A transient link stall holds the token at the transmitter.
+    double stall = ev.stallNs;
+    if (stall > 0.0) {
+        stats_.add("link_stalls");
+        stats_.add("stall_ns_total", uint64_t(stall));
+    }
+
+    double depart = std::max(now, serializer_->lastDepart) + stall +
+                    serTime_;
+    serializer_->lastDepart = depart;
+
+    // Lost tokens are recovered by the producer's retransmit timer:
+    // each attempt waits out the (exponentially backed-off) timeout,
+    // reoccupies the link, and may fault again.
+    double penalty = 0.0;
+    unsigned tries = 0;
+    while (ev.drop) {
+        stats_.add("tokens_dropped");
+        if (tries >= faults_.config().maxRetries) {
+            stats_.add("retry_budget_exhausted");
+            failed_ = true;
+            break;
+        }
+        penalty += effTimeoutNs() *
+                   double(uint64_t(1) << std::min(tries, 10u));
+        ++tries;
+        stats_.add("retransmits");
+        stats_.add("retransmits_timeout");
+        serializer_->lastDepart += serTime_;
+        ev = drawFault();
+    }
+
+    RelEntry entry{std::move(token), depart + latency_ + penalty,
+                   seq, crc};
+    if (ev.corrupt && !entry.payload.empty()) {
+        // Flip one payload bit in flight; the consumer's CRC check
+        // will catch it and NAK.
+        stats_.add("tokens_corrupted");
+        size_t word = (ev.corruptBit / 64) % entry.payload.size();
+        entry.payload[word] ^= uint64_t(1) << (ev.corruptBit % 64);
+    }
+    bool duplicate = ev.duplicate;
+    double dup_ready = entry.readyTime + serTime_;
+    Token dup_payload;
+    if (duplicate) {
+        stats_.add("tokens_duplicated");
+        serializer_->lastDepart += serTime_;
+        dup_payload = entry.payload;
+    }
+    queue2_.push_back(std::move(entry));
+    if (duplicate)
+        queue2_.push_back({std::move(dup_payload), dup_ready, seq,
+                           crc});
+    return true;
+}
+
+void
+ReliableTokenChannel::poll(double now) const
+{
+    while (!queue2_.empty()) {
+        RelEntry &e = queue2_.front();
+        if (e.readyTime > now)
+            break;
+        if (e.seq <= lastDelivered_) {
+            // Sequence-number check: a link-layer replay of an
+            // already-delivered token.
+            stats_.add("duplicates_discarded");
+            queue2_.pop_front();
+            continue;
+        }
+        if (!e.verified) {
+            if (tokenCrc(e.payload) != e.crc) {
+                // CRC mismatch: NAK and wait for retransmission.
+                stats_.add("crc_errors");
+                stats_.add("naks");
+                uint64_t seq = e.seq;
+                queue2_.pop_front();
+                scheduleRetransmit(seq, now);
+                continue;
+            }
+            e.verified = true;
+        }
+        break; // verified, in-order token at the head
+    }
+}
+
+void
+ReliableTokenChannel::scheduleRetransmit(uint64_t seq,
+                                         double now) const
+{
+    const RelEntry *pristine = nullptr;
+    for (const RelEntry &e : rtxBuf_) {
+        if (e.seq == seq) {
+            pristine = &e;
+            break;
+        }
+    }
+    FIREAXE_ASSERT(pristine, "channel '", name_, "' seq ", seq,
+                   " NAKed but not in the retransmit buffer");
+
+    // NAK flies back, then the buffered copy is resent; a resend
+    // that faults again backs off exponentially until the retry
+    // budget runs out.
+    double delay = effNakNs();
+    unsigned tries = 0;
+    while (true) {
+        ++tries;
+        stats_.add("retransmits");
+        stats_.add("retransmits_nak");
+        delay += serTime_ + latency_;
+        transport::FaultEvent ev = drawFault();
+        if (!ev.damagesToken())
+            break;
+        stats_.add(ev.drop ? "tokens_dropped" : "tokens_corrupted");
+        if (tries >= faults_.config().maxRetries) {
+            stats_.add("retry_budget_exhausted");
+            failed_ = true;
+            break;
+        }
+        delay += effTimeoutNs() *
+                 double(uint64_t(1) << std::min(tries - 1, 10u));
+    }
+    queue2_.push_front({pristine->payload, now + delay, seq,
+                        pristine->crc});
+}
+
+bool
+ReliableTokenChannel::headReady(double now) const
+{
+    poll(now);
+    return !queue2_.empty() && queue2_.front().readyTime <= now;
+}
+
+double
+ReliableTokenChannel::headReadyTime() const
+{
+    if (queue2_.empty())
+        return std::numeric_limits<double>::infinity();
+    return queue2_.front().readyTime;
+}
+
+const Token &
+ReliableTokenChannel::head() const
+{
+    FIREAXE_ASSERT(!queue2_.empty(), "channel '", name_,
+                   "' head of empty queue");
+    return queue2_.front().payload;
+}
+
+void
+ReliableTokenChannel::deq()
+{
+    FIREAXE_ASSERT(!queue2_.empty(), "channel '", name_,
+                   "' deq of empty queue");
+    lastDelivered_ = queue2_.front().seq;
+    queue2_.pop_front();
+    ++deqCount2_;
+    // Delivery is the in-process acknowledgment: retire the
+    // producer-side copies up to the delivered sequence number.
+    while (!rtxBuf_.empty() && rtxBuf_.front().seq <= lastDelivered_)
+        rtxBuf_.pop_front();
+}
+
+void
+ReliableTokenChannel::failover(double ser_time, double latency)
+{
+    setTiming(ser_time, latency, nullptr);
+    faultsActive_ = false;
+    failed_ = false;
+    stats_.add("failovers");
+}
+
+} // namespace fireaxe::libdn

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Reliable delivery on top of TokenChannel (link-level ARQ).
+ *
+ * An LI-BDN simulation is only correct if every channel delivers its
+ * token stream losslessly and in order; a single dropped or corrupted
+ * token desynchronizes the partitions forever. On real hardware the
+ * transports of src/transport fail in exactly those ways, so this
+ * layer wraps each channel in the classic reliability machinery:
+ *
+ *  - every token carries a sequence number and a CRC-32 over its
+ *    payload;
+ *  - the producer keeps a bounded retransmit buffer of unacked
+ *    tokens (a full buffer is recoverable backpressure, not a fatal
+ *    overflow — the producer's output FSM simply retries on a later
+ *    host cycle);
+ *  - the consumer verifies CRC and sequence on every delivery;
+ *    corruption triggers a NAK and a retransmission from the buffer,
+ *    loss is recovered by the producer's retransmit timeout;
+ *  - repeated failures back off exponentially, and a token that
+ *    exhausts its retry budget marks the link failed so the executor
+ *    can fail it over to a different transport mid-run.
+ *
+ * Faults only ever delay delivery — the consumer-visible stream is
+ * bit-exact and in-order under any injected fault schedule, which is
+ * what keeps a partitioned run bit-matching the monolithic reference
+ * with only the simulation rate degrading.
+ */
+
+#ifndef FIREAXE_LIBDN_RELIABLE_HH
+#define FIREAXE_LIBDN_RELIABLE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "base/stats.hh"
+#include "libdn/channel.hh"
+#include "transport/fault.hh"
+
+namespace fireaxe::libdn {
+
+/** CRC-32 (IEEE 802.3 polynomial) over a token payload. */
+uint32_t tokenCrc(const Token &token);
+
+/**
+ * A TokenChannel with sequence numbers, payload CRC, and
+ * NAK/timeout-driven retransmission, exercised against a
+ * transport::FaultModel.
+ */
+class ReliableTokenChannel : public TokenChannel
+{
+  public:
+    /** Recovery-timing knobs. Zeros mean "derive from the channel's
+     *  link timing once it is configured". */
+    struct Params
+    {
+        /** Producer retransmit timeout for lost tokens (ns);
+         *  0 = 4 * (serTime + latency). */
+        double timeoutNs = 0.0;
+        /** NAK flight time from consumer back to producer (ns);
+         *  0 = link latency. */
+        double nakNs = 0.0;
+        /** Producer-side retransmit-buffer bound (unacked tokens);
+         *  0 = channel capacity. */
+        size_t retransmitWindow = 0;
+    };
+
+    ReliableTokenChannel(std::string name, unsigned width_bits,
+                         transport::FaultModel faults, Params params,
+                         size_t capacity = 16);
+
+    ReliableTokenChannel(std::string name, unsigned width_bits,
+                         transport::FaultModel faults = {})
+        : ReliableTokenChannel(std::move(name), width_bits,
+                               std::move(faults), Params{})
+    {}
+
+    // --- TokenChannel interface -----------------------------------
+    bool full() const override;
+    bool empty() const override { return queue2_.empty(); }
+    size_t size() const override { return queue2_.size(); }
+    bool tryEnq(Token &token, double ready_time) override;
+    bool tryEnqTimed(Token &token, double now) override;
+    bool headReady(double now) const override;
+    double headReadyTime() const override;
+    const Token &head() const override;
+    void deq() override;
+    uint64_t tokensEnqueued() const override { return enqCount2_; }
+    uint64_t tokensRetired() const override { return deqCount2_; }
+
+    // --- reliability introspection --------------------------------
+    /** Reliability / fault counters:
+     *  tokens_dropped, tokens_corrupted, tokens_duplicated,
+     *  link_stalls, stall_ns_total, crc_errors, naks,
+     *  duplicates_discarded, retransmits, retransmits_timeout,
+     *  retransmits_nak, retry_budget_exhausted, failovers. */
+    const CounterSet &stats() const { return stats_; }
+
+    /** A token exhausted its retry budget; the executor should fail
+     *  the channel over to a fallback transport. */
+    bool linkFailed() const { return failed_; }
+
+    /**
+     * Mid-run graceful degradation: retime the channel onto a
+     * fallback transport (fresh private serializer), stop injecting
+     * faults, and clear the failure flag. In-flight and queued
+     * tokens are preserved.
+     */
+    void failover(double ser_time, double latency);
+
+    /** Unacked producer-side copies currently buffered. */
+    size_t retransmitBufferSize() const { return rtxBuf_.size(); }
+
+  private:
+    struct RelEntry
+    {
+        Token payload; ///< as seen on the wire (possibly corrupted)
+        double readyTime;
+        uint64_t seq;
+        uint32_t crc; ///< computed by the producer before transmit
+        /** CRC already checked good (payloads are immutable after
+         *  transmission, so one check per delivery suffices). */
+        bool verified = false;
+    };
+
+    double effTimeoutNs() const;
+    double effNakNs() const;
+    size_t effWindow() const;
+    transport::FaultEvent drawFault() const;
+    /** Resolve dup/stale/corrupt entries at the head so that a
+     *  visible head is always a verified in-order token. */
+    void poll(double now) const;
+    /** NAK path: requeue seq's pristine copy from the retransmit
+     *  buffer, charging recovery latency and backoff. */
+    void scheduleRetransmit(uint64_t seq, double now) const;
+
+    transport::FaultModel faults_;
+    Params params_;
+    mutable Rng rng_;
+    mutable bool faultsActive_;
+
+    mutable std::deque<RelEntry> queue2_; ///< in-flight + delivered
+    std::deque<RelEntry> rtxBuf_;         ///< unacked pristine copies
+    uint64_t nextSeq_ = 1;
+    uint64_t lastDelivered_ = 0;
+    uint64_t enqCount2_ = 0;
+    uint64_t deqCount2_ = 0;
+    mutable bool failed_ = false;
+    mutable CounterSet stats_;
+};
+
+} // namespace fireaxe::libdn
+
+#endif // FIREAXE_LIBDN_RELIABLE_HH

@@ -1,7 +1,10 @@
 #include "platform/executor.hh"
 
 #include <algorithm>
+#include <limits>
 #include <map>
+#include <set>
+#include <sstream>
 
 #include "base/logging.hh"
 #include "passes/flatten.hh"
@@ -25,6 +28,13 @@ MultiFpgaSim::MultiFpgaSim(const ripper::PartitionPlan &plan,
     }
     drivers_.resize(plan_.partitions.size());
     monitors_.resize(plan_.partitions.size());
+}
+
+void
+MultiFpgaSim::setFaultModel(const transport::FaultConfig &cfg)
+{
+    FIREAXE_ASSERT(!initialized_, "setFaultModel before init");
+    faults_ = transport::FaultModel(cfg);
 }
 
 void
@@ -93,13 +103,14 @@ MultiFpgaSim::init()
             in_spec.ports.push_back(plan_.nets[n].dstPort);
         }
 
-        auto chan = std::make_shared<TokenChannel>(ch.name,
-                                                   ch.widthBits);
+        auto chan = std::make_shared<libdn::ReliableTokenChannel>(
+            ch.name, ch.widthBits, faults_);
         auto &ser = serializers[{ch.srcPart, ch.dstPart}];
         if (!ser)
             ser = std::make_shared<libdn::LinkSerializer>();
         chan->setTiming(transport::tokenSerNs(link_, ch.widthBits),
                         transport::tokenLatencyNs(link_), ser);
+        channels_.push_back({chan, ch.srcPart, ch.dstPart, false});
 
         int out_slot = models_[ch.srcPart]->defineOutputChannel(
             out_spec);
@@ -184,12 +195,56 @@ MultiFpgaSim::run(uint64_t target_cycles)
 
         if (progress)
             last_progress = now;
+
+        // Graceful degradation: a channel that exhausted its retry
+        // budget fails over to host-managed PCIe (the transport that
+        // works anywhere) and keeps the run alive, just slower.
+        if (faults_.enabled()) {
+            for (auto &cs : channels_) {
+                if (!cs.failedOver && cs.chan->linkFailed()) {
+                    auto host = transport::hostManagedPcie();
+                    cs.chan->failover(
+                        transport::tokenSerNs(host,
+                                              cs.chan->widthBits()),
+                        transport::tokenLatencyNs(host));
+                    cs.failedOver = true;
+                    ++linkFailovers_;
+                    warn("channel '", cs.chan->name(),
+                         "' exhausted its retry budget; failing "
+                         "over to ", host.name);
+                }
+            }
+        }
+
         if (now - last_progress > deadlock_window) {
-            result.deadlocked = true;
-            warn("multi-FPGA simulation deadlocked at host time ",
-                 now, " ns (no token progress for ", deadlock_window,
-                 " ns)");
-            break;
+            // Watchdog: before declaring deadlock, check whether any
+            // channel holds a token that merely has not become
+            // visible yet (transient link stall, retransmission
+            // backoff in flight). A genuine LI-BDN deadlock has no
+            // such token anywhere — every partition waits on a
+            // channel nobody can fill.
+            bool in_flight = false;
+            for (const auto &cs : channels_) {
+                double t = cs.chan->headReadyTime();
+                if (t > now &&
+                    t < std::numeric_limits<double>::infinity()) {
+                    in_flight = true;
+                    break;
+                }
+            }
+            if (in_flight &&
+                transientStallEvents_ < 1000000) {
+                ++transientStallEvents_;
+                last_progress = now; // extend the watchdog window
+            } else {
+                result.deadlocked = true;
+                result.diagnosis = buildDiagnosis(now);
+                warn("multi-FPGA simulation deadlocked at host "
+                     "time ", now, " ns (no token progress for ",
+                     deadlock_window, " ns)\n",
+                     result.diagnosis.summary);
+                break;
+            }
         }
         if (advanced && stopCondition_ && stopCondition_()) {
             result.stopped = true;
@@ -202,7 +257,87 @@ MultiFpgaSim::run(uint64_t target_cycles)
         min_cycles = std::min(min_cycles, model->minTargetCycle());
     result.targetCycles = min_cycles;
     result.hostTimeNs = now;
+
+    for (const auto &cs : channels_)
+        for (const auto &kv : cs.chan->stats().all())
+            result.faultStats.add(kv.first, kv.second);
+    result.retransmits = result.faultStats.get("retransmits");
+    result.transientStallEvents = transientStallEvents_;
+    result.linkFailovers = linkFailovers_;
+    result.degraded = linkFailovers_ > 0;
     return result;
+}
+
+DeadlockDiagnosis
+MultiFpgaSim::buildDiagnosis(double now)
+{
+    DeadlockDiagnosis diag;
+    diag.valid = true;
+    diag.hostTimeNs = now;
+
+    for (const auto &cs : channels_) {
+        ChannelDiagnosis cd;
+        cd.name = cs.chan->name();
+        cd.srcPart = cs.srcPart;
+        cd.dstPart = cs.dstPart;
+        cd.occupancy = cs.chan->size();
+        cd.capacity = cs.chan->capacity();
+        cd.headVisible = cs.chan->headReady(now);
+        cd.tokensEnqueued = cs.chan->tokensEnqueued();
+        cd.tokensRetired = cs.chan->tokensRetired();
+        diag.channels.push_back(std::move(cd));
+    }
+
+    for (size_t p = 0; p < models_.size(); ++p) {
+        PartitionDiagnosis pd;
+        pd.name = plan_.partitionNames[p];
+        pd.targetCycle = models_[p]->minTargetCycle();
+        pd.fires = models_[p]->totalFires();
+        pd.advances = models_[p]->totalAdvances();
+        libdn::LIBDNModel::FsmState fsm =
+            models_[p]->fsmState(now);
+        pd.waitingInputs = std::move(fsm.waitingInputs);
+        pd.unfiredOutputs = std::move(fsm.unfiredOutputs);
+        diag.partitions.push_back(std::move(pd));
+    }
+
+    // A channel is "stuck" when some partition's fireFSM waits on it
+    // and no token is visible at its head.
+    std::set<std::string> stuck;
+    for (const auto &pd : diag.partitions)
+        for (const std::string &ch : pd.waitingInputs)
+            stuck.insert(ch);
+    for (auto &cd : diag.channels) {
+        if (stuck.count(cd.name) && !cd.headVisible) {
+            cd.starved = true;
+            diag.stuckChannels.push_back(cd.name);
+        }
+    }
+
+    std::ostringstream os;
+    os << "deadlock diagnosis at host time " << now << " ns:\n";
+    for (const auto &pd : diag.partitions) {
+        os << "  partition '" << pd.name << "' at target cycle "
+           << pd.targetCycle << " (" << pd.fires << " fires, "
+           << pd.advances << " advances)";
+        if (!pd.waitingInputs.empty()) {
+            os << ", waiting on:";
+            for (const std::string &ch : pd.waitingInputs)
+                os << " " << ch;
+        }
+        os << "\n";
+    }
+    for (const auto &cd : diag.channels) {
+        if (!cd.starved)
+            continue;
+        os << "  stuck channel '" << cd.name << "' (partition "
+           << cd.srcPart << " -> " << cd.dstPart << "): occupancy "
+           << cd.occupancy << "/" << cd.capacity << ", "
+           << cd.tokensEnqueued << " enqueued, " << cd.tokensRetired
+           << " retired\n";
+    }
+    diag.summary = os.str();
+    return diag;
 }
 
 libdn::LIBDNModel &

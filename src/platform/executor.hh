@@ -29,14 +29,61 @@
 #include <memory>
 #include <vector>
 
+#include "base/stats.hh"
 #include "libdn/channel.hh"
 #include "libdn/model.hh"
+#include "libdn/reliable.hh"
 #include "platform/fpga.hh"
 #include "ripper/partition.hh"
 #include "rtlsim/vcd.hh"
+#include "transport/fault.hh"
 #include "transport/link.hh"
 
 namespace fireaxe::platform {
+
+/** One channel's state at the moment of a deadlock diagnosis. */
+struct ChannelDiagnosis
+{
+    std::string name;
+    int srcPart = 0;
+    int dstPart = 0;
+    size_t occupancy = 0;
+    size_t capacity = 0;
+    /** A token is visible at the head right now. */
+    bool headVisible = false;
+    uint64_t tokensEnqueued = 0;
+    uint64_t tokensRetired = 0;
+    /** Empty channel whose consumer is blocked on it. */
+    bool starved = false;
+};
+
+/** One partition's LI-BDN FSM state at the moment of a diagnosis. */
+struct PartitionDiagnosis
+{
+    std::string name;
+    uint64_t targetCycle = 0;
+    uint64_t fires = 0;    ///< output-channel FSM firings
+    uint64_t advances = 0; ///< fireFSM target-cycle advances
+    std::vector<std::string> waitingInputs;
+    std::vector<std::string> unfiredOutputs;
+};
+
+/**
+ * Structured explanation of a genuine LI-BDN deadlock, emitted when
+ * the executor's watchdog rules out transient link stalls and
+ * in-flight retransmissions.
+ */
+struct DeadlockDiagnosis
+{
+    bool valid = false;
+    double hostTimeNs = 0.0;
+    std::vector<ChannelDiagnosis> channels;
+    std::vector<PartitionDiagnosis> partitions;
+    /** Names of the starved channels blocking progress. */
+    std::vector<std::string> stuckChannels;
+    /** Human-readable one-stop summary. */
+    std::string summary;
+};
 
 /** Outcome of a co-simulation run. */
 struct RunResult
@@ -45,6 +92,21 @@ struct RunResult
     double hostTimeNs = 0.0;
     bool deadlocked = false;
     bool stopped = false; ///< stop condition fired before the limit
+
+    /** Aggregated reliability counters across all channels (see
+     *  libdn::ReliableTokenChannel::stats for the key set). */
+    CounterSet faultStats;
+    /** Total retransmissions (timeout- plus NAK-driven). */
+    uint64_t retransmits = 0;
+    /** Watchdog wakeups excused as transient link stalls or
+     *  in-flight retransmissions (not deadlocks). */
+    uint64_t transientStallEvents = 0;
+    /** Channels failed over to host-managed PCIe mid-run. */
+    unsigned linkFailovers = 0;
+    /** At least one link is running degraded (failed over). */
+    bool degraded = false;
+    /** Populated when deadlocked. */
+    DeadlockDiagnosis diagnosis;
 
     /** Achieved target simulation rate in MHz. */
     double
@@ -70,6 +132,14 @@ class MultiFpgaSim
     MultiFpgaSim(const ripper::PartitionPlan &plan,
                  std::vector<FpgaSpec> fpgas,
                  const transport::LinkParams &link);
+
+    /**
+     * Inject faults into every inter-FPGA channel (deterministic per
+     * seed + channel name); must be called before init(). The
+     * reliable-delivery layer recovers from every injected fault, so
+     * results stay bit-exact — only the simulation rate degrades.
+     */
+    void setFaultModel(const transport::FaultConfig &cfg);
 
     /** Attach a driver for a partition's external input ports; must
      *  be called before init(). */
@@ -116,9 +186,23 @@ class MultiFpgaSim
     const ripper::PartitionPlan &plan() const { return plan_; }
 
   private:
+    struct ChannelState
+    {
+        std::shared_ptr<libdn::ReliableTokenChannel> chan;
+        int srcPart = 0;
+        int dstPart = 0;
+        bool failedOver = false;
+    };
+
+    DeadlockDiagnosis buildDiagnosis(double now);
+
     ripper::PartitionPlan plan_;
     std::vector<FpgaSpec> fpgas_;
     transport::LinkParams link_;
+    transport::FaultModel faults_;
+    std::vector<ChannelState> channels_;
+    unsigned linkFailovers_ = 0;
+    uint64_t transientStallEvents_ = 0;
     std::vector<std::unique_ptr<libdn::LIBDNModel>> models_;
     std::vector<libdn::Driver> drivers_;
     std::vector<libdn::Monitor> monitors_;

@@ -1,0 +1,266 @@
+#include "target/accelerators.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "base/bits.hh"
+#include "firrtl/builder.hh"
+
+namespace fireaxe::target {
+
+using namespace firrtl;
+
+namespace {
+
+// Accelerator FSM states.
+constexpr uint64_t kRun = 0; // boot only: 1 instruction / cycle
+constexpr uint64_t kIssue = 1;
+constexpr uint64_t kReq = 2;
+constexpr uint64_t kResp = 3;
+constexpr uint64_t kThink = 4;
+constexpr uint64_t kCompute = 5;
+constexpr uint64_t kDone = 6;
+
+struct AccelPorts
+{
+    ExprPtr req_ready, resp_valid, resp_data;
+};
+
+/** Declare the shared accelerator memory-port interface. */
+AccelPorts
+declAccelInterface(ModuleBuilder &mb)
+{
+    AccelPorts p;
+    p.req_ready = mb.input("req_ready", 1);
+    p.resp_valid = mb.input("resp_valid", 1);
+    p.resp_data = mb.input("resp_data", 32);
+    mb.output("req_valid", 1);
+    mb.output("req_addr", 16);
+    mb.output("req_data", 32);
+    mb.output("req_wen", 1);
+    mb.output("resp_ready", 1);
+    mb.output("done_o", 1);
+    mb.annotateReadyValid({"req", "req_valid", "req_ready",
+                           {"req_addr", "req_data", "req_wen"},
+                           true});
+    mb.annotateReadyValid(
+        {"resp", "resp_valid", "resp_ready", {"resp_data"}, false});
+    return p;
+}
+
+/**
+ * A load/compute/store accelerator: @p load_ops blocking reads, then
+ * @p compute_cycles of internal work, then @p store_ops blocking
+ * writes, then done. Every blocking op costs 4 target cycles against
+ * an always-ready memory with a 1-cycle response.
+ */
+void
+addPhasedAccel(CircuitBuilder &cb, const std::string &name,
+               unsigned load_ops, unsigned compute_cycles,
+               unsigned store_ops)
+{
+    unsigned total_ops = load_ops + store_ops;
+    compute_cycles = std::max(compute_cycles, 1u);
+
+    ModuleBuilder mb = cb.module(name);
+    AccelPorts in = declAccelInterface(mb);
+
+    auto state = mb.reg("state", 3, kIssue);
+    auto idx = mb.reg("idx", 16);
+    auto cnt = mb.reg("cnt", 32);
+    auto acc = mb.reg("acc", 32);
+    auto rv = mb.reg("rv", 1);
+    auto addr_r = mb.reg("addr_r", 16);
+    auto wdata_r = mb.reg("wdata_r", 32);
+    auto wen_r = mb.reg("wen_r", 1);
+    auto sp = mb.reg("sp", 1); // store phase reached
+    auto done_r = mb.reg("done_r", 1);
+    auto rr = mb.reg("rr", 1, 1);
+
+    auto st = [&](uint64_t s) { return eEq(state, lit(s, 3)); };
+    auto fire = mb.wire("fire", 1);
+    mb.connect("fire", eAnd(st(kReq), eAnd(rv, in.req_ready)));
+    auto got = mb.wire("got", 1);
+    mb.connect("got", eAnd(st(kResp), eAnd(in.resp_valid, rr)));
+    auto compute_done = mb.wire("compute_done", 1);
+    mb.connect("compute_done",
+               eAnd(st(kCompute),
+                    eEq(cnt, lit(compute_cycles - 1, 32))));
+
+    auto think_next =
+        mux(sp,
+            mux(eLt(idx, lit(total_ops, 16)), lit(kIssue, 3),
+                lit(kDone, 3)),
+            mux(eLt(idx, lit(load_ops, 16)), lit(kIssue, 3),
+                lit(kCompute, 3)));
+    mb.connect("state",
+               mux(st(kIssue), lit(kReq, 3),
+                   mux(fire, lit(kResp, 3),
+                       mux(got, lit(kThink, 3),
+                           mux(st(kThink), think_next,
+                               mux(compute_done, lit(kIssue, 3),
+                                   state))))));
+    mb.connect("cnt",
+               mux(st(kCompute),
+                   bits(eAdd(cnt, lit(1, 32)), 31, 0), cnt));
+    mb.connect("sp", mux(compute_done, lit(1, 1), sp));
+    mb.connect("idx",
+               mux(got, bits(eAdd(idx, lit(1, 16)), 15, 0), idx));
+    mb.connect("rv",
+               mux(st(kIssue), lit(1, 1),
+                   mux(fire, lit(0, 1), rv)));
+    mb.connect("addr_r",
+               mux(st(kIssue),
+                   mux(sp, bits(eAdd(idx, lit(0x80, 16)), 15, 0),
+                       idx),
+                   addr_r));
+    mb.connect("wdata_r",
+               mux(st(kIssue),
+                   bits(eXor(acc, cat(idx, idx)), 31, 0), wdata_r));
+    mb.connect("wen_r", mux(st(kIssue), sp, wen_r));
+    mb.connect("acc",
+               mux(got,
+                   bits(eAdd(acc, eXor(in.resp_data, cat(idx, idx))),
+                        31, 0),
+                   acc));
+    mb.connect("done_r", mux(st(kDone), lit(1, 1), done_r));
+
+    mb.connect("req_valid", rv);
+    mb.connect("req_addr", addr_r);
+    mb.connect("req_data", wdata_r);
+    mb.connect("req_wen", wen_r);
+    mb.connect("resp_ready", rr);
+    mb.connect("done_o", done_r);
+}
+
+/** 1-instruction-per-cycle core with a blocking fence op every
+ *  @p fence_interval instructions. */
+void
+addBootCore(CircuitBuilder &cb, unsigned instructions,
+            unsigned fence_interval)
+{
+    instructions = std::max(instructions, 1u);
+    fence_interval = std::max(fence_interval, 2u);
+
+    ModuleBuilder mb = cb.module("BootCore");
+    AccelPorts in = declAccelInterface(mb);
+
+    auto state = mb.reg("state", 3, kRun);
+    auto iexec = mb.reg("iexec", 32);
+    auto acc = mb.reg("acc", 32);
+    auto rv = mb.reg("rv", 1);
+    auto addr_r = mb.reg("addr_r", 16);
+    auto done_r = mb.reg("done_r", 1);
+    auto rr = mb.reg("rr", 1, 1);
+
+    auto st = [&](uint64_t s) { return eEq(state, lit(s, 3)); };
+    auto fire = mb.wire("fire", 1);
+    mb.connect("fire", eAnd(st(kReq), eAnd(rv, in.req_ready)));
+    auto got = mb.wire("got", 1);
+    mb.connect("got", eAnd(st(kResp), eAnd(in.resp_valid, rr)));
+
+    auto fence_due =
+        eEq(binOp(BinOpKind::Rem, iexec, lit(fence_interval, 32)),
+            lit(fence_interval - 1, 32));
+    auto run_next =
+        mux(eEq(iexec, lit(instructions - 1, 32)), lit(kDone, 3),
+            mux(fence_due, lit(kIssue, 3), lit(kRun, 3)));
+    mb.connect("state",
+               mux(st(kRun), run_next,
+                   mux(st(kIssue), lit(kReq, 3),
+                       mux(fire, lit(kResp, 3),
+                           mux(got, lit(kThink, 3),
+                               mux(st(kThink), lit(kRun, 3),
+                                   state))))));
+    mb.connect("iexec",
+               mux(st(kRun), bits(eAdd(iexec, lit(1, 32)), 31, 0),
+                   iexec));
+    mb.connect("rv",
+               mux(st(kIssue), lit(1, 1),
+                   mux(fire, lit(0, 1), rv)));
+    mb.connect("addr_r",
+               mux(st(kIssue), bits(iexec, 15, 0), addr_r));
+    mb.connect("acc",
+               mux(got, bits(eAdd(acc, in.resp_data), 31, 0), acc));
+    mb.connect("done_r", mux(st(kDone), lit(1, 1), done_r));
+
+    mb.connect("req_valid", rv);
+    mb.connect("req_addr", addr_r);
+    mb.connect("req_data", acc);
+    mb.connect("req_wen", lit(0, 1));
+    mb.connect("resp_ready", rr);
+    mb.connect("done_o", done_r);
+}
+
+/** Top: the accelerator next to an always-ready one-cycle memory. */
+Circuit
+finishAccelSoc(CircuitBuilder &cb, const std::string &top_name,
+               const std::string &accel_module)
+{
+    constexpr unsigned mem_words = 256;
+    constexpr unsigned aw = 8;
+
+    ModuleBuilder top = cb.module(top_name);
+    top.instance("accel", accel_module);
+
+    auto always1 = top.reg("always1", 1, 1);
+    top.connect("accel.req_ready", always1);
+
+    auto granted = top.wire("granted", 1);
+    top.connect("granted",
+                eAnd(top.sig("accel.req_valid"), always1));
+
+    top.mem("m", mem_words, 32);
+    top.connect("m.raddr", bits(top.sig("accel.req_addr"), aw - 1, 0));
+    top.connect("m.waddr", bits(top.sig("accel.req_addr"), aw - 1, 0));
+    top.connect("m.wdata", top.sig("accel.req_data"));
+    top.connect("m.wen",
+                eAnd(granted, top.sig("accel.req_wen")));
+
+    auto resp_v = top.reg("resp_v", 1);
+    auto resp_d = top.reg("resp_d", 32);
+    top.connect("resp_v", granted);
+    top.connect("resp_d",
+                mux(granted,
+                    mux(top.sig("accel.req_wen"),
+                        top.sig("accel.req_data"),
+                        top.sig("m.rdata")),
+                    resp_d));
+    top.connect("accel.resp_valid", resp_v);
+    top.connect("accel.resp_data", resp_d);
+
+    top.output("done", 1);
+    top.connect("done", top.sig("accel.done_o"));
+    return cb.finish();
+}
+
+} // namespace
+
+Circuit
+buildSha3Soc(const Sha3Config &cfg)
+{
+    CircuitBuilder cb("Sha3Soc");
+    // The memory port moves 64-bit beats: two block words per load.
+    unsigned beats = std::max(1u, (cfg.loadWords + 1) / 2);
+    addPhasedAccel(cb, "Sha3Accel", beats, cfg.roundCycles, 2);
+    return finishAccelSoc(cb, "Sha3Soc", "Sha3Accel");
+}
+
+Circuit
+buildGemminiSoc(const GemminiConfig &cfg)
+{
+    CircuitBuilder cb("GemminiSoc");
+    addPhasedAccel(cb, "GemminiAccel", std::max(1u, cfg.loadTiles),
+                   cfg.macCycles, std::max(1u, cfg.storeTiles));
+    return finishAccelSoc(cb, "GemminiSoc", "GemminiAccel");
+}
+
+Circuit
+buildBootSoc(const BootConfig &cfg)
+{
+    CircuitBuilder cb("BootSoc");
+    addBootCore(cb, cfg.instructions, cfg.fenceInterval);
+    return finishAccelSoc(cb, "BootSoc", "BootCore");
+}
+
+} // namespace fireaxe::target

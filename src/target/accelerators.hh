@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The three Table II accelerator/boot workloads: an SHA3-style block
+ * accelerator, a Gemmini-style tiled MAC accelerator, and a
+ * fixed-instruction boot workload. Each is an FSM accelerator with a
+ * registered ready-valid memory interface, instantiated as "accel"
+ * next to a one-cycle memory subsystem, exposing a "done" output
+ * whose first-asserted cycle is the workload's completion time.
+ */
+
+#ifndef FIREAXE_TARGET_ACCELERATORS_HH
+#define FIREAXE_TARGET_ACCELERATORS_HH
+
+#include "firrtl/ir.hh"
+
+namespace fireaxe::target {
+
+struct Sha3Config
+{
+    unsigned loadWords = 16;   ///< input block words (2 per beat)
+    unsigned roundCycles = 440; ///< permutation cycles per block
+};
+
+struct GemminiConfig
+{
+    unsigned loadTiles = 12;
+    unsigned storeTiles = 4;
+    unsigned macCycles = 17000; ///< systolic-array busy cycles
+};
+
+struct BootConfig
+{
+    unsigned instructions = 20000;
+    unsigned fenceInterval = 256; ///< blocking fence op period
+};
+
+firrtl::Circuit buildSha3Soc(const Sha3Config &cfg = {});
+firrtl::Circuit buildGemminiSoc(const GemminiConfig &cfg = {});
+firrtl::Circuit buildBootSoc(const BootConfig &cfg = {});
+
+} // namespace fireaxe::target
+
+#endif // FIREAXE_TARGET_ACCELERATORS_HH

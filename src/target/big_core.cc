@@ -1,0 +1,267 @@
+#include "target/big_core.hh"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/bits.hh"
+#include "firrtl/builder.hh"
+
+namespace fireaxe::target {
+
+using namespace firrtl;
+
+namespace {
+
+std::string
+feInstPort(unsigned s, unsigned f)
+{
+    return "fe_i" + std::to_string(s) + "_" + std::to_string(f);
+}
+
+/** A lane's worth of execution logic: a chain of 64-bit divide/xor
+ *  stages over the given operand stream (divisors forced odd so the
+ *  interpreter's divide-by-zero guard never flattens the values). */
+ExprPtr
+aluTree(ExprPtr seed, unsigned steps,
+        const std::function<ExprPtr(unsigned)> &operand)
+{
+    ExprPtr t = std::move(seed);
+    for (unsigned k = 0; k < steps; ++k) {
+        ExprPtr x = operand(k);
+        t = eXor(binOp(BinOpKind::Div, t, eOr(x, lit(1, 64))), x);
+    }
+    return t;
+}
+
+void
+addBackend(CircuitBuilder &cb, const BigCoreConfig &cfg)
+{
+    ModuleBuilder mb = cb.module("BigCoreBackend");
+    std::vector<ExprPtr> fe_v(cfg.fetchWidth);
+    std::vector<std::vector<ExprPtr>> fe_i(cfg.fetchWidth);
+    for (unsigned s = 0; s < cfg.fetchWidth; ++s) {
+        fe_v[s] = mb.input("fe_v" + std::to_string(s), 1);
+        for (unsigned f = 0; f < cfg.fieldsPerInst; ++f)
+            fe_i[s].push_back(mb.input(feInstPort(s, f), 64));
+    }
+    std::vector<ExprPtr> lsu(cfg.lsuWords);
+    for (unsigned w = 0; w < cfg.lsuWords; ++w)
+        lsu[w] = mb.input("lsu" + std::to_string(w), 64);
+
+    auto anyv = mb.wire("anyv", 1);
+    ExprPtr vfold = fe_v[0];
+    for (unsigned s = 1; s < cfg.fetchWidth; ++s)
+        vfold = eOr(vfold, fe_v[s]);
+    mb.connect("anyv", vfold);
+    // The one combinational boundary output: bundle acknowledge.
+    mb.output("fb_ack", 1);
+    mb.connect("fb_ack", anyv);
+
+    unsigned depth = 2 * cfg.fieldsPerInst + 2;
+    std::vector<ExprPtr> wb(cfg.backendLanes);
+    for (unsigned l = 0; l < cfg.backendLanes; ++l) {
+        std::string rn = "wb" + std::to_string(l);
+        wb[l] = mb.reg(rn + "_r", 64, l + 1);
+        auto tree = aluTree(
+            eXor(fe_i[l % cfg.fetchWidth][0], wb[l]), depth,
+            [&](unsigned k) {
+                return fe_i[(l + k) % cfg.fetchWidth]
+                           [(k + 1) % cfg.fieldsPerInst];
+            });
+        mb.connect(rn + "_r", mux(anyv, tree, wb[l]));
+        mb.output(rn, 64);
+        mb.connect(rn, wb[l]);
+    }
+
+    // Store buffer fed by the LSU words, read by the redirect unit.
+    unsigned aw =
+        cfg.lsuWords > 1 ? bitsNeeded(cfg.lsuWords - 1) : 1;
+    mb.mem("sbuf", cfg.lsuWords, 64);
+    ExprPtr lfold = lsu[0];
+    for (unsigned w = 1; w < cfg.lsuWords; ++w)
+        lfold = eXor(lfold, lsu[w]);
+    auto rpc = mb.reg("rpc", 64, 0x8000);
+    mb.connect("sbuf.raddr", bits(rpc, aw - 1, 0));
+    mb.connect("sbuf.waddr", bits(wb[0], aw - 1, 0));
+    mb.connect("sbuf.wdata", lfold);
+    mb.connect("sbuf.wen", anyv);
+    mb.connect("rpc",
+               mux(anyv,
+                   bits(eAdd(eXor(rpc, mb.sig("sbuf.rdata")),
+                             lit(8, 64)),
+                        63, 0),
+                   rpc));
+    mb.output("redirect_pc", 64);
+    mb.connect("redirect_pc", rpc);
+
+    // Commit trace: history of lane 0's writeback.
+    ExprPtr prev = wb[0];
+    for (unsigned w = 0; w < cfg.traceWords; ++w) {
+        std::string rn = "bt" + std::to_string(w);
+        auto bt = mb.reg(rn, 64);
+        mb.connect(rn, prev);
+        mb.output("btrace" + std::to_string(w), 64);
+        mb.connect("btrace" + std::to_string(w), bt);
+        prev = bt;
+    }
+}
+
+void
+addFrontend(CircuitBuilder &cb, const BigCoreConfig &cfg)
+{
+    ModuleBuilder mb = cb.module("BigCoreFrontend");
+    std::vector<ExprPtr> wb(cfg.backendLanes);
+    for (unsigned l = 0; l < cfg.backendLanes; ++l)
+        wb[l] = mb.input("wb" + std::to_string(l), 64);
+    auto redirect = mb.input("redirect_pc", 64);
+    auto advance = mb.input("fb_ack", 1);
+    std::vector<ExprPtr> btrace(cfg.traceWords);
+    for (unsigned w = 0; w < cfg.traceWords; ++w)
+        btrace[w] = mb.input("btrace" + std::to_string(w), 64);
+
+    auto pc = mb.reg("pc", 64, 0x1000);
+    auto lfsr = mb.reg("lfsr", 64, 0x123456789ULL);
+    auto l1 = eXor(lfsr, binOp(BinOpKind::Shl, lfsr, lit(13, 7)));
+    auto l2 = eXor(l1, binOp(BinOpKind::Shr, l1, lit(7, 7)));
+    mb.connect("lfsr", l2);
+    mb.connect("pc",
+               mux(advance,
+                   bits(eAdd(eXor(pc, eAnd(redirect, lit(0xFF, 64))),
+                             lit(32, 64)),
+                        63, 0),
+                   pc));
+
+    // Predictor lanes: the frontend's LUT mass.
+    std::vector<ExprPtr> pred(cfg.frontendLanes);
+    for (unsigned l = 0; l < cfg.frontendLanes; ++l) {
+        std::string rn = "pred" + std::to_string(l);
+        pred[l] = mb.reg(rn, 64, 0x1000 + l);
+        auto tree = aluTree(eXor(pred[l], wb[l % cfg.backendLanes]),
+                            cfg.fieldsPerInst + 3, [&](unsigned k) {
+                                return wb[(l + k) %
+                                          cfg.backendLanes];
+                            });
+        mb.connect(rn, mux(advance, tree, pred[l]));
+    }
+
+    for (unsigned s = 0; s < cfg.fetchWidth; ++s) {
+        std::string vn = "fv" + std::to_string(s);
+        auto fv = mb.reg(vn, 1, 1);
+        // Bit 0 of lfsr|1 keeps slot 0 always valid, so the
+        // fetch/ack handshake never starves.
+        mb.connect(vn,
+                   bits(eOr(lfsr, lit(1, 64)), s % 64, s % 64));
+        mb.output("fe_v" + std::to_string(s), 1);
+        mb.connect("fe_v" + std::to_string(s), fv);
+        for (unsigned f = 0; f < cfg.fieldsPerInst; ++f) {
+            std::string rn =
+                "fi" + std::to_string(s) + "_" + std::to_string(f);
+            auto fi = mb.reg(rn, 64);
+            auto sel = pred[(s + f) % cfg.frontendLanes];
+            mb.connect(
+                rn,
+                mux(advance,
+                    bits(eXor(sel,
+                              eAdd(pc, lit(s * cfg.fieldsPerInst +
+                                               f + 1,
+                                           64))),
+                         63, 0),
+                    fi));
+            mb.output(feInstPort(s, f), 64);
+            mb.connect(feInstPort(s, f), fi);
+        }
+    }
+
+    for (unsigned w = 0; w < cfg.lsuWords; ++w) {
+        std::string rn = "ls" + std::to_string(w);
+        auto ls = mb.reg(rn, 64);
+        mb.connect(rn,
+                   bits(eXor(lfsr,
+                             eAdd(wb[w % cfg.backendLanes],
+                                  lit(w, 64))),
+                        63, 0));
+        mb.output("lsu" + std::to_string(w), 64);
+        mb.connect("lsu" + std::to_string(w), ls);
+    }
+
+    // Trace checksum keeps the commit-trace inputs live.
+    auto tchk = mb.reg("tchk", 64);
+    ExprPtr tfold = btrace[0];
+    for (unsigned w = 1; w < cfg.traceWords; ++w)
+        tfold = eXor(tfold, btrace[w]);
+    mb.connect("tchk", bits(eXor(tchk, tfold), 63, 0));
+}
+
+} // namespace
+
+unsigned
+bigCoreInterfaceBits(const BigCoreConfig &cfg)
+{
+    unsigned fe_to_be = cfg.fetchWidth * (1 + 64 * cfg.fieldsPerInst) +
+                        64 * cfg.lsuWords;
+    unsigned be_to_fe =
+        64 * cfg.backendLanes + 64 + 1 + 64 * cfg.traceWords;
+    return fe_to_be + be_to_fe;
+}
+
+BigCoreConfig
+gc40BigCoreConfig()
+{
+    BigCoreConfig cfg;
+    cfg.fetchWidth = 8;
+    cfg.fieldsPerInst = 7;
+    cfg.traceWords = 32;
+    cfg.lsuWords = 8;
+    cfg.backendLanes = 16;
+    cfg.frontendLanes = 8;
+    return cfg;
+}
+
+Circuit
+buildBigCore(const BigCoreConfig &cfg)
+{
+    CircuitBuilder cb("BigCore");
+    addBackend(cb, cfg);
+    addFrontend(cb, cfg);
+
+    ModuleBuilder top = cb.module("BigCore");
+    top.instance("frontend", "BigCoreFrontend");
+    top.instance("backend", "BigCoreBackend");
+
+    for (unsigned s = 0; s < cfg.fetchWidth; ++s) {
+        std::string v = "fe_v" + std::to_string(s);
+        top.connect("backend." + v, top.sig("frontend." + v));
+        for (unsigned f = 0; f < cfg.fieldsPerInst; ++f) {
+            std::string p = feInstPort(s, f);
+            top.connect("backend." + p, top.sig("frontend." + p));
+        }
+    }
+    for (unsigned w = 0; w < cfg.lsuWords; ++w) {
+        std::string p = "lsu" + std::to_string(w);
+        top.connect("backend." + p, top.sig("frontend." + p));
+    }
+    for (unsigned l = 0; l < cfg.backendLanes; ++l) {
+        std::string p = "wb" + std::to_string(l);
+        top.connect("frontend." + p, top.sig("backend." + p));
+    }
+    top.connect("frontend.redirect_pc",
+                top.sig("backend.redirect_pc"));
+    top.connect("frontend.fb_ack", top.sig("backend.fb_ack"));
+    for (unsigned w = 0; w < cfg.traceWords; ++w) {
+        std::string p = "btrace" + std::to_string(w);
+        top.connect("frontend." + p, top.sig("backend." + p));
+    }
+
+    auto status_r = top.reg("status_r", 32, 1);
+    auto mixv = eXor(bits(top.sig("backend.wb0"), 31, 0),
+                     bits(top.sig("backend.redirect_pc"), 31, 0));
+    top.connect("status_r",
+                bits(eAdd(eXor(status_r, mixv), lit(1, 32)), 31, 0));
+    top.output("status", 32);
+    top.connect("status", status_r);
+
+    return cb.finish();
+}
+
+} // namespace fireaxe::target

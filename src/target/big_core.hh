@@ -1,0 +1,44 @@
+/**
+ * @file
+ * A two-halves "big core" for the split-core partition experiments
+ * (Section V-B / Fig. 10): a frontend (fetch/predict) and a backend
+ * (execute/writeback) joined by a wide fetch-bundle/writeback
+ * interface. The gc40-calibrated configuration is sized so the whole
+ * core overflows one Alveo U250 while each half fits — the paper's
+ * motivating case for exact-mode 2-FPGA partitioning.
+ *
+ * The backend acknowledges fetch bundles combinationally (fb_ack),
+ * giving the boundary one sink-class channel and therefore two link
+ * crossings per target cycle in exact mode.
+ */
+
+#ifndef FIREAXE_TARGET_BIG_CORE_HH
+#define FIREAXE_TARGET_BIG_CORE_HH
+
+#include "firrtl/ir.hh"
+
+namespace fireaxe::target {
+
+struct BigCoreConfig
+{
+    unsigned fetchWidth = 2;    ///< instructions per fetch bundle
+    unsigned fieldsPerInst = 3; ///< 64-bit fields per instruction
+    unsigned traceWords = 4;    ///< 64-bit backend trace words
+    unsigned lsuWords = 2;      ///< 64-bit store-buffer words
+    unsigned backendLanes = 4;  ///< execution lanes (LUT mass knob)
+    unsigned frontendLanes = 2; ///< predictor lanes (LUT mass knob)
+};
+
+/** Total frontend<->backend boundary width in bits. */
+unsigned bigCoreInterfaceBits(const BigCoreConfig &cfg);
+
+/** The configuration calibrated to the paper's gc40 BOOM config. */
+BigCoreConfig gc40BigCoreConfig();
+
+/** Build the core; top "BigCore" instantiates "frontend" and
+ *  "backend" and exposes a 32-bit "status" output. */
+firrtl::Circuit buildBigCore(const BigCoreConfig &cfg);
+
+} // namespace fireaxe::target
+
+#endif // FIREAXE_TARGET_BIG_CORE_HH

@@ -1,0 +1,216 @@
+#include "target/bus_soc.hh"
+
+#include "base/bits.hh"
+#include "firrtl/builder.hh"
+
+namespace fireaxe::target {
+
+using namespace firrtl;
+
+namespace {
+
+/** 16-bit Fibonacci LFSR step (taps 16,14,13,11). */
+ExprPtr
+lfsrNext(const ExprPtr &l)
+{
+    auto fb = eXor(eXor(bits(l, 15, 15), bits(l, 13, 13)),
+                   eXor(bits(l, 12, 12), bits(l, 10, 10)));
+    return cat(bits(l, 14, 0), fb);
+}
+
+void
+addCoreTile(CircuitBuilder &cb, const BusSocConfig &cfg)
+{
+    ModuleBuilder mb = cb.module("CoreTile");
+    auto seed = mb.input("seed", 16);
+    auto req_ready = mb.input("req_ready", 1);
+    auto resp_valid = mb.input("resp_valid", 1);
+    auto resp_data = mb.input("resp_data", 32);
+    mb.output("req_valid", 1);
+    mb.output("req_addr", 16);
+    mb.output("req_data", 32);
+    mb.output("req_wen", 1);
+    mb.output("resp_ready", 1);
+    mb.output("chk_out", 32);
+
+    auto lfsr = mb.reg("lfsr", 16, 0xACE1);
+    auto state = mb.reg("state", 2);
+    auto rv = mb.reg("rv", 1);
+    auto addr_r = mb.reg("addr_r", 16);
+    auto wdata_r = mb.reg("wdata_r", 32);
+    auto wen_r = mb.reg("wen_r", 1);
+    auto chk = mb.reg("chk", 32);
+    auto issued = mb.reg("issued", 16);
+    auto rr = mb.reg("rr", 1, 1); // always ready for responses
+
+    auto is_gen = mb.wire("is_gen", 1);
+    mb.connect("is_gen", eEq(state, lit(0, 2)));
+    auto fire_req = mb.wire("fire_req", 1);
+    mb.connect("fire_req",
+               eAnd(eEq(state, lit(1, 2)), eAnd(rv, req_ready)));
+    auto fire_resp = mb.wire("fire_resp", 1);
+    mb.connect("fire_resp",
+               eAnd(eEq(state, lit(2, 2)), eAnd(resp_valid, rr)));
+
+    auto hashed = mb.wire("hashed", 16);
+    mb.connect("hashed", bits(eXor(lfsr, seed), 15, 0));
+
+    mb.connect("lfsr", mux(is_gen, lfsrNext(lfsr), lfsr));
+    mb.connect("state",
+               mux(is_gen, lit(1, 2),
+                   mux(fire_req, lit(2, 2),
+                       mux(fire_resp, lit(0, 2), state))));
+    mb.connect("rv",
+               mux(is_gen, lit(1, 1), mux(fire_req, lit(0, 1), rv)));
+    mb.connect("addr_r", mux(is_gen, hashed, addr_r));
+    mb.connect("wdata_r", mux(is_gen, cat(lfsr, hashed), wdata_r));
+    mb.connect("wen_r", mux(is_gen, bits(lfsr, 0, 0), wen_r));
+    mb.connect("issued", bits(eAdd(issued, fire_req), 15, 0));
+
+    // Response checksum, salted per tile with a multiplier so tiles
+    // carry a realistic ALU and stay distinguishable.
+    auto mix = mb.wire("mix", 32);
+    mb.connect("mix", eMul(lfsr, seed));
+    mb.connect("chk",
+               mux(fire_resp,
+                   bits(eAdd(chk, eXor(resp_data, mix)), 31, 0),
+                   chk));
+
+    mb.connect("req_valid", rv);
+    mb.connect("req_addr", addr_r);
+    mb.connect("req_data", wdata_r);
+    mb.connect("req_wen", wen_r);
+    mb.connect("resp_ready", rr);
+    mb.connect("chk_out", chk);
+
+    // Trace port: a shift chain of the checksum history.
+    ExprPtr prev = chk;
+    for (unsigned w = 0; w < cfg.tile.traceWords; ++w) {
+        std::string rn = "tr" + std::to_string(w);
+        auto tr = mb.reg(rn, 32);
+        mb.connect(rn, prev);
+        std::string pn = "trace" + std::to_string(w);
+        mb.output(pn, 32);
+        mb.connect(pn, tr);
+        prev = tr;
+    }
+
+    mb.annotateReadyValid({"req", "req_valid", "req_ready",
+                           {"req_addr", "req_data", "req_wen"},
+                           true});
+    mb.annotateReadyValid(
+        {"resp", "resp_valid", "resp_ready", {"resp_data"}, false});
+}
+
+} // namespace
+
+Circuit
+buildBusSoc(const BusSocConfig &cfg)
+{
+    CircuitBuilder cb("BusSoc");
+    addCoreTile(cb, cfg);
+
+    ModuleBuilder top = cb.module("BusSoc");
+    unsigned n = cfg.numTiles;
+    unsigned aw = cfg.memWords > 1
+                      ? bitsNeeded(cfg.memWords - 1)
+                      : 1;
+
+    for (unsigned i = 0; i < n; ++i) {
+        std::string t = "tile" + std::to_string(i);
+        top.instance(t, "CoreTile");
+        top.connect(t + ".seed",
+                    lit((0x9E37u * i + 0x1234u) & 0xFFFFu, 16));
+    }
+
+    // Fixed-priority bus arbiter: tile i wins when no lower-index
+    // tile requests.
+    ExprPtr taken = lit(0, 1);
+    std::vector<ExprPtr> gnt(n);
+    for (unsigned i = 0; i < n; ++i) {
+        std::string t = "tile" + std::to_string(i);
+        std::string g = "gnt" + std::to_string(i);
+        auto gw = top.wire(g, 1);
+        top.connect(g,
+                    eAnd(top.sig(t + ".req_valid"), eNot(taken)));
+        top.connect(t + ".req_ready", gw);
+        taken = eOr(taken, top.sig(t + ".req_valid"));
+        gnt[i] = gw;
+    }
+    auto any_gnt = top.wire("any_gnt", 1);
+    top.connect("any_gnt", taken);
+
+    // Granted-request muxes.
+    ExprPtr ga = lit(0, 16), gd = lit(0, 32), gw_sel = lit(0, 1);
+    for (unsigned i = n; i-- > 0;) {
+        std::string t = "tile" + std::to_string(i);
+        ga = mux(gnt[i], top.sig(t + ".req_addr"), ga);
+        gd = mux(gnt[i], top.sig(t + ".req_data"), gd);
+        gw_sel = mux(gnt[i], top.sig(t + ".req_wen"), gw_sel);
+    }
+    auto gaw = top.wire("gaddr", 16);
+    top.connect("gaddr", ga);
+    auto gdw = top.wire("gdata", 32);
+    top.connect("gdata", gd);
+    auto gww = top.wire("gwen", 1);
+    top.connect("gwen", gw_sel);
+
+    top.mem("l2", cfg.memWords, 32);
+    top.connect("l2.raddr", bits(gaw, aw - 1, 0));
+    top.connect("l2.waddr", bits(gaw, aw - 1, 0));
+    top.connect("l2.wdata", gdw);
+    top.connect("l2.wen", eAnd(any_gnt, gww));
+
+    // One-cycle registered response, broadcast data with per-tile
+    // valids.
+    auto resp_d = top.reg("resp_d", 32);
+    top.connect("resp_d",
+                mux(any_gnt,
+                    mux(gww, gdw, top.sig("l2.rdata")), resp_d));
+    for (unsigned i = 0; i < n; ++i) {
+        std::string t = "tile" + std::to_string(i);
+        std::string rvn = "resp_v" + std::to_string(i);
+        auto rvr = top.reg(rvn, 1);
+        top.connect(rvn, gnt[i]);
+        top.connect(t + ".resp_valid", rvr);
+        top.connect(t + ".resp_data", resp_d);
+    }
+
+    auto hb = top.reg("hb", 32);
+    top.connect("hb", bits(eAdd(hb, any_gnt), 31, 0));
+
+    // Bus-fabric "ECC" pipeline: arithmetic mass representing the
+    // interconnect/home-node logic of the rest partition.
+    auto status_r = top.reg("status_r", 32, 1);
+    auto m1 = eMul(bits(status_r, 15, 0), bits(hb, 15, 0));
+    auto m2 = eMul(bits(resp_d, 15, 0), bits(status_r, 31, 16));
+    auto m3 = eMul(bits(hb, 31, 16), bits(resp_d, 31, 16));
+    auto ecc = top.wire("ecc", 32);
+    top.connect("ecc",
+                bits(eAdd(bits(eXor(eXor(m1, m2), m3), 31, 0),
+                          status_r),
+                     31, 0));
+
+    ExprPtr chks = top.sig("tile0.chk_out");
+    for (unsigned i = 1; i < n; ++i)
+        chks = eXor(chks,
+                    top.sig("tile" + std::to_string(i) + ".chk_out"));
+    auto mix = eXor(chks, eXor(resp_d, top.sig("ecc")));
+    top.connect("status_r",
+                bits(eAdd(eXor(status_r, mix), lit(1, 32)), 31, 0));
+    top.output("status", 32);
+    top.connect("status", status_r);
+
+    return cb.finish();
+}
+
+std::set<std::string>
+busSocTilePaths(unsigned n)
+{
+    std::set<std::string> paths;
+    for (unsigned i = 0; i < n; ++i)
+        paths.insert("tile" + std::to_string(i));
+    return paths;
+}
+
+} // namespace fireaxe::target

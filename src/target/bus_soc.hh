@@ -1,0 +1,45 @@
+/**
+ * @file
+ * A parameterizable bus-based SoC: N core tiles issuing read/write
+ * requests over a shared priority bus into an L2-backed memory, the
+ * standard FireAxe partitioning target (tiles are extracted, the bus
+ * and memory stay in the rest partition).
+ *
+ * Each tile is an LFSR-driven traffic generator with a registered
+ * ready-valid request/response interface and an optional trace port
+ * (tile.traceWords 32-bit words) that widens the partition boundary
+ * without changing behaviour — the x-axis knob of the Fig. 11/12
+ * sweeps.
+ */
+
+#ifndef FIREAXE_TARGET_BUS_SOC_HH
+#define FIREAXE_TARGET_BUS_SOC_HH
+
+#include <set>
+#include <string>
+
+#include "firrtl/ir.hh"
+
+namespace fireaxe::target {
+
+struct BusSocConfig
+{
+    unsigned numTiles = 2;
+    unsigned memWords = 128;
+    struct
+    {
+        /** Extra 32-bit boundary trace words per tile. */
+        unsigned traceWords = 0;
+    } tile;
+};
+
+/** Build the SoC; tiles are instances "tile0".."tileN-1" of module
+ *  "CoreTile", the top is "BusSoc" with a 32-bit "status" output. */
+firrtl::Circuit buildBusSoc(const BusSocConfig &cfg = {});
+
+/** Instance paths of the first @p n tiles, for PartitionGroupSpec. */
+std::set<std::string> busSocTilePaths(unsigned n);
+
+} // namespace fireaxe::target
+
+#endif // FIREAXE_TARGET_BUS_SOC_HH

@@ -1,0 +1,424 @@
+#include "target/noc_soc.hh"
+
+#include <string>
+
+#include "base/bits.hh"
+#include "base/logging.hh"
+#include "firrtl/builder.hh"
+#include "target/primitives.hh"
+
+namespace fireaxe::target {
+
+using namespace firrtl;
+
+namespace {
+
+// Flit layout: {dest[5:0], src[5:0], payload[31:0]}.
+constexpr unsigned kIdBits = 6;
+constexpr unsigned kFlitBits = kIdBits * 2 + 32;
+
+ExprPtr
+flitDest(const ExprPtr &f)
+{
+    return bits(f, kFlitBits - 1, kFlitBits - kIdBits);
+}
+
+ExprPtr
+flitSrc(const ExprPtr &f)
+{
+    return bits(f, 37, 32);
+}
+
+ExprPtr
+flitPayload(const ExprPtr &f)
+{
+    return bits(f, 31, 0);
+}
+
+ExprPtr
+makeFlit(const ExprPtr &dest, const ExprPtr &src,
+         const ExprPtr &payload)
+{
+    return cat(dest, cat(src, payload));
+}
+
+/**
+ * One ring stop. All outputs are registered, so router-to-router
+ * links are source-class channels in exact mode. The local port
+ * handshake: the injector holds loc_in_v and the flit stable until
+ * it sees loc_ack (registered, one cycle after acceptance); the
+ * router refuses a new injection in the ack cycle so the one-cycle
+ * deassertion lag cannot double-inject.
+ */
+void
+addRouter(CircuitBuilder &cb, unsigned i, bool bidir)
+{
+    ModuleBuilder mb = cb.module("RingRouter" + std::to_string(i));
+    mb.attr("nocRouter", "1");
+    mb.attr("nocIndex", std::to_string(i));
+
+    auto loc_in_v = mb.input("loc_in_v", 1);
+    auto loc_in_f = mb.input("loc_in_f", kFlitBits);
+    mb.output("loc_out_v", 1);
+    mb.output("loc_out_f", kFlitBits);
+    mb.output("loc_ack", 1);
+
+    auto ack_r = mb.reg("ack_r", 1);
+    auto lv_o = mb.reg("lv_o", 1);
+    auto lf_o = mb.reg("lf_o", kFlitBits);
+    mb.connect("loc_out_v", lv_o);
+    mb.connect("loc_out_f", lf_o);
+    mb.connect("loc_ack", ack_r);
+
+    auto me = lit(i, kIdBits);
+
+    if (!bidir) {
+        auto rin_v = mb.input("ring_in_v", 1);
+        auto rin_f = mb.input("ring_in_f", kFlitBits);
+        mb.output("ring_out_v", 1);
+        mb.output("ring_out_f", kFlitBits);
+
+        auto deliver = mb.wire("deliver", 1);
+        mb.connect("deliver",
+                   eAnd(rin_v, eEq(flitDest(rin_f), me)));
+        auto fwd = mb.wire("fwd", 1);
+        mb.connect("fwd", eAnd(rin_v, eNot(deliver)));
+        auto inject = mb.wire("inject", 1);
+        mb.connect("inject",
+                   eAnd(loc_in_v, eAnd(eNot(fwd), eNot(ack_r))));
+
+        auto rv_o = mb.reg("rv_o", 1);
+        auto rf_o = mb.reg("rf_o", kFlitBits);
+        mb.connect("rv_o", eOr(fwd, inject));
+        mb.connect("rf_o", mux(fwd, rin_f, loc_in_f));
+        mb.connect("ring_out_v", rv_o);
+        mb.connect("ring_out_f", rf_o);
+
+        mb.connect("lv_o", deliver);
+        mb.connect("lf_o", rin_f);
+        mb.connect("ack_r", inject);
+        return;
+    }
+
+    auto loc_dir = mb.input("loc_dir", 1); // 0 = cw, 1 = ccw
+    auto cw_in_v = mb.input("cw_in_v", 1);
+    auto cw_in_f = mb.input("cw_in_f", kFlitBits);
+    auto ccw_in_v = mb.input("ccw_in_v", 1);
+    auto ccw_in_f = mb.input("ccw_in_f", kFlitBits);
+    mb.output("cw_out_v", 1);
+    mb.output("cw_out_f", kFlitBits);
+    mb.output("ccw_out_v", 1);
+    mb.output("ccw_out_f", kFlitBits);
+
+    auto del_cw = mb.wire("del_cw", 1);
+    mb.connect("del_cw", eAnd(cw_in_v, eEq(flitDest(cw_in_f), me)));
+    auto del_ccw = mb.wire("del_ccw", 1);
+    mb.connect("del_ccw",
+               eAnd(ccw_in_v, eEq(flitDest(ccw_in_f), me)));
+
+    // One local delivery per cycle: cw wins, a colliding ccw flit is
+    // deflected onward and circulates until a free cycle.
+    auto cw_fwd = mb.wire("cw_fwd", 1);
+    mb.connect("cw_fwd", eAnd(cw_in_v, eNot(del_cw)));
+    auto ccw_fwd = mb.wire("ccw_fwd", 1);
+    mb.connect("ccw_fwd",
+               eAnd(ccw_in_v, eNot(eAnd(del_ccw, eNot(del_cw)))));
+
+    auto inj_cw = mb.wire("inj_cw", 1);
+    mb.connect("inj_cw",
+               eAnd(eAnd(loc_in_v, eNot(ack_r)),
+                    eAnd(eNot(cw_fwd), eNot(loc_dir))));
+    auto inj_ccw = mb.wire("inj_ccw", 1);
+    mb.connect("inj_ccw",
+               eAnd(eAnd(loc_in_v, eNot(ack_r)),
+                    eAnd(eNot(ccw_fwd), loc_dir)));
+
+    auto cw_ov = mb.reg("cw_ov", 1);
+    auto cw_of = mb.reg("cw_of", kFlitBits);
+    mb.connect("cw_ov", eOr(cw_fwd, inj_cw));
+    mb.connect("cw_of", mux(cw_fwd, cw_in_f, loc_in_f));
+    mb.connect("cw_out_v", cw_ov);
+    mb.connect("cw_out_f", cw_of);
+
+    auto ccw_ov = mb.reg("ccw_ov", 1);
+    auto ccw_of = mb.reg("ccw_of", kFlitBits);
+    mb.connect("ccw_ov", eOr(ccw_fwd, inj_ccw));
+    mb.connect("ccw_of", mux(ccw_fwd, ccw_in_f, loc_in_f));
+    mb.connect("ccw_out_v", ccw_ov);
+    mb.connect("ccw_out_f", ccw_of);
+
+    mb.connect("lv_o", eOr(del_cw, del_ccw));
+    mb.connect("lf_o", mux(del_cw, cw_in_f, ccw_in_f));
+    mb.connect("ack_r", eOr(inj_cw, inj_ccw));
+}
+
+/**
+ * Protocol converter between a tile's simple memory request port and
+ * the router's local flit port (latches one request at a time).
+ */
+void
+addConverter(CircuitBuilder &cb, unsigned i, unsigned num_nodes,
+             bool bidir)
+{
+    ModuleBuilder mb = cb.module("NocConv" + std::to_string(i));
+    auto t_req_v = mb.input("t_req_v", 1);
+    auto t_addr = mb.input("t_addr", 16);
+    mb.output("t_req_ack", 1);
+    mb.output("t_resp_v", 1);
+    mb.output("t_resp_data", 32);
+
+    auto r_ack_in = mb.input("r_ack_in", 1);
+    auto r_del_v = mb.input("r_del_v", 1);
+    auto r_del_f = mb.input("r_del_f", kFlitBits);
+    mb.output("r_out_v", 1);
+    mb.output("r_out_f", kFlitBits);
+
+    auto busy = mb.reg("busy", 1);
+    auto flit_r = mb.reg("flit_r", kFlitBits);
+
+    auto start = mb.wire("start", 1);
+    mb.connect("start", eAnd(t_req_v, eNot(busy)));
+    mb.connect("busy",
+               mux(r_ack_in, lit(0, 1), mux(start, lit(1, 1), busy)));
+    mb.connect("flit_r",
+               mux(start,
+                   makeFlit(lit(0, kIdBits), lit(i, kIdBits),
+                            cat(lit(0, 16), t_addr)),
+                   flit_r));
+
+    mb.connect("r_out_v", busy);
+    mb.connect("r_out_f", flit_r);
+    mb.connect("t_req_ack", r_ack_in);
+    mb.connect("t_resp_v", r_del_v);
+    mb.connect("t_resp_data", flitPayload(r_del_f));
+
+    if (bidir) {
+        mb.output("r_dir", 1);
+        // Shortest path to node 0: counter-clockwise covers i hops,
+        // clockwise N - i.
+        mb.connect("r_dir",
+                   lit(2 * i <= num_nodes ? 1 : 0, 1));
+    }
+}
+
+/** LFSR traffic tile: think a few cycles, issue one request, block
+ *  until the response returns, accumulate a checksum. */
+void
+addNocTile(CircuitBuilder &cb, unsigned i)
+{
+    ModuleBuilder mb = cb.module("NocTile" + std::to_string(i));
+    auto req_ack = mb.input("req_ack", 1);
+    auto resp_v = mb.input("resp_v", 1);
+    auto resp_data = mb.input("resp_data", 32);
+    mb.output("req_v", 1);
+    mb.output("addr", 16);
+    mb.output("chk_out", 32);
+
+    auto lfsr = mb.reg("lfsr", 16, (0x1B59u * i + 0x2Du) & 0xFFFFu);
+    auto state = mb.reg("state", 2);
+    auto pace = mb.reg("pace", 2);
+    auto rv = mb.reg("rv", 1);
+    auto addr_r = mb.reg("addr_r", 16);
+    auto chk = mb.reg("chk", 32);
+
+    auto is_go = mb.wire("is_go", 1);
+    mb.connect("is_go",
+               eAnd(eEq(state, lit(0, 2)), eEq(pace, lit(3, 2))));
+    auto acked = mb.wire("acked", 1);
+    mb.connect("acked", eAnd(eEq(state, lit(1, 2)), req_ack));
+    auto got = mb.wire("got", 1);
+    mb.connect("got", eAnd(eEq(state, lit(2, 2)), resp_v));
+
+    mb.connect("pace", bits(eAdd(pace, lit(1, 2)), 1, 0));
+    mb.connect("state",
+               mux(is_go, lit(1, 2),
+                   mux(acked, lit(2, 2),
+                       mux(got, lit(0, 2), state))));
+    auto fb = eXor(eXor(bits(lfsr, 15, 15), bits(lfsr, 13, 13)),
+                   eXor(bits(lfsr, 12, 12), bits(lfsr, 10, 10)));
+    mb.connect("lfsr", mux(is_go, cat(bits(lfsr, 14, 0), fb), lfsr));
+    mb.connect("rv",
+               mux(is_go, lit(1, 1), mux(acked, lit(0, 1), rv)));
+    mb.connect("addr_r", mux(is_go, lfsr, addr_r));
+    mb.connect("chk",
+               mux(got,
+                   bits(eAdd(chk, eXor(resp_data, cat(lfsr, lfsr))),
+                        31, 0),
+                   chk));
+
+    mb.connect("req_v", rv);
+    mb.connect("addr", addr_r);
+    mb.connect("chk_out", chk);
+}
+
+/**
+ * Node-0 memory subsystem: serves each delivered request flit from a
+ * word memory (read + evolving write-back), queues the response and
+ * injects it back into router 0.
+ */
+void
+addSubsystem(CircuitBuilder &cb, const RingNocSocConfig &cfg)
+{
+    unsigned depth = std::max(2u, cfg.numNodes);
+    addQueueModule(cb, "NocRespQ", kIdBits + 32, depth);
+
+    ModuleBuilder mb = cb.module("NocSubsys");
+    auto r_ack_in = mb.input("r_ack_in", 1);
+    auto r_del_v = mb.input("r_del_v", 1);
+    auto r_del_f = mb.input("r_del_f", kFlitBits);
+    mb.output("r_out_v", 1);
+    mb.output("r_out_f", kFlitBits);
+    mb.output("hb_out", 32);
+
+    unsigned aw = cfg.memWords > 1
+                      ? bitsNeeded(cfg.memWords - 1)
+                      : 1;
+    mb.mem("store", cfg.memWords, 32);
+    auto payload = mb.wire("payload", 32);
+    mb.connect("payload", flitPayload(r_del_f));
+    mb.connect("store.raddr", bits(payload, aw - 1, 0));
+    auto rdata = mb.sig("store.rdata");
+
+    auto hb = mb.reg("hb", 32);
+    mb.connect("hb", bits(eAdd(hb, r_del_v), 31, 0));
+    mb.connect("hb_out", hb);
+
+    // Write back an evolving value so repeated reads change.
+    mb.connect("store.waddr", bits(payload, aw - 1, 0));
+    mb.connect("store.wdata",
+               bits(eAdd(rdata, eXor(payload, hb)), 31, 0));
+    mb.connect("store.wen", r_del_v);
+
+    mb.instance("respq", "NocRespQ");
+    mb.connect("respq.enq_valid", r_del_v);
+    mb.connect("respq.enq_bits", cat(flitSrc(r_del_f), rdata));
+
+    auto busy = mb.reg("busy", 1);
+    auto flit_r = mb.reg("flit_r", kFlitBits);
+    auto take = mb.wire("take", 1);
+    mb.connect("take",
+               eAnd(mb.sig("respq.deq_valid"),
+                    eOr(eNot(busy), r_ack_in)));
+    mb.connect("respq.deq_ready", eOr(eNot(busy), r_ack_in));
+
+    auto dst = bits(mb.sig("respq.deq_bits"), kIdBits + 31, 32);
+    auto pay = bits(mb.sig("respq.deq_bits"), 31, 0);
+    mb.connect("busy",
+               mux(take, lit(1, 1),
+                   mux(r_ack_in, lit(0, 1), busy)));
+    mb.connect("flit_r",
+               mux(take, makeFlit(dst, lit(0, kIdBits), pay),
+                   flit_r));
+
+    mb.connect("r_out_v", busy);
+    mb.connect("r_out_f", flit_r);
+
+    if (cfg.bidirectional) {
+        mb.output("r_dir", 1);
+        auto dir_r = mb.reg("dir_r", 1);
+        // Shortest path to node dst: clockwise covers dst hops.
+        auto cw_short =
+            binOp(BinOpKind::Leq, eAdd(dst, dst),
+                  lit(cfg.numNodes, kIdBits + 1));
+        mb.connect("dir_r",
+                   mux(take, mux(cw_short, lit(0, 1), lit(1, 1)),
+                       dir_r));
+        mb.connect("r_dir", dir_r);
+    }
+}
+
+} // namespace
+
+Circuit
+buildRingNocSoc(const RingNocSocConfig &cfg)
+{
+    unsigned n = cfg.numNodes;
+    if (n < 2)
+        fatal("RingNocSoc needs at least 2 nodes, got ", n);
+    if (n >= (1u << kIdBits))
+        fatal("RingNocSoc supports at most ", (1u << kIdBits) - 1,
+              " nodes, got ", n);
+
+    CircuitBuilder cb("RingNocSoc");
+    for (unsigned i = 0; i < n; ++i)
+        addRouter(cb, i, cfg.bidirectional);
+    for (unsigned i = 1; i < n; ++i) {
+        addConverter(cb, i, n, cfg.bidirectional);
+        addNocTile(cb, i);
+    }
+    addSubsystem(cb, cfg);
+
+    ModuleBuilder top = cb.module("RingNocSoc");
+    auto rn = [](unsigned i) { return "r" + std::to_string(i); };
+    for (unsigned i = 0; i < n; ++i)
+        top.instance(rn(i), "RingRouter" + std::to_string(i));
+    for (unsigned i = 1; i < n; ++i) {
+        top.instance("conv" + std::to_string(i),
+                     "NocConv" + std::to_string(i));
+        top.instance("tile" + std::to_string(i),
+                     "NocTile" + std::to_string(i));
+    }
+    top.instance("subsys", "NocSubsys");
+
+    // Ring links: direct instance-to-instance connects, so the NoC
+    // selector sees router adjacency.
+    for (unsigned i = 0; i < n; ++i) {
+        unsigned next = (i + 1) % n;
+        if (!cfg.bidirectional) {
+            top.connect(rn(next) + ".ring_in_v",
+                        top.sig(rn(i) + ".ring_out_v"));
+            top.connect(rn(next) + ".ring_in_f",
+                        top.sig(rn(i) + ".ring_out_f"));
+        } else {
+            top.connect(rn(next) + ".cw_in_v",
+                        top.sig(rn(i) + ".cw_out_v"));
+            top.connect(rn(next) + ".cw_in_f",
+                        top.sig(rn(i) + ".cw_out_f"));
+            top.connect(rn(i) + ".ccw_in_v",
+                        top.sig(rn(next) + ".ccw_out_v"));
+            top.connect(rn(i) + ".ccw_in_f",
+                        top.sig(rn(next) + ".ccw_out_f"));
+        }
+    }
+
+    // Local ports: node 0 hosts the subsystem, other nodes a
+    // converter + tile pair.
+    auto hookLocal = [&](const std::string &router,
+                         const std::string &client) {
+        top.connect(router + ".loc_in_v", top.sig(client + ".r_out_v"));
+        top.connect(router + ".loc_in_f", top.sig(client + ".r_out_f"));
+        if (cfg.bidirectional)
+            top.connect(router + ".loc_dir",
+                        top.sig(client + ".r_dir"));
+        top.connect(client + ".r_ack_in", top.sig(router + ".loc_ack"));
+        top.connect(client + ".r_del_v", top.sig(router + ".loc_out_v"));
+        top.connect(client + ".r_del_f", top.sig(router + ".loc_out_f"));
+    };
+    hookLocal("r0", "subsys");
+    for (unsigned i = 1; i < n; ++i) {
+        std::string c = "conv" + std::to_string(i);
+        std::string t = "tile" + std::to_string(i);
+        hookLocal(rn(i), c);
+        top.connect(c + ".t_req_v", top.sig(t + ".req_v"));
+        top.connect(c + ".t_addr", top.sig(t + ".addr"));
+        top.connect(t + ".req_ack", top.sig(c + ".t_req_ack"));
+        top.connect(t + ".resp_v", top.sig(c + ".t_resp_v"));
+        top.connect(t + ".resp_data", top.sig(c + ".t_resp_data"));
+    }
+
+    // Status aggregation (anchored in the top's own register, so it
+    // adds no node adjacency).
+    auto status_r = top.reg("status_r", 32, 1);
+    ExprPtr mixv = top.sig("subsys.hb_out");
+    for (unsigned i = 1; i < n; ++i)
+        mixv = eXor(mixv,
+                    top.sig("tile" + std::to_string(i) + ".chk_out"));
+    top.connect("status_r",
+                bits(eAdd(eXor(status_r, mixv), lit(1, 32)), 31, 0));
+    top.output("status", 32);
+    top.connect("status", status_r);
+
+    return cb.finish();
+}
+
+} // namespace fireaxe::target

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * A ring-NoC SoC for NoC-partition-mode experiments (Section V-C):
+ * node 0 carries a memory subsystem, nodes 1..N-1 carry a traffic
+ * tile behind a NoC converter. Routers are tagged with the
+ * "nocRouter"/"nocIndex" attributes consumed by
+ * ripper::findNocRouters()/selectNocGroup(), and all inter-node
+ * wiring is expressed as direct instance-to-instance connects so
+ * ring adjacency is discoverable.
+ *
+ * The ring is unidirectional by default; with `bidirectional` each
+ * node also gets a counter-rotating link and sources pick the
+ * shortest direction (Fig. 9's bandwidth experiment).
+ */
+
+#ifndef FIREAXE_TARGET_NOC_SOC_HH
+#define FIREAXE_TARGET_NOC_SOC_HH
+
+#include "firrtl/ir.hh"
+
+namespace fireaxe::target {
+
+struct RingNocSocConfig
+{
+    /** Total ring nodes including the subsystem node 0. */
+    unsigned numNodes = 4;
+    /** Words in the node-0 memory subsystem. */
+    unsigned memWords = 256;
+    /** Add a counter-rotating ring and shortest-path injection. */
+    bool bidirectional = false;
+};
+
+/** Build the SoC; top is "RingNocSoc" with a 32-bit "status" output.
+ *  Instances: routers "r0".."rN-1", per-tile "conv<i>"/"tile<i>"
+ *  (i >= 1) and the node-0 "subsys". */
+firrtl::Circuit buildRingNocSoc(const RingNocSocConfig &cfg = {});
+
+} // namespace fireaxe::target
+
+#endif // FIREAXE_TARGET_NOC_SOC_HH

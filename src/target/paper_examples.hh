@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The small worked examples from the FireAxe paper:
+ *
+ *  - Fig. 2: two cross-coupled registered blocks, the canonical
+ *    exact-mode partition target (source + sink channels, two link
+ *    crossings per target cycle).
+ *  - Fig. 3: a producer/consumer pair with a ready-valid handshake,
+ *    the fast-mode (optimistic) partition target.
+ *  - A deliberately illegal design whose partition boundary chains
+ *    two combinational dependencies, which exact mode must reject.
+ */
+
+#ifndef FIREAXE_TARGET_PAPER_EXAMPLES_HH
+#define FIREAXE_TARGET_PAPER_EXAMPLES_HH
+
+#include "firrtl/ir.hh"
+
+namespace fireaxe::target {
+
+/** Fig. 2: top "Fig2Top" with instances blockA/blockB; observation
+ *  ports obs_a/obs_b. Partitioning out "blockB" in exact mode yields
+ *  two source and two sink channels of 16 bits each. */
+firrtl::Circuit buildFig2Target();
+
+/** Fig. 3: top "Fig3Top" with a producer (inlined in the top) that
+ *  streams 64 items into an instance "consumer" over a ready-valid
+ *  interface; the consumer accumulates a count and a sum. */
+firrtl::Circuit buildFig3Target();
+
+/** A design whose boundary has a two-deep combinational dependency
+ *  chain through the partitioned instance "blk"; exact-mode
+ *  partitioning must reject it. */
+firrtl::Circuit buildChainViolationTarget();
+
+} // namespace fireaxe::target
+
+#endif // FIREAXE_TARGET_PAPER_EXAMPLES_HH

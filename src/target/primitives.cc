@@ -1,0 +1,58 @@
+#include "target/primitives.hh"
+
+#include "base/bits.hh"
+
+namespace fireaxe::target {
+
+using namespace firrtl;
+
+void
+addQueueModule(CircuitBuilder &cb, const std::string &name,
+               unsigned width, unsigned depth)
+{
+    ModuleBuilder mb = cb.module(name);
+    unsigned cw = bitsNeeded(depth);
+    unsigned pw = depth > 1 ? bitsNeeded(depth - 1) : 1;
+
+    auto enq_valid = mb.input("enq_valid", 1);
+    auto enq_bits = mb.input("enq_bits", width);
+    auto deq_ready = mb.input("deq_ready", 1);
+    mb.output("enq_ready", 1);
+    mb.output("deq_valid", 1);
+    mb.output("deq_bits", width);
+
+    auto cnt = mb.reg("cnt", cw);
+    auto head = mb.reg("head", pw);
+    auto tail = mb.reg("tail", pw);
+    mb.mem("store", depth, width);
+
+    auto not_full = eLt(cnt, lit(depth, cw));
+    auto not_empty = eNeq(cnt, lit(0, cw));
+    auto do_enq = mb.wire("do_enq", 1);
+    auto do_deq = mb.wire("do_deq", 1);
+    mb.connect("do_enq", eAnd(enq_valid, not_full));
+    mb.connect("do_deq", eAnd(deq_ready, not_empty));
+
+    mb.connect("enq_ready", not_full);
+    mb.connect("deq_valid", not_empty);
+
+    // Occupancy: cnt' = cnt + do_enq - do_deq (guards above keep it
+    // in range).
+    mb.connect("cnt",
+               bits(eSub(eAdd(cnt, do_enq), do_deq), cw - 1, 0));
+
+    auto wrap = [&](const ExprPtr &ptr) {
+        return mux(eEq(ptr, lit(depth - 1, pw)), lit(0, pw),
+                   bits(eAdd(ptr, lit(1, pw)), pw - 1, 0));
+    };
+    mb.connect("head", mux(do_deq, wrap(head), head));
+    mb.connect("tail", mux(do_enq, wrap(tail), tail));
+
+    mb.connect("store.raddr", head);
+    mb.connect("deq_bits", mb.sig("store.rdata"));
+    mb.connect("store.waddr", tail);
+    mb.connect("store.wdata", enq_bits);
+    mb.connect("store.wen", do_enq);
+}
+
+} // namespace fireaxe::target

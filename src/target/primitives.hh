@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Small reusable hardware generators shared by the target designs:
+ * currently a synchronous FIFO queue module.
+ */
+
+#ifndef FIREAXE_TARGET_PRIMITIVES_HH
+#define FIREAXE_TARGET_PRIMITIVES_HH
+
+#include <string>
+
+#include "firrtl/builder.hh"
+
+namespace fireaxe::target {
+
+/**
+ * Declare a module @p name implementing a @p depth-entry FIFO of
+ * @p width-bit values with a ready/valid interface on both sides:
+ *
+ *   inputs : enq_valid, enq_bits, deq_ready
+ *   outputs: enq_ready, deq_valid, deq_bits
+ *
+ * enq_ready is asserted whenever the queue is not full, deq_valid
+ * whenever it is not empty; both are evaluated against the
+ * pre-clock-edge occupancy. Storage is a memory, so large queues map
+ * to BRAM in the resource model.
+ */
+void addQueueModule(firrtl::CircuitBuilder &cb, const std::string &name,
+                    unsigned width, unsigned depth);
+
+} // namespace fireaxe::target
+
+#endif // FIREAXE_TARGET_PRIMITIVES_HH

@@ -1,0 +1,58 @@
+#include "transport/fault.hh"
+
+namespace fireaxe::transport {
+
+namespace {
+
+/** FNV-1a over the channel name, so each channel gets a stable,
+ *  order-independent stream. */
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+Rng
+FaultModel::channelRng(const std::string &channel_name) const
+{
+    return Rng(cfg_.seed ^ fnv1a(channel_name));
+}
+
+FaultEvent
+FaultModel::draw(Rng &rng, unsigned payload_bits) const
+{
+    FaultEvent ev;
+    if (!enabled())
+        return ev;
+
+    // One uniform draw per fault mode keeps the stream layout stable
+    // when individual rates change.
+    ev.drop = rng.chance(cfg_.dropRate);
+    bool corrupt = rng.chance(cfg_.corruptRate);
+    ev.duplicate = rng.chance(cfg_.duplicateRate);
+    bool stall = rng.chance(cfg_.stallRate);
+
+    // A dropped token cannot also be corrupted or duplicated.
+    if (!ev.drop && corrupt && payload_bits > 0) {
+        ev.corrupt = true;
+        ev.corruptBit = unsigned(rng.below(payload_bits));
+    }
+    if (ev.drop)
+        ev.duplicate = false;
+    if (stall && cfg_.stallMeanNs > 0.0) {
+        // Geometric-ish duration with the configured mean, quantized
+        // to 100 ns slots so short stalls stay cheap to draw.
+        double slots = double(rng.geometric(cfg_.stallMeanNs / 100.0));
+        ev.stallNs = slots * 100.0;
+    }
+    return ev;
+}
+
+} // namespace fireaxe::transport
