@@ -15,13 +15,16 @@
  * counts alongside the rate.
  */
 
+#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "base/table.hh"
+#include "obs/telemetry.hh"
 #include "platform/executor.hh"
 #include "platform/fpga.hh"
 #include "ripper/partition.hh"
+#include "sweep_common.hh"
 #include "target/bus_soc.hh"
 #include "transport/fault.hh"
 #include "transport/link.hh"
@@ -54,7 +57,10 @@ FaultPoint
 runPoint(const firrtl::Circuit &soc,
          const std::vector<uint64_t> &mono,
          const transport::LinkParams &link, double fault_rate,
-         uint64_t cycles)
+         uint64_t cycles,
+         const obs::TelemetryConfig *telemetry = nullptr,
+         std::ostream *metrics_os = nullptr,
+         std::ostream *trace_os = nullptr)
 {
     ripper::PartitionSpec spec;
     spec.mode = ripper::PartitionMode::Exact;
@@ -65,6 +71,8 @@ runPoint(const firrtl::Circuit &soc,
         plan,
         {platform::alveoU250(50.0), platform::alveoU250(50.0)},
         link);
+    if (telemetry)
+        sim.setTelemetry(*telemetry);
     if (fault_rate > 0.0)
         sim.setFaultModel(
             transport::FaultConfig::uniform(fault_rate, 0xFA11));
@@ -75,6 +83,10 @@ runPoint(const firrtl::Circuit &soc,
                        part.push_back(s.peek("status"));
                    });
     auto result = sim.run(cycles);
+    if (metrics_os)
+        sim.writeMetricsJson(*metrics_os);
+    if (trace_os)
+        sim.writeTrace(*trace_os);
 
     FaultPoint point;
     point.simRateMhz = result.simRateMhz();
@@ -92,19 +104,23 @@ runPoint(const firrtl::Circuit &soc,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+    bench::JsonRows json(args.jsonPath);
+
     target::BusSocConfig cfg;
     cfg.numTiles = 3;
     cfg.memWords = 256;
     auto soc = target::buildBusSoc(cfg);
-    const uint64_t cycles = 800;
+    const uint64_t cycles = args.cycles ? args.cycles : 800;
     auto mono = goldenStatus(soc, cycles);
 
     const double rates[] = {0.0, 1e-4, 1e-3, 1e-2};
     const transport::LinkParams links[] = {
         transport::qsfpAurora(), transport::pciePeerToPeer(),
         transport::hostManagedPcie()};
+    const char *linkNames[] = {"qsfp", "pcie_p2p", "host_pcie"};
 
     TextTable table({"fault rate", "qsfp (MHz)", "rtx",
                      "pcie-p2p (MHz)", "rtx", "host-pcie (kHz)",
@@ -125,6 +141,16 @@ main()
             row.push_back(TextTable::num(rate_val, 3));
             row.push_back(std::to_string(points[i].retransmits));
             all_exact = all_exact && points[i].bitExact;
+
+            bench::JsonRow jrow;
+            jrow.field("bench", "fault_sweep")
+                .field("fault_rate", rate)
+                .field("transport", linkNames[i])
+                .field("sim_rate_mhz", points[i].simRateMhz)
+                .field("retransmits", points[i].retransmits)
+                .field("target_cycles", cycles)
+                .field("bit_exact", points[i].bitExact);
+            json.add(jrow);
         }
         row.push_back(all_exact ? "yes" : "NO");
         table.addRow(row);
@@ -135,5 +161,28 @@ main()
     table.print(std::cout);
     std::cout << "\nEvery row must report bit-exact = yes: injected"
                  " faults only cost simulation rate.\n";
+
+    // Telemetry showcase: re-run the qsfp @ 1e-3 point with the full
+    // telemetry bundle and export the metrics snapshot and Chrome
+    // trace for offline inspection (CI validates both parse).
+    if (!args.metricsJsonPath.empty() || !args.tracePath.empty()) {
+        obs::TelemetryConfig tcfg = obs::TelemetryConfig::full();
+        std::ofstream metrics_os, trace_os;
+        std::ostream *mp = nullptr, *tp = nullptr;
+        if (!args.metricsJsonPath.empty()) {
+            metrics_os.open(args.metricsJsonPath);
+            mp = &metrics_os;
+        }
+        if (!args.tracePath.empty()) {
+            trace_os.open(args.tracePath);
+            tp = &trace_os;
+        }
+        auto pt = runPoint(soc, mono, transport::qsfpAurora(), 1e-3,
+                           cycles, &tcfg, mp, tp);
+        std::cout << "\ntelemetry showcase (qsfp @ 1e-3/token): "
+                  << TextTable::num(pt.simRateMhz, 3) << " MHz, "
+                  << pt.retransmits << " retransmits, bit-exact "
+                  << (pt.bitExact ? "yes" : "NO") << "\n";
+    }
     return 0;
 }

@@ -42,10 +42,14 @@ const WidthStep widthSteps[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    JsonRows json(args.jsonPath);
+
     auto link = transport::qsfpAurora();
     const unsigned total_tiles = 4;
+    const uint64_t cycles = args.cycles ? args.cycles : 400;
 
     for (double mhz : {10.0, 30.0, 50.0, 70.0, 90.0}) {
         TextTable table({"interface (bits)", "exact (MHz)",
@@ -53,10 +57,10 @@ main()
         for (const auto &step : widthSteps) {
             auto exact = runTilePartitionSweep(
                 total_tiles, step.tilesOut, step.traceWords,
-                PartitionMode::Exact, link, mhz);
+                PartitionMode::Exact, link, mhz, cycles);
             auto fast = runTilePartitionSweep(
                 total_tiles, step.tilesOut, step.traceWords,
-                PartitionMode::Fast, link, mhz);
+                PartitionMode::Fast, link, mhz, cycles);
             table.addRow(
                 {std::to_string(exact.interfaceBits),
                  TextTable::num(exact.simRateMhz, 3),
@@ -64,6 +68,18 @@ main()
                  TextTable::num(fast.simRateMhz / exact.simRateMhz,
                                 2) +
                      "x"});
+            for (const auto *pt : {&exact, &fast}) {
+                JsonRow row;
+                row.field("bench", "fig11_qsfp_sweep")
+                    .field("bitstream_mhz", mhz)
+                    .field("mode", pt == &exact ? "exact" : "fast")
+                    .field("interface_bits", pt->interfaceBits)
+                    .field("sim_rate_mhz", pt->simRateMhz)
+                    .field("fmr", pt->fmr)
+                    .field("target_cycles", pt->targetCycles)
+                    .field("deadlocked", pt->deadlocked);
+                json.add(row);
+            }
         }
         std::cout << "=== Figure 11: QSFP sweep @ " << mhz
                   << " MHz bitstream ===\n";
@@ -77,12 +93,22 @@ main()
     for (const auto &step : widthSteps) {
         auto exact = runTilePartitionSweep(
             total_tiles, step.tilesOut, step.traceWords,
-            PartitionMode::Exact, link, 50.0);
+            PartitionMode::Exact, link, 50.0, cycles);
         double model =
             analyticRateMhz(link, exact.interfaceBits, 2, 50.0);
         ablation.addRow({std::to_string(exact.interfaceBits),
                          TextTable::num(model, 3),
                          TextTable::num(exact.simRateMhz, 3)});
+        JsonRow row;
+        row.field("bench", "fig11_qsfp_sweep")
+            .field("mode", "ablation")
+            .field("bitstream_mhz", 50.0)
+            .field("interface_bits", exact.interfaceBits)
+            .field("analytic_rate_mhz", model)
+            .field("sim_rate_mhz", exact.simRateMhz)
+            .field("fmr", exact.fmr)
+            .field("target_cycles", exact.targetCycles);
+        json.add(row);
     }
     std::cout << "=== Ablation: closed-form model vs executed "
                  "token mechanics (50 MHz) ===\n";

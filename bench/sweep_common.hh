@@ -9,9 +9,14 @@
 #ifndef FIREAXE_BENCH_SWEEP_COMMON_HH
 #define FIREAXE_BENCH_SWEEP_COMMON_HH
 
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "base/logging.hh"
+#include "obs/json.hh"
 #include "platform/executor.hh"
 #include "platform/fpga.hh"
 #include "ripper/partition.hh"
@@ -20,12 +25,181 @@
 
 namespace fireaxe::bench {
 
+/**
+ * Builder for one machine-readable result row: a flat JSON object of
+ * named fields. Benches keep printing their human tables to stdout
+ * and additionally push one JsonRow per table row into a JsonRows
+ * sink when --json is given.
+ */
+class JsonRow
+{
+  public:
+    JsonRow() : w_(os_) { w_.beginObject(); }
+
+    JsonRow &
+    field(std::string_view key, double v)
+    {
+        w_.key(key);
+        w_.value(v);
+        return *this;
+    }
+
+    JsonRow &
+    field(std::string_view key, uint64_t v)
+    {
+        w_.key(key);
+        w_.value(v);
+        return *this;
+    }
+
+    JsonRow &
+    field(std::string_view key, unsigned v)
+    {
+        return field(key, uint64_t(v));
+    }
+
+    JsonRow &
+    field(std::string_view key, int v)
+    {
+        w_.key(key);
+        w_.value(v);
+        return *this;
+    }
+
+    JsonRow &
+    field(std::string_view key, bool v)
+    {
+        w_.key(key);
+        w_.value(v);
+        return *this;
+    }
+
+    JsonRow &
+    field(std::string_view key, std::string_view v)
+    {
+        w_.key(key);
+        w_.value(v);
+        return *this;
+    }
+
+    JsonRow &
+    field(std::string_view key, const char *v)
+    {
+        return field(key, std::string_view(v));
+    }
+
+    /** Finish the object and return its JSON text. */
+    std::string
+    str()
+    {
+        w_.endObject();
+        return os_.str();
+    }
+
+  private:
+    std::ostringstream os_;
+    obs::JsonWriter w_;
+};
+
+/**
+ * Collects JsonRow objects and writes them as one JSON array
+ * document on write() (also called from the destructor). An empty
+ * path disables the sink; add() becomes a no-op, so benches can emit
+ * rows unconditionally.
+ */
+class JsonRows
+{
+  public:
+    explicit JsonRows(std::string path = {}) : path_(std::move(path))
+    {}
+    ~JsonRows() { write(); }
+
+    bool enabled() const { return !path_.empty(); }
+
+    void
+    add(JsonRow &row)
+    {
+        if (enabled())
+            rows_.push_back(row.str());
+    }
+
+    void
+    write()
+    {
+        if (!enabled() || written_)
+            return;
+        written_ = true;
+        std::ofstream os(path_);
+        if (!os) {
+            warn("cannot write JSON rows to '", path_, "'");
+            return;
+        }
+        obs::JsonWriter w(os);
+        w.beginArray();
+        for (const std::string &row : rows_)
+            w.raw(row);
+        w.endArray();
+        os << "\n";
+    }
+
+  private:
+    std::string path_;
+    std::vector<std::string> rows_;
+    bool written_ = false;
+};
+
+/**
+ * Uniform CLI surface of the sweep benches:
+ *   --json PATH          per-row results as a JSON array
+ *   --metrics-json PATH  telemetry metrics snapshot (benches that
+ *                        run a telemetry showcase)
+ *   --trace PATH         Chrome trace_event JSON of the same run
+ *   --cycles N           override the bench's target-cycle count
+ * Unknown arguments are fatal so CI typos fail loudly.
+ */
+struct BenchArgs
+{
+    std::string jsonPath;
+    std::string metricsJsonPath;
+    std::string tracePath;
+    uint64_t cycles = 0; ///< 0 = keep the bench default
+
+    static BenchArgs
+    parse(int argc, char **argv)
+    {
+        BenchArgs args;
+        auto need = [&](int i) -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value after ", argv[i]);
+            return argv[i + 1];
+        };
+        for (int i = 1; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--json"))
+                args.jsonPath = need(i++);
+            else if (!std::strcmp(argv[i], "--metrics-json"))
+                args.metricsJsonPath = need(i++);
+            else if (!std::strcmp(argv[i], "--trace"))
+                args.tracePath = need(i++);
+            else if (!std::strcmp(argv[i], "--cycles"))
+                args.cycles = std::strtoull(need(i++), nullptr, 10);
+            else
+                fatal("unknown argument '", argv[i],
+                      "' (expected --json/--metrics-json/--trace/"
+                      "--cycles)");
+        }
+        return args;
+    }
+};
+
 /** One sweep measurement. */
 struct SweepPoint
 {
     unsigned interfaceBits = 0;
     double simRateMhz = 0.0;
     bool deadlocked = false;
+    uint64_t targetCycles = 0;
+    /** FPGA-to-target cycle ratio (host cycles per target cycle). */
+    double fmr = 0.0;
 };
 
 /**
@@ -66,6 +240,12 @@ runTilePartitionSweep(unsigned total_tiles, unsigned tiles_out,
     point.interfaceBits = plan.feedback.interfaceWidths[1];
     point.simRateMhz = result.simRateMhz();
     point.deadlocked = result.deadlocked;
+    point.targetCycles = result.targetCycles;
+    if (result.targetCycles > 0) {
+        double host_cycles = result.hostTimeNs /
+                             (1000.0 / bitstream_mhz);
+        point.fmr = host_cycles / double(result.targetCycles);
+    }
     return point;
 }
 

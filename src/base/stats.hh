@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "base/random.hh"
 
 namespace fireaxe {
 
@@ -57,29 +58,61 @@ class RunningStat
 };
 
 /**
- * Sample reservoir with exact percentile extraction. Stores all samples;
- * suitable for the experiment scales used here (<= millions of samples).
+ * Sample distribution with percentile extraction and bounded memory.
+ *
+ * Up to the reservoir cap every sample is stored and percentiles are
+ * exact (nearest-rank). Beyond the cap the store switches to uniform
+ * reservoir sampling (Vitter's Algorithm R with a fixed internal
+ * seed, so results are deterministic): each of the N observed samples
+ * is retained with probability cap/N, and percentiles become an
+ * unbiased approximation whose error shrinks as the cap grows.
+ * count()/mean()/min()/max() stay exact at any scale — they are
+ * tracked as running scalars, not derived from the reservoir. This
+ * bounds memory for million-cycle runs with per-token sampling.
  */
 class Distribution
 {
   public:
-    void sample(double v) { samples_.push_back(v); }
+    static constexpr size_t kDefaultReservoirCap = 1 << 16;
 
-    uint64_t count() const { return samples_.size(); }
-
-    double
-    mean() const
+    explicit Distribution(size_t reservoir_cap = kDefaultReservoirCap)
+        : cap_(reservoir_cap ? reservoir_cap : 1)
     {
-        if (samples_.empty())
-            return 0.0;
-        double s = 0.0;
-        for (double v : samples_)
-            s += v;
-        return s / samples_.size();
+        samples_.reserve(std::min<size_t>(cap_, 1024));
     }
 
+    void
+    sample(double v)
+    {
+        exact_.sample(v);
+        if (samples_.size() < cap_) {
+            samples_.push_back(v);
+        } else {
+            // Algorithm R: keep each of the N samples seen so far
+            // with probability cap/N.
+            uint64_t j = rng_.below(exact_.count());
+            if (j < cap_)
+                samples_[size_t(j)] = v;
+        }
+    }
+
+    /** Total samples observed (exact, not the reservoir size). */
+    uint64_t count() const { return exact_.count(); }
+
+    double mean() const { return exact_.mean(); }
+    double min() const { return exact_.min(); }
+
+    /** True while every observed sample is retained, i.e.
+     *  percentiles are exact. */
+    bool exact() const { return exact_.count() <= cap_; }
+
+    size_t reservoirCap() const { return cap_; }
+
     /**
-     * Exact percentile (nearest-rank). @p p in [0, 100].
+     * Percentile (nearest-rank over the reservoir). @p p in
+     * [0, 100]. Exact while count() <= reservoirCap(); an unbiased
+     * approximation above it, except p = 0 and p = 100 which always
+     * return the exact min/max.
      */
     double
     percentile(double p) const
@@ -87,6 +120,10 @@ class Distribution
         FIREAXE_ASSERT(p >= 0.0 && p <= 100.0, "p=", p);
         if (samples_.empty())
             return 0.0;
+        if (p == 0.0)
+            return exact_.min();
+        if (p == 100.0)
+            return exact_.max();
         std::vector<double> sorted(samples_);
         std::sort(sorted.begin(), sorted.end());
         size_t rank = static_cast<size_t>(
@@ -94,14 +131,28 @@ class Distribution
         return sorted[std::min(rank, sorted.size() - 1)];
     }
 
-    double max() const { return percentile(100.0); }
+    double max() const { return exact_.max(); }
 
-    void reset() { samples_.clear(); }
+    void
+    reset()
+    {
+        samples_.clear();
+        exact_.reset();
+        rng_.reseed(kReservoirSeed);
+    }
 
+    /** The retained reservoir (all samples while exact()). */
     const std::vector<double> &samples() const { return samples_; }
 
   private:
+    // Fixed seed: reservoir contents are deterministic per insertion
+    // order, independent of any simulation-level seeding.
+    static constexpr uint64_t kReservoirSeed = 0xD157D157D157ULL;
+
+    size_t cap_;
     std::vector<double> samples_;
+    RunningStat exact_;
+    Rng rng_{kReservoirSeed};
 };
 
 /** A named bag of integer counters (e.g. CPI-stack cycle attribution). */

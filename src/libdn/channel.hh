@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "obs/probe.hh"
 
 namespace fireaxe::libdn {
 
@@ -93,6 +94,15 @@ class TokenChannel
     double latency() const { return latency_; }
 
     /**
+     * Attach a telemetry probe (owned by the caller, may be null to
+     * detach). The channel reports token enqueues/retires and — for
+     * reliable subclasses — fault and recovery events through it;
+     * without a probe the instrumentation is a single branch.
+     */
+    void setProbe(obs::ChannelProbe *probe) { probe_ = probe; }
+    obs::ChannelProbe *probe() const { return probe_; }
+
+    /**
      * Try to enqueue a token that becomes visible at host time
      * @p ready_time (ns). Returns false (and leaves the token
      * untouched) when the channel is full — recoverable
@@ -104,8 +114,10 @@ class TokenChannel
     {
         if (full())
             return false;
-        queue_.push_back({std::move(token), ready_time});
+        queue_.push_back({std::move(token), ready_time, ready_time});
         ++enqCount_;
+        if (probe_)
+            probe_->onEnqueue(ready_time, queue_.size());
         return true;
     }
 
@@ -132,7 +144,11 @@ class TokenChannel
         double depart = std::max(now, serializer_->lastDepart) +
                         serTime_;
         serializer_->lastDepart = depart;
-        return tryEnq(token, depart + latency_);
+        queue_.push_back({std::move(token), depart + latency_, now});
+        ++enqCount_;
+        if (probe_)
+            probe_->onEnqueue(now, queue_.size());
+        return true;
     }
 
     /**
@@ -171,6 +187,16 @@ class TokenChannel
         return queue_.front().token;
     }
 
+    /** Host time at which the head token was produced (enqueued by
+     *  the producer); used for enqueue-to-retire latency metrics. */
+    virtual double
+    headEnqueueTime() const
+    {
+        FIREAXE_ASSERT(!queue_.empty(), "channel '", name_,
+                       "' headEnqueueTime of empty queue");
+        return queue_.front().enqTime;
+    }
+
     virtual void
     deq()
     {
@@ -178,6 +204,17 @@ class TokenChannel
                        "' deq of empty queue");
         queue_.pop_front();
         ++deqCount_;
+    }
+
+    /** deq() with a consumer timestamp: reports the token's
+     *  enqueue-to-retire latency to the probe, if any. */
+    void
+    retire(double now)
+    {
+        double enq_time = probe_ ? headEnqueueTime() : 0.0;
+        deq();
+        if (probe_)
+            probe_->onRetire(now, enq_time);
     }
 
     /** Tokens enqueued over the channel's lifetime (statistics). */
@@ -190,6 +227,8 @@ class TokenChannel
     {
         Token token;
         double readyTime;
+        /** Host time the producer enqueued the token. */
+        double enqTime = 0.0;
     };
 
     std::string name_;
@@ -200,6 +239,7 @@ class TokenChannel
     uint64_t deqCount_ = 0;
     double serTime_ = 0.0;
     double latency_ = 0.0;
+    obs::ChannelProbe *probe_ = nullptr;
     std::shared_ptr<LinkSerializer> serializer_ =
         std::make_shared<LinkSerializer>();
 };

@@ -256,7 +256,7 @@ LIBDNModel::threadTick(ThreadState &th, double now)
         if (monitor_)
             monitor_(*sim_, thread_id, th.cycle);
         for (auto &ch : th.inChans)
-            ch->deq();
+            ch->retire(now);
         sim_->step();
         ++th.cycle;
         ++advances_;

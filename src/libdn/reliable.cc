@@ -75,9 +75,12 @@ ReliableTokenChannel::tryEnq(Token &token, double ready_time)
         return false;
     uint64_t seq = nextSeq_++;
     uint32_t crc = tokenCrc(token);
-    rtxBuf_.push_back({token, 0.0, seq, crc});
-    queue2_.push_back({std::move(token), ready_time, seq, crc});
+    rtxBuf_.push_back({token, 0.0, seq, crc, false, ready_time});
+    queue2_.push_back(
+        {std::move(token), ready_time, seq, crc, false, ready_time});
     ++enqCount2_;
+    if (probe_)
+        probe_->onEnqueue(ready_time, queue2_.size());
     return true;
 }
 
@@ -89,7 +92,7 @@ ReliableTokenChannel::tryEnqTimed(Token &token, double now)
 
     uint64_t seq = nextSeq_++;
     uint32_t crc = tokenCrc(token);
-    rtxBuf_.push_back({token, 0.0, seq, crc});
+    rtxBuf_.push_back({token, 0.0, seq, crc, false, now});
     ++enqCount2_;
 
     transport::FaultEvent ev = drawFault();
@@ -99,6 +102,8 @@ ReliableTokenChannel::tryEnqTimed(Token &token, double now)
     if (stall > 0.0) {
         stats_.add("link_stalls");
         stats_.add("stall_ns_total", uint64_t(stall));
+        if (probe_)
+            probe_->onEvent("stall", now);
     }
 
     double depart = std::max(now, serializer_->lastDepart) + stall +
@@ -112,8 +117,12 @@ ReliableTokenChannel::tryEnqTimed(Token &token, double now)
     unsigned tries = 0;
     while (ev.drop) {
         stats_.add("tokens_dropped");
+        if (probe_)
+            probe_->onEvent("drop", now);
         if (tries >= faults_.config().maxRetries) {
             stats_.add("retry_budget_exhausted");
+            if (probe_)
+                probe_->onEvent("retry_exhausted", now);
             failed_ = true;
             break;
         }
@@ -122,16 +131,20 @@ ReliableTokenChannel::tryEnqTimed(Token &token, double now)
         ++tries;
         stats_.add("retransmits");
         stats_.add("retransmits_timeout");
+        if (probe_)
+            probe_->onEvent("retransmit_timeout", now);
         serializer_->lastDepart += serTime_;
         ev = drawFault();
     }
 
     RelEntry entry{std::move(token), depart + latency_ + penalty,
-                   seq, crc};
+                   seq, crc, false, now};
     if (ev.corrupt && !entry.payload.empty()) {
         // Flip one payload bit in flight; the consumer's CRC check
         // will catch it and NAK.
         stats_.add("tokens_corrupted");
+        if (probe_)
+            probe_->onEvent("corrupt", now);
         size_t word = (ev.corruptBit / 64) % entry.payload.size();
         entry.payload[word] ^= uint64_t(1) << (ev.corruptBit % 64);
     }
@@ -140,13 +153,17 @@ ReliableTokenChannel::tryEnqTimed(Token &token, double now)
     Token dup_payload;
     if (duplicate) {
         stats_.add("tokens_duplicated");
+        if (probe_)
+            probe_->onEvent("duplicate", now);
         serializer_->lastDepart += serTime_;
         dup_payload = entry.payload;
     }
     queue2_.push_back(std::move(entry));
     if (duplicate)
         queue2_.push_back({std::move(dup_payload), dup_ready, seq,
-                           crc});
+                           crc, false, now});
+    if (probe_)
+        probe_->onEnqueue(now, queue2_.size());
     return true;
 }
 
@@ -161,6 +178,8 @@ ReliableTokenChannel::poll(double now) const
             // Sequence-number check: a link-layer replay of an
             // already-delivered token.
             stats_.add("duplicates_discarded");
+            if (probe_)
+                probe_->onEvent("duplicate_discarded", now);
             queue2_.pop_front();
             continue;
         }
@@ -169,6 +188,10 @@ ReliableTokenChannel::poll(double now) const
                 // CRC mismatch: NAK and wait for retransmission.
                 stats_.add("crc_errors");
                 stats_.add("naks");
+                if (probe_) {
+                    probe_->onEvent("crc_error", now);
+                    probe_->onEvent("nak", now);
+                }
                 uint64_t seq = e.seq;
                 queue2_.pop_front();
                 scheduleRetransmit(seq, now);
@@ -203,13 +226,19 @@ ReliableTokenChannel::scheduleRetransmit(uint64_t seq,
         ++tries;
         stats_.add("retransmits");
         stats_.add("retransmits_nak");
+        if (probe_)
+            probe_->onEvent("retransmit_nak", now);
         delay += serTime_ + latency_;
         transport::FaultEvent ev = drawFault();
         if (!ev.damagesToken())
             break;
         stats_.add(ev.drop ? "tokens_dropped" : "tokens_corrupted");
+        if (probe_)
+            probe_->onEvent(ev.drop ? "drop" : "corrupt", now);
         if (tries >= faults_.config().maxRetries) {
             stats_.add("retry_budget_exhausted");
+            if (probe_)
+                probe_->onEvent("retry_exhausted", now);
             failed_ = true;
             break;
         }
@@ -217,7 +246,7 @@ ReliableTokenChannel::scheduleRetransmit(uint64_t seq,
                  double(uint64_t(1) << std::min(tries - 1, 10u));
     }
     queue2_.push_front({pristine->payload, now + delay, seq,
-                        pristine->crc});
+                        pristine->crc, false, pristine->enqTime});
 }
 
 bool
@@ -241,6 +270,14 @@ ReliableTokenChannel::head() const
     FIREAXE_ASSERT(!queue2_.empty(), "channel '", name_,
                    "' head of empty queue");
     return queue2_.front().payload;
+}
+
+double
+ReliableTokenChannel::headEnqueueTime() const
+{
+    FIREAXE_ASSERT(!queue2_.empty(), "channel '", name_,
+                   "' headEnqueueTime of empty queue");
+    return queue2_.front().enqTime;
 }
 
 void

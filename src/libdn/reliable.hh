@@ -84,6 +84,7 @@ class ReliableTokenChannel : public TokenChannel
     bool headReady(double now) const override;
     double headReadyTime() const override;
     const Token &head() const override;
+    double headEnqueueTime() const override;
     void deq() override;
     uint64_t tokensEnqueued() const override { return enqCount2_; }
     uint64_t tokensRetired() const override { return deqCount2_; }
@@ -121,6 +122,9 @@ class ReliableTokenChannel : public TokenChannel
         /** CRC already checked good (payloads are immutable after
          *  transmission, so one check per delivery suffices). */
         bool verified = false;
+        /** Host time the producer enqueued the token (survives
+         *  retransmission, so latency includes recovery time). */
+        double enqTime = 0.0;
     };
 
     double effTimeoutNs() const;

@@ -1,0 +1,217 @@
+#include "obs/metrics.hh"
+
+#include "base/logging.hh"
+#include "obs/json.hh"
+
+namespace fireaxe::obs {
+
+namespace {
+
+const char *
+kindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Gauge: return "gauge";
+      case MetricKind::Histogram: return "histogram";
+    }
+    return "?";
+}
+
+} // namespace
+
+const MetricValue *
+MetricsSnapshot::find(const std::string &path) const
+{
+    auto it = values.find(path);
+    return it == values.end() ? nullptr : &it->second;
+}
+
+uint64_t
+MetricsSnapshot::counter(const std::string &path) const
+{
+    const MetricValue *v = find(path);
+    return v && v->kind == MetricKind::Counter ? v->count : 0;
+}
+
+double
+MetricsSnapshot::gauge(const std::string &path) const
+{
+    const MetricValue *v = find(path);
+    return v && v->kind == MetricKind::Gauge ? v->value : 0.0;
+}
+
+void
+MetricsSnapshot::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema");
+    w.value("fireaxe.metrics.v1");
+    w.key("metrics");
+    w.beginObject();
+    for (const auto &[path, v] : values) {
+        w.key(path);
+        w.beginObject();
+        w.key("kind");
+        w.value(kindName(v.kind));
+        switch (v.kind) {
+          case MetricKind::Counter:
+            w.key("value");
+            w.value(v.count);
+            break;
+          case MetricKind::Gauge:
+            w.key("value");
+            w.value(v.value);
+            break;
+          case MetricKind::Histogram:
+            w.key("count");
+            w.value(v.count);
+            w.key("mean");
+            w.value(v.mean);
+            w.key("min");
+            w.value(v.min);
+            w.key("max");
+            w.value(v.max);
+            w.key("p50");
+            w.value(v.p50);
+            w.key("p90");
+            w.value(v.p90);
+            w.key("p99");
+            w.value(v.p99);
+            break;
+        }
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    os << "\n";
+}
+
+void
+MetricsSnapshot::writeCsv(std::ostream &os) const
+{
+    os << "path,kind,value,count,mean,min,max,p50,p90,p99\n";
+    for (const auto &[path, v] : values) {
+        os << path << ',' << kindName(v.kind) << ',';
+        if (v.kind == MetricKind::Counter)
+            os << v.count;
+        else
+            jsonNumber(os, v.value);
+        os << ',' << v.count << ',';
+        jsonNumber(os, v.mean);
+        os << ',';
+        jsonNumber(os, v.min);
+        os << ',';
+        jsonNumber(os, v.max);
+        os << ',';
+        jsonNumber(os, v.p50);
+        os << ',';
+        jsonNumber(os, v.p90);
+        os << ',';
+        jsonNumber(os, v.p99);
+        os << '\n';
+    }
+}
+
+MetricsRegistry::Metric &
+MetricsRegistry::resolve(const std::string &path, MetricKind kind,
+                         size_t reservoir_cap)
+{
+    if (path.empty())
+        fatal("metrics: empty metric path");
+    auto it = metrics_.find(path);
+    if (it != metrics_.end()) {
+        if (it->second.kind != kind) {
+            fatal("metrics: '", path, "' re-registered as ",
+                  kindName(kind), " but exists as ",
+                  kindName(it->second.kind));
+        }
+        return it->second;
+    }
+    Metric m;
+    m.kind = kind;
+    if (kind == MetricKind::Histogram) {
+        m.histogram = std::make_unique<Histogram>(
+            reservoir_cap ? reservoir_cap : histogramCap_);
+    }
+    return metrics_.emplace(path, std::move(m)).first->second;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &path)
+{
+    return resolve(path, MetricKind::Counter, 0).counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &path)
+{
+    return resolve(path, MetricKind::Gauge, 0).gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &path,
+                           size_t reservoir_cap)
+{
+    return *resolve(path, MetricKind::Histogram, reservoir_cap)
+                .histogram;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    for (const auto &[path, m] : metrics_) {
+        MetricValue v;
+        v.kind = m.kind;
+        switch (m.kind) {
+          case MetricKind::Counter:
+            v.count = m.counter.value();
+            v.value = double(v.count);
+            break;
+          case MetricKind::Gauge:
+            v.value = m.gauge.value();
+            break;
+          case MetricKind::Histogram: {
+            const Histogram &h = *m.histogram;
+            v.count = h.count();
+            v.mean = h.mean();
+            v.min = h.min();
+            v.max = h.max();
+            v.p50 = h.percentile(50.0);
+            v.p90 = h.percentile(90.0);
+            v.p99 = h.percentile(99.0);
+            v.value = v.mean;
+            break;
+          }
+        }
+        snap.values.emplace(path, v);
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    snapshot().writeJson(os);
+}
+
+void
+MetricsRegistry::writeCsv(std::ostream &os) const
+{
+    snapshot().writeCsv(os);
+}
+
+void
+MetricsRegistry::reset()
+{
+    for (auto &[path, m] : metrics_) {
+        m.counter.reset();
+        m.gauge.reset();
+        if (m.histogram)
+            m.histogram->reset();
+    }
+}
+
+} // namespace fireaxe::obs

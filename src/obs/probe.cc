@@ -1,0 +1,68 @@
+#include "obs/probe.hh"
+
+namespace fireaxe::obs {
+
+namespace {
+
+/** Fault injections vs recovery machinery: categorize for the trace
+ *  so Perfetto can filter them independently. */
+const char *
+eventCategory(const std::string &kind)
+{
+    if (kind == "drop" || kind == "corrupt" || kind == "duplicate" ||
+        kind == "stall") {
+        return "fault";
+    }
+    return "reliability";
+}
+
+} // namespace
+
+ChannelProbe::ChannelProbe(std::string channel_name, int src_part,
+                           int dst_part, MetricsRegistry *registry,
+                           Tracer *tracer)
+    : name_(std::move(channel_name)), srcPart_(src_part),
+      registry_(registry), tracer_(tracer)
+{
+    (void)dst_part;
+    if (registry_) {
+        const std::string base = "chan." + name_ + ".";
+        enqueued_ = &registry_->counter(base + "tokens_enqueued");
+        retired_ = &registry_->counter(base + "tokens_retired");
+        latencyNs_ = &registry_->histogram(base + "token_latency_ns");
+        occupancy_ = &registry_->histogram(base + "occupancy");
+    }
+}
+
+void
+ChannelProbe::onEnqueue(double now, size_t occupancy)
+{
+    (void)now;
+    add(enqueued_);
+    observe(occupancy_, double(occupancy));
+}
+
+void
+ChannelProbe::onRetire(double now, double enq_time)
+{
+    add(retired_);
+    observe(latencyNs_, now - enq_time);
+}
+
+void
+ChannelProbe::onEvent(const char *kind, double now)
+{
+    if (registry_) {
+        Counter *&c = eventCounters_[kind];
+        if (!c)
+            c = &registry_->counter("chan." + name_ + ".events." +
+                                    kind);
+        c->add();
+    }
+    if (tracer_) {
+        tracer_->instant(std::string(name_) + ":" + kind,
+                         eventCategory(kind), now, srcPart_);
+    }
+}
+
+} // namespace fireaxe::obs

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-channel telemetry probe.
+ *
+ * The LI-BDN channel layer (libdn::TokenChannel and its reliable
+ * subclass) knows nothing about metric names or trace categories; it
+ * holds one nullable ChannelProbe pointer and reports three things:
+ * token enqueued, token retired, and named reliability/fault events.
+ * The probe translates those into registry metrics under
+ * "chan.<name>.*" and tracer instants on the source partition's
+ * track. A null probe (the default) costs the channel a single
+ * branch per operation.
+ */
+
+#ifndef FIREAXE_OBS_PROBE_HH
+#define FIREAXE_OBS_PROBE_HH
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace fireaxe::obs {
+
+class ChannelProbe
+{
+  public:
+    /** Either sink may be null; the probe degrades gracefully to
+     *  counting only, tracing only, or nothing. */
+    ChannelProbe(std::string channel_name, int src_part,
+                 int dst_part, MetricsRegistry *registry,
+                 Tracer *tracer);
+
+    const std::string &channelName() const { return name_; }
+
+    /** A token entered the channel at host time @p now;
+     *  @p occupancy is the queue depth after the enqueue. */
+    void onEnqueue(double now, size_t occupancy);
+
+    /** A token was consumed at host time @p now; it was produced at
+     *  @p enq_time, so the enqueue-to-retire latency is the
+     *  difference. */
+    void onRetire(double now, double enq_time);
+
+    /**
+     * A named reliability or fault event ("drop", "corrupt",
+     * "duplicate", "stall", "crc_error", "nak", "retransmit_timeout",
+     * "retransmit_nak", "duplicate_discarded", "retry_exhausted",
+     * "failover"). Counted under chan.<name>.events.<kind> and
+     * emitted as a tracer instant.
+     */
+    void onEvent(const char *kind, double now);
+
+  private:
+    std::string name_;
+    int srcPart_;
+    MetricsRegistry *registry_;
+    Tracer *tracer_;
+
+    Counter *enqueued_ = nullptr;
+    Counter *retired_ = nullptr;
+    Histogram *latencyNs_ = nullptr;
+    Histogram *occupancy_ = nullptr;
+    /** Lazily resolved per-kind event counters (the kind set is
+     *  small and stable, so this map stays tiny). */
+    std::map<std::string, Counter *> eventCounters_;
+};
+
+} // namespace fireaxe::obs
+
+#endif // FIREAXE_OBS_PROBE_HH

@@ -1,0 +1,24 @@
+#include "obs/telemetry.hh"
+
+namespace fireaxe::obs {
+
+Telemetry::Telemetry(const TelemetryConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.metrics) {
+        registry_ = std::make_unique<MetricsRegistry>(
+            cfg_.histogramReservoirCap);
+    }
+    if (cfg_.tracing)
+        tracer_ = std::make_unique<Tracer>(cfg_.traceCapacity);
+}
+
+ChannelProbe *
+Telemetry::makeChannelProbe(const std::string &name, int src_part,
+                            int dst_part)
+{
+    probes_.push_back(std::make_unique<ChannelProbe>(
+        name, src_part, dst_part, registry_.get(), tracer_.get()));
+    return probes_.back().get();
+}
+
+} // namespace fireaxe::obs

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Telemetry bundle: one object owning the metrics registry, the
+ * event tracer, and the per-channel probes of a simulation, plus the
+ * configuration every bench and test uses to opt in uniformly
+ * (platform::MultiFpgaSim::setTelemetry).
+ *
+ * Everything defaults to off: a MultiFpgaSim without telemetry pays
+ * only null-pointer checks on the hot paths.
+ */
+
+#ifndef FIREAXE_OBS_TELEMETRY_HH
+#define FIREAXE_OBS_TELEMETRY_HH
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/probe.hh"
+#include "obs/trace.hh"
+
+namespace fireaxe::obs {
+
+struct TelemetryConfig
+{
+    /** Collect registry metrics (counters/gauges/histograms). */
+    bool metrics = true;
+    /** Collect trace events (ring buffer, Chrome JSON export). */
+    bool tracing = false;
+    /** Trace ring-buffer capacity (events); oldest overwritten. */
+    size_t traceCapacity = Tracer::kDefaultCapacity;
+    /** Default histogram reservoir cap (samples). */
+    size_t histogramReservoirCap = Histogram::kDefaultCap;
+
+    /**
+     * Simulated-host-time interval between progress reports (ns);
+     * 0 disables the reporter. Each report line carries the target
+     * cycle, sim rate, per-partition FMR, wall-clock rate + ETA, and
+     * a channel occupancy snapshot.
+     */
+    double progressIntervalNs = 0.0;
+    /** Progress report sink; null = std::cerr. */
+    std::ostream *progressOut = nullptr;
+
+    /** Simulated-host-time interval between per-partition FMR /
+     *  sim-rate samples (ns); 0 = end-of-run values only. */
+    double fmrSampleIntervalNs = 100000.0;
+
+    /** Everything on, for tests and one-liners. */
+    static TelemetryConfig
+    full(double progress_interval_ns = 0.0)
+    {
+        TelemetryConfig cfg;
+        cfg.metrics = true;
+        cfg.tracing = true;
+        cfg.progressIntervalNs = progress_interval_ns;
+        return cfg;
+    }
+};
+
+class Telemetry
+{
+  public:
+    explicit Telemetry(const TelemetryConfig &cfg);
+
+    const TelemetryConfig &config() const { return cfg_; }
+
+    /** nullptr when metrics collection is disabled. */
+    MetricsRegistry *registry() { return registry_.get(); }
+    const MetricsRegistry *registry() const { return registry_.get(); }
+
+    /** nullptr when tracing is disabled. */
+    Tracer *tracer() { return tracer_.get(); }
+    const Tracer *tracer() const { return tracer_.get(); }
+
+    std::ostream &
+    progressOut() const
+    {
+        return cfg_.progressOut ? *cfg_.progressOut : std::cerr;
+    }
+
+    /** Create (and own) a probe for one channel. */
+    ChannelProbe *makeChannelProbe(const std::string &name,
+                                   int src_part, int dst_part);
+
+  private:
+    TelemetryConfig cfg_;
+    std::unique_ptr<MetricsRegistry> registry_;
+    std::unique_ptr<Tracer> tracer_;
+    std::vector<std::unique_ptr<ChannelProbe>> probes_;
+};
+
+} // namespace fireaxe::obs
+
+#endif // FIREAXE_OBS_TELEMETRY_HH

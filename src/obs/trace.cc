@@ -1,0 +1,183 @@
+#include "obs/trace.hh"
+
+#include "base/logging.hh"
+#include "obs/json.hh"
+
+namespace fireaxe::obs {
+
+Tracer::Tracer(size_t capacity)
+    : cap_(capacity ? capacity : 1),
+      epoch_(std::chrono::steady_clock::now())
+{
+    ring_.reserve(std::min<size_t>(cap_, 4096));
+}
+
+void
+Tracer::push(TraceEvent ev)
+{
+    ++total_;
+    if (ring_.size() < cap_) {
+        ring_.push_back(std::move(ev));
+        return;
+    }
+    // Full: overwrite the oldest event. next_ is always the oldest
+    // slot once the ring has wrapped.
+    ring_[next_] = std::move(ev);
+    next_ = (next_ + 1) % cap_;
+}
+
+void
+Tracer::instant(std::string name, std::string cat, double ts_ns,
+                int pid, int tid, std::string args)
+{
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.cat = std::move(cat);
+    ev.ph = 'i';
+    ev.tsNs = ts_ns;
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.args = std::move(args);
+    push(std::move(ev));
+}
+
+void
+Tracer::complete(std::string name, std::string cat, double ts_ns,
+                 double dur_ns, int pid, int tid, std::string args)
+{
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.cat = std::move(cat);
+    ev.ph = 'X';
+    ev.tsNs = ts_ns;
+    ev.durNs = dur_ns;
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.args = std::move(args);
+    push(std::move(ev));
+}
+
+void
+Tracer::setProcessName(int pid, std::string name)
+{
+    processNames_[pid] = std::move(name);
+}
+
+double
+Tracer::wallNowNs() const
+{
+    return double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - epoch_)
+                      .count());
+}
+
+Tracer::Span::Span(Tracer *tracer, std::string name, int pid, int tid)
+    : tracer_(tracer), name_(std::move(name)), pid_(pid), tid_(tid),
+      start_(std::chrono::steady_clock::now())
+{}
+
+Tracer::Span::Span(Span &&other) noexcept
+    : tracer_(other.tracer_), name_(std::move(other.name_)),
+      pid_(other.pid_), tid_(other.tid_), start_(other.start_)
+{
+    other.tracer_ = nullptr;
+}
+
+Tracer::Span::~Span()
+{
+    if (!tracer_)
+        return;
+    double start_ns = double(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            start_ - tracer_->epoch_)
+            .count());
+    double dur_ns = tracer_->wallNowNs() - start_ns;
+    tracer_->complete(std::move(name_), "host", start_ns, dur_ns,
+                      pid_, tid_);
+}
+
+void
+Tracer::forEachOrdered(
+    const std::function<void(const TraceEvent &)> &fn) const
+{
+    if (ring_.size() < cap_) {
+        for (const TraceEvent &ev : ring_)
+            fn(ev);
+        return;
+    }
+    for (size_t i = 0; i < ring_.size(); ++i)
+        fn(ring_[(next_ + i) % cap_]);
+}
+
+void
+Tracer::writeChromeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("displayTimeUnit");
+    w.value("ns");
+    w.key("traceEvents");
+    w.beginArray();
+
+    for (const auto &[pid, name] : processNames_) {
+        w.beginObject();
+        w.key("name");
+        w.value("process_name");
+        w.key("ph");
+        w.value("M");
+        w.key("pid");
+        w.value(pid);
+        w.key("tid");
+        w.value(0);
+        w.key("args");
+        w.beginObject();
+        w.key("name");
+        w.value(name);
+        w.endObject();
+        w.endObject();
+    }
+
+    forEachOrdered([&w](const TraceEvent &ev) {
+        w.beginObject();
+        w.key("name");
+        w.value(ev.name);
+        w.key("cat");
+        w.value(ev.cat.empty() ? std::string("event") : ev.cat);
+        w.key("ph");
+        w.value(std::string(1, ev.ph));
+        // Trace Event Format timestamps are microseconds.
+        w.key("ts");
+        w.value(ev.tsNs / 1000.0);
+        if (ev.ph == 'X') {
+            w.key("dur");
+            w.value(ev.durNs / 1000.0);
+        } else {
+            // Instant scope: thread-local.
+            w.key("s");
+            w.value("t");
+        }
+        w.key("pid");
+        w.value(ev.pid);
+        w.key("tid");
+        w.value(ev.tid);
+        if (!ev.args.empty()) {
+            w.key("args");
+            w.raw(ev.args);
+        }
+        w.endObject();
+    });
+
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+void
+Tracer::clear()
+{
+    ring_.clear();
+    next_ = 0;
+    total_ = 0;
+}
+
+} // namespace fireaxe::obs

@@ -1,8 +1,11 @@
 #include "platform/executor.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <limits>
 #include <map>
+#include <ostream>
 #include <set>
 #include <sstream>
 
@@ -35,6 +38,13 @@ MultiFpgaSim::setFaultModel(const transport::FaultConfig &cfg)
 {
     FIREAXE_ASSERT(!initialized_, "setFaultModel before init");
     faults_ = transport::FaultModel(cfg);
+}
+
+void
+MultiFpgaSim::setTelemetry(const obs::TelemetryConfig &cfg)
+{
+    FIREAXE_ASSERT(!initialized_, "setTelemetry before init");
+    telemetry_ = std::make_unique<obs::Telemetry>(cfg);
 }
 
 void
@@ -120,6 +130,9 @@ MultiFpgaSim::init()
         models_[ch.dstPart]->bindInput(in_slot, 0, chan);
     }
 
+    if (telemetry_)
+        setupTelemetry();
+
     if (plan_.mode == PartitionMode::Fast) {
         for (auto &model : models_)
             model->forceAllOutputDeps();
@@ -134,11 +147,227 @@ MultiFpgaSim::init()
     initialized_ = true;
 }
 
+void
+MultiFpgaSim::setupTelemetry()
+{
+    partTel_.assign(models_.size(), {});
+    obs::MetricsRegistry *reg = telemetry_->registry();
+    obs::Tracer *tr = telemetry_->tracer();
+
+    for (size_t p = 0; p < models_.size(); ++p) {
+        if (tr)
+            tr->setProcessName(int(p), plan_.partitionNames[p]);
+        if (reg) {
+            const std::string base =
+                "part." + plan_.partitionNames[p] + ".";
+            partTel_[p].fmrGauge = &reg->gauge(base + "fmr");
+            partTel_[p].fmrHist = &reg->histogram(
+                base + "fmr_window",
+                telemetry_->config().histogramReservoirCap);
+            partTel_[p].waitTicks = &reg->counter(base + "wait_ticks");
+        }
+    }
+    for (auto &cs : channels_) {
+        cs.chan->setProbe(telemetry_->makeChannelProbe(
+            cs.chan->name(), cs.srcPart, cs.dstPart));
+    }
+}
+
+void
+MultiFpgaSim::telemetryTick(size_t p, double now, double step,
+                            bool progress, bool advanced)
+{
+    PartTelemetry &pt = partTel_[p];
+    // FAME-5: an advancing multi-threaded partition burns N host
+    // cycles for the target cycle; a stalled or merely-firing tick
+    // burns one.
+    pt.hostCycles += advanced ? plan_.fame5Threads[p] : 1;
+
+    obs::Tracer *tr = telemetry_->tracer();
+    if (!progress) {
+        obs::add(pt.waitTicks);
+        if (pt.waitStartNs < 0.0)
+            pt.waitStartNs = now;
+    } else {
+        // Close a pending wait-for-tokens span (consecutive
+        // no-progress ticks merge into one span).
+        if (pt.waitStartNs >= 0.0) {
+            pt.waitNs += now - pt.waitStartNs;
+            if (tr && now > pt.waitStartNs)
+                tr->complete("wait-for-tokens", "fsm",
+                             pt.waitStartNs, now - pt.waitStartNs,
+                             int(p));
+            pt.waitStartNs = -1.0;
+        }
+        if (tr)
+            tr->complete(advanced ? "advance" : "fire", "fsm", now,
+                         step, int(p));
+    }
+
+    const obs::TelemetryConfig &cfg = telemetry_->config();
+    if (telemetry_->registry() && cfg.fmrSampleIntervalNs > 0.0 &&
+        now - lastFmrSampleNs_ >= cfg.fmrSampleIntervalNs) {
+        lastFmrSampleNs_ = now;
+        sampleFmr(now);
+    }
+}
+
+void
+MultiFpgaSim::sampleFmr(double now)
+{
+    obs::MetricsRegistry *reg = telemetry_->registry();
+    for (size_t p = 0; p < models_.size(); ++p) {
+        PartTelemetry &pt = partTel_[p];
+        uint64_t cycles = models_[p]->minTargetCycle();
+        uint64_t dt = cycles - pt.lastSampleTargetCycles;
+        uint64_t dh = pt.hostCycles - pt.lastSampleHostCycles;
+        if (dt == 0)
+            continue; // no target progress in the window
+        double fmr = double(dh) / double(dt);
+        pt.fmrGauge->set(fmr);
+        pt.fmrHist->observe(fmr);
+        pt.lastSampleTargetCycles = cycles;
+        pt.lastSampleHostCycles = pt.hostCycles;
+    }
+    if (now > 0.0) {
+        uint64_t min_cycles = models_[0]->minTargetCycle();
+        for (const auto &model : models_)
+            min_cycles = std::min(min_cycles, model->minTargetCycle());
+        reg->gauge("sim.sim_rate_mhz")
+            .set(double(min_cycles) / now * 1000.0);
+    }
+}
+
+void
+MultiFpgaSim::reportProgress(double now, uint64_t target_cycles)
+{
+    uint64_t min_cycles = models_[0]->minTargetCycle();
+    for (const auto &model : models_)
+        min_cycles = std::min(min_cycles, model->minTargetCycle());
+    double pct = target_cycles
+                     ? 100.0 * double(min_cycles) / double(target_cycles)
+                     : 0.0;
+    double sim_mhz =
+        now > 0.0 ? double(min_cycles) / now * 1000.0 : 0.0;
+
+    // Mean FMR across partitions that have made progress.
+    double fmr_sum = 0.0;
+    int fmr_n = 0;
+    for (size_t p = 0; p < models_.size(); ++p) {
+        uint64_t cycles = models_[p]->minTargetCycle();
+        if (cycles > 0) {
+            fmr_sum += double(partTel_[p].hostCycles) / double(cycles);
+            ++fmr_n;
+        }
+    }
+
+    // Wall-clock rate and ETA.
+    using namespace std::chrono;
+    double wall_s =
+        duration<double>(steady_clock::now() - wallStart_).count();
+    double wall_rate = wall_s > 0.0 ? double(min_cycles) / wall_s : 0.0;
+    double eta_s = (wall_rate > 0.0 && target_cycles > min_cycles)
+                       ? double(target_cycles - min_cycles) / wall_rate
+                       : 0.0;
+
+    size_t occ = 0, cap = 0;
+    for (const auto &cs : channels_) {
+        occ += cs.chan->size();
+        cap += cs.chan->capacity();
+    }
+
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "[fireaxe] cycle %llu/%llu (%.1f%%) sim %.3f MHz "
+                  "fmr %.2f wall %.0f cyc/s eta %.1fs chan %zu/%zu",
+                  (unsigned long long)min_cycles,
+                  (unsigned long long)target_cycles, pct, sim_mhz,
+                  fmr_n ? fmr_sum / fmr_n : 0.0, wall_rate, eta_s,
+                  occ, cap);
+    telemetry_->progressOut() << buf << std::endl;
+}
+
+void
+MultiFpgaSim::finalizeTelemetry(RunResult &result, double now)
+{
+    obs::Tracer *tr = telemetry_->tracer();
+    for (size_t p = 0; p < partTel_.size(); ++p) {
+        PartTelemetry &pt = partTel_[p];
+        if (pt.waitStartNs >= 0.0) { // close any open wait span
+            pt.waitNs += now - pt.waitStartNs;
+            if (tr && now > pt.waitStartNs)
+                tr->complete("wait-for-tokens", "fsm",
+                             pt.waitStartNs, now - pt.waitStartNs,
+                             int(p));
+            pt.waitStartNs = -1.0;
+        }
+    }
+
+    obs::MetricsRegistry *reg = telemetry_->registry();
+    if (!reg)
+        return;
+    for (size_t p = 0; p < models_.size(); ++p) {
+        const PartTelemetry &pt = partTel_[p];
+        const std::string base =
+            "part." + plan_.partitionNames[p] + ".";
+        uint64_t cycles = models_[p]->minTargetCycle();
+        reg->gauge(base + "target_cycles").set(double(cycles));
+        reg->gauge(base + "fires").set(
+            double(models_[p]->totalFires()));
+        reg->gauge(base + "advances").set(
+            double(models_[p]->totalAdvances()));
+        reg->gauge(base + "host_cycles").set(double(pt.hostCycles));
+        reg->gauge(base + "wait_ns").set(pt.waitNs);
+        if (cycles > 0)
+            reg->gauge(base + "fmr").set(double(pt.hostCycles) /
+                                         double(cycles));
+    }
+    reg->gauge("sim.host_time_ns").set(now);
+    reg->gauge("sim.target_cycles").set(double(result.targetCycles));
+    reg->gauge("sim.sim_rate_mhz").set(result.simRateMhz());
+    reg->gauge("sim.transient_stall_events")
+        .set(double(transientStallEvents_));
+    reg->gauge("sim.link_failovers").set(double(linkFailovers_));
+    reg->gauge("sim.deadlocked").set(result.deadlocked ? 1.0 : 0.0);
+    result.metrics = reg->snapshot();
+}
+
+obs::MetricsSnapshot
+MultiFpgaSim::metricsSnapshot() const
+{
+    if (telemetry_ && telemetry_->registry())
+        return telemetry_->registry()->snapshot();
+    return {};
+}
+
+void
+MultiFpgaSim::writeMetricsJson(std::ostream &os) const
+{
+    FIREAXE_ASSERT(telemetry_ && telemetry_->registry(),
+                   "writeMetricsJson requires telemetry with metrics "
+                   "enabled");
+    telemetry_->registry()->writeJson(os);
+}
+
+void
+MultiFpgaSim::writeTrace(std::ostream &os) const
+{
+    FIREAXE_ASSERT(telemetry_ && telemetry_->tracer(),
+                   "writeTrace requires telemetry with tracing "
+                   "enabled");
+    telemetry_->tracer()->writeChromeJson(os);
+}
+
 RunResult
 MultiFpgaSim::run(uint64_t target_cycles)
 {
     if (!initialized_)
         init();
+
+    if (telemetry_ && !wallStartValid_) {
+        wallStart_ = std::chrono::steady_clock::now();
+        wallStartValid_ = true;
+    }
 
     size_t num_parts = models_.size();
     if (nextTick_.size() != num_parts) {
@@ -196,6 +425,16 @@ MultiFpgaSim::run(uint64_t target_cycles)
         if (progress)
             last_progress = now;
 
+        if (telemetry_) {
+            telemetryTick(p, now, step, progress, advanced);
+            const obs::TelemetryConfig &tcfg = telemetry_->config();
+            if (tcfg.progressIntervalNs > 0.0 &&
+                now - lastReportNs_ >= tcfg.progressIntervalNs) {
+                lastReportNs_ = now;
+                reportProgress(now, target_cycles);
+            }
+        }
+
         // Graceful degradation: a channel that exhausted its retry
         // budget fails over to host-managed PCIe (the transport that
         // works anywhere) and keeps the run alive, just slower.
@@ -209,6 +448,8 @@ MultiFpgaSim::run(uint64_t target_cycles)
                         transport::tokenLatencyNs(host));
                     cs.failedOver = true;
                     ++linkFailovers_;
+                    if (cs.chan->probe())
+                        cs.chan->probe()->onEvent("failover", now);
                     warn("channel '", cs.chan->name(),
                          "' exhausted its retry budget; failing "
                          "over to ", host.name);
@@ -235,9 +476,15 @@ MultiFpgaSim::run(uint64_t target_cycles)
             if (in_flight &&
                 transientStallEvents_ < 1000000) {
                 ++transientStallEvents_;
+                if (telemetry_ && telemetry_->tracer())
+                    telemetry_->tracer()->instant("transient-stall",
+                                                  "executor", now);
                 last_progress = now; // extend the watchdog window
             } else {
                 result.deadlocked = true;
+                if (telemetry_ && telemetry_->tracer())
+                    telemetry_->tracer()->instant("deadlock",
+                                                  "executor", now);
                 result.diagnosis = buildDiagnosis(now);
                 warn("multi-FPGA simulation deadlocked at host "
                      "time ", now, " ns (no token progress for ",
@@ -265,7 +512,57 @@ MultiFpgaSim::run(uint64_t target_cycles)
     result.transientStallEvents = transientStallEvents_;
     result.linkFailovers = linkFailovers_;
     result.degraded = linkFailovers_ > 0;
+    if (telemetry_)
+        finalizeTelemetry(result, now);
     return result;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const ChannelDiagnosis &cd)
+{
+    os << "channel '" << cd.name << "' (partition " << cd.srcPart
+       << " -> " << cd.dstPart << "): occupancy " << cd.occupancy
+       << "/" << cd.capacity << ", " << cd.tokensEnqueued
+       << " enqueued, " << cd.tokensRetired << " retired";
+    if (cd.headVisible)
+        os << ", head visible";
+    if (cd.starved)
+        os << ", starved";
+    return os;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const PartitionDiagnosis &pd)
+{
+    os << "partition '" << pd.name << "' at target cycle "
+       << pd.targetCycle << " (" << pd.fires << " fires, "
+       << pd.advances << " advances)";
+    if (!pd.waitingInputs.empty()) {
+        os << ", waiting on:";
+        for (const std::string &ch : pd.waitingInputs)
+            os << " " << ch;
+    }
+    if (!pd.unfiredOutputs.empty()) {
+        os << ", unfired:";
+        for (const std::string &ch : pd.unfiredOutputs)
+            os << " " << ch;
+    }
+    return os;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const DeadlockDiagnosis &diag)
+{
+    os << "deadlock diagnosis at host time " << diag.hostTimeNs
+       << " ns:\n";
+    for (const auto &pd : diag.partitions)
+        os << "  " << pd << "\n";
+    for (const auto &cd : diag.channels) {
+        if (!cd.starved)
+            continue;
+        os << "  stuck " << cd << "\n";
+    }
+    return os;
 }
 
 DeadlockDiagnosis
@@ -315,27 +612,7 @@ MultiFpgaSim::buildDiagnosis(double now)
     }
 
     std::ostringstream os;
-    os << "deadlock diagnosis at host time " << now << " ns:\n";
-    for (const auto &pd : diag.partitions) {
-        os << "  partition '" << pd.name << "' at target cycle "
-           << pd.targetCycle << " (" << pd.fires << " fires, "
-           << pd.advances << " advances)";
-        if (!pd.waitingInputs.empty()) {
-            os << ", waiting on:";
-            for (const std::string &ch : pd.waitingInputs)
-                os << " " << ch;
-        }
-        os << "\n";
-    }
-    for (const auto &cd : diag.channels) {
-        if (!cd.starved)
-            continue;
-        os << "  stuck channel '" << cd.name << "' (partition "
-           << cd.srcPart << " -> " << cd.dstPart << "): occupancy "
-           << cd.occupancy << "/" << cd.capacity << ", "
-           << cd.tokensEnqueued << " enqueued, " << cd.tokensRetired
-           << " retired\n";
-    }
+    os << diag;
     diag.summary = os.str();
     return diag;
 }

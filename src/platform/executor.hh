@@ -25,7 +25,9 @@
 #ifndef FIREAXE_PLATFORM_EXECUTOR_HH
 #define FIREAXE_PLATFORM_EXECUTOR_HH
 
+#include <chrono>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -33,6 +35,7 @@
 #include "libdn/channel.hh"
 #include "libdn/model.hh"
 #include "libdn/reliable.hh"
+#include "obs/telemetry.hh"
 #include "platform/fpga.hh"
 #include "ripper/partition.hh"
 #include "rtlsim/vcd.hh"
@@ -85,6 +88,18 @@ struct DeadlockDiagnosis
     std::string summary;
 };
 
+/** One-line rendering: name, route, occupancy, token counts,
+ *  visibility/starvation flags. */
+std::ostream &operator<<(std::ostream &os, const ChannelDiagnosis &cd);
+/** One-line rendering: name, target cycle, fire/advance counts,
+ *  waited-on inputs and unfired outputs. */
+std::ostream &operator<<(std::ostream &os,
+                         const PartitionDiagnosis &pd);
+/** Multi-line rendering of the full diagnosis (the same text stored
+ *  in DeadlockDiagnosis::summary). */
+std::ostream &operator<<(std::ostream &os,
+                         const DeadlockDiagnosis &diag);
+
 /** Outcome of a co-simulation run. */
 struct RunResult
 {
@@ -107,6 +122,15 @@ struct RunResult
     bool degraded = false;
     /** Populated when deadlocked. */
     DeadlockDiagnosis diagnosis;
+
+    /**
+     * Frozen metrics at the end of the run: per-channel token
+     * counts, enqueue-to-retire latency percentiles and reliability
+     * events, per-partition FMR and fireFSM counters, and sim.*
+     * aggregates. Empty unless telemetry with metrics was enabled
+     * via MultiFpgaSim::setTelemetry().
+     */
+    obs::MetricsSnapshot metrics;
 
     /** Achieved target simulation rate in MHz. */
     double
@@ -140,6 +164,33 @@ class MultiFpgaSim
      * results stay bit-exact — only the simulation rate degrades.
      */
     void setFaultModel(const transport::FaultConfig &cfg);
+
+    /**
+     * Enable telemetry: a metrics registry (per-channel token
+     * latency and reliability counters, per-partition FMR and
+     * sim-rate sampling), a trace-event ring buffer (fireFSM phases,
+     * reliability/fault instants; Chrome trace_event export), and an
+     * optional periodic progress reporter. Must be called before
+     * init(). Telemetry is observe-only: the simulated token stream
+     * and all results are bit-identical with and without it.
+     */
+    void setTelemetry(const obs::TelemetryConfig &cfg);
+
+    /** The telemetry bundle; null unless setTelemetry was called. */
+    obs::Telemetry *telemetry() { return telemetry_.get(); }
+
+    /** Snapshot of the live metrics registry (empty snapshot when
+     *  metrics are not enabled). */
+    obs::MetricsSnapshot metricsSnapshot() const;
+
+    /** Export the metrics registry as JSON; requires telemetry with
+     *  metrics enabled. */
+    void writeMetricsJson(std::ostream &os) const;
+
+    /** Export the trace ring buffer as Chrome trace_event JSON
+     *  (about://tracing / Perfetto); requires telemetry with tracing
+     *  enabled. */
+    void writeTrace(std::ostream &os) const;
 
     /** Attach a driver for a partition's external input ports; must
      *  be called before init(). */
@@ -194,7 +245,36 @@ class MultiFpgaSim
         bool failedOver = false;
     };
 
+    /** Per-partition telemetry state (only used when telemetry_). */
+    struct PartTelemetry
+    {
+        /** Host cycles charged to this partition so far. */
+        uint64_t hostCycles = 0;
+        /** Host time a wait-for-tokens span opened; < 0 = none. */
+        double waitStartNs = -1.0;
+        /** Total host time spent waiting for tokens (ns). */
+        double waitNs = 0.0;
+        // FMR sampling window state.
+        uint64_t lastSampleHostCycles = 0;
+        uint64_t lastSampleTargetCycles = 0;
+        // Cached registry handles (null when metrics disabled).
+        obs::Gauge *fmrGauge = nullptr;
+        obs::Histogram *fmrHist = nullptr;
+        obs::Counter *waitTicks = nullptr;
+    };
+
     DeadlockDiagnosis buildDiagnosis(double now);
+    /** Wire probes / handles; called from init() when telemetry_. */
+    void setupTelemetry();
+    /** Per-event-loop-iteration telemetry hook. */
+    void telemetryTick(size_t p, double now, double step,
+                       bool progress, bool advanced);
+    /** Periodic per-partition FMR / sim-rate sample. */
+    void sampleFmr(double now);
+    /** One progress-report line to the configured sink. */
+    void reportProgress(double now, uint64_t target_cycles);
+    /** Final gauges + snapshot into @p result. */
+    void finalizeTelemetry(RunResult &result, double now);
 
     ripper::PartitionPlan plan_;
     std::vector<FpgaSpec> fpgas_;
@@ -209,6 +289,12 @@ class MultiFpgaSim
     std::vector<std::ostream *> vcdStreams_;
     std::vector<std::unique_ptr<rtlsim::VcdWriter>> vcdWriters_;
     std::function<bool()> stopCondition_;
+    std::unique_ptr<obs::Telemetry> telemetry_;
+    std::vector<PartTelemetry> partTel_;
+    double lastFmrSampleNs_ = 0.0;
+    double lastReportNs_ = 0.0;
+    std::chrono::steady_clock::time_point wallStart_;
+    bool wallStartValid_ = false;
     bool initialized_ = false;
     // Host-time state persists across run() calls, so simulations
     // can be resumed with a larger target-cycle goal.

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <vector>
 
 #include "firrtl/builder.hh"
@@ -437,6 +438,38 @@ TEST(Fault, GenuineDeadlockIsDiagnosed)
     }
     EXPECT_NE(result.diagnosis.summary.find("stuck channel"),
               std::string::npos);
+}
+
+TEST(Fault, DiagnosisPrettyPrinters)
+{
+    auto plan = deadlockPlan();
+    MultiFpgaSim sim(plan, u250s(2, 50.0), transport::qsfpAurora());
+    auto result = sim.run(10);
+    ASSERT_TRUE(result.deadlocked);
+    const DeadlockDiagnosis &diag = result.diagnosis;
+
+    // Streaming the whole diagnosis reproduces the stored summary.
+    std::ostringstream os;
+    os << diag;
+    EXPECT_EQ(os.str(), diag.summary);
+    EXPECT_NE(os.str().find("deadlock diagnosis at host time"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("partition 'p0'"), std::string::npos);
+    EXPECT_NE(os.str().find("stuck channel"), std::string::npos);
+
+    // Per-partition printer: FSM counters and waited-on inputs.
+    std::ostringstream pos;
+    pos << diag.partitions.at(0);
+    EXPECT_NE(pos.str().find("partition 'p0'"), std::string::npos);
+    EXPECT_NE(pos.str().find("waiting on:"), std::string::npos);
+    EXPECT_NE(pos.str().find("unfired:"), std::string::npos);
+
+    // Per-channel printer: route, occupancy and starvation flag.
+    std::ostringstream cos;
+    cos << diag.channels.at(0);
+    EXPECT_NE(cos.str().find("channel 'c01'"), std::string::npos);
+    EXPECT_NE(cos.str().find("occupancy 0/"), std::string::npos);
+    EXPECT_NE(cos.str().find("starved"), std::string::npos);
 }
 
 TEST(Fault, DeterministicScheduleIsReproducible)

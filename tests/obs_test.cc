@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Tests of the observability subsystem: metrics-registry path
+ * resolution and handle stability, bounded-reservoir histogram
+ * percentiles, tracer ring-buffer wraparound and Chrome JSON export,
+ * and — the invariant that matters — a telemetry-instrumented
+ * partitioned run staying bit-exact against the monolithic golden
+ * reference while producing a well-formed metrics snapshot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "base/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
+#include "platform/executor.hh"
+#include "platform/fpga.hh"
+#include "ripper/partition.hh"
+#include "target/bus_soc.hh"
+#include "transport/link.hh"
+
+using namespace fireaxe;
+using namespace fireaxe::obs;
+
+// ---------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------
+
+TEST(Metrics, PathResolutionAndReRegistration)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("chan.c01.tokens_enqueued");
+    Gauge &g = reg.gauge("part.tiles.fmr");
+    Histogram &h = reg.histogram("chan.c01.token_latency_ns");
+
+    c.add(3);
+    g.set(7.5);
+    h.observe(100.0);
+
+    // Re-resolving the same path returns the same handle (and thus
+    // the same value), even after other registrations.
+    reg.counter("zzz.later");
+    EXPECT_EQ(&reg.counter("chan.c01.tokens_enqueued"), &c);
+    EXPECT_EQ(&reg.gauge("part.tiles.fmr"), &g);
+    EXPECT_EQ(&reg.histogram("chan.c01.token_latency_ns"), &h);
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_DOUBLE_EQ(g.value(), 7.5);
+    EXPECT_EQ(reg.size(), 4u);
+
+    // Resolving an existing path as a different kind is a caller
+    // error, as is an empty path.
+    EXPECT_THROW(reg.gauge("chan.c01.tokens_enqueued"), FatalError);
+    EXPECT_THROW(reg.counter(""), FatalError);
+}
+
+TEST(Metrics, NullableHandleHelpersAreNoOps)
+{
+    Counter *c = nullptr;
+    Gauge *g = nullptr;
+    Histogram *h = nullptr;
+    add(c);
+    set(g, 1.0);
+    observe(h, 2.0); // must not crash
+
+    Counter real;
+    add(&real, 5);
+    EXPECT_EQ(real.value(), 5u);
+}
+
+TEST(Metrics, SnapshotJsonAndAccessors)
+{
+    MetricsRegistry reg;
+    reg.counter("a.count").add(42);
+    reg.gauge("a.rate").set(2.25);
+    Histogram &h = reg.histogram("a.lat");
+    for (int i = 1; i <= 100; ++i)
+        h.observe(double(i));
+
+    MetricsSnapshot snap = reg.snapshot();
+    EXPECT_TRUE(snap.has("a.count"));
+    EXPECT_EQ(snap.counter("a.count"), 42u);
+    EXPECT_DOUBLE_EQ(snap.gauge("a.rate"), 2.25);
+    const MetricValue *mv = snap.find("a.lat");
+    ASSERT_NE(mv, nullptr);
+    EXPECT_EQ(mv->count, 100u);
+    EXPECT_DOUBLE_EQ(mv->min, 1.0);
+    EXPECT_DOUBLE_EQ(mv->max, 100.0);
+
+    std::ostringstream os;
+    snap.writeJson(os);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"schema\":\"fireaxe.metrics.v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"a.count\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+
+    std::ostringstream csv;
+    snap.writeCsv(csv);
+    EXPECT_NE(csv.str().find("a.rate"), std::string::npos);
+}
+
+TEST(Metrics, ResetKeepsHandlesAndClearsValues)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("x");
+    c.add(9);
+    reg.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(&reg.counter("x"), &c);
+}
+
+// ---------------------------------------------------------------
+// Histogram reservoir behaviour (satellite: bounded memory)
+// ---------------------------------------------------------------
+
+TEST(Metrics, HistogramExactBelowReservoirCap)
+{
+    Histogram h(1024);
+    // 0..999 shuffled deterministically: below the cap every sample
+    // is kept and percentiles are exact.
+    std::vector<double> vals;
+    for (int i = 0; i < 1000; ++i)
+        vals.push_back(double((i * 757) % 1000));
+    for (double v : vals)
+        h.observe(v);
+
+    EXPECT_TRUE(h.exact());
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 999.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 999.0);
+    EXPECT_NEAR(h.percentile(50.0), 500.0, 1.0);
+    EXPECT_NEAR(h.percentile(90.0), 900.0, 1.0);
+}
+
+TEST(Metrics, HistogramApproximateAboveReservoirCap)
+{
+    // 100k uniform samples through a 4k reservoir: the count, mean,
+    // min and max stay exact; percentiles come from the reservoir
+    // and must land within a few percent of the true quantile.
+    const size_t cap = 4096;
+    Histogram h(cap);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        h.observe(double((i * 7919) % n));
+
+    EXPECT_FALSE(h.exact());
+    EXPECT_EQ(h.count(), uint64_t(n));
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), double(n - 1));
+    EXPECT_NEAR(h.mean(), (n - 1) / 2.0, n * 0.001);
+    // p0/p100 are served from the exact extrema even above the cap.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), double(n - 1));
+    EXPECT_NEAR(h.percentile(50.0), n * 0.50, n * 0.05);
+    EXPECT_NEAR(h.percentile(90.0), n * 0.90, n * 0.05);
+    EXPECT_EQ(h.reservoirCap(), cap);
+}
+
+// ---------------------------------------------------------------
+// Tracer ring buffer
+// ---------------------------------------------------------------
+
+TEST(Trace, RingBufferWraparoundKeepsNewestInOrder)
+{
+    Tracer tr(8);
+    for (int i = 0; i < 20; ++i)
+        tr.instant("e" + std::to_string(i), "test", double(i));
+
+    EXPECT_EQ(tr.size(), 8u);
+    EXPECT_EQ(tr.totalEmitted(), 20u);
+    EXPECT_EQ(tr.dropped(), 12u);
+
+    // The survivors are the last 8 events, visited oldest-first.
+    std::vector<std::string> names;
+    tr.forEachOrdered([&](const TraceEvent &ev) {
+        names.push_back(ev.name);
+    });
+    ASSERT_EQ(names.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(names[i], "e" + std::to_string(12 + i));
+
+    tr.clear();
+    EXPECT_EQ(tr.size(), 0u);
+}
+
+TEST(Trace, ChromeJsonExport)
+{
+    Tracer tr(64);
+    tr.setProcessName(0, "tiles");
+    tr.instant("nak", "reliability", 1500.0, 0);
+    tr.complete("advance", "fsm", 2000.0, 20.0, 0, 1);
+
+    std::ostringstream os;
+    tr.writeChromeJson(os);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("process_name"), std::string::npos);
+    EXPECT_NE(json.find("\"tiles\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    // ns -> us conversion: the 2000 ns event lands at ts 2 us.
+    EXPECT_NE(json.find("\"ts\":2,"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// End-to-end: instrumented partitioned run
+// ---------------------------------------------------------------
+
+namespace {
+
+std::vector<uint64_t>
+goldenStatus(const firrtl::Circuit &soc, uint64_t cycles)
+{
+    std::vector<uint64_t> mono;
+    platform::runMonolithic(
+        soc, nullptr,
+        [&mono](rtlsim::Simulator &sim, unsigned, uint64_t) {
+            mono.push_back(sim.peek("status"));
+        },
+        cycles);
+    return mono;
+}
+
+ripper::PartitionPlan
+tilesPlan(const firrtl::Circuit &soc)
+{
+    ripper::PartitionSpec spec;
+    spec.mode = ripper::PartitionMode::Exact;
+    spec.groups.push_back({"tiles", {"tile0", "tile1"}, 1});
+    return ripper::partition(soc, spec);
+}
+
+} // namespace
+
+TEST(Telemetry, InstrumentedRunStaysBitExact)
+{
+    target::BusSocConfig cfg;
+    cfg.numTiles = 3;
+    cfg.memWords = 256;
+    auto soc = target::buildBusSoc(cfg);
+    const uint64_t cycles = 600;
+    auto mono = goldenStatus(soc, cycles);
+
+    // Reference partitioned run without telemetry.
+    auto plan1 = tilesPlan(soc);
+    platform::MultiFpgaSim ref(
+        plan1, {platform::alveoU250(50.0), platform::alveoU250(50.0)},
+        transport::qsfpAurora());
+    auto ref_result = ref.run(cycles);
+
+    // Fully-instrumented run: metrics + tracing.
+    auto plan2 = tilesPlan(soc);
+    platform::MultiFpgaSim sim(
+        plan2, {platform::alveoU250(50.0), platform::alveoU250(50.0)},
+        transport::qsfpAurora());
+    sim.setTelemetry(TelemetryConfig::full());
+    std::vector<uint64_t> part;
+    sim.setMonitor(0,
+                   [&part](rtlsim::Simulator &s, unsigned, uint64_t) {
+                       part.push_back(s.peek("status"));
+                   });
+    auto result = sim.run(cycles);
+
+    // Telemetry is observe-only: target behaviour and simulated
+    // host-time mechanics are unchanged.
+    EXPECT_FALSE(result.deadlocked);
+    ASSERT_GE(part.size(), mono.size());
+    for (size_t i = 0; i < mono.size(); ++i)
+        ASSERT_EQ(part[i], mono[i]) << "divergence at cycle " << i;
+    EXPECT_DOUBLE_EQ(result.hostTimeNs, ref_result.hostTimeNs);
+    EXPECT_EQ(result.targetCycles, ref_result.targetCycles);
+
+    // The snapshot carries the expected namespaces.
+    const MetricsSnapshot &m = result.metrics;
+    ASSERT_FALSE(m.empty());
+    EXPECT_GT(m.gauge("sim.sim_rate_mhz"), 0.0);
+    EXPECT_DOUBLE_EQ(m.gauge("sim.target_cycles"), double(cycles));
+    EXPECT_GT(m.gauge("part.tiles.fmr"), 0.0);
+    EXPECT_GT(m.gauge("part.rest.fmr"), 0.0);
+    EXPECT_DOUBLE_EQ(m.gauge("part.tiles.target_cycles"),
+                     double(cycles));
+
+    // Per-channel token accounting: every channel enqueued and
+    // retired tokens, and latency histograms saw every retirement.
+    bool saw_channel = false;
+    for (const auto &kv : m.values) {
+        if (kv.first.rfind("chan.", 0) != 0 ||
+            kv.first.find(".tokens_retired") == std::string::npos)
+            continue;
+        saw_channel = true;
+        EXPECT_GT(kv.second.count, 0u) << kv.first;
+        std::string base =
+            kv.first.substr(0, kv.first.size() -
+                                   std::string(".tokens_retired")
+                                       .size());
+        const MetricValue *lat = m.find(base + ".token_latency_ns");
+        ASSERT_NE(lat, nullptr) << base;
+        EXPECT_EQ(lat->count, kv.second.count) << base;
+        EXPECT_GT(lat->mean, 0.0) << base;
+    }
+    EXPECT_TRUE(saw_channel);
+
+    // Both exporters produce well-formed-looking documents.
+    std::ostringstream mos;
+    sim.writeMetricsJson(mos);
+    EXPECT_NE(mos.str().find("fireaxe.metrics.v1"),
+              std::string::npos);
+    std::ostringstream tos;
+    sim.writeTrace(tos);
+    EXPECT_NE(tos.str().find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(tos.str().find("wait-for-tokens"), std::string::npos);
+    EXPECT_NE(tos.str().find("advance"), std::string::npos);
+}
+
+TEST(Telemetry, ProgressReporterWritesToSink)
+{
+    target::BusSocConfig cfg;
+    cfg.numTiles = 3;
+    cfg.memWords = 256;
+    auto soc = target::buildBusSoc(cfg);
+    auto plan = tilesPlan(soc);
+
+    platform::MultiFpgaSim sim(
+        plan, {platform::alveoU250(50.0), platform::alveoU250(50.0)},
+        transport::qsfpAurora());
+    std::ostringstream progress;
+    TelemetryConfig tcfg;
+    tcfg.progressIntervalNs = 50000.0;
+    tcfg.progressOut = &progress;
+    sim.setTelemetry(tcfg);
+    auto result = sim.run(400);
+
+    EXPECT_FALSE(result.deadlocked);
+    std::string out = progress.str();
+    EXPECT_NE(out.find("[fireaxe] cycle"), std::string::npos);
+    EXPECT_NE(out.find("MHz"), std::string::npos);
+    EXPECT_NE(out.find("fmr"), std::string::npos);
+}
+
+TEST(Telemetry, DisabledTelemetryLeavesSnapshotEmpty)
+{
+    target::BusSocConfig cfg;
+    cfg.numTiles = 3;
+    cfg.memWords = 256;
+    auto soc = target::buildBusSoc(cfg);
+    auto plan = tilesPlan(soc);
+
+    platform::MultiFpgaSim sim(
+        plan, {platform::alveoU250(50.0), platform::alveoU250(50.0)},
+        transport::qsfpAurora());
+    auto result = sim.run(200);
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_TRUE(result.metrics.empty());
+    EXPECT_TRUE(sim.metricsSnapshot().empty());
+    EXPECT_EQ(sim.telemetry(), nullptr);
+}
