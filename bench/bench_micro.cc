@@ -5,9 +5,23 @@
  * FireRipper compile time, and the uarch model's instruction
  * throughput. These guard the host-side performance that the
  * figure-level harnesses depend on.
+ *
+ * `--workers N[,M,...]` switches the binary into a worker-count
+ * sweep of the parallel execution backend instead: a five-partition
+ * bus SoC is co-simulated once sequentially and once per requested
+ * worker count, reporting wall time, speedup, and a bit-exactness
+ * check per row (optionally as JSON rows via --json).
  */
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sweep_common.hh"
 
 #include "passes/flatten.hh"
 #include "platform/executor.hh"
@@ -92,4 +106,161 @@ BM_UarchModelInstruction(benchmark::State &state)
 }
 BENCHMARK(BM_UarchModelInstruction);
 
-BENCHMARK_MAIN();
+namespace {
+
+/**
+ * Sweep the parallel backend's worker count on a five-partition bus
+ * SoC (four tiles split out individually plus the rest partition)
+ * and compare against the sequential baseline. Each row checks that
+ * the parallel run reproduced the sequential schedule exactly
+ * (target cycles and total host time).
+ */
+int
+runWorkerSweep(const std::vector<unsigned> &worker_counts,
+               uint64_t cycles, const std::string &json_path)
+{
+    if (cycles == 0)
+        cycles = 2000;
+
+    target::BusSocConfig cfg;
+    cfg.numTiles = 8;
+    cfg.memWords = 256;
+    auto soc = target::buildBusSoc(cfg);
+
+    ripper::PartitionSpec spec;
+    spec.mode = ripper::PartitionMode::Exact;
+    for (int t = 0; t < 4; ++t) {
+        spec.groups.push_back({"t" + std::to_string(t),
+                               {"tile" + std::to_string(t)},
+                               1});
+    }
+    auto plan = ripper::partition(soc, spec);
+    const unsigned nparts = unsigned(plan.partitions.size());
+
+    auto measure = [&](const platform::ExecConfig &exec,
+                       double &wall_ms) {
+        platform::MultiFpgaSim sim(
+            plan,
+            std::vector<platform::FpgaSpec>(
+                nparts, platform::alveoU250(50.0)),
+            transport::qsfpAurora());
+        sim.setExecConfig(exec);
+        sim.init();
+        auto t0 = std::chrono::steady_clock::now();
+        auto result = sim.run(cycles);
+        wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+        return result;
+    };
+
+    bench::JsonRows rows(json_path);
+    std::printf("worker sweep: bus SoC, %u partitions, %llu target "
+                "cycles\n",
+                nparts, (unsigned long long)cycles);
+    std::printf("%-12s %8s %12s %10s %9s %9s\n", "backend",
+                "workers", "host_ns", "wall_ms", "speedup",
+                "bit_exact");
+
+    double seq_wall = 0.0;
+    auto seq = measure(platform::ExecConfig{}, seq_wall);
+    std::printf("%-12s %8s %12.0f %10.2f %9s %9s\n", "sequential",
+                "-", seq.hostTimeNs, seq_wall, "1.00", "ref");
+    {
+        bench::JsonRow row;
+        row.field("design", "bus_soc8")
+            .field("partitions", nparts)
+            .field("backend", "sequential")
+            .field("workers", 0u)
+            .field("target_cycles", seq.targetCycles)
+            .field("host_time_ns", seq.hostTimeNs)
+            .field("sim_rate_mhz", seq.simRateMhz())
+            .field("wall_ms", seq_wall)
+            .field("speedup_vs_sequential", 1.0)
+            .field("bit_exact", true);
+        rows.add(row);
+    }
+
+    for (unsigned w : worker_counts) {
+        double wall = 0.0;
+        auto par = measure(platform::ExecConfig::parallel(w), wall);
+        bool exact = par.targetCycles == seq.targetCycles &&
+                     par.hostTimeNs == seq.hostTimeNs;
+        double speedup = wall > 0.0 ? seq_wall / wall : 0.0;
+        std::printf("%-12s %8u %12.0f %10.2f %9.2f %9s\n",
+                    "parallel", w, par.hostTimeNs, wall, speedup,
+                    exact ? "yes" : "NO");
+        bench::JsonRow row;
+        row.field("design", "bus_soc8")
+            .field("partitions", nparts)
+            .field("backend", "parallel")
+            .field("workers", w)
+            .field("target_cycles", par.targetCycles)
+            .field("host_time_ns", par.hostTimeNs)
+            .field("sim_rate_mhz", par.simRateMhz())
+            .field("wall_ms", wall)
+            .field("speedup_vs_sequential", speedup)
+            .field("bit_exact", exact);
+        rows.add(row);
+        if (!exact) {
+            std::fprintf(stderr,
+                         "worker sweep: parallel run (workers=%u) "
+                         "diverged from sequential\n",
+                         w);
+            return 1;
+        }
+    }
+    rows.write();
+    return 0;
+}
+
+std::vector<unsigned>
+parseWorkerList(const char *arg)
+{
+    std::vector<unsigned> counts;
+    std::string s(arg);
+    size_t pos = 0;
+    while (pos < s.size()) {
+        size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        counts.push_back(
+            unsigned(std::strtoul(s.substr(pos, comma - pos).c_str(),
+                                  nullptr, 10)));
+        pos = comma + 1;
+    }
+    return counts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // --workers selects the parallel-backend sweep; everything else
+    // is handed to google-benchmark untouched.
+    std::vector<unsigned> worker_counts;
+    std::string json_path;
+    uint64_t cycles = 0;
+    std::vector<char *> rest{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--workers") && i + 1 < argc)
+            worker_counts = parseWorkerList(argv[++i]);
+        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            json_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--cycles") && i + 1 < argc)
+            cycles = std::strtoull(argv[++i], nullptr, 10);
+        else
+            rest.push_back(argv[i]);
+    }
+    if (!worker_counts.empty())
+        return runWorkerSweep(worker_counts, cycles, json_path);
+
+    int rest_argc = int(rest.size());
+    benchmark::Initialize(&rest_argc, rest.data());
+    if (benchmark::ReportUnrecognizedArguments(rest_argc,
+                                               rest.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -11,13 +11,44 @@
  * The hot-path accessors are virtual so that transports with
  * link-level reliability machinery (libdn::ReliableTokenChannel) can
  * interpose on delivery without the model or the executor knowing.
+ *
+ * Storage is a lock-free SPSC ring (par::SpscRing): each channel has
+ * exactly one producing and one consuming partition, so when the
+ * parallel executor (src/par) runs partitions on worker threads the
+ * same queue doubles as the thread-safe token pipe — no locks on the
+ * token path.
+ *
+ * ## Concurrent mode (enableConcurrent)
+ *
+ * Determinism under threads needs more than a safe queue: the
+ * *producer-visible occupancy* must match what the sequential
+ * executor would have seen at the same host time, or backpressure
+ * (and with it serializer timing and the whole token schedule) would
+ * depend on how far ahead the consumer thread happens to run. The
+ * channel therefore keeps two views:
+ *
+ *  - the physical ring, updated eagerly by both sides;
+ *  - a logical occupancy at the producer's host time `T`:
+ *    producer-side push counts minus only those consumer pops whose
+ *    logical timestamp precedes `T` (ties broken by partition index,
+ *    exactly like the sequential event loop's tie order).
+ *
+ * The consumer publishes each pop as a (time, counts) record on a
+ * small SPSC pop log; the producer drains records up to its own time
+ * in producerPrepare()/full(). The engine guarantees by its gating
+ * rules that whenever the logical view says "full", the producer
+ * waits until the consumer's clock passes `T` — at which point every
+ * relevant pop record has been published and the verdict is exact.
+ * See DESIGN.md ("Parallel partition execution") for the full
+ * argument.
  */
 
 #ifndef FIREAXE_LIBDN_CHANNEL_HH
 #define FIREAXE_LIBDN_CHANNEL_HH
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <limits>
 #include <memory>
 #include <string>
@@ -25,6 +56,7 @@
 
 #include "base/logging.hh"
 #include "obs/probe.hh"
+#include "par/spsc.hh"
 
 namespace fireaxe::libdn {
 
@@ -36,7 +68,9 @@ using Token = std::vector<uint64_t>;
  * share a physical link (e.g. the source and sink channels of an
  * exact-mode boundary, or all FAME-5 thread channels of one FPGA
  * pair) share one serializer, so their tokens contend for link
- * bandwidth.
+ * bandwidth. Only ever touched from the producing partition's
+ * thread: all channels sharing a serializer originate from the same
+ * partition.
  */
 struct LinkSerializer
 {
@@ -52,7 +86,7 @@ class TokenChannel
     TokenChannel(std::string name, unsigned width_bits,
                  size_t capacity = 16)
         : name_(std::move(name)), widthBits_(width_bits),
-          capacity_(capacity)
+          capacity_(capacity), queue_(capacity + 4)
     {}
 
     virtual ~TokenChannel() = default;
@@ -62,7 +96,16 @@ class TokenChannel
      *  serialization cost on the inter-FPGA link. */
     unsigned widthBits() const { return widthBits_; }
 
-    virtual bool full() const { return queue_.size() >= capacity_; }
+    virtual bool
+    full() const
+    {
+        if (concurrent_) {
+            drainPopLog(producerNowNs_);
+            return enqCount_ - accQueuePops_ >= capacity_;
+        }
+        return queue_.size() >= capacity_;
+    }
+
     virtual bool empty() const { return queue_.empty(); }
     virtual size_t size() const { return queue_.size(); }
     size_t capacity() const { return capacity_; }
@@ -83,15 +126,24 @@ class TokenChannel
     setTiming(double ser_time, double latency,
               std::shared_ptr<LinkSerializer> serializer = nullptr)
     {
-        serTime_ = ser_time;
-        latency_ = latency;
+        serTime_.store(ser_time, std::memory_order_relaxed);
+        latency_.store(latency, std::memory_order_relaxed);
         serializer_ = serializer
                           ? std::move(serializer)
                           : std::make_shared<LinkSerializer>();
     }
 
-    double serTime() const { return serTime_; }
-    double latency() const { return latency_; }
+    double
+    serTime() const
+    {
+        return serTime_.load(std::memory_order_relaxed);
+    }
+
+    double
+    latency() const
+    {
+        return latency_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Attach a telemetry probe (owned by the caller, may be null to
@@ -101,6 +153,65 @@ class TokenChannel
      */
     void setProbe(obs::ChannelProbe *probe) { probe_ = probe; }
     obs::ChannelProbe *probe() const { return probe_; }
+
+    // --- concurrent (parallel-executor) mode ----------------------
+
+    /**
+     * Switch the channel into concurrent mode for the parallel
+     * executor: producer-side occupancy becomes the logical
+     * (pop-log-accounted) view described in the file comment. Must be
+     * called while no worker threads touch the channel.
+     *
+     * @p producer_part / @p consumer_part give the partition indices
+     * of the two sides, fixing the sequential tie order for pops at
+     * equal host times. @p pop_log_capacity bounds the pop log; the
+     * caller derives it from the channel's lookahead window (the
+     * consumer can run at most `lookahead` ns of host time ahead of
+     * the producer, bounding unconsumed pop records).
+     */
+    virtual void
+    enableConcurrent(int producer_part, int consumer_part,
+                     size_t pop_log_capacity)
+    {
+        concurrent_ = true;
+        consumerTicksFirstOnTie_ = consumer_part < producer_part;
+        popLog_ = std::make_unique<par::SpscRing<PopRecord>>(
+            pop_log_capacity);
+        // Re-anchor the logical view to the quiesced physical state.
+        accQueuePops_ = enqCount_ - queue_.size();
+        accRtxPops_ = 0;
+    }
+
+    /**
+     * Leave concurrent mode (after the workers joined): fold every
+     * outstanding pop record into the accounting so a later
+     * sequential run sees consistent physical occupancy.
+     */
+    virtual void
+    disableConcurrent()
+    {
+        if (!concurrent_)
+            return;
+        drainPopLog(std::numeric_limits<double>::infinity());
+        concurrent_ = false;
+        popLog_.reset();
+    }
+
+    bool concurrent() const { return concurrent_; }
+
+    /**
+     * Producer-side synchronization point, called by the parallel
+     * engine before the producing partition evaluates a host tick at
+     * time @p now: folds all sequentially-preceding consumer pops
+     * into the occupancy accounting. Returns full() so the engine can
+     * gate on logical backpressure.
+     */
+    bool
+    producerPrepare(double now)
+    {
+        producerNowNs_ = std::max(producerNowNs_, now);
+        return full();
+    }
 
     /**
      * Try to enqueue a token that becomes visible at host time
@@ -114,10 +225,10 @@ class TokenChannel
     {
         if (full())
             return false;
-        queue_.push_back({std::move(token), ready_time, ready_time});
+        queue_.pushBack({std::move(token), ready_time, ready_time});
         ++enqCount_;
         if (probe_)
-            probe_->onEnqueue(ready_time, queue_.size());
+            probe_->onEnqueue(ready_time, producerOccupancy());
         return true;
     }
 
@@ -139,15 +250,16 @@ class TokenChannel
     virtual bool
     tryEnqTimed(Token &token, double now)
     {
+        producerNowNs_ = std::max(producerNowNs_, now);
         if (full())
             return false;
         double depart = std::max(now, serializer_->lastDepart) +
-                        serTime_;
+                        serTime();
         serializer_->lastDepart = depart;
-        queue_.push_back({std::move(token), depart + latency_, now});
+        queue_.pushBack({std::move(token), depart + latency(), now});
         ++enqCount_;
         if (probe_)
-            probe_->onEnqueue(now, queue_.size());
+            probe_->onEnqueue(now, producerOccupancy());
         return true;
     }
 
@@ -202,8 +314,10 @@ class TokenChannel
     {
         FIREAXE_ASSERT(!queue_.empty(), "channel '", name_,
                        "' deq of empty queue");
-        queue_.pop_front();
+        queue_.popFront();
         ++deqCount_;
+        if (concurrent_)
+            logPops(consumerNowNs_, 1, 0);
     }
 
     /** deq() with a consumer timestamp: reports the token's
@@ -211,6 +325,7 @@ class TokenChannel
     void
     retire(double now)
     {
+        consumerNowNs_ = std::max(consumerNowNs_, now);
         double enq_time = probe_ ? headEnqueueTime() : 0.0;
         deq();
         if (probe_)
@@ -226,22 +341,85 @@ class TokenChannel
     struct Entry
     {
         Token token;
-        double readyTime;
+        double readyTime = 0.0;
         /** Host time the producer enqueued the token. */
         double enqTime = 0.0;
     };
 
+    /** One consumer pop event, published for producer accounting. */
+    struct PopRecord
+    {
+        double timeNs = 0.0;      ///< logical (host) time of the pop
+        uint32_t queuePops = 0;   ///< delivered-queue entries removed
+        uint32_t rtxPops = 0;     ///< retransmit-buffer entries acked
+    };
+
+    /** Producer side: account every pop that sequentially precedes
+     *  host time @p now (ties by the partition-index order fixed at
+     *  enableConcurrent). Records are time-monotone, so this is a
+     *  prefix drain. */
+    void
+    drainPopLog(double now) const
+    {
+        while (!popLog_->empty()) {
+            const PopRecord &rec = popLog_->front();
+            if (rec.timeNs > now ||
+                (rec.timeNs == now && !consumerTicksFirstOnTie_)) {
+                break;
+            }
+            accQueuePops_ += rec.queuePops;
+            accRtxPops_ += rec.rtxPops;
+            popLog_->popFront();
+        }
+    }
+
+    /** Consumer side: publish a pop at logical time @p now. */
+    void
+    logPops(double now, uint32_t queue_pops, uint32_t rtx_pops) const
+    {
+        popLog_->pushBack({now, queue_pops, rtx_pops});
+    }
+
+    /** Queue depth as deterministically seen by the producer (used
+     *  for occupancy telemetry; logical in concurrent mode so the
+     *  samples don't depend on thread interleaving). */
+    size_t
+    producerOccupancy() const
+    {
+        if (concurrent_)
+            return size_t(enqCount_ - accQueuePops_);
+        return queue_.size();
+    }
+
     std::string name_;
     unsigned widthBits_;
     size_t capacity_;
-    std::deque<Entry> queue_;
+    par::SpscRing<Entry> queue_;
     uint64_t enqCount_ = 0;
     uint64_t deqCount_ = 0;
-    double serTime_ = 0.0;
-    double latency_ = 0.0;
+    // Atomic because failover() retimes the channel from the
+    // producer's worker thread while the consumer reads the values
+    // for recovery timing.
+    std::atomic<double> serTime_{0.0};
+    std::atomic<double> latency_{0.0};
     obs::ChannelProbe *probe_ = nullptr;
     std::shared_ptr<LinkSerializer> serializer_ =
         std::make_shared<LinkSerializer>();
+
+    // --- concurrent-mode state ------------------------------------
+    bool concurrent_ = false;
+    /** Consumer's tick precedes the producer's at equal host time
+     *  (lower partition index ticks first, like the sequential event
+     *  loop). */
+    bool consumerTicksFirstOnTie_ = false;
+    std::unique_ptr<par::SpscRing<PopRecord>> popLog_;
+    /** Producer's current host time (drain horizon). */
+    mutable double producerNowNs_ = 0.0;
+    /** Consumer's current host time (pop timestamping). */
+    mutable double consumerNowNs_ = 0.0;
+    /** Producer-side cumulative pops folded in from the log. */
+    mutable uint64_t accQueuePops_ = 0;
+    mutable uint64_t accRtxPops_ = 0;
 };
 
 using ChannelPtr = std::shared_ptr<TokenChannel>;

@@ -25,8 +25,16 @@ ReliableTokenChannel::ReliableTokenChannel(
     transport::FaultModel faults, Params params, size_t capacity)
     : TokenChannel(std::move(name), width_bits, capacity),
       faults_(std::move(faults)), params_(params),
-      rng_(faults_.channelRng(TokenChannel::name())),
-      faultsActive_(faults_.enabled())
+      txRng_(faults_.channelRng(TokenChannel::name(), "tx")),
+      rxRng_(faults_.channelRng(TokenChannel::name(), "rx")),
+      faultsActive_(faults_.enabled()),
+      // Physical occupancy can exceed the logical capacity bound by
+      // the link-layer duplicate pushed in the same attempt; pad the
+      // rings a little beyond their proven bounds.
+      queue2_(capacity + 6),
+      rtxBuf_((params.retransmitWindow > 0 ? params.retransmitWindow
+                                           : capacity) +
+              4)
 {}
 
 double
@@ -34,13 +42,13 @@ ReliableTokenChannel::effTimeoutNs() const
 {
     if (params_.timeoutNs > 0.0)
         return params_.timeoutNs;
-    return 4.0 * (serTime_ + latency_);
+    return 4.0 * (serTime() + latency());
 }
 
 double
 ReliableTokenChannel::effNakNs() const
 {
-    return params_.nakNs > 0.0 ? params_.nakNs : latency_;
+    return params_.nakNs > 0.0 ? params_.nakNs : latency();
 }
 
 size_t
@@ -51,18 +59,44 @@ ReliableTokenChannel::effWindow() const
 }
 
 transport::FaultEvent
-ReliableTokenChannel::drawFault() const
+ReliableTokenChannel::drawFault(Rng &rng) const
 {
-    if (!faultsActive_)
+    if (!faultsActive_.load(std::memory_order_relaxed))
         return {};
-    return faults_.draw(rng_, widthBits_ ? widthBits_ : 1);
+    return faults_.draw(rng, widthBits_ ? widthBits_ : 1);
 }
 
 bool
 ReliableTokenChannel::full() const
 {
+    if (concurrent_) {
+        drainPopLog(producerNowNs_);
+        return qPushes2_ - accQueuePops_ >= capacity_ ||
+               enqCount2_ - accRtxPops_ >= effWindow();
+    }
     return queue2_.size() >= capacity_ ||
            rtxBuf_.size() >= effWindow();
+}
+
+size_t
+ReliableTokenChannel::relOccupancy() const
+{
+    if (concurrent_)
+        return size_t(qPushes2_ - accQueuePops_);
+    return queue2_.size();
+}
+
+void
+ReliableTokenChannel::enableConcurrent(int producer_part,
+                                       int consumer_part,
+                                       size_t pop_log_capacity)
+{
+    TokenChannel::enableConcurrent(producer_part, consumer_part,
+                                   pop_log_capacity);
+    // Re-anchor the logical occupancy to this subclass's physical
+    // queues (the base anchored to its own unused queue_).
+    accQueuePops_ = qPushes2_ - queue2_.size();
+    accRtxPops_ = enqCount2_ - rtxBuf_.size();
 }
 
 bool
@@ -75,39 +109,41 @@ ReliableTokenChannel::tryEnq(Token &token, double ready_time)
         return false;
     uint64_t seq = nextSeq_++;
     uint32_t crc = tokenCrc(token);
-    rtxBuf_.push_back({token, 0.0, seq, crc, false, ready_time});
-    queue2_.push_back(
+    rtxBuf_.pushBack({token, 0.0, seq, crc, false, ready_time});
+    queue2_.pushBack(
         {std::move(token), ready_time, seq, crc, false, ready_time});
     ++enqCount2_;
+    ++qPushes2_;
     if (probe_)
-        probe_->onEnqueue(ready_time, queue2_.size());
+        probe_->onEnqueue(ready_time, relOccupancy());
     return true;
 }
 
 bool
 ReliableTokenChannel::tryEnqTimed(Token &token, double now)
 {
+    producerNowNs_ = std::max(producerNowNs_, now);
     if (full())
         return false;
 
     uint64_t seq = nextSeq_++;
     uint32_t crc = tokenCrc(token);
-    rtxBuf_.push_back({token, 0.0, seq, crc, false, now});
+    rtxBuf_.pushBack({token, 0.0, seq, crc, false, now});
     ++enqCount2_;
 
-    transport::FaultEvent ev = drawFault();
+    transport::FaultEvent ev = drawFault(txRng_);
 
     // A transient link stall holds the token at the transmitter.
     double stall = ev.stallNs;
     if (stall > 0.0) {
-        stats_.add("link_stalls");
-        stats_.add("stall_ns_total", uint64_t(stall));
+        txStats_.add("link_stalls");
+        txStats_.add("stall_ns_total", uint64_t(stall));
         if (probe_)
             probe_->onEvent("stall", now);
     }
 
     double depart = std::max(now, serializer_->lastDepart) + stall +
-                    serTime_;
+                    serTime();
     serializer_->lastDepart = depart;
 
     // Lost tokens are recovered by the producer's retransmit timer:
@@ -116,60 +152,64 @@ ReliableTokenChannel::tryEnqTimed(Token &token, double now)
     double penalty = 0.0;
     unsigned tries = 0;
     while (ev.drop) {
-        stats_.add("tokens_dropped");
+        txStats_.add("tokens_dropped");
         if (probe_)
             probe_->onEvent("drop", now);
         if (tries >= faults_.config().maxRetries) {
-            stats_.add("retry_budget_exhausted");
+            txStats_.add("retry_budget_exhausted");
             if (probe_)
                 probe_->onEvent("retry_exhausted", now);
-            failed_ = true;
+            failed_.store(true, std::memory_order_relaxed);
             break;
         }
         penalty += effTimeoutNs() *
                    double(uint64_t(1) << std::min(tries, 10u));
         ++tries;
-        stats_.add("retransmits");
-        stats_.add("retransmits_timeout");
+        txStats_.add("retransmits");
+        txStats_.add("retransmits_timeout");
         if (probe_)
             probe_->onEvent("retransmit_timeout", now);
-        serializer_->lastDepart += serTime_;
-        ev = drawFault();
+        serializer_->lastDepart += serTime();
+        ev = drawFault(txRng_);
     }
 
-    RelEntry entry{std::move(token), depart + latency_ + penalty,
+    RelEntry entry{std::move(token), depart + latency() + penalty,
                    seq, crc, false, now};
     if (ev.corrupt && !entry.payload.empty()) {
         // Flip one payload bit in flight; the consumer's CRC check
         // will catch it and NAK.
-        stats_.add("tokens_corrupted");
+        txStats_.add("tokens_corrupted");
         if (probe_)
             probe_->onEvent("corrupt", now);
         size_t word = (ev.corruptBit / 64) % entry.payload.size();
         entry.payload[word] ^= uint64_t(1) << (ev.corruptBit % 64);
     }
     bool duplicate = ev.duplicate;
-    double dup_ready = entry.readyTime + serTime_;
+    double dup_ready = entry.readyTime + serTime();
     Token dup_payload;
     if (duplicate) {
-        stats_.add("tokens_duplicated");
+        txStats_.add("tokens_duplicated");
         if (probe_)
             probe_->onEvent("duplicate", now);
-        serializer_->lastDepart += serTime_;
+        serializer_->lastDepart += serTime();
         dup_payload = entry.payload;
     }
-    queue2_.push_back(std::move(entry));
-    if (duplicate)
-        queue2_.push_back({std::move(dup_payload), dup_ready, seq,
-                           crc, false, now});
+    queue2_.pushBack(std::move(entry));
+    ++qPushes2_;
+    if (duplicate) {
+        queue2_.pushBack({std::move(dup_payload), dup_ready, seq,
+                          crc, false, now});
+        ++qPushes2_;
+    }
     if (probe_)
-        probe_->onEnqueue(now, queue2_.size());
+        probe_->onEnqueue(now, relOccupancy());
     return true;
 }
 
 void
 ReliableTokenChannel::poll(double now) const
 {
+    consumerNowNs_ = std::max(consumerNowNs_, now);
     while (!queue2_.empty()) {
         RelEntry &e = queue2_.front();
         if (e.readyTime > now)
@@ -177,23 +217,27 @@ ReliableTokenChannel::poll(double now) const
         if (e.seq <= lastDelivered_) {
             // Sequence-number check: a link-layer replay of an
             // already-delivered token.
-            stats_.add("duplicates_discarded");
+            rxStats_.add("duplicates_discarded");
             if (probe_)
                 probe_->onEvent("duplicate_discarded", now);
-            queue2_.pop_front();
+            queue2_.popFront();
+            if (concurrent_)
+                logPops(now, 1, 0);
             continue;
         }
         if (!e.verified) {
             if (tokenCrc(e.payload) != e.crc) {
                 // CRC mismatch: NAK and wait for retransmission.
-                stats_.add("crc_errors");
-                stats_.add("naks");
+                rxStats_.add("crc_errors");
+                rxStats_.add("naks");
                 if (probe_) {
                     probe_->onEvent("crc_error", now);
                     probe_->onEvent("nak", now);
                 }
                 uint64_t seq = e.seq;
-                queue2_.pop_front();
+                queue2_.popFront();
+                // Pop + pushFront below net to zero occupancy —
+                // nothing to publish to the producer.
                 scheduleRetransmit(seq, now);
                 continue;
             }
@@ -208,7 +252,8 @@ ReliableTokenChannel::scheduleRetransmit(uint64_t seq,
                                          double now) const
 {
     const RelEntry *pristine = nullptr;
-    for (const RelEntry &e : rtxBuf_) {
+    for (size_t i = 0; i < rtxBuf_.size(); ++i) {
+        const RelEntry &e = rtxBuf_.at(i);
         if (e.seq == seq) {
             pristine = &e;
             break;
@@ -224,29 +269,30 @@ ReliableTokenChannel::scheduleRetransmit(uint64_t seq,
     unsigned tries = 0;
     while (true) {
         ++tries;
-        stats_.add("retransmits");
-        stats_.add("retransmits_nak");
+        rxStats_.add("retransmits");
+        rxStats_.add("retransmits_nak");
         if (probe_)
             probe_->onEvent("retransmit_nak", now);
-        delay += serTime_ + latency_;
-        transport::FaultEvent ev = drawFault();
+        delay += serTime() + latency();
+        transport::FaultEvent ev = drawFault(rxRng_);
         if (!ev.damagesToken())
             break;
-        stats_.add(ev.drop ? "tokens_dropped" : "tokens_corrupted");
+        rxStats_.add(ev.drop ? "tokens_dropped"
+                             : "tokens_corrupted");
         if (probe_)
             probe_->onEvent(ev.drop ? "drop" : "corrupt", now);
         if (tries >= faults_.config().maxRetries) {
-            stats_.add("retry_budget_exhausted");
+            rxStats_.add("retry_budget_exhausted");
             if (probe_)
                 probe_->onEvent("retry_exhausted", now);
-            failed_ = true;
+            failed_.store(true, std::memory_order_relaxed);
             break;
         }
         delay += effTimeoutNs() *
                  double(uint64_t(1) << std::min(tries - 1, 10u));
     }
-    queue2_.push_front({pristine->payload, now + delay, seq,
-                        pristine->crc, false, pristine->enqTime});
+    queue2_.pushFront({pristine->payload, now + delay, seq,
+                       pristine->crc, false, pristine->enqTime});
 }
 
 bool
@@ -286,21 +332,36 @@ ReliableTokenChannel::deq()
     FIREAXE_ASSERT(!queue2_.empty(), "channel '", name_,
                    "' deq of empty queue");
     lastDelivered_ = queue2_.front().seq;
-    queue2_.pop_front();
+    queue2_.popFront();
     ++deqCount2_;
     // Delivery is the in-process acknowledgment: retire the
     // producer-side copies up to the delivered sequence number.
-    while (!rtxBuf_.empty() && rtxBuf_.front().seq <= lastDelivered_)
-        rtxBuf_.pop_front();
+    uint32_t rtx_pops = 0;
+    while (!rtxBuf_.empty() &&
+           rtxBuf_.front().seq <= lastDelivered_) {
+        rtxBuf_.popFront();
+        ++rtx_pops;
+    }
+    if (concurrent_)
+        logPops(consumerNowNs_, 1, rtx_pops);
 }
 
 void
 ReliableTokenChannel::failover(double ser_time, double latency)
 {
     setTiming(ser_time, latency, nullptr);
-    faultsActive_ = false;
-    failed_ = false;
-    stats_.add("failovers");
+    faultsActive_.store(false, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    txStats_.add("failovers");
+}
+
+CounterSet
+ReliableTokenChannel::stats() const
+{
+    CounterSet merged = txStats_;
+    for (const auto &kv : rxStats_.all())
+        merged.add(kv.first, kv.second);
+    return merged;
 }
 
 } // namespace fireaxe::libdn

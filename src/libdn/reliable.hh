@@ -25,13 +25,25 @@
  * bit-exact and in-order under any injected fault schedule, which is
  * what keeps a partitioned run bit-matching the monolithic reference
  * with only the simulation rate degrading.
+ *
+ * ## Threading
+ *
+ * Like the base channel, the reliable channel is a strict SPSC
+ * structure under the parallel executor: tryEnqTimed() and
+ * failover() run on the producing partition's worker; poll(),
+ * scheduleRetransmit() and deq() on the consuming partition's. State
+ * is partitioned accordingly — the producer and consumer each own a
+ * fault-RNG substream (so the fault schedule is independent of
+ * interleaving; see transport::FaultModel::channelRng) and a counter
+ * set (merged on demand by stats()); the delivered queue and the
+ * retransmit buffer are SPSC rings; cross-thread flags (link failed,
+ * faults active) and the link timing are atomics.
  */
 
 #ifndef FIREAXE_LIBDN_RELIABLE_HH
 #define FIREAXE_LIBDN_RELIABLE_HH
 
 #include <cstdint>
-#include <deque>
 
 #include "base/stats.hh"
 #include "libdn/channel.hh"
@@ -88,24 +100,32 @@ class ReliableTokenChannel : public TokenChannel
     void deq() override;
     uint64_t tokensEnqueued() const override { return enqCount2_; }
     uint64_t tokensRetired() const override { return deqCount2_; }
+    void enableConcurrent(int producer_part, int consumer_part,
+                          size_t pop_log_capacity) override;
 
     // --- reliability introspection --------------------------------
-    /** Reliability / fault counters:
+    /** Reliability / fault counters (merged producer+consumer view):
      *  tokens_dropped, tokens_corrupted, tokens_duplicated,
      *  link_stalls, stall_ns_total, crc_errors, naks,
      *  duplicates_discarded, retransmits, retransmits_timeout,
-     *  retransmits_nak, retry_budget_exhausted, failovers. */
-    const CounterSet &stats() const { return stats_; }
+     *  retransmits_nak, retry_budget_exhausted, failovers.
+     *  Returned by value: the two sides' counter sets are owned by
+     *  different worker threads and merged into a snapshot here. */
+    CounterSet stats() const;
 
     /** A token exhausted its retry budget; the executor should fail
      *  the channel over to a fallback transport. */
-    bool linkFailed() const { return failed_; }
+    bool
+    linkFailed() const
+    {
+        return failed_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Mid-run graceful degradation: retime the channel onto a
      * fallback transport (fresh private serializer), stop injecting
      * faults, and clear the failure flag. In-flight and queued
-     * tokens are preserved.
+     * tokens are preserved. Runs on the producing side.
      */
     void failover(double ser_time, double latency);
 
@@ -116,9 +136,9 @@ class ReliableTokenChannel : public TokenChannel
     struct RelEntry
     {
         Token payload; ///< as seen on the wire (possibly corrupted)
-        double readyTime;
-        uint64_t seq;
-        uint32_t crc; ///< computed by the producer before transmit
+        double readyTime = 0.0;
+        uint64_t seq = 0;
+        uint32_t crc = 0; ///< computed by the producer pre-transmit
         /** CRC already checked good (payloads are immutable after
          *  transmission, so one check per delivery suffices). */
         bool verified = false;
@@ -130,27 +150,37 @@ class ReliableTokenChannel : public TokenChannel
     double effTimeoutNs() const;
     double effNakNs() const;
     size_t effWindow() const;
-    transport::FaultEvent drawFault() const;
+    transport::FaultEvent drawFault(Rng &rng) const;
     /** Resolve dup/stale/corrupt entries at the head so that a
      *  visible head is always a verified in-order token. */
     void poll(double now) const;
     /** NAK path: requeue seq's pristine copy from the retransmit
      *  buffer, charging recovery latency and backoff. */
     void scheduleRetransmit(uint64_t seq, double now) const;
+    /** Delivered-queue depth as deterministically seen by the
+     *  producer (logical in concurrent mode). */
+    size_t relOccupancy() const;
 
     transport::FaultModel faults_;
     Params params_;
-    mutable Rng rng_;
-    mutable bool faultsActive_;
+    /** Producer-side fault stream (transmit attempts). */
+    mutable Rng txRng_;
+    /** Consumer-side fault stream (NAK-driven resends). */
+    mutable Rng rxRng_;
+    mutable std::atomic<bool> faultsActive_;
 
-    mutable std::deque<RelEntry> queue2_; ///< in-flight + delivered
-    std::deque<RelEntry> rtxBuf_;         ///< unacked pristine copies
+    mutable par::SpscRing<RelEntry> queue2_; ///< in-flight+delivered
+    mutable par::SpscRing<RelEntry> rtxBuf_; ///< unacked copies
     uint64_t nextSeq_ = 1;
-    uint64_t lastDelivered_ = 0;
+    mutable uint64_t lastDelivered_ = 0;
     uint64_t enqCount2_ = 0;
-    uint64_t deqCount2_ = 0;
-    mutable bool failed_ = false;
-    mutable CounterSet stats_;
+    mutable uint64_t deqCount2_ = 0;
+    /** Physical pushes into queue2_ (producer side; counts link-layer
+     *  duplicates, unlike enqCount2_). */
+    uint64_t qPushes2_ = 0;
+    mutable std::atomic<bool> failed_{false};
+    mutable CounterSet txStats_;
+    mutable CounterSet rxStats_;
 };
 
 } // namespace fireaxe::libdn

@@ -120,6 +120,7 @@ MetricsRegistry::resolve(const std::string &path, MetricKind kind,
 {
     if (path.empty())
         fatal("metrics: empty metric path");
+    std::lock_guard<std::mutex> lock(mtx_);
     auto it = metrics_.find(path);
     if (it != metrics_.end()) {
         if (it->second.kind != kind) {
@@ -129,13 +130,15 @@ MetricsRegistry::resolve(const std::string &path, MetricKind kind,
         }
         return it->second;
     }
-    Metric m;
+    // In-place construction: Metric holds atomics, so it cannot be
+    // built outside the map and moved in.
+    Metric &m = metrics_.try_emplace(path).first->second;
     m.kind = kind;
     if (kind == MetricKind::Histogram) {
         m.histogram = std::make_unique<Histogram>(
             reservoir_cap ? reservoir_cap : histogramCap_);
     }
-    return metrics_.emplace(path, std::move(m)).first->second;
+    return m;
 }
 
 Counter &
@@ -161,6 +164,7 @@ MetricsRegistry::histogram(const std::string &path,
 MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
+    std::lock_guard<std::mutex> lock(mtx_);
     MetricsSnapshot snap;
     for (const auto &[path, m] : metrics_) {
         MetricValue v;
@@ -206,6 +210,7 @@ MetricsRegistry::writeCsv(std::ostream &os) const
 void
 MetricsRegistry::reset()
 {
+    std::lock_guard<std::mutex> lock(mtx_);
     for (auto &[path, m] : metrics_) {
         m.counter.reset();
         m.gauge.reset();

@@ -27,9 +27,11 @@
 #ifndef FIREAXE_OBS_METRICS_HH
 #define FIREAXE_OBS_METRICS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 
@@ -37,28 +39,47 @@
 
 namespace fireaxe::obs {
 
+// Metric handles are updated concurrently by the parallel executor's
+// worker threads: counters and gauges are single atomics (relaxed —
+// they are statistics, not synchronization), histograms take a short
+// internal lock per sample. Handles are therefore neither copyable
+// nor movable; the registry's node-based map keeps their addresses
+// stable for the lifetime of the registry.
+
 /** Monotonic integer metric. */
 class Counter
 {
   public:
-    void add(uint64_t delta = 1) { v_ += delta; }
-    uint64_t value() const { return v_; }
-    void reset() { v_ = 0; }
+    void
+    add(uint64_t delta = 1)
+    {
+        v_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { v_.store(0, std::memory_order_relaxed); }
 
   private:
-    uint64_t v_ = 0;
+    std::atomic<uint64_t> v_{0};
 };
 
 /** Last-written scalar metric. */
 class Gauge
 {
   public:
-    void set(double v) { v_ = v; }
-    double value() const { return v_; }
-    void reset() { v_ = 0.0; }
+    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+    double value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+    void reset() { v_.store(0.0, std::memory_order_relaxed); }
 
   private:
-    double v_ = 0.0;
+    std::atomic<double> v_{0.0};
 };
 
 /**
@@ -75,18 +96,66 @@ class Histogram
         : dist_(reservoir_cap)
     {}
 
-    void observe(double v) { dist_.sample(v); }
+    void
+    observe(double v)
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        dist_.sample(v);
+    }
 
-    uint64_t count() const { return dist_.count(); }
-    double mean() const { return dist_.mean(); }
-    double min() const { return dist_.min(); }
-    double max() const { return dist_.max(); }
-    double percentile(double p) const { return dist_.percentile(p); }
-    bool exact() const { return dist_.exact(); }
+    uint64_t
+    count() const
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        return dist_.count();
+    }
+
+    double
+    mean() const
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        return dist_.mean();
+    }
+
+    double
+    min() const
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        return dist_.min();
+    }
+
+    double
+    max() const
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        return dist_.max();
+    }
+
+    double
+    percentile(double p) const
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        return dist_.percentile(p);
+    }
+
+    bool
+    exact() const
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        return dist_.exact();
+    }
+
     size_t reservoirCap() const { return dist_.reservoirCap(); }
-    void reset() { dist_.reset(); }
+
+    void
+    reset()
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        dist_.reset();
+    }
 
   private:
+    mutable std::mutex mtx_;
     Distribution dist_;
 };
 
@@ -163,6 +232,10 @@ struct MetricsSnapshot
  * The registry. Resolving a path registers the metric on first use
  * and returns the same handle on re-registration; resolving an
  * existing path as a different kind is a caller error (fatal).
+ *
+ * Registration, lookup, and snapshotting lock an internal mutex, so
+ * threads may resolve and snapshot concurrently; the handles
+ * themselves are lock-free on the counter/gauge hot path.
  */
 class MetricsRegistry
 {
@@ -178,9 +251,17 @@ class MetricsRegistry
     Histogram &histogram(const std::string &path,
                          size_t reservoir_cap = 0);
 
-    size_t size() const { return metrics_.size(); }
-    bool has(const std::string &path) const
+    size_t
+    size() const
     {
+        std::lock_guard<std::mutex> lock(mtx_);
+        return metrics_.size();
+    }
+
+    bool
+    has(const std::string &path) const
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
         return metrics_.count(path) > 0;
     }
 
@@ -195,7 +276,7 @@ class MetricsRegistry
   private:
     struct Metric
     {
-        MetricKind kind;
+        MetricKind kind = MetricKind::Counter;
         Counter counter;
         Gauge gauge;
         std::unique_ptr<Histogram> histogram;
@@ -208,6 +289,7 @@ class MetricsRegistry
     // later registrations.
     std::map<std::string, Metric> metrics_;
     size_t histogramCap_;
+    mutable std::mutex mtx_;
 };
 
 } // namespace fireaxe::obs

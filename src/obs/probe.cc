@@ -53,10 +53,16 @@ void
 ChannelProbe::onEvent(const char *kind, double now)
 {
     if (registry_) {
-        Counter *&c = eventCounters_[kind];
-        if (!c)
-            c = &registry_->counter("chan." + name_ + ".events." +
-                                    kind);
+        Counter *c;
+        {
+            std::lock_guard<std::mutex> lock(eventMtx_);
+            Counter *&slot = eventCounters_[kind];
+            if (!slot) {
+                slot = &registry_->counter("chan." + name_ +
+                                           ".events." + kind);
+            }
+            c = slot;
+        }
         c->add();
     }
     if (tracer_) {

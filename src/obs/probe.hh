@@ -16,6 +16,7 @@
 #define FIREAXE_OBS_PROBE_HH
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "obs/metrics.hh"
@@ -63,7 +64,10 @@ class ChannelProbe
     Histogram *latencyNs_ = nullptr;
     Histogram *occupancy_ = nullptr;
     /** Lazily resolved per-kind event counters (the kind set is
-     *  small and stable, so this map stays tiny). */
+     *  small and stable, so this map stays tiny). Guarded by a
+     *  mutex: both sides of the channel report events, and under the
+     *  parallel executor they run on different worker threads. */
+    std::mutex eventMtx_;
     std::map<std::string, Counter *> eventCounters_;
 };
 

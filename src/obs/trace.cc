@@ -15,6 +15,7 @@ Tracer::Tracer(size_t capacity)
 void
 Tracer::push(TraceEvent ev)
 {
+    std::lock_guard<std::mutex> lock(mtx_);
     ++total_;
     if (ring_.size() < cap_) {
         ring_.push_back(std::move(ev));
@@ -60,6 +61,7 @@ Tracer::complete(std::string name, std::string cat, double ts_ns,
 void
 Tracer::setProcessName(int pid, std::string name)
 {
+    std::lock_guard<std::mutex> lock(mtx_);
     processNames_[pid] = std::move(name);
 }
 
@@ -100,6 +102,7 @@ void
 Tracer::forEachOrdered(
     const std::function<void(const TraceEvent &)> &fn) const
 {
+    std::lock_guard<std::mutex> lock(mtx_);
     if (ring_.size() < cap_) {
         for (const TraceEvent &ev : ring_)
             fn(ev);
@@ -112,6 +115,14 @@ Tracer::forEachOrdered(
 void
 Tracer::writeChromeJson(std::ostream &os) const
 {
+    // Copy the name map out under the lock; forEachOrdered locks on
+    // its own (the mutex is not recursive).
+    std::map<int, std::string> process_names;
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        process_names = processNames_;
+    }
+
     JsonWriter w(os);
     w.beginObject();
     w.key("displayTimeUnit");
@@ -119,7 +130,7 @@ Tracer::writeChromeJson(std::ostream &os) const
     w.key("traceEvents");
     w.beginArray();
 
-    for (const auto &[pid, name] : processNames_) {
+    for (const auto &[pid, name] : process_names) {
         w.beginObject();
         w.key("name");
         w.value("process_name");
@@ -175,6 +186,7 @@ Tracer::writeChromeJson(std::ostream &os) const
 void
 Tracer::clear()
 {
+    std::lock_guard<std::mutex> lock(mtx_);
     ring_.clear();
     next_ = 0;
     total_ = 0;

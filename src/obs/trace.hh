@@ -20,6 +20,13 @@
  * writeChromeJson() emits the Trace Event Format understood by
  * about://tracing and https://ui.perfetto.dev: partitions map to
  * pids (named via process-name metadata), timestamps to microseconds.
+ *
+ * The tracer is safe under concurrent emitters (the parallel
+ * executor's partition workers all trace into one ring): every
+ * emit/export path takes a short internal lock. Tracing is off the
+ * hot path by default and a bounded ring keeps the critical section
+ * to a slot assignment, so contention only matters at pathological
+ * trace rates.
  */
 
 #ifndef FIREAXE_OBS_TRACE_HH
@@ -29,6 +36,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -56,12 +64,30 @@ class Tracer
     explicit Tracer(size_t capacity = kDefaultCapacity);
 
     size_t capacity() const { return cap_; }
+
     /** Events currently held (<= capacity). */
-    size_t size() const { return ring_.size(); }
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        return ring_.size();
+    }
+
     /** Events emitted over the tracer's lifetime. */
-    uint64_t totalEmitted() const { return total_; }
+    uint64_t
+    totalEmitted() const
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        return total_;
+    }
+
     /** Oldest events overwritten by ring wraparound. */
-    uint64_t dropped() const { return total_ - ring_.size(); }
+    uint64_t
+    dropped() const
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        return total_ - ring_.size();
+    }
 
     /** Instant event at simulated host time @p ts_ns. */
     void instant(std::string name, std::string cat, double ts_ns,
@@ -119,6 +145,7 @@ class Tracer
     double wallNowNs() const;
 
     size_t cap_;
+    mutable std::mutex mtx_;
     std::vector<TraceEvent> ring_;
     size_t next_ = 0; ///< overwrite cursor once the ring is full
     uint64_t total_ = 0;

@@ -1,0 +1,372 @@
+#include "par/engine.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace fireaxe::par {
+
+ParallelEngine::ParallelEngine(EngineConfig cfg, EngineHooks hooks,
+                               std::vector<ChannelDesc> channels)
+    : cfg_(std::move(cfg)), hooks_(std::move(hooks)),
+      channels_(std::move(channels))
+{
+    nparts_ = int(cfg_.startTickNs.size());
+    FIREAXE_ASSERT(nparts_ > 0, "parallel engine with no partitions");
+    FIREAXE_ASSERT(hooks_.onTick, "parallel engine needs a tick hook");
+    parts_.resize(size_t(nparts_));
+    for (const ChannelDesc &cd : channels_) {
+        FIREAXE_ASSERT(cd.chan, "null channel in engine descs");
+        FIREAXE_ASSERT(cd.srcPart >= 0 && cd.srcPart < nparts_ &&
+                           cd.dstPart >= 0 && cd.dstPart < nparts_,
+                       "channel '", cd.chan->name(),
+                       "' references an unknown partition");
+        parts_[size_t(cd.dstPart)].in.push_back(&cd);
+        parts_[size_t(cd.srcPart)].out.push_back(&cd);
+    }
+
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    workers_ = cfg_.workers ? cfg_.workers : hw;
+    workers_ = std::min(workers_, unsigned(nparts_));
+    if (workers_ == 0)
+        workers_ = 1;
+
+    clock_ = std::make_unique<std::atomic<double>[]>(size_t(nparts_));
+    suspect_ =
+        std::make_unique<std::atomic<bool>[]>(size_t(nparts_));
+    for (int p = 0; p < nparts_; ++p) {
+        clock_[size_t(p)].store(cfg_.startTickNs[size_t(p)],
+                                std::memory_order_relaxed);
+        suspect_[size_t(p)].store(false, std::memory_order_relaxed);
+    }
+    nextTick_ = cfg_.startTickNs;
+    lastProgress_ = cfg_.startTickNs;
+    doneTime_.assign(size_t(nparts_), 0.0);
+    reached_.assign(size_t(nparts_), 0);
+}
+
+bool
+ParallelEngine::inGatesOpen(int p, double T) const
+{
+    for (const ChannelDesc *cd : parts_[size_t(p)].in) {
+        // A visible token pins the head: nothing the producer does
+        // later can change what this tick sees on the channel.
+        if (cd->chan->headReady(T))
+            continue;
+        double src_clock =
+            clock_[size_t(cd->srcPart)].load(std::memory_order_acquire);
+        if (cd->lookaheadNs > 0.0) {
+            // Any future production at t > src_clock yields a token
+            // visible no earlier than t + lookahead > T: the empty
+            // view is final for this tick.
+            if (src_clock > T - cd->lookaheadNs)
+                continue;
+        } else if (src_clock > T ||
+                   (src_clock == T && cd->srcPart > p)) {
+            // Degenerate zero-lookahead link: wait out the producer's
+            // T tick unless the sequential tie order puts it after us.
+            continue;
+        }
+        return false;
+    }
+    return true;
+}
+
+bool
+ParallelEngine::outGatesOpen(int p, double T) const
+{
+    for (const ChannelDesc *cd : parts_[size_t(p)].out) {
+        // Folds consumer pops up to T into the occupancy accounting.
+        // A not-full verdict is already exact (missing pop records
+        // can only overstate occupancy).
+        if (!cd->chan->producerPrepare(T))
+            continue;
+        double dst_clock =
+            clock_[size_t(cd->dstPart)].load(std::memory_order_acquire);
+        if (dst_clock > T || (dst_clock == T && cd->dstPart > p)) {
+            // Consumer's clock passed our tick in the sequential
+            // order, so every pop that could precede it is published:
+            // the full verdict is exact, and the model's own full()
+            // check will (correctly, just like the sequential run)
+            // skip firing into this channel.
+            continue;
+        }
+        return false; // wait for the consumer to catch up
+    }
+    return true;
+}
+
+void
+ParallelEngine::publish(int p, double next_tick)
+{
+    clock_[size_t(p)].store(next_tick, std::memory_order_release);
+    wakeGen_.fetch_add(1, std::memory_order_release);
+    if (parked_.load(std::memory_order_relaxed) > 0) {
+        // Lock-step with parkUntil: waiters re-check the generation
+        // under the mutex, so bump-then-notify cannot lose a wakeup.
+        std::lock_guard<std::mutex> lock(mtx_);
+        cv_.notify_all();
+    }
+}
+
+void
+ParallelEngine::finish(std::unique_lock<std::mutex> &lk)
+{
+    (void)lk; // must hold mtx_ so parked workers observe the flag
+    done_.store(true, std::memory_order_release);
+    cv_.notify_all();
+}
+
+bool
+ParallelEngine::tryTick(int p)
+{
+    double T = nextTick_[size_t(p)];
+    if (!inGatesOpen(p, T) || !outGatesOpen(p, T))
+        return false;
+
+    TickResult r = hooks_.onTick(p, T);
+    FIREAXE_ASSERT(r.nextDeltaNs > 0.0, "partition ", p,
+                   " tick did not advance host time");
+    double next = T + r.nextDeltaNs;
+    nextTick_[size_t(p)] = next;
+
+    if (r.progressed) {
+        lastProgress_[size_t(p)] = next;
+        clearSuspect(p);
+    } else if (cfg_.deadlockWindowNs > 0.0 &&
+               next - lastProgress_[size_t(p)] >
+                   cfg_.deadlockWindowNs) {
+        markSuspect(p);
+    }
+
+    if (r.reachedTarget && !reached_[size_t(p)]) {
+        reached_[size_t(p)] = 1;
+        doneTime_[size_t(p)] = T;
+        if (doneCount_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            nparts_) {
+            std::unique_lock<std::mutex> lk(mtx_);
+            finish(lk);
+        }
+    }
+    if (r.stopRequested) {
+        std::unique_lock<std::mutex> lk(mtx_);
+        stopped_.store(true, std::memory_order_relaxed);
+        stopTimeNs_ = std::max(stopTimeNs_, T);
+        finish(lk);
+    }
+
+    publish(p, next);
+    return true;
+}
+
+void
+ParallelEngine::parkUntil(uint64_t gen)
+{
+    std::unique_lock<std::mutex> lk(mtx_);
+    parked_.fetch_add(1, std::memory_order_relaxed);
+    cv_.wait(lk, [&] {
+        return done_.load(std::memory_order_relaxed) ||
+               pauseReq_.load(std::memory_order_relaxed) ||
+               wakeGen_.load(std::memory_order_relaxed) != gen;
+    });
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+ParallelEngine::pausePark(std::unique_lock<std::mutex> &lk)
+{
+    ++pausedCount_;
+    cv_.notify_all(); // the quiesce initiator waits on pausedCount_
+    cv_.wait(lk, [&] {
+        return !pauseReq_.load(std::memory_order_relaxed) ||
+               done_.load(std::memory_order_relaxed);
+    });
+    --pausedCount_;
+}
+
+void
+ParallelEngine::markSuspect(int p)
+{
+    if (suspect_[size_t(p)].exchange(true,
+                                     std::memory_order_relaxed)) {
+        return;
+    }
+    if (suspectCount_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        nparts_) {
+        quiesceAndInspect();
+    }
+}
+
+void
+ParallelEngine::clearSuspect(int p)
+{
+    if (suspect_[size_t(p)].exchange(false,
+                                     std::memory_order_relaxed)) {
+        suspectCount_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+}
+
+void
+ParallelEngine::quiesceAndInspect()
+{
+    pauseReq_.store(true, std::memory_order_release);
+    wakeGen_.fetch_add(1, std::memory_order_release);
+
+    std::unique_lock<std::mutex> lk(mtx_);
+    cv_.notify_all(); // flush normally-parked workers into pausePark
+    cv_.wait(lk, [&] {
+        return pausedCount_ == int(workers_) - 1 ||
+               done_.load(std::memory_order_relaxed);
+    });
+    if (done_.load(std::memory_order_relaxed)) {
+        pauseReq_.store(false, std::memory_order_release);
+        cv_.notify_all();
+        return;
+    }
+
+    // Every other worker is parked inside cv_.wait and released the
+    // mutex to get there; holding it here gives this thread a
+    // consistent (and TSan-visible) view of all per-partition state.
+    if (suspectCount_.load(std::memory_order_acquire) == nparts_) {
+        // A token still in flight — visible to its consumer only at
+        // some future host time (e.g. a retransmission penalty) —
+        // explains a global stall without a cyclic dependency: the
+        // consumer's clock will eventually reach it.
+        bool inflight = false;
+        for (const ChannelDesc &cd : channels_) {
+            double ready = cd.chan->headReadyTime();
+            if (std::isfinite(ready) &&
+                ready > clock_[size_t(cd.dstPart)].load(
+                            std::memory_order_relaxed)) {
+                inflight = true;
+                break;
+            }
+        }
+        if (inflight &&
+            transientStalls_ < cfg_.maxTransientStalls) {
+            ++transientStalls_;
+            for (int p = 0; p < nparts_; ++p) {
+                lastProgress_[size_t(p)] = nextTick_[size_t(p)];
+                suspect_[size_t(p)].store(
+                    false, std::memory_order_relaxed);
+            }
+            suspectCount_.store(0, std::memory_order_relaxed);
+            if (hooks_.onTransientStall) {
+                double frontier = nextTick_[0];
+                for (int p = 1; p < nparts_; ++p)
+                    frontier =
+                        std::min(frontier, nextTick_[size_t(p)]);
+                hooks_.onTransientStall(frontier);
+            }
+        } else {
+            deadlocked_.store(true, std::memory_order_relaxed);
+            if (hooks_.onDeadlock) {
+                double frontier = nextTick_[0];
+                for (int p = 1; p < nparts_; ++p)
+                    frontier =
+                        std::min(frontier, nextTick_[size_t(p)]);
+                hooks_.onDeadlock(frontier);
+            }
+            finish(lk);
+        }
+    }
+
+    pauseReq_.store(false, std::memory_order_release);
+    cv_.notify_all();
+}
+
+void
+ParallelEngine::workerMain(unsigned w)
+{
+    std::vector<int> mine;
+    for (int p = int(w); p < nparts_; p += int(workers_))
+        mine.push_back(p);
+
+    Rng jitter(cfg_.stressSeed ^
+               (0x9E3779B97F4A7C15ULL * (uint64_t(w) + 1)));
+
+    while (!done_.load(std::memory_order_acquire)) {
+        if (pauseReq_.load(std::memory_order_acquire)) {
+            std::unique_lock<std::mutex> lk(mtx_);
+            if (pauseReq_.load(std::memory_order_relaxed) &&
+                !done_.load(std::memory_order_relaxed)) {
+                pausePark(lk);
+            }
+            continue;
+        }
+
+        // Capture the wake generation BEFORE evaluating any gate: a
+        // publication racing with the scan bumps the generation and
+        // turns the park below into a no-op instead of a lost wakeup.
+        uint64_t gen = wakeGen_.load(std::memory_order_acquire);
+        bool any = false;
+        for (int p : mine) {
+            if (done_.load(std::memory_order_relaxed) ||
+                pauseReq_.load(std::memory_order_relaxed)) {
+                break;
+            }
+            if (tryTick(p))
+                any = true;
+            if (cfg_.stressSeed != 0 && jitter.below(8) == 0) {
+                // Wall-clock-only scheduling perturbation: must not
+                // change any simulation result.
+                if (jitter.below(4) == 0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(jitter.below(50)));
+                } else {
+                    std::this_thread::yield();
+                }
+            }
+        }
+        if (!any && !done_.load(std::memory_order_acquire) &&
+            !pauseReq_.load(std::memory_order_acquire)) {
+            parkUntil(gen);
+        }
+    }
+}
+
+EngineResult
+ParallelEngine::run()
+{
+    std::vector<std::thread> pool;
+    pool.reserve(workers_);
+    for (unsigned w = 0; w < workers_; ++w)
+        pool.emplace_back(&ParallelEngine::workerMain, this, w);
+    for (std::thread &t : pool)
+        t.join();
+
+    EngineResult res;
+    res.nextTickNs = nextTick_;
+    res.deadlocked = deadlocked_.load(std::memory_order_relaxed);
+    res.stopped = stopped_.load(std::memory_order_relaxed);
+    res.transientStalls = transientStalls_;
+
+    // Host time of the run: the tick at which the last partition
+    // reached the cycle target — identical to the sequential
+    // executor's final event time, because events execute in
+    // nondecreasing host time there and the target-reaching tick of
+    // the laggard partition is its last event.
+    double ht = cfg_.startTimeNs;
+    for (int p = 0; p < nparts_; ++p) {
+        if (reached_[size_t(p)])
+            ht = std::max(ht, doneTime_[size_t(p)]);
+    }
+    if (res.stopped)
+        ht = std::max(ht, stopTimeNs_);
+    if (res.deadlocked) {
+        // Report the stall frontier (no partition reached target).
+        double frontier = nextTick_[0];
+        for (int p = 1; p < nparts_; ++p)
+            frontier = std::min(frontier, nextTick_[size_t(p)]);
+        ht = std::max(ht, frontier);
+    }
+    res.hostTimeNs = ht;
+    return res;
+}
+
+} // namespace fireaxe::par

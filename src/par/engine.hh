@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Multi-threaded partition execution engine.
+ *
+ * The sequential executor (src/platform) steps every partition on one
+ * host thread with a discrete-event loop: always tick the partition
+ * with the lexicographically smallest (next event time, partition
+ * index). This engine runs the same per-partition tick function on a
+ * pool of worker threads instead — each partition's simulator on its
+ * own worker (static round-robin when partitions outnumber workers) —
+ * and reproduces the sequential schedule's *observable effects*
+ * exactly, using conservative parallel discrete-event synchronization
+ * on the token channels:
+ *
+ *  - Every channel has a lookahead: a token produced at host time t
+ *    is never visible before t + serialization + latency. A consumer
+ *    at time T may evaluate once, for every input channel, either a
+ *    visible token exists or the producer's clock has passed
+ *    T - lookahead — no later production can affect the tick.
+ *  - Producer-side backpressure uses the channel's logical occupancy
+ *    (pop-log accounting, see libdn::TokenChannel): a producer at
+ *    time T sees exactly the pops a sequential run would have
+ *    executed before its tick, so full()/not-full decisions — and
+ *    with them serializer timing and the entire token schedule — are
+ *    independent of worker interleaving.
+ *  - Workers self-pace dataflow-style: a partition whose gates fail
+ *    parks on a condition variable and is woken by a generation
+ *    counter that every clock publication bumps. The partition with
+ *    the lexicographically smallest (clock, index) can always
+ *    proceed, so the pool never parks entirely before completion.
+ *
+ * Genuine LI-BDN deadlock (a circular token dependency) manifests as
+ * livelock — host clocks keep advancing while no fireFSM makes
+ * progress — so the watchdog tracks a per-partition *logical*
+ * no-progress window. When every partition exceeds the window, the
+ * engine quiesces the pool (all workers parked, initiator holding the
+ * engine mutex, which doubles as the TSan-visible synchronization
+ * point) and inspects the channels: a token still in flight (ready
+ * time beyond its consumer's clock, e.g. a fault-recovery penalty)
+ * means a transient stall — progress clocks reset and the run
+ * continues; otherwise the deadlock hook fires with the world frozen
+ * for diagnosis.
+ */
+
+#ifndef FIREAXE_PAR_ENGINE_HH
+#define FIREAXE_PAR_ENGINE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "libdn/channel.hh"
+
+namespace fireaxe::par {
+
+/** One inter-partition channel, as the engine needs to see it. */
+struct ChannelDesc
+{
+    libdn::TokenChannel *chan = nullptr;
+    int srcPart = 0;
+    int dstPart = 0;
+    /**
+     * Conservative lookahead (ns): a token produced at time t is
+     * never visible before t + lookaheadNs. The caller pre-margins
+     * this below the true serialization+latency bound (a relative
+     * epsilon) so floating-point rounding in ready-time arithmetic
+     * can never make the gate optimistic.
+     */
+    double lookaheadNs = 0.0;
+};
+
+/** What one partition tick did (returned by the tick hook). */
+struct TickResult
+{
+    /** Host-time increment to the partition's next event. */
+    double nextDeltaNs = 0.0;
+    /** The fireFSM advanced (a target cycle completed). */
+    bool progressed = false;
+    /** The partition's cycle count reached the run target. */
+    bool reachedTarget = false;
+    /** A stop condition fired; end the run for all partitions. */
+    bool stopRequested = false;
+};
+
+struct EngineHooks
+{
+    /**
+     * Execute one host tick of partition @p part at host time
+     * @p now. Runs on the partition's worker thread; everything it
+     * touches must be owned by the partition or thread-safe. The
+     * engine's gates guarantee the partition's channels are safe to
+     * evaluate at @p now.
+     */
+    std::function<TickResult(int part, double now)> onTick;
+    /** A quiesced all-partition stall was excused as transient
+     *  (in-flight token found). World is frozen during the call. */
+    std::function<void(double now)> onTransientStall;
+    /** Genuine deadlock at stall frontier @p now (ns): called once,
+     *  world frozen, before the engine returns deadlocked = true. */
+    std::function<void(double now)> onDeadlock;
+};
+
+struct EngineConfig
+{
+    /** Worker threads; 0 = min(partitions, hardware_concurrency).
+     *  Explicit values are honored beyond the core count (workers
+     *  park when idle, so oversubscription is benign). */
+    unsigned workers = 0;
+    /** Per-partition logical no-progress window before the partition
+     *  is suspected of deadlock (ns); <= 0 disables the watchdog. */
+    double deadlockWindowNs = 0.0;
+    /** All-partition stalls excused as transient before the run is
+     *  declared deadlocked regardless. */
+    uint64_t maxTransientStalls = 1000000;
+    /**
+     * Nonzero: each worker mixes random wall-clock yields/sleeps
+     * into its loop (seeded per worker from this value). Purely a
+     * scheduling perturbation for stress tests — results must be
+     * identical for any seed.
+     */
+    uint64_t stressSeed = 0;
+    /** Initial next-event time per partition (defines the partition
+     *  count). */
+    std::vector<double> startTickNs;
+    /** Result hostTimeNs fallback when no partition reaches the
+     *  target during this run (e.g. resumed past it). */
+    double startTimeNs = 0.0;
+};
+
+struct EngineResult
+{
+    /** Per-partition next event times at exit (resume state). */
+    std::vector<double> nextTickNs;
+    /** Host time of the last partition's target-reaching tick. */
+    double hostTimeNs = 0.0;
+    bool deadlocked = false;
+    bool stopped = false;
+    uint64_t transientStalls = 0;
+};
+
+class ParallelEngine
+{
+  public:
+    ParallelEngine(EngineConfig cfg, EngineHooks hooks,
+                   std::vector<ChannelDesc> channels);
+
+    /** Run to completion (all partitions reach target, a stop
+     *  condition fires, or deadlock). Blocking; spawns and joins the
+     *  worker pool internally. */
+    EngineResult run();
+
+    /** Worker threads the pool will use (after clamping). */
+    unsigned workerCount() const { return workers_; }
+
+    /** Partition p's published host clock (ns); any thread. */
+    double
+    clockNs(int p) const
+    {
+        return clock_[size_t(p)].load(std::memory_order_acquire);
+    }
+
+  private:
+    struct PartChannels
+    {
+        std::vector<const ChannelDesc *> in;
+        std::vector<const ChannelDesc *> out;
+    };
+
+    void workerMain(unsigned w);
+    bool tryTick(int p);
+    bool inGatesOpen(int p, double T) const;
+    bool outGatesOpen(int p, double T) const;
+    void publish(int p, double next_tick);
+    void parkUntil(uint64_t gen);
+    void pausePark(std::unique_lock<std::mutex> &lk);
+    void markSuspect(int p);
+    void clearSuspect(int p);
+    void quiesceAndInspect();
+    void finish(std::unique_lock<std::mutex> &lk);
+
+    EngineConfig cfg_;
+    EngineHooks hooks_;
+    std::vector<ChannelDesc> channels_;
+    std::vector<PartChannels> parts_;
+    unsigned workers_ = 1;
+    int nparts_ = 0;
+
+    // --- shared state ---------------------------------------------
+    mutable std::mutex mtx_;
+    std::condition_variable cv_;
+    /** Bumped (release) after every clock publication; parked
+     *  workers re-evaluate their gates when it moves. */
+    std::atomic<uint64_t> wakeGen_{0};
+    std::atomic<int> parked_{0};
+    std::atomic<bool> done_{false};
+    std::atomic<bool> pauseReq_{false};
+    int pausedCount_ = 0; ///< guarded by mtx_
+    std::unique_ptr<std::atomic<double>[]> clock_;
+    std::unique_ptr<std::atomic<bool>[]> suspect_;
+    std::atomic<int> suspectCount_{0};
+    std::atomic<int> doneCount_{0};
+    std::atomic<bool> deadlocked_{false};
+    std::atomic<bool> stopped_{false};
+    double stopTimeNs_ = 0.0; ///< written under mtx_
+    uint64_t transientStalls_ = 0; ///< quiesced initiator only
+
+    // --- per-partition state owned by the partition's worker ------
+    // (inspected by the quiesce initiator under full pause, which
+    // the engine mutex orders).
+    std::vector<double> nextTick_;
+    std::vector<double> lastProgress_;
+    std::vector<double> doneTime_;
+    std::vector<char> reached_;
+};
+
+} // namespace fireaxe::par
+
+#endif // FIREAXE_PAR_ENGINE_HH

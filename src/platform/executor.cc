@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "base/logging.hh"
+#include "par/engine.hh"
 #include "passes/flatten.hh"
 #include "rtlsim/simulator.hh"
 
@@ -150,7 +151,9 @@ MultiFpgaSim::init()
 void
 MultiFpgaSim::setupTelemetry()
 {
-    partTel_.assign(models_.size(), {});
+    // PartTelemetry holds atomics, so build the vector in place
+    // rather than copy-assigning from a prototype.
+    partTel_ = std::vector<PartTelemetry>(models_.size());
     obs::MetricsRegistry *reg = telemetry_->registry();
     obs::Tracer *tr = telemetry_->tracer();
 
@@ -181,7 +184,10 @@ MultiFpgaSim::telemetryTick(size_t p, double now, double step,
     // FAME-5: an advancing multi-threaded partition burns N host
     // cycles for the target cycle; a stalled or merely-firing tick
     // burns one.
-    pt.hostCycles += advanced ? plan_.fame5Threads[p] : 1;
+    pt.hostCycles.fetch_add(advanced ? plan_.fame5Threads[p] : 1,
+                            std::memory_order_relaxed);
+    pt.targetCycles.store(models_[p]->minTargetCycle(),
+                          std::memory_order_relaxed);
 
     obs::Tracer *tr = telemetry_->tracer();
     if (!progress) {
@@ -206,33 +212,39 @@ MultiFpgaSim::telemetryTick(size_t p, double now, double step,
 
     const obs::TelemetryConfig &cfg = telemetry_->config();
     if (telemetry_->registry() && cfg.fmrSampleIntervalNs > 0.0 &&
-        now - lastFmrSampleNs_ >= cfg.fmrSampleIntervalNs) {
-        lastFmrSampleNs_ = now;
-        sampleFmr(now);
+        now - pt.lastFmrSampleNs >= cfg.fmrSampleIntervalNs) {
+        pt.lastFmrSampleNs = now;
+        sampleFmr(p, now);
     }
 }
 
 void
-MultiFpgaSim::sampleFmr(double now)
+MultiFpgaSim::sampleFmr(size_t p, double now)
 {
     obs::MetricsRegistry *reg = telemetry_->registry();
-    for (size_t p = 0; p < models_.size(); ++p) {
-        PartTelemetry &pt = partTel_[p];
-        uint64_t cycles = models_[p]->minTargetCycle();
-        uint64_t dt = cycles - pt.lastSampleTargetCycles;
-        uint64_t dh = pt.hostCycles - pt.lastSampleHostCycles;
-        if (dt == 0)
-            continue; // no target progress in the window
+    PartTelemetry &pt = partTel_[p];
+    uint64_t cycles = pt.targetCycles.load(std::memory_order_relaxed);
+    uint64_t host = pt.hostCycles.load(std::memory_order_relaxed);
+    uint64_t dt = cycles - pt.lastSampleTargetCycles;
+    uint64_t dh = host - pt.lastSampleHostCycles;
+    if (dt > 0) {
         double fmr = double(dh) / double(dt);
         pt.fmrGauge->set(fmr);
         pt.fmrHist->observe(fmr);
         pt.lastSampleTargetCycles = cycles;
-        pt.lastSampleHostCycles = pt.hostCycles;
+        pt.lastSampleHostCycles = host;
     }
     if (now > 0.0) {
-        uint64_t min_cycles = models_[0]->minTargetCycle();
-        for (const auto &model : models_)
-            min_cycles = std::min(min_cycles, model->minTargetCycle());
+        // Aggregate over the published per-partition cycle counts —
+        // other partitions' models may be mid-tick on their own
+        // workers. The gauge is a running estimate; the exact final
+        // value is set by finalizeTelemetry.
+        uint64_t min_cycles =
+            partTel_[0].targetCycles.load(std::memory_order_relaxed);
+        for (const auto &tel : partTel_)
+            min_cycles = std::min(
+                min_cycles,
+                tel.targetCycles.load(std::memory_order_relaxed));
         reg->gauge("sim.sim_rate_mhz")
             .set(double(min_cycles) / now * 1000.0);
     }
@@ -241,9 +253,12 @@ MultiFpgaSim::sampleFmr(double now)
 void
 MultiFpgaSim::reportProgress(double now, uint64_t target_cycles)
 {
-    uint64_t min_cycles = models_[0]->minTargetCycle();
-    for (const auto &model : models_)
-        min_cycles = std::min(min_cycles, model->minTargetCycle());
+    uint64_t min_cycles =
+        partTel_[0].targetCycles.load(std::memory_order_relaxed);
+    for (const auto &tel : partTel_)
+        min_cycles = std::min(
+            min_cycles,
+            tel.targetCycles.load(std::memory_order_relaxed));
     double pct = target_cycles
                      ? 100.0 * double(min_cycles) / double(target_cycles)
                      : 0.0;
@@ -254,9 +269,12 @@ MultiFpgaSim::reportProgress(double now, uint64_t target_cycles)
     double fmr_sum = 0.0;
     int fmr_n = 0;
     for (size_t p = 0; p < models_.size(); ++p) {
-        uint64_t cycles = models_[p]->minTargetCycle();
+        uint64_t cycles = partTel_[p].targetCycles.load(
+            std::memory_order_relaxed);
         if (cycles > 0) {
-            fmr_sum += double(partTel_[p].hostCycles) / double(cycles);
+            fmr_sum += double(partTel_[p].hostCycles.load(
+                           std::memory_order_relaxed)) /
+                       double(cycles);
             ++fmr_n;
         }
     }
@@ -316,10 +334,12 @@ MultiFpgaSim::finalizeTelemetry(RunResult &result, double now)
             double(models_[p]->totalFires()));
         reg->gauge(base + "advances").set(
             double(models_[p]->totalAdvances()));
-        reg->gauge(base + "host_cycles").set(double(pt.hostCycles));
+        uint64_t host =
+            pt.hostCycles.load(std::memory_order_relaxed);
+        reg->gauge(base + "host_cycles").set(double(host));
         reg->gauge(base + "wait_ns").set(pt.waitNs);
         if (cycles > 0)
-            reg->gauge(base + "fmr").set(double(pt.hostCycles) /
+            reg->gauge(base + "fmr").set(double(host) /
                                          double(cycles));
     }
     reg->gauge("sim.host_time_ns").set(now);
@@ -327,7 +347,8 @@ MultiFpgaSim::finalizeTelemetry(RunResult &result, double now)
     reg->gauge("sim.sim_rate_mhz").set(result.simRateMhz());
     reg->gauge("sim.transient_stall_events")
         .set(double(transientStallEvents_));
-    reg->gauge("sim.link_failovers").set(double(linkFailovers_));
+    reg->gauge("sim.link_failovers")
+        .set(double(linkFailovers_.load(std::memory_order_relaxed)));
     reg->gauge("sim.deadlocked").set(result.deadlocked ? 1.0 : 0.0);
     result.metrics = reg->snapshot();
 }
@@ -369,12 +390,73 @@ MultiFpgaSim::run(uint64_t target_cycles)
         wallStartValid_ = true;
     }
 
-    size_t num_parts = models_.size();
-    if (nextTick_.size() != num_parts) {
-        nextTick_.assign(num_parts, 0.0);
+    if (nextTick_.size() != models_.size()) {
+        nextTick_.assign(models_.size(), 0.0);
         lastProgress_ = 0.0;
         now_ = 0.0;
     }
+
+    if (execConfig_.backend == ExecBackend::Parallel)
+        return runParallel(target_cycles);
+    return runSequential(target_cycles);
+}
+
+void
+MultiFpgaSim::checkFailover(int p, double now)
+{
+    // Graceful degradation: a channel that exhausted its retry
+    // budget fails over to host-managed PCIe (the transport that
+    // works anywhere) and keeps the run alive, just slower. Under
+    // the parallel backend each producer handles only its own
+    // out-channels (p >= 0), so failedOver stays single-writer.
+    for (auto &cs : channels_) {
+        if (p >= 0 && cs.srcPart != p)
+            continue;
+        if (!cs.failedOver && cs.chan->linkFailed()) {
+            auto host = transport::hostManagedPcie();
+            cs.chan->failover(
+                transport::tokenSerNs(host, cs.chan->widthBits()),
+                transport::tokenLatencyNs(host));
+            cs.failedOver = true;
+            linkFailovers_.fetch_add(1, std::memory_order_relaxed);
+            if (cs.chan->probe())
+                cs.chan->probe()->onEvent("failover", now);
+            warn("channel '", cs.chan->name(),
+                 "' exhausted its retry budget; failing over to ",
+                 host.name);
+        }
+    }
+}
+
+void
+MultiFpgaSim::finishRun(RunResult &result, double now)
+{
+    uint64_t min_cycles = models_[0]->minTargetCycle();
+    for (const auto &model : models_)
+        min_cycles = std::min(min_cycles, model->minTargetCycle());
+    result.targetCycles = min_cycles;
+    result.hostTimeNs = now;
+
+    for (const auto &cs : channels_) {
+        // stats() returns a merged copy; keep it alive across the
+        // loop rather than iterating a dangling temporary.
+        CounterSet st = cs.chan->stats();
+        for (const auto &kv : st.all())
+            result.faultStats.add(kv.first, kv.second);
+    }
+    result.retransmits = result.faultStats.get("retransmits");
+    result.transientStallEvents = transientStallEvents_;
+    result.linkFailovers =
+        linkFailovers_.load(std::memory_order_relaxed);
+    result.degraded = result.linkFailovers > 0;
+    if (telemetry_)
+        finalizeTelemetry(result, now);
+}
+
+RunResult
+MultiFpgaSim::runSequential(uint64_t target_cycles)
+{
+    size_t num_parts = models_.size();
     std::vector<double> &next_tick = nextTick_;
     std::vector<double> period(num_parts);
     double max_period = 0.0;
@@ -435,27 +517,8 @@ MultiFpgaSim::run(uint64_t target_cycles)
             }
         }
 
-        // Graceful degradation: a channel that exhausted its retry
-        // budget fails over to host-managed PCIe (the transport that
-        // works anywhere) and keeps the run alive, just slower.
-        if (faults_.enabled()) {
-            for (auto &cs : channels_) {
-                if (!cs.failedOver && cs.chan->linkFailed()) {
-                    auto host = transport::hostManagedPcie();
-                    cs.chan->failover(
-                        transport::tokenSerNs(host,
-                                              cs.chan->widthBits()),
-                        transport::tokenLatencyNs(host));
-                    cs.failedOver = true;
-                    ++linkFailovers_;
-                    if (cs.chan->probe())
-                        cs.chan->probe()->onEvent("failover", now);
-                    warn("channel '", cs.chan->name(),
-                         "' exhausted its retry budget; failing "
-                         "over to ", host.name);
-                }
-            }
-        }
+        if (faults_.enabled())
+            checkFailover(-1, now);
 
         if (now - last_progress > deadlock_window) {
             // Watchdog: before declaring deadlock, check whether any
@@ -499,21 +562,137 @@ MultiFpgaSim::run(uint64_t target_cycles)
         }
     }
 
-    uint64_t min_cycles = models_[0]->minTargetCycle();
-    for (const auto &model : models_)
-        min_cycles = std::min(min_cycles, model->minTargetCycle());
-    result.targetCycles = min_cycles;
-    result.hostTimeNs = now;
+    finishRun(result, now);
+    return result;
+}
 
-    for (const auto &cs : channels_)
-        for (const auto &kv : cs.chan->stats().all())
-            result.faultStats.add(kv.first, kv.second);
-    result.retransmits = result.faultStats.get("retransmits");
-    result.transientStallEvents = transientStallEvents_;
-    result.linkFailovers = linkFailovers_;
-    result.degraded = linkFailovers_ > 0;
-    if (telemetry_)
-        finalizeTelemetry(result, now);
+RunResult
+MultiFpgaSim::runParallel(uint64_t target_cycles)
+{
+    size_t num_parts = models_.size();
+    RunResult result;
+
+    std::vector<double> period(num_parts);
+    double max_period = 0.0;
+    for (size_t p = 0; p < num_parts; ++p) {
+        period[p] = fpgas_[p].hostPeriodNs();
+        max_period = std::max(max_period, period[p]);
+    }
+
+    unsigned max_width = std::max(plan_.feedback.maxChannelWidth, 1u);
+    double deadlock_window =
+        10.0 * (transport::tokenLatencyNs(link_) +
+                transport::tokenSerNs(link_, max_width)) +
+        1000.0 * max_period + 1000.0;
+
+    bool all_done = true;
+    for (const auto &model : models_)
+        if (model->minTargetCycle() < target_cycles)
+            all_done = false;
+    if (all_done) {
+        // Mirror the sequential loop's immediate break: nothing
+        // ticks and host time stays where the previous run left it.
+        finishRun(result, now_);
+        return result;
+    }
+
+    // Switch every channel into concurrent mode and describe it to
+    // the engine. The lookahead must be the smallest delivery delay
+    // the channel can ever exhibit; a mid-run failover switches the
+    // timing to the host-managed-PCIe parameters, so take the min of
+    // the current and failover bounds.
+    auto host = transport::hostManagedPcie();
+    std::vector<par::ChannelDesc> descs;
+    descs.reserve(channels_.size());
+    for (auto &cs : channels_) {
+        double cur = cs.chan->serTime() + cs.chan->latency();
+        double fail =
+            transport::tokenSerNs(host, cs.chan->widthBits()) +
+            transport::tokenLatencyNs(host);
+        double lookahead = std::min(cur, fail) * (1.0 - 1e-9);
+        // Pop-log sizing: undrained pop records are bounded by the
+        // tokens physically present at the producer's last drain
+        // plus what it pushed since — at most the channel capacity
+        // plus a small duplicate margin (see libdn/channel.hh).
+        size_t log_cap = 2 * cs.chan->capacity() + 32;
+        cs.chan->enableConcurrent(cs.srcPart, cs.dstPart, log_cap);
+        descs.push_back(
+            {cs.chan.get(), cs.srcPart, cs.dstPart, lookahead});
+    }
+
+    par::EngineConfig ecfg;
+    ecfg.workers = execConfig_.workers;
+    ecfg.deadlockWindowNs = deadlock_window;
+    ecfg.stressSeed = execConfig_.stressSeed;
+    ecfg.startTickNs = nextTick_;
+    ecfg.startTimeNs = now_;
+
+    par::EngineHooks hooks;
+    hooks.onTick = [&](int p, double now) -> par::TickResult {
+        uint64_t before = models_[p]->minTargetCycle();
+        bool progress = models_[p]->tick(now);
+        uint64_t after = models_[p]->minTargetCycle();
+        bool advanced = after != before;
+        double step = advanced ? period[p] * plan_.fame5Threads[p]
+                               : period[p];
+
+        if (telemetry_) {
+            telemetryTick(size_t(p), now, step, progress, advanced);
+            // Progress reporting rides on partition 0's worker so
+            // lastReportNs_ stays single-writer.
+            if (p == 0) {
+                const obs::TelemetryConfig &tcfg =
+                    telemetry_->config();
+                if (tcfg.progressIntervalNs > 0.0 &&
+                    now - lastReportNs_ >= tcfg.progressIntervalNs) {
+                    lastReportNs_ = now;
+                    reportProgress(now, target_cycles);
+                }
+            }
+        }
+        if (faults_.enabled())
+            checkFailover(p, now);
+
+        par::TickResult r;
+        r.nextDeltaNs = step;
+        r.progressed = progress;
+        r.reachedTarget = after >= target_cycles;
+        if (advanced && stopCondition_) {
+            std::lock_guard<std::mutex> lock(stopMtx_);
+            if (stopCondition_())
+                r.stopRequested = true;
+        }
+        return r;
+    };
+    hooks.onTransientStall = [&](double now) {
+        ++transientStallEvents_;
+        if (telemetry_ && telemetry_->tracer())
+            telemetry_->tracer()->instant("transient-stall",
+                                          "executor", now);
+    };
+    hooks.onDeadlock = [&](double now) {
+        result.deadlocked = true;
+        if (telemetry_ && telemetry_->tracer())
+            telemetry_->tracer()->instant("deadlock", "executor",
+                                          now);
+        result.diagnosis = buildDiagnosis(now);
+        warn("multi-FPGA simulation deadlocked at host time ", now,
+             " ns (no token progress for ", deadlock_window,
+             " ns)\n", result.diagnosis.summary);
+    };
+
+    par::ParallelEngine engine(std::move(ecfg), std::move(hooks),
+                               std::move(descs));
+    par::EngineResult er = engine.run();
+
+    for (auto &cs : channels_)
+        cs.chan->disableConcurrent();
+
+    nextTick_ = er.nextTickNs;
+    now_ = er.hostTimeNs;
+    lastProgress_ = now_;
+    result.stopped = er.stopped;
+    finishRun(result, er.hostTimeNs);
     return result;
 }
 

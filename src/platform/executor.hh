@@ -25,10 +25,12 @@
 #ifndef FIREAXE_PLATFORM_EXECUTOR_HH
 #define FIREAXE_PLATFORM_EXECUTOR_HH
 
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "base/stats.hh"
@@ -141,6 +143,45 @@ struct RunResult
     }
 };
 
+/** How MultiFpgaSim::run() executes the partitions. */
+enum class ExecBackend
+{
+    /** One host thread, global discrete-event loop (the reference
+     *  schedule). */
+    Sequential,
+    /** One worker thread per partition (pool capped at the hardware
+     *  concurrency) over the conservative parallel engine in
+     *  src/par. Observable results — token streams, monitor
+     *  callbacks, target cycle counts, RunResult::hostTimeNs — are
+     *  bit-identical to the sequential backend. */
+    Parallel,
+};
+
+/** Execution backend selection for MultiFpgaSim::run(). */
+struct ExecConfig
+{
+    ExecBackend backend = ExecBackend::Sequential;
+    /** Parallel worker threads; 0 = min(partitions,
+     *  hardware_concurrency). */
+    unsigned workers = 0;
+    /**
+     * Nonzero (parallel backend only): seed random wall-clock
+     * scheduling jitter into every worker, to shake out ordering
+     * assumptions in stress tests. Results must stay bit-identical
+     * for any value.
+     */
+    uint64_t stressSeed = 0;
+
+    static ExecConfig
+    parallel(unsigned workers = 0)
+    {
+        ExecConfig cfg;
+        cfg.backend = ExecBackend::Parallel;
+        cfg.workers = workers;
+        return cfg;
+    }
+};
+
 /**
  * Executes a partitioned simulation.
  */
@@ -211,11 +252,20 @@ class MultiFpgaSim
      *  needed. */
     void init();
 
-    /** Stop condition checked after every event batch. */
+    /** Stop condition checked after every event batch. Under the
+     *  parallel backend the callback is serialized (called under a
+     *  mutex) but may run on any worker thread. */
     void setStopCondition(std::function<bool()> cond)
     {
         stopCondition_ = std::move(cond);
     }
+
+    /** Select the execution backend for subsequent run() calls; may
+     *  be changed between runs (the two backends resume each other's
+     *  state bit-exactly up to the documented hostTimeNs caveat in
+     *  DESIGN.md). */
+    void setExecConfig(const ExecConfig &cfg) { execConfig_ = cfg; }
+    const ExecConfig &execConfig() const { return execConfig_; }
 
     /**
      * Run until every partition has simulated @p target_cycles
@@ -245,16 +295,26 @@ class MultiFpgaSim
         bool failedOver = false;
     };
 
-    /** Per-partition telemetry state (only used when telemetry_). */
+    /** Per-partition telemetry state (only used when telemetry_).
+     *  All fields are written by the partition's owning thread (the
+     *  main thread sequentially, the partition's worker in
+     *  parallel); the two atomics are additionally *read*
+     *  cross-thread by sim-rate sampling and progress reporting. */
     struct PartTelemetry
     {
         /** Host cycles charged to this partition so far. */
-        uint64_t hostCycles = 0;
+        std::atomic<uint64_t> hostCycles{0};
+        /** Target cycles completed, republished every telemetry
+         *  tick so other threads can aggregate without touching the
+         *  partition's model. */
+        std::atomic<uint64_t> targetCycles{0};
         /** Host time a wait-for-tokens span opened; < 0 = none. */
         double waitStartNs = -1.0;
         /** Total host time spent waiting for tokens (ns). */
         double waitNs = 0.0;
-        // FMR sampling window state.
+        // FMR sampling window state (per partition, so parallel
+        // workers sample independently at their own host times).
+        double lastFmrSampleNs = 0.0;
         uint64_t lastSampleHostCycles = 0;
         uint64_t lastSampleTargetCycles = 0;
         // Cached registry handles (null when metrics disabled).
@@ -269,19 +329,32 @@ class MultiFpgaSim
     /** Per-event-loop-iteration telemetry hook. */
     void telemetryTick(size_t p, double now, double step,
                        bool progress, bool advanced);
-    /** Periodic per-partition FMR / sim-rate sample. */
-    void sampleFmr(double now);
+    /** Periodic FMR sample for partition @p p plus the sim-rate
+     *  gauge; runs on the partition's owning thread. */
+    void sampleFmr(size_t p, double now);
     /** One progress-report line to the configured sink. */
     void reportProgress(double now, uint64_t target_cycles);
     /** Final gauges + snapshot into @p result. */
     void finalizeTelemetry(RunResult &result, double now);
+    /** The original single-threaded discrete-event loop. */
+    RunResult runSequential(uint64_t target_cycles);
+    /** The same schedule on the src/par worker-thread engine. */
+    RunResult runParallel(uint64_t target_cycles);
+    /** Shared result tail: fault-stat aggregation, degradation
+     *  flags, telemetry finalization. */
+    void finishRun(RunResult &result, double now);
+    /** Fail partition @p p's retry-exhausted output channels over to
+     *  host-managed PCIe; p < 0 scans every channel. Runs on the
+     *  producing partition's owning thread. */
+    void checkFailover(int p, double now);
 
     ripper::PartitionPlan plan_;
     std::vector<FpgaSpec> fpgas_;
     transport::LinkParams link_;
     transport::FaultModel faults_;
     std::vector<ChannelState> channels_;
-    unsigned linkFailovers_ = 0;
+    /** Atomic: parallel workers fail their own out-channels over. */
+    std::atomic<unsigned> linkFailovers_{0};
     uint64_t transientStallEvents_ = 0;
     std::vector<std::unique_ptr<libdn::LIBDNModel>> models_;
     std::vector<libdn::Driver> drivers_;
@@ -289,9 +362,11 @@ class MultiFpgaSim
     std::vector<std::ostream *> vcdStreams_;
     std::vector<std::unique_ptr<rtlsim::VcdWriter>> vcdWriters_;
     std::function<bool()> stopCondition_;
+    /** Serializes stop-condition evaluation across workers. */
+    std::mutex stopMtx_;
+    ExecConfig execConfig_;
     std::unique_ptr<obs::Telemetry> telemetry_;
     std::vector<PartTelemetry> partTel_;
-    double lastFmrSampleNs_ = 0.0;
     double lastReportNs_ = 0.0;
     std::chrono::steady_clock::time_point wallStart_;
     bool wallStartValid_ = false;

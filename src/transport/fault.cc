@@ -25,6 +25,17 @@ FaultModel::channelRng(const std::string &channel_name) const
     return Rng(cfg_.seed ^ fnv1a(channel_name));
 }
 
+Rng
+FaultModel::channelRng(const std::string &channel_name,
+                       const std::string &stream) const
+{
+    // Chain the hashes instead of hashing the concatenation so that
+    // ("ab","c") and ("a","bc") land on different streams.
+    uint64_t h = fnv1a(channel_name);
+    h = h * 0x100000001b3ULL ^ fnv1a(stream);
+    return Rng(cfg_.seed ^ h);
+}
+
 FaultEvent
 FaultModel::draw(Rng &rng, unsigned payload_bits) const
 {

@@ -111,6 +111,20 @@ class FaultModel
     Rng channelRng(const std::string &channel_name) const;
 
     /**
+     * Independent deterministic PRNG substream for one side/role of
+     * one channel (e.g. "tx" vs "rx"). When the producing and
+     * consuming partitions of a channel run on different worker
+     * threads, each side must own its own stream: a shared stream
+     * would make the draw order — and hence the entire fault
+     * schedule — depend on thread interleaving. Substreams are
+     * derived from (seed, channel, stream) only, so a given side
+     * sees the same schedule at any worker count, including the
+     * sequential executor.
+     */
+    Rng channelRng(const std::string &channel_name,
+                   const std::string &stream) const;
+
+    /**
      * Draw the fault outcome of one transmission attempt of a token
      * of @p payload_bits from the channel's stream.
      */
