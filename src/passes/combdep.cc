@@ -13,7 +13,8 @@ using firrtl::Module;
 using firrtl::PortDir;
 using firrtl::SignalKind;
 
-CombDepAnalysis::CombDepAnalysis(const Circuit &circuit)
+CombDepAnalysis::CombDepAnalysis(const Circuit &circuit, LoopPolicy policy)
+    : policy_(policy)
 {
     // Bottom-up: children are analyzed before their parents so that
     // instance edges can be derived from child summaries.
@@ -72,31 +73,92 @@ CombDepAnalysis::analyzeModule(const Circuit &circuit, const Module &mod)
     }
 
     // Detect combinational loops (would make the module
-    // unsimulatable) with an iterative DFS.
+    // unsimulatable) as non-trivial SCCs of the dependency graph,
+    // using an iterative Tarjan so deep netlists can't blow the call
+    // stack. Self-edges count as loops too.
     {
-        std::map<std::string, int> state; // 0 new, 1 visiting, 2 done
-        std::function<void(const std::string &)> dfs =
-            [&](const std::string &node) {
-                state[node] = 1;
-                auto it = graph.fwd.find(node);
-                if (it != graph.fwd.end()) {
-                    for (const auto &next : it->second) {
-                        int s = state.count(next) ? state[next] : 0;
-                        if (s == 1) {
+        struct NodeInfo
+        {
+            int index = -1;
+            int lowlink = -1;
+            bool onStack = false;
+        };
+        std::map<std::string, NodeInfo> info;
+        std::vector<std::string> sccStack;
+        int nextIndex = 0;
+
+        struct Frame
+        {
+            std::string node;
+            std::set<std::string>::const_iterator it, end;
+        };
+
+        auto strongconnect = [&](const std::string &root) {
+            static const std::set<std::string> kEmpty;
+            std::vector<Frame> stack;
+            auto push = [&](const std::string &node) {
+                NodeInfo &ni = info[node];
+                ni.index = ni.lowlink = nextIndex++;
+                ni.onStack = true;
+                sccStack.push_back(node);
+                auto git = graph.fwd.find(node);
+                const auto &succ =
+                    git != graph.fwd.end() ? git->second : kEmpty;
+                stack.push_back({node, succ.begin(), succ.end()});
+            };
+            push(root);
+            while (!stack.empty()) {
+                Frame &f = stack.back();
+                if (f.it != f.end) {
+                    const std::string &next = *f.it++;
+                    NodeInfo &nni = info[next];
+                    if (nni.index < 0) {
+                        push(next);
+                    } else if (nni.onStack) {
+                        NodeInfo &ni = info[f.node];
+                        ni.lowlink = std::min(ni.lowlink, nni.index);
+                    }
+                    continue;
+                }
+                NodeInfo &ni = info[f.node];
+                if (ni.lowlink == ni.index) {
+                    // Root of an SCC: pop it off.
+                    std::vector<std::string> comp;
+                    for (;;) {
+                        std::string w = sccStack.back();
+                        sccStack.pop_back();
+                        info[w].onStack = false;
+                        comp.push_back(w);
+                        if (w == f.node)
+                            break;
+                    }
+                    bool self_edge = comp.size() == 1 &&
+                        graph.fwd.count(comp[0]) &&
+                        graph.fwd.at(comp[0]).count(comp[0]);
+                    if (comp.size() > 1 || self_edge) {
+                        std::reverse(comp.begin(), comp.end());
+                        if (policy_ == LoopPolicy::Fatal) {
                             fatal("module '", mod.name,
                                   "': combinational loop through '",
-                                  node, "' -> '", next, "'");
+                                  comp.front(), "' -> '",
+                                  comp.size() > 1 ? comp[1] : comp[0],
+                                  "'");
                         }
-                        if (s == 0)
-                            dfs(next);
+                        loops_.push_back({mod.name, std::move(comp)});
                     }
                 }
-                state[node] = 2;
-            };
-        for (const auto &[node, _] : graph.fwd) {
-            if (!state.count(node) || state[node] == 0)
-                dfs(node);
-        }
+                std::string done = f.node;
+                stack.pop_back();
+                if (!stack.empty()) {
+                    NodeInfo &pi = info[stack.back().node];
+                    pi.lowlink = std::min(pi.lowlink, info[done].lowlink);
+                }
+            }
+        };
+
+        for (const auto &[node, _] : graph.fwd)
+            if (info[node].index < 0)
+                strongconnect(node);
     }
 
     // Forward BFS from each input port; record reached output ports.

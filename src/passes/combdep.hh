@@ -43,15 +43,36 @@ struct PortDeps
     }
 };
 
+/** What to do when an intra-module combinational loop is found. */
+enum class LoopPolicy
+{
+    Fatal,  ///< fatal() with a diagnostic chain (compiler behavior)
+    Record, ///< record the loop and keep analyzing (verifier behavior)
+};
+
+/** A recorded intra-module combinational cycle: the signals of one
+ *  non-trivial strongly connected component, in SCC discovery order. */
+struct CombLoop
+{
+    std::string module;
+    std::vector<std::string> signals;
+};
+
 /**
  * Computes and caches port-level dependency summaries for every module
- * in a circuit (bottom-up over the instantiation order). fatal()s on
- * intra-module combinational loops.
+ * in a circuit (bottom-up over the instantiation order). By default
+ * fatal()s on intra-module combinational loops; with
+ * LoopPolicy::Record it records them in loops() instead so static
+ * checkers can report every cycle as a diagnostic.
  */
 class CombDepAnalysis
 {
   public:
-    explicit CombDepAnalysis(const firrtl::Circuit &circuit);
+    explicit CombDepAnalysis(const firrtl::Circuit &circuit,
+                             LoopPolicy policy = LoopPolicy::Fatal);
+
+    /** Combinational cycles found under LoopPolicy::Record. */
+    const std::vector<CombLoop> &loops() const { return loops_; }
 
     /** Summary for a module by name; fatal() if unknown. */
     const PortDeps &forModule(const std::string &name) const;
@@ -76,8 +97,10 @@ class CombDepAnalysis
     void analyzeModule(const firrtl::Circuit &circuit,
                        const firrtl::Module &mod);
 
+    LoopPolicy policy_;
     std::map<std::string, PortDeps> summaries_;
     std::map<std::string, ModuleGraph> graphs_;
+    std::vector<CombLoop> loops_;
 };
 
 } // namespace fireaxe::passes

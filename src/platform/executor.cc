@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <map>
 #include <ostream>
@@ -13,6 +14,7 @@
 #include "par/engine.hh"
 #include "passes/flatten.hh"
 #include "rtlsim/simulator.hh"
+#include "verify/verify.hh"
 
 namespace fireaxe::platform {
 
@@ -71,9 +73,56 @@ MultiFpgaSim::attachVcd(int part, std::ostream &os)
 }
 
 void
+MultiFpgaSim::setVerifyPolicy(VerifyPolicy policy)
+{
+    FIREAXE_ASSERT(!initialized_, "setVerifyPolicy before init");
+    verifyPolicy_ = policy;
+}
+
+void
+MultiFpgaSim::runPreflight()
+{
+    if (preflightRan_)
+        return;
+    // Dead-logic findings are a lint concern (fireaxe-lint reports
+    // them); the pre-flight gate only needs the checks that prove a
+    // plan unrunnable.
+    verify::Options options;
+    options.checkDeadLogic = false;
+    preflight_ = verify::verifyPlan(plan_, options);
+    preflightRan_ = true;
+}
+
+void
 MultiFpgaSim::init()
 {
     FIREAXE_ASSERT(!initialized_);
+
+    // FIREAXE_NO_VERIFY=1 is the process-level --no-verify escape
+    // hatch: it demotes Enforce to WarnOnly so a rejected plan still
+    // runs (with the findings on stderr) without a code change.
+    VerifyPolicy policy = verifyPolicy_;
+    const char *no_verify = std::getenv("FIREAXE_NO_VERIFY");
+    if (policy == VerifyPolicy::Enforce && no_verify &&
+        *no_verify && std::string(no_verify) != "0")
+        policy = VerifyPolicy::WarnOnly;
+
+    if (policy != VerifyPolicy::Off) {
+        runPreflight();
+        if (preflight_.hasErrors()) {
+            if (policy == VerifyPolicy::Enforce) {
+                fatal("pre-flight static verification rejected the "
+                      "partition plan:\n",
+                      preflight_.renderText(),
+                      "(setVerifyPolicy(VerifyPolicy::WarnOnly/Off) "
+                      "or FIREAXE_NO_VERIFY=1 to override)");
+            }
+            warn("pre-flight static verification found errors "
+                 "(running anyway):\n",
+                 preflight_.renderText());
+        }
+    }
+
     vcdStreams_.resize(plan_.partitions.size(), nullptr);
     vcdWriters_.resize(plan_.partitions.size());
 
@@ -115,7 +164,8 @@ MultiFpgaSim::init()
         }
 
         auto chan = std::make_shared<libdn::ReliableTokenChannel>(
-            ch.name, ch.widthBits, faults_);
+            ch.name, ch.widthBits, faults_,
+            libdn::ReliableTokenChannel::Params{}, ch.capacity);
         auto &ser = serializers[{ch.srcPart, ch.dstPart}];
         if (!ser)
             ser = std::make_shared<libdn::LinkSerializer>();
@@ -741,6 +791,8 @@ operator<<(std::ostream &os, const DeadlockDiagnosis &diag)
             continue;
         os << "  stuck " << cd << "\n";
     }
+    for (const auto &finding : diag.staticFindings)
+        os << "  " << finding << "\n";
     return os;
 }
 
@@ -788,6 +840,19 @@ MultiFpgaSim::buildDiagnosis(double now)
             cd.starved = true;
             diag.stuckChannels.push_back(cd.name);
         }
+    }
+
+    // Cross-reference the static verifier: if the plan carries a
+    // statically provable defect, say which check would have refused
+    // it before the run (it did not only when the policy was not
+    // Enforce). Recomputes lazily when verification was off.
+    runPreflight();
+    for (const auto &d : preflight_.diagnostics()) {
+        if (d.severity != verify::Severity::Error)
+            continue;
+        diag.staticFindings.push_back("static check " + d.code +
+                                      " would have caught this: " +
+                                      d.render());
     }
 
     std::ostringstream os;

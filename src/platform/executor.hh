@@ -43,8 +43,22 @@
 #include "rtlsim/vcd.hh"
 #include "transport/fault.hh"
 #include "transport/link.hh"
+#include "verify/diag.hh"
 
 namespace fireaxe::platform {
+
+/** Pre-flight static verification policy (MultiFpgaSim::init). */
+enum class VerifyPolicy
+{
+    /** fatal() with the rendered report on any Error finding
+     *  (default): a statically rejectable plan never runs. */
+    Enforce,
+    /** Print the findings and run anyway (--no-verify semantics with
+     *  a paper trail). */
+    WarnOnly,
+    /** Skip the pre-flight checks entirely. */
+    Off,
+};
 
 /** One channel's state at the moment of a deadlock diagnosis. */
 struct ChannelDiagnosis
@@ -86,6 +100,14 @@ struct DeadlockDiagnosis
     std::vector<PartitionDiagnosis> partitions;
     /** Names of the starved channels blocking progress. */
     std::vector<std::string> stuckChannels;
+    /**
+     * Cross-reference to the static verifier: each entry cites an
+     * Error-severity diagnostic the pre-flight checks raised (or
+     * would have raised, when verification was off) for this plan,
+     * e.g. "static check LBDN003 would have caught this: ...".
+     * Empty when the deadlock has no statically visible cause.
+     */
+    std::vector<std::string> staticFindings;
     /** Human-readable one-stop summary. */
     std::string summary;
 };
@@ -248,6 +270,21 @@ class MultiFpgaSim
      */
     void attachVcd(int part, std::ostream &os);
 
+    /**
+     * Select the pre-flight static verification policy (default
+     * Enforce); must be called before init(). Under Enforce a plan
+     * with any Error-severity finding (see src/verify) is refused
+     * with the rendered report.
+     */
+    void setVerifyPolicy(VerifyPolicy policy);
+
+    /** The pre-flight report (empty until init() under a non-Off
+     *  policy, or until a deadlock diagnosis recomputes it). */
+    const verify::Report &preflightReport() const
+    {
+        return preflight_;
+    }
+
     /** Build models and channels. Implicitly called by run() if
      *  needed. */
     void init();
@@ -323,6 +360,9 @@ class MultiFpgaSim
         obs::Counter *waitTicks = nullptr;
     };
 
+    /** Run the static verifier over the plan once, caching the
+     *  report (used by init's gate and the deadlock diagnosis). */
+    void runPreflight();
     DeadlockDiagnosis buildDiagnosis(double now);
     /** Wire probes / handles; called from init() when telemetry_. */
     void setupTelemetry();
@@ -349,6 +389,9 @@ class MultiFpgaSim
     void checkFailover(int p, double now);
 
     ripper::PartitionPlan plan_;
+    VerifyPolicy verifyPolicy_ = VerifyPolicy::Enforce;
+    verify::Report preflight_;
+    bool preflightRan_ = false;
     std::vector<FpgaSpec> fpgas_;
     transport::LinkParams link_;
     transport::FaultModel faults_;

@@ -36,8 +36,10 @@ addSkidBufferModule(Circuit &circuit, const std::vector<unsigned> &widths)
 
     // Name keyed by the width signature, deduplicated per circuit.
     std::string name = "SkidBuffer2";
-    for (unsigned w : widths)
-        name += "_" + std::to_string(w);
+    for (unsigned w : widths) {
+        name += '_';
+        name += std::to_string(w);
+    }
     if (circuit.findModule(name))
         return name;
 

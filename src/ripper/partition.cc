@@ -520,6 +520,36 @@ partition(const Circuit &target, const PartitionSpec &spec)
         }
     }
 
+    // --- Declared channel dependencies. ---
+    // For each channel, record which channels into its source
+    // partition deliver the inputs its source ports combinationally
+    // depend on. This is the declaration the static verifier
+    // (src/verify) cross-checks against its own recomputation, and it
+    // must be derived here from the pre-transform summaries: the
+    // fast-mode ready-valid transform below rewrites the partitions.
+    {
+        std::map<std::pair<int, std::string>, std::string> in_channel;
+        for (const auto &ch : plan.channels)
+            for (int n : ch.netIndices)
+                in_channel[{ch.dstPart, plan.nets[n].dstPort}] =
+                    ch.name;
+        for (auto &ch : plan.channels) {
+            std::set<std::string> deps;
+            for (int n : ch.netIndices) {
+                const auto &port_deps = summaries[ch.srcPart].deps;
+                auto it = port_deps.find(plan.nets[n].srcPort);
+                if (it == port_deps.end())
+                    continue;
+                for (const auto &in : it->second) {
+                    auto cit = in_channel.find({ch.srcPart, in});
+                    if (cit != in_channel.end())
+                        deps.insert(cit->second);
+                }
+            }
+            ch.depChannels.assign(deps.begin(), deps.end());
+        }
+    }
+
     // --- Fast-mode ready-valid boundary transform. ---
     if (spec.mode == PartitionMode::Fast) {
         unsigned transformed =

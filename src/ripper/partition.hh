@@ -94,6 +94,16 @@ struct ChannelPlan
     bool sinkClass = false;
     std::vector<int> netIndices;
     unsigned widthBits = 0;
+    /** Declared dependencies: names of channels into srcPart whose
+     *  input ports this channel's source ports combinationally
+     *  depend on. FireRipper derives this from the partition
+     *  summaries; the static verifier (src/verify) cross-checks it
+     *  against a recomputation. Empty on a sink-class channel means
+     *  "unenumerated" (hand-written plans). */
+    std::vector<std::string> depChannels;
+    /** Token capacity of the transport channel (credits available to
+     *  the source before the sink drains). */
+    size_t capacity = 16;
 };
 
 /** Partition feedback (Section III: "quick feedback about the

@@ -1,0 +1,205 @@
+#include "verify/diag.hh"
+
+#include <sstream>
+
+#include "obs/json.hh"
+
+namespace fireaxe::verify {
+
+const char *
+severityName(Severity sev)
+{
+    switch (sev) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "unknown";
+}
+
+std::string
+Diagnostic::render() const
+{
+    std::ostringstream os;
+    os << severityName(severity) << "[" << code << "]";
+    if (!loc.partition.empty())
+        os << " partition '" << loc.partition << "'";
+    if (!loc.module.empty())
+        os << " module '" << loc.module << "'";
+    if (!loc.signal.empty())
+        os << " signal '" << loc.signal << "'";
+    os << ": " << message;
+    return os.str();
+}
+
+const std::vector<CheckInfo> &
+checkRegistry()
+{
+    static const std::vector<CheckInfo> registry = {
+        {"IR001", Severity::Error,
+         "a signal has more than one driver"},
+        {"IR002", Severity::Error,
+         "a connect truncates its expression (rhs wider than sink)"},
+        {"IR003", Severity::Error,
+         "an output port, wire, instance input or memory read address "
+         "is never driven"},
+        {"IR004", Severity::Error,
+         "a combinational cycle exists (SCC over the module netlist, "
+         "including instance summaries)"},
+        {"IR005", Severity::Warning,
+         "dead logic: a wire or register cannot reach any output port"},
+        {"IR006", Severity::Error,
+         "a reference names an unknown or non-readable/non-drivable "
+         "signal"},
+        {"IR007", Severity::Error,
+         "malformed hierarchy: missing top, undefined child module, or "
+         "instantiation cycle"},
+        {"IR008", Severity::Error,
+         "duplicate signal or instance name within a module"},
+        {"LBDN001", Severity::Error,
+         "under-declared channel dependency: the channel's source ports "
+         "combinationally depend on an input channel the plan does not "
+         "declare (statically provable deadlock)"},
+        {"LBDN002", Severity::Warning,
+         "over-declared channel dependency: the plan declares a "
+         "dependency the netlist does not have (provable throughput "
+         "loss)"},
+        {"LBDN003", Severity::Error,
+         "channel wait-for cycle: the recomputed combinational "
+         "dependencies form a cycle across unseeded channels "
+         "(statically provable deadlock)"},
+        {"PLAN001", Severity::Error,
+         "plan shape mismatch: inconsistent vector sizes, out-of-range "
+         "indices, duplicate channel names, or a net not covered by "
+         "exactly one channel"},
+        {"PLAN002", Severity::Error,
+         "a boundary net names a missing port or one with the wrong "
+         "direction on its partition top"},
+        {"PLAN003", Severity::Error,
+         "a boundary net's width disagrees with the port widths at its "
+         "endpoints"},
+        {"PLAN004", Severity::Error,
+         "a channel's declared widthBits is not the sum of its nets' "
+         "widths"},
+        {"PLAN005", Severity::Error,
+         "fast-mode cut through an annotated ready-valid bundle with "
+         "no skid buffer on the sink side (in-flight transactions "
+         "would be dropped)"},
+        {"PLAN006", Severity::Warning,
+         "partition feedback (interface widths, max channel width, "
+         "link crossings) disagrees with the recomputed boundary"},
+        {"PLAN007", Severity::Error,
+         "channel credit/capacity violation: zero-capacity channel, or "
+         "fast-mode capacity too small to cover the link round trip"},
+        {"PLAN008", Severity::Note,
+         "fast-mode channel carries an un-buffered combinational "
+         "cross-partition path; runs, but values arrive one target "
+         "cycle late (cycle-approximate)"},
+    };
+    return registry;
+}
+
+const CheckInfo *
+findCheck(const std::string &code)
+{
+    for (const auto &info : checkRegistry())
+        if (info.code == code)
+            return &info;
+    return nullptr;
+}
+
+void
+Report::add(Diagnostic diag)
+{
+    diags_.push_back(std::move(diag));
+}
+
+void
+Report::add(const std::string &code, Severity sev, std::string message,
+            SourceLoc loc)
+{
+    diags_.push_back({code, sev, std::move(message), std::move(loc)});
+}
+
+void
+Report::merge(const Report &other)
+{
+    diags_.insert(diags_.end(), other.diags_.begin(),
+                  other.diags_.end());
+}
+
+size_t
+Report::count(Severity sev) const
+{
+    size_t n = 0;
+    for (const auto &d : diags_)
+        if (d.severity == sev)
+            ++n;
+    return n;
+}
+
+std::vector<Diagnostic>
+Report::byCode(const std::string &code) const
+{
+    std::vector<Diagnostic> out;
+    for (const auto &d : diags_)
+        if (d.code == code)
+            out.push_back(d);
+    return out;
+}
+
+std::string
+Report::renderText() const
+{
+    std::ostringstream os;
+    for (const auto &d : diags_)
+        os << d.render() << "\n";
+    os << count(Severity::Error) << " error(s), "
+       << count(Severity::Warning) << " warning(s), "
+       << count(Severity::Note) << " note(s)\n";
+    return os.str();
+}
+
+std::string
+Report::renderJson() const
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.key("diagnostics");
+    w.beginArray();
+    for (const auto &d : diags_) {
+        w.beginObject();
+        w.key("code");
+        w.value(d.code);
+        w.key("severity");
+        w.value(severityName(d.severity));
+        w.key("message");
+        w.value(d.message);
+        if (!d.loc.partition.empty()) {
+            w.key("partition");
+            w.value(d.loc.partition);
+        }
+        if (!d.loc.module.empty()) {
+            w.key("module");
+            w.value(d.loc.module);
+        }
+        if (!d.loc.signal.empty()) {
+            w.key("signal");
+            w.value(d.loc.signal);
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.key("errors");
+    w.value(uint64_t(count(Severity::Error)));
+    w.key("warnings");
+    w.value(uint64_t(count(Severity::Warning)));
+    w.key("notes");
+    w.value(uint64_t(count(Severity::Note)));
+    w.endObject();
+    os << "\n";
+    return os.str();
+}
+
+} // namespace fireaxe::verify

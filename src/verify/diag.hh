@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Structured diagnostics engine shared by all static checks.
+ *
+ * Every finding is a Diagnostic: a stable code (e.g. "LBDN001"), a
+ * severity, a human-readable message, and a source location naming the
+ * partition / module / signal the finding is anchored to. A Report
+ * collects diagnostics and renders them as text (one finding per
+ * line, compiler style) or JSON (for tooling). The code space is
+ * enumerated by checkRegistry() so tools can list every check the
+ * verifier implements.
+ *
+ * Code families:
+ *  - IRxxx   — firrtl:: circuit well-formedness (src/verify/ir.cc)
+ *  - LBDNxxx — LI-BDN channel dependency protocol (src/verify/libdn.cc)
+ *  - PLANxxx — partition-plan structure & capacity (src/verify/plan.cc)
+ */
+
+#ifndef FIREAXE_VERIFY_DIAG_HH
+#define FIREAXE_VERIFY_DIAG_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fireaxe::verify {
+
+/** Finding severity; Error makes a Report rejecting. */
+enum class Severity { Note, Warning, Error };
+
+/** Stable lowercase name for a severity ("note"/"warning"/"error"). */
+const char *severityName(Severity sev);
+
+/** Where a finding is anchored. All fields optional. */
+struct SourceLoc
+{
+    std::string partition; ///< e.g. "p1" or a partition name
+    std::string module;    ///< module name within the circuit
+    std::string signal;    ///< net / port / channel name
+};
+
+/** One finding produced by a static check. */
+struct Diagnostic
+{
+    std::string code;  ///< stable check code, e.g. "IR004"
+    Severity severity = Severity::Error;
+    std::string message;
+    SourceLoc loc;
+
+    /** "error[IR004] module 'Top' signal 'x': <message>" */
+    std::string render() const;
+};
+
+/** Registry entry describing one check code. */
+struct CheckInfo
+{
+    std::string code;
+    Severity defaultSeverity;
+    std::string summary;
+};
+
+/** Every diagnostic code the verifier can emit, in code order. */
+const std::vector<CheckInfo> &checkRegistry();
+
+/** Registry entry for a code; nullptr if unknown. */
+const CheckInfo *findCheck(const std::string &code);
+
+/** An ordered collection of diagnostics plus renderers. */
+class Report
+{
+  public:
+    void add(Diagnostic diag);
+    void add(const std::string &code, Severity sev, std::string message,
+             SourceLoc loc = {});
+
+    /** Append all of another report's diagnostics. */
+    void merge(const Report &other);
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+
+    bool empty() const { return diags_.empty(); }
+    bool hasErrors() const { return count(Severity::Error) > 0; }
+    size_t count(Severity sev) const;
+
+    /** Diagnostics with the given code, in insertion order. */
+    std::vector<Diagnostic> byCode(const std::string &code) const;
+
+    /** Compiler-style text: one line per finding plus a summary. */
+    std::string renderText() const;
+
+    /** JSON object: {"diagnostics": [...], "errors": N, ...}. */
+    std::string renderJson() const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace fireaxe::verify
+
+#endif // FIREAXE_VERIFY_DIAG_HH

@@ -1,0 +1,397 @@
+#include "verify/ir.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace fireaxe::verify {
+
+using firrtl::Circuit;
+using firrtl::Expr;
+using firrtl::ExprKind;
+using firrtl::ExprPtr;
+using firrtl::Module;
+using firrtl::PortDir;
+using firrtl::SignalInfo;
+using firrtl::SignalKind;
+
+namespace {
+
+bool
+isSinkKind(SignalKind kind)
+{
+    switch (kind) {
+      case SignalKind::OutPort:
+      case SignalKind::Wire:
+      case SignalKind::Reg:
+      case SignalKind::InstIn:
+      case SignalKind::MemRAddr:
+      case SignalKind::MemWAddr:
+      case SignalKind::MemWData:
+      case SignalKind::MemWEn:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isSourceKind(SignalKind kind)
+{
+    switch (kind) {
+      case SignalKind::InPort:
+      case SignalKind::OutPort:
+      case SignalKind::Wire:
+      case SignalKind::Reg:
+      case SignalKind::InstOut:
+      case SignalKind::MemRData:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Effective width of an expression with Ref widths resolved against
+ *  the module; 0 when any leaf is unresolvable (check is skipped). */
+unsigned
+exprWidth(const Circuit &circuit, const Module &mod, const ExprPtr &e)
+{
+    switch (e->kind) {
+      case ExprKind::Ref: {
+        if (e->width)
+            return e->width;
+        return mod.resolve(circuit, e->name).width;
+      }
+      case ExprKind::Literal:
+        return e->width;
+      case ExprKind::UnOp: {
+        unsigned w = exprWidth(circuit, mod, e->args[0]);
+        return w ? firrtl::inferUnOpWidth(e->unOp, w) : 0;
+      }
+      case ExprKind::BinOp: {
+        unsigned wa = exprWidth(circuit, mod, e->args[0]);
+        unsigned wb = exprWidth(circuit, mod, e->args[1]);
+        return (wa && wb) ? firrtl::inferBinOpWidth(e->binOp, wa, wb)
+                          : 0;
+      }
+      case ExprKind::Mux: {
+        unsigned wt = exprWidth(circuit, mod, e->args[1]);
+        unsigned wf = exprWidth(circuit, mod, e->args[2]);
+        return (wt && wf) ? std::max(wt, wf) : 0;
+      }
+      case ExprKind::Bits:
+        return e->hi - e->lo + 1;
+      case ExprKind::Cat: {
+        unsigned wa = exprWidth(circuit, mod, e->args[0]);
+        unsigned wb = exprWidth(circuit, mod, e->args[1]);
+        return (wa && wb) ? wa + wb : 0;
+      }
+    }
+    return 0;
+}
+
+/** Modules reachable from the top, or every module when the top is
+ *  missing (so a broken circuit still gets per-module findings). */
+std::vector<const Module *>
+reachableModules(const Circuit &circuit)
+{
+    std::vector<const Module *> out;
+    const Module *top = circuit.findModule(circuit.topName);
+    if (!top) {
+        for (const auto &[_, m] : circuit.modules)
+            out.push_back(&m);
+        return out;
+    }
+    std::set<std::string> seen;
+    std::deque<const Module *> work{top};
+    seen.insert(top->name);
+    while (!work.empty()) {
+        const Module *m = work.front();
+        work.pop_front();
+        out.push_back(m);
+        for (const auto &inst : m->instances) {
+            const Module *child = circuit.findModule(inst.moduleName);
+            if (child && seen.insert(child->name).second)
+                work.push_back(child);
+        }
+    }
+    return out;
+}
+
+void
+checkModuleStructure(const Circuit &circuit, const Module &mod,
+                     Report &report, const std::string &partition)
+{
+    auto loc = [&](const std::string &sig) {
+        return SourceLoc{partition, mod.name, sig};
+    };
+
+    // IR008: unique names across all signal namespaces.
+    std::set<std::string> names;
+    auto claim = [&](const std::string &n, const char *what) {
+        if (!names.insert(n).second) {
+            report.add("IR008", Severity::Error,
+                       std::string("duplicate ") + what + " name",
+                       loc(n));
+        }
+    };
+    for (const auto &p : mod.ports)
+        claim(p.name, "port");
+    for (const auto &w : mod.wires)
+        claim(w.name, "wire");
+    for (const auto &r : mod.regs)
+        claim(r.name, "reg");
+    for (const auto &m : mod.mems)
+        claim(m.name, "mem");
+    for (const auto &i : mod.instances)
+        claim(i.name, "instance");
+
+    // Connects: IR006 (bad sink/source), IR001 (multiple drivers),
+    // IR002 (truncating connect).
+    std::set<std::string> driven;
+    for (const auto &c : mod.connects) {
+        SignalInfo lhs = mod.resolve(circuit, c.lhs);
+        if (!isSinkKind(lhs.kind)) {
+            report.add("IR006", Severity::Error,
+                       "connect sink is not a drivable signal",
+                       loc(c.lhs));
+            continue;
+        }
+        if (!driven.insert(c.lhs).second) {
+            report.add("IR001", Severity::Error,
+                       "signal has multiple drivers", loc(c.lhs));
+        }
+        std::vector<std::string> refs;
+        collectRefs(c.rhs, refs);
+        bool refs_ok = true;
+        for (const auto &r : refs) {
+            SignalInfo src = mod.resolve(circuit, r);
+            if (!isSourceKind(src.kind)) {
+                report.add("IR006", Severity::Error,
+                           "expression reads a non-readable signal "
+                           "(driving '" + c.lhs + "')",
+                           loc(r));
+                refs_ok = false;
+            }
+        }
+        if (refs_ok && lhs.width) {
+            unsigned rhs_width = exprWidth(circuit, mod, c.rhs);
+            if (rhs_width > lhs.width) {
+                std::ostringstream msg;
+                msg << "connect truncates a " << rhs_width
+                    << "-bit expression into a " << lhs.width
+                    << "-bit sink";
+                report.add("IR002", Severity::Error, msg.str(),
+                           loc(c.lhs));
+            }
+        }
+    }
+
+    // IR003: required signals that are never driven.
+    auto requireDriven = [&](const std::string &n, const char *what) {
+        if (!driven.count(n)) {
+            report.add("IR003", Severity::Error,
+                       std::string(what) + " is never driven", loc(n));
+        }
+    };
+    for (const auto &p : mod.ports)
+        if (p.dir == PortDir::Output)
+            requireDriven(p.name, "output port");
+    for (const auto &w : mod.wires)
+        requireDriven(w.name, "wire");
+    for (const auto &inst : mod.instances) {
+        const Module *child = circuit.findModule(inst.moduleName);
+        if (!child)
+            continue; // reported as IR007 by the hierarchy check
+        for (const auto &p : child->ports)
+            if (p.dir == PortDir::Input)
+                requireDriven(inst.name + "." + p.name,
+                              "instance input");
+    }
+    for (const auto &m : mod.mems)
+        requireDriven(m.name + ".raddr", "memory read address");
+
+    // IR006: ready-valid annotations naming unknown ports.
+    for (const auto &rv : mod.rvBundles) {
+        auto check = [&](const std::string &pn) {
+            if (!mod.findPort(pn)) {
+                report.add("IR006", Severity::Error,
+                           "ready-valid bundle '" + rv.name +
+                               "' names an unknown port",
+                           loc(pn));
+            }
+        };
+        check(rv.validPort);
+        check(rv.readyPort);
+        for (const auto &d : rv.dataPorts)
+            check(d);
+    }
+}
+
+} // namespace
+
+bool
+checkCircuitStructure(const Circuit &circuit, Report &report,
+                      const std::string &partition)
+{
+    size_t errors_before = report.count(Severity::Error);
+
+    // IR007: hierarchy well-formedness. Everything downstream
+    // (resolve, topoOrder, CombDepAnalysis) assumes these hold, so a
+    // violation ends the pass for this circuit.
+    bool hierarchy_ok = true;
+    if (!circuit.findModule(circuit.topName)) {
+        report.add("IR007", Severity::Error,
+                   "top module '" + circuit.topName + "' is not defined",
+                   {partition, circuit.topName, ""});
+        hierarchy_ok = false;
+    }
+    for (const auto &[_, mod] : circuit.modules) {
+        for (const auto &inst : mod.instances) {
+            if (!circuit.findModule(inst.moduleName)) {
+                report.add("IR007", Severity::Error,
+                           "instance of undefined module '" +
+                               inst.moduleName + "'",
+                           {partition, mod.name, inst.name});
+                hierarchy_ok = false;
+            }
+        }
+    }
+    if (hierarchy_ok) {
+        // Instantiation cycles (module instantiating an ancestor).
+        std::map<std::string, int> state; // 0 new, 1 visiting, 2 done
+        std::vector<std::pair<const Module *, size_t>> stack;
+        for (const auto &[name, mod] : circuit.modules) {
+            if (state[name])
+                continue;
+            stack.push_back({&mod, 0});
+            state[name] = 1;
+            while (!stack.empty()) {
+                auto &[m, idx] = stack.back();
+                if (idx < m->instances.size()) {
+                    const std::string &child =
+                        m->instances[idx++].moduleName;
+                    int s = state[child];
+                    if (s == 1) {
+                        report.add("IR007", Severity::Error,
+                                   "instantiation cycle through "
+                                   "module '" + child + "'",
+                                   {partition, m->name, ""});
+                        hierarchy_ok = false;
+                    } else if (s == 0) {
+                        state[child] = 1;
+                        stack.push_back(
+                            {circuit.findModule(child), 0});
+                    }
+                    continue;
+                }
+                state[m->name] = 2;
+                stack.pop_back();
+            }
+        }
+    }
+    if (!hierarchy_ok)
+        return false;
+
+    for (const Module *mod : reachableModules(circuit))
+        checkModuleStructure(circuit, *mod, report, partition);
+
+    return report.count(Severity::Error) == errors_before;
+}
+
+void
+checkCircuitDeps(const Circuit &circuit,
+                 const passes::CombDepAnalysis &analysis, Report &report,
+                 const std::string &partition, bool check_dead_logic)
+{
+    // IR004: combinational cycles recorded by the loop-tolerant
+    // analysis, one diagnostic per SCC with the full chain.
+    for (const auto &loop : analysis.loops()) {
+        std::ostringstream msg;
+        msg << "combinational cycle: ";
+        for (size_t i = 0; i < loop.signals.size(); ++i)
+            msg << loop.signals[i] << " -> ";
+        msg << loop.signals.front();
+        report.add("IR004", Severity::Error, msg.str(),
+                   {partition, loop.module,
+                    loop.signals.empty() ? "" : loop.signals.front()});
+    }
+
+    if (!check_dead_logic)
+        return;
+
+    // IR005: dead logic. Per module, walk the driver graph backwards
+    // from the output ports; wires and registers never reached cannot
+    // influence anything observable.
+    for (const Module *mod : reachableModules(circuit)) {
+        std::map<std::string, std::set<std::string>> rev;
+        for (const auto &c : mod->connects) {
+            std::vector<std::string> refs;
+            collectRefs(c.rhs, refs);
+            rev[c.lhs].insert(refs.begin(), refs.end());
+        }
+        for (const auto &m : mod->mems) {
+            // Observing rdata depends on the whole memory state.
+            auto &srcs = rev[m.name + ".rdata"];
+            srcs.insert(m.name + ".raddr");
+            srcs.insert(m.name + ".waddr");
+            srcs.insert(m.name + ".wdata");
+            srcs.insert(m.name + ".wen");
+        }
+        for (const auto &inst : mod->instances) {
+            const Module *child = circuit.findModule(inst.moduleName);
+            if (!child)
+                continue;
+            // Conservative: any observed child output keeps every
+            // child input alive.
+            for (const auto &po : child->ports) {
+                if (po.dir != PortDir::Output)
+                    continue;
+                auto &srcs = rev[inst.name + "." + po.name];
+                for (const auto &pi : child->ports)
+                    if (pi.dir == PortDir::Input)
+                        srcs.insert(inst.name + "." + pi.name);
+            }
+        }
+
+        std::set<std::string> alive;
+        std::deque<std::string> work;
+        for (const auto &p : mod->ports) {
+            if (p.dir == PortDir::Output) {
+                alive.insert(p.name);
+                work.push_back(p.name);
+            }
+        }
+        while (!work.empty()) {
+            std::string cur = work.front();
+            work.pop_front();
+            auto it = rev.find(cur);
+            if (it == rev.end())
+                continue;
+            for (const auto &src : it->second)
+                if (alive.insert(src).second)
+                    work.push_back(src);
+        }
+
+        for (const auto &w : mod->wires) {
+            if (!alive.count(w.name)) {
+                report.add("IR005", Severity::Warning,
+                           "wire cannot reach any output port "
+                           "(dead logic)",
+                           {partition, mod->name, w.name});
+            }
+        }
+        for (const auto &r : mod->regs) {
+            if (!alive.count(r.name)) {
+                report.add("IR005", Severity::Warning,
+                           "register cannot reach any output port "
+                           "(dead logic)",
+                           {partition, mod->name, r.name});
+            }
+        }
+    }
+}
+
+} // namespace fireaxe::verify

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * IR verifier: diagnostic (non-fatal) well-formedness checks over a
+ * firrtl:: circuit. Mirrors the invariants firrtl::verifyCircuit()
+ * enforces with fatal()s, but reports every violation as a structured
+ * Diagnostic so a whole design can be linted in one pass, and adds
+ * checks the builder cannot afford to make fatal: truncating
+ * connects, combinational cycles (SCC over the netlist including
+ * instance summaries), and dead-logic reachability.
+ */
+
+#ifndef FIREAXE_VERIFY_IR_HH
+#define FIREAXE_VERIFY_IR_HH
+
+#include "firrtl/ir.hh"
+#include "passes/combdep.hh"
+#include "verify/diag.hh"
+
+namespace fireaxe::verify {
+
+/**
+ * Structural checks that need no dependency analysis: hierarchy
+ * well-formedness (IR007), duplicate names (IR008), unknown /
+ * non-drivable / non-readable references (IR006), multiple drivers
+ * (IR001), truncating connects (IR002), undriven signals (IR003).
+ *
+ * Returns true when the circuit is structurally sound enough for
+ * dependency analysis (no errors added by this call).
+ *
+ * @p partition optionally labels every diagnostic's location (used
+ * when linting the partitions of a plan).
+ */
+bool checkCircuitStructure(const firrtl::Circuit &circuit, Report &report,
+                           const std::string &partition = "");
+
+/**
+ * Dependency-level checks over a structurally sound circuit:
+ * combinational cycles (IR004) from a LoopPolicy::Record analysis,
+ * and dead-logic reachability (IR005). The caller provides the
+ * analysis so it can be shared with the LI-BDN checker.
+ */
+void checkCircuitDeps(const firrtl::Circuit &circuit,
+                      const passes::CombDepAnalysis &analysis,
+                      Report &report, const std::string &partition = "",
+                      bool check_dead_logic = true);
+
+} // namespace fireaxe::verify
+
+#endif // FIREAXE_VERIFY_IR_HH

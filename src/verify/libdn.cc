@@ -1,0 +1,192 @@
+#include "verify/libdn.hh"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace fireaxe::verify {
+
+using ripper::ChannelPlan;
+using ripper::PartitionMode;
+using ripper::PartitionPlan;
+
+namespace {
+
+/** Map each (partition, input port) to the index of the channel that
+ *  delivers it. Plan structure is assumed valid (each net covered by
+ *  exactly one channel). */
+std::map<std::pair<int, std::string>, int>
+inputPortChannels(const PartitionPlan &plan)
+{
+    std::map<std::pair<int, std::string>, int> out;
+    for (size_t c = 0; c < plan.channels.size(); ++c)
+        for (int n : plan.channels[c].netIndices)
+            out[{plan.channels[c].dstPart, plan.nets[n].dstPort}] =
+                int(c);
+    return out;
+}
+
+} // namespace
+
+std::vector<std::vector<std::string>>
+trueChannelDeps(const PartitionPlan &plan,
+                const std::vector<passes::PortDeps> &summaries)
+{
+    auto in_port_channel = inputPortChannels(plan);
+    std::vector<std::vector<std::string>> out(plan.channels.size());
+    for (size_t c = 0; c < plan.channels.size(); ++c) {
+        const ChannelPlan &ch = plan.channels[c];
+        std::set<std::string> deps;
+        for (int n : ch.netIndices) {
+            const auto &port_deps = summaries[ch.srcPart].deps;
+            auto it = port_deps.find(plan.nets[n].srcPort);
+            if (it == port_deps.end())
+                continue;
+            for (const auto &in : it->second) {
+                auto cit = in_port_channel.find({ch.srcPart, in});
+                if (cit != in_port_channel.end())
+                    deps.insert(plan.channels[cit->second].name);
+            }
+        }
+        out[c].assign(deps.begin(), deps.end());
+    }
+    return out;
+}
+
+void
+checkLibdnProtocol(const PartitionPlan &plan,
+                   const std::vector<passes::PortDeps> &summaries,
+                   Report &report)
+{
+    if (plan.mode == PartitionMode::Fast)
+        return;
+
+    auto truth = trueChannelDeps(plan, summaries);
+    std::map<std::string, int> by_name;
+    for (size_t c = 0; c < plan.channels.size(); ++c)
+        by_name[plan.channels[c].name] = int(c);
+
+    for (size_t c = 0; c < plan.channels.size(); ++c) {
+        const ChannelPlan &ch = plan.channels[c];
+        std::set<std::string> true_deps(truth[c].begin(),
+                                        truth[c].end());
+        std::set<std::string> declared(ch.depChannels.begin(),
+                                       ch.depChannels.end());
+        std::string part = "p";
+        part += std::to_string(ch.srcPart);
+        SourceLoc loc{part, "", ch.name};
+
+        // A source-class declaration claims the channel's outputs
+        // depend on no inputs at all.
+        if (!ch.sinkClass && !true_deps.empty()) {
+            std::ostringstream msg;
+            msg << "channel is declared source-class but its source "
+                   "ports combinationally depend on channel(s)";
+            for (const auto &d : true_deps)
+                msg << " '" << d << "'";
+            msg << "; the runtime FSM will wait on them "
+                   "(under-declared dependency)";
+            report.add("LBDN001", Severity::Error, msg.str(), loc);
+        }
+
+        // An explicit depChannels list must cover the truth exactly.
+        // An empty list on a sink-class channel means "unenumerated"
+        // (hand-written plans predating depChannels) and is accepted.
+        if (!declared.empty()) {
+            for (const auto &t : true_deps) {
+                if (!declared.count(t) && ch.sinkClass) {
+                    report.add("LBDN001", Severity::Error,
+                               "channel depends on channel '" + t +
+                                   "' which its depChannels "
+                                   "declaration omits "
+                                   "(under-declared dependency)",
+                               loc);
+                }
+            }
+            for (const auto &d : declared) {
+                if (!by_name.count(d)) {
+                    report.add("LBDN002", Severity::Warning,
+                               "depChannels names unknown channel '" +
+                                   d + "'",
+                               loc);
+                } else if (!true_deps.count(d)) {
+                    report.add("LBDN002", Severity::Warning,
+                               "declared dependency on channel '" + d +
+                                   "' has no combinational path in "
+                                   "the netlist (over-declared: "
+                                   "provable throughput loss)",
+                               loc);
+                }
+            }
+        } else if (ch.sinkClass && true_deps.empty()) {
+            report.add("LBDN002", Severity::Warning,
+                       "channel is declared sink-class but its source "
+                       "ports have no combinational input "
+                       "dependencies (over-declared: provable "
+                       "throughput loss)",
+                       loc);
+        }
+    }
+
+    // LBDN003: cycles in the recomputed channel wait-for graph. A
+    // channel waits for its true dependency channels; with no seed
+    // tokens (exact mode) a cycle means no channel in it can ever
+    // fire. Iterative DFS over channel indices.
+    {
+        std::map<std::string, int> state; // keyed by channel name
+        for (size_t root = 0; root < plan.channels.size(); ++root) {
+            const std::string &root_name = plan.channels[root].name;
+            if (state[root_name])
+                continue;
+            // Stack of (channel index, next dep position, path pos).
+            std::vector<std::pair<int, size_t>> stack;
+            std::vector<int> path;
+            stack.push_back({int(root), 0});
+            state[root_name] = 1;
+            path.push_back(int(root));
+            while (!stack.empty()) {
+                auto &[c, idx] = stack.back();
+                const auto &deps = truth[c];
+                if (idx < deps.size()) {
+                    const std::string &dep = deps[idx++];
+                    auto it = by_name.find(dep);
+                    if (it == by_name.end())
+                        continue;
+                    int d = it->second;
+                    int s = state[dep];
+                    if (s == 1) {
+                        // Found a cycle: slice it out of the path.
+                        std::ostringstream msg;
+                        msg << "channel wait-for cycle:";
+                        size_t start = 0;
+                        while (path[start] != d)
+                            ++start;
+                        for (size_t i = start; i < path.size(); ++i) {
+                            msg << " '"
+                                << plan.channels[path[i]].name
+                                << "' ->";
+                        }
+                        msg << " '" << dep
+                            << "' (no channel in the cycle can ever "
+                               "fire: statically provable deadlock)";
+                        std::string cyc_part = "p";
+                        cyc_part += std::to_string(
+                            plan.channels[d].srcPart);
+                        report.add("LBDN003", Severity::Error,
+                                   msg.str(), {cyc_part, "", dep});
+                    } else if (s == 0) {
+                        state[dep] = 1;
+                        stack.push_back({d, 0});
+                        path.push_back(d);
+                    }
+                    continue;
+                }
+                state[plan.channels[c].name] = 2;
+                stack.pop_back();
+                path.pop_back();
+            }
+        }
+    }
+}
+
+} // namespace fireaxe::verify

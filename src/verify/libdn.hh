@@ -1,0 +1,57 @@
+/**
+ * @file
+ * LI-BDN protocol checker: recomputes per-partition combinational
+ * dependency summaries (passes/combdep) and cross-checks them against
+ * the channel dependencies the partition plan declares.
+ *
+ * The declaration (ChannelPlan::sinkClass + ChannelPlan::depChannels)
+ * drives exact-mode channelization; the runtime LIBDNModel always
+ * waits on the TRUE dependencies of the signals bound to a channel.
+ * So an under-declared dependency means comb-dependent ports were
+ * bundled into a channel whose wait-for relation the plan author did
+ * not account for — and when those true dependencies form a cycle
+ * across unseeded channels, the simulation provably deadlocks before
+ * the first token moves (LBDN003). A dependency declared but not
+ * present in the netlist delays firing for no reason: provable
+ * throughput loss (LBDN002).
+ *
+ * Fast-mode plans are skipped: seed tokens break boundary wait-for
+ * cycles by construction, and the ready-valid transform rewrites the
+ * partitions after the summaries these declarations were derived from.
+ */
+
+#ifndef FIREAXE_VERIFY_LIBDN_HH
+#define FIREAXE_VERIFY_LIBDN_HH
+
+#include <vector>
+
+#include "passes/combdep.hh"
+#include "ripper/partition.hh"
+#include "verify/diag.hh"
+
+namespace fireaxe::verify {
+
+/**
+ * Cross-check declared against recomputed channel dependencies and
+ * detect channel wait-for cycles. @p summaries holds one PortDeps per
+ * partition (the partition top's summary), indexed like
+ * plan.partitions. Requires the plan to have passed the structural
+ * plan checks (checkPlanStructure).
+ */
+void checkLibdnProtocol(const ripper::PartitionPlan &plan,
+                        const std::vector<passes::PortDeps> &summaries,
+                        Report &report);
+
+/**
+ * The recomputed (true) dependency channels of each channel: names of
+ * channels into ch.srcPart whose bound input ports some net of ch
+ * combinationally depends on. Exposed for the executor's runtime
+ * deadlock diagnosis cross-reference.
+ */
+std::vector<std::vector<std::string>>
+trueChannelDeps(const ripper::PartitionPlan &plan,
+                const std::vector<passes::PortDeps> &summaries);
+
+} // namespace fireaxe::verify
+
+#endif // FIREAXE_VERIFY_LIBDN_HH

@@ -1,0 +1,349 @@
+#include "verify/plan.hh"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace fireaxe::verify {
+
+using firrtl::Module;
+using firrtl::Port;
+using firrtl::PortDir;
+using ripper::BoundaryNet;
+using ripper::ChannelPlan;
+using ripper::PartitionMode;
+using ripper::PartitionPlan;
+
+namespace {
+
+std::string
+partLabel(const PartitionPlan &plan, int p)
+{
+    if (p >= 0 && size_t(p) < plan.partitionNames.size() &&
+        !plan.partitionNames[p].empty())
+        return plan.partitionNames[p];
+    return "p" + std::to_string(p);
+}
+
+const Port *
+findTopPort(const PartitionPlan &plan, int part,
+            const std::string &name)
+{
+    const Module *top =
+        plan.partitions[part].findModule(plan.partitions[part].topName);
+    return top ? top->findPort(name) : nullptr;
+}
+
+/** Whether a partition contains a FireRipper-generated skid buffer
+ *  instance (fast-mode ready-valid boundary transform). */
+bool
+hasSkidBuffer(const firrtl::Circuit &pc)
+{
+    for (const auto &[_, mod] : pc.modules) {
+        auto it = mod.attrs.find("fireRipperGenerated");
+        if (it != mod.attrs.end() && it->second == "skidBuffer")
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+checkPlanStructure(const PartitionPlan &plan, Report &report)
+{
+    size_t errors_before = report.count(Severity::Error);
+    size_t nparts = plan.partitions.size();
+
+    if (nparts == 0) {
+        report.add("PLAN001", Severity::Error,
+                   "plan has no partitions");
+        return false;
+    }
+    if (plan.partitionNames.size() != nparts) {
+        std::ostringstream msg;
+        msg << "partitionNames has " << plan.partitionNames.size()
+            << " entries for " << nparts << " partitions";
+        report.add("PLAN001", Severity::Error, msg.str());
+    }
+    if (plan.fame5Threads.size() != nparts) {
+        std::ostringstream msg;
+        msg << "fame5Threads has " << plan.fame5Threads.size()
+            << " entries for " << nparts << " partitions";
+        report.add("PLAN001", Severity::Error, msg.str());
+    }
+
+    // Nets: endpoint ranges, port existence, directions, widths.
+    for (size_t n = 0; n < plan.nets.size(); ++n) {
+        const BoundaryNet &net = plan.nets[n];
+        std::string net_label = "net #" + std::to_string(n);
+        if (net.srcPart < 0 || size_t(net.srcPart) >= nparts ||
+            net.dstPart < 0 || size_t(net.dstPart) >= nparts) {
+            report.add("PLAN001", Severity::Error,
+                       net_label + " references an out-of-range "
+                                   "partition",
+                       {"", "", net.flatSignal});
+            continue;
+        }
+        if (net.srcPart == net.dstPart) {
+            report.add("PLAN001", Severity::Error,
+                       net_label + " connects partition " +
+                           std::to_string(net.srcPart) + " to itself",
+                       {partLabel(plan, net.srcPart), "",
+                        net.flatSignal});
+            continue;
+        }
+        const Port *src = findTopPort(plan, net.srcPart, net.srcPort);
+        const Port *dst = findTopPort(plan, net.dstPart, net.dstPort);
+        if (!src || src->dir != PortDir::Output) {
+            report.add("PLAN002", Severity::Error,
+                       net_label + (src ? " source port is not an "
+                                          "output"
+                                        : " names a missing source "
+                                          "port"),
+                       {partLabel(plan, net.srcPart), "",
+                        net.srcPort});
+        }
+        if (!dst || dst->dir != PortDir::Input) {
+            report.add("PLAN002", Severity::Error,
+                       net_label + (dst ? " destination port is not "
+                                          "an input"
+                                        : " names a missing "
+                                          "destination port"),
+                       {partLabel(plan, net.dstPart), "",
+                        net.dstPort});
+        }
+        if (src && dst && src->dir == PortDir::Output &&
+            dst->dir == PortDir::Input) {
+            if (src->width != net.width || dst->width != net.width) {
+                std::ostringstream msg;
+                msg << net_label << " declares width " << net.width
+                    << " but the ports are " << src->width << " ('"
+                    << net.srcPort << "') and " << dst->width << " ('"
+                    << net.dstPort << "') bits wide";
+                report.add("PLAN003", Severity::Error, msg.str(),
+                           {partLabel(plan, net.srcPart), "",
+                            net.flatSignal});
+            }
+        }
+    }
+
+    // Channels: unique names, endpoint ranges, net coverage, widths,
+    // capacity.
+    std::set<std::string> channel_names;
+    std::map<int, int> net_owner; // net index -> channel index
+    for (size_t c = 0; c < plan.channels.size(); ++c) {
+        const ChannelPlan &ch = plan.channels[c];
+        SourceLoc loc{"", "", ch.name};
+        if (!channel_names.insert(ch.name).second) {
+            report.add("PLAN001", Severity::Error,
+                       "duplicate channel name", loc);
+        }
+        if (ch.srcPart < 0 || size_t(ch.srcPart) >= nparts ||
+            ch.dstPart < 0 || size_t(ch.dstPart) >= nparts) {
+            report.add("PLAN001", Severity::Error,
+                       "channel references an out-of-range partition",
+                       loc);
+            continue;
+        }
+        loc.partition = partLabel(plan, ch.srcPart);
+        unsigned width = 0;
+        for (int n : ch.netIndices) {
+            if (n < 0 || size_t(n) >= plan.nets.size()) {
+                report.add("PLAN001", Severity::Error,
+                           "channel references an out-of-range net",
+                           loc);
+                continue;
+            }
+            auto [it, fresh] = net_owner.insert({n, int(c)});
+            if (!fresh) {
+                report.add("PLAN001", Severity::Error,
+                           "net #" + std::to_string(n) +
+                               " is carried by both channel '" +
+                               plan.channels[it->second].name +
+                               "' and this channel",
+                           loc);
+            }
+            const BoundaryNet &net = plan.nets[n];
+            if (net.srcPart != ch.srcPart ||
+                net.dstPart != ch.dstPart) {
+                report.add("PLAN001", Severity::Error,
+                           "net #" + std::to_string(n) +
+                               " does not match the channel's "
+                               "partition pair",
+                           loc);
+            }
+            width += net.width;
+        }
+        if (width != ch.widthBits) {
+            std::ostringstream msg;
+            msg << "channel declares " << ch.widthBits
+                << " bits but its nets sum to " << width;
+            report.add("PLAN004", Severity::Error, msg.str(), loc);
+        }
+        if (ch.capacity == 0) {
+            report.add("PLAN007", Severity::Error,
+                       "channel has zero token capacity: the source "
+                       "can never enqueue (no credits)",
+                       loc);
+        } else if (plan.mode == PartitionMode::Fast &&
+                   ch.capacity < 2) {
+            report.add("PLAN007", Severity::Error,
+                       "fast-mode channel capacity below 2 cannot "
+                       "hold the seed token plus one in flight; the "
+                       "boundary pipeline stalls every cycle",
+                       loc);
+        }
+    }
+    for (size_t n = 0; n < plan.nets.size(); ++n) {
+        if (!net_owner.count(int(n))) {
+            report.add("PLAN001", Severity::Error,
+                       "net #" + std::to_string(n) +
+                           " is not carried by any channel",
+                       {"", "", plan.nets[n].flatSignal});
+        }
+    }
+
+    return report.count(Severity::Error) == errors_before;
+}
+
+void
+checkPlanCuts(const PartitionPlan &plan,
+              const std::vector<passes::PortDeps> &summaries,
+              Report &report)
+{
+    // PLAN005: fast mode may cut through an annotated ready-valid
+    // interface only via FireRipper's boundary transform, which gates
+    // the source valid with the (delayed) ready and plants a skid
+    // buffer in the sink partition. An annotated bundle whose valid
+    // crosses the cut into a partition with no skid buffer loses
+    // in-flight transactions the moment the stale ready drops: that
+    // is an un-buffered cut, and it is statically provable from the
+    // plan alone.
+    if (plan.mode == PartitionMode::Fast) {
+        for (size_t p = 0; p < plan.partitions.size(); ++p) {
+            const firrtl::Circuit &pc = plan.partitions[p];
+            const Module *ptop = pc.findModule(pc.topName);
+            if (!ptop)
+                continue;
+            for (const auto &inst : ptop->instances) {
+                const Module *def = pc.findModule(inst.moduleName);
+                if (!def)
+                    continue;
+                for (const auto &bundle : def->rvBundles) {
+                    std::string flat_valid =
+                        inst.name + "." + bundle.validPort;
+                    std::string flat_ready =
+                        inst.name + "." + bundle.readyPort;
+                    const BoundaryNet *vnet = nullptr;
+                    int valid_crossings = 0, ready_crossings = 0;
+                    for (const auto &net : plan.nets) {
+                        if (net.flatSignal == flat_valid) {
+                            vnet = &net;
+                            ++valid_crossings;
+                        }
+                        if (net.flatSignal == flat_ready)
+                            ++ready_crossings;
+                    }
+                    // The hazard needs the whole handshake cut: a
+                    // valid with no crossing ready (e.g. the
+                    // consumer ignores backpressure) never gates on
+                    // stale state, and a fanned-out valid is one the
+                    // transform declines to touch.
+                    if (valid_crossings != 1 || ready_crossings != 1)
+                        continue;
+                    if (hasSkidBuffer(plan.partitions[vnet->dstPart]))
+                        continue;
+                    report.add(
+                        "PLAN005", Severity::Error,
+                        "fast-mode cut goes through ready-valid "
+                        "bundle '" + bundle.name + "' of '" +
+                            inst.name + "' but partition '" +
+                            partLabel(plan, vnet->dstPart) +
+                            "' has no skid buffer on the sink side; "
+                            "in-flight transactions are dropped when "
+                            "the delayed ready drops (re-run "
+                            "FireRipper's ready-valid transform or "
+                            "use exact mode)",
+                        {partLabel(plan, int(p)), def->name,
+                         flat_valid});
+                }
+            }
+        }
+
+        // PLAN008: combinational cross-partition paths that are not
+        // absorbed by a skid-buffered ready-valid boundary become a
+        // one-target-cycle approximation under fast mode's seed
+        // tokens. Legal, but worth a paper trail per channel.
+        for (const ChannelPlan &ch : plan.channels) {
+            if (hasSkidBuffer(plan.partitions[ch.dstPart]))
+                continue;
+            for (int n : ch.netIndices) {
+                if (summaries[ch.srcPart].isSinkOutput(
+                        plan.nets[n].srcPort)) {
+                    report.add(
+                        "PLAN008", Severity::Note,
+                        "fast-mode channel carries a combinational "
+                        "cross-partition path (source port '" +
+                            plan.nets[n].srcPort +
+                            "' depends on partition inputs); seed "
+                            "tokens make it run, but values arrive "
+                            "one target cycle late "
+                            "(cycle-approximate)",
+                        {partLabel(plan, ch.srcPart), "", ch.name});
+                    break;
+                }
+            }
+        }
+    }
+
+    // PLAN006: feedback consistency. The feedback block is what
+    // users size links and hosts from; stale numbers are not fatal
+    // but mislead capacity planning.
+    {
+        std::vector<unsigned> widths(plan.partitions.size(), 0);
+        for (const auto &net : plan.nets) {
+            widths[net.srcPart] += net.width;
+            widths[net.dstPart] += net.width;
+        }
+        if (!plan.feedback.interfaceWidths.empty() &&
+            plan.feedback.interfaceWidths != widths) {
+            report.add("PLAN006", Severity::Warning,
+                       "feedback interfaceWidths disagree with the "
+                       "recomputed boundary widths");
+        }
+
+        unsigned max_width = 0;
+        for (const auto &ch : plan.channels)
+            max_width = std::max(max_width, ch.widthBits);
+        if (plan.feedback.maxChannelWidth != max_width) {
+            std::ostringstream msg;
+            msg << "feedback maxChannelWidth is "
+                << plan.feedback.maxChannelWidth
+                << " but the widest channel carries " << max_width
+                << " bits";
+            report.add("PLAN006", Severity::Warning, msg.str());
+        }
+
+        bool any_comb = false;
+        for (const ChannelPlan &ch : plan.channels)
+            for (int n : ch.netIndices)
+                if (summaries[ch.srcPart].isSinkOutput(
+                        plan.nets[n].srcPort))
+                    any_comb = true;
+        unsigned crossings =
+            (plan.mode == PartitionMode::Exact && any_comb) ? 2 : 1;
+        if (plan.feedback.linkCrossingsPerCycle != 0 &&
+            plan.feedback.linkCrossingsPerCycle != crossings) {
+            std::ostringstream msg;
+            msg << "feedback declares "
+                << plan.feedback.linkCrossingsPerCycle
+                << " link crossing(s) per target cycle but the "
+                   "boundary requires "
+                << crossings;
+            report.add("PLAN006", Severity::Warning, msg.str());
+        }
+    }
+}
+
+} // namespace fireaxe::verify

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Partition-plan linter: structural validation of FireRipper output
+ * (or hand-written plans) before any simulator state is built.
+ *
+ * checkPlanStructure validates the shapes the rest of the verifier
+ * and the executor rely on (PLAN001-PLAN004, PLAN007). checkPlanCuts
+ * adds the dependency-aware cut checks: fast-mode combinational
+ * paths through un-buffered boundaries (PLAN005) and feedback /
+ * link-capacity consistency (PLAN006).
+ */
+
+#ifndef FIREAXE_VERIFY_PLAN_HH
+#define FIREAXE_VERIFY_PLAN_HH
+
+#include <vector>
+
+#include "passes/combdep.hh"
+#include "ripper/partition.hh"
+#include "verify/diag.hh"
+
+namespace fireaxe::verify {
+
+/**
+ * Shape and capacity checks needing no dependency analysis. Returns
+ * true when the plan is sound enough for the dependency-aware checks
+ * (no errors added by this call).
+ */
+bool checkPlanStructure(const ripper::PartitionPlan &plan,
+                        Report &report);
+
+/**
+ * Dependency-aware cut checks. @p summaries holds one PortDeps per
+ * partition (the partition top's summary). Requires
+ * checkPlanStructure to have passed.
+ */
+void checkPlanCuts(const ripper::PartitionPlan &plan,
+                   const std::vector<passes::PortDeps> &summaries,
+                   Report &report);
+
+} // namespace fireaxe::verify
+
+#endif // FIREAXE_VERIFY_PLAN_HH

@@ -1,0 +1,85 @@
+#include "verify/verify.hh"
+
+#include "base/logging.hh"
+
+namespace fireaxe::verify {
+
+Report
+verifyCircuit(const firrtl::Circuit &circuit, const Options &options)
+{
+    Report report;
+    if (!options.checkIr)
+        return report;
+    if (!checkCircuitStructure(circuit, report))
+        return report;
+    passes::CombDepAnalysis analysis(circuit,
+                                     passes::LoopPolicy::Record);
+    checkCircuitDeps(circuit, analysis, report, "",
+                     options.checkDeadLogic);
+    return report;
+}
+
+Report
+verifyPlan(const ripper::PartitionPlan &plan, const Options &options)
+{
+    Report report;
+
+    bool plan_ok = true;
+    if (options.checkPlan)
+        plan_ok = checkPlanStructure(plan, report);
+
+    bool circuits_ok = true;
+    if (options.checkIr) {
+        for (size_t p = 0; p < plan.partitions.size(); ++p) {
+            std::string label =
+                p < plan.partitionNames.size() &&
+                        !plan.partitionNames[p].empty()
+                    ? plan.partitionNames[p]
+                    : "p" + std::to_string(p);
+            circuits_ok &= checkCircuitStructure(plan.partitions[p],
+                                                 report, label);
+        }
+    }
+    if (!circuits_ok)
+        return report;
+
+    // Dependency analyses are shared between the IR cycle check, the
+    // LI-BDN protocol checker and the cut checks: one recomputation
+    // per partition.
+    std::vector<passes::CombDepAnalysis> analyses;
+    std::vector<passes::PortDeps> summaries;
+    analyses.reserve(plan.partitions.size());
+    for (const auto &pc : plan.partitions) {
+        analyses.emplace_back(pc, passes::LoopPolicy::Record);
+        summaries.push_back(analyses.back().forModule(pc.topName));
+    }
+
+    bool cycles = false;
+    if (options.checkIr) {
+        for (size_t p = 0; p < plan.partitions.size(); ++p) {
+            std::string label =
+                p < plan.partitionNames.size() &&
+                        !plan.partitionNames[p].empty()
+                    ? plan.partitionNames[p]
+                    : "p" + std::to_string(p);
+            checkCircuitDeps(plan.partitions[p], analyses[p], report,
+                             label, options.checkDeadLogic);
+            cycles = cycles || !analyses[p].loops().empty();
+        }
+    }
+
+    // With intra-partition cycles the port summaries are unreliable;
+    // with a malformed plan the index spaces are. Either way the
+    // dependency-aware plan checks would chase bad data.
+    if (!plan_ok || cycles)
+        return report;
+
+    if (options.checkLibdn)
+        checkLibdnProtocol(plan, summaries, report);
+    if (options.checkPlan)
+        checkPlanCuts(plan, summaries, report);
+
+    return report;
+}
+
+} // namespace fireaxe::verify

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Static verifier entry points: run every check family over a
+ * circuit or a partition plan and collect one Report.
+ *
+ * Check ordering is load-bearing: structural IR checks gate the
+ * dependency analysis (CombDepAnalysis assumes resolvable
+ * references), and plan-structure checks gate the LI-BDN and cut
+ * checks (which index partitions and nets by the plan's own
+ * numbers). When a gate fails the later checks are skipped rather
+ * than crashed, so a broken input still produces a clean report.
+ */
+
+#ifndef FIREAXE_VERIFY_VERIFY_HH
+#define FIREAXE_VERIFY_VERIFY_HH
+
+#include "firrtl/ir.hh"
+#include "ripper/partition.hh"
+#include "verify/diag.hh"
+#include "verify/ir.hh"
+#include "verify/libdn.hh"
+#include "verify/plan.hh"
+
+namespace fireaxe::verify {
+
+/** Which check families to run. */
+struct Options
+{
+    bool checkIr = true;       ///< IRxxx over every circuit
+    bool checkLibdn = true;    ///< LBDNxxx over the channel plan
+    bool checkPlan = true;     ///< PLANxxx over the plan structure
+    bool checkDeadLogic = true; ///< IR005 (the only noisy warning)
+};
+
+/** Verify a stand-alone circuit (IR checks only). */
+Report verifyCircuit(const firrtl::Circuit &circuit,
+                     const Options &options = {});
+
+/** Verify a partition plan: plan structure, every partition's IR,
+ *  then the dependency-aware LI-BDN and cut checks. */
+Report verifyPlan(const ripper::PartitionPlan &plan,
+                  const Options &options = {});
+
+} // namespace fireaxe::verify
+
+#endif // FIREAXE_VERIFY_VERIFY_HH

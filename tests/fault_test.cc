@@ -115,8 +115,8 @@ deadlockPlan()
     plan.fame5Threads = {1, 1};
     plan.nets.push_back({8, 0, 1, "b", "a", "n0"});
     plan.nets.push_back({8, 1, 0, "b", "a", "n1"});
-    plan.channels.push_back({"c01", 0, 1, true, {0}, 8});
-    plan.channels.push_back({"c10", 1, 0, true, {1}, 8});
+    plan.channels.push_back({"c01", 0, 1, true, {0}, 8, {}, 16});
+    plan.channels.push_back({"c10", 1, 0, true, {1}, 8, {}, 16});
     plan.feedback.maxChannelWidth = 8;
     plan.feedback.linkCrossingsPerCycle = 2;
     return plan;
@@ -405,10 +405,27 @@ TEST(Fault, RetryExhaustionFailsOverToHostPcie)
     expectBitExact(mono, part);
 }
 
+TEST(Fault, PreflightRefusesDeadlockPlan)
+{
+    // The default Enforce policy statically rejects the plan that
+    // GenuineDeadlockIsDiagnosed only catches at runtime, citing the
+    // wait-for cycle.
+    auto plan = deadlockPlan();
+    MultiFpgaSim sim(plan, u250s(2, 50.0), transport::qsfpAurora());
+    try {
+        sim.run(10);
+        FAIL() << "expected the pre-flight gate to reject the plan";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("LBDN003"),
+                  std::string::npos);
+    }
+}
+
 TEST(Fault, GenuineDeadlockIsDiagnosed)
 {
     auto plan = deadlockPlan();
     MultiFpgaSim sim(plan, u250s(2, 50.0), transport::qsfpAurora());
+    sim.setVerifyPolicy(platform::VerifyPolicy::Off);
     auto result = sim.run(10);
 
     ASSERT_TRUE(result.deadlocked);
@@ -438,12 +455,25 @@ TEST(Fault, GenuineDeadlockIsDiagnosed)
     }
     EXPECT_NE(result.diagnosis.summary.find("stuck channel"),
               std::string::npos);
+
+    // Even with verification off, the diagnosis cross-references the
+    // static check that would have refused the plan up front.
+    ASSERT_FALSE(result.diagnosis.staticFindings.empty());
+    bool cites_libdn = false;
+    for (const auto &finding : result.diagnosis.staticFindings)
+        cites_libdn = cites_libdn ||
+                      finding.find("static check LBDN003 would have "
+                                   "caught this") != std::string::npos;
+    EXPECT_TRUE(cites_libdn);
+    EXPECT_NE(result.diagnosis.summary.find("LBDN003"),
+              std::string::npos);
 }
 
 TEST(Fault, DiagnosisPrettyPrinters)
 {
     auto plan = deadlockPlan();
     MultiFpgaSim sim(plan, u250s(2, 50.0), transport::qsfpAurora());
+    sim.setVerifyPolicy(platform::VerifyPolicy::Off);
     auto result = sim.run(10);
     ASSERT_TRUE(result.deadlocked);
     const DeadlockDiagnosis &diag = result.diagnosis;

@@ -129,8 +129,8 @@ deadlockPlan()
     plan.fame5Threads = {1, 1};
     plan.nets.push_back({8, 0, 1, "b", "a", "n0"});
     plan.nets.push_back({8, 1, 0, "b", "a", "n1"});
-    plan.channels.push_back({"c01", 0, 1, true, {0}, 8});
-    plan.channels.push_back({"c10", 1, 0, true, {1}, 8});
+    plan.channels.push_back({"c01", 0, 1, true, {0}, 8, {}, 16});
+    plan.channels.push_back({"c10", 1, 0, true, {1}, 8, {}, 16});
     plan.feedback.maxChannelWidth = 8;
     plan.feedback.linkCrossingsPerCycle = 2;
     return plan;
@@ -470,6 +470,7 @@ TEST(ParExec, GenuineDeadlockIsDiagnosedInParallel)
 {
     auto plan = deadlockPlan();
     MultiFpgaSim sim(plan, u250s(2, 50.0), transport::qsfpAurora());
+    sim.setVerifyPolicy(VerifyPolicy::Off);
     sim.setExecConfig(ExecConfig::parallel(2));
     auto result = sim.run(10);
 
@@ -481,6 +482,11 @@ TEST(ParExec, GenuineDeadlockIsDiagnosedInParallel)
         EXPECT_TRUE(cd.name == "c01" || cd.name == "c10");
         EXPECT_TRUE(cd.starved);
     }
+    // The parallel watchdog's diagnosis carries the same static
+    // cross-reference as the sequential one.
+    ASSERT_FALSE(result.diagnosis.staticFindings.empty());
+    EXPECT_NE(result.diagnosis.staticFindings.front().find("LBDN003"),
+              std::string::npos);
 }
 
 TEST(ParExec, StopConditionWorksAcrossWorkers)

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * fireaxe-lint: run the static verifier (src/verify) from the command
+ * line, without building any simulator state.
+ *
+ * Inputs:
+ *  - `--fir FILE` parses a FIRRTL circuit and runs the IR checks
+ *    (IRxxx) over it;
+ *  - `--target NAME [--mode exact|fast]` builds one of the shipped
+ *    src/target designs, auto-partitions it with its canonical
+ *    FireRipper spec, and runs the full check suite (IR + LBDN +
+ *    PLAN) over the resulting plan.
+ *
+ * Output is compiler-style text by default, `--json` for tooling.
+ * Exit status: 0 clean (or warnings without `--werror`), 1 findings,
+ * 2 usage / input errors. `--list-checks` enumerates every
+ * diagnostic code the verifier implements.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "firrtl/parser.hh"
+#include "ripper/nocselect.hh"
+#include "ripper/partition.hh"
+#include "target/accelerators.hh"
+#include "target/big_core.hh"
+#include "target/bus_soc.hh"
+#include "target/noc_soc.hh"
+#include "target/paper_examples.hh"
+#include "verify/verify.hh"
+
+using namespace fireaxe;
+
+namespace {
+
+struct LintTarget
+{
+    const char *name;
+    const char *summary;
+    firrtl::Circuit (*build)();
+    ripper::PartitionSpec (*spec)(const firrtl::Circuit &);
+};
+
+ripper::PartitionSpec
+singleGroup(const char *group, std::set<std::string> paths)
+{
+    ripper::PartitionSpec spec;
+    spec.groups.push_back({group, std::move(paths), 1});
+    return spec;
+}
+
+const std::vector<LintTarget> &
+lintTargets()
+{
+    static const std::vector<LintTarget> targets = {
+        {"fig2", "paper Fig. 2 two-block example",
+         [] { return target::buildFig2Target(); },
+         [](const firrtl::Circuit &) {
+             return singleGroup("blockB", {"blockB"});
+         }},
+        {"fig3", "paper Fig. 3 producer/consumer example",
+         [] { return target::buildFig3Target(); },
+         [](const firrtl::Circuit &) {
+             return singleGroup("consumer", {"consumer"});
+         }},
+        {"bus-soc", "bus-based SoC, two tiles pulled out",
+         [] {
+             target::BusSocConfig cfg;
+             cfg.numTiles = 4;
+             cfg.memWords = 256;
+             return target::buildBusSoc(cfg);
+         },
+         [](const firrtl::Circuit &) {
+             return singleGroup("tiles", target::busSocTilePaths(2));
+         }},
+        {"ring-noc", "ring NoC SoC, one router node pulled out",
+         [] {
+             target::RingNocSocConfig cfg;
+             cfg.numNodes = 4;
+             cfg.memWords = 256;
+             return target::buildRingNocSoc(cfg);
+         },
+         [](const firrtl::Circuit &soc) {
+             return singleGroup("n1", ripper::selectNocGroup(soc, {1}));
+         }},
+        {"big-core", "frontend/backend split core (§V-B)",
+         [] {
+             target::BigCoreConfig cfg;
+             cfg.fetchWidth = 2;
+             cfg.fieldsPerInst = 3;
+             cfg.traceWords = 4;
+             cfg.lsuWords = 2;
+             return target::buildBigCore(cfg);
+         },
+         [](const firrtl::Circuit &) {
+             return singleGroup("backend", {"backend"});
+         }},
+        {"sha3", "SHA-3 accelerator SoC",
+         [] {
+             target::Sha3Config cfg;
+             cfg.roundCycles = 50;
+             return target::buildSha3Soc(cfg);
+         },
+         [](const firrtl::Circuit &) {
+             return singleGroup("accel", {"accel"});
+         }},
+        {"gemmini", "Gemmini-style accelerator SoC",
+         [] {
+             target::GemminiConfig cfg;
+             cfg.macCycles = 500;
+             return target::buildGemminiSoc(cfg);
+         },
+         [](const firrtl::Circuit &) {
+             return singleGroup("accel", {"accel"});
+         }},
+        {"boot", "boot-ROM instruction-stream SoC",
+         [] {
+             target::BootConfig cfg;
+             cfg.instructions = 2000;
+             cfg.fenceInterval = 256;
+             return target::buildBootSoc(cfg);
+         },
+         [](const firrtl::Circuit &) {
+             return singleGroup("accel", {"accel"});
+         }},
+    };
+    return targets;
+}
+
+int
+usage(std::ostream &os, int status)
+{
+    os << "usage: fireaxe-lint [options]\n"
+          "\n"
+          "input (exactly one):\n"
+          "  --fir FILE        lint a FIRRTL circuit (IR checks)\n"
+          "  --target NAME     lint a shipped target design's\n"
+          "                    auto-partition plan (all checks)\n"
+          "  --all-targets     lint every shipped target design\n"
+          "  --list-checks     print the diagnostic-code registry\n"
+          "\n"
+          "options:\n"
+          "  --mode exact|fast partitioning mode (default exact)\n"
+          "  --json            render the report as JSON\n"
+          "  --werror          exit 1 on warnings too\n"
+          "  --no-dead-logic   skip the IR005 dead-logic warning\n"
+          "\n"
+          "targets:\n";
+    for (const auto &t : lintTargets())
+        os << "  " << t.name << std::string(10 - strlen(t.name), ' ')
+           << t.summary << "\n";
+    return status;
+}
+
+int
+reportStatus(const verify::Report &report, bool werror)
+{
+    if (report.hasErrors())
+        return 1;
+    if (werror && report.count(verify::Severity::Warning) > 0)
+        return 1;
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string fir, target_name, mode = "exact";
+    bool all_targets = false, json = false, werror = false;
+    bool list_checks = false;
+    verify::Options options;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "fireaxe-lint: " << flag
+                          << " needs a value\n";
+                exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--fir") {
+            fir = value("--fir");
+        } else if (arg == "--target") {
+            target_name = value("--target");
+        } else if (arg == "--all-targets") {
+            all_targets = true;
+        } else if (arg == "--mode") {
+            mode = value("--mode");
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--werror") {
+            werror = true;
+        } else if (arg == "--no-dead-logic") {
+            options.checkDeadLogic = false;
+        } else if (arg == "--list-checks") {
+            list_checks = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(std::cout, 0);
+        } else {
+            std::cerr << "fireaxe-lint: unknown option '" << arg
+                      << "'\n";
+            return usage(std::cerr, 2);
+        }
+    }
+
+    if (list_checks) {
+        for (const auto &info : verify::checkRegistry())
+            std::cout << info.code << "  "
+                      << verify::severityName(info.defaultSeverity)
+                      << "  " << info.summary << "\n";
+        return 0;
+    }
+
+    int inputs = int(!fir.empty()) + int(!target_name.empty()) +
+                 int(all_targets);
+    if (inputs != 1)
+        return usage(std::cerr, 2);
+    if (mode != "exact" && mode != "fast") {
+        std::cerr << "fireaxe-lint: --mode must be exact or fast\n";
+        return 2;
+    }
+
+    if (!fir.empty()) {
+        std::ifstream in(fir);
+        if (!in) {
+            std::cerr << "fireaxe-lint: cannot open '" << fir << "'\n";
+            return 2;
+        }
+        firrtl::Circuit circuit;
+        try {
+            circuit = firrtl::parseCircuit(in);
+        } catch (const std::exception &e) {
+            std::cerr << "fireaxe-lint: parse error: " << e.what()
+                      << "\n";
+            return 2;
+        }
+        auto report = verify::verifyCircuit(circuit, options);
+        std::cout << (json ? report.renderJson()
+                           : report.renderText());
+        return reportStatus(report, werror);
+    }
+
+    std::vector<const LintTarget *> selected;
+    for (const auto &t : lintTargets())
+        if (all_targets || target_name == t.name)
+            selected.push_back(&t);
+    if (selected.empty()) {
+        std::cerr << "fireaxe-lint: unknown target '" << target_name
+                  << "'\n";
+        return usage(std::cerr, 2);
+    }
+
+    int status = 0;
+    for (const LintTarget *t : selected) {
+        auto circuit = t->build();
+        auto spec = t->spec(circuit);
+        spec.mode = mode == "fast" ? ripper::PartitionMode::Fast
+                                   : ripper::PartitionMode::Exact;
+        auto plan = ripper::partition(circuit, spec);
+        auto report = verify::verifyPlan(plan, options);
+        if (all_targets && !json)
+            std::cout << "--- " << t->name << " (" << mode << ") ---\n";
+        std::cout << (json ? report.renderJson()
+                           : report.renderText());
+        status = std::max(status, reportStatus(report, werror));
+    }
+    return status;
+}
