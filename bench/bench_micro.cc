@@ -11,6 +11,14 @@
  * bus SoC is co-simulated once sequentially and once per requested
  * worker count, reporting wall time, speedup, and a bit-exactness
  * check per row (optionally as JSON rows via --json).
+ *
+ * `--engine interpret,compiled` switches it into an
+ * evaluation-engine sweep instead: a set of shipped targets spanning
+ * high activity (bus SoC) to long quiescent phases (Gemmini, SHA3,
+ * boot) is run monolithically under each requested engine, reporting
+ * cycles/sec, speedup over the interpreter, the fraction of node
+ * evaluations the activity gating skipped, and a final-state
+ * signature check that fails the run on any cross-engine divergence.
  */
 
 #include <benchmark/benchmark.h>
@@ -28,6 +36,7 @@
 #include "platform/fpga.hh"
 #include "ripper/partition.hh"
 #include "rtlsim/simulator.hh"
+#include "target/accelerators.hh"
 #include "target/bus_soc.hh"
 #include "target/noc_soc.hh"
 #include "transport/link.hh"
@@ -214,6 +223,113 @@ runWorkerSweep(const std::vector<unsigned> &worker_counts,
     return 0;
 }
 
+/**
+ * Sweep the rtlsim evaluation engines over a spread of shipped
+ * targets. The interpreter row of each design is the reference: the
+ * speedup column is relative to it and every other engine's
+ * final-state signature must match it bit-for-bit.
+ */
+int
+runEngineSweep(const std::vector<rtlsim::EvalEngine> &engines,
+               uint64_t cycles, const std::string &json_path)
+{
+    if (cycles == 0)
+        cycles = 30000;
+
+    struct Design
+    {
+        const char *name;
+        firrtl::Circuit flat;
+    };
+    std::vector<Design> designs;
+    {
+        target::BusSocConfig cfg;
+        cfg.numTiles = 4;
+        cfg.memWords = 256;
+        designs.push_back(
+            {"bus_soc4",
+             passes::flattenAll(target::buildBusSoc(cfg))});
+    }
+    designs.push_back(
+        {"gemmini", passes::flattenAll(target::buildGemminiSoc())});
+    designs.push_back(
+        {"sha3", passes::flattenAll(target::buildSha3Soc())});
+    designs.push_back(
+        {"boot", passes::flattenAll(target::buildBootSoc())});
+
+    bench::JsonRows rows(json_path);
+    std::printf("engine sweep: %llu target cycles per design\n",
+                (unsigned long long)cycles);
+    std::printf("%-10s %-10s %10s %14s %9s %11s %9s\n", "design",
+                "engine", "wall_ms", "cycles_per_s", "speedup",
+                "gated_frac", "bit_exact");
+
+    int rc = 0;
+    for (const auto &design : designs) {
+        bench::EnginePoint ref = bench::runEvalEngineMeasurement(
+            design.flat, rtlsim::EvalEngine::Interpret, cycles);
+        for (auto engine : engines) {
+            bench::EnginePoint point =
+                engine == rtlsim::EvalEngine::Interpret
+                    ? ref
+                    : bench::runEvalEngineMeasurement(design.flat,
+                                                      engine, cycles);
+            bool exact = point.signature == ref.signature;
+            double speedup = point.wallMs > 0.0
+                                 ? ref.wallMs / point.wallMs
+                                 : 0.0;
+            uint64_t total =
+                point.nodesEvaluated + point.nodesSkipped;
+            double gated =
+                total > 0 ? double(point.nodesSkipped) / double(total)
+                          : 0.0;
+            std::printf("%-10s %-10s %10.2f %14.0f %9.2f %11.3f "
+                        "%9s\n",
+                        design.name, rtlsim::toString(engine),
+                        point.wallMs, point.cyclesPerSec, speedup,
+                        gated, exact ? "yes" : "NO");
+            bench::JsonRow row;
+            row.field("design", design.name)
+                .field("engine", rtlsim::toString(engine))
+                .field("target_cycles", cycles)
+                .field("wall_ms", point.wallMs)
+                .field("cycles_per_sec", point.cyclesPerSec)
+                .field("speedup_vs_interpret", speedup)
+                .field("nodes_evaluated", point.nodesEvaluated)
+                .field("nodes_skipped", point.nodesSkipped)
+                .field("gated_fraction", gated)
+                .field("bit_exact", exact);
+            rows.add(row);
+            if (!exact) {
+                std::fprintf(stderr,
+                             "engine sweep: %s under engine %s "
+                             "diverged from the interpreter\n",
+                             design.name, rtlsim::toString(engine));
+                rc = 1;
+            }
+        }
+    }
+    rows.write();
+    return rc;
+}
+
+std::vector<rtlsim::EvalEngine>
+parseEngineList(const char *arg)
+{
+    std::vector<rtlsim::EvalEngine> engines;
+    std::string s(arg);
+    size_t pos = 0;
+    while (pos < s.size()) {
+        size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        engines.push_back(
+            rtlsim::parseEvalEngine(s.substr(pos, comma - pos)));
+        pos = comma + 1;
+    }
+    return engines;
+}
+
 std::vector<unsigned>
 parseWorkerList(const char *arg)
 {
@@ -237,15 +353,19 @@ parseWorkerList(const char *arg)
 int
 main(int argc, char **argv)
 {
-    // --workers selects the parallel-backend sweep; everything else
-    // is handed to google-benchmark untouched.
+    // --workers selects the parallel-backend sweep and --engine the
+    // evaluation-engine sweep; everything else is handed to
+    // google-benchmark untouched.
     std::vector<unsigned> worker_counts;
+    std::vector<rtlsim::EvalEngine> engines;
     std::string json_path;
     uint64_t cycles = 0;
     std::vector<char *> rest{argv[0]};
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--workers") && i + 1 < argc)
             worker_counts = parseWorkerList(argv[++i]);
+        else if (!std::strcmp(argv[i], "--engine") && i + 1 < argc)
+            engines = parseEngineList(argv[++i]);
         else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
             json_path = argv[++i];
         else if (!std::strcmp(argv[i], "--cycles") && i + 1 < argc)
@@ -255,6 +375,8 @@ main(int argc, char **argv)
     }
     if (!worker_counts.empty())
         return runWorkerSweep(worker_counts, cycles, json_path);
+    if (!engines.empty())
+        return runEngineSweep(engines, cycles, json_path);
 
     int rest_argc = int(rest.size());
     benchmark::Initialize(&rest_argc, rest.data());

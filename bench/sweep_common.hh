@@ -9,6 +9,7 @@
 #ifndef FIREAXE_BENCH_SWEEP_COMMON_HH
 #define FIREAXE_BENCH_SWEEP_COMMON_HH
 
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -20,6 +21,7 @@
 #include "platform/executor.hh"
 #include "platform/fpga.hh"
 #include "ripper/partition.hh"
+#include "rtlsim/simulator.hh"
 #include "target/bus_soc.hh"
 #include "transport/link.hh"
 
@@ -246,6 +248,48 @@ runTilePartitionSweep(unsigned total_tiles, unsigned tiles_out,
                              (1000.0 / bitstream_mhz);
         point.fmr = host_cycles / double(result.targetCycles);
     }
+    return point;
+}
+
+/** One evaluation-engine measurement of a monolithic simulator. */
+struct EnginePoint
+{
+    double wallMs = 0.0;
+    double cyclesPerSec = 0.0;
+    uint64_t nodesEvaluated = 0;
+    uint64_t nodesSkipped = 0;
+    /** FNV-1a over the final signal table; equal signatures across
+     *  engines witness bit-exactness of the whole run. */
+    uint64_t signature = 0;
+};
+
+/**
+ * Run @p cycles target cycles of a flat circuit under the given
+ * evaluation engine and report throughput, activity-gating counters
+ * and the final-state signature. Used by `bench_micro --engine`.
+ */
+inline EnginePoint
+runEvalEngineMeasurement(const firrtl::Circuit &flat,
+                         rtlsim::EvalEngine engine, uint64_t cycles)
+{
+    rtlsim::Simulator sim(flat, engine);
+    auto t0 = std::chrono::steady_clock::now();
+    sim.run(cycles);
+    EnginePoint point;
+    point.wallMs = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    point.cyclesPerSec =
+        point.wallMs > 0.0 ? double(cycles) / (point.wallMs / 1e3)
+                           : 0.0;
+    point.nodesEvaluated = sim.nodesEvaluated();
+    point.nodesSkipped = sim.nodesSkipped();
+    uint64_t h = 1469598103934665603ull;
+    for (size_t i = 0; i < sim.numSignals(); ++i) {
+        h ^= sim.peekIdx(int(i));
+        h *= 1099511628211ull;
+    }
+    point.signature = h;
     return point;
 }
 

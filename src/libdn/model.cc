@@ -8,12 +8,12 @@
 namespace fireaxe::libdn {
 
 LIBDNModel::LIBDNModel(std::string name, const firrtl::Circuit &circuit,
-                       unsigned num_threads)
+                       unsigned num_threads, rtlsim::EvalEngine engine)
     : name_(std::move(name)), numThreads_(num_threads)
 {
     FIREAXE_ASSERT(num_threads >= 1);
     firrtl::Circuit flat = passes::flattenAll(circuit);
-    sim_ = std::make_unique<rtlsim::Simulator>(flat);
+    sim_ = std::make_unique<rtlsim::Simulator>(flat, engine);
     threads_.resize(numThreads_);
     if (numThreads_ > 1) {
         for (auto &th : threads_)

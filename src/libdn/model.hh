@@ -61,9 +61,14 @@ class LIBDNModel
      * @param name      Display name (e.g. "fpga0").
      * @param circuit   The partition's circuit; flattened internally.
      * @param num_threads FAME-5 thread count (1 = plain FAME-1).
+     * @param engine    Evaluation engine for the partition's target
+     *                  simulator (see rtlsim/engine.hh); the choice
+     *                  never changes observable behaviour.
      */
     LIBDNModel(std::string name, const firrtl::Circuit &circuit,
-               unsigned num_threads = 1);
+               unsigned num_threads = 1,
+               rtlsim::EvalEngine engine =
+                   rtlsim::defaultEvalEngine());
 
     /** Declare an input channel over the given input ports. Returns
      *  the channel slot used by bindInput(). */

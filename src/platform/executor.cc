@@ -128,7 +128,8 @@ MultiFpgaSim::init()
 
     for (size_t p = 0; p < plan_.partitions.size(); ++p) {
         models_.push_back(std::make_unique<LIBDNModel>(
-            plan_.partitionNames[p], plan_.partitions[p]));
+            plan_.partitionNames[p], plan_.partitions[p], 1,
+            execConfig_.evalEngine));
         if (drivers_[p])
             models_[p]->setDriver(drivers_[p]);
 
@@ -388,6 +389,13 @@ MultiFpgaSim::finalizeTelemetry(RunResult &result, double now)
             pt.hostCycles.load(std::memory_order_relaxed);
         reg->gauge(base + "host_cycles").set(double(host));
         reg->gauge(base + "wait_ns").set(pt.waitNs);
+        // Activity-gating effectiveness of the partition's target
+        // simulator (nodes skipped is 0 under Interpret).
+        const rtlsim::Simulator &tsim = models_[p]->sim();
+        reg->gauge(base + "eval.nodes_evaluated")
+            .set(double(tsim.nodesEvaluated()));
+        reg->gauge(base + "eval.nodes_skipped")
+            .set(double(tsim.nodesSkipped()));
         if (cycles > 0)
             reg->gauge(base + "fmr").set(double(host) /
                                          double(cycles));

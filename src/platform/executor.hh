@@ -187,6 +187,15 @@ struct ExecConfig
      *  hardware_concurrency). */
     unsigned workers = 0;
     /**
+     * Evaluation engine for every partition's target simulator (see
+     * rtlsim/engine.hh): Interpret re-evaluates the full design each
+     * cycle, Compiled runs the bytecode engine with activity gating.
+     * Bit-exact either way. Defaults to the process-wide
+     * FIREAXE_EVAL choice; fixed at init() time (unlike `backend`,
+     * which may change between run() calls).
+     */
+    rtlsim::EvalEngine evalEngine = rtlsim::defaultEvalEngine();
+    /**
      * Nonzero (parallel backend only): seed random wall-clock
      * scheduling jitter into every worker, to shake out ordering
      * assumptions in stress tests. Results must stay bit-identical

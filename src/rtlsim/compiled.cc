@@ -1,0 +1,433 @@
+#include "rtlsim/compiled.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "base/logging.hh"
+#include "rtlsim/ops.hh"
+#include "rtlsim/simulator.hh"
+
+namespace fireaxe::rtlsim {
+
+CompiledEngine::CompiledEngine(Simulator &sim) : sim_(sim)
+{
+    const size_t num_nodes = sim_.nodes_.size();
+    cnodes_.resize(num_nodes);
+    dirty_.assign(num_nodes, 0);
+    producer_.assign(sim_.signals_.size(), -1);
+    memNode_.assign(sim_.mems_.size(), -1);
+
+    for (size_t n = 0; n < num_nodes; ++n) {
+        const auto &node = sim_.nodes_[n];
+        CNode &cn = cnodes_[n];
+        cn.lhs = node.lhs;
+        cn.width = node.lhsWidth;
+        switch (node.kind) {
+          case Simulator::NodeKind::CombAssign:
+            cn.kind = CNode::Comb;
+            producer_[node.lhs] = int32_t(n);
+            compileNode(int(n));
+            break;
+          case Simulator::NodeKind::MemRead:
+            cn.kind = CNode::MemRead;
+            cn.mem = node.mem;
+            producer_[node.lhs] = int32_t(n);
+            memNode_[node.mem] = int32_t(n);
+            break;
+          case Simulator::NodeKind::RegNext:
+            cn.kind = CNode::RegNext;
+            cn.regSlot = sim_.regNextSlot_.at(node.lhs);
+            compileNode(int(n));
+            break;
+        }
+    }
+
+    buildReaderTable();
+    buildLevels();
+    markAll();
+}
+
+int32_t
+CompiledEngine::constRef(uint64_t value)
+{
+    // The pool is small; linear dedup keeps construction simple.
+    for (size_t i = 0; i < consts_.size(); ++i)
+        if (consts_[i] == value)
+            return ~int32_t(i);
+    consts_.push_back(value);
+    return ~int32_t(consts_.size() - 1);
+}
+
+void
+CompiledEngine::compileNode(int n)
+{
+    const auto &ops = sim_.nodes_[n].expr.ops;
+    using POp = Simulator::POp;
+
+    // Emit into a per-node scratch list with tail fusion: a consumer
+    // op whose operands are the immediately preceding leaf pushes is
+    // collapsed into one fused instruction.
+    std::vector<Instr> out;
+    out.reserve(ops.size());
+    auto leaf = [&](size_t back) -> const Instr * {
+        if (out.size() < back)
+            return nullptr;
+        const Instr &in = out[out.size() - back];
+        return in.op == Instr::Push ? &in : nullptr;
+    };
+    auto fold = [&](Instr in) {
+        // Constant-fold fused instructions over pool-only operands.
+        bool all_const = in.a < 0 &&
+                         (in.op == Instr::UnF || in.op == Instr::BitsF ||
+                                  in.b < 0) &&
+                         (in.op != Instr::MuxF || in.c < 0);
+        if (all_const && in.op != Instr::Push) {
+            Instr lit;
+            lit.op = Instr::Push;
+            lit.width = in.width;
+            lit.a = constRef(execInstr(in));
+            return lit;
+        }
+        return in;
+    };
+
+    for (const POp &op : ops) {
+        Instr in;
+        in.width = op.width;
+        switch (op.kind) {
+          case POp::PushLit:
+            in.op = Instr::Push;
+            in.a = constRef(op.lit);
+            out.push_back(in);
+            break;
+          case POp::PushSig:
+            in.op = Instr::Push;
+            in.a = op.sig;
+            out.push_back(in);
+            break;
+          case POp::Un:
+            in.un = op.un;
+            in.opw = op.lo; // operand width (interpreter convention)
+            if (const Instr *a = leaf(1)) {
+                in.op = Instr::UnF;
+                in.a = a->a;
+                out.pop_back();
+                out.push_back(fold(in));
+            } else {
+                in.op = Instr::Un;
+                out.push_back(in);
+            }
+            break;
+          case POp::Bin: {
+            in.bin = op.bin;
+            const Instr *b = leaf(1);
+            const Instr *a = b ? leaf(2) : nullptr;
+            if (a && b) {
+                in.op = Instr::BinF;
+                in.a = a->a;
+                in.b = b->a;
+                out.pop_back();
+                out.pop_back();
+                out.push_back(fold(in));
+            } else if (b && out.size() >= 2) {
+                in.op = Instr::BinXR;
+                in.b = b->a;
+                out.pop_back();
+                out.push_back(in);
+            } else {
+                in.op = Instr::Bin;
+                out.push_back(in);
+            }
+            break;
+          }
+          case POp::Mux: {
+            const Instr *f = leaf(1);
+            const Instr *t = f ? leaf(2) : nullptr;
+            const Instr *s = t ? leaf(3) : nullptr;
+            if (s && t && f) {
+                in.op = Instr::MuxF;
+                in.a = s->a;
+                in.b = t->a;
+                in.c = f->a;
+                out.pop_back();
+                out.pop_back();
+                out.pop_back();
+                out.push_back(fold(in));
+            } else {
+                in.op = Instr::Mux;
+                out.push_back(in);
+            }
+            break;
+          }
+          case POp::Bits:
+            in.hi = op.hi;
+            in.lo = op.lo;
+            if (const Instr *a = leaf(1)) {
+                in.op = Instr::BitsF;
+                in.a = a->a;
+                out.pop_back();
+                out.push_back(fold(in));
+            } else {
+                in.op = Instr::Bits;
+                out.push_back(in);
+            }
+            break;
+          case POp::Cat: {
+            in.lowWidth = op.lowWidth;
+            const Instr *b = leaf(1);
+            const Instr *a = b ? leaf(2) : nullptr;
+            if (a && b) {
+                in.op = Instr::CatF;
+                in.a = a->a;
+                in.b = b->a;
+                out.pop_back();
+                out.pop_back();
+                out.push_back(fold(in));
+            } else {
+                in.op = Instr::Cat;
+                out.push_back(in);
+            }
+            break;
+          }
+        }
+    }
+
+    cnodes_[n].start = uint32_t(code_.size());
+    code_.insert(code_.end(), out.begin(), out.end());
+    cnodes_[n].end = uint32_t(code_.size());
+}
+
+void
+CompiledEngine::buildReaderTable()
+{
+    // Deduplicate each node's read set, then lay the signal→reader
+    // lists out in one CSR pair.
+    std::vector<std::vector<int>> reads(cnodes_.size());
+    std::vector<uint32_t> counts(sim_.signals_.size() + 1, 0);
+    for (size_t n = 0; n < cnodes_.size(); ++n) {
+        reads[n] = sim_.nodes_[n].readSigs;
+        std::sort(reads[n].begin(), reads[n].end());
+        reads[n].erase(std::unique(reads[n].begin(), reads[n].end()),
+                       reads[n].end());
+        for (int sig : reads[n])
+            ++counts[sig];
+    }
+    sigReadersOff_.assign(sim_.signals_.size() + 1, 0);
+    for (size_t s = 0; s < sim_.signals_.size(); ++s)
+        sigReadersOff_[s + 1] = sigReadersOff_[s] + counts[s];
+    sigReaders_.resize(sigReadersOff_.back());
+    std::vector<uint32_t> fill(sigReadersOff_.begin(),
+                               sigReadersOff_.end() - 1);
+    for (size_t n = 0; n < cnodes_.size(); ++n)
+        for (int sig : reads[n])
+            sigReaders_[fill[sig]++] = int32_t(n);
+}
+
+void
+CompiledEngine::buildLevels()
+{
+    // Longest producer chain, walked in the existing topo order so
+    // producers are ranked before their consumers. Readers always
+    // land at a strictly higher level than any of their producers,
+    // which is what lets evalComb() make a single ascending sweep.
+    uint32_t max_level = 0;
+    for (int n : sim_.evalOrder_) {
+        uint32_t lvl = 0;
+        for (int sig : sim_.nodes_[n].readSigs) {
+            int32_t p = producer_[sig];
+            if (p >= 0 && p != n)
+                lvl = std::max(lvl, cnodes_[p].level + 1);
+        }
+        cnodes_[n].level = lvl;
+        max_level = std::max(max_level, lvl);
+    }
+    levelQueue_.assign(max_level + 1, {});
+}
+
+void
+CompiledEngine::markNode(int n)
+{
+    if (!dirty_[n]) {
+        dirty_[n] = 1;
+        levelQueue_[cnodes_[n].level].push_back(int32_t(n));
+    }
+}
+
+void
+CompiledEngine::markReaders(int sig)
+{
+    for (uint32_t i = sigReadersOff_[sig];
+         i < sigReadersOff_[sig + 1]; ++i)
+        markNode(sigReaders_[i]);
+}
+
+void
+CompiledEngine::onSignalWrite(int sig)
+{
+    markReaders(sig);
+    // A driven signal whose value was overwritten from the outside
+    // (poke) must be recomputed by its driver on the next evalComb,
+    // exactly as the interpreter's full sweep would.
+    if (producer_[sig] >= 0)
+        markNode(producer_[sig]);
+}
+
+void
+CompiledEngine::onMemWrite(int mem)
+{
+    if (memNode_[mem] >= 0)
+        markNode(memNode_[mem]);
+}
+
+void
+CompiledEngine::markAll()
+{
+    for (size_t n = 0; n < cnodes_.size(); ++n)
+        markNode(int(n));
+}
+
+uint64_t
+CompiledEngine::load(int32_t ref) const
+{
+    return ref >= 0 ? sim_.values_[ref] : consts_[~ref];
+}
+
+uint64_t
+CompiledEngine::execInstr(const Instr &in) const
+{
+    switch (in.op) {
+      case Instr::Push:
+        return load(in.a);
+      case Instr::UnF:
+        return evalUnOp(in.un, load(in.a), in.opw, in.width);
+      case Instr::BinF:
+        return evalBinOp(in.bin, load(in.a), load(in.b), in.width);
+      case Instr::MuxF:
+        return truncate(load(in.a) ? load(in.b) : load(in.c),
+                        in.width);
+      case Instr::BitsF:
+        return extractBits(load(in.a), in.hi, in.lo);
+      case Instr::CatF:
+        return truncate((load(in.a) << in.lowWidth) | load(in.b),
+                        in.width);
+      default:
+        panic("execInstr on stack-form opcode");
+    }
+}
+
+uint64_t
+CompiledEngine::execNode(const CNode &cn) const
+{
+    // Fused single-instruction nodes (the common case after fusion)
+    // bypass the stack entirely.
+    if (cn.end - cn.start == 1)
+        return execInstr(code_[cn.start]);
+
+    auto &st = stack_;
+    st.clear();
+    for (uint32_t i = cn.start; i < cn.end; ++i) {
+        const Instr &in = code_[i];
+        switch (in.op) {
+          case Instr::Push:
+          case Instr::UnF:
+          case Instr::BinF:
+          case Instr::MuxF:
+          case Instr::BitsF:
+          case Instr::CatF:
+            st.push_back(execInstr(in));
+            break;
+          case Instr::BinXR: {
+            uint64_t a = st.back();
+            st.pop_back();
+            st.push_back(evalBinOp(in.bin, a, load(in.b), in.width));
+            break;
+          }
+          case Instr::Un: {
+            uint64_t a = st.back();
+            st.pop_back();
+            st.push_back(evalUnOp(in.un, a, in.opw, in.width));
+            break;
+          }
+          case Instr::Bin: {
+            uint64_t b = st.back();
+            st.pop_back();
+            uint64_t a = st.back();
+            st.pop_back();
+            st.push_back(evalBinOp(in.bin, a, b, in.width));
+            break;
+          }
+          case Instr::Mux: {
+            uint64_t f = st.back();
+            st.pop_back();
+            uint64_t t = st.back();
+            st.pop_back();
+            uint64_t s = st.back();
+            st.pop_back();
+            st.push_back(truncate(s ? t : f, in.width));
+            break;
+          }
+          case Instr::Bits: {
+            uint64_t a = st.back();
+            st.pop_back();
+            st.push_back(extractBits(a, in.hi, in.lo));
+            break;
+          }
+          case Instr::Cat: {
+            uint64_t lo = st.back();
+            st.pop_back();
+            uint64_t hi = st.back();
+            st.pop_back();
+            st.push_back(truncate((hi << in.lowWidth) | lo,
+                                  in.width));
+            break;
+          }
+        }
+    }
+    FIREAXE_ASSERT(st.size() == 1, "compiled stack imbalance");
+    return st.back();
+}
+
+void
+CompiledEngine::evalComb()
+{
+    uint64_t evaluated = 0;
+    for (auto &queue : levelQueue_) {
+        // Evaluating a node only marks strictly-higher levels, so an
+        // index loop over the current queue is stable.
+        for (size_t i = 0; i < queue.size(); ++i) {
+            int n = queue[i];
+            const CNode &cn = cnodes_[n];
+            dirty_[n] = 0;
+            ++evaluated;
+            switch (cn.kind) {
+              case CNode::Comb: {
+                uint64_t v = truncate(execNode(cn), cn.width);
+                if (sim_.values_[cn.lhs] != v) {
+                    sim_.values_[cn.lhs] = v;
+                    markReaders(cn.lhs);
+                }
+                break;
+              }
+              case CNode::MemRead: {
+                const auto &mi = sim_.mems_[cn.mem];
+                uint64_t addr = sim_.values_[mi.raddr] % mi.depth;
+                uint64_t v = sim_.memData_[cn.mem][addr];
+                if (sim_.values_[cn.lhs] != v) {
+                    sim_.values_[cn.lhs] = v;
+                    markReaders(cn.lhs);
+                }
+                break;
+              }
+              case CNode::RegNext:
+                sim_.regNext_[cn.regSlot] =
+                    truncate(execNode(cn), cn.width);
+                break;
+            }
+        }
+        queue.clear();
+    }
+    nodesEvaluated_ += evaluated;
+    nodesSkipped_ += cnodes_.size() - evaluated;
+}
+
+} // namespace fireaxe::rtlsim

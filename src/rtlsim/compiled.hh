@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The compiled, activity-gated evaluation engine (EvalEngine::
+ * Compiled).
+ *
+ * Construction performs a one-shot compilation of every EvalNode's
+ * postfix program into a single contiguous bytecode buffer:
+ *
+ *  - every leaf operand (signal or literal) becomes an operand
+ *    reference — non-negative refs index the simulator's live value
+ *    table, negative refs index a deduplicated constant pool — so
+ *    fused instructions handle signal and literal operands
+ *    uniformly;
+ *  - common shapes are fused into single instructions (binop over
+ *    two leaves, binop with the left operand on the stack, mux over
+ *    three leaves, bit-extract / unary / cat over leaves);
+ *  - anything else falls back to the generic stack forms, so the
+ *    engine evaluates arbitrary expressions.
+ *
+ * Evaluation is driven by activity gating. A signal→reader adjacency
+ * table (CSR layout) maps every signal to the nodes that read it;
+ * each node carries a dirty bit and a levelized rank (longest
+ * producer chain). evalComb() drains per-level dirty queues in
+ * ascending level order: re-evaluating a node whose output changed
+ * marks its readers dirty, which always live at a strictly higher
+ * level, so one sweep suffices. A cycle in which nothing changed
+ * evaluates nothing.
+ *
+ * Dirty sources are the simulator's mutation points: pokes that
+ * change a value (also re-marking the producing node, so poking a
+ * driven wire is overwritten on the next evalComb exactly like the
+ * interpreter), registers that latch a new value, memory writes,
+ * state restores, and checkpoint loads. The engine keeps no
+ * observable state of its own: checkpoints, saved state, and every
+ * peek are bit-identical to the interpreter.
+ */
+
+#ifndef FIREAXE_RTLSIM_COMPILED_HH
+#define FIREAXE_RTLSIM_COMPILED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "firrtl/ir.hh"
+
+namespace fireaxe::rtlsim {
+
+class Simulator;
+
+class CompiledEngine
+{
+  public:
+    /** Compile @p sim's node programs; everything starts dirty. */
+    explicit CompiledEngine(Simulator &sim);
+
+    /** Evaluate all dirty nodes in levelized order. */
+    void evalComb();
+
+    /** A signal's value changed outside evalComb (poke, register
+     *  latch, state restore): mark its readers — and, if a
+     *  combinational driver exists, the driver itself — dirty. */
+    void onSignalWrite(int sig);
+
+    /** A memory's contents changed: mark its read node dirty. */
+    void onMemWrite(int mem);
+
+    /** Invalidate everything (reset / checkpoint load). */
+    void markAll();
+
+    uint64_t nodesEvaluated() const { return nodesEvaluated_; }
+    uint64_t nodesSkipped() const { return nodesSkipped_; }
+
+  private:
+    /** One bytecode instruction. Operand refs @c a/b/c: >= 0 is a
+     *  live-signal index, < 0 is ~index into the constant pool. */
+    struct Instr
+    {
+        enum Op : uint8_t {
+            Push,  ///< push operand a
+            UnF,   ///< fused unary on operand a
+            BinF,  ///< fused binop over operands a, b
+            BinXR, ///< binop: left from stack, right = operand b
+            MuxF,  ///< fused mux: sel a, tval b, fval c
+            BitsF, ///< fused bit-extract of operand a
+            CatF,  ///< fused cat of operands a (high), b (low)
+            Un,    ///< stack unary
+            Bin,   ///< stack binop
+            Mux,   ///< stack mux
+            Bits,  ///< stack bit-extract
+            Cat,   ///< stack cat
+        } op;
+        firrtl::UnOpKind un = firrtl::UnOpKind::Not;
+        firrtl::BinOpKind bin = firrtl::BinOpKind::Add;
+        unsigned width = 0;     ///< result width
+        unsigned opw = 0;       ///< unary operand width
+        unsigned hi = 0, lo = 0;
+        unsigned lowWidth = 0;  ///< cat low-half width
+        int32_t a = 0, b = 0, c = 0;
+    };
+
+    /** Per-node execution record, indexed like Simulator::nodes_. */
+    struct CNode
+    {
+        enum Kind : uint8_t { Comb, MemRead, RegNext } kind;
+        uint32_t start = 0, end = 0; ///< bytecode range
+        int lhs = -1;                ///< destination signal
+        int mem = -1;                ///< MemRead: memory index
+        int regSlot = -1;            ///< RegNext: regNext_ slot
+        unsigned width = 0;          ///< destination width
+        uint32_t level = 0;          ///< levelized rank
+    };
+
+    int32_t constRef(uint64_t value);
+    void compileNode(int n);
+    void buildReaderTable();
+    void buildLevels();
+    void markNode(int n);
+    void markReaders(int sig);
+    uint64_t load(int32_t ref) const;
+    uint64_t execInstr(const Instr &in) const;
+    uint64_t execNode(const CNode &cn) const;
+
+    Simulator &sim_;
+    std::vector<Instr> code_;
+    std::vector<CNode> cnodes_;
+    std::vector<uint64_t> consts_;
+    /** Signal → reading nodes, CSR layout. */
+    std::vector<uint32_t> sigReadersOff_;
+    std::vector<int32_t> sigReaders_;
+    /** Signal → combinational producer node (CombAssign/MemRead),
+     *  -1 when none (inputs, registers). */
+    std::vector<int32_t> producer_;
+    /** Memory index → its MemRead node. */
+    std::vector<int32_t> memNode_;
+    std::vector<uint8_t> dirty_;
+    std::vector<std::vector<int32_t>> levelQueue_;
+    mutable std::vector<uint64_t> stack_;
+    uint64_t nodesEvaluated_ = 0;
+    uint64_t nodesSkipped_ = 0;
+};
+
+} // namespace fireaxe::rtlsim
+
+#endif // FIREAXE_RTLSIM_COMPILED_HH

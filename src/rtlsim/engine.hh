@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Evaluation-engine selection for the RTL simulator.
+ *
+ * The simulator ships two bit-exact evaluation engines:
+ *
+ *  - Interpret — the original postfix interpreter: every cycle walks
+ *    the full topological order and re-evaluates every node on a
+ *    value stack. Simple, and the semantic reference.
+ *  - Compiled  — a one-shot compiler that linearizes all node
+ *    programs into a single contiguous bytecode buffer with fused
+ *    common patterns, driven by activity gating: per-node dirty bits
+ *    fed by a signal→reader adjacency table, so a cycle only
+ *    evaluates nodes whose read set actually changed, in levelized
+ *    order.
+ *
+ * Both engines produce identical results for every observable
+ * operation (peek/poke, checkpoints, saved state, output
+ * dependencies); the choice is purely a host-performance knob.
+ * The process-wide default honours the FIREAXE_EVAL environment
+ * variable ("interpret" or "compiled").
+ */
+
+#ifndef FIREAXE_RTLSIM_ENGINE_HH
+#define FIREAXE_RTLSIM_ENGINE_HH
+
+#include <string>
+
+namespace fireaxe::rtlsim {
+
+/** Which evaluation engine a Simulator uses. */
+enum class EvalEngine { Interpret, Compiled };
+
+/** "interpret" / "compiled". */
+const char *toString(EvalEngine engine);
+
+/** Parse an engine name; fatal() on anything unknown. */
+EvalEngine parseEvalEngine(const std::string &name);
+
+/**
+ * The process default: FIREAXE_EVAL if set (and non-empty), else
+ * Interpret. Read afresh on every call so tests can flip the
+ * environment between simulator constructions.
+ */
+EvalEngine defaultEvalEngine();
+
+} // namespace fireaxe::rtlsim
+
+#endif // FIREAXE_RTLSIM_ENGINE_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The single definition of operator semantics shared by both
+ * evaluation engines (the postfix interpreter and the compiled
+ * bytecode engine). Keeping these in one place is what makes the
+ * engines bit-exact by construction: a semantics fix lands in both
+ * at once, and the differential fuzz suite only has to catch
+ * compilation bugs, not divergent arithmetic.
+ */
+
+#ifndef FIREAXE_RTLSIM_OPS_HH
+#define FIREAXE_RTLSIM_OPS_HH
+
+#include <cstdint>
+
+#include "base/bits.hh"
+#include "firrtl/ir.hh"
+
+namespace fireaxe::rtlsim {
+
+/**
+ * Apply a unary operator. @p operand_width is the width of the
+ * operand (needed for the Not mask and AndR comparison);
+ * @p result_width is the width of the expression node.
+ */
+inline uint64_t
+evalUnOp(firrtl::UnOpKind op, uint64_t a, unsigned operand_width,
+         unsigned result_width)
+{
+    uint64_t r = 0;
+    switch (op) {
+      case firrtl::UnOpKind::Not:
+        r = truncate(~a, operand_width);
+        break;
+      case firrtl::UnOpKind::AndR:
+        r = (a == bitMask(operand_width)) ? 1 : 0;
+        break;
+      case firrtl::UnOpKind::OrR:
+        r = a != 0;
+        break;
+      case firrtl::UnOpKind::XorR:
+        r = __builtin_parityll(a);
+        break;
+    }
+    return truncate(r, result_width);
+}
+
+/** Apply a binary operator, truncating to @p result_width. */
+inline uint64_t
+evalBinOp(firrtl::BinOpKind op, uint64_t a, uint64_t b,
+          unsigned result_width)
+{
+    using firrtl::BinOpKind;
+    uint64_t r = 0;
+    switch (op) {
+      case BinOpKind::Add: r = a + b; break;
+      case BinOpKind::Sub: r = a - b; break;
+      case BinOpKind::Mul: r = a * b; break;
+      case BinOpKind::Div: r = b ? a / b : 0; break;
+      case BinOpKind::Rem: r = b ? a % b : 0; break;
+      case BinOpKind::And: r = a & b; break;
+      case BinOpKind::Or:  r = a | b; break;
+      case BinOpKind::Xor: r = a ^ b; break;
+      case BinOpKind::Eq:  r = a == b; break;
+      case BinOpKind::Neq: r = a != b; break;
+      case BinOpKind::Lt:  r = a < b; break;
+      case BinOpKind::Leq: r = a <= b; break;
+      case BinOpKind::Gt:  r = a > b; break;
+      case BinOpKind::Geq: r = a >= b; break;
+      case BinOpKind::Shl:
+        r = b >= 64 ? 0 : a << b;
+        break;
+      case BinOpKind::Shr:
+        r = b >= 64 ? 0 : a >> b;
+        break;
+    }
+    return truncate(r, result_width);
+}
+
+} // namespace fireaxe::rtlsim
+
+#endif // FIREAXE_RTLSIM_OPS_HH

@@ -7,6 +7,8 @@
 
 #include "base/bits.hh"
 #include "base/logging.hh"
+#include "rtlsim/compiled.hh"
+#include "rtlsim/ops.hh"
 
 namespace fireaxe::rtlsim {
 
@@ -19,7 +21,8 @@ using firrtl::PortDir;
 using firrtl::SignalKind;
 using firrtl::UnOpKind;
 
-Simulator::Simulator(const Circuit &flat_circuit)
+Simulator::Simulator(const Circuit &flat_circuit, EvalEngine engine)
+    : engine_(engine)
 {
     const Module &top = flat_circuit.top();
     if (!top.instances.empty()) {
@@ -106,7 +109,23 @@ Simulator::Simulator(const Circuit &flat_circuit)
 
     buildTopoOrder();
     buildDepMatrix();
+    if (engine_ == EvalEngine::Compiled)
+        compiled_ = std::make_unique<CompiledEngine>(*this);
     evalComb();
+}
+
+Simulator::~Simulator() = default;
+
+uint64_t
+Simulator::nodesEvaluated() const
+{
+    return compiled_ ? compiled_->nodesEvaluated() : interpEvaluated_;
+}
+
+uint64_t
+Simulator::nodesSkipped() const
+{
+    return compiled_ ? compiled_->nodesSkipped() : 0;
 }
 
 void
@@ -186,22 +205,7 @@ Simulator::evalExpr(const CompiledExpr &expr) const
           case POp::Un: {
             uint64_t a = st.back();
             st.pop_back();
-            uint64_t r = 0;
-            switch (op.un) {
-              case UnOpKind::Not:
-                r = truncate(~a, op.lo);
-                break;
-              case UnOpKind::AndR:
-                r = (a == bitMask(op.lo)) ? 1 : 0;
-                break;
-              case UnOpKind::OrR:
-                r = a != 0;
-                break;
-              case UnOpKind::XorR:
-                r = __builtin_parityll(a);
-                break;
-            }
-            st.push_back(truncate(r, op.width));
+            st.push_back(evalUnOp(op.un, a, op.lo, op.width));
             break;
           }
           case POp::Bin: {
@@ -209,30 +213,7 @@ Simulator::evalExpr(const CompiledExpr &expr) const
             st.pop_back();
             uint64_t a = st.back();
             st.pop_back();
-            uint64_t r = 0;
-            switch (op.bin) {
-              case BinOpKind::Add: r = a + b; break;
-              case BinOpKind::Sub: r = a - b; break;
-              case BinOpKind::Mul: r = a * b; break;
-              case BinOpKind::Div: r = b ? a / b : 0; break;
-              case BinOpKind::Rem: r = b ? a % b : 0; break;
-              case BinOpKind::And: r = a & b; break;
-              case BinOpKind::Or:  r = a | b; break;
-              case BinOpKind::Xor: r = a ^ b; break;
-              case BinOpKind::Eq:  r = a == b; break;
-              case BinOpKind::Neq: r = a != b; break;
-              case BinOpKind::Lt:  r = a < b; break;
-              case BinOpKind::Leq: r = a <= b; break;
-              case BinOpKind::Gt:  r = a > b; break;
-              case BinOpKind::Geq: r = a >= b; break;
-              case BinOpKind::Shl:
-                r = b >= 64 ? 0 : a << b;
-                break;
-              case BinOpKind::Shr:
-                r = b >= 64 ? 0 : a >> b;
-                break;
-            }
-            st.push_back(truncate(r, op.width));
+            st.push_back(evalBinOp(op.bin, a, b, op.width));
             break;
           }
           case POp::Mux: {
@@ -368,7 +349,13 @@ Simulator::poke(const std::string &name, uint64_t value)
 void
 Simulator::pokeIdx(int idx, uint64_t value)
 {
-    values_[idx] = truncate(value, signals_[idx].width);
+    uint64_t v = truncate(value, signals_[idx].width);
+    if (compiled_ && values_[idx] != v) {
+        values_[idx] = v;
+        compiled_->onSignalWrite(idx);
+        return;
+    }
+    values_[idx] = v;
 }
 
 uint64_t
@@ -383,6 +370,11 @@ Simulator::peek(const std::string &name) const
 void
 Simulator::evalComb()
 {
+    if (compiled_) {
+        compiled_->evalComb();
+        return;
+    }
+    interpEvaluated_ += evalOrder_.size();
     for (int n : evalOrder_) {
         const EvalNode &node = nodes_[n];
         switch (node.kind) {
@@ -413,12 +405,23 @@ Simulator::step()
         const MemInfo &mi = mems_[m];
         if (values_[mi.wen]) {
             uint64_t addr = values_[mi.waddr] % mi.depth;
-            memData_[m][addr] = truncate(values_[mi.wdata], mi.width);
+            uint64_t word = truncate(values_[mi.wdata], mi.width);
+            if (compiled_ && memData_[m][addr] != word)
+                compiled_->onMemWrite(int(m));
+            memData_[m][addr] = word;
         }
     }
     for (size_t i = 0; i < regSigs_.size(); ++i) {
-        if (regHasNext_[i])
+        if (!regHasNext_[i])
+            continue;
+        if (compiled_) {
+            if (values_[regSigs_[i]] != regNext_[i]) {
+                values_[regSigs_[i]] = regNext_[i];
+                compiled_->onSignalWrite(regSigs_[i]);
+            }
+        } else {
             values_[regSigs_[i]] = regNext_[i];
+        }
     }
     ++cycle_;
     evalComb();
@@ -441,6 +444,8 @@ Simulator::reset()
     for (auto &mem : memData_)
         std::fill(mem.begin(), mem.end(), 0);
     cycle_ = 0;
+    if (compiled_)
+        compiled_->markAll();
     evalComb();
 }
 
@@ -466,8 +471,25 @@ void
 Simulator::loadState(const SeqState &in)
 {
     FIREAXE_ASSERT(in.regValues.size() == regSigs_.size());
-    for (size_t i = 0; i < regSigs_.size(); ++i)
-        values_[regSigs_[i]] = in.regValues[i];
+    for (size_t i = 0; i < regSigs_.size(); ++i) {
+        if (compiled_) {
+            if (values_[regSigs_[i]] != in.regValues[i]) {
+                values_[regSigs_[i]] = in.regValues[i];
+                compiled_->onSignalWrite(regSigs_[i]);
+            }
+        } else {
+            values_[regSigs_[i]] = in.regValues[i];
+        }
+    }
+    if (compiled_) {
+        // Only invalidate memories whose contents actually differ —
+        // FAME-5 swaps state every host cycle, and a wholesale
+        // invalidation there would defeat the gating.
+        FIREAXE_ASSERT(in.memContents.size() == memData_.size());
+        for (size_t m = 0; m < memData_.size(); ++m)
+            if (memData_[m] != in.memContents[m])
+                compiled_->onMemWrite(int(m));
+    }
     memData_ = in.memContents;
 }
 
@@ -519,6 +541,8 @@ Simulator::loadCheckpoint(std::istream &is)
     if (!is)
         fatal("truncated checkpoint stream");
     cycle_ = cycle;
+    if (compiled_)
+        compiled_->markAll();
     evalComb();
 }
 
@@ -529,7 +553,10 @@ Simulator::writeMem(const std::string &mem_name, uint64_t addr,
     for (size_t m = 0; m < mems_.size(); ++m) {
         if (mems_[m].name == mem_name) {
             FIREAXE_ASSERT(addr < mems_[m].depth);
-            memData_[m][addr] = truncate(data, mems_[m].width);
+            uint64_t word = truncate(data, mems_[m].width);
+            if (compiled_ && memData_[m][addr] != word)
+                compiled_->onMemWrite(int(m));
+            memData_[m][addr] = word;
             return;
         }
     }

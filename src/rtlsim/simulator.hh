@@ -23,13 +23,17 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "firrtl/ir.hh"
+#include "rtlsim/engine.hh"
 
 namespace fireaxe::rtlsim {
+
+class CompiledEngine;
 
 /** Categories of flat signals. */
 enum class SigKind { Input, Output, Comb, Reg };
@@ -58,7 +62,33 @@ struct SeqState
 class Simulator
 {
   public:
-    explicit Simulator(const firrtl::Circuit &flat_circuit);
+    /**
+     * @param flat_circuit the design (top must be instance-free).
+     * @param engine       evaluation engine; both engines are
+     *                     bit-exact, Compiled adds one-shot bytecode
+     *                     compilation plus activity gating (see
+     *                     rtlsim/engine.hh). Defaults to the
+     *                     process-wide FIREAXE_EVAL choice.
+     */
+    explicit Simulator(const firrtl::Circuit &flat_circuit,
+                       EvalEngine engine = defaultEvalEngine());
+    ~Simulator();
+
+    // The compiled engine holds a back-reference to this simulator,
+    // so the object must stay put.
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** The engine this simulator evaluates with. */
+    EvalEngine evalEngine() const { return engine_; }
+
+    /** Evaluation-node executions across all evalComb() calls (the
+     *  interpreter evaluates every node every call). */
+    uint64_t nodesEvaluated() const;
+    /** Nodes skipped by activity gating (0 under Interpret). */
+    uint64_t nodesSkipped() const;
+    /** Total evaluation nodes in the design. */
+    size_t numNodes() const { return nodes_.size(); }
 
     /** Index of a signal by flat name; -1 if unknown. */
     int signalIndex(const std::string &name) const;
@@ -124,6 +154,8 @@ class Simulator
     uint64_t readMem(const std::string &mem_name, uint64_t addr) const;
 
   private:
+    friend class CompiledEngine;
+
     struct POp
     {
         enum Kind : uint8_t {
@@ -184,6 +216,11 @@ class Simulator
     std::map<int, std::set<int>> outputDeps_;
     mutable std::vector<uint64_t> stack_;
     uint64_t cycle_ = 0;
+    EvalEngine engine_ = EvalEngine::Interpret;
+    /** Non-null iff engine_ == Compiled. */
+    std::unique_ptr<CompiledEngine> compiled_;
+    /** Interpreter-side node-execution counter. */
+    uint64_t interpEvaluated_ = 0;
 };
 
 } // namespace fireaxe::rtlsim

@@ -367,6 +367,77 @@ TEST(Checkpoint, ResumesExactly)
     }
 }
 
+/** Checkpoints are an engine-neutral contract: a snapshot taken
+ *  under one evaluation engine must restore bit-exactly into a
+ *  simulator running the other one, in both directions. */
+TEST(Checkpoint, CrossEngineRestoreMatches)
+{
+    target::BusSocConfig cfg;
+    cfg.numTiles = 2;
+    cfg.memWords = 64;
+    auto flat = passes::flattenAll(target::buildBusSoc(cfg));
+
+    struct Direction
+    {
+        rtlsim::EvalEngine saveEngine;
+        rtlsim::EvalEngine loadEngine;
+    };
+    const Direction dirs[] = {
+        {rtlsim::EvalEngine::Interpret, rtlsim::EvalEngine::Compiled},
+        {rtlsim::EvalEngine::Compiled, rtlsim::EvalEngine::Interpret},
+    };
+    for (const auto &dir : dirs) {
+        rtlsim::Simulator sim(flat, dir.saveEngine);
+        sim.run(137);
+        std::stringstream snap;
+        sim.saveCheckpoint(snap);
+
+        std::vector<uint64_t> reference;
+        for (int i = 0; i < 100; ++i) {
+            reference.push_back(sim.peek("status"));
+            sim.step();
+        }
+
+        rtlsim::Simulator restored(flat, dir.loadEngine);
+        restored.loadCheckpoint(snap);
+        EXPECT_EQ(restored.cycle(), 137u);
+        for (int i = 0; i < 100; ++i) {
+            ASSERT_EQ(restored.peek("status"), reference[i])
+                << "cycle offset " << i << ", "
+                << rtlsim::toString(dir.saveEngine) << " -> "
+                << rtlsim::toString(dir.loadEngine);
+            restored.step();
+        }
+    }
+}
+
+/** The FAME-5 state-swap primitive (saveState/loadState) must also
+ *  be portable across engines, including the activity-gated one. */
+TEST(Checkpoint, CrossEngineSeqStateSwap)
+{
+    target::BusSocConfig cfg;
+    cfg.numTiles = 2;
+    cfg.memWords = 64;
+    auto flat = passes::flattenAll(target::buildBusSoc(cfg));
+
+    rtlsim::Simulator interp(flat, rtlsim::EvalEngine::Interpret);
+    rtlsim::Simulator compiled(flat, rtlsim::EvalEngine::Compiled);
+    interp.run(53);
+
+    rtlsim::SeqState state;
+    interp.saveState(state);
+    compiled.loadState(state);
+    compiled.evalComb();
+    interp.evalComb();
+
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_EQ(compiled.peek("status"), interp.peek("status"))
+            << "cycle offset " << i;
+        interp.step();
+        compiled.step();
+    }
+}
+
 TEST(Checkpoint, RejectsMismatchedDesign)
 {
     target::BusSocConfig small, big;

@@ -377,3 +377,83 @@ TEST(Interp, GcdComputesCorrectly)
         sim.step();
     EXPECT_EQ(sim.peek("result"), 12u);
 }
+
+TEST(Compiled, ParseAndPrintEngineNames)
+{
+    using rtlsim::EvalEngine;
+    EXPECT_EQ(rtlsim::parseEvalEngine("interpret"),
+              EvalEngine::Interpret);
+    EXPECT_EQ(rtlsim::parseEvalEngine("compiled"),
+              EvalEngine::Compiled);
+    EXPECT_STREQ(rtlsim::toString(EvalEngine::Interpret), "interpret");
+    EXPECT_STREQ(rtlsim::toString(EvalEngine::Compiled), "compiled");
+    EXPECT_THROW(rtlsim::parseEvalEngine("jit"), FatalError);
+}
+
+/** Once a saturating counter stops changing, activity gating must
+ *  stop evaluating nodes entirely: nodesEvaluated() freezes while
+ *  nodesSkipped() keeps accumulating. */
+TEST(Compiled, QuiescentDesignStopsEvaluating)
+{
+    CircuitBuilder cb("M");
+    auto m = cb.module("M");
+    m.output("count", 8);
+    auto r = m.reg("cnt", 8, 0);
+    auto at_max = eEq(r, lit(255, 8));
+    m.connect("cnt", mux(at_max, r, bits(eAdd(r, lit(1, 8)), 7, 0)));
+    m.connect("count", r);
+    Simulator sim(cb.finish(), rtlsim::EvalEngine::Compiled);
+    sim.run(300);
+    EXPECT_EQ(sim.peek("count"), 255u);
+
+    uint64_t evaluated_before = sim.nodesEvaluated();
+    uint64_t skipped_before = sim.nodesSkipped();
+    sim.run(100);
+    EXPECT_EQ(sim.peek("count"), 255u);
+    EXPECT_EQ(sim.nodesEvaluated(), evaluated_before)
+        << "gating re-evaluated nodes in a quiescent design";
+    EXPECT_GT(sim.nodesSkipped(), skipped_before);
+}
+
+/** The interpreter recomputes every driven signal each evalComb, so
+ *  a poke of a driven wire is overwritten by its driver. The gated
+ *  engine must reproduce that, not keep the poked value. */
+TEST(Compiled, PokeOfDrivenSignalIsOverwritten)
+{
+    for (auto engine : {rtlsim::EvalEngine::Interpret,
+                        rtlsim::EvalEngine::Compiled}) {
+        CircuitBuilder cb("M");
+        auto m = cb.module("M");
+        auto a = m.input("a", 8);
+        m.wire("w", 8);
+        m.output("o", 8);
+        m.connect("w", bits(eAdd(a, lit(1, 8)), 7, 0));
+        m.connect("o", m.sig("w"));
+        Simulator sim(cb.finish(), engine);
+        sim.poke("a", 10);
+        sim.evalComb();
+        ASSERT_EQ(sim.peek("o"), 11u);
+        sim.poke("w", 99);
+        sim.evalComb();
+        EXPECT_EQ(sim.peek("w"), 11u) << rtlsim::toString(engine);
+        EXPECT_EQ(sim.peek("o"), 11u) << rtlsim::toString(engine);
+    }
+}
+
+/** Per-evalComb node accounting: evaluated + skipped always sums to
+ *  a whole number of passes over the node set. */
+TEST(Compiled, CountersAccountEveryNode)
+{
+    CircuitBuilder cb("M");
+    auto m = cb.module("M");
+    m.output("count", 8);
+    auto r = m.reg("cnt", 8, 0);
+    m.connect("cnt", bits(eAdd(r, lit(1, 8)), 7, 0));
+    m.connect("count", r);
+    Simulator sim(cb.finish(), rtlsim::EvalEngine::Compiled);
+    sim.run(17);
+    ASSERT_GT(sim.numNodes(), 0u);
+    EXPECT_EQ((sim.nodesEvaluated() + sim.nodesSkipped()) %
+                  sim.numNodes(),
+              0u);
+}
