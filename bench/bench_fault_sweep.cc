@@ -60,7 +60,8 @@ runPoint(const firrtl::Circuit &soc,
          uint64_t cycles,
          const obs::TelemetryConfig *telemetry = nullptr,
          std::ostream *metrics_os = nullptr,
-         std::ostream *trace_os = nullptr)
+         std::ostream *trace_os = nullptr,
+         const platform::ExecConfig *exec = nullptr)
 {
     ripper::PartitionSpec spec;
     spec.mode = ripper::PartitionMode::Exact;
@@ -71,6 +72,8 @@ runPoint(const firrtl::Circuit &soc,
         plan,
         {platform::alveoU250(50.0), platform::alveoU250(50.0)},
         link);
+    if (exec)
+        sim.setExecConfig(*exec);
     if (telemetry)
         sim.setTelemetry(*telemetry);
     if (fault_rate > 0.0)
@@ -116,6 +119,15 @@ main(int argc, char **argv)
     const uint64_t cycles = args.cycles ? args.cycles : 800;
     auto mono = goldenStatus(soc, cycles);
 
+    // --snapshot-every/--snapshot-dir: every faulted run carries the
+    // autosnapshot machinery; the golden cross-check then doubles as
+    // evidence that snapshot cuts under fault injection do not
+    // perturb the simulation.
+    platform::ExecConfig exec_cfg;
+    args.applyRecovery(exec_cfg);
+    const platform::ExecConfig *exec =
+        args.snapshotEvery ? &exec_cfg : nullptr;
+
     const double rates[] = {0.0, 1e-4, 1e-3, 1e-2};
     const transport::LinkParams links[] = {
         transport::qsfpAurora(), transport::pciePeerToPeer(),
@@ -132,8 +144,9 @@ main(int argc, char **argv)
         bool all_exact = true;
         std::vector<FaultPoint> points;
         for (const auto &link : links)
-            points.push_back(runPoint(soc, mono, link, rate,
-                                      cycles));
+            points.push_back(runPoint(soc, mono, link, rate, cycles,
+                                      nullptr, nullptr, nullptr,
+                                      exec));
         for (size_t i = 0; i < points.size(); ++i) {
             double rate_val = points[i].simRateMhz;
             if (i == 2)
@@ -178,7 +191,7 @@ main(int argc, char **argv)
             tp = &trace_os;
         }
         auto pt = runPoint(soc, mono, transport::qsfpAurora(), 1e-3,
-                           cycles, &tcfg, mp, tp);
+                           cycles, &tcfg, mp, tp, exec);
         std::cout << "\ntelemetry showcase (qsfp @ 1e-3/token): "
                   << TextTable::num(pt.simRateMhz, 3) << " MHz, "
                   << pt.retransmits << " retransmits, bit-exact "

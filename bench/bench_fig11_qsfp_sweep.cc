@@ -50,6 +50,13 @@ main(int argc, char **argv)
     auto link = transport::qsfpAurora();
     const unsigned total_tiles = 4;
     const uint64_t cycles = args.cycles ? args.cycles : 400;
+    // --snapshot-every/--snapshot-dir make every measured run carry
+    // the autosnapshot machinery, so its rate tax shows up in the
+    // sweep itself.
+    platform::ExecConfig exec_cfg;
+    args.applyRecovery(exec_cfg);
+    const platform::ExecConfig *exec =
+        args.snapshotEvery ? &exec_cfg : nullptr;
 
     for (double mhz : {10.0, 30.0, 50.0, 70.0, 90.0}) {
         TextTable table({"interface (bits)", "exact (MHz)",
@@ -57,10 +64,10 @@ main(int argc, char **argv)
         for (const auto &step : widthSteps) {
             auto exact = runTilePartitionSweep(
                 total_tiles, step.tilesOut, step.traceWords,
-                PartitionMode::Exact, link, mhz, cycles);
+                PartitionMode::Exact, link, mhz, cycles, exec);
             auto fast = runTilePartitionSweep(
                 total_tiles, step.tilesOut, step.traceWords,
-                PartitionMode::Fast, link, mhz, cycles);
+                PartitionMode::Fast, link, mhz, cycles, exec);
             table.addRow(
                 {std::to_string(exact.interfaceBits),
                  TextTable::num(exact.simRateMhz, 3),
@@ -93,7 +100,7 @@ main(int argc, char **argv)
     for (const auto &step : widthSteps) {
         auto exact = runTilePartitionSweep(
             total_tiles, step.tilesOut, step.traceWords,
-            PartitionMode::Exact, link, 50.0, cycles);
+            PartitionMode::Exact, link, 50.0, cycles, exec);
         double model =
             analyticRateMhz(link, exact.interfaceBits, 2, 50.0);
         ablation.addRow({std::to_string(exact.interfaceBits),

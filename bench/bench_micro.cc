@@ -19,17 +19,32 @@
  * cycles/sec, speedup over the interpreter, the fraction of node
  * evaluations the activity gating skipped, and a final-state
  * signature check that fails the run on any cross-engine divergence.
+ *
+ * `--snapshot-every N[,M,...]` switches it into a snapshot-overhead
+ * sweep instead: a three-partition bus SoC is co-simulated once
+ * without snapshots and once per requested autosnapshot interval
+ * (ExecConfig::snapshotEveryCycles), reporting snapshot count, size,
+ * cumulative pause time and wall-clock overhead per row. Each row
+ * additionally restores the last committed snapshot into a fresh
+ * simulator, reruns to the target cycle and checks the final state
+ * against the snapshot-free baseline bit-for-bit. `--snapshot-dir`
+ * keeps the snapshot directories for inspection (and for feeding
+ * `--resume-from`, which measures a single restore-and-finish run).
  */
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "sweep_common.hh"
+
+#include "recovery/snapshot.hh"
 
 #include "passes/flatten.hh"
 #include "platform/executor.hh"
@@ -224,6 +239,275 @@ runWorkerSweep(const std::vector<unsigned> &worker_counts,
 }
 
 /**
+ * FNV-1a over every partition's reached cycle and full signal table;
+ * equal signatures witness bit-exact final state across a
+ * snapshot/restore cut (same convention as tests/recovery_test.cc).
+ */
+uint64_t
+finalStateSignature(platform::MultiFpgaSim &sim, size_t nparts)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (size_t p = 0; p < nparts; ++p) {
+        auto &m = sim.model(int(p));
+        h = recovery::fnv1aMix(h, m.minTargetCycle());
+        for (size_t i = 0; i < m.sim().numSignals(); ++i)
+            h = recovery::fnv1aMix(h, m.sim().peekIdx(int(i)));
+    }
+    return h;
+}
+
+/**
+ * Sweep the autosnapshot interval on a three-partition bus SoC
+ * (two tiles split out plus the rest partition) and report what the
+ * crash-consistency machinery costs: per row the snapshot count,
+ * last snapshot size, cumulative snapshot pause, wall-clock overhead
+ * versus the snapshot-free baseline, and two bit-exactness checks —
+ * the snapshotting run itself must not perturb the simulation, and a
+ * fresh simulator restored from the last committed generation and
+ * rerun to the target cycle must land in the identical final state.
+ */
+int
+runSnapshotSweep(const std::vector<uint64_t> &intervals,
+                 uint64_t cycles, const std::string &json_path,
+                 std::string base_dir)
+{
+    if (cycles == 0)
+        cycles = 2000;
+
+    target::BusSocConfig cfg;
+    cfg.numTiles = 4;
+    cfg.memWords = 256;
+    auto soc = target::buildBusSoc(cfg);
+    ripper::PartitionSpec spec;
+    spec.mode = ripper::PartitionMode::Exact;
+    spec.groups.push_back({"t0", {"tile0"}, 1});
+    spec.groups.push_back({"t1", {"tile1"}, 1});
+    auto plan = ripper::partition(soc, spec);
+    const size_t nparts = plan.partitions.size();
+    auto fpgas = std::vector<platform::FpgaSpec>(
+        nparts, platform::alveoU250(50.0));
+
+    bool temp_base = base_dir.empty();
+    if (temp_base) {
+        char tmpl[] = "/tmp/fireaxe-bench-snap-XXXXXX";
+        if (!mkdtemp(tmpl)) {
+            std::fprintf(stderr,
+                         "snapshot sweep: mkdtemp failed\n");
+            return 1;
+        }
+        base_dir = tmpl;
+    }
+
+    bench::JsonRows rows(json_path);
+    std::printf("snapshot sweep: bus SoC, %zu partitions, %llu "
+                "target cycles, dir %s\n",
+                nparts, (unsigned long long)cycles,
+                base_dir.c_str());
+    std::printf("%-10s %10s %12s %10s %10s %10s %10s %7s\n",
+                "every", "snapshots", "bytes", "pause_ms", "wall_ms",
+                "overhd_%", "bit_exact", "resume");
+
+    double base_wall = 0.0;
+    uint64_t base_sig = 0;
+    platform::RunResult base{};
+    {
+        platform::MultiFpgaSim sim(plan, fpgas,
+                                   transport::qsfpAurora());
+        sim.init();
+        auto t0 = std::chrono::steady_clock::now();
+        base = sim.run(cycles);
+        base_wall = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        base_sig = finalStateSignature(sim, nparts);
+    }
+    std::printf("%-10s %10s %12s %10s %10.2f %10s %10s %7s\n",
+                "off", "-", "-", "-", base_wall, "-", "ref", "-");
+    {
+        bench::JsonRow row;
+        row.field("design", "bus_soc4")
+            .field("partitions", uint64_t(nparts))
+            .field("snapshot_every", uint64_t(0))
+            .field("snapshot_count", uint64_t(0))
+            .field("snapshot_bytes", uint64_t(0))
+            .field("snapshot_pause_ms", 0.0)
+            .field("target_cycles", base.targetCycles)
+            .field("host_time_ns", base.hostTimeNs)
+            .field("wall_ms", base_wall)
+            .field("overhead_pct", 0.0)
+            .field("bit_exact", true)
+            .field("resume_bit_exact", true);
+        rows.add(row);
+    }
+
+    int rc = 0;
+    for (uint64_t every : intervals) {
+        if (every == 0) {
+            std::fprintf(stderr, "snapshot sweep: --snapshot-every "
+                                 "interval must be > 0\n");
+            return 1;
+        }
+        std::string dir =
+            base_dir + "/every" + std::to_string(every);
+
+        platform::ExecConfig exec;
+        exec.snapshotEveryCycles = every;
+        exec.snapshotDir = dir;
+        double wall = 0.0;
+        uint64_t snapshots = 0, bytes = 0, sig = 0;
+        double pause_ms = 0.0;
+        platform::RunResult res{};
+        {
+            platform::MultiFpgaSim sim(plan, fpgas,
+                                       transport::qsfpAurora());
+            sim.setExecConfig(exec);
+            sim.init();
+            auto t0 = std::chrono::steady_clock::now();
+            res = sim.run(cycles);
+            wall = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+            snapshots = sim.snapshotCount();
+            bytes = sim.lastSnapshotBytes();
+            pause_ms = sim.totalSnapshotWallMs();
+            sig = finalStateSignature(sim, nparts);
+        }
+        bool exact = res.targetCycles == base.targetCycles &&
+                     res.hostTimeNs == base.hostTimeNs &&
+                     sig == base_sig;
+
+        bool resume_ok = false;
+        {
+            platform::MultiFpgaSim resumed(plan, fpgas,
+                                           transport::qsfpAurora());
+            std::string err;
+            if (resumed.restore(dir, err)) {
+                auto rr = resumed.run(cycles);
+                resume_ok =
+                    !rr.deadlocked &&
+                    finalStateSignature(resumed, nparts) == base_sig;
+            } else {
+                std::fprintf(stderr,
+                             "snapshot sweep: restore from %s "
+                             "failed: %s\n",
+                             dir.c_str(), err.c_str());
+            }
+        }
+
+        double overhead = base_wall > 0.0
+                              ? (wall - base_wall) / base_wall * 100.0
+                              : 0.0;
+        std::printf("%-10llu %10llu %12llu %10.2f %10.2f %10.1f "
+                    "%10s %7s\n",
+                    (unsigned long long)every,
+                    (unsigned long long)snapshots,
+                    (unsigned long long)bytes, pause_ms, wall,
+                    overhead, exact ? "yes" : "NO",
+                    resume_ok ? "yes" : "NO");
+        bench::JsonRow row;
+        row.field("design", "bus_soc4")
+            .field("partitions", uint64_t(nparts))
+            .field("snapshot_every", every)
+            .field("snapshot_count", snapshots)
+            .field("snapshot_bytes", bytes)
+            .field("snapshot_pause_ms", pause_ms)
+            .field("target_cycles", res.targetCycles)
+            .field("host_time_ns", res.hostTimeNs)
+            .field("wall_ms", wall)
+            .field("overhead_pct", overhead)
+            .field("bit_exact", exact)
+            .field("resume_bit_exact", resume_ok);
+        rows.add(row);
+        if (!exact || !resume_ok) {
+            std::fprintf(stderr,
+                         "snapshot sweep: interval %llu diverged "
+                         "from the snapshot-free baseline\n",
+                         (unsigned long long)every);
+            rc = 1;
+        }
+    }
+    rows.write();
+    if (temp_base) {
+        std::error_code ec;
+        std::filesystem::remove_all(base_dir, ec);
+    }
+    return rc;
+}
+
+/**
+ * Restore the committed snapshot in @p dir into the snapshot-sweep
+ * design and finish the run to @p cycles, reporting the resume cost
+ * (restore wall time, resumed-from cycle, finishing rate). Pairs
+ * with `--snapshot-every ... --snapshot-dir DIR`, whose per-interval
+ * directories it consumes.
+ */
+int
+runResumeMeasurement(const std::string &dir, uint64_t cycles,
+                     const std::string &json_path)
+{
+    if (cycles == 0)
+        cycles = 2000;
+
+    target::BusSocConfig cfg;
+    cfg.numTiles = 4;
+    cfg.memWords = 256;
+    auto soc = target::buildBusSoc(cfg);
+    ripper::PartitionSpec spec;
+    spec.mode = ripper::PartitionMode::Exact;
+    spec.groups.push_back({"t0", {"tile0"}, 1});
+    spec.groups.push_back({"t1", {"tile1"}, 1});
+    auto plan = ripper::partition(soc, spec);
+    const size_t nparts = plan.partitions.size();
+
+    platform::MultiFpgaSim sim(
+        plan,
+        std::vector<platform::FpgaSpec>(nparts,
+                                        platform::alveoU250(50.0)),
+        transport::qsfpAurora());
+    std::string err;
+    auto t0 = std::chrono::steady_clock::now();
+    if (!sim.restore(dir, err)) {
+        std::fprintf(stderr, "resume: restore from %s failed: %s\n",
+                     dir.c_str(), err.c_str());
+        return 1;
+    }
+    double restore_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    uint64_t resume_cycle = 0;
+    for (size_t p = 0; p < nparts; ++p)
+        resume_cycle =
+            std::max(resume_cycle, sim.model(int(p)).minTargetCycle());
+
+    t0 = std::chrono::steady_clock::now();
+    auto res = sim.run(cycles);
+    double wall = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    std::printf("resume: dir %s restore_ms %.2f resume_cycle %llu "
+                "target_cycles %llu wall_ms %.2f rate_mhz %.4f "
+                "deadlocked %d\n",
+                dir.c_str(), restore_ms,
+                (unsigned long long)resume_cycle,
+                (unsigned long long)res.targetCycles, wall,
+                res.simRateMhz(), res.deadlocked ? 1 : 0);
+    bench::JsonRows rows(json_path);
+    bench::JsonRow row;
+    row.field("design", "bus_soc4")
+        .field("partitions", uint64_t(nparts))
+        .field("resume_from", dir)
+        .field("restore_ms", restore_ms)
+        .field("resume_cycle", resume_cycle)
+        .field("target_cycles", res.targetCycles)
+        .field("wall_ms", wall)
+        .field("sim_rate_mhz", res.simRateMhz())
+        .field("deadlocked", res.deadlocked);
+    rows.add(row);
+    rows.write();
+    return res.deadlocked ? 1 : 0;
+}
+
+/**
  * Sweep the rtlsim evaluation engines over a spread of shipped
  * targets. The interpreter row of each design is the reference: the
  * speedup column is relative to it and every other engine's
@@ -348,17 +632,38 @@ parseWorkerList(const char *arg)
     return counts;
 }
 
+std::vector<uint64_t>
+parseIntervalList(const char *arg)
+{
+    std::vector<uint64_t> intervals;
+    std::string s(arg);
+    size_t pos = 0;
+    while (pos < s.size()) {
+        size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        intervals.push_back(std::strtoull(
+            s.substr(pos, comma - pos).c_str(), nullptr, 10));
+        pos = comma + 1;
+    }
+    return intervals;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    // --workers selects the parallel-backend sweep and --engine the
-    // evaluation-engine sweep; everything else is handed to
-    // google-benchmark untouched.
+    // --workers selects the parallel-backend sweep, --engine the
+    // evaluation-engine sweep, --snapshot-every the snapshot-overhead
+    // sweep and --resume-from a restore-and-finish measurement;
+    // everything else is handed to google-benchmark untouched.
     std::vector<unsigned> worker_counts;
     std::vector<rtlsim::EvalEngine> engines;
+    std::vector<uint64_t> snapshot_intervals;
     std::string json_path;
+    std::string snapshot_dir;
+    std::string resume_from;
     uint64_t cycles = 0;
     std::vector<char *> rest{argv[0]};
     for (int i = 1; i < argc; ++i) {
@@ -366,6 +671,15 @@ main(int argc, char **argv)
             worker_counts = parseWorkerList(argv[++i]);
         else if (!std::strcmp(argv[i], "--engine") && i + 1 < argc)
             engines = parseEngineList(argv[++i]);
+        else if (!std::strcmp(argv[i], "--snapshot-every") &&
+                 i + 1 < argc)
+            snapshot_intervals = parseIntervalList(argv[++i]);
+        else if (!std::strcmp(argv[i], "--snapshot-dir") &&
+                 i + 1 < argc)
+            snapshot_dir = argv[++i];
+        else if (!std::strcmp(argv[i], "--resume-from") &&
+                 i + 1 < argc)
+            resume_from = argv[++i];
         else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
             json_path = argv[++i];
         else if (!std::strcmp(argv[i], "--cycles") && i + 1 < argc)
@@ -377,6 +691,11 @@ main(int argc, char **argv)
         return runWorkerSweep(worker_counts, cycles, json_path);
     if (!engines.empty())
         return runEngineSweep(engines, cycles, json_path);
+    if (!snapshot_intervals.empty())
+        return runSnapshotSweep(snapshot_intervals, cycles, json_path,
+                                snapshot_dir);
+    if (!resume_from.empty())
+        return runResumeMeasurement(resume_from, cycles, json_path);
 
     int rest_argc = int(rest.size());
     benchmark::Initialize(&rest_argc, rest.data());

@@ -157,6 +157,11 @@ class JsonRows
  *                        run a telemetry showcase)
  *   --trace PATH         Chrome trace_event JSON of the same run
  *   --cycles N           override the bench's target-cycle count
+ *   --snapshot-every N   autosnapshot the bench run every N target
+ *                        cycles (crash-consistent; see src/recovery)
+ *   --snapshot-dir DIR   snapshot directory for --snapshot-every
+ *   --resume-from DIR    restore the committed snapshot in DIR
+ *                        before the measured run
  * Unknown arguments are fatal so CI typos fail loudly.
  */
 struct BenchArgs
@@ -165,6 +170,9 @@ struct BenchArgs
     std::string metricsJsonPath;
     std::string tracePath;
     uint64_t cycles = 0; ///< 0 = keep the bench default
+    uint64_t snapshotEvery = 0;
+    std::string snapshotDir;
+    std::string resumeFrom;
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -184,12 +192,41 @@ struct BenchArgs
                 args.tracePath = need(i++);
             else if (!std::strcmp(argv[i], "--cycles"))
                 args.cycles = std::strtoull(need(i++), nullptr, 10);
+            else if (!std::strcmp(argv[i], "--snapshot-every"))
+                args.snapshotEvery =
+                    std::strtoull(need(i++), nullptr, 10);
+            else if (!std::strcmp(argv[i], "--snapshot-dir"))
+                args.snapshotDir = need(i++);
+            else if (!std::strcmp(argv[i], "--resume-from"))
+                args.resumeFrom = need(i++);
             else
                 fatal("unknown argument '", argv[i],
                       "' (expected --json/--metrics-json/--trace/"
-                      "--cycles)");
+                      "--cycles/--snapshot-every/--snapshot-dir/"
+                      "--resume-from)");
         }
         return args;
+    }
+
+    /** Plumb the recovery flags into an executor config. */
+    void
+    applyRecovery(platform::ExecConfig &exec) const
+    {
+        exec.snapshotEveryCycles = snapshotEvery;
+        exec.snapshotDir = snapshotDir;
+    }
+
+    /** Restore @p sim from --resume-from if given; fatal() on a
+     *  failed restore (a bench resumed from a bad snapshot would
+     *  silently measure the wrong thing). */
+    void
+    maybeResume(platform::MultiFpgaSim &sim) const
+    {
+        if (resumeFrom.empty())
+            return;
+        std::string error;
+        if (!sim.restore(resumeFrom, error))
+            fatal("--resume-from ", resumeFrom, ": ", error);
     }
 };
 
@@ -207,14 +244,18 @@ struct SweepPoint
 /**
  * Partition @p tiles_out tiles (each with @p trace_words extra
  * boundary words) out of a bus SoC and measure the simulation rate
- * over @p link with both FPGAs at @p bitstream_mhz.
+ * over @p link with both FPGAs at @p bitstream_mhz. A non-null
+ * @p exec overrides the executor config (worker count, autosnapshot
+ * interval/directory), so sweeps can measure the recovery machinery
+ * in-line.
  */
 inline SweepPoint
 runTilePartitionSweep(unsigned total_tiles, unsigned tiles_out,
                       unsigned trace_words,
                       ripper::PartitionMode mode,
                       const transport::LinkParams &link,
-                      double bitstream_mhz, uint64_t cycles = 400)
+                      double bitstream_mhz, uint64_t cycles = 400,
+                      const platform::ExecConfig *exec = nullptr)
 {
     target::BusSocConfig cfg;
     cfg.numTiles = total_tiles;
@@ -235,6 +276,8 @@ runTilePartitionSweep(unsigned total_tiles, unsigned tiles_out,
         {platform::alveoU250(bitstream_mhz),
          platform::alveoU250(bitstream_mhz)},
         link);
+    if (exec)
+        sim.setExecConfig(*exec);
     auto result = sim.run(cycles);
 
     SweepPoint point;

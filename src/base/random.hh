@@ -10,6 +10,7 @@
 #ifndef FIREAXE_BASE_RANDOM_HH
 #define FIREAXE_BASE_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 
 namespace fireaxe {
@@ -89,6 +90,22 @@ class Rng
         while (!chance(p) && n < 100000)
             ++n;
         return n;
+    }
+
+    /** Full generator state, for checkpointing. A stream restored
+     *  via setState() continues exactly where the saved one left
+     *  off, so fault schedules replay deterministically. */
+    std::array<uint64_t, 4>
+    state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    void
+    setState(const std::array<uint64_t, 4> &s)
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = s[size_t(i)];
     }
 
   private:

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Bit-exact scalar serialization helpers for the text-based
+ * checkpoint and snapshot formats.
+ *
+ * Every durable format in FireAxe (simulator checkpoints, channel
+ * checkpoints, recovery snapshots) is whitespace-separated text so it
+ * diffs and greps. Host-time stamps are doubles, and a restore is only
+ * bit-exact if they round-trip exactly — so doubles travel as their
+ * raw IEEE-754 bit patterns, not as decimal.
+ */
+
+#ifndef FIREAXE_BASE_SERIAL_HH
+#define FIREAXE_BASE_SERIAL_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace fireaxe {
+
+inline uint64_t
+doubleBits(double d)
+{
+    uint64_t u;
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+}
+
+inline double
+bitsToDouble(uint64_t u)
+{
+    double d;
+    std::memcpy(&d, &u, sizeof(d));
+    return d;
+}
+
+} // namespace fireaxe
+
+#endif // FIREAXE_BASE_SERIAL_HH

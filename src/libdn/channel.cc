@@ -1,0 +1,102 @@
+#include "libdn/channel.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "base/serial.hh"
+
+namespace fireaxe::libdn {
+
+void
+TokenChannel::saveCkpt(std::ostream &os) const
+{
+    FIREAXE_ASSERT(!concurrent_, "channel '", name_,
+                   "' checkpoint requires a quiesce point");
+    os << "fireaxe-chan 1\n";
+    os << name_ << " " << widthBits_ << " " << capacity_ << "\n";
+    os << enqCount_ << " " << deqCount_ << " "
+       << doubleBits(serTime()) << " " << doubleBits(latency()) << " "
+       << doubleBits(serializer_->lastDepart) << " "
+       << doubleBits(producerNowNs_) << " "
+       << doubleBits(consumerNowNs_) << "\n";
+    os << queue_.size() << "\n";
+    for (size_t i = 0; i < queue_.size(); ++i) {
+        const Entry &e = queue_.at(i);
+        os << e.token.size();
+        for (uint64_t w : e.token)
+            os << " " << w;
+        os << " " << doubleBits(e.readyTime) << " "
+           << doubleBits(e.enqTime) << "\n";
+    }
+}
+
+bool
+TokenChannel::tryLoadCkpt(std::istream &is, std::string &error)
+{
+    FIREAXE_ASSERT(!concurrent_, "channel '", name_,
+                   "' restore requires a quiesce point");
+    auto fail = [&](std::string msg) {
+        error = "channel '" + name_ + "': " + std::move(msg);
+        return false;
+    };
+    std::string magic;
+    unsigned version = 0;
+    is >> magic >> version;
+    if (magic != "fireaxe-chan" || version != 1)
+        return fail("not a channel checkpoint stream");
+    std::string name;
+    unsigned width = 0;
+    size_t capacity = 0;
+    is >> name >> width >> capacity;
+    if (!is)
+        return fail("truncated checkpoint header");
+    if (name != name_ || width != widthBits_ || capacity != capacity_)
+        return fail("checkpoint is for channel '" + name + "' (" +
+                    std::to_string(width) + " bits, capacity " +
+                    std::to_string(capacity) + ")");
+
+    uint64_t enq = 0, deq = 0;
+    uint64_t ser_b = 0, lat_b = 0, depart_b = 0, pnow_b = 0,
+             cnow_b = 0;
+    is >> enq >> deq >> ser_b >> lat_b >> depart_b >> pnow_b >>
+        cnow_b;
+    size_t qsize = 0;
+    is >> qsize;
+    if (!is)
+        return fail("truncated checkpoint counters");
+    if (qsize > capacity_ + 4)
+        return fail("checkpoint queue depth " +
+                    std::to_string(qsize) + " exceeds the ring");
+    std::vector<Entry> entries(qsize);
+    for (auto &e : entries) {
+        size_t words = 0;
+        is >> words;
+        if (!is || words > 4096)
+            return fail("truncated checkpoint queue");
+        e.token.resize(words);
+        for (auto &w : e.token)
+            is >> w;
+        uint64_t ready_b = 0, enq_b = 0;
+        is >> ready_b >> enq_b;
+        if (!is)
+            return fail("truncated checkpoint queue");
+        e.readyTime = bitsToDouble(ready_b);
+        e.enqTime = bitsToDouble(enq_b);
+    }
+
+    enqCount_ = enq;
+    deqCount_ = deq;
+    serTime_.store(bitsToDouble(ser_b), std::memory_order_relaxed);
+    latency_.store(bitsToDouble(lat_b), std::memory_order_relaxed);
+    serializer_->lastDepart = bitsToDouble(depart_b);
+    producerNowNs_ = bitsToDouble(pnow_b);
+    consumerNowNs_ = bitsToDouble(cnow_b);
+    while (!queue_.empty())
+        queue_.popFront();
+    for (auto &e : entries)
+        queue_.pushBack(std::move(e));
+    error.clear();
+    return true;
+}
+
+} // namespace fireaxe::libdn

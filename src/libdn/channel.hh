@@ -49,6 +49,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <limits>
 #include <memory>
 #include <string>
@@ -336,6 +337,24 @@ class TokenChannel
     virtual uint64_t tokensEnqueued() const { return enqCount_; }
     /** Tokens retired (consumed) over the channel's lifetime. */
     virtual uint64_t tokensRetired() const { return deqCount_; }
+
+    // --- checkpointing (src/recovery) -----------------------------
+
+    /**
+     * Serialize the channel's full state — queued tokens with their
+     * host-time stamps, lifetime counters, link timing and the
+     * shared serializer's departure clock — to a stream. Only legal
+     * at a quiesce point (not in concurrent mode).
+     */
+    virtual void saveCkpt(std::ostream &os) const;
+
+    /**
+     * Restore a saveCkpt() stream. Validates the whole stream (name,
+     * width, capacity, framing) before mutating anything; on failure
+     * returns false with a diagnostic in @p error and the channel
+     * unchanged. Only legal at a quiesce point.
+     */
+    virtual bool tryLoadCkpt(std::istream &is, std::string &error);
 
   protected:
     struct Entry

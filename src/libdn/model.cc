@@ -1,6 +1,8 @@
 #include "libdn/model.hh"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 
 #include "base/logging.hh"
 #include "passes/flatten.hh"
@@ -253,7 +255,7 @@ LIBDNModel::threadTick(ThreadState &th, double now)
     bool all_fired = std::all_of(th.fired.begin(), th.fired.end(),
                                  [](bool b) { return b; });
     if (all_in && all_fired) {
-        if (monitor_)
+        if (monitor_ && th.cycle >= monitorSuppressUntil_)
             monitor_(*sim_, thread_id, th.cycle);
         for (auto &ch : th.inChans)
             ch->retire(now);
@@ -303,6 +305,110 @@ LIBDNModel::outputChannelDeps(int slot) const
     FIREAXE_ASSERT(finalized_ && slot >= 0 &&
                    size_t(slot) < outDeps_.size());
     return outDeps_[slot];
+}
+
+void
+LIBDNModel::saveFsm(std::ostream &os) const
+{
+    os << "fireaxe-fsm 1\n";
+    os << numThreads_ << " " << curThread_ << " " << fires_ << " "
+       << advances_ << "\n";
+    for (const ThreadState &th : threads_) {
+        os << th.cycle << " " << th.fired.size();
+        for (bool f : th.fired)
+            os << " " << (f ? 1 : 0);
+        os << "\n";
+        os << th.seq.regValues.size();
+        for (uint64_t v : th.seq.regValues)
+            os << " " << v;
+        os << "\n";
+        os << th.seq.memContents.size() << "\n";
+        for (const auto &mem : th.seq.memContents) {
+            os << mem.size();
+            for (uint64_t v : mem)
+                os << " " << v;
+            os << "\n";
+        }
+    }
+}
+
+bool
+LIBDNModel::tryLoadFsm(std::istream &is, std::string &error)
+{
+    auto fail = [&](std::string msg) {
+        error = "partition '" + name_ + "': " + std::move(msg);
+        return false;
+    };
+    std::string magic;
+    unsigned version = 0;
+    is >> magic >> version;
+    if (magic != "fireaxe-fsm" || version != 1)
+        return fail("not an FSM checkpoint stream");
+    unsigned threads = 0, cur = 0;
+    uint64_t fires = 0, advances = 0;
+    is >> threads >> cur >> fires >> advances;
+    if (!is)
+        return fail("truncated FSM checkpoint header");
+    if (threads != numThreads_ || cur >= threads)
+        return fail("FSM checkpoint is for " +
+                    std::to_string(threads) + " threads, model has " +
+                    std::to_string(numThreads_));
+
+    struct ThreadCkpt
+    {
+        uint64_t cycle = 0;
+        std::vector<bool> fired;
+        rtlsim::SeqState seq;
+    };
+    std::vector<ThreadCkpt> loaded(threads);
+    for (auto &tc : loaded) {
+        size_t nfired = 0;
+        is >> tc.cycle >> nfired;
+        if (!is || nfired != outSpecs_.size())
+            return fail("FSM checkpoint channel shape mismatch");
+        tc.fired.resize(nfired);
+        for (size_t c = 0; c < nfired; ++c) {
+            unsigned f = 0;
+            is >> f;
+            tc.fired[c] = f != 0;
+        }
+        size_t nregs = 0;
+        is >> nregs;
+        if (!is || nregs > (1u << 26))
+            return fail("truncated FSM checkpoint thread state");
+        tc.seq.regValues.resize(nregs);
+        for (auto &v : tc.seq.regValues)
+            is >> v;
+        size_t nmems = 0;
+        is >> nmems;
+        if (!is || nmems > (1u << 20))
+            return fail("truncated FSM checkpoint thread state");
+        tc.seq.memContents.resize(nmems);
+        for (auto &mem : tc.seq.memContents) {
+            size_t depth = 0;
+            is >> depth;
+            if (!is || depth > (1u << 26))
+                return fail("truncated FSM checkpoint memory");
+            mem.resize(depth);
+            for (auto &v : mem)
+                is >> v;
+        }
+        if (!is)
+            return fail("truncated FSM checkpoint thread state");
+    }
+
+    curThread_ = cur;
+    fires_ = fires;
+    advances_ = advances;
+    for (unsigned t = 0; t < threads; ++t) {
+        ThreadState &th = threads_[t];
+        th.cycle = loaded[t].cycle;
+        th.fired = std::move(loaded[t].fired);
+        th.seq = std::move(loaded[t].seq);
+        th.situationValid = false;
+    }
+    error.clear();
+    return true;
 }
 
 LIBDNModel::FsmState

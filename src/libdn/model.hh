@@ -157,6 +157,34 @@ class LIBDNModel
     };
     FsmState fsmState(double now, unsigned thread = 0) const;
 
+    // --- checkpointing (src/recovery) -----------------------------
+
+    /**
+     * Serialize the LI-BDN FSM state (per-thread target cycle,
+     * output-fired flags, FAME-5 sequential-state copies, scheduler
+     * position, lifetime counters). The wrapped simulator's state is
+     * checkpointed separately via sim().saveCheckpoint(); together
+     * the two streams capture the whole partition.
+     */
+    void saveFsm(std::ostream &os) const;
+
+    /**
+     * Restore an FSM checkpoint written by saveFsm(). On mismatch
+     * (wrong thread count or channel shape) returns false with a
+     * diagnostic in @p error and leaves the model unchanged.
+     */
+    bool tryLoadFsm(std::istream &is, std::string &error);
+
+    /**
+     * Single-partition restart: skip the monitor callback while this
+     * model re-executes target cycles below @p cycle (they were
+     * already observed before the crash). Applies to every thread.
+     */
+    void suppressMonitorUntil(uint64_t cycle)
+    {
+        monitorSuppressUntil_ = cycle;
+    }
+
   private:
     struct ThreadState
     {
@@ -190,6 +218,9 @@ class LIBDNModel
     uint64_t fires_ = 0;
     uint64_t advances_ = 0;
     bool forceOutputDeps_ = false;
+    /** Monitor callbacks are skipped below this target cycle
+     *  (single-partition restart re-execution). */
+    uint64_t monitorSuppressUntil_ = 0;
 };
 
 } // namespace fireaxe::libdn

@@ -1,6 +1,11 @@
 #include "libdn/reliable.hh"
 
 #include <algorithm>
+#include <array>
+#include <istream>
+#include <ostream>
+
+#include "base/serial.hh"
 
 namespace fireaxe::libdn {
 
@@ -102,6 +107,14 @@ ReliableTokenChannel::enableConcurrent(int producer_part,
 bool
 ReliableTokenChannel::tryEnq(Token &token, double ready_time)
 {
+    if (suppress_ > 0) {
+        // Restarted-producer replay: this token was already
+        // transmitted before the crash and every producer-side
+        // effect (sequence number, serializer slot, fault draws,
+        // retransmit-buffer entry) is already in the channel.
+        --suppress_;
+        return true;
+    }
     // Untimed path (reset seeding): no link, no faults — but the
     // token still enters the sequence/ack machinery so delivery
     // bookkeeping stays consistent.
@@ -122,6 +135,11 @@ ReliableTokenChannel::tryEnq(Token &token, double ready_time)
 bool
 ReliableTokenChannel::tryEnqTimed(Token &token, double now)
 {
+    if (suppress_ > 0) {
+        // See tryEnq: the channel already reflects this token.
+        --suppress_;
+        return true;
+    }
     producerNowNs_ = std::max(producerNowNs_, now);
     if (full())
         return false;
@@ -210,6 +228,10 @@ void
 ReliableTokenChannel::poll(double now) const
 {
     consumerNowNs_ = std::max(consumerNowNs_, now);
+    // Replayed deliveries (single-partition restart) sit ahead of
+    // the live queue and are already verified in-order tokens.
+    if (!replayFront_.empty())
+        return;
     while (!queue2_.empty()) {
         RelEntry &e = queue2_.front();
         if (e.readyTime > now)
@@ -291,6 +313,7 @@ ReliableTokenChannel::scheduleRetransmit(uint64_t seq,
         delay += effTimeoutNs() *
                  double(uint64_t(1) << std::min(tries - 1, 10u));
     }
+    nak_ = {seq, now + delay, tries, delay};
     queue2_.pushFront({pristine->payload, now + delay, seq,
                        pristine->crc, false, pristine->enqTime});
 }
@@ -299,12 +322,16 @@ bool
 ReliableTokenChannel::headReady(double now) const
 {
     poll(now);
+    if (!replayFront_.empty())
+        return replayFront_.front().readyTime <= now;
     return !queue2_.empty() && queue2_.front().readyTime <= now;
 }
 
 double
 ReliableTokenChannel::headReadyTime() const
 {
+    if (!replayFront_.empty())
+        return replayFront_.front().readyTime;
     if (queue2_.empty())
         return std::numeric_limits<double>::infinity();
     return queue2_.front().readyTime;
@@ -313,6 +340,8 @@ ReliableTokenChannel::headReadyTime() const
 const Token &
 ReliableTokenChannel::head() const
 {
+    if (!replayFront_.empty())
+        return replayFront_.front().payload;
     FIREAXE_ASSERT(!queue2_.empty(), "channel '", name_,
                    "' head of empty queue");
     return queue2_.front().payload;
@@ -321,6 +350,8 @@ ReliableTokenChannel::head() const
 double
 ReliableTokenChannel::headEnqueueTime() const
 {
+    if (!replayFront_.empty())
+        return replayFront_.front().enqTime;
     FIREAXE_ASSERT(!queue2_.empty(), "channel '", name_,
                    "' headEnqueueTime of empty queue");
     return queue2_.front().enqTime;
@@ -329,9 +360,28 @@ ReliableTokenChannel::headEnqueueTime() const
 void
 ReliableTokenChannel::deq()
 {
+    if (!replayFront_.empty()) {
+        // Re-delivery of a logged token during a single-partition
+        // restart: the physical queue and the producer's retransmit
+        // buffer already account for it (its seq precedes the
+        // rolled-forward acknowledgment horizon), so only the
+        // consumer's delivery counters move — and nothing is
+        // published to the producer's pop accounting.
+        RelEntry e = std::move(replayFront_.front());
+        replayFront_.pop_front();
+        replayFrontSize_.store(replayFront_.size(),
+                               std::memory_order_release);
+        lastDelivered_ = e.seq;
+        ++deqCount2_;
+        logDelivered(e);
+        return;
+    }
     FIREAXE_ASSERT(!queue2_.empty(), "channel '", name_,
                    "' deq of empty queue");
     lastDelivered_ = queue2_.front().seq;
+    if (nak_.pendingSeq != 0 && lastDelivered_ >= nak_.pendingSeq)
+        nak_ = {}; // the NAKed token's recovery completed
+    logDelivered(queue2_.front());
     queue2_.popFront();
     ++deqCount2_;
     // Delivery is the in-process acknowledgment: retire the
@@ -344,6 +394,65 @@ ReliableTokenChannel::deq()
     }
     if (concurrent_)
         logPops(consumerNowNs_, 1, rtx_pops);
+}
+
+void
+ReliableTokenChannel::logDelivered(const RelEntry &e) const
+{
+    if (replayCap_ == 0)
+        return;
+    replayLog_.push_back(e);
+    if (replayLog_.size() > replayCap_)
+        replayLog_.pop_front();
+}
+
+void
+ReliableTokenChannel::setReplayLogCapacity(size_t n)
+{
+    replayCap_ = n;
+    while (replayLog_.size() > replayCap_)
+        replayLog_.pop_front();
+}
+
+bool
+ReliableTokenChannel::replayFromLog(uint64_t cut_deq_count,
+                                    uint64_t cut_last_delivered,
+                                    std::string &error)
+{
+    FIREAXE_ASSERT(!concurrent_, "channel '", name_,
+                   "' replayFromLog requires a quiesce point");
+    if (!replayFront_.empty()) {
+        error = "channel '" + name_ +
+                "': a replay is already in progress";
+        return false;
+    }
+    if (cut_deq_count > deqCount2_) {
+        error = "channel '" + name_ +
+                "': recovery point is ahead of the channel";
+        return false;
+    }
+    uint64_t n = deqCount2_ - cut_deq_count;
+    if (n > replayLog_.size()) {
+        error = "channel '" + name_ + "': replay log holds " +
+                std::to_string(replayLog_.size()) + " of the " +
+                std::to_string(n) +
+                " deliveries since the recovery point (raise "
+                "the replay log depth or restore the whole run)";
+        return false;
+    }
+    // Move the since-the-cut suffix of the log into the replay
+    // front; re-delivery will log them again, converging the log
+    // back to its pre-restart contents.
+    for (uint64_t i = 0; i < n; ++i) {
+        replayFront_.push_front(std::move(replayLog_.back()));
+        replayLog_.pop_back();
+    }
+    replayFrontSize_.store(replayFront_.size(),
+                           std::memory_order_release);
+    deqCount2_ = cut_deq_count;
+    lastDelivered_ = cut_last_delivered;
+    error.clear();
+    return true;
 }
 
 void
@@ -362,6 +471,196 @@ ReliableTokenChannel::stats() const
     for (const auto &kv : rxStats_.all())
         merged.add(kv.first, kv.second);
     return merged;
+}
+
+namespace {
+
+void
+writeRelEntry(std::ostream &os, const ReliableTokenChannel &,
+              const Token &payload, double ready_time, uint64_t seq,
+              uint32_t crc, bool verified, double enq_time)
+{
+    os << payload.size();
+    for (uint64_t w : payload)
+        os << " " << w;
+    os << " " << doubleBits(ready_time) << " " << seq << " " << crc
+       << " " << (verified ? 1 : 0) << " " << doubleBits(enq_time)
+       << "\n";
+}
+
+void
+writeCounters(std::ostream &os, const CounterSet &cs)
+{
+    os << cs.all().size();
+    for (const auto &kv : cs.all())
+        os << " " << kv.first << " " << kv.second;
+    os << "\n";
+}
+
+void
+writeRng(std::ostream &os, const Rng &rng)
+{
+    auto s = rng.state();
+    os << s[0] << " " << s[1] << " " << s[2] << " " << s[3] << "\n";
+}
+
+} // namespace
+
+void
+ReliableTokenChannel::saveCkpt(std::ostream &os) const
+{
+    TokenChannel::saveCkpt(os);
+    os << "fireaxe-relchan 1\n";
+    os << nextSeq_ << " " << lastDelivered_ << " " << enqCount2_
+       << " " << deqCount2_ << " " << qPushes2_ << " "
+       << (failed_.load(std::memory_order_relaxed) ? 1 : 0) << " "
+       << (faultsActive_.load(std::memory_order_relaxed) ? 1 : 0)
+       << " " << suppress_ << " " << replayCap_ << "\n";
+    os << nak_.pendingSeq << " " << doubleBits(nak_.resendReadyNs)
+       << " " << nak_.backoffTries << " "
+       << doubleBits(nak_.backoffNs) << "\n";
+    writeRng(os, txRng_);
+    writeRng(os, rxRng_);
+    writeCounters(os, txStats_);
+    writeCounters(os, rxStats_);
+    os << queue2_.size() << "\n";
+    for (size_t i = 0; i < queue2_.size(); ++i) {
+        const RelEntry &e = queue2_.at(i);
+        writeRelEntry(os, *this, e.payload, e.readyTime, e.seq,
+                      e.crc, e.verified, e.enqTime);
+    }
+    os << rtxBuf_.size() << "\n";
+    for (size_t i = 0; i < rtxBuf_.size(); ++i) {
+        const RelEntry &e = rtxBuf_.at(i);
+        writeRelEntry(os, *this, e.payload, e.readyTime, e.seq,
+                      e.crc, e.verified, e.enqTime);
+    }
+}
+
+bool
+ReliableTokenChannel::tryLoadCkpt(std::istream &is,
+                                  std::string &error)
+{
+    if (!TokenChannel::tryLoadCkpt(is, error))
+        return false;
+    auto fail = [&](std::string msg) {
+        error = "channel '" + name_ + "': " + std::move(msg);
+        return false;
+    };
+    auto readEntries = [&](size_t ring_cap,
+                           std::vector<RelEntry> &out) {
+        size_t n = 0;
+        is >> n;
+        if (!is || n > ring_cap)
+            return false;
+        out.resize(n);
+        for (auto &e : out) {
+            size_t words = 0;
+            is >> words;
+            if (!is || words > 4096)
+                return false;
+            e.payload.resize(words);
+            for (auto &w : e.payload)
+                is >> w;
+            uint64_t ready_b = 0, enq_b = 0;
+            unsigned verified = 0;
+            is >> ready_b >> e.seq >> e.crc >> verified >> enq_b;
+            if (!is)
+                return false;
+            e.readyTime = bitsToDouble(ready_b);
+            e.verified = verified != 0;
+            e.enqTime = bitsToDouble(enq_b);
+        }
+        return true;
+    };
+    auto readCounters = [&](CounterSet &cs) {
+        size_t n = 0;
+        is >> n;
+        if (!is || n > 1024)
+            return false;
+        cs.reset();
+        for (size_t i = 0; i < n; ++i) {
+            std::string name;
+            uint64_t value = 0;
+            is >> name >> value;
+            if (!is)
+                return false;
+            cs.add(name, value);
+        }
+        return true;
+    };
+    auto readRng = [&](Rng &rng) {
+        std::array<uint64_t, 4> s{};
+        is >> s[0] >> s[1] >> s[2] >> s[3];
+        if (!is)
+            return false;
+        rng.setState(s);
+        return true;
+    };
+
+    std::string magic;
+    unsigned version = 0;
+    is >> magic >> version;
+    if (magic != "fireaxe-relchan" || version != 1)
+        return fail("not a reliable-channel checkpoint stream");
+
+    uint64_t next_seq = 0, last_delivered = 0, enq2 = 0, deq2 = 0,
+             pushes2 = 0, suppress = 0;
+    unsigned failed = 0, faults_active = 0;
+    size_t replay_cap = 0;
+    is >> next_seq >> last_delivered >> enq2 >> deq2 >> pushes2 >>
+        failed >> faults_active >> suppress >> replay_cap;
+    NakRecovery nak;
+    uint64_t resend_b = 0, backoff_b = 0;
+    is >> nak.pendingSeq >> resend_b >> nak.backoffTries >>
+        backoff_b;
+    if (!is)
+        return fail("truncated reliable-channel checkpoint");
+    nak.resendReadyNs = bitsToDouble(resend_b);
+    nak.backoffNs = bitsToDouble(backoff_b);
+
+    Rng tx_rng(0), rx_rng(0);
+    if (!readRng(tx_rng) || !readRng(rx_rng))
+        return fail("truncated fault-RNG state");
+    CounterSet tx_stats, rx_stats;
+    if (!readCounters(tx_stats) || !readCounters(rx_stats))
+        return fail("truncated reliability counters");
+    std::vector<RelEntry> queue_entries, rtx_entries;
+    if (!readEntries(queue2_.capacity(), queue_entries))
+        return fail("truncated in-flight queue");
+    if (!readEntries(rtxBuf_.capacity(), rtx_entries))
+        return fail("truncated retransmit buffer");
+
+    nextSeq_ = next_seq;
+    lastDelivered_ = last_delivered;
+    enqCount2_ = enq2;
+    deqCount2_ = deq2;
+    qPushes2_ = pushes2;
+    suppress_ = suppress;
+    replayCap_ = replay_cap;
+    failed_.store(failed != 0, std::memory_order_relaxed);
+    faultsActive_.store(faults_active != 0,
+                        std::memory_order_relaxed);
+    nak_ = nak;
+    txRng_ = tx_rng;
+    rxRng_ = rx_rng;
+    txStats_ = tx_stats;
+    rxStats_ = rx_stats;
+    while (!queue2_.empty())
+        queue2_.popFront();
+    for (auto &e : queue_entries)
+        queue2_.pushBack(std::move(e));
+    while (!rtxBuf_.empty())
+        rtxBuf_.popFront();
+    for (auto &e : rtx_entries)
+        rtxBuf_.pushBack(std::move(e));
+    // Restart-replay state is transient and never part of a durable
+    // cut: a restore starts with a clean replay pipeline.
+    replayFront_.clear();
+    replayFrontSize_.store(0, std::memory_order_relaxed);
+    replayLog_.clear();
+    error.clear();
+    return true;
 }
 
 } // namespace fireaxe::libdn

@@ -44,6 +44,7 @@
 #define FIREAXE_LIBDN_RELIABLE_HH
 
 #include <cstdint>
+#include <deque>
 
 #include "base/stats.hh"
 #include "libdn/channel.hh"
@@ -89,8 +90,19 @@ class ReliableTokenChannel : public TokenChannel
 
     // --- TokenChannel interface -----------------------------------
     bool full() const override;
-    bool empty() const override { return queue2_.empty(); }
-    size_t size() const override { return queue2_.size(); }
+    bool
+    empty() const override
+    {
+        return replayFrontSize_.load(std::memory_order_acquire) ==
+                   0 &&
+               queue2_.empty();
+    }
+    size_t
+    size() const override
+    {
+        return replayFrontSize_.load(std::memory_order_acquire) +
+               queue2_.size();
+    }
     bool tryEnq(Token &token, double ready_time) override;
     bool tryEnqTimed(Token &token, double now) override;
     bool headReady(double now) const override;
@@ -132,6 +144,81 @@ class ReliableTokenChannel : public TokenChannel
     /** Unacked producer-side copies currently buffered. */
     size_t retransmitBufferSize() const { return rtxBuf_.size(); }
 
+    /**
+     * Consumer-side NAK recovery state: the retransmission currently
+     * in flight, if any. pendingSeq == 0 means no NAK is outstanding.
+     * Owned by the consuming side; snapshotted with the channel so a
+     * restore mid-retransmission completes the recovery exactly.
+     */
+    struct NakRecovery
+    {
+        /** Sequence number being recovered (0 = none). */
+        uint64_t pendingSeq = 0;
+        /** Host time the retransmitted copy becomes visible (ns). */
+        double resendReadyNs = 0.0;
+        /** Resend attempts consumed by this recovery (drives the
+         *  exponential backoff). */
+        unsigned backoffTries = 0;
+        /** Total recovery delay charged (NAK flight + resends +
+         *  backoff), ns. */
+        double backoffNs = 0.0;
+    };
+    const NakRecovery &nakRecovery() const { return nak_; }
+
+    /** Highest sequence number delivered in order (consumer side);
+     *  recorded in recovery cuts for single-partition restart. */
+    uint64_t lastDeliveredSeq() const { return lastDelivered_; }
+
+    // --- checkpointing (src/recovery) -----------------------------
+    void saveCkpt(std::ostream &os) const override;
+    bool tryLoadCkpt(std::istream &is, std::string &error) override;
+
+    // --- single-partition restart (src/recovery) ------------------
+
+    /**
+     * Keep the last @p n delivered tokens in a bounded replay log so
+     * a condemned consumer partition can be restarted from a cut and
+     * re-fed its inbound stream (0 disables; shrinking trims the
+     * oldest entries). Consumer-side state.
+     */
+    void setReplayLogCapacity(size_t n);
+    size_t replayLogCapacity() const { return replayCap_; }
+
+    /**
+     * Rewind the consumer side to a recovery point: deliveries past
+     * @p cut_deq_count are re-presented from the replay log (in
+     * order, ahead of the live queue), and the delivery counters
+     * rewind to the cut. Producer-side state — sequence numbers,
+     * retransmit buffer, fault RNG, serializer — stays at its
+     * current (post-cut) position, which is exactly what the
+     * restarted consumer's re-execution converges to. Fails (false,
+     * diagnostic in @p error, channel unchanged) when the log no
+     * longer covers the cut. Only legal at a quiesce point.
+     */
+    bool replayFromLog(uint64_t cut_deq_count,
+                       uint64_t cut_last_delivered,
+                       std::string &error);
+
+    /** Would replayFromLog(@p cut_deq_count, ...) succeed? Lets the
+     *  executor pre-validate every inbound channel of a condemned
+     *  partition before mutating any of them. */
+    bool
+    canReplayFrom(uint64_t cut_deq_count) const
+    {
+        return replayFront_.empty() && cut_deq_count <= deqCount2_ &&
+               deqCount2_ - cut_deq_count <= replayLog_.size();
+    }
+
+    /**
+     * Suppress the next @p n accepted tokens on the producer side:
+     * tryEnq/tryEnqTimed report success without touching any channel
+     * state. Used when a restarted producer partition re-executes
+     * cycles whose tokens were already transmitted before the crash —
+     * the channel (and its fault schedule) already reflects them.
+     */
+    void suppressProducedTokens(uint64_t n) { suppress_ += n; }
+    uint64_t suppressedTokensLeft() const { return suppress_; }
+
   private:
     struct RelEntry
     {
@@ -160,6 +247,8 @@ class ReliableTokenChannel : public TokenChannel
     /** Delivered-queue depth as deterministically seen by the
      *  producer (logical in concurrent mode). */
     size_t relOccupancy() const;
+    /** Append one delivered token to the bounded replay log. */
+    void logDelivered(const RelEntry &e) const;
 
     transport::FaultModel faults_;
     Params params_;
@@ -181,6 +270,22 @@ class ReliableTokenChannel : public TokenChannel
     mutable std::atomic<bool> failed_{false};
     mutable CounterSet txStats_;
     mutable CounterSet rxStats_;
+    /** Consumer-side NAK recovery in flight (see NakRecovery). */
+    mutable NakRecovery nak_;
+
+    // --- single-partition restart state ---------------------------
+    // All consumer-side except suppress_ (producer-side); both are
+    // SPSC-clean under the parallel engine.
+    /** Replayed deliveries served ahead of queue2_ (restart). */
+    mutable std::deque<RelEntry> replayFront_;
+    /** Mirror of replayFront_.size() for cross-thread size()
+     *  queries (the deque itself is consumer-owned). */
+    mutable std::atomic<size_t> replayFrontSize_{0};
+    /** Last replayCap_ delivered tokens, newest at the back. */
+    mutable std::deque<RelEntry> replayLog_;
+    size_t replayCap_ = 0;
+    /** Producer-side count of enqueues to swallow (restart). */
+    uint64_t suppress_ = 0;
 };
 
 } // namespace fireaxe::libdn

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <istream>
 #include <limits>
 #include <map>
 #include <ostream>
@@ -11,8 +12,10 @@
 #include <sstream>
 
 #include "base/logging.hh"
+#include "base/serial.hh"
 #include "par/engine.hh"
 #include "passes/flatten.hh"
+#include "recovery/snapshot.hh"
 #include "rtlsim/simulator.hh"
 #include "verify/verify.hh"
 
@@ -170,9 +173,11 @@ MultiFpgaSim::init()
         auto &ser = serializers[{ch.srcPart, ch.dstPart}];
         if (!ser)
             ser = std::make_shared<libdn::LinkSerializer>();
-        chan->setTiming(transport::tokenSerNs(link_, ch.widthBits),
-                        transport::tokenLatencyNs(link_), ser);
-        channels_.push_back({chan, ch.srcPart, ch.dstPart, false});
+        double ser_ns = transport::tokenSerNs(link_, ch.widthBits);
+        double lat_ns = transport::tokenLatencyNs(link_);
+        chan->setTiming(ser_ns, lat_ns, ser);
+        channels_.push_back({chan, ch.srcPart, ch.dstPart, false,
+                             ser, ser_ns, lat_ns});
 
         int out_slot = models_[ch.srcPart]->defineOutputChannel(
             out_spec);
@@ -438,6 +443,14 @@ MultiFpgaSim::writeTrace(std::ostream &os) const
 }
 
 RunResult
+MultiFpgaSim::runOnce(uint64_t target_cycles)
+{
+    if (execConfig_.backend == ExecBackend::Parallel)
+        return runParallel(target_cycles);
+    return runSequential(target_cycles);
+}
+
+RunResult
 MultiFpgaSim::run(uint64_t target_cycles)
 {
     if (!initialized_)
@@ -454,9 +467,36 @@ MultiFpgaSim::run(uint64_t target_cycles)
         now_ = 0.0;
     }
 
-    if (execConfig_.backend == ExecBackend::Parallel)
-        return runParallel(target_cycles);
-    return runSequential(target_cycles);
+    // Autosnapshot: chunk the run at snapshot boundaries. Each chunk
+    // ends at a quiesce point (the event loop returned, parallel
+    // workers joined, channels out of concurrent mode), which is
+    // exactly a consistent cut — so snapshotting between chunks
+    // cannot perturb the token schedule or any result.
+    uint64_t every = execConfig_.snapshotEveryCycles;
+    std::string snap_dir = execConfig_.snapshotDir;
+    if (snap_dir.empty()) {
+        const char *env = std::getenv("FIREAXE_SNAPSHOT_DIR");
+        if (env && *env)
+            snap_dir = env;
+    }
+    if (every == 0 || snap_dir.empty())
+        return runOnce(target_cycles);
+
+    while (true) {
+        uint64_t cur = minCycleAll();
+        uint64_t next = std::min(
+            target_cycles, (cur / every + 1) * every);
+        RunResult result = runOnce(next);
+        if (result.deadlocked || result.stopped)
+            return result;
+        std::string error;
+        if (!snapshot(snap_dir, error))
+            warn("autosnapshot into '", snap_dir, "' failed: ",
+                 error, " (run continues)");
+        if (minCycleAll() >= target_cycles ||
+            minCycleAll() <= cur) // no forward progress: bail out
+            return result;
+    }
 }
 
 void
@@ -752,6 +792,462 @@ MultiFpgaSim::runParallel(uint64_t target_cycles)
     result.stopped = er.stopped;
     finishRun(result, er.hostTimeNs);
     return result;
+}
+
+// --- coordinated recovery (src/recovery) --------------------------
+
+namespace {
+
+/** Length-prefixed raw byte block inside a shard stream. */
+void
+writeBlock(std::ostream &os, const std::string &payload)
+{
+    os << payload.size() << "\n" << payload;
+}
+
+bool
+readBlock(std::istream &is, std::string &payload)
+{
+    size_t n = 0;
+    is >> n;
+    if (!is || n > (size_t(1) << 32) || is.get() != '\n')
+        return false;
+    payload.resize(n);
+    is.read(payload.empty() ? nullptr : &payload[0],
+            std::streamsize(n));
+    return bool(is);
+}
+
+} // namespace
+
+uint64_t
+MultiFpgaSim::minCycleAll() const
+{
+    uint64_t m = models_[0]->minTargetCycle();
+    for (const auto &model : models_)
+        m = std::min(m, model->minTargetCycle());
+    return m;
+}
+
+uint64_t
+MultiFpgaSim::designHash() const
+{
+    uint64_t h = recovery::fnv1a("fireaxe-design");
+    for (const auto &circuit : plan_.partitions)
+        h = recovery::fnv1aMix(h, recovery::hashCircuit(circuit));
+    return h;
+}
+
+uint64_t
+MultiFpgaSim::planHash() const
+{
+    // Hash the plan *structure* — everything that shapes the models
+    // and channels a snapshot will be loaded back into.
+    std::ostringstream os;
+    os << int(plan_.mode) << "\n";
+    for (size_t p = 0; p < plan_.partitionNames.size(); ++p)
+        os << plan_.partitionNames[p] << " "
+           << plan_.fame5Threads[p] << "\n";
+    for (const auto &ch : plan_.channels)
+        os << ch.name << " " << ch.srcPart << " " << ch.dstPart
+           << " " << ch.widthBits << " " << ch.capacity << "\n";
+    return recovery::fnv1a(os.str());
+}
+
+recovery::RecoveryPoint
+MultiFpgaSim::acquireRecoveryPoint()
+{
+    if (!initialized_)
+        init();
+    if (nextTick_.size() != models_.size()) {
+        nextTick_.assign(models_.size(), 0.0);
+        lastProgress_ = 0.0;
+        now_ = 0.0;
+    }
+
+    recovery::RecoveryPoint rp;
+    rp.valid = true;
+    rp.nowNs = now_;
+    rp.lastProgressNs = lastProgress_;
+    rp.nextTickNs = nextTick_;
+    rp.transientStallEvents = transientStallEvents_;
+    rp.linkFailovers = linkFailovers_.load(std::memory_order_relaxed);
+    rp.minTargetCycle = minCycleAll();
+
+    rp.partitions.reserve(models_.size());
+    for (const auto &model : models_) {
+        recovery::PartitionCut pc;
+        std::ostringstream sim_os;
+        model->sim().saveCheckpoint(sim_os);
+        pc.simCkpt = sim_os.str();
+        std::ostringstream fsm_os;
+        model->saveFsm(fsm_os);
+        pc.fsmCkpt = fsm_os.str();
+        pc.targetCycle = model->minTargetCycle();
+        rp.partitions.push_back(std::move(pc));
+    }
+
+    rp.channels.reserve(channels_.size());
+    for (auto &cs : channels_) {
+        // (Re)arm the replay log at every cut so restartPartition()
+        // can re-feed deliveries made after the *latest* cut.
+        cs.chan->setReplayLogCapacity(execConfig_.replayLogDepth);
+        recovery::ChannelCut cc;
+        std::ostringstream ch_os;
+        cs.chan->saveCkpt(ch_os);
+        cc.ckpt = ch_os.str();
+        cc.enqCount = cs.chan->tokensEnqueued();
+        cc.deqCount = cs.chan->tokensRetired();
+        cc.lastDelivered = cs.chan->lastDeliveredSeq();
+        cc.failedOver = cs.failedOver;
+        rp.channels.push_back(std::move(cc));
+    }
+    return rp;
+}
+
+void
+MultiFpgaSim::retimeForCut(ChannelState &cs, bool cut_failed_over)
+{
+    if (cut_failed_over == cs.failedOver)
+        return;
+    if (cut_failed_over) {
+        // The cut had this channel on the fallback transport:
+        // detach onto a private serializer (the checkpoint then
+        // restores the failover timing and departure clock onto it).
+        auto host = transport::hostManagedPcie();
+        cs.chan->setTiming(
+            transport::tokenSerNs(host, cs.chan->widthBits()),
+            transport::tokenLatencyNs(host), nullptr);
+    } else {
+        // Rewinding to before a failover: reattach the original
+        // shared link serializer so the channel contends for its
+        // physical link again.
+        cs.chan->setTiming(cs.baseSerNs, cs.baseLatencyNs,
+                           cs.baseSerializer);
+    }
+}
+
+bool
+MultiFpgaSim::applyRecoveryPoint(const recovery::RecoveryPoint &rp,
+                                 std::string &error)
+{
+    if (!rp.valid) {
+        error = "recovery point is not valid";
+        return false;
+    }
+    if (rp.partitions.size() != models_.size() ||
+        rp.channels.size() != channels_.size() ||
+        rp.nextTickNs.size() != models_.size()) {
+        error = "recovery point shape does not match this plan";
+        return false;
+    }
+    for (size_t p = 0; p < models_.size(); ++p) {
+        std::istringstream sim_is(rp.partitions[p].simCkpt);
+        if (!models_[p]->sim().tryLoadCheckpoint(sim_is, error))
+            return false;
+        std::istringstream fsm_is(rp.partitions[p].fsmCkpt);
+        if (!models_[p]->tryLoadFsm(fsm_is, error))
+            return false;
+    }
+    for (size_t c = 0; c < channels_.size(); ++c) {
+        retimeForCut(channels_[c], rp.channels[c].failedOver);
+        std::istringstream ch_is(rp.channels[c].ckpt);
+        if (!channels_[c].chan->tryLoadCkpt(ch_is, error))
+            return false;
+        channels_[c].failedOver = rp.channels[c].failedOver;
+    }
+    now_ = rp.nowNs;
+    lastProgress_ = rp.lastProgressNs;
+    nextTick_ = rp.nextTickNs;
+    transientStallEvents_ = rp.transientStallEvents;
+    linkFailovers_.store(rp.linkFailovers,
+                         std::memory_order_relaxed);
+    error.clear();
+    return true;
+}
+
+void
+MultiFpgaSim::rollback(const recovery::RecoveryPoint &rp)
+{
+    FIREAXE_ASSERT(initialized_,
+                   "rollback() before the run was initialized");
+    std::string error;
+    if (!applyRecoveryPoint(rp, error))
+        fatal("rollback failed: ", error);
+    ++restoreCount_;
+    if (telemetry_ && telemetry_->tracer())
+        telemetry_->tracer()->instant("rollback", "recovery", now_);
+    recordRecoveryMetrics();
+}
+
+bool
+MultiFpgaSim::restartPartition(int part,
+                               const recovery::RecoveryPoint &rp,
+                               std::string &error)
+{
+    FIREAXE_ASSERT(initialized_,
+                   "restartPartition() before the run was "
+                   "initialized");
+    if (!rp.valid || rp.partitions.size() != models_.size() ||
+        rp.channels.size() != channels_.size() ||
+        rp.nextTickNs.size() != models_.size()) {
+        error = "recovery point shape does not match this plan";
+        return false;
+    }
+    if (part < 0 || size_t(part) >= models_.size()) {
+        error = "no such partition";
+        return false;
+    }
+
+    // Pre-validate every inbound replay before mutating anything, so
+    // a stale cut (replay log outrun) leaves the world untouched.
+    for (size_t c = 0; c < channels_.size(); ++c) {
+        const ChannelState &cs = channels_[c];
+        if (cs.dstPart != part)
+            continue;
+        if (!cs.chan->canReplayFrom(rp.channels[c].deqCount)) {
+            error = "channel '" + cs.chan->name() +
+                    "': replay log no longer covers the recovery "
+                    "point (raise ExecConfig::replayLogDepth or "
+                    "restore the whole run)";
+            return false;
+        }
+    }
+
+    uint64_t crash_cycle = models_[part]->minTargetCycle();
+    std::istringstream sim_is(rp.partitions[part].simCkpt);
+    if (!models_[part]->sim().tryLoadCheckpoint(sim_is, error))
+        return false;
+    std::istringstream fsm_is(rp.partitions[part].fsmCkpt);
+    if (!models_[part]->tryLoadFsm(fsm_is, error))
+        return false;
+
+    for (size_t c = 0; c < channels_.size(); ++c) {
+        ChannelState &cs = channels_[c];
+        if (cs.dstPart == part) {
+            // Inbound: re-present everything delivered since the
+            // cut, ahead of the live queue. Producer-side state
+            // (sequence numbers, retransmit buffer, fault RNG,
+            // serializer clock) stays where the peers left it.
+            if (!cs.chan->replayFromLog(rp.channels[c].deqCount,
+                                        rp.channels[c].lastDelivered,
+                                        error))
+                return false; // unreachable after the pre-check
+        } else if (cs.srcPart == part) {
+            // Outbound: the channel already reflects every token the
+            // partition transmitted before the crash; swallow their
+            // re-production so re-execution converges exactly.
+            cs.chan->suppressProducedTokens(
+                cs.chan->tokensEnqueued() - rp.channels[c].enqCount);
+        }
+    }
+
+    // Observations below the crash cycle were already made.
+    models_[part]->suppressMonitorUntil(crash_cycle);
+    // The partition re-ticks from its cut-time schedule; peers sit
+    // at future ticks and stall on token dependencies until the
+    // restarted partition catches back up.
+    nextTick_[part] = rp.nextTickNs[part];
+
+    ++partitionRestarts_;
+    if (telemetry_ && telemetry_->tracer())
+        telemetry_->tracer()->instant("partition-restart",
+                                      "recovery", now_);
+    recordRecoveryMetrics();
+    error.clear();
+    return true;
+}
+
+bool
+MultiFpgaSim::snapshot(const std::string &dir, std::string &error)
+{
+    auto wall0 = std::chrono::steady_clock::now();
+    recovery::RecoveryPoint rp = acquireRecoveryPoint();
+
+    recovery::Manifest manifest;
+    manifest.designHash = designHash();
+    manifest.planHash = planHash();
+    manifest.engine = rtlsim::toString(execConfig_.evalEngine);
+    manifest.faultSeed =
+        faults_.enabled() ? faults_.config().seed : 0;
+    manifest.targetCycle = rp.minTargetCycle;
+    manifest.numPartitions = models_.size();
+    manifest.numChannels = channels_.size();
+
+    std::vector<std::string> shards;
+    shards.reserve(models_.size() + 1);
+    for (const auto &pc : rp.partitions) {
+        std::ostringstream os;
+        os << "fireaxe-part 1\n";
+        writeBlock(os, pc.simCkpt);
+        writeBlock(os, pc.fsmCkpt);
+        shards.push_back(os.str());
+    }
+    {
+        std::ostringstream os;
+        os << "fireaxe-exec 1\n";
+        os << doubleBits(rp.nowNs) << " "
+           << doubleBits(rp.lastProgressNs) << " "
+           << rp.transientStallEvents << " " << rp.linkFailovers
+           << "\n";
+        os << rp.nextTickNs.size();
+        for (double t : rp.nextTickNs)
+            os << " " << doubleBits(t);
+        os << "\n";
+        os << rp.channels.size() << "\n";
+        for (const auto &cc : rp.channels) {
+            os << (cc.failedOver ? 1 : 0) << " " << cc.enqCount
+               << " " << cc.deqCount << " " << cc.lastDelivered
+               << "\n";
+            writeBlock(os, cc.ckpt);
+        }
+        shards.push_back(os.str());
+    }
+
+    recovery::SnapshotStore store(dir);
+    uint64_t bytes = 0;
+    if (!store.commit(manifest, shards, bytes, error))
+        return false;
+
+    double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall0)
+            .count();
+    ++snapshotCount_;
+    lastSnapshotBytes_ = bytes;
+    lastSnapshotWallMs_ = wall_ms;
+    totalSnapshotWallMs_ += wall_ms;
+    if (telemetry_ && telemetry_->tracer())
+        telemetry_->tracer()->instant("snapshot", "recovery", now_);
+    recordRecoveryMetrics();
+    error.clear();
+    return true;
+}
+
+bool
+MultiFpgaSim::restore(const std::string &dir, std::string &error)
+{
+    if (!initialized_)
+        init();
+    if (nextTick_.size() != models_.size()) {
+        nextTick_.assign(models_.size(), 0.0);
+        lastProgress_ = 0.0;
+        now_ = 0.0;
+    }
+
+    recovery::SnapshotStore store(dir);
+    recovery::Manifest manifest;
+    if (!store.loadManifest(manifest, error))
+        return false;
+    if (manifest.designHash != designHash()) {
+        error = "snapshot in '" + dir +
+                "' was taken of a different design";
+        return false;
+    }
+    if (manifest.planHash != planHash()) {
+        error = "snapshot in '" + dir +
+                "' was taken under a different partition plan";
+        return false;
+    }
+    if (manifest.numPartitions != models_.size() ||
+        manifest.numChannels != channels_.size()) {
+        error = "snapshot in '" + dir +
+                "' does not match this plan's shape";
+        return false;
+    }
+    // manifest.engine is informational only: both evaluation engines
+    // are bit-exact, so cross-engine restore is legal by design.
+
+    // Pull (and CRC-verify) every shard before touching any state.
+    std::vector<std::string> shards(manifest.shards.size());
+    for (size_t i = 0; i < shards.size(); ++i)
+        if (!store.readShard(manifest, i, shards[i], error))
+            return false;
+
+    recovery::RecoveryPoint rp;
+    rp.valid = true;
+    rp.partitions.resize(models_.size());
+    for (size_t p = 0; p < models_.size(); ++p) {
+        std::istringstream is(shards[p]);
+        std::string magic;
+        unsigned version = 0;
+        is >> magic >> version;
+        if (magic != "fireaxe-part" || version != 1 ||
+            !readBlock(is, rp.partitions[p].simCkpt) ||
+            !readBlock(is, rp.partitions[p].fsmCkpt)) {
+            error = "malformed partition shard '" +
+                    manifest.shards[p].file + "'";
+            return false;
+        }
+    }
+    {
+        std::istringstream is(shards.back());
+        std::string magic;
+        unsigned version = 0;
+        is >> magic >> version;
+        uint64_t now_b = 0, progress_b = 0;
+        size_t nticks = 0;
+        is >> now_b >> progress_b >> rp.transientStallEvents >>
+            rp.linkFailovers >> nticks;
+        if (magic != "fireaxe-exec" || version != 1 || !is ||
+            nticks != models_.size()) {
+            error = "malformed executor shard";
+            return false;
+        }
+        rp.nowNs = bitsToDouble(now_b);
+        rp.lastProgressNs = bitsToDouble(progress_b);
+        rp.nextTickNs.resize(nticks);
+        for (auto &t : rp.nextTickNs) {
+            uint64_t b = 0;
+            is >> b;
+            t = bitsToDouble(b);
+        }
+        size_t nchans = 0;
+        is >> nchans;
+        if (!is || nchans != channels_.size()) {
+            error = "malformed executor shard";
+            return false;
+        }
+        rp.channels.resize(nchans);
+        for (auto &cc : rp.channels) {
+            unsigned failed_over = 0;
+            is >> failed_over >> cc.enqCount >> cc.deqCount >>
+                cc.lastDelivered;
+            cc.failedOver = failed_over != 0;
+            if (!is || is.get() != '\n' ||
+                !readBlock(is, cc.ckpt)) {
+                error = "malformed executor shard";
+                return false;
+            }
+        }
+    }
+
+    if (!applyRecoveryPoint(rp, error))
+        return false;
+    ++restoreCount_;
+    if (telemetry_ && telemetry_->tracer())
+        telemetry_->tracer()->instant("restore", "recovery", now_);
+    recordRecoveryMetrics();
+    error.clear();
+    return true;
+}
+
+void
+MultiFpgaSim::recordRecoveryMetrics()
+{
+    if (!telemetry_ || !telemetry_->registry())
+        return;
+    obs::MetricsRegistry *reg = telemetry_->registry();
+    reg->gauge("recovery.snapshots").set(double(snapshotCount_));
+    reg->gauge("recovery.last_snapshot_bytes")
+        .set(double(lastSnapshotBytes_));
+    reg->gauge("recovery.last_snapshot_wall_ms")
+        .set(lastSnapshotWallMs_);
+    reg->gauge("recovery.total_snapshot_wall_ms")
+        .set(totalSnapshotWallMs_);
+    reg->gauge("recovery.restores").set(double(restoreCount_));
+    reg->gauge("recovery.partition_restarts")
+        .set(double(partitionRestarts_));
 }
 
 std::ostream &

@@ -39,6 +39,7 @@
 #include "libdn/reliable.hh"
 #include "obs/telemetry.hh"
 #include "platform/fpga.hh"
+#include "recovery/recovery.hh"
 #include "ripper/partition.hh"
 #include "rtlsim/vcd.hh"
 #include "transport/fault.hh"
@@ -202,6 +203,24 @@ struct ExecConfig
      * for any value.
      */
     uint64_t stressSeed = 0;
+    /**
+     * Nonzero: run() autosnapshots the whole simulation into
+     * `snapshotDir` every N target cycles (crash-consistent commit;
+     * see src/recovery). run() internally chunks the event loop at
+     * the snapshot boundaries — the boundaries are quiesce points,
+     * so the token schedule (and every result) is unchanged.
+     */
+    uint64_t snapshotEveryCycles = 0;
+    /** Autosnapshot directory; empty falls back to the
+     *  FIREAXE_SNAPSHOT_DIR environment variable. */
+    std::string snapshotDir;
+    /**
+     * Per-channel delivered-token replay log depth backing
+     * restartPartition() (entries retained past each recovery
+     * point). 0 disables the logs (and with them single-partition
+     * restart); whole-run rollback/restore is unaffected.
+     */
+    size_t replayLogDepth = 1024;
 
     static ExecConfig
     parallel(unsigned workers = 0)
@@ -323,6 +342,83 @@ class MultiFpgaSim
     /** Access a partition model (valid after init()). */
     libdn::LIBDNModel &model(int part);
 
+    // --- coordinated recovery (src/recovery) ----------------------
+    //
+    // All of these are only legal at a quiesce point: between run()
+    // calls (or before the first), when no worker threads exist and
+    // every channel is out of concurrent mode. run()'s autosnapshot
+    // chunking calls snapshot() at exactly such points.
+
+    /**
+     * Capture a consistent cut of the whole run: every partition's
+     * simulator + LI-BDN FSM state, every channel's in-flight /
+     * retransmit / fault-RNG state, and the executor's host-time
+     * state. Also (re)arms the per-channel replay logs
+     * (ExecConfig::replayLogDepth) so restartPartition() can replay
+     * deliveries made after this cut.
+     */
+    recovery::RecoveryPoint acquireRecoveryPoint();
+
+    /**
+     * Rewind the whole run to a cut captured by
+     * acquireRecoveryPoint() on this instance. The continuation is
+     * bit-identical to a run that never went past the cut. This is
+     * the rollback seam a future optimistic (Time Warp) scheduler
+     * builds on; points are plain values — hold as many as you like,
+     * discard in O(1).
+     */
+    void rollback(const recovery::RecoveryPoint &point);
+
+    /**
+     * Restart a single condemned partition from a cut while its
+     * peers keep their state: partition @p part's simulator and FSM
+     * rewind to the cut, its inbound channels re-present the
+     * deliveries made since from their replay logs, its outbound
+     * channels swallow the re-produced tokens (the channels already
+     * reflect them), and monitor callbacks stay suppressed until the
+     * partition passes its pre-crash cycle — peers naturally stall
+     * on token dependencies until it catches up. Fails (false,
+     * diagnostic in @p error, nothing changed) when a replay log no
+     * longer covers the cut.
+     */
+    bool restartPartition(int part,
+                          const recovery::RecoveryPoint &point,
+                          std::string &error);
+
+    /**
+     * Durably persist a recovery point into @p dir with the
+     * crash-consistent commit protocol of recovery::SnapshotStore
+     * (per-partition CRC-framed shards, content-addressed manifest,
+     * atomic rename commit — a crash mid-snapshot never damages the
+     * previous one).
+     */
+    bool snapshot(const std::string &dir, std::string &error);
+
+    /**
+     * Restore the committed snapshot in @p dir (after validating its
+     * manifest against this plan's design and structure hashes).
+     * Cross-engine and cross-backend restores are legal: both eval
+     * engines and both backends are bit-exact. Resuming a restored
+     * run reproduces the uninterrupted run's results exactly —
+     * including under active fault injection, whose RNG substreams
+     * are part of the cut.
+     */
+    bool restore(const std::string &dir, std::string &error);
+
+    /** Snapshots committed by this instance (run() autosnapshots
+     *  plus explicit snapshot() calls). */
+    uint64_t snapshotCount() const { return snapshotCount_; }
+    /** Bytes of the most recent committed snapshot. */
+    uint64_t lastSnapshotBytes() const { return lastSnapshotBytes_; }
+    /** Wall-clock pause of the most recent snapshot (ms). */
+    double lastSnapshotWallMs() const { return lastSnapshotWallMs_; }
+    /** Cumulative wall-clock time spent snapshotting (ms). */
+    double totalSnapshotWallMs() const { return totalSnapshotWallMs_; }
+    /** Whole-run restores applied (restore() + rollback()). */
+    uint64_t restoreCount() const { return restoreCount_; }
+    /** Single-partition restarts applied. */
+    uint64_t partitionRestarts() const { return partitionRestarts_; }
+
     /**
      * Verify each partition fits its FPGA (FAME-5-adjusted);
      * fatal() on overflow when @p fatal_on_overflow, otherwise
@@ -339,6 +435,12 @@ class MultiFpgaSim
         int srcPart = 0;
         int dstPart = 0;
         bool failedOver = false;
+        /** The original shared per-link serializer and timing, kept
+         *  so a rollback/restore to a pre-failover cut can reattach
+         *  the channel to its physical link. */
+        std::shared_ptr<libdn::LinkSerializer> baseSerializer;
+        double baseSerNs = 0.0;
+        double baseLatencyNs = 0.0;
     };
 
     /** Per-partition telemetry state (only used when telemetry_).
@@ -396,6 +498,26 @@ class MultiFpgaSim
      *  host-managed PCIe; p < 0 scans every channel. Runs on the
      *  producing partition's owning thread. */
     void checkFailover(int p, double now);
+    /** One event-loop execution to @p target_cycles on the selected
+     *  backend (no autosnapshot chunking). */
+    RunResult runOnce(uint64_t target_cycles);
+    /** FNV-1a over the printed partition circuits. */
+    uint64_t designHash() const;
+    /** FNV-1a over the plan structure (names, channels, capacities,
+     *  mode, FAME-5 threads). */
+    uint64_t planHash() const;
+    /** Minimum target cycle across partitions. */
+    uint64_t minCycleAll() const;
+    /** Reattach channel @p cs's link serializer to match a cut's
+     *  failed-over flag before loading its checkpoint. */
+    void retimeForCut(ChannelState &cs, bool cut_failed_over);
+    /** Apply an in-memory recovery point (shared by rollback() and
+     *  restore()); false + diagnostic on a point this instance
+     *  cannot hold. */
+    bool applyRecoveryPoint(const recovery::RecoveryPoint &point,
+                            std::string &error);
+    /** Publish recovery gauges (when telemetry with metrics). */
+    void recordRecoveryMetrics();
 
     ripper::PartitionPlan plan_;
     VerifyPolicy verifyPolicy_ = VerifyPolicy::Enforce;
@@ -428,6 +550,13 @@ class MultiFpgaSim
     std::vector<double> nextTick_;
     double lastProgress_ = 0.0;
     double now_ = 0.0;
+    // Recovery bookkeeping (see the recovery section above).
+    uint64_t snapshotCount_ = 0;
+    uint64_t lastSnapshotBytes_ = 0;
+    double lastSnapshotWallMs_ = 0.0;
+    double totalSnapshotWallMs_ = 0.0;
+    uint64_t restoreCount_ = 0;
+    uint64_t partitionRestarts_ = 0;
 };
 
 /**

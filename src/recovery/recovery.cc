@@ -1,0 +1,18 @@
+#include "recovery/recovery.hh"
+
+#include <sstream>
+
+#include "firrtl/printer.hh"
+#include "recovery/snapshot.hh"
+
+namespace fireaxe::recovery {
+
+uint64_t
+hashCircuit(const firrtl::Circuit &circuit)
+{
+    std::ostringstream os;
+    firrtl::printCircuit(os, circuit);
+    return fnv1a(os.str());
+}
+
+} // namespace fireaxe::recovery

@@ -510,40 +510,77 @@ Simulator::saveCheckpoint(std::ostream &os) const
     }
 }
 
-void
-Simulator::loadCheckpoint(std::istream &is)
+bool
+Simulator::tryLoadCheckpoint(std::istream &is, std::string &error)
 {
+    auto fail = [&](std::string msg) {
+        error = std::move(msg);
+        return false;
+    };
     std::string magic, version;
     is >> magic >> version;
     if (magic != "fireaxe-checkpoint" || version != "1")
-        fatal("not a fireaxe checkpoint stream");
+        return fail("not a fireaxe checkpoint stream");
     size_t num_signals = 0, num_mems = 0;
     uint64_t cycle = 0;
     is >> num_signals >> num_mems >> cycle;
-    if (num_signals != signals_.size() || num_mems != mems_.size())
-        fatal("checkpoint does not match this design: ",
-              num_signals, " signals / ", num_mems,
-              " memories vs ", signals_.size(), " / ",
-              mems_.size());
+    if (!is)
+        return fail("truncated checkpoint header");
+    if (num_signals != signals_.size() || num_mems != mems_.size()) {
+        return fail("checkpoint does not match this design: " +
+                    std::to_string(num_signals) + " signals / " +
+                    std::to_string(num_mems) + " memories vs " +
+                    std::to_string(signals_.size()) + " / " +
+                    std::to_string(mems_.size()));
+    }
+
+    // Read everything into temporaries first: nothing below touches
+    // simulator state until the whole stream has validated, so a
+    // failed load leaves the caller's state intact.
+    std::vector<uint64_t> values(signals_.size());
     for (size_t i = 0; i < signals_.size(); ++i)
-        is >> values_[i];
+        is >> values[i];
+    std::vector<std::vector<uint64_t>> mem_data(mems_.size());
     for (size_t m = 0; m < mems_.size(); ++m) {
         std::string name;
         size_t depth = 0;
         is >> name >> depth;
-        if (name != mems_[m].name || depth != memData_[m].size())
-            fatal("checkpoint memory mismatch: '", name, "'[",
-                  depth, "] vs '", mems_[m].name, "'[",
-                  memData_[m].size(), "]");
-        for (auto &word : memData_[m])
+        if (!is)
+            return fail("truncated checkpoint stream");
+        if (name != mems_[m].name || depth != memData_[m].size()) {
+            return fail("checkpoint memory mismatch: '" + name +
+                        "'[" + std::to_string(depth) + "] vs '" +
+                        mems_[m].name + "'[" +
+                        std::to_string(memData_[m].size()) + "]");
+        }
+        mem_data[m].resize(depth);
+        for (auto &word : mem_data[m])
             is >> word;
     }
     if (!is)
-        fatal("truncated checkpoint stream");
+        return fail("truncated checkpoint stream");
+
+    values_ = std::move(values);
+    memData_ = std::move(mem_data);
     cycle_ = cycle;
+    // Register next-value slots were computed from pre-checkpoint
+    // state; refresh them (evalComb below recomputes from the
+    // restored values).
+    for (size_t i = 0; i < regSigs_.size(); ++i)
+        regNext_[i] = values_[regSigs_[i]];
     if (compiled_)
         compiled_->markAll();
     evalComb();
+    error.clear();
+    return true;
+}
+
+void
+Simulator::loadCheckpoint(std::istream &is)
+{
+    std::string error;
+    if (!tryLoadCheckpoint(is, error))
+        fatal(error);
 }
 
 void

@@ -142,10 +142,16 @@ class Simulator
      * Serialize the full simulation state (cycle count, every signal
      * value, memory contents) to a stream, and restore it later —
      * LiveSim-style checkpointing so long runs can resume or fork.
-     * loadCheckpoint() fatal()s if the checkpoint does not match
-     * this simulator's design.
+     *
+     * tryLoadCheckpoint() validates the whole stream against this
+     * simulator's design before committing anything: on failure it
+     * returns false with a diagnostic in @p error and leaves the
+     * simulator state untouched, so recovery code can reject a
+     * stale or corrupt snapshot gracefully. loadCheckpoint() is the
+     * fatal()ing wrapper kept for CLI callers.
      */
     void saveCheckpoint(std::ostream &os) const;
+    bool tryLoadCheckpoint(std::istream &is, std::string &error);
     void loadCheckpoint(std::istream &is);
 
     /** Direct access to memory words (for loading test programs). */

@@ -220,6 +220,79 @@ TEST(Fault, RetransmitBufferBoundsProducer)
     EXPECT_TRUE(ch.tryEnqTimed(t, 100.0));
 }
 
+TEST(Fault, NakRecoveryCompletesAcrossSnapshotRestore)
+{
+    // Directed recovery-seam test: drive a corrupting channel until
+    // a CRC error has raised a NAK and the retransmission is in
+    // flight (pendingSeq set, resend not yet visible), snapshot the
+    // channel at exactly that instant, restore it into a twin, and
+    // prove the twin completes the recovery identically — same
+    // delivery schedule, same token, same counters, NAK cleared.
+    transport::FaultConfig fc;
+    fc.seed = 23;
+    fc.corruptRate = 0.5;
+    ReliableTokenChannel ch("nak", 64, transport::FaultModel(fc),
+                            {}, 16);
+    ch.setTiming(10.0, 100.0);
+
+    double now = 0.0;
+    uint64_t produced = 0;
+    while (ch.nakRecovery().pendingSeq == 0 && produced < 100) {
+        Token t{produced};
+        ASSERT_TRUE(ch.tryEnqTimed(t, now));
+        ++produced;
+        now += 150.0; // past serialization + flight time
+        while (ch.headReady(now))
+            ch.deq();
+    }
+    const auto &nak = ch.nakRecovery();
+    ASSERT_NE(nak.pendingSeq, 0u) << "fault schedule raised no NAK";
+    ASSERT_GT(nak.resendReadyNs, now);
+    ASSERT_GT(ch.retransmitBufferSize(), 0u);
+
+    // Snapshot mid-recovery and restore into a twin channel.
+    std::ostringstream os;
+    ch.saveCkpt(os);
+    ReliableTokenChannel twin("nak", 64, transport::FaultModel(fc),
+                              {}, 16);
+    twin.setTiming(10.0, 100.0);
+    std::istringstream is(os.str());
+    std::string error;
+    ASSERT_TRUE(twin.tryLoadCkpt(is, error)) << error;
+    EXPECT_EQ(twin.nakRecovery().pendingSeq, nak.pendingSeq);
+    EXPECT_DOUBLE_EQ(twin.nakRecovery().resendReadyNs,
+                     nak.resendReadyNs);
+    EXPECT_EQ(twin.nakRecovery().backoffTries, nak.backoffTries);
+    EXPECT_EQ(twin.lastDeliveredSeq(), ch.lastDeliveredSeq());
+    EXPECT_EQ(twin.retransmitBufferSize(),
+              ch.retransmitBufferSize());
+
+    // Both sides advance through the same polling schedule: the
+    // restored fault-RNG substreams make any further corruption of
+    // the resend identical, so the two channels must stay in
+    // lockstep until the recovery completes.
+    uint64_t pending = nak.pendingSeq;
+    bool delivered = false;
+    for (int step = 0; step < 64 && !delivered; ++step) {
+        now += 500.0;
+        bool r1 = ch.headReady(now);
+        bool r2 = twin.headReady(now);
+        ASSERT_EQ(r1, r2) << "recovery diverged at t=" << now;
+        delivered = r1;
+    }
+    ASSERT_TRUE(delivered) << "retransmission never completed";
+    ASSERT_EQ(ch.head(), twin.head());
+    EXPECT_EQ(ch.head(), Token{pending - 1}); // payload i, seq i+1
+    ch.deq();
+    twin.deq();
+    EXPECT_EQ(ch.nakRecovery().pendingSeq, 0u);
+    EXPECT_EQ(twin.nakRecovery().pendingSeq, 0u);
+    EXPECT_EQ(ch.lastDeliveredSeq(), twin.lastDeliveredSeq());
+    EXPECT_EQ(ch.stats().all(), twin.stats().all());
+    EXPECT_GT(ch.stats().get("crc_errors"), 0u);
+    EXPECT_GT(ch.stats().get("retransmits_nak"), 0u);
+}
+
 // ---------------------------------------------------------------
 // Fault schedules against the monolithic golden run
 // ---------------------------------------------------------------

@@ -24,112 +24,14 @@
 #include <vector>
 
 #include "firrtl/parser.hh"
-#include "ripper/nocselect.hh"
-#include "ripper/partition.hh"
-#include "target/accelerators.hh"
-#include "target/big_core.hh"
-#include "target/bus_soc.hh"
-#include "target/noc_soc.hh"
-#include "target/paper_examples.hh"
+#include "targets_common.hh"
 #include "verify/verify.hh"
 
 using namespace fireaxe;
+using tools::ToolTarget;
+using tools::toolTargets;
 
 namespace {
-
-struct LintTarget
-{
-    const char *name;
-    const char *summary;
-    firrtl::Circuit (*build)();
-    ripper::PartitionSpec (*spec)(const firrtl::Circuit &);
-};
-
-ripper::PartitionSpec
-singleGroup(const char *group, std::set<std::string> paths)
-{
-    ripper::PartitionSpec spec;
-    spec.groups.push_back({group, std::move(paths), 1});
-    return spec;
-}
-
-const std::vector<LintTarget> &
-lintTargets()
-{
-    static const std::vector<LintTarget> targets = {
-        {"fig2", "paper Fig. 2 two-block example",
-         [] { return target::buildFig2Target(); },
-         [](const firrtl::Circuit &) {
-             return singleGroup("blockB", {"blockB"});
-         }},
-        {"fig3", "paper Fig. 3 producer/consumer example",
-         [] { return target::buildFig3Target(); },
-         [](const firrtl::Circuit &) {
-             return singleGroup("consumer", {"consumer"});
-         }},
-        {"bus-soc", "bus-based SoC, two tiles pulled out",
-         [] {
-             target::BusSocConfig cfg;
-             cfg.numTiles = 4;
-             cfg.memWords = 256;
-             return target::buildBusSoc(cfg);
-         },
-         [](const firrtl::Circuit &) {
-             return singleGroup("tiles", target::busSocTilePaths(2));
-         }},
-        {"ring-noc", "ring NoC SoC, one router node pulled out",
-         [] {
-             target::RingNocSocConfig cfg;
-             cfg.numNodes = 4;
-             cfg.memWords = 256;
-             return target::buildRingNocSoc(cfg);
-         },
-         [](const firrtl::Circuit &soc) {
-             return singleGroup("n1", ripper::selectNocGroup(soc, {1}));
-         }},
-        {"big-core", "frontend/backend split core (§V-B)",
-         [] {
-             target::BigCoreConfig cfg;
-             cfg.fetchWidth = 2;
-             cfg.fieldsPerInst = 3;
-             cfg.traceWords = 4;
-             cfg.lsuWords = 2;
-             return target::buildBigCore(cfg);
-         },
-         [](const firrtl::Circuit &) {
-             return singleGroup("backend", {"backend"});
-         }},
-        {"sha3", "SHA-3 accelerator SoC",
-         [] {
-             target::Sha3Config cfg;
-             cfg.roundCycles = 50;
-             return target::buildSha3Soc(cfg);
-         },
-         [](const firrtl::Circuit &) {
-             return singleGroup("accel", {"accel"});
-         }},
-        {"gemmini", "Gemmini-style accelerator SoC",
-         [] {
-             target::GemminiConfig cfg;
-             cfg.macCycles = 500;
-             return target::buildGemminiSoc(cfg);
-         },
-         [](const firrtl::Circuit &) {
-             return singleGroup("accel", {"accel"});
-         }},
-        {"boot", "boot-ROM instruction-stream SoC",
-         [] {
-             target::BootConfig cfg;
-             cfg.instructions = 2000;
-             cfg.fenceInterval = 256;
-             return target::buildBootSoc(cfg);
-         },
-         [](const firrtl::Circuit &) {
-             return singleGroup("accel", {"accel"});
-         }},
-    };
-    return targets;
-}
 
 int
 usage(std::ostream &os, int status)
@@ -150,7 +52,7 @@ usage(std::ostream &os, int status)
           "  --no-dead-logic   skip the IR005 dead-logic warning\n"
           "\n"
           "targets:\n";
-    for (const auto &t : lintTargets())
+    for (const auto &t : toolTargets())
         os << "  " << t.name << std::string(10 - strlen(t.name), ' ')
            << t.summary << "\n";
     return status;
@@ -248,8 +150,8 @@ main(int argc, char **argv)
         return reportStatus(report, werror);
     }
 
-    std::vector<const LintTarget *> selected;
-    for (const auto &t : lintTargets())
+    std::vector<const ToolTarget *> selected;
+    for (const auto &t : toolTargets())
         if (all_targets || target_name == t.name)
             selected.push_back(&t);
     if (selected.empty()) {
@@ -259,7 +161,7 @@ main(int argc, char **argv)
     }
 
     int status = 0;
-    for (const LintTarget *t : selected) {
+    for (const ToolTarget *t : selected) {
         auto circuit = t->build();
         auto spec = t->spec(circuit);
         spec.mode = mode == "fast" ? ripper::PartitionMode::Fast

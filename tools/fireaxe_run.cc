@@ -1,0 +1,308 @@
+/**
+ * @file
+ * fireaxe-run: execute a shipped target design's partitioned
+ * co-simulation from the command line, with the full recovery
+ * surface exposed — periodic crash-consistent snapshots
+ * (`--snapshot-every` / `--snapshot-dir`) and whole-run resume from
+ * a committed snapshot (`--resume`).
+ *
+ * Built for the crash-recovery smoke test in CI: a run can be
+ * SIGKILLed mid-flight and resumed from its last snapshot, and the
+ * printed `final_sig` (FNV-1a over every partition's final signal
+ * table) plus the suffix `trace_hash` (FNV-1a over per-cycle output
+ * tokens from `--hash-from` onward) must match an uninterrupted
+ * golden run — that is the bit-exactness contract of src/recovery.
+ *
+ * Output is `key value` lines on stdout (grep-friendly), plus an
+ * optional `--json FILE` row for sweep tooling. Exit status: 0 ok,
+ * 2 usage errors, 3 runtime/restore failures, 4 deadlock.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "platform/executor.hh"
+#include "platform/fpga.hh"
+#include "recovery/snapshot.hh"
+#include "ripper/partition.hh"
+#include "rtlsim/engine.hh"
+#include "targets_common.hh"
+#include "transport/fault.hh"
+#include "transport/link.hh"
+
+using namespace fireaxe;
+using tools::ToolTarget;
+
+namespace {
+
+int
+usage(std::ostream &os, int status)
+{
+    os << "usage: fireaxe-run --target NAME [options]\n"
+          "\n"
+          "options:\n"
+          "  --target NAME       shipped design to run (required)\n"
+          "  --list-targets      print the target registry and exit\n"
+          "  --cycles N          target cycles to simulate "
+          "(default 2000)\n"
+          "  --mode exact|fast   partitioning mode (default exact)\n"
+          "  --backend sequential|parallel\n"
+          "                      execution backend (default "
+          "sequential)\n"
+          "  --workers N         parallel worker threads (0 = auto)\n"
+          "  --engine interpret|compiled\n"
+          "                      evaluation engine (default: "
+          "FIREAXE_EVAL)\n"
+          "  --fault-rate R      inject faults at rate R per token\n"
+          "  --seed S            fault-injection seed\n"
+          "  --snapshot-every N  autosnapshot every N target cycles\n"
+          "  --snapshot-dir DIR  snapshot directory (also "
+          "FIREAXE_SNAPSHOT_DIR)\n"
+          "  --resume            restore the committed snapshot in\n"
+          "                      --snapshot-dir before running\n"
+          "  --hash-from C       fold only cycles >= C into "
+          "trace_hash\n"
+          "                      (a resume raises this to the resume "
+          "cycle)\n"
+          "  --json FILE         append a JSON result row to FILE\n"
+          "\n"
+          "targets:\n";
+    for (const auto &t : tools::toolTargets())
+        os << "  " << t.name << "  " << t.summary << "\n";
+    return status;
+}
+
+uint64_t
+parseU64(const std::string &flag, const std::string &text)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+    if (!end || *end != '\0') {
+        std::cerr << "fireaxe-run: " << flag
+                  << " needs an integer, got '" << text << "'\n";
+        exit(2);
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string target_name, mode = "exact", backend = "sequential";
+    std::string engine, snapshot_dir, json_path;
+    uint64_t cycles = 2000, snapshot_every = 0, hash_from = 0;
+    uint64_t seed = 0xF1A57ULL;
+    unsigned workers = 0;
+    double fault_rate = 0.0;
+    bool resume = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "fireaxe-run: " << flag
+                          << " needs a value\n";
+                exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--target") {
+            target_name = value("--target");
+        } else if (arg == "--list-targets") {
+            for (const auto &t : tools::toolTargets())
+                std::cout << t.name << "  " << t.summary << "\n";
+            return 0;
+        } else if (arg == "--cycles") {
+            cycles = parseU64(arg, value("--cycles"));
+        } else if (arg == "--mode") {
+            mode = value("--mode");
+        } else if (arg == "--backend") {
+            backend = value("--backend");
+        } else if (arg == "--workers") {
+            workers =
+                unsigned(parseU64(arg, value("--workers")));
+        } else if (arg == "--engine") {
+            engine = value("--engine");
+        } else if (arg == "--fault-rate") {
+            fault_rate = std::atof(value("--fault-rate").c_str());
+        } else if (arg == "--seed") {
+            seed = parseU64(arg, value("--seed"));
+        } else if (arg == "--snapshot-every") {
+            snapshot_every =
+                parseU64(arg, value("--snapshot-every"));
+        } else if (arg == "--snapshot-dir") {
+            snapshot_dir = value("--snapshot-dir");
+        } else if (arg == "--resume") {
+            resume = true;
+        } else if (arg == "--hash-from") {
+            hash_from = parseU64(arg, value("--hash-from"));
+        } else if (arg == "--json") {
+            json_path = value("--json");
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(std::cout, 0);
+        } else {
+            std::cerr << "fireaxe-run: unknown option '" << arg
+                      << "'\n";
+            return usage(std::cerr, 2);
+        }
+    }
+
+    if (target_name.empty())
+        return usage(std::cerr, 2);
+    const ToolTarget *t = tools::findToolTarget(target_name);
+    if (!t) {
+        std::cerr << "fireaxe-run: unknown target '" << target_name
+                  << "'\n";
+        return usage(std::cerr, 2);
+    }
+    if (mode != "exact" && mode != "fast") {
+        std::cerr << "fireaxe-run: --mode must be exact or fast\n";
+        return 2;
+    }
+    if (backend != "sequential" && backend != "parallel") {
+        std::cerr << "fireaxe-run: --backend must be sequential or "
+                     "parallel\n";
+        return 2;
+    }
+    if (resume && snapshot_dir.empty()) {
+        std::cerr << "fireaxe-run: --resume needs --snapshot-dir\n";
+        return 2;
+    }
+
+    try {
+        auto circuit = t->build();
+        auto spec = t->spec(circuit);
+        spec.mode = mode == "fast" ? ripper::PartitionMode::Fast
+                                   : ripper::PartitionMode::Exact;
+        auto plan = ripper::partition(circuit, spec);
+
+        std::vector<platform::FpgaSpec> fpgas(
+            plan.partitions.size(), platform::alveoU250(100.0));
+        platform::MultiFpgaSim sim(plan, fpgas,
+                                   transport::qsfpAurora());
+
+        if (fault_rate > 0.0)
+            sim.setFaultModel(
+                transport::FaultConfig::uniform(fault_rate, seed));
+
+        platform::ExecConfig exec;
+        exec.backend = backend == "parallel"
+                           ? platform::ExecBackend::Parallel
+                           : platform::ExecBackend::Sequential;
+        exec.workers = workers;
+        if (!engine.empty())
+            exec.evalEngine = rtlsim::parseEvalEngine(engine);
+        exec.snapshotEveryCycles = snapshot_every;
+        exec.snapshotDir = snapshot_dir;
+        sim.setExecConfig(exec);
+
+        // Per-partition running trace hash: each partition's monitor
+        // runs on that partition's owning thread, so each slot has a
+        // single writer under either backend. Cycles below hash_from
+        // are excluded symmetrically in a resumed run and in the
+        // golden reference (pass the resume cycle via --hash-from to
+        // the golden), which makes the two suffix hashes comparable.
+        size_t nparts = plan.partitions.size();
+        std::vector<uint64_t> traceHash(
+            nparts, 1469598103934665603ull);
+        for (size_t p = 0; p < nparts; ++p) {
+            sim.setMonitor(
+                int(p), [&, p](rtlsim::Simulator &s, unsigned thread,
+                               uint64_t cycle) {
+                    if (cycle < hash_from)
+                        return;
+                    uint64_t h = traceHash[p];
+                    h = recovery::fnv1aMix(h, cycle);
+                    h = recovery::fnv1aMix(h, thread);
+                    for (size_t i = 0; i < s.numSignals(); ++i)
+                        h = recovery::fnv1aMix(h,
+                                               s.peekIdx(int(i)));
+                    traceHash[p] = h;
+                });
+        }
+
+        uint64_t resume_cycle = 0;
+        if (resume) {
+            std::string error;
+            if (!sim.restore(snapshot_dir, error)) {
+                std::cerr << "fireaxe-run: restore failed: " << error
+                          << "\n";
+                return 3;
+            }
+            // Partitions may sit at different cycles at the cut; the
+            // comparable suffix starts where the *furthest* one
+            // resumes, so raise the trace filter to that cycle.
+            for (size_t p = 0; p < nparts; ++p)
+                resume_cycle =
+                    std::max(resume_cycle,
+                             sim.model(int(p)).minTargetCycle());
+            hash_from = std::max(hash_from, resume_cycle);
+        }
+
+        auto result = sim.run(cycles);
+
+        uint64_t trace = 1469598103934665603ull;
+        for (size_t p = 0; p < nparts; ++p)
+            trace = recovery::fnv1aMix(trace, traceHash[p]);
+
+        uint64_t final_sig = 1469598103934665603ull;
+        for (size_t p = 0; p < nparts; ++p) {
+            const auto &m = sim.model(int(p));
+            final_sig =
+                recovery::fnv1aMix(final_sig, m.minTargetCycle());
+            for (size_t i = 0; i < m.sim().numSignals(); ++i)
+                final_sig = recovery::fnv1aMix(
+                    final_sig, m.sim().peekIdx(int(i)));
+        }
+
+        std::cout << "target " << target_name << "\n"
+                  << "cycles " << result.targetCycles << "\n"
+                  << "resume_cycle " << resume_cycle << "\n"
+                  << "hash_from " << hash_from << "\n"
+                  << "trace_hash 0x" << std::hex << trace << std::dec
+                  << "\n"
+                  << "final_sig 0x" << std::hex << final_sig
+                  << std::dec << "\n"
+                  << "snapshots " << sim.snapshotCount() << "\n"
+                  << "snapshot_bytes " << sim.lastSnapshotBytes()
+                  << "\n"
+                  << "snapshot_wall_ms " << sim.totalSnapshotWallMs()
+                  << "\n"
+                  << "restores " << sim.restoreCount() << "\n"
+                  << "host_time_ns " << result.hostTimeNs << "\n"
+                  << "sim_rate_mhz " << result.simRateMhz() << "\n"
+                  << "retransmits " << result.retransmits << "\n"
+                  << "deadlocked " << (result.deadlocked ? 1 : 0)
+                  << "\n";
+
+        if (!json_path.empty()) {
+            std::ofstream js(json_path, std::ios::app);
+            js << "{\"target\":\"" << target_name << "\",\"mode\":\""
+               << mode << "\",\"backend\":\"" << backend
+               << "\",\"cycles\":" << result.targetCycles
+               << ",\"resume_cycle\":" << resume_cycle
+               << ",\"trace_hash\":" << trace
+               << ",\"final_sig\":" << final_sig
+               << ",\"snapshots\":" << sim.snapshotCount()
+               << ",\"snapshot_bytes\":" << sim.lastSnapshotBytes()
+               << ",\"snapshot_wall_ms\":"
+               << sim.totalSnapshotWallMs()
+               << ",\"host_time_ns\":" << result.hostTimeNs
+               << ",\"sim_rate_mhz\":" << result.simRateMhz()
+               << ",\"retransmits\":" << result.retransmits
+               << ",\"deadlocked\":"
+               << (result.deadlocked ? "true" : "false") << "}\n";
+        }
+
+        return result.deadlocked ? 4 : 0;
+    } catch (const std::exception &e) {
+        std::cerr << "fireaxe-run: " << e.what() << "\n";
+        return 3;
+    }
+}
