@@ -38,6 +38,7 @@ struct FaultPoint
     double simRateMhz = 0.0;
     uint64_t retransmits = 0;
     bool bitExact = false;
+    uint64_t planHash = 0;
 };
 
 std::vector<uint64_t>
@@ -92,6 +93,7 @@ runPoint(const firrtl::Circuit &soc,
         sim.writeTrace(*trace_os);
 
     FaultPoint point;
+    point.planHash = sim.planHash();
     point.simRateMhz = result.simRateMhz();
     point.retransmits = result.retransmits;
     point.bitExact = !result.deadlocked && part.size() >= mono.size();
@@ -156,8 +158,11 @@ main(int argc, char **argv)
             all_exact = all_exact && points[i].bitExact;
 
             bench::JsonRow jrow;
-            jrow.field("bench", "fault_sweep")
-                .field("fault_rate", rate)
+            bench::addRunIdentity(
+                jrow, "fireaxe.bench.v1", "fault_sweep",
+                points[i].planHash, "sequential",
+                rtlsim::toString(rtlsim::defaultEvalEngine()), 0);
+            jrow.field("fault_rate", rate)
                 .field("transport", linkNames[i])
                 .field("sim_rate_mhz", points[i].simRateMhz)
                 .field("retransmits", points[i].retransmits)

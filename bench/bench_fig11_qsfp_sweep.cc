@@ -77,8 +77,13 @@ main(int argc, char **argv)
                      "x"});
             for (const auto *pt : {&exact, &fast}) {
                 JsonRow row;
-                row.field("bench", "fig11_qsfp_sweep")
-                    .field("bitstream_mhz", mhz)
+                addRunIdentity(row, "fireaxe.bench.v1",
+                               "fig11_qsfp_sweep", pt->planHash,
+                               "sequential",
+                               rtlsim::toString(
+                                   rtlsim::defaultEvalEngine()),
+                               0);
+                row.field("bitstream_mhz", mhz)
                     .field("mode", pt == &exact ? "exact" : "fast")
                     .field("interface_bits", pt->interfaceBits)
                     .field("sim_rate_mhz", pt->simRateMhz)
@@ -107,8 +112,11 @@ main(int argc, char **argv)
                          TextTable::num(model, 3),
                          TextTable::num(exact.simRateMhz, 3)});
         JsonRow row;
-        row.field("bench", "fig11_qsfp_sweep")
-            .field("mode", "ablation")
+        addRunIdentity(row, "fireaxe.bench.v1", "fig11_qsfp_sweep",
+                       exact.planHash, "sequential",
+                       rtlsim::toString(rtlsim::defaultEvalEngine()),
+                       0);
+        row.field("mode", "ablation")
             .field("bitstream_mhz", 50.0)
             .field("interface_bits", exact.interfaceBits)
             .field("analytic_rate_mhz", model)

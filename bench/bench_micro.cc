@@ -30,6 +30,14 @@
  * against the snapshot-free baseline bit-for-bit. `--snapshot-dir`
  * keeps the snapshot directories for inspection (and for feeding
  * `--resume-from`, which measures a single restore-and-finish run).
+ *
+ * `--token-trace [N,M,...]` switches it into a token-tracing
+ * overhead sweep instead: a two-partition bus SoC is co-simulated
+ * once with telemetry off and once per requested sampling rate
+ * (default 1,16,64) with causal token tracing enabled, reporting the
+ * record count and wall-clock overhead per row plus a bit-exactness
+ * check — tracing is observe-only, so any perturbation of the
+ * simulated timeline fails the sweep.
  */
 
 #include <benchmark/benchmark.h>
@@ -46,6 +54,7 @@
 
 #include "recovery/snapshot.hh"
 
+#include "obs/telemetry.hh"
 #include "passes/flatten.hh"
 #include "platform/executor.hh"
 #include "platform/fpga.hh"
@@ -161,6 +170,7 @@ runWorkerSweep(const std::vector<unsigned> &worker_counts,
     auto plan = ripper::partition(soc, spec);
     const unsigned nparts = unsigned(plan.partitions.size());
 
+    uint64_t plan_hash = 0;
     auto measure = [&](const platform::ExecConfig &exec,
                        double &wall_ms) {
         platform::MultiFpgaSim sim(
@@ -170,6 +180,7 @@ runWorkerSweep(const std::vector<unsigned> &worker_counts,
             transport::qsfpAurora());
         sim.setExecConfig(exec);
         sim.init();
+        plan_hash = sim.planHash();
         auto t0 = std::chrono::steady_clock::now();
         auto result = sim.run(cycles);
         wall_ms = std::chrono::duration<double, std::milli>(
@@ -192,10 +203,11 @@ runWorkerSweep(const std::vector<unsigned> &worker_counts,
                 "-", seq.hostTimeNs, seq_wall, "1.00", "ref");
     {
         bench::JsonRow row;
-        row.field("design", "bus_soc8")
-            .field("partitions", nparts)
-            .field("backend", "sequential")
-            .field("workers", 0u)
+        bench::addRunIdentity(
+            row, "fireaxe.bench.v1", "bus_soc8", plan_hash,
+            "sequential",
+            rtlsim::toString(rtlsim::defaultEvalEngine()), 0);
+        row.field("partitions", nparts)
             .field("target_cycles", seq.targetCycles)
             .field("host_time_ns", seq.hostTimeNs)
             .field("sim_rate_mhz", seq.simRateMhz())
@@ -215,10 +227,11 @@ runWorkerSweep(const std::vector<unsigned> &worker_counts,
                     "parallel", w, par.hostTimeNs, wall, speedup,
                     exact ? "yes" : "NO");
         bench::JsonRow row;
-        row.field("design", "bus_soc8")
-            .field("partitions", nparts)
-            .field("backend", "parallel")
-            .field("workers", w)
+        bench::addRunIdentity(
+            row, "fireaxe.bench.v1", "bus_soc8", plan_hash,
+            "parallel",
+            rtlsim::toString(rtlsim::defaultEvalEngine()), w);
+        row.field("partitions", nparts)
             .field("target_cycles", par.targetCycles)
             .field("host_time_ns", par.hostTimeNs)
             .field("sim_rate_mhz", par.simRateMhz())
@@ -308,12 +321,13 @@ runSnapshotSweep(const std::vector<uint64_t> &intervals,
                 "overhd_%", "bit_exact", "resume");
 
     double base_wall = 0.0;
-    uint64_t base_sig = 0;
+    uint64_t base_sig = 0, plan_hash = 0;
     platform::RunResult base{};
     {
         platform::MultiFpgaSim sim(plan, fpgas,
                                    transport::qsfpAurora());
         sim.init();
+        plan_hash = sim.planHash();
         auto t0 = std::chrono::steady_clock::now();
         base = sim.run(cycles);
         base_wall = std::chrono::duration<double, std::milli>(
@@ -325,8 +339,11 @@ runSnapshotSweep(const std::vector<uint64_t> &intervals,
                 "off", "-", "-", "-", base_wall, "-", "ref", "-");
     {
         bench::JsonRow row;
-        row.field("design", "bus_soc4")
-            .field("partitions", uint64_t(nparts))
+        bench::addRunIdentity(
+            row, "fireaxe.bench.v1", "bus_soc4", plan_hash,
+            "sequential",
+            rtlsim::toString(rtlsim::defaultEvalEngine()), 0);
+        row.field("partitions", uint64_t(nparts))
             .field("snapshot_every", uint64_t(0))
             .field("snapshot_count", uint64_t(0))
             .field("snapshot_bytes", uint64_t(0))
@@ -405,8 +422,11 @@ runSnapshotSweep(const std::vector<uint64_t> &intervals,
                     overhead, exact ? "yes" : "NO",
                     resume_ok ? "yes" : "NO");
         bench::JsonRow row;
-        row.field("design", "bus_soc4")
-            .field("partitions", uint64_t(nparts))
+        bench::addRunIdentity(
+            row, "fireaxe.bench.v1", "bus_soc4", plan_hash,
+            "sequential",
+            rtlsim::toString(rtlsim::defaultEvalEngine()), 0);
+        row.field("partitions", uint64_t(nparts))
             .field("snapshot_every", every)
             .field("snapshot_count", snapshots)
             .field("snapshot_bytes", bytes)
@@ -493,8 +513,11 @@ runResumeMeasurement(const std::string &dir, uint64_t cycles,
                 res.simRateMhz(), res.deadlocked ? 1 : 0);
     bench::JsonRows rows(json_path);
     bench::JsonRow row;
-    row.field("design", "bus_soc4")
-        .field("partitions", uint64_t(nparts))
+    bench::addRunIdentity(
+        row, "fireaxe.bench.v1", "bus_soc4", sim.planHash(),
+        "sequential", rtlsim::toString(rtlsim::defaultEvalEngine()),
+        0);
+    row.field("partitions", uint64_t(nparts))
         .field("resume_from", dir)
         .field("restore_ms", restore_ms)
         .field("resume_cycle", resume_cycle)
@@ -573,9 +596,10 @@ runEngineSweep(const std::vector<rtlsim::EvalEngine> &engines,
                         point.wallMs, point.cyclesPerSec, speedup,
                         gated, exact ? "yes" : "NO");
             bench::JsonRow row;
-            row.field("design", design.name)
-                .field("engine", rtlsim::toString(engine))
-                .field("target_cycles", cycles)
+            bench::addRunIdentity(row, "fireaxe.bench.v1",
+                                  design.name, 0, "monolithic",
+                                  rtlsim::toString(engine), 0);
+            row.field("target_cycles", cycles)
                 .field("wall_ms", point.wallMs)
                 .field("cycles_per_sec", point.cyclesPerSec)
                 .field("speedup_vs_interpret", speedup)
@@ -591,6 +615,164 @@ runEngineSweep(const std::vector<rtlsim::EvalEngine> &engines,
                              design.name, rtlsim::toString(engine));
                 rc = 1;
             }
+        }
+    }
+    rows.write();
+    return rc;
+}
+
+/**
+ * Price the token-level causal tracing (obs/tokentrace.hh): a
+ * two-partition bus SoC is co-simulated once with telemetry off and
+ * once per requested sampling rate with token tracing enabled,
+ * reporting the sampled record count and the wall-clock overhead per
+ * row (best of three runs each, to keep the percentages out of the
+ * scheduler noise). Tracing is observe-only, so every instrumented
+ * run must reproduce the baseline simulation bit-for-bit — target
+ * cycles, simulated host time and final state signature; any
+ * divergence fails the sweep.
+ */
+int
+runTokenTraceSweep(const std::vector<uint64_t> &rates,
+                   uint64_t cycles, const std::string &json_path)
+{
+    if (cycles == 0)
+        cycles = 20000;
+
+    target::BusSocConfig cfg;
+    cfg.numTiles = 4;
+    cfg.memWords = 256;
+    auto soc = target::buildBusSoc(cfg);
+    ripper::PartitionSpec spec;
+    spec.mode = ripper::PartitionMode::Exact;
+    spec.groups.push_back(
+        {"tiles", target::busSocTilePaths(2), 1});
+    auto plan = ripper::partition(soc, spec);
+    const size_t nparts = plan.partitions.size();
+    auto fpgas = std::vector<platform::FpgaSpec>(
+        nparts, platform::alveoU250(50.0));
+
+    struct Measured
+    {
+        platform::RunResult result;
+        double wallMs = 1e300;
+        uint64_t sig = 0;
+        uint64_t planHash = 0;
+        uint64_t records = 0;
+        uint64_t dropped = 0;
+    };
+    auto runOnce = [&](const obs::TelemetryConfig *tcfg,
+                       Measured &m) {
+        platform::MultiFpgaSim sim(plan, fpgas,
+                                   transport::qsfpAurora());
+        if (tcfg)
+            sim.setTelemetry(*tcfg);
+        sim.init();
+        auto t0 = std::chrono::steady_clock::now();
+        auto result = sim.run(cycles);
+        double wall = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        if (wall < m.wallMs) {
+            m.wallMs = wall;
+            m.result = result;
+        }
+        m.sig = finalStateSignature(sim, nparts);
+        m.planHash = sim.planHash();
+        if (auto *tel = sim.telemetry(); tel && tel->tokenTrace()) {
+            m.records = tel->tokenTrace()->recordsCreated();
+            m.dropped = tel->tokenTrace()->recordsDropped();
+        }
+    };
+
+    bench::JsonRows rows(json_path);
+    std::printf("token-trace sweep: bus SoC, %zu partitions, exact "
+                "mode, %llu target cycles (best of 5)\n",
+                nparts, (unsigned long long)cycles);
+    std::printf("%-12s %10s %10s %10s %10s %10s\n", "sample", "records",
+                "dropped", "wall_ms", "overhd_%", "bit_exact");
+
+    // Interleave the repetitions (baseline, then each rate, five
+    // rounds) and keep the per-config minimum: a host load spike then
+    // hits every config alike instead of biasing whichever config it
+    // landed on, which matters for single-digit-percent deltas.
+    std::vector<obs::TelemetryConfig> tcfgs;
+    for (uint64_t every : rates) {
+        obs::TelemetryConfig tcfg;
+        // Price the causal-tracing layer alone: the metrics registry
+        // has its own cost and its own showcases (bench_fault_sweep
+        // --metrics-json); here it stays off.
+        tcfg.metrics = false;
+        tcfg.tokenTrace = true;
+        tcfg.tokenSampleEvery = unsigned(every ? every : 1);
+        tcfgs.push_back(tcfg);
+    }
+    Measured base;
+    std::vector<Measured> traced(tcfgs.size());
+    for (int rep = 0; rep < 5; ++rep) {
+        runOnce(nullptr, base);
+        for (size_t i = 0; i < tcfgs.size(); ++i)
+            runOnce(&tcfgs[i], traced[i]);
+    }
+    std::printf("%-12s %10s %10s %10.2f %10s %10s\n", "off", "-",
+                "-", base.wallMs, "-", "ref");
+    {
+        bench::JsonRow row;
+        bench::addRunIdentity(
+            row, "fireaxe.bench.v1", "bus_soc4", base.planHash,
+            "sequential",
+            rtlsim::toString(rtlsim::defaultEvalEngine()), 0);
+        row.field("partitions", uint64_t(nparts))
+            .field("token_sample_every", uint64_t(0))
+            .field("token_records", uint64_t(0))
+            .field("token_records_dropped", uint64_t(0))
+            .field("target_cycles", base.result.targetCycles)
+            .field("host_time_ns", base.result.hostTimeNs)
+            .field("wall_ms", base.wallMs)
+            .field("overhead_pct", 0.0)
+            .field("bit_exact", true);
+        rows.add(row);
+    }
+
+    int rc = 0;
+    for (size_t i = 0; i < tcfgs.size(); ++i) {
+        const obs::TelemetryConfig &tcfg = tcfgs[i];
+        const Measured &m = traced[i];
+        bool exact =
+            m.result.targetCycles == base.result.targetCycles &&
+            m.result.hostTimeNs == base.result.hostTimeNs &&
+            m.sig == base.sig;
+        double overhead =
+            base.wallMs > 0.0
+                ? (m.wallMs - base.wallMs) / base.wallMs * 100.0
+                : 0.0;
+        std::printf("1-in-%-6llu %10llu %10llu %10.2f %10.1f %10s\n",
+                    (unsigned long long)tcfg.tokenSampleEvery,
+                    (unsigned long long)m.records,
+                    (unsigned long long)m.dropped, m.wallMs, overhead,
+                    exact ? "yes" : "NO");
+        bench::JsonRow row;
+        bench::addRunIdentity(
+            row, "fireaxe.bench.v1", "bus_soc4", m.planHash,
+            "sequential",
+            rtlsim::toString(rtlsim::defaultEvalEngine()), 0);
+        row.field("partitions", uint64_t(nparts))
+            .field("token_sample_every",
+                   uint64_t(tcfg.tokenSampleEvery))
+            .field("token_records", m.records)
+            .field("token_records_dropped", m.dropped)
+            .field("target_cycles", m.result.targetCycles)
+            .field("host_time_ns", m.result.hostTimeNs)
+            .field("wall_ms", m.wallMs)
+            .field("overhead_pct", overhead)
+            .field("bit_exact", exact);
+        rows.add(row);
+        if (!exact) {
+            std::fprintf(stderr,
+                         "token-trace sweep: 1-in-%llu sampling "
+                         "perturbed the simulation\n",
+                         (unsigned long long)tcfg.tokenSampleEvery);
+            rc = 1;
         }
     }
     rows.write();
@@ -656,11 +838,13 @@ main(int argc, char **argv)
 {
     // --workers selects the parallel-backend sweep, --engine the
     // evaluation-engine sweep, --snapshot-every the snapshot-overhead
-    // sweep and --resume-from a restore-and-finish measurement;
-    // everything else is handed to google-benchmark untouched.
+    // sweep, --token-trace the token-tracing overhead sweep and
+    // --resume-from a restore-and-finish measurement; everything
+    // else is handed to google-benchmark untouched.
     std::vector<unsigned> worker_counts;
     std::vector<rtlsim::EvalEngine> engines;
     std::vector<uint64_t> snapshot_intervals;
+    std::vector<uint64_t> token_rates;
     std::string json_path;
     std::string snapshot_dir;
     std::string resume_from;
@@ -677,8 +861,14 @@ main(int argc, char **argv)
         else if (!std::strcmp(argv[i], "--snapshot-dir") &&
                  i + 1 < argc)
             snapshot_dir = argv[++i];
-        else if (!std::strcmp(argv[i], "--resume-from") &&
-                 i + 1 < argc)
+        else if (!std::strcmp(argv[i], "--token-trace")) {
+            // optional rate list; bare flag sweeps the defaults
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                token_rates = parseIntervalList(argv[++i]);
+            else
+                token_rates = {1, 16, 64};
+        } else if (!std::strcmp(argv[i], "--resume-from") &&
+                   i + 1 < argc)
             resume_from = argv[++i];
         else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
             json_path = argv[++i];
@@ -694,6 +884,8 @@ main(int argc, char **argv)
     if (!snapshot_intervals.empty())
         return runSnapshotSweep(snapshot_intervals, cycles, json_path,
                                 snapshot_dir);
+    if (!token_rates.empty())
+        return runTokenTraceSweep(token_rates, cycles, json_path);
     if (!resume_from.empty())
         return runResumeMeasurement(resume_from, cycles, json_path);
 

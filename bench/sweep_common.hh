@@ -104,6 +104,34 @@ class JsonRow
 };
 
 /**
+ * Stamp the uniform run-identity prefix onto a result row. Every
+ * machine-readable row the tools and benches emit (fireaxe-run
+ * --json, bench --json) starts with the same fields so sweep
+ * tooling can join rows across producers:
+ *   schema     — row schema tag ("fireaxe.run.v1" / "fireaxe.bench.v1")
+ *   target     — design or bench-case label
+ *   plan_hash  — MultiFpgaSim::planHash() (0 when no plan exists,
+ *                e.g. monolithic engine benches)
+ *   backend    — "sequential" / "parallel"
+ *   engine     — evaluation engine name
+ *   workers    — parallel worker count (0 = auto / n.a.)
+ */
+inline JsonRow &
+addRunIdentity(JsonRow &row, std::string_view schema,
+               std::string_view target, uint64_t plan_hash,
+               std::string_view backend, std::string_view engine,
+               unsigned workers)
+{
+    row.field("schema", schema)
+        .field("target", target)
+        .field("plan_hash", plan_hash)
+        .field("backend", backend)
+        .field("engine", engine)
+        .field("workers", workers);
+    return row;
+}
+
+/**
  * Collects JsonRow objects and writes them as one JSON array
  * document on write() (also called from the destructor). An empty
  * path disables the sink; add() becomes a no-op, so benches can emit
@@ -239,6 +267,8 @@ struct SweepPoint
     uint64_t targetCycles = 0;
     /** FPGA-to-target cycle ratio (host cycles per target cycle). */
     double fmr = 0.0;
+    /** Partition-plan identity of the measured run (addRunIdentity). */
+    uint64_t planHash = 0;
 };
 
 /**
@@ -281,6 +311,7 @@ runTilePartitionSweep(unsigned total_tiles, unsigned tiles_out,
     auto result = sim.run(cycles);
 
     SweepPoint point;
+    point.planHash = sim.planHash();
     // Boundary width of the extracted partition (one side).
     point.interfaceBits = plan.feedback.interfaceWidths[1];
     point.simRateMhz = result.simRateMhz();

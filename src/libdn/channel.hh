@@ -228,7 +228,7 @@ class TokenChannel
             return false;
         queue_.pushBack({std::move(token), ready_time, ready_time});
         ++enqCount_;
-        if (probe_)
+        if (probe_ && probe_->countsTokens())
             probe_->onEnqueue(ready_time, producerOccupancy());
         return true;
     }
@@ -259,8 +259,15 @@ class TokenChannel
         serializer_->lastDepart = depart;
         queue_.pushBack({std::move(token), depart + latency(), now});
         ++enqCount_;
-        if (probe_)
-            probe_->onEnqueue(now, producerOccupancy());
+        if (probe_) {
+            if (probe_->countsTokens())
+                probe_->onEnqueue(now, producerOccupancy());
+            if (probe_->tokenSampled(enqCount_)) {
+                probe_->onTokenEnqueue(enqCount_, now, depart,
+                                       depart + latency(),
+                                       latency(), 0.0);
+            }
+        }
         return true;
     }
 
@@ -321,17 +328,34 @@ class TokenChannel
             logPops(consumerNowNs_, 1, 0);
     }
 
+    /** "No target cycle" for retire(): the consumer did not report
+     *  which fire consumed the token. */
+    static constexpr uint64_t kNoTargetCycle = ~uint64_t(0);
+
     /** deq() with a consumer timestamp: reports the token's
-     *  enqueue-to-retire latency to the probe, if any. */
+     *  enqueue-to-retire latency to the probe, if any, plus the
+     *  causal token-trace retire carrying the consuming fire's
+     *  target cycle (when the caller knows it). */
     void
-    retire(double now)
+    retire(double now, uint64_t target_cycle = kNoTargetCycle)
     {
         consumerNowNs_ = std::max(consumerNowNs_, now);
-        double enq_time = probe_ ? headEnqueueTime() : 0.0;
+        bool counts = probe_ && probe_->countsTokens();
+        double enq_time = counts ? headEnqueueTime() : 0.0;
         deq();
-        if (probe_)
-            probe_->onRetire(now, enq_time);
+        if (probe_) {
+            if (counts)
+                probe_->onRetire(now, enq_time);
+            probe_->onTokenRetire(lastDeliveredSeq(), now,
+                                  target_cycle);
+        }
     }
+
+    /** Sequence number (1-based) of the most recently dequeued
+     *  token. The base channel delivers strictly in order, so this
+     *  is the lifetime deq count; reliable subclasses track the
+     *  on-the-wire sequence instead. */
+    virtual uint64_t lastDeliveredSeq() const { return deqCount_; }
 
     /** Tokens enqueued over the channel's lifetime (statistics). */
     virtual uint64_t tokensEnqueued() const { return enqCount_; }

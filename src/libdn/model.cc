@@ -258,7 +258,7 @@ LIBDNModel::threadTick(ThreadState &th, double now)
         if (monitor_ && th.cycle >= monitorSuppressUntil_)
             monitor_(*sim_, thread_id, th.cycle);
         for (auto &ch : th.inChans)
-            ch->retire(now);
+            ch->retire(now, th.cycle);
         sim_->step();
         ++th.cycle;
         ++advances_;

@@ -127,7 +127,7 @@ ReliableTokenChannel::tryEnq(Token &token, double ready_time)
         {std::move(token), ready_time, seq, crc, false, ready_time});
     ++enqCount2_;
     ++qPushes2_;
-    if (probe_)
+    if (probe_ && probe_->countsTokens())
         probe_->onEnqueue(ready_time, relOccupancy());
     return true;
 }
@@ -219,8 +219,15 @@ ReliableTokenChannel::tryEnqTimed(Token &token, double now)
                           crc, false, now});
         ++qPushes2_;
     }
-    if (probe_)
-        probe_->onEnqueue(now, relOccupancy());
+    if (probe_) {
+        if (probe_->countsTokens())
+            probe_->onEnqueue(now, relOccupancy());
+        if (probe_->tokenSampled(seq)) {
+            probe_->onTokenEnqueue(seq, now, depart,
+                                   depart + latency() + penalty,
+                                   latency(), penalty);
+        }
+    }
     return true;
 }
 
@@ -314,6 +321,8 @@ ReliableTokenChannel::scheduleRetransmit(uint64_t seq,
                  double(uint64_t(1) << std::min(tries - 1, 10u));
     }
     nak_ = {seq, now + delay, tries, delay};
+    if (probe_ && probe_->tokenSampled(seq))
+        probe_->onTokenNak(seq, now, delay);
     queue2_.pushFront({pristine->payload, now + delay, seq,
                        pristine->crc, false, pristine->enqTime});
 }

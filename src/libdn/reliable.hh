@@ -167,7 +167,11 @@ class ReliableTokenChannel : public TokenChannel
 
     /** Highest sequence number delivered in order (consumer side);
      *  recorded in recovery cuts for single-partition restart. */
-    uint64_t lastDeliveredSeq() const { return lastDelivered_; }
+    uint64_t
+    lastDeliveredSeq() const override
+    {
+        return lastDelivered_;
+    }
 
     // --- checkpointing (src/recovery) -----------------------------
     void saveCkpt(std::ostream &os) const override;

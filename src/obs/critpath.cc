@@ -1,0 +1,423 @@
+#include "obs/critpath.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "obs/json.hh"
+
+namespace fireaxe::obs {
+
+namespace {
+
+std::string
+partName(const CritPathInput &input, int part)
+{
+    if (part >= 0 && size_t(part) < input.partNames.size() &&
+        !input.partNames[part].empty()) {
+        return input.partNames[part];
+    }
+    return "p" + std::to_string(part);
+}
+
+double
+clampTo(double v, double lo, double hi)
+{
+    return std::max(lo, std::min(v, hi));
+}
+
+} // namespace
+
+CritPathReport
+analyzeCriticalPath(const CritPathInput &input)
+{
+    CritPathReport report;
+    report.sampleEvery = input.sampleEvery ? input.sampleEvery : 1;
+
+    // Fired records with a known target cycle, grouped by consumer.
+    std::map<int, std::vector<size_t>> byDst;
+    for (size_t i = 0; i < input.records.size(); ++i) {
+        const TokenRecord &r = input.records[i];
+        if (!r.fired || r.targetCycle == TokenRecord::kNoCycle)
+            continue;
+        byDst[r.dstPart].push_back(i);
+        ++report.recordsAnalyzed;
+    }
+
+    std::map<int, ChannelAttribution> chans;
+    std::map<int, PartitionAttribution> parts;
+
+    for (auto &[dst, idx] : byDst) {
+        std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+            const TokenRecord &ra = input.records[a];
+            const TokenRecord &rb = input.records[b];
+            if (ra.targetCycle != rb.targetCycle)
+                return ra.targetCycle < rb.targetCycle;
+            return ra.fireNs < rb.fireNs;
+        });
+
+        // Walk the fire windows (groups of equal target cycle)
+        // pairwise: the previous window's fire opens the current one.
+        size_t i = 0;
+        bool havePrev = false;
+        uint64_t prevCycle = 0;
+        double prevFire = 0.0;
+        while (i < idx.size()) {
+            uint64_t cycle = input.records[idx[i]].targetCycle;
+            size_t begin = i;
+            double fire = 0.0;
+            size_t critIdx = idx[i];
+            double critReady = input.records[idx[i]].readyNs;
+            for (; i < idx.size() &&
+                   input.records[idx[i]].targetCycle == cycle;
+                 ++i) {
+                const TokenRecord &r = input.records[idx[i]];
+                fire = std::max(fire, r.fireNs);
+                // The blocking token is the last one to become
+                // visible — nothing could fire before it arrived.
+                if (r.readyNs > critReady) {
+                    critReady = r.readyNs;
+                    critIdx = idx[i];
+                }
+            }
+            (void)begin;
+            if (!havePrev || cycle <= prevCycle ||
+                fire <= prevFire) {
+                havePrev = true;
+                prevCycle = cycle;
+                prevFire = fire;
+                continue;
+            }
+
+            // Model the last cycle of the gap and scale by the gap
+            // width (== sample spacing); exact at sample_every 1.
+            double dc = double(cycle - prevCycle);
+            double perCycle = (fire - prevFire) / dc;
+            double start = fire - perCycle;
+            const TokenRecord &crit = input.records[critIdx];
+
+            double waitEnd = clampTo(crit.readyNs, start, fire);
+            double tProd = clampTo(crit.produceNs, start, waitEnd);
+            double tDep = clampTo(crit.departNs, tProd, waitEnd);
+            double upstream = tProd - start;
+            double ser = tDep - tProd;
+            double rest = waitEnd - tDep;
+            double rtx =
+                std::min(crit.penaltyNs + crit.nakNs, rest);
+            double flight = rest - rtx;
+            double wait = waitEnd - start;
+
+            ChannelAttribution &ca = chans[crit.channel];
+            if (ca.blockingFires == 0) {
+                ca.channelId = crit.channel;
+                ca.srcPart = crit.srcPart;
+                ca.dstPart = crit.dstPart;
+                if (crit.channel >= 0 &&
+                    size_t(crit.channel) < input.channels.size()) {
+                    ca.name = input.channels[crit.channel].name;
+                } else {
+                    ca.name = "chan" + std::to_string(crit.channel);
+                }
+            }
+            ++ca.blockingFires;
+            ca.waitNs += wait * dc;
+            ca.serNs += ser * dc;
+            ca.flightNs += flight * dc;
+            ca.rtxNs += rtx * dc;
+            ca.upstreamNs += upstream * dc;
+
+            PartitionAttribution &pa = parts[dst];
+            pa.part = dst;
+            pa.attributedWaitNs += wait * dc;
+            pa.computeSlackNs += (fire - waitEnd) * dc;
+
+            report.windows.push_back({dst, cycle, start, fire,
+                                      crit.channel, wait * dc});
+            report.criticalRecordIdx.push_back(critIdx);
+            ++report.firesAnalyzed;
+
+            havePrev = true;
+            prevCycle = cycle;
+            prevFire = fire;
+        }
+    }
+
+    // Partitions with measured wait but no analyzed windows still
+    // show up (coverage 0) so gaps are visible.
+    for (const auto &[part, measured] : input.measuredWaitNs) {
+        PartitionAttribution &pa = parts[part];
+        pa.part = part;
+        pa.measuredWaitNs = measured;
+    }
+
+    for (auto &[part, pa] : parts) {
+        pa.name = partName(input, part);
+        if (pa.measuredWaitNs > 0.0) {
+            pa.coveragePct =
+                100.0 * pa.attributedWaitNs / pa.measuredWaitNs;
+        }
+        report.totalAttributedWaitNs += pa.attributedWaitNs;
+        report.totalMeasuredWaitNs += pa.measuredWaitNs;
+        report.partitions.push_back(pa);
+    }
+
+    for (auto &[id, ca] : chans) {
+        (void)id;
+        if (report.totalAttributedWaitNs > 0.0) {
+            ca.waitSharePct =
+                100.0 * ca.waitNs / report.totalAttributedWaitNs;
+        }
+        report.channels.push_back(ca);
+    }
+    std::sort(report.channels.begin(), report.channels.end(),
+              [](const ChannelAttribution &a,
+                 const ChannelAttribution &b) {
+                  return a.waitNs > b.waitNs;
+              });
+
+    return report;
+}
+
+void
+CritPathReport::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema");
+    w.value("fireaxe.critpath.v1");
+    w.key("sample_every");
+    w.value(uint64_t(sampleEvery));
+    w.key("records_analyzed");
+    w.value(recordsAnalyzed);
+    w.key("fires_analyzed");
+    w.value(firesAnalyzed);
+    w.key("total_attributed_wait_ns");
+    w.value(totalAttributedWaitNs);
+    w.key("total_measured_wait_ns");
+    w.value(totalMeasuredWaitNs);
+    w.key("channels");
+    w.beginArray();
+    for (const ChannelAttribution &c : channels) {
+        w.beginObject();
+        w.key("id");
+        w.value(c.channelId);
+        w.key("name");
+        w.value(c.name);
+        w.key("src");
+        w.value(c.srcPart);
+        w.key("dst");
+        w.value(c.dstPart);
+        w.key("blocking_fires");
+        w.value(c.blockingFires);
+        w.key("wait_ns");
+        w.value(c.waitNs);
+        w.key("wait_share_pct");
+        w.value(c.waitSharePct);
+        w.key("ser_ns");
+        w.value(c.serNs);
+        w.key("flight_ns");
+        w.value(c.flightNs);
+        w.key("rtx_ns");
+        w.value(c.rtxNs);
+        w.key("upstream_ns");
+        w.value(c.upstreamNs);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("partitions");
+    w.beginArray();
+    for (const PartitionAttribution &p : partitions) {
+        w.beginObject();
+        w.key("part");
+        w.value(p.part);
+        w.key("name");
+        w.value(p.name);
+        w.key("attributed_wait_ns");
+        w.value(p.attributedWaitNs);
+        w.key("compute_slack_ns");
+        w.value(p.computeSlackNs);
+        w.key("measured_wait_ns");
+        w.value(p.measuredWaitNs);
+        w.key("coverage_pct");
+        w.value(p.coveragePct);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+void
+CritPathReport::writeText(std::ostream &os, size_t top_n) const
+{
+    char buf[256];
+    os << "critical-path report (sample 1-in-" << sampleEvery
+       << ", " << firesAnalyzed << " fire windows from "
+       << recordsAnalyzed << " records)\n";
+    if (empty()) {
+        os << "  no fire windows analyzed — nothing to attribute\n";
+        return;
+    }
+
+    os << "\nper-partition wait attribution:\n";
+    std::snprintf(buf, sizeof(buf), "  %-16s %14s %14s %10s\n",
+                  "partition", "attributed_ms", "measured_ms",
+                  "coverage");
+    os << buf;
+    for (const PartitionAttribution &p : partitions) {
+        std::snprintf(buf, sizeof(buf),
+                      "  %-16s %14.3f %14.3f %9.1f%%\n",
+                      p.name.c_str(), p.attributedWaitNs / 1e6,
+                      p.measuredWaitNs / 1e6, p.coveragePct);
+        os << buf;
+    }
+
+    os << "\ntop blocking channels:\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  %-20s %8s %8s %7s  %s\n", "channel", "fires",
+                  "wait_ms", "share", "breakdown (ser/flight/rtx/"
+                  "upstream %)");
+    os << buf;
+    size_t shown = 0;
+    for (const ChannelAttribution &c : channels) {
+        if (shown++ >= top_n)
+            break;
+        double w = c.waitNs > 0.0 ? c.waitNs : 1.0;
+        std::snprintf(buf, sizeof(buf),
+                      "  %-20s %8" PRIu64
+                      " %8.3f %6.1f%%  %4.1f/%4.1f/%4.1f/%4.1f\n",
+                      c.name.c_str(), c.blockingFires,
+                      c.waitNs / 1e6, c.waitSharePct,
+                      100.0 * c.serNs / w, 100.0 * c.flightNs / w,
+                      100.0 * c.rtxNs / w,
+                      100.0 * c.upstreamNs / w);
+        os << buf;
+    }
+    if (channels.size() > top_n) {
+        os << "  ... " << (channels.size() - top_n)
+           << " more channel(s)\n";
+    }
+}
+
+void
+writeAnnotatedChromeTrace(const CritPathInput &input,
+                          const CritPathReport &report,
+                          std::ostream &os)
+{
+    std::unordered_set<size_t> critical(
+        report.criticalRecordIdx.begin(),
+        report.criticalRecordIdx.end());
+
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("traceEvents");
+    w.beginArray();
+
+    // Track names: one process per partition.
+    std::set<int> partIds;
+    for (const TokenRecord &r : input.records) {
+        partIds.insert(r.srcPart);
+        partIds.insert(r.dstPart);
+    }
+    for (int p : partIds) {
+        w.beginObject();
+        w.key("ph");
+        w.value("M");
+        w.key("name");
+        w.value("process_name");
+        w.key("pid");
+        w.value(p);
+        w.key("tid");
+        w.value(0);
+        w.key("args");
+        w.beginObject();
+        w.key("name");
+        w.value(partName(input, p));
+        w.endObject();
+        w.endObject();
+    }
+
+    // Token lifecycle spans on the source partition's track, one tid
+    // per channel; the blocking tokens get their own category so a
+    // viewer can highlight the critical path.
+    for (size_t i = 0; i < input.records.size(); ++i) {
+        const TokenRecord &r = input.records[i];
+        if (!r.fired)
+            continue;
+        std::string name;
+        if (r.channel >= 0 &&
+            size_t(r.channel) < input.channels.size()) {
+            name = input.channels[r.channel].name;
+        } else {
+            name = "chan" + std::to_string(r.channel);
+        }
+        name += "#" + std::to_string(r.seq);
+        w.beginObject();
+        w.key("ph");
+        w.value("X");
+        w.key("name");
+        w.value(name);
+        w.key("cat");
+        w.value(critical.count(i) ? "token.critical" : "token");
+        w.key("pid");
+        w.value(r.srcPart);
+        w.key("tid");
+        w.value(r.channel);
+        w.key("ts");
+        w.value(r.produceNs / 1e3);
+        w.key("dur");
+        w.value(std::max(r.fireNs - r.produceNs, 0.0) / 1e3);
+        w.key("args");
+        w.beginObject();
+        w.key("seq");
+        w.value(r.seq);
+        if (r.targetCycle != TokenRecord::kNoCycle) {
+            w.key("cycle");
+            w.value(r.targetCycle);
+        }
+        w.key("depart_ns");
+        w.value(r.departNs);
+        w.key("ready_ns");
+        w.value(r.readyNs);
+        w.key("naks");
+        w.value(uint64_t(r.naks));
+        w.endObject();
+        w.endObject();
+    }
+
+    // Attributed wait windows on the consuming partition's track.
+    for (const FireWindow &fw : report.windows) {
+        w.beginObject();
+        w.key("ph");
+        w.value("X");
+        w.key("name");
+        w.value("wait@" + std::to_string(fw.targetCycle));
+        w.key("cat");
+        w.value("critpath");
+        w.key("pid");
+        w.value(fw.dstPart);
+        w.key("tid");
+        w.value(1 + int(input.channels.size()));
+        w.key("ts");
+        w.value(fw.startNs / 1e3);
+        w.key("dur");
+        w.value(std::max(fw.fireNs - fw.startNs, 0.0) / 1e3);
+        w.key("args");
+        w.beginObject();
+        w.key("blocking_channel");
+        w.value(fw.critChannelId);
+        w.key("wait_ns");
+        w.value(fw.waitNs);
+        w.endObject();
+        w.endObject();
+    }
+
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace fireaxe::obs

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Critical-path analysis over causal token records
+ * (obs/tokentrace.hh).
+ *
+ * For each consuming partition, the fired records are grouped into
+ * fire windows by target cycle. Walking backward from each window's
+ * fire (the last event of the window), the blocking channel is the
+ * one whose token became visible last — the fireFSM could not have
+ * advanced any earlier than that token's ready time. The window's
+ * wall time is then attributed along that token's recorded lifecycle:
+ *
+ *   upstream-idle  — the producer had not even emitted the token yet
+ *                    (upstream compute or its own token waits);
+ *   serialization  — between emission and link departure (link
+ *                    occupancy and stalls);
+ *   retransmit     — timeout- and NAK-driven recovery delays;
+ *   link flight    — departure to visibility;
+ *   compute slack  — visibility to fire (the consumer's own work).
+ *
+ * With 1-in-N sampling, consecutive sampled windows are ~N cycles
+ * apart; each analyzed window models the last cycle of its gap and is
+ * scaled by the gap, so the attributed totals estimate the whole run.
+ * At sample_every == 1 the analysis is exact, and the per-channel
+ * wait attribution must sum to the partitions' measured wall-clock
+ * wait (part.<name>.wait_ns) within a few percent — the acceptance
+ * check of the profiler.
+ */
+
+#ifndef FIREAXE_OBS_CRITPATH_HH
+#define FIREAXE_OBS_CRITPATH_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/tokentrace.hh"
+
+namespace fireaxe::obs {
+
+/** Everything the analyzer needs (assembled from a stream file by
+ *  fireaxe-trace, or from a live TokenTraceCollector by tests). */
+struct CritPathInput
+{
+    std::vector<TokenRecord> records;
+    std::vector<TokenChannelInfo> channels;
+    /** Index = partition id; names missing entries render as "p<id>". */
+    std::vector<std::string> partNames;
+    /** Measured wall-clock wait per partition (part.<name>.wait_ns),
+     *  for the attribution-coverage cross-check. */
+    std::map<int, double> measuredWaitNs;
+    unsigned sampleEvery = 1;
+};
+
+/** Wall time attributed to one channel as the blocking dependency. */
+struct ChannelAttribution
+{
+    int channelId = -1;
+    std::string name;
+    int srcPart = 0;
+    int dstPart = 0;
+    /** Fire windows this channel blocked (sampled count). */
+    uint64_t blockingFires = 0;
+    double waitNs = 0.0;     ///< total attributed wait (scaled)
+    double serNs = 0.0;      ///< serialization component
+    double flightNs = 0.0;   ///< link-latency component
+    double rtxNs = 0.0;      ///< NAK/timeout retransmit component
+    double upstreamNs = 0.0; ///< producer idle (upstream) component
+    /** Share of the total attributed wait, percent. */
+    double waitSharePct = 0.0;
+};
+
+/** Wait attribution rolled up per (consuming) partition. */
+struct PartitionAttribution
+{
+    int part = 0;
+    std::string name;
+    double attributedWaitNs = 0.0;
+    double computeSlackNs = 0.0;
+    /** Ground truth from telemetry (0 when unavailable). */
+    double measuredWaitNs = 0.0;
+    /** attributedWaitNs / measuredWaitNs, percent (0 when no
+     *  ground truth). */
+    double coveragePct = 0.0;
+};
+
+/** One analyzed fire window (for trace annotation). */
+struct FireWindow
+{
+    int dstPart = 0;
+    uint64_t targetCycle = 0;
+    double startNs = 0.0;
+    double fireNs = 0.0;
+    int critChannelId = -1;
+    double waitNs = 0.0; ///< scaled attributed wait of the window
+};
+
+struct CritPathReport
+{
+    /** Sorted by waitNs, descending. */
+    std::vector<ChannelAttribution> channels;
+    std::vector<PartitionAttribution> partitions;
+    std::vector<FireWindow> windows;
+    /** Indices into CritPathInput::records of the blocking tokens. */
+    std::vector<size_t> criticalRecordIdx;
+    unsigned sampleEvery = 1;
+    uint64_t recordsAnalyzed = 0;
+    uint64_t firesAnalyzed = 0; ///< fire windows attributed
+    double totalAttributedWaitNs = 0.0;
+    double totalMeasuredWaitNs = 0.0;
+
+    bool
+    empty() const
+    {
+        return firesAnalyzed == 0;
+    }
+
+    /** Machine-readable report ("fireaxe.critpath.v1"). */
+    void writeJson(std::ostream &os) const;
+    /** Human report: partition table + top-N blocking channels with
+     *  wait-attribution percentages. */
+    void writeText(std::ostream &os, size_t top_n = 10) const;
+};
+
+/** Run the backward walk and attribution described above. */
+CritPathReport analyzeCriticalPath(const CritPathInput &input);
+
+/**
+ * Chrome trace_event JSON of the token records with the critical
+ * path highlighted: every record renders as a span on its source
+ * partition's track (category "token", or "token.critical" for
+ * blocking tokens), and each fire window's wait renders on the
+ * consuming partition's track (category "critpath").
+ */
+void writeAnnotatedChromeTrace(const CritPathInput &input,
+                               const CritPathReport &report,
+                               std::ostream &os);
+
+} // namespace fireaxe::obs
+
+#endif // FIREAXE_OBS_CRITPATH_HH

@@ -1,0 +1,260 @@
+#include "obs/jsonparse.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace fireaxe::obs {
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string &error)
+        : text_(text), error_(error)
+    {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing garbage after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        error_ = "offset " + std::to_string(pos_) + ": " + msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    eat(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    expectLiteral(std::string_view lit)
+    {
+        if (text_.substr(pos_, lit.size()) != lit)
+            return fail("bad literal");
+        pos_ += lit.size();
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        switch (c) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return expectLiteral("true");
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return expectLiteral("false");
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return expectLiteral("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (eat('}'))
+            return true;
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!eat(':'))
+                return fail("expected ':' after key");
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.obj.emplace(std::move(key), std::move(v));
+            skipWs();
+            if (eat(','))
+                continue;
+            if (eat('}'))
+                return true;
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (eat(']'))
+            return true;
+        while (true) {
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.arr.push_back(std::move(v));
+            skipWs();
+            if (eat(','))
+                continue;
+            if (eat(']'))
+                return true;
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // The telemetry writer only emits \u00XX control
+                // escapes; anything wider degrades to '?'.
+                out += code < 0x100 ? char(code) : '?';
+                break;
+              }
+              default:
+                return fail("unknown escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '-' || text_[pos_] == '+')) {
+            ++pos_;
+        }
+        bool digits = false;
+        auto digitRun = [&] {
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                digits = true;
+            }
+        };
+        digitRun();
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            digitRun();
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '-' || text_[pos_] == '+')) {
+                ++pos_;
+            }
+            digitRun();
+        }
+        if (!digits) {
+            pos_ = start;
+            return fail("expected a value");
+        }
+        std::string num(text_.substr(start, pos_ - start));
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(num.c_str(), nullptr);
+        return true;
+    }
+
+    std::string_view text_;
+    std::string &error_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+parseJson(std::string_view text, JsonValue &out, std::string &error)
+{
+    out = JsonValue();
+    error.clear();
+    return Parser(text, error).parse(out);
+}
+
+} // namespace fireaxe::obs

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser producing a small DOM.
+ *
+ * Counterpart to json.hh's streaming writer: the telemetry stream and
+ * bench row files are JSON we emit ourselves, and `fireaxe-trace`
+ * (plus tests validating stream output) need to read them back
+ * without an external dependency. Full JSON except \uXXXX escapes
+ * beyond Latin-1 are passed through unexpanded-lossy ('?'), which the
+ * telemetry schema never emits.
+ */
+
+#ifndef FIREAXE_OBS_JSONPARSE_HH
+#define FIREAXE_OBS_JSONPARSE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fireaxe::obs {
+
+/** One parsed JSON value. Containers own their children. */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    // std::map keeps iteration deterministic for tests; telemetry
+    // objects are small so ordering cost is irrelevant.
+    std::map<std::string, JsonValue> obj;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member; nullptr when absent or not an object. */
+    const JsonValue *
+    get(const std::string &key) const
+    {
+        if (kind != Kind::Object)
+            return nullptr;
+        auto it = obj.find(key);
+        return it == obj.end() ? nullptr : &it->second;
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        return get(key) != nullptr;
+    }
+
+    /** Member as number (0 / fallback when absent or wrong kind). */
+    double
+    num(const std::string &key, double fallback = 0.0) const
+    {
+        const JsonValue *v = get(key);
+        return v && v->isNumber() ? v->number : fallback;
+    }
+
+    uint64_t
+    u64(const std::string &key, uint64_t fallback = 0) const
+    {
+        const JsonValue *v = get(key);
+        return v && v->isNumber() ? uint64_t(v->number) : fallback;
+    }
+
+    std::string
+    text(const std::string &key,
+         const std::string &fallback = "") const
+    {
+        const JsonValue *v = get(key);
+        return v && v->isString() ? v->str : fallback;
+    }
+
+    bool
+    flag(const std::string &key, bool fallback = false) const
+    {
+        const JsonValue *v = get(key);
+        return v && v->isBool() ? v->boolean : fallback;
+    }
+};
+
+/**
+ * Parse one complete JSON document from @p text (leading/trailing
+ * whitespace allowed, trailing garbage is an error). Returns false
+ * and fills @p error with "offset N: message" on malformed input.
+ */
+bool parseJson(std::string_view text, JsonValue &out,
+               std::string &error);
+
+} // namespace fireaxe::obs
+
+#endif // FIREAXE_OBS_JSONPARSE_HH

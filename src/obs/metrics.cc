@@ -42,14 +42,8 @@ MetricsSnapshot::gauge(const std::string &path) const
 }
 
 void
-MetricsSnapshot::writeJson(std::ostream &os) const
+MetricsSnapshot::writeValues(JsonWriter &w) const
 {
-    JsonWriter w(os);
-    w.beginObject();
-    w.key("schema");
-    w.value("fireaxe.metrics.v1");
-    w.key("metrics");
-    w.beginObject();
     for (const auto &[path, v] : values) {
         w.key(path);
         w.beginObject();
@@ -77,12 +71,26 @@ MetricsSnapshot::writeJson(std::ostream &os) const
             w.value(v.p50);
             w.key("p90");
             w.value(v.p90);
+            w.key("p95");
+            w.value(v.p95);
             w.key("p99");
             w.value(v.p99);
             break;
         }
         w.endObject();
     }
+}
+
+void
+MetricsSnapshot::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema");
+    w.value("fireaxe.metrics.v1");
+    w.key("metrics");
+    w.beginObject();
+    writeValues(w);
     w.endObject();
     w.endObject();
     os << "\n";
@@ -91,7 +99,7 @@ MetricsSnapshot::writeJson(std::ostream &os) const
 void
 MetricsSnapshot::writeCsv(std::ostream &os) const
 {
-    os << "path,kind,value,count,mean,min,max,p50,p90,p99\n";
+    os << "path,kind,value,count,mean,min,max,p50,p90,p95,p99\n";
     for (const auto &[path, v] : values) {
         os << path << ',' << kindName(v.kind) << ',';
         if (v.kind == MetricKind::Counter)
@@ -108,6 +116,8 @@ MetricsSnapshot::writeCsv(std::ostream &os) const
         jsonNumber(os, v.p50);
         os << ',';
         jsonNumber(os, v.p90);
+        os << ',';
+        jsonNumber(os, v.p95);
         os << ',';
         jsonNumber(os, v.p99);
         os << '\n';
@@ -185,6 +195,7 @@ MetricsRegistry::snapshot() const
             v.max = h.max();
             v.p50 = h.percentile(50.0);
             v.p90 = h.percentile(90.0);
+            v.p95 = h.percentile(95.0);
             v.p99 = h.percentile(99.0);
             v.value = v.mean;
             break;

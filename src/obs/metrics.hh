@@ -199,8 +199,11 @@ struct MetricValue
     double max = 0.0;
     double p50 = 0.0;
     double p90 = 0.0;
+    double p95 = 0.0;
     double p99 = 0.0;
 };
+
+class JsonWriter;
 
 /** A frozen, value-only copy of a registry. */
 struct MetricsSnapshot
@@ -224,7 +227,11 @@ struct MetricsSnapshot
     /** Flat JSON object keyed by dotted path, wrapped in a schema
      *  envelope: {"schema":"fireaxe.metrics.v1","metrics":{...}}. */
     void writeJson(std::ostream &os) const;
-    /** CSV: path,kind,value,count,mean,min,max,p50,p90,p99. */
+    /** The per-metric members only, emitted into an object scope the
+     *  caller has already opened — lets other exporters (the
+     *  telemetry stream) embed the snapshot without the envelope. */
+    void writeValues(JsonWriter &w) const;
+    /** CSV: path,kind,value,count,mean,min,max,p50,p90,p95,p99. */
     void writeCsv(std::ostream &os) const;
 };
 

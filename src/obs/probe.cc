@@ -1,5 +1,7 @@
 #include "obs/probe.hh"
 
+#include "obs/tokentrace.hh"
+
 namespace fireaxe::obs {
 
 namespace {
@@ -22,9 +24,8 @@ ChannelProbe::ChannelProbe(std::string channel_name, int src_part,
                            int dst_part, MetricsRegistry *registry,
                            Tracer *tracer)
     : name_(std::move(channel_name)), srcPart_(src_part),
-      registry_(registry), tracer_(tracer)
+      dstPart_(dst_part), registry_(registry), tracer_(tracer)
 {
-    (void)dst_part;
     if (registry_) {
         const std::string base = "chan." + name_ + ".";
         enqueued_ = &registry_->counter(base + "tokens_enqueued");
@@ -69,6 +70,34 @@ ChannelProbe::onEvent(const char *kind, double now)
         tracer_->instant(std::string(name_) + ":" + kind,
                          eventCategory(kind), now, srcPart_);
     }
+}
+
+void
+ChannelProbe::bindTokenTrace(TokenTraceCollector *collector)
+{
+    tokenTrace_ = collector;
+    if (tokenTrace_) {
+        tokenChanId_ =
+            tokenTrace_->registerChannel(name_, srcPart_, dstPart_);
+    }
+}
+
+void
+ChannelProbe::onTokenEnqueue(uint64_t seq, double produce,
+                             double depart, double ready,
+                             double flight, double penalty)
+{
+    if (tokenTrace_) {
+        tokenTrace_->onEnqueue(tokenChanId_, seq, produce, depart,
+                               ready, flight, penalty);
+    }
+}
+
+void
+ChannelProbe::onTokenNak(uint64_t seq, double now, double delay)
+{
+    if (tokenTrace_)
+        tokenTrace_->onNak(tokenChanId_, seq, now, delay);
 }
 
 } // namespace fireaxe::obs

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "obs/metrics.hh"
+#include "obs/tokentrace.hh"
 #include "obs/trace.hh"
 
 namespace fireaxe::obs {
@@ -34,6 +35,13 @@ class ChannelProbe
                  Tracer *tracer);
 
     const std::string &channelName() const { return name_; }
+
+    /** Does this probe feed token counters/histograms? False without
+     *  a metrics registry; callers use this to skip the occupancy /
+     *  enqueue-time bookkeeping the metrics hooks would consume, so
+     *  a trace-only or token-trace-only probe stays off the enqueue
+     *  and retire fast paths. */
+    bool countsTokens() const { return registry_ != nullptr; }
 
     /** A token entered the channel at host time @p now;
      *  @p occupancy is the queue depth after the enqueue. */
@@ -53,11 +61,55 @@ class ChannelProbe
      */
     void onEvent(const char *kind, double now);
 
+    /**
+     * Attach the channel to a token-trace collector: registers it in
+     * the collector's channel table and enables the onToken* hooks.
+     * Called once by Telemetry::makeChannelProbe when causal tracing
+     * is configured.
+     */
+    void bindTokenTrace(TokenTraceCollector *collector);
+
+    /** Should the channel bother stamping this sequence number?
+     *  False whenever no collector is bound, so the per-token cost
+     *  without causal tracing is one branch. Inline: this gate sits
+     *  on the enqueue fast path of every probed channel. */
+    bool
+    tokenSampled(uint64_t seq) const
+    {
+        return tokenTrace_ && tokenTrace_->sampled(seq);
+    }
+
+    /** Producer side: sampled token @p seq entered the channel at
+     *  @p produce, leaves the serializer at @p depart, and becomes
+     *  visible at the consumer at @p ready ( = depart + @p flight
+     *  link latency + @p penalty timeout-retransmit penalty). */
+    void onTokenEnqueue(uint64_t seq, double produce, double depart,
+                        double ready, double flight, double penalty);
+
+    /** Consumer side: a NAK pushed token @p seq's visibility out to
+     *  now + @p delay. */
+    void onTokenNak(uint64_t seq, double now, double delay);
+
+    /** Consumer side: the fireFSM retired token @p seq at @p now
+     *  while firing @p target_cycle. Gated on tokenSampled
+     *  internally, so callers may invoke it unconditionally; the
+     *  unsampled fast path is one inlined branch. */
+    void
+    onTokenRetire(uint64_t seq, double now, uint64_t target_cycle)
+    {
+        if (tokenSampled(seq))
+            tokenTrace_->onRetire(tokenChanId_, seq, now,
+                                  target_cycle);
+    }
+
   private:
     std::string name_;
     int srcPart_;
+    int dstPart_;
     MetricsRegistry *registry_;
     Tracer *tracer_;
+    TokenTraceCollector *tokenTrace_ = nullptr;
+    int tokenChanId_ = -1;
 
     Counter *enqueued_ = nullptr;
     Counter *retired_ = nullptr;

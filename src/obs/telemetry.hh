@@ -14,10 +14,12 @@
 
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "obs/metrics.hh"
 #include "obs/probe.hh"
+#include "obs/tokentrace.hh"
 #include "obs/trace.hh"
 
 namespace fireaxe::obs {
@@ -47,6 +49,26 @@ struct TelemetryConfig
      *  sim-rate samples (ns); 0 = end-of-run values only. */
     double fmrSampleIntervalNs = 100000.0;
 
+    /** Collect causal token records (1-in-tokenSampleEvery tokens
+     *  stamped through their lifecycle; see obs/tokentrace.hh).
+     *  Implied by a non-empty streamPath. */
+    bool tokenTrace = false;
+    /** Token sampling period (1 = every token). */
+    unsigned tokenSampleEvery = 64;
+    /** Token-record buffer bound (records beyond it are dropped and
+     *  counted; streaming drains the buffer periodically). */
+    size_t tokenTraceCapacity = TokenTraceCollector::kDefaultCapacity;
+
+    /** Stream an incremental JSONL telemetry export every this many
+     *  target cycles (0 with a streamPath = a default cadence chosen
+     *  by the executor). */
+    uint64_t streamEveryCycles = 0;
+    /** JSONL stream destination; empty = no streaming. The
+     *  FIREAXE_STREAM environment variable provides a default. */
+    std::string streamPath;
+    /** Run label recorded in the stream header (target name). */
+    std::string runLabel;
+
     /** Everything on, for tests and one-liners. */
     static TelemetryConfig
     full(double progress_interval_ns = 0.0)
@@ -74,6 +96,14 @@ class Telemetry
     Tracer *tracer() { return tracer_.get(); }
     const Tracer *tracer() const { return tracer_.get(); }
 
+    /** nullptr when token-level causal tracing is disabled. */
+    TokenTraceCollector *tokenTrace() { return tokenTrace_.get(); }
+    const TokenTraceCollector *
+    tokenTrace() const
+    {
+        return tokenTrace_.get();
+    }
+
     std::ostream &
     progressOut() const
     {
@@ -88,6 +118,7 @@ class Telemetry
     TelemetryConfig cfg_;
     std::unique_ptr<MetricsRegistry> registry_;
     std::unique_ptr<Tracer> tracer_;
+    std::unique_ptr<TokenTraceCollector> tokenTrace_;
     std::vector<std::unique_ptr<ChannelProbe>> probes_;
 };
 

@@ -23,6 +23,12 @@ Tracer::push(TraceEvent ev)
     }
     // Full: overwrite the oldest event. next_ is always the oldest
     // slot once the ring has wrapped.
+    if (!wrapped_) {
+        wrapped_ = true;
+        warn("tracer: ring buffer full (", cap_, " events) — oldest "
+             "events are being dropped; the exported trace is "
+             "truncated (see trace.dropped_events)");
+    }
     ring_[next_] = std::move(ev);
     next_ = (next_ + 1) % cap_;
 }
@@ -190,6 +196,7 @@ Tracer::clear()
     ring_.clear();
     next_ = 0;
     total_ = 0;
+    wrapped_ = false;
 }
 
 } // namespace fireaxe::obs

@@ -89,6 +89,15 @@ class Tracer
         return total_ - ring_.size();
     }
 
+    /** Has the ring ever wrapped (i.e. is the trace truncated)? A
+     *  one-time warning is also emitted at the first overwrite. */
+    bool
+    wrapped() const
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        return wrapped_;
+    }
+
     /** Instant event at simulated host time @p ts_ns. */
     void instant(std::string name, std::string cat, double ts_ns,
                  int pid = 0, int tid = 0, std::string args = {});
@@ -149,6 +158,7 @@ class Tracer
     std::vector<TraceEvent> ring_;
     size_t next_ = 0; ///< overwrite cursor once the ring is full
     uint64_t total_ = 0;
+    bool wrapped_ = false;
     std::map<int, std::string> processNames_;
     std::chrono::steady_clock::time_point epoch_;
 };

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <istream>
 #include <limits>
 #include <map>
@@ -230,6 +231,39 @@ MultiFpgaSim::setupTelemetry()
         cs.chan->setProbe(telemetry_->makeChannelProbe(
             cs.chan->name(), cs.srcPart, cs.dstPart));
     }
+
+    // Streaming telemetry: open the JSONL sink and write the header
+    // once every channel is registered in the collector's table.
+    const obs::TelemetryConfig &cfg = telemetry_->config();
+    if (!cfg.streamPath.empty()) {
+        auto os = std::make_unique<std::ofstream>(cfg.streamPath);
+        if (!*os) {
+            warn("telemetry stream: cannot open '", cfg.streamPath,
+                 "' — streaming disabled");
+        } else {
+            streamOs_ = std::move(os);
+            stream_ = std::make_unique<obs::StreamWriter>(*streamOs_);
+            streamEveryCycles_ = cfg.streamEveryCycles
+                                     ? cfg.streamEveryCycles
+                                     : 256;
+            nextStreamCycle_ = streamEveryCycles_;
+            obs::TokenTraceCollector *tt = telemetry_->tokenTrace();
+            obs::StreamRunInfo info;
+            info.runLabel = cfg.runLabel;
+            info.planHash = planHash();
+            info.backend =
+                execConfig_.backend == ExecBackend::Parallel
+                    ? "parallel"
+                    : "sequential";
+            info.engine = rtlsim::toString(execConfig_.evalEngine);
+            info.workers = execConfig_.workers;
+            info.sampleEvery = tt ? tt->sampleEvery() : 1;
+            info.partitions = plan_.partitionNames;
+            if (tt)
+                info.channels = tt->channels();
+            stream_->writeHeader(info);
+        }
+    }
 }
 
 void
@@ -413,7 +447,84 @@ MultiFpgaSim::finalizeTelemetry(RunResult &result, double now)
     reg->gauge("sim.link_failovers")
         .set(double(linkFailovers_.load(std::memory_order_relaxed)));
     reg->gauge("sim.deadlocked").set(result.deadlocked ? 1.0 : 0.0);
+
+    // Dropped-record accounting: publish the lifetime drop totals as
+    // counters (delta-tracked, so repeated finalizes of a chunked run
+    // never double-count) — silently truncated traces become visible
+    // in every export.
+    if (obs::Tracer *tracer = telemetry_->tracer()) {
+        obs::Counter &c = reg->counter("trace.dropped_events");
+        uint64_t total = tracer->dropped();
+        if (total > c.value())
+            c.add(total - c.value());
+    }
+    if (obs::TokenTraceCollector *tt = telemetry_->tokenTrace()) {
+        obs::Counter &c = reg->counter("trace.token_records_dropped");
+        uint64_t total = tt->recordsDropped();
+        if (total > c.value())
+            c.add(total - c.value());
+    }
+
     result.metrics = reg->snapshot();
+
+    // Stream tail: the remaining token records, a final metrics line
+    // (now carrying the end-of-run gauges, notably part.*.wait_ns),
+    // and the accounting summary. A chunked/resumed run appends one
+    // summary per finalize; the last one is authoritative.
+    if (stream_) {
+        streamFlush(now);
+        obs::StreamSummary summary;
+        summary.hostTimeNs = now;
+        summary.targetCycle = result.targetCycles;
+        summary.tokenRecords = streamedTokenRecords_;
+        if (const obs::TokenTraceCollector *tt =
+                telemetry_->tokenTrace())
+            summary.tokenRecordsDropped = tt->recordsDropped();
+        if (const obs::Tracer *tracer = telemetry_->tracer())
+            summary.traceEventsDropped = tracer->dropped();
+        summary.deadlocked = result.deadlocked;
+        stream_->writeSummary(summary);
+        streamOs_->flush();
+    }
+}
+
+void
+MultiFpgaSim::streamFlush(double now)
+{
+    if (!stream_)
+        return;
+    uint64_t cycle = 0;
+    if (!partTel_.empty()) {
+        cycle = partTel_[0].targetCycles.load(
+            std::memory_order_relaxed);
+        for (const auto &pt : partTel_)
+            cycle = std::min(cycle, pt.targetCycles.load(
+                                        std::memory_order_relaxed));
+    }
+    if (obs::TokenTraceCollector *tt = telemetry_->tokenTrace()) {
+        std::vector<obs::TokenRecord> records = tt->drainFired();
+        streamedTokenRecords_ += records.size();
+        stream_->writeTokens(records);
+    }
+    if (obs::MetricsRegistry *reg = telemetry_->registry())
+        stream_->writeMetrics(reg->snapshot(), now, cycle);
+}
+
+void
+MultiFpgaSim::maybeStreamFlush(double now)
+{
+    if (!stream_ || streamEveryCycles_ == 0 || partTel_.empty())
+        return;
+    uint64_t cycle =
+        partTel_[0].targetCycles.load(std::memory_order_relaxed);
+    for (const auto &pt : partTel_)
+        cycle = std::min(
+            cycle, pt.targetCycles.load(std::memory_order_relaxed));
+    if (cycle < nextStreamCycle_)
+        return;
+    while (nextStreamCycle_ <= cycle)
+        nextStreamCycle_ += streamEveryCycles_;
+    streamFlush(now);
 }
 
 obs::MetricsSnapshot
@@ -607,6 +718,7 @@ MultiFpgaSim::runSequential(uint64_t target_cycles)
 
         if (telemetry_) {
             telemetryTick(p, now, step, progress, advanced);
+            maybeStreamFlush(now);
             const obs::TelemetryConfig &tcfg = telemetry_->config();
             if (tcfg.progressIntervalNs > 0.0 &&
                 now - lastReportNs_ >= tcfg.progressIntervalNs) {
@@ -736,9 +848,11 @@ MultiFpgaSim::runParallel(uint64_t target_cycles)
 
         if (telemetry_) {
             telemetryTick(size_t(p), now, step, progress, advanced);
-            // Progress reporting rides on partition 0's worker so
-            // lastReportNs_ stays single-writer.
+            // Progress reporting and stream flushing ride on
+            // partition 0's worker so lastReportNs_ and the stream
+            // cursor stay single-writer.
             if (p == 0) {
+                maybeStreamFlush(now);
                 const obs::TelemetryConfig &tcfg =
                     telemetry_->config();
                 if (tcfg.progressIntervalNs > 0.0 &&

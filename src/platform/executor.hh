@@ -428,6 +428,11 @@ class MultiFpgaSim
 
     const ripper::PartitionPlan &plan() const { return plan_; }
 
+    /** FNV-1a over the plan structure (names, channels, capacities,
+     *  mode, FAME-5 threads); the run-identity hash recorded in
+     *  telemetry streams and bench/CLI JSON rows. */
+    uint64_t planHash() const;
+
   private:
     struct ChannelState
     {
@@ -487,6 +492,13 @@ class MultiFpgaSim
     void reportProgress(double now, uint64_t target_cycles);
     /** Final gauges + snapshot into @p result. */
     void finalizeTelemetry(RunResult &result, double now);
+    /** Streaming telemetry: emit a tokens + metrics chunk when the
+     *  slowest partition crossed the next stream boundary. Called
+     *  from the single-writer seam of each backend (the main loop
+     *  sequentially, partition 0's worker in parallel). */
+    void maybeStreamFlush(double now);
+    /** Unconditional stream chunk (drain + tokens + metrics line). */
+    void streamFlush(double now);
     /** The original single-threaded discrete-event loop. */
     RunResult runSequential(uint64_t target_cycles);
     /** The same schedule on the src/par worker-thread engine. */
@@ -503,9 +515,6 @@ class MultiFpgaSim
     RunResult runOnce(uint64_t target_cycles);
     /** FNV-1a over the printed partition circuits. */
     uint64_t designHash() const;
-    /** FNV-1a over the plan structure (names, channels, capacities,
-     *  mode, FAME-5 threads). */
-    uint64_t planHash() const;
     /** Minimum target cycle across partitions. */
     uint64_t minCycleAll() const;
     /** Reattach channel @p cs's link serializer to match a cut's
@@ -541,6 +550,13 @@ class MultiFpgaSim
     ExecConfig execConfig_;
     std::unique_ptr<obs::Telemetry> telemetry_;
     std::vector<PartTelemetry> partTel_;
+    // Streaming telemetry state (setupTelemetry opens the sink; the
+    // single-writer seams below are the only mutators after that).
+    std::unique_ptr<std::ostream> streamOs_;
+    std::unique_ptr<obs::StreamWriter> stream_;
+    uint64_t streamEveryCycles_ = 0;
+    uint64_t nextStreamCycle_ = 0;
+    uint64_t streamedTokenRecords_ = 0;
     double lastReportNs_ = 0.0;
     std::chrono::steady_clock::time_point wallStart_;
     bool wallStartValid_ = false;

@@ -12,12 +12,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "base/logging.hh"
+#include "obs/critpath.hh"
+#include "obs/jsonparse.hh"
 #include "obs/metrics.hh"
 #include "obs/telemetry.hh"
+#include "obs/tokentrace.hh"
 #include "obs/trace.hh"
 #include "platform/executor.hh"
 #include "platform/fpga.hh"
@@ -98,11 +103,18 @@ TEST(Metrics, SnapshotJsonAndAccessors)
     EXPECT_NE(json.find("\"schema\":\"fireaxe.metrics.v1\""),
               std::string::npos);
     EXPECT_NE(json.find("\"a.count\""), std::string::npos);
+    // Every histogram carries the full percentile set.
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"p95\""), std::string::npos);
     EXPECT_NE(json.find("\"p99\""), std::string::npos);
+    EXPECT_NEAR(mv->p50, 50.0, 2.0);
+    EXPECT_NEAR(mv->p95, 95.0, 2.0);
+    EXPECT_NEAR(mv->p99, 99.0, 2.0);
 
     std::ostringstream csv;
     snap.writeCsv(csv);
     EXPECT_NE(csv.str().find("a.rate"), std::string::npos);
+    EXPECT_NE(csv.str().find(",p50,p90,p95,p99"), std::string::npos);
 }
 
 TEST(Metrics, ResetKeepsHandlesAndClearsValues)
@@ -208,6 +220,247 @@ TEST(Trace, ChromeJsonExport)
     EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
     // ns -> us conversion: the 2000 ns event lands at ts 2 us.
     EXPECT_NE(json.find("\"ts\":2,"), std::string::npos);
+}
+
+TEST(Trace, WrapSetsFlagAndWarnsExactlyOnce)
+{
+    // The first overwrite flips wrapped() and emits one warning;
+    // subsequent overwrites stay silent (the counter keeps moving).
+    std::ostringstream captured;
+    std::streambuf *old = std::cerr.rdbuf(captured.rdbuf());
+
+    Tracer tr(4);
+    EXPECT_FALSE(tr.wrapped());
+    for (int i = 0; i < 3; ++i)
+        tr.instant("e", "test", double(i));
+    EXPECT_FALSE(tr.wrapped());
+    EXPECT_EQ(tr.dropped(), 0u);
+
+    for (int i = 0; i < 13; ++i)
+        tr.instant("e", "test", double(i));
+    std::cerr.rdbuf(old);
+
+    EXPECT_TRUE(tr.wrapped());
+    EXPECT_EQ(tr.totalEmitted(), 16u);
+    EXPECT_EQ(tr.dropped(), 12u);
+
+    const std::string out = captured.str();
+    size_t first = out.find("ring buffer full");
+    ASSERT_NE(first, std::string::npos) << out;
+    EXPECT_EQ(out.find("ring buffer full", first + 1),
+              std::string::npos)
+        << "wrap warning emitted more than once:\n"
+        << out;
+    EXPECT_NE(out.find("trace.dropped_events"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Token-level causal tracing
+// ---------------------------------------------------------------
+
+TEST(TokenTrace, SamplingGateAndLifecycleRecord)
+{
+    TokenTraceCollector tc(/*sample_every=*/4, /*capacity=*/64);
+    EXPECT_EQ(tc.sampleEvery(), 4u);
+    EXPECT_TRUE(tc.sampled(4));
+    EXPECT_TRUE(tc.sampled(8));
+    EXPECT_FALSE(tc.sampled(5));
+    EXPECT_FALSE(tc.sampled(7));
+
+    int ch = tc.registerChannel("c01", 0, 1);
+    ASSERT_EQ(ch, 0);
+    auto chans = tc.channels();
+    ASSERT_EQ(chans.size(), 1u);
+    EXPECT_EQ(chans[0].name, "c01");
+    EXPECT_EQ(chans[0].srcPart, 0);
+    EXPECT_EQ(chans[0].dstPart, 1);
+
+    // produce 100, depart 140, ready 220 (flight 80), then a NAK
+    // pushes visibility out to 400, retired at 450 firing cycle 7.
+    tc.onEnqueue(ch, 4, 100.0, 140.0, 220.0, 80.0, 0.0);
+    tc.onNak(ch, 4, 250.0, 150.0);
+    EXPECT_EQ(tc.buffered(), 1u);
+    tc.onRetire(ch, 4, 450.0, 7);
+
+    // Retiring a never-enqueued (unsampled) seq is a silent no-op.
+    tc.onRetire(ch, 5, 460.0, 8);
+
+    auto recs = tc.drainFired();
+    ASSERT_EQ(recs.size(), 1u);
+    const TokenRecord &r = recs[0];
+    EXPECT_EQ(r.channel, ch);
+    EXPECT_EQ(r.seq, 4u);
+    EXPECT_EQ(r.srcPart, 0);
+    EXPECT_EQ(r.dstPart, 1);
+    EXPECT_EQ(r.targetCycle, 7u);
+    EXPECT_DOUBLE_EQ(r.produceNs, 100.0);
+    EXPECT_DOUBLE_EQ(r.departNs, 140.0);
+    EXPECT_DOUBLE_EQ(r.readyNs, 400.0); // NAK extended 250+150
+    EXPECT_DOUBLE_EQ(r.nakNs, 150.0);
+    EXPECT_EQ(r.naks, 1u);
+    EXPECT_DOUBLE_EQ(r.deliverNs, 450.0);
+    EXPECT_DOUBLE_EQ(r.fireNs, 450.0);
+    EXPECT_TRUE(r.fired);
+
+    EXPECT_EQ(tc.recordsCreated(), 1u);
+    EXPECT_EQ(tc.recordsDrained(), 1u);
+    EXPECT_EQ(tc.recordsDropped(), 0u);
+    EXPECT_EQ(tc.buffered(), 0u);
+    EXPECT_TRUE(tc.drainFired().empty());
+}
+
+TEST(TokenTrace, CapacityBoundDropsAndCounts)
+{
+    TokenTraceCollector tc(/*sample_every=*/1, /*capacity=*/2);
+    int ch = tc.registerChannel("c01", 0, 1);
+
+    tc.onEnqueue(ch, 1, 0.0, 1.0, 2.0, 1.0, 0.0);
+    tc.onEnqueue(ch, 2, 0.0, 1.0, 2.0, 1.0, 0.0);
+    tc.onEnqueue(ch, 3, 0.0, 1.0, 2.0, 1.0, 0.0); // over the bound
+    EXPECT_EQ(tc.recordsCreated(), 2u);
+    EXPECT_EQ(tc.recordsDropped(), 1u);
+    EXPECT_EQ(tc.buffered(), 2u);
+
+    // Draining completed records frees budget for new samples.
+    tc.onRetire(ch, 1, 5.0, 1);
+    tc.onRetire(ch, 2, 5.0, 1);
+    EXPECT_EQ(tc.drainFired().size(), 2u);
+    tc.onEnqueue(ch, 4, 6.0, 7.0, 8.0, 1.0, 0.0);
+    EXPECT_EQ(tc.recordsCreated(), 3u);
+    EXPECT_EQ(tc.recordsDropped(), 1u);
+}
+
+// ---------------------------------------------------------------
+// Critical-path analyzer (synthetic records)
+// ---------------------------------------------------------------
+
+namespace {
+
+/** Fired record on @p channel delivering into the fire at
+ *  @p fire_ns for @p cycle; ready @p ready_back ns before the
+ *  fire. Stage times: produce = fire-600, depart = fire-300. */
+TokenRecord
+syntheticRecord(const TokenChannelInfo &ch, uint64_t cycle,
+                double fire_ns, double ready_back)
+{
+    TokenRecord r;
+    r.channel = ch.id;
+    r.seq = cycle;
+    r.srcPart = ch.srcPart;
+    r.dstPart = ch.dstPart;
+    r.targetCycle = cycle;
+    r.produceNs = fire_ns - 600.0;
+    r.departNs = fire_ns - 300.0;
+    r.readyNs = fire_ns - ready_back;
+    r.flightNs = 100.0;
+    r.deliverNs = fire_ns;
+    r.fireNs = fire_ns;
+    r.fired = true;
+    return r;
+}
+
+} // namespace
+
+TEST(CritPath, AttributesWaitToLastReadyChannel)
+{
+    // Two channels feed partition 2; channel "b_to_c"'s token is
+    // always the last to become visible, so every analyzed fire
+    // window must attribute its wait there. Fires are 1000 ns apart;
+    // in each window (start = fire - 1000):
+    //   upstream = produce - start = 400
+    //   ser      = depart - produce = 300
+    //   flight   = ready - depart   = 200   (ready = fire - 100)
+    //   compute slack = fire - ready = 100  -> wait = 900
+    CritPathInput input;
+    input.channels = {{0, "a_to_c", 0, 2}, {1, "b_to_c", 1, 2}};
+    input.partNames = {"pa", "pb", "pc"};
+    input.sampleEvery = 1;
+    for (uint64_t cycle = 1; cycle <= 4; ++cycle) {
+        double fire = 1000.0 * double(cycle);
+        input.records.push_back(
+            syntheticRecord(input.channels[0], cycle, fire, 400.0));
+        input.records.push_back(
+            syntheticRecord(input.channels[1], cycle, fire, 100.0));
+    }
+    // Windows 2..4 are analyzed (the first fire opens the walk):
+    // 3 windows x 900 ns of wait, which the ground truth confirms.
+    input.measuredWaitNs[2] = 2700.0;
+
+    CritPathReport report = analyzeCriticalPath(input);
+    EXPECT_FALSE(report.empty());
+    EXPECT_EQ(report.recordsAnalyzed, 8u);
+    EXPECT_EQ(report.firesAnalyzed, 3u);
+
+    ASSERT_EQ(report.channels.size(), 1u);
+    const ChannelAttribution &ca = report.channels[0];
+    EXPECT_EQ(ca.name, "b_to_c");
+    EXPECT_EQ(ca.srcPart, 1);
+    EXPECT_EQ(ca.dstPart, 2);
+    EXPECT_EQ(ca.blockingFires, 3u);
+    EXPECT_DOUBLE_EQ(ca.waitNs, 2700.0);
+    EXPECT_DOUBLE_EQ(ca.upstreamNs, 1200.0);
+    EXPECT_DOUBLE_EQ(ca.serNs, 900.0);
+    EXPECT_DOUBLE_EQ(ca.flightNs, 600.0);
+    EXPECT_DOUBLE_EQ(ca.rtxNs, 0.0);
+    EXPECT_DOUBLE_EQ(ca.waitSharePct, 100.0);
+    // The breakdown is a partition of the attributed wait.
+    EXPECT_DOUBLE_EQ(ca.upstreamNs + ca.serNs + ca.flightNs +
+                         ca.rtxNs,
+                     ca.waitNs);
+
+    ASSERT_EQ(report.partitions.size(), 1u);
+    const PartitionAttribution &pa = report.partitions[0];
+    EXPECT_EQ(pa.part, 2);
+    EXPECT_EQ(pa.name, "pc");
+    EXPECT_DOUBLE_EQ(pa.attributedWaitNs, 2700.0);
+    EXPECT_DOUBLE_EQ(pa.computeSlackNs, 300.0);
+    EXPECT_DOUBLE_EQ(pa.measuredWaitNs, 2700.0);
+    EXPECT_DOUBLE_EQ(pa.coveragePct, 100.0);
+
+    std::ostringstream js;
+    report.writeJson(js);
+    EXPECT_NE(js.str().find("fireaxe.critpath.v1"),
+              std::string::npos);
+    EXPECT_NE(js.str().find("\"b_to_c\""), std::string::npos);
+
+    std::ostringstream txt;
+    report.writeText(txt, 5);
+    EXPECT_NE(txt.str().find("top blocking channels"),
+              std::string::npos);
+    EXPECT_NE(txt.str().find("b_to_c"), std::string::npos);
+
+    std::ostringstream chrome;
+    writeAnnotatedChromeTrace(input, report, chrome);
+    EXPECT_NE(chrome.str().find("\"token.critical\""),
+              std::string::npos);
+    EXPECT_NE(chrome.str().find("\"critpath\""), std::string::npos);
+}
+
+TEST(CritPath, RetransmitDelayLandsInRtxBucket)
+{
+    // One channel, one analyzed window; a NAK recovery pushed the
+    // token's visibility out, and that slice of the wait must land
+    // in the retransmit bucket rather than link flight.
+    CritPathInput input;
+    input.channels = {{0, "c01", 0, 1}};
+    input.sampleEvery = 1;
+    for (uint64_t cycle = 1; cycle <= 2; ++cycle) {
+        double fire = 1000.0 * double(cycle);
+        TokenRecord r =
+            syntheticRecord(input.channels[0], cycle, fire, 100.0);
+        r.nakNs = 150.0;
+        r.naks = 1;
+        input.records.push_back(r);
+    }
+
+    CritPathReport report = analyzeCriticalPath(input);
+    ASSERT_EQ(report.firesAnalyzed, 1u);
+    ASSERT_EQ(report.channels.size(), 1u);
+    const ChannelAttribution &ca = report.channels[0];
+    // ready - depart = 200, of which 150 is NAK recovery.
+    EXPECT_DOUBLE_EQ(ca.rtxNs, 150.0);
+    EXPECT_DOUBLE_EQ(ca.flightNs, 50.0);
+    EXPECT_DOUBLE_EQ(ca.waitNs, 900.0);
 }
 
 // ---------------------------------------------------------------
@@ -361,4 +614,182 @@ TEST(Telemetry, DisabledTelemetryLeavesSnapshotEmpty)
     EXPECT_TRUE(result.metrics.empty());
     EXPECT_TRUE(sim.metricsSnapshot().empty());
     EXPECT_EQ(sim.telemetry(), nullptr);
+}
+
+TEST(Telemetry, TraceDropCounterSurfacesInSnapshot)
+{
+    // A deliberately tiny trace ring must wrap on any real run, and
+    // the overflow must surface as the trace.dropped_events counter
+    // so truncation is visible in every metrics export.
+    target::BusSocConfig cfg;
+    cfg.numTiles = 3;
+    cfg.memWords = 256;
+    auto soc = target::buildBusSoc(cfg);
+    auto plan = tilesPlan(soc);
+
+    platform::MultiFpgaSim sim(
+        plan, {platform::alveoU250(50.0), platform::alveoU250(50.0)},
+        transport::qsfpAurora());
+    TelemetryConfig tcfg;
+    tcfg.tracing = true;
+    tcfg.traceCapacity = 32;
+    sim.setTelemetry(tcfg);
+
+    // Swallow the (expected, one-time) wrap warning.
+    std::ostringstream captured;
+    std::streambuf *old = std::cerr.rdbuf(captured.rdbuf());
+    auto result = sim.run(400);
+    std::cerr.rdbuf(old);
+
+    EXPECT_FALSE(result.deadlocked);
+    const Tracer *tr = sim.telemetry()->tracer();
+    ASSERT_NE(tr, nullptr);
+    EXPECT_TRUE(tr->wrapped());
+    EXPECT_GT(tr->dropped(), 0u);
+    EXPECT_EQ(result.metrics.counter("trace.dropped_events"),
+              tr->dropped());
+    EXPECT_NE(captured.str().find("ring buffer full"),
+              std::string::npos);
+}
+
+TEST(Telemetry, StreamedRunFeedsCriticalPathAnalyzer)
+{
+    // End-to-end tentpole check in miniature: stream a fully-sampled
+    // 2-partition run to JSONL, rebuild the analyzer input exactly
+    // like fireaxe-trace does, and require the per-channel wait
+    // attribution to cover the measured wall-clock wait.
+    target::BusSocConfig cfg;
+    cfg.numTiles = 3;
+    cfg.memWords = 256;
+    auto soc = target::buildBusSoc(cfg);
+    const uint64_t cycles = 600;
+
+    // Reference run without telemetry.
+    auto plan1 = tilesPlan(soc);
+    platform::MultiFpgaSim ref(
+        plan1, {platform::alveoU250(50.0), platform::alveoU250(50.0)},
+        transport::qsfpAurora());
+    auto ref_result = ref.run(cycles);
+
+    const std::string path =
+        ::testing::TempDir() + "obs_stream_test.jsonl";
+    std::remove(path.c_str());
+
+    auto plan2 = tilesPlan(soc);
+    platform::MultiFpgaSim sim(
+        plan2, {platform::alveoU250(50.0), platform::alveoU250(50.0)},
+        transport::qsfpAurora());
+    TelemetryConfig tcfg;
+    tcfg.streamPath = path;
+    tcfg.tokenSampleEvery = 1;
+    tcfg.streamEveryCycles = 100;
+    tcfg.runLabel = "obs_test";
+    sim.setTelemetry(tcfg);
+    auto result = sim.run(cycles);
+
+    // Streaming is observe-only.
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_EQ(result.targetCycles, ref_result.targetCycles);
+    EXPECT_DOUBLE_EQ(result.hostTimeNs, ref_result.hostTimeNs);
+
+    // Every line parses; rebuild the analyzer input from the file.
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    CritPathInput input;
+    input.sampleEvery = 1;
+    const JsonValue *summary = nullptr;
+    JsonValue summary_val;
+    std::string line;
+    size_t token_lines = 0, metrics_lines = 0;
+    bool have_header = false;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        JsonValue v;
+        std::string err;
+        ASSERT_TRUE(parseJson(line, v, err)) << err << "\n" << line;
+        const std::string type = v.text("type");
+        if (type == "header") {
+            have_header = true;
+            EXPECT_EQ(v.text("schema"), "fireaxe.stream.v1");
+            EXPECT_EQ(v.text("target"), "obs_test");
+            for (const JsonValue &p : v.get("partitions")->arr) {
+                size_t id = size_t(p.u64("id"));
+                if (input.partNames.size() <= id)
+                    input.partNames.resize(id + 1);
+                input.partNames[id] = p.text("name");
+            }
+            for (const JsonValue &c : v.get("channels")->arr) {
+                TokenChannelInfo ch;
+                ch.id = int(c.num("id"));
+                ch.name = c.text("name");
+                ch.srcPart = int(c.num("src"));
+                ch.dstPart = int(c.num("dst"));
+                input.channels.push_back(ch);
+            }
+        } else if (type == "tokens") {
+            ++token_lines;
+            for (const JsonValue &t : v.get("records")->arr) {
+                TokenRecord r;
+                r.channel = int(t.num("chan"));
+                r.seq = t.u64("seq");
+                r.targetCycle =
+                    t.u64("cycle", TokenRecord::kNoCycle);
+                r.produceNs = t.num("produce_ns");
+                r.departNs = t.num("depart_ns");
+                r.readyNs = t.num("ready_ns");
+                r.flightNs = t.num("flight_ns");
+                r.penaltyNs = t.num("penalty_ns");
+                r.nakNs = t.num("nak_ns");
+                r.naks = uint32_t(t.num("naks"));
+                r.fireNs = t.num("fire_ns");
+                r.deliverNs = r.fireNs;
+                r.fired = true;
+                if (r.channel >= 0 &&
+                    size_t(r.channel) < input.channels.size()) {
+                    r.srcPart = input.channels[r.channel].srcPart;
+                    r.dstPart = input.channels[r.channel].dstPart;
+                }
+                input.records.push_back(r);
+            }
+        } else if (type == "metrics") {
+            ++metrics_lines;
+            const JsonValue *m = v.get("metrics");
+            ASSERT_NE(m, nullptr);
+            for (size_t p = 0; p < input.partNames.size(); ++p) {
+                const JsonValue *w = m->get(
+                    "part." + input.partNames[p] + ".wait_ns");
+                if (w)
+                    input.measuredWaitNs[int(p)] = w->num("value");
+            }
+        } else if (type == "summary") {
+            summary_val = v;
+            summary = &summary_val;
+        }
+    }
+    ASSERT_TRUE(have_header);
+    EXPECT_GT(token_lines, 0u);
+    EXPECT_GT(metrics_lines, 0u);
+    ASSERT_NE(summary, nullptr);
+    EXPECT_GT(summary->u64("token_records"), 0u);
+    EXPECT_TRUE(summary->has("token_records_dropped"));
+    EXPECT_TRUE(summary->has("trace_events_dropped"));
+    EXPECT_EQ(summary->u64("target_cycle"), result.targetCycles);
+    EXPECT_EQ(summary->u64("token_records"),
+              uint64_t(input.records.size()));
+
+    // At 1-in-1 sampling the attribution is exact: per-partition
+    // coverage of the measured wall-clock wait must land within the
+    // acceptance band.
+    CritPathReport report = analyzeCriticalPath(input);
+    EXPECT_FALSE(report.empty());
+    EXPECT_GT(report.totalAttributedWaitNs, 0.0);
+    ASSERT_GT(report.totalMeasuredWaitNs, 0.0);
+    double coverage = 100.0 * report.totalAttributedWaitNs /
+                      report.totalMeasuredWaitNs;
+    EXPECT_GT(coverage, 95.0);
+    EXPECT_LT(coverage, 105.0);
+    EXPECT_FALSE(report.channels.empty());
+
+    std::remove(path.c_str());
 }

@@ -11,19 +11,26 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "firrtl/builder.hh"
+#include "obs/jsonparse.hh"
 #include "obs/metrics.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "par/engine.hh"
 #include "par/spsc.hh"
 #include "platform/executor.hh"
 #include "platform/fpga.hh"
 #include "ripper/partition.hh"
+#include "recovery/snapshot.hh"
 #include "target/bus_soc.hh"
 #include "transport/fault.hh"
 #include "transport/link.hh"
@@ -134,6 +141,35 @@ deadlockPlan()
     plan.feedback.maxChannelWidth = 8;
     plan.feedback.linkCrossingsPerCycle = 2;
     return plan;
+}
+
+/** Bring a parallel run to a deterministic trajectory point with a
+ *  short sequential tail (the documented overshoot makes raw "state
+ *  after run(N)" thread-timing-dependent; see recovery_test.cc). */
+void
+settle(MultiFpgaSim &sim, uint64_t cycles)
+{
+    ExecConfig exec = sim.execConfig();
+    exec.backend = ExecBackend::Sequential;
+    sim.setExecConfig(exec);
+    auto r = sim.run(cycles);
+    ASSERT_FALSE(r.deadlocked);
+}
+
+/** FNV-1a over every partition's reached cycle and full signal
+ *  table — the bit-exact-final-state witness (same convention as
+ *  recovery_test.cc and bench_micro). */
+uint64_t
+finalStateSignature(MultiFpgaSim &sim, size_t nparts)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (size_t p = 0; p < nparts; ++p) {
+        auto &m = sim.model(int(p));
+        h = recovery::fnv1aMix(h, m.minTargetCycle());
+        for (size_t i = 0; i < m.sim().numSignals(); ++i)
+            h = recovery::fnv1aMix(h, m.sim().peekIdx(int(i)));
+    }
+    return h;
 }
 
 } // namespace
@@ -532,6 +568,85 @@ TEST(ParExec, ResumeContinuesBitExactly)
     for (size_t i = 0; i < n; ++i)
         ASSERT_EQ(trace[i], seq.trace[i])
             << "divergence at cycle " << i;
+}
+
+TEST(ParExec, TokenStreamingStaysBitExactAcrossWorkers)
+{
+    // Satellite of the causal-tracing tentpole: a 4-worker run with
+    // token sampling and JSONL streaming enabled must be bit-for-bit
+    // identical to the telemetry-off run — same cycle count, same
+    // host time, same status trace, same final state signature — and
+    // every streamed line must parse.
+    auto soc = fourTileSoc();
+    const uint64_t cycles = 400;
+
+    auto plan_ref = threeWayPlan(soc);
+    const size_t nparts = plan_ref.partitions.size();
+    MultiFpgaSim ref(plan_ref, u250s(nparts, 50.0),
+                     transport::qsfpAurora());
+    ref.setExecConfig(ExecConfig::parallel(4));
+    std::vector<uint64_t> ref_trace;
+    ref.setMonitor(0, recorder(ref_trace, "status"));
+    auto ref_result = ref.run(cycles);
+    settle(ref, cycles + 25);
+    uint64_t ref_sig = finalStateSignature(ref, nparts);
+
+    const std::string path =
+        ::testing::TempDir() + "par_stream_test.jsonl";
+    std::remove(path.c_str());
+
+    auto plan = threeWayPlan(soc);
+    MultiFpgaSim sim(plan, u250s(nparts, 50.0),
+                     transport::qsfpAurora());
+    obs::TelemetryConfig tcfg;
+    tcfg.streamPath = path;
+    tcfg.tokenSampleEvery = 4;
+    tcfg.streamEveryCycles = 100;
+    tcfg.runLabel = "par_test";
+    sim.setTelemetry(tcfg);
+    sim.setExecConfig(ExecConfig::parallel(4));
+    std::vector<uint64_t> trace;
+    sim.setMonitor(0, recorder(trace, "status"));
+    auto result = sim.run(cycles);
+
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_EQ(result.targetCycles, ref_result.targetCycles);
+    EXPECT_DOUBLE_EQ(result.hostTimeNs, ref_result.hostTimeNs);
+    settle(sim, cycles + 25);
+    EXPECT_EQ(finalStateSignature(sim, nparts), ref_sig);
+    size_t n = std::min(ref_trace.size(), trace.size());
+    ASSERT_GE(n, cycles);
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(trace[i], ref_trace[i])
+            << "divergence at cycle " << i;
+
+    // The stream is valid JSONL: header first, at least one tokens
+    // chunk (worker threads feed the same collector), summary last.
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::string line, first_type, last_type;
+    size_t lines = 0, token_records = 0;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        obs::JsonValue v;
+        std::string err;
+        ASSERT_TRUE(obs::parseJson(line, v, err))
+            << err << "\n" << line;
+        const std::string type = v.text("type");
+        if (lines == 0)
+            first_type = type;
+        last_type = type;
+        ++lines;
+        if (type == "tokens")
+            token_records += v.get("records")->arr.size();
+    }
+    EXPECT_EQ(first_type, "header");
+    EXPECT_EQ(last_type, "summary");
+    EXPECT_GE(lines, 3u);
+    EXPECT_GT(token_records, 0u);
+
+    std::remove(path.c_str());
 }
 
 TEST(ParExec, TelemetryWorksUnderParallelExecution)

@@ -25,8 +25,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.hh"
 #include "platform/executor.hh"
 #include "platform/fpga.hh"
+#include "sweep_common.hh"
 #include "recovery/snapshot.hh"
 #include "ripper/partition.hh"
 #include "rtlsim/engine.hh"
@@ -69,6 +71,14 @@ usage(std::ostream &os, int status)
           "                      (a resume raises this to the resume "
           "cycle)\n"
           "  --json FILE         append a JSON result row to FILE\n"
+          "  --stream FILE       streaming telemetry JSONL (also "
+          "FIREAXE_STREAM);\n"
+          "                      enables token tracing — analyze "
+          "with fireaxe-trace\n"
+          "  --sample-every N    token-trace sampling rate, 1-in-N "
+          "(default 64)\n"
+          "  --stream-every N    stream a chunk every N target "
+          "cycles (default 256)\n"
           "\n"
           "targets:\n";
     for (const auto &t : tools::toolTargets())
@@ -95,10 +105,10 @@ int
 main(int argc, char **argv)
 {
     std::string target_name, mode = "exact", backend = "sequential";
-    std::string engine, snapshot_dir, json_path;
+    std::string engine, snapshot_dir, json_path, stream_path;
     uint64_t cycles = 2000, snapshot_every = 0, hash_from = 0;
-    uint64_t seed = 0xF1A57ULL;
-    unsigned workers = 0;
+    uint64_t seed = 0xF1A57ULL, stream_every = 0;
+    unsigned workers = 0, sample_every = 64;
     double fault_rate = 0.0;
     bool resume = false;
 
@@ -144,6 +154,13 @@ main(int argc, char **argv)
             hash_from = parseU64(arg, value("--hash-from"));
         } else if (arg == "--json") {
             json_path = value("--json");
+        } else if (arg == "--stream") {
+            stream_path = value("--stream");
+        } else if (arg == "--sample-every") {
+            sample_every =
+                unsigned(parseU64(arg, value("--sample-every")));
+        } else if (arg == "--stream-every") {
+            stream_every = parseU64(arg, value("--stream-every"));
         } else if (arg == "--help" || arg == "-h") {
             return usage(std::cout, 0);
         } else {
@@ -201,6 +218,19 @@ main(int argc, char **argv)
         exec.snapshotEveryCycles = snapshot_every;
         exec.snapshotDir = snapshot_dir;
         sim.setExecConfig(exec);
+
+        // Streaming telemetry: --stream (or FIREAXE_STREAM in the
+        // environment) turns on metrics + token tracing and exports
+        // a fireaxe.stream.v1 JSONL file for fireaxe-trace.
+        const char *env_stream = std::getenv("FIREAXE_STREAM");
+        if (!stream_path.empty() || (env_stream && *env_stream)) {
+            obs::TelemetryConfig tcfg;
+            tcfg.streamPath = stream_path; // empty = FIREAXE_STREAM
+            tcfg.tokenSampleEvery = sample_every;
+            tcfg.streamEveryCycles = stream_every;
+            tcfg.runLabel = target_name;
+            sim.setTelemetry(tcfg);
+        }
 
         // Per-partition running trace hash: each partition's monitor
         // runs on that partition's owning thread, so each slot has a
@@ -282,22 +312,28 @@ main(int argc, char **argv)
                   << "\n";
 
         if (!json_path.empty()) {
+            // One JSON object per line, appended — sweep tooling
+            // treats the file as JSONL. The identity prefix is the
+            // uniform one from bench/sweep_common.hh.
+            bench::JsonRow row;
+            bench::addRunIdentity(
+                row, "fireaxe.run.v1", target_name, sim.planHash(),
+                backend, rtlsim::toString(exec.evalEngine),
+                exec.workers);
+            row.field("mode", mode)
+                .field("cycles", result.targetCycles)
+                .field("resume_cycle", resume_cycle)
+                .field("trace_hash", trace)
+                .field("final_sig", final_sig)
+                .field("snapshots", sim.snapshotCount())
+                .field("snapshot_bytes", sim.lastSnapshotBytes())
+                .field("snapshot_wall_ms", sim.totalSnapshotWallMs())
+                .field("host_time_ns", result.hostTimeNs)
+                .field("sim_rate_mhz", result.simRateMhz())
+                .field("retransmits", result.retransmits)
+                .field("deadlocked", result.deadlocked);
             std::ofstream js(json_path, std::ios::app);
-            js << "{\"target\":\"" << target_name << "\",\"mode\":\""
-               << mode << "\",\"backend\":\"" << backend
-               << "\",\"cycles\":" << result.targetCycles
-               << ",\"resume_cycle\":" << resume_cycle
-               << ",\"trace_hash\":" << trace
-               << ",\"final_sig\":" << final_sig
-               << ",\"snapshots\":" << sim.snapshotCount()
-               << ",\"snapshot_bytes\":" << sim.lastSnapshotBytes()
-               << ",\"snapshot_wall_ms\":"
-               << sim.totalSnapshotWallMs()
-               << ",\"host_time_ns\":" << result.hostTimeNs
-               << ",\"sim_rate_mhz\":" << result.simRateMhz()
-               << ",\"retransmits\":" << result.retransmits
-               << ",\"deadlocked\":"
-               << (result.deadlocked ? "true" : "false") << "}\n";
+            js << row.str() << "\n";
         }
 
         return result.deadlocked ? 4 : 0;
