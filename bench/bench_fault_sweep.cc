@@ -39,6 +39,7 @@ struct FaultPoint
     uint64_t retransmits = 0;
     bool bitExact = false;
     uint64_t planHash = 0;
+    uint64_t contentHash = 0;
 };
 
 std::vector<uint64_t>
@@ -94,6 +95,7 @@ runPoint(const firrtl::Circuit &soc,
 
     FaultPoint point;
     point.planHash = sim.planHash();
+    point.contentHash = sim.contentHash();
     point.simRateMhz = result.simRateMhz();
     point.retransmits = result.retransmits;
     point.bitExact = !result.deadlocked && part.size() >= mono.size();
@@ -160,7 +162,8 @@ main(int argc, char **argv)
             bench::JsonRow jrow;
             bench::addRunIdentity(
                 jrow, "fireaxe.bench.v1", "fault_sweep",
-                points[i].planHash, "sequential",
+                points[i].planHash, points[i].contentHash,
+                "sequential",
                 rtlsim::toString(rtlsim::defaultEvalEngine()), 0);
             jrow.field("fault_rate", rate)
                 .field("transport", linkNames[i])

@@ -79,7 +79,7 @@ main(int argc, char **argv)
                 JsonRow row;
                 addRunIdentity(row, "fireaxe.bench.v1",
                                "fig11_qsfp_sweep", pt->planHash,
-                               "sequential",
+                               pt->contentHash, "sequential",
                                rtlsim::toString(
                                    rtlsim::defaultEvalEngine()),
                                0);
@@ -113,7 +113,8 @@ main(int argc, char **argv)
                          TextTable::num(exact.simRateMhz, 3)});
         JsonRow row;
         addRunIdentity(row, "fireaxe.bench.v1", "fig11_qsfp_sweep",
-                       exact.planHash, "sequential",
+                       exact.planHash, exact.contentHash,
+                       "sequential",
                        rtlsim::toString(rtlsim::defaultEvalEngine()),
                        0);
         row.field("mode", "ablation")

@@ -171,6 +171,7 @@ runWorkerSweep(const std::vector<unsigned> &worker_counts,
     const unsigned nparts = unsigned(plan.partitions.size());
 
     uint64_t plan_hash = 0;
+    uint64_t content_hash = 0;
     auto measure = [&](const platform::ExecConfig &exec,
                        double &wall_ms) {
         platform::MultiFpgaSim sim(
@@ -181,6 +182,7 @@ runWorkerSweep(const std::vector<unsigned> &worker_counts,
         sim.setExecConfig(exec);
         sim.init();
         plan_hash = sim.planHash();
+        content_hash = sim.contentHash();
         auto t0 = std::chrono::steady_clock::now();
         auto result = sim.run(cycles);
         wall_ms = std::chrono::duration<double, std::milli>(
@@ -205,7 +207,7 @@ runWorkerSweep(const std::vector<unsigned> &worker_counts,
         bench::JsonRow row;
         bench::addRunIdentity(
             row, "fireaxe.bench.v1", "bus_soc8", plan_hash,
-            "sequential",
+            content_hash, "sequential",
             rtlsim::toString(rtlsim::defaultEvalEngine()), 0);
         row.field("partitions", nparts)
             .field("target_cycles", seq.targetCycles)
@@ -229,7 +231,7 @@ runWorkerSweep(const std::vector<unsigned> &worker_counts,
         bench::JsonRow row;
         bench::addRunIdentity(
             row, "fireaxe.bench.v1", "bus_soc8", plan_hash,
-            "parallel",
+            content_hash, "parallel",
             rtlsim::toString(rtlsim::defaultEvalEngine()), w);
         row.field("partitions", nparts)
             .field("target_cycles", par.targetCycles)
@@ -321,13 +323,14 @@ runSnapshotSweep(const std::vector<uint64_t> &intervals,
                 "overhd_%", "bit_exact", "resume");
 
     double base_wall = 0.0;
-    uint64_t base_sig = 0, plan_hash = 0;
+    uint64_t base_sig = 0, plan_hash = 0, content_hash = 0;
     platform::RunResult base{};
     {
         platform::MultiFpgaSim sim(plan, fpgas,
                                    transport::qsfpAurora());
         sim.init();
         plan_hash = sim.planHash();
+        content_hash = sim.contentHash();
         auto t0 = std::chrono::steady_clock::now();
         base = sim.run(cycles);
         base_wall = std::chrono::duration<double, std::milli>(
@@ -341,7 +344,7 @@ runSnapshotSweep(const std::vector<uint64_t> &intervals,
         bench::JsonRow row;
         bench::addRunIdentity(
             row, "fireaxe.bench.v1", "bus_soc4", plan_hash,
-            "sequential",
+            content_hash, "sequential",
             rtlsim::toString(rtlsim::defaultEvalEngine()), 0);
         row.field("partitions", uint64_t(nparts))
             .field("snapshot_every", uint64_t(0))
@@ -424,7 +427,7 @@ runSnapshotSweep(const std::vector<uint64_t> &intervals,
         bench::JsonRow row;
         bench::addRunIdentity(
             row, "fireaxe.bench.v1", "bus_soc4", plan_hash,
-            "sequential",
+            content_hash, "sequential",
             rtlsim::toString(rtlsim::defaultEvalEngine()), 0);
         row.field("partitions", uint64_t(nparts))
             .field("snapshot_every", every)
@@ -515,8 +518,8 @@ runResumeMeasurement(const std::string &dir, uint64_t cycles,
     bench::JsonRow row;
     bench::addRunIdentity(
         row, "fireaxe.bench.v1", "bus_soc4", sim.planHash(),
-        "sequential", rtlsim::toString(rtlsim::defaultEvalEngine()),
-        0);
+        sim.contentHash(), "sequential",
+        rtlsim::toString(rtlsim::defaultEvalEngine()), 0);
     row.field("partitions", uint64_t(nparts))
         .field("resume_from", dir)
         .field("restore_ms", restore_ms)
@@ -597,7 +600,7 @@ runEngineSweep(const std::vector<rtlsim::EvalEngine> &engines,
                         gated, exact ? "yes" : "NO");
             bench::JsonRow row;
             bench::addRunIdentity(row, "fireaxe.bench.v1",
-                                  design.name, 0, "monolithic",
+                                  design.name, 0, 0, "monolithic",
                                   rtlsim::toString(engine), 0);
             row.field("target_cycles", cycles)
                 .field("wall_ms", point.wallMs)
@@ -658,6 +661,7 @@ runTokenTraceSweep(const std::vector<uint64_t> &rates,
         double wallMs = 1e300;
         uint64_t sig = 0;
         uint64_t planHash = 0;
+        uint64_t contentHash = 0;
         uint64_t records = 0;
         uint64_t dropped = 0;
     };
@@ -679,6 +683,7 @@ runTokenTraceSweep(const std::vector<uint64_t> &rates,
         }
         m.sig = finalStateSignature(sim, nparts);
         m.planHash = sim.planHash();
+        m.contentHash = sim.contentHash();
         if (auto *tel = sim.telemetry(); tel && tel->tokenTrace()) {
             m.records = tel->tokenTrace()->recordsCreated();
             m.dropped = tel->tokenTrace()->recordsDropped();
@@ -720,7 +725,7 @@ runTokenTraceSweep(const std::vector<uint64_t> &rates,
         bench::JsonRow row;
         bench::addRunIdentity(
             row, "fireaxe.bench.v1", "bus_soc4", base.planHash,
-            "sequential",
+            base.contentHash, "sequential",
             rtlsim::toString(rtlsim::defaultEvalEngine()), 0);
         row.field("partitions", uint64_t(nparts))
             .field("token_sample_every", uint64_t(0))
@@ -754,7 +759,7 @@ runTokenTraceSweep(const std::vector<uint64_t> &rates,
         bench::JsonRow row;
         bench::addRunIdentity(
             row, "fireaxe.bench.v1", "bus_soc4", m.planHash,
-            "sequential",
+            m.contentHash, "sequential",
             rtlsim::toString(rtlsim::defaultEvalEngine()), 0);
         row.field("partitions", uint64_t(nparts))
             .field("token_sample_every",

@@ -108,23 +108,31 @@ class JsonRow
  * machine-readable row the tools and benches emit (fireaxe-run
  * --json, bench --json) starts with the same fields so sweep
  * tooling can join rows across producers:
- *   schema     — row schema tag ("fireaxe.run.v1" / "fireaxe.bench.v1")
- *   target     — design or bench-case label
- *   plan_hash  — MultiFpgaSim::planHash() (0 when no plan exists,
- *                e.g. monolithic engine benches)
- *   backend    — "sequential" / "parallel"
- *   engine     — evaluation engine name
- *   workers    — parallel worker count (0 = auto / n.a.)
+ *   schema        — row schema tag ("fireaxe.run.v1" /
+ *                   "fireaxe.bench.v1")
+ *   target        — design or bench-case label
+ *   plan_hash     — MultiFpgaSim::planHash() (0 when no plan exists,
+ *                   e.g. monolithic engine benches)
+ *   artifact_hash — platform::contentHash() of the design+plan (0
+ *                   when no plan exists); the same 64-bit identity
+ *                   telemetry stream headers carry and the service
+ *                   artifact cache keys on, so rows, streams, and
+ *                   cache entries for one submitted design join on
+ *                   one name
+ *   backend       — "sequential" / "parallel"
+ *   engine        — evaluation engine name
+ *   workers       — parallel worker count (0 = auto / n.a.)
  */
 inline JsonRow &
 addRunIdentity(JsonRow &row, std::string_view schema,
                std::string_view target, uint64_t plan_hash,
-               std::string_view backend, std::string_view engine,
-               unsigned workers)
+               uint64_t artifact_hash, std::string_view backend,
+               std::string_view engine, unsigned workers)
 {
     row.field("schema", schema)
         .field("target", target)
         .field("plan_hash", plan_hash)
+        .field("artifact_hash", artifact_hash)
         .field("backend", backend)
         .field("engine", engine)
         .field("workers", workers);
@@ -269,6 +277,8 @@ struct SweepPoint
     double fmr = 0.0;
     /** Partition-plan identity of the measured run (addRunIdentity). */
     uint64_t planHash = 0;
+    /** Design+plan content hash (platform::contentHash). */
+    uint64_t contentHash = 0;
 };
 
 /**
@@ -312,6 +322,7 @@ runTilePartitionSweep(unsigned total_tiles, unsigned tiles_out,
 
     SweepPoint point;
     point.planHash = sim.planHash();
+    point.contentHash = sim.contentHash();
     // Boundary width of the extracted partition (one side).
     point.interfaceBits = plan.feedback.interfaceWidths[1];
     point.simRateMhz = result.simRateMhz();

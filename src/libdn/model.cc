@@ -9,13 +9,16 @@
 
 namespace fireaxe::libdn {
 
-LIBDNModel::LIBDNModel(std::string name, const firrtl::Circuit &circuit,
-                       unsigned num_threads, rtlsim::EvalEngine engine)
+LIBDNModel::LIBDNModel(
+    std::string name, const firrtl::Circuit &circuit,
+    unsigned num_threads, rtlsim::EvalEngine engine,
+    std::shared_ptr<const rtlsim::CompiledProgram> precompiled)
     : name_(std::move(name)), numThreads_(num_threads)
 {
     FIREAXE_ASSERT(num_threads >= 1);
     firrtl::Circuit flat = passes::flattenAll(circuit);
-    sim_ = std::make_unique<rtlsim::Simulator>(flat, engine);
+    sim_ = std::make_unique<rtlsim::Simulator>(
+        flat, engine, std::move(precompiled));
     threads_.resize(numThreads_);
     if (numThreads_ > 1) {
         for (auto &th : threads_)

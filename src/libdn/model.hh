@@ -64,11 +64,18 @@ class LIBDNModel
      * @param engine    Evaluation engine for the partition's target
      *                  simulator (see rtlsim/engine.hh); the choice
      *                  never changes observable behaviour.
+     * @param precompiled Optional shared compiled program for the
+     *                  partition's flat circuit (Compiled engine
+     *                  only; see rtlsim/compiled.hh) — lets a cache
+     *                  skip the bytecode compile on repeat builds of
+     *                  the same design.
      */
     LIBDNModel(std::string name, const firrtl::Circuit &circuit,
                unsigned num_threads = 1,
                rtlsim::EvalEngine engine =
-                   rtlsim::defaultEvalEngine());
+                   rtlsim::defaultEvalEngine(),
+               std::shared_ptr<const rtlsim::CompiledProgram>
+                   precompiled = nullptr);
 
     /** Declare an input channel over the given input ports. Returns
      *  the channel slot used by bindInput(). */

@@ -15,7 +15,7 @@ Telemetry::Telemetry(const TelemetryConfig &cfg) : cfg_(cfg)
             cfg_.streamPath = env;
         }
     }
-    if (!cfg_.streamPath.empty()) {
+    if (!cfg_.streamPath.empty() || cfg_.streamSink) {
         cfg_.metrics = true;
         cfg_.tokenTrace = true;
     }

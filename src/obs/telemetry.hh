@@ -66,6 +66,14 @@ struct TelemetryConfig
     /** JSONL stream destination; empty = no streaming. The
      *  FIREAXE_STREAM environment variable provides a default. */
     std::string streamPath;
+    /**
+     * Caller-owned JSONL stream destination; non-null enables
+     * streaming (taking precedence over streamPath) and must outlive
+     * the simulation. This is the seam the service daemon uses to
+     * forward a job's telemetry lines over its client socket
+     * incrementally instead of through a file.
+     */
+    std::ostream *streamSink = nullptr;
     /** Run label recorded in the stream header (target name). */
     std::string runLabel;
 

@@ -111,6 +111,8 @@ StreamWriter::writeHeader(const StreamRunInfo &info)
     w.value(info.runLabel);
     w.key("plan_hash");
     w.value(info.planHash);
+    w.key("artifact_hash");
+    w.value(info.artifactHash);
     w.key("backend");
     w.value(info.backend);
     w.key("engine");

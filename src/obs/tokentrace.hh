@@ -195,6 +195,9 @@ struct StreamRunInfo
 {
     std::string runLabel;
     uint64_t planHash = 0;
+    /** Design+plan content hash (platform::contentHash) — the same
+     *  64-bit identity bench rows and the service cache key on. */
+    uint64_t artifactHash = 0;
     std::string backend;
     std::string engine;
     unsigned workers = 0;

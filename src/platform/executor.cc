@@ -27,6 +27,38 @@ using libdn::LIBDNModel;
 using libdn::TokenChannel;
 using ripper::PartitionMode;
 
+uint64_t
+designContentHash(const ripper::PartitionPlan &plan)
+{
+    uint64_t h = recovery::fnv1a("fireaxe-design");
+    for (const auto &circuit : plan.partitions)
+        h = recovery::fnv1aMix(h, recovery::hashCircuit(circuit));
+    return h;
+}
+
+uint64_t
+planStructureHash(const ripper::PartitionPlan &plan)
+{
+    // Hash the plan *structure* — everything that shapes the models
+    // and channels a snapshot will be loaded back into.
+    std::ostringstream os;
+    os << int(plan.mode) << "\n";
+    for (size_t p = 0; p < plan.partitionNames.size(); ++p)
+        os << plan.partitionNames[p] << " " << plan.fame5Threads[p]
+           << "\n";
+    for (const auto &ch : plan.channels)
+        os << ch.name << " " << ch.srcPart << " " << ch.dstPart
+           << " " << ch.widthBits << " " << ch.capacity << "\n";
+    return recovery::fnv1a(os.str());
+}
+
+uint64_t
+contentHash(const ripper::PartitionPlan &plan)
+{
+    return recovery::fnv1aMix(designContentHash(plan),
+                              planStructureHash(plan));
+}
+
 MultiFpgaSim::MultiFpgaSim(const ripper::PartitionPlan &plan,
                            std::vector<FpgaSpec> fpgas,
                            const transport::LinkParams &link)
@@ -84,6 +116,22 @@ MultiFpgaSim::setVerifyPolicy(VerifyPolicy policy)
 }
 
 void
+MultiFpgaSim::setPrecompiledPrograms(
+    std::vector<std::shared_ptr<const rtlsim::CompiledProgram>>
+        programs)
+{
+    FIREAXE_ASSERT(!initialized_,
+                   "setPrecompiledPrograms before init");
+    precompiled_ = std::move(programs);
+}
+
+std::shared_ptr<const rtlsim::CompiledProgram>
+MultiFpgaSim::compiledProgram(int part)
+{
+    return model(part).sim().compiledProgram();
+}
+
+void
 MultiFpgaSim::runPreflight()
 {
     if (preflightRan_)
@@ -133,7 +181,8 @@ MultiFpgaSim::init()
     for (size_t p = 0; p < plan_.partitions.size(); ++p) {
         models_.push_back(std::make_unique<LIBDNModel>(
             plan_.partitionNames[p], plan_.partitions[p], 1,
-            execConfig_.evalEngine));
+            execConfig_.evalEngine,
+            p < precompiled_.size() ? precompiled_[p] : nullptr));
         if (drivers_[p])
             models_[p]->setDriver(drivers_[p]);
 
@@ -233,16 +282,26 @@ MultiFpgaSim::setupTelemetry()
     }
 
     // Streaming telemetry: open the JSONL sink and write the header
-    // once every channel is registered in the collector's table.
+    // once every channel is registered in the collector's table. A
+    // caller-owned streamSink (the daemon's per-job socket forwarder)
+    // takes precedence over opening a file path.
     const obs::TelemetryConfig &cfg = telemetry_->config();
-    if (!cfg.streamPath.empty()) {
-        auto os = std::make_unique<std::ofstream>(cfg.streamPath);
-        if (!*os) {
+    if (cfg.streamSink || !cfg.streamPath.empty()) {
+        std::unique_ptr<std::ofstream> os;
+        if (!cfg.streamSink) {
+            os = std::make_unique<std::ofstream>(cfg.streamPath);
+        }
+        if (os && !*os) {
             warn("telemetry stream: cannot open '", cfg.streamPath,
                  "' — streaming disabled");
         } else {
-            streamOs_ = std::move(os);
-            stream_ = std::make_unique<obs::StreamWriter>(*streamOs_);
+            std::ostream *sink = cfg.streamSink;
+            if (os) {
+                streamOs_ = std::move(os);
+                sink = streamOs_.get();
+            }
+            streamSink_ = sink;
+            stream_ = std::make_unique<obs::StreamWriter>(*sink);
             streamEveryCycles_ = cfg.streamEveryCycles
                                      ? cfg.streamEveryCycles
                                      : 256;
@@ -251,6 +310,7 @@ MultiFpgaSim::setupTelemetry()
             obs::StreamRunInfo info;
             info.runLabel = cfg.runLabel;
             info.planHash = planHash();
+            info.artifactHash = contentHash();
             info.backend =
                 execConfig_.backend == ExecBackend::Parallel
                     ? "parallel"
@@ -484,7 +544,7 @@ MultiFpgaSim::finalizeTelemetry(RunResult &result, double now)
             summary.traceEventsDropped = tracer->dropped();
         summary.deadlocked = result.deadlocked;
         stream_->writeSummary(summary);
-        streamOs_->flush();
+        streamSink_->flush();
     }
 }
 
@@ -696,6 +756,14 @@ MultiFpgaSim::runSequential(uint64_t target_cycles)
         if (allDone())
             break;
 
+        // Graceful shutdown: between events is a quiesce point, so
+        // breaking here leaves snapshot-able state (run() returning
+        // IS the run()-boundary the recovery contract names).
+        if (stopRequested_.load(std::memory_order_relaxed)) {
+            result.stopped = true;
+            break;
+        }
+
         // Next partition tick in host time.
         size_t p = 0;
         for (size_t i = 1; i < num_parts; ++i)
@@ -869,6 +937,11 @@ MultiFpgaSim::runParallel(uint64_t target_cycles)
         r.nextDeltaNs = step;
         r.progressed = progress;
         r.reachedTarget = after >= target_cycles;
+        // Graceful shutdown: checked on every tick (not just target
+        // advances) so a stalled partition still drains promptly.
+        // The engine quiesces all workers before run() returns.
+        if (stopRequested_.load(std::memory_order_relaxed))
+            r.stopRequested = true;
         if (advanced && stopCondition_) {
             std::lock_guard<std::mutex> lock(stopMtx_);
             if (stopCondition_())
@@ -946,26 +1019,19 @@ MultiFpgaSim::minCycleAll() const
 uint64_t
 MultiFpgaSim::designHash() const
 {
-    uint64_t h = recovery::fnv1a("fireaxe-design");
-    for (const auto &circuit : plan_.partitions)
-        h = recovery::fnv1aMix(h, recovery::hashCircuit(circuit));
-    return h;
+    return designContentHash(plan_);
 }
 
 uint64_t
 MultiFpgaSim::planHash() const
 {
-    // Hash the plan *structure* — everything that shapes the models
-    // and channels a snapshot will be loaded back into.
-    std::ostringstream os;
-    os << int(plan_.mode) << "\n";
-    for (size_t p = 0; p < plan_.partitionNames.size(); ++p)
-        os << plan_.partitionNames[p] << " "
-           << plan_.fame5Threads[p] << "\n";
-    for (const auto &ch : plan_.channels)
-        os << ch.name << " " << ch.srcPart << " " << ch.dstPart
-           << " " << ch.widthBits << " " << ch.capacity << "\n";
-    return recovery::fnv1a(os.str());
+    return planStructureHash(plan_);
+}
+
+uint64_t
+MultiFpgaSim::contentHash() const
+{
+    return platform::contentHash(plan_);
 }
 
 recovery::RecoveryPoint

@@ -48,6 +48,25 @@
 
 namespace fireaxe::platform {
 
+/** FNV-1a over the printed text of every partition circuit in the
+ *  plan (what a design *is*, independent of how it was built). */
+uint64_t designContentHash(const ripper::PartitionPlan &plan);
+
+/** FNV-1a over the plan structure: partition names, FAME-5 threads,
+ *  channels with routes/widths/capacities, and the mode. */
+uint64_t planStructureHash(const ripper::PartitionPlan &plan);
+
+/**
+ * The content hash of a partitioned design: design text folded with
+ * plan structure. This is the single identity every subsystem keys
+ * on — snapshot manifests validate against its two halves, the
+ * service artifact cache (src/svc) keys compiled artifacts by it,
+ * and bench/CLI JSON rows and telemetry stream headers record it as
+ * `artifact_hash` — so a cache hit, a stream, and a bench row for
+ * the same submitted design all carry the same 64-bit name.
+ */
+uint64_t contentHash(const ripper::PartitionPlan &plan);
+
 /** Pre-flight static verification policy (MultiFpgaSim::init). */
 enum class VerifyPolicy
 {
@@ -313,6 +332,24 @@ class MultiFpgaSim
         return preflight_;
     }
 
+    /**
+     * Hand each partition a precompiled evaluation program (index =
+     * partition; null entries compile fresh). Only meaningful with
+     * ExecConfig::evalEngine == Compiled; must be called before
+     * init(). Programs are validated against the constructed
+     * simulators — a mismatch degrades to a fresh compile, never to
+     * wrong results. Harvest programs after init() with
+     * compiledProgram().
+     */
+    void setPrecompiledPrograms(
+        std::vector<std::shared_ptr<const rtlsim::CompiledProgram>>
+            programs);
+
+    /** Partition @p part's shared compiled program (null under the
+     *  interpreter); valid after init(). */
+    std::shared_ptr<const rtlsim::CompiledProgram>
+    compiledProgram(int part);
+
     /** Build models and channels. Implicitly called by run() if
      *  needed. */
     void init();
@@ -338,6 +375,35 @@ class MultiFpgaSim
      * deadlocks).
      */
     RunResult run(uint64_t target_cycles);
+
+    /**
+     * Graceful shutdown: ask an in-flight run() to quiesce at its
+     * next boundary and return with RunResult::stopped. Thread-safe
+     * and signal-safe (one atomic store), so a daemon's SIGTERM
+     * handler can drain jobs mid-run. When run() returns, the
+     * simulation sits at a valid quiesce point — snapshot() /
+     * acquireRecoveryPoint() produce a resumable cut, exactly as
+     * between ordinary run() calls. The request is sticky (a run()
+     * issued after requestStop() stops immediately, so a drain never
+     * races a job that was about to start); clearStopRequest()
+     * re-arms the instance for further execution.
+     */
+    void requestStop()
+    {
+        stopRequested_.store(true, std::memory_order_relaxed);
+    }
+
+    /** A requestStop() is pending (not yet cleared). */
+    bool stopRequested() const
+    {
+        return stopRequested_.load(std::memory_order_relaxed);
+    }
+
+    /** Re-arm after a drain so run() makes progress again. */
+    void clearStopRequest()
+    {
+        stopRequested_.store(false, std::memory_order_relaxed);
+    }
 
     /** Access a partition model (valid after init()). */
     libdn::LIBDNModel &model(int part);
@@ -432,6 +498,11 @@ class MultiFpgaSim
      *  mode, FAME-5 threads); the run-identity hash recorded in
      *  telemetry streams and bench/CLI JSON rows. */
     uint64_t planHash() const;
+
+    /** platform::contentHash(plan()): the design+plan content hash
+     *  (`artifact_hash` in JSON rows and stream headers; the service
+     *  cache key). */
+    uint64_t contentHash() const;
 
   private:
     struct ChannelState
@@ -540,6 +611,9 @@ class MultiFpgaSim
     std::atomic<unsigned> linkFailovers_{0};
     uint64_t transientStallEvents_ = 0;
     std::vector<std::unique_ptr<libdn::LIBDNModel>> models_;
+    /** Precompiled programs handed in before init() (may be empty). */
+    std::vector<std::shared_ptr<const rtlsim::CompiledProgram>>
+        precompiled_;
     std::vector<libdn::Driver> drivers_;
     std::vector<libdn::Monitor> monitors_;
     std::vector<std::ostream *> vcdStreams_;
@@ -547,12 +621,17 @@ class MultiFpgaSim
     std::function<bool()> stopCondition_;
     /** Serializes stop-condition evaluation across workers. */
     std::mutex stopMtx_;
+    /** Sticky graceful-shutdown request (requestStop()). */
+    std::atomic<bool> stopRequested_{false};
     ExecConfig execConfig_;
     std::unique_ptr<obs::Telemetry> telemetry_;
     std::vector<PartTelemetry> partTel_;
     // Streaming telemetry state (setupTelemetry opens the sink; the
     // single-writer seams below are the only mutators after that).
     std::unique_ptr<std::ostream> streamOs_;
+    /** The active stream sink: streamOs_.get() for a file stream,
+     *  or the caller-owned TelemetryConfig::streamSink. */
+    std::ostream *streamSink_ = nullptr;
     std::unique_ptr<obs::StreamWriter> stream_;
     uint64_t streamEveryCycles_ = 0;
     uint64_t nextStreamCycle_ = 0;

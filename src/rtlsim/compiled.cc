@@ -9,59 +9,84 @@
 
 namespace fireaxe::rtlsim {
 
-CompiledEngine::CompiledEngine(Simulator &sim) : sim_(sim)
+size_t
+CompiledProgram::byteSize() const
 {
-    const size_t num_nodes = sim_.nodes_.size();
-    cnodes_.resize(num_nodes);
-    dirty_.assign(num_nodes, 0);
-    producer_.assign(sim_.signals_.size(), -1);
-    memNode_.assign(sim_.mems_.size(), -1);
+    return sizeof(CompiledProgram) +
+           code.capacity() * sizeof(Instr) +
+           cnodes.capacity() * sizeof(CNode) +
+           consts.capacity() * sizeof(uint64_t) +
+           sigReadersOff.capacity() * sizeof(uint32_t) +
+           sigReaders.capacity() * sizeof(int32_t) +
+           producer.capacity() * sizeof(int32_t) +
+           memNode.capacity() * sizeof(int32_t);
+}
 
-    for (size_t n = 0; n < num_nodes; ++n) {
-        const auto &node = sim_.nodes_[n];
-        CNode &cn = cnodes_[n];
-        cn.lhs = node.lhs;
-        cn.width = node.lhsWidth;
-        switch (node.kind) {
-          case Simulator::NodeKind::CombAssign:
-            cn.kind = CNode::Comb;
-            producer_[node.lhs] = int32_t(n);
-            compileNode(int(n));
-            break;
-          case Simulator::NodeKind::MemRead:
-            cn.kind = CNode::MemRead;
-            cn.mem = node.mem;
-            producer_[node.lhs] = int32_t(n);
-            memNode_[node.mem] = int32_t(n);
-            break;
-          case Simulator::NodeKind::RegNext:
-            cn.kind = CNode::RegNext;
-            cn.regSlot = sim_.regNextSlot_.at(node.lhs);
-            compileNode(int(n));
-            break;
-        }
+using Instr = CompiledProgram::Instr;
+using CNode = CompiledProgram::CNode;
+
+namespace {
+
+/** Evaluate a fused instruction over pool-only operands (constant
+ *  folding at compile time — no live signal table exists yet). */
+uint64_t
+execConstInstr(const Instr &in, const std::vector<uint64_t> &consts)
+{
+    auto load = [&](int32_t ref) {
+        FIREAXE_ASSERT(ref < 0, "const fold over a live signal");
+        return consts[~ref];
+    };
+    switch (in.op) {
+      case Instr::Push:
+        return load(in.a);
+      case Instr::UnF:
+        return evalUnOp(in.un, load(in.a), in.opw, in.width);
+      case Instr::BinF:
+        return evalBinOp(in.bin, load(in.a), load(in.b), in.width);
+      case Instr::MuxF:
+        return truncate(load(in.a) ? load(in.b) : load(in.c),
+                        in.width);
+      case Instr::BitsF:
+        return extractBits(load(in.a), in.hi, in.lo);
+      case Instr::CatF:
+        return truncate((load(in.a) << in.lowWidth) | load(in.b),
+                        in.width);
+      default:
+        panic("execConstInstr on stack-form opcode");
+    }
+}
+
+} // namespace
+
+/** One-shot program builder; reads only the simulator's compiled
+ *  node programs, never its live values. Defined at namespace scope
+ *  (single TU) so Simulator can befriend it. */
+struct ProgramBuilder
+{
+    const Simulator &sim;
+    CompiledProgram prog;
+
+    int32_t
+    constRef(uint64_t value)
+    {
+        // The pool is small; linear dedup keeps construction simple.
+        for (size_t i = 0; i < prog.consts.size(); ++i)
+            if (prog.consts[i] == value)
+                return ~int32_t(i);
+        prog.consts.push_back(value);
+        return ~int32_t(prog.consts.size() - 1);
     }
 
-    buildReaderTable();
-    buildLevels();
-    markAll();
-}
-
-int32_t
-CompiledEngine::constRef(uint64_t value)
-{
-    // The pool is small; linear dedup keeps construction simple.
-    for (size_t i = 0; i < consts_.size(); ++i)
-        if (consts_[i] == value)
-            return ~int32_t(i);
-    consts_.push_back(value);
-    return ~int32_t(consts_.size() - 1);
-}
+    void compileNode(int n);
+    void buildReaderTable();
+    void buildLevels();
+    void build();
+};
 
 void
-CompiledEngine::compileNode(int n)
+ProgramBuilder::compileNode(int n)
 {
-    const auto &ops = sim_.nodes_[n].expr.ops;
+    const auto &ops = sim.nodes_[n].expr.ops;
     using POp = Simulator::POp;
 
     // Emit into a per-node scratch list with tail fusion: a consumer
@@ -85,7 +110,7 @@ CompiledEngine::compileNode(int n)
             Instr lit;
             lit.op = Instr::Push;
             lit.width = in.width;
-            lit.a = constRef(execInstr(in));
+            lit.a = constRef(execConstInstr(in, prog.consts));
             return lit;
         }
         return in;
@@ -192,56 +217,133 @@ CompiledEngine::compileNode(int n)
         }
     }
 
-    cnodes_[n].start = uint32_t(code_.size());
-    code_.insert(code_.end(), out.begin(), out.end());
-    cnodes_[n].end = uint32_t(code_.size());
+    prog.cnodes[n].start = uint32_t(prog.code.size());
+    prog.code.insert(prog.code.end(), out.begin(), out.end());
+    prog.cnodes[n].end = uint32_t(prog.code.size());
 }
 
 void
-CompiledEngine::buildReaderTable()
+ProgramBuilder::buildReaderTable()
 {
     // Deduplicate each node's read set, then lay the signal→reader
     // lists out in one CSR pair.
-    std::vector<std::vector<int>> reads(cnodes_.size());
-    std::vector<uint32_t> counts(sim_.signals_.size() + 1, 0);
-    for (size_t n = 0; n < cnodes_.size(); ++n) {
-        reads[n] = sim_.nodes_[n].readSigs;
+    std::vector<std::vector<int>> reads(prog.cnodes.size());
+    std::vector<uint32_t> counts(sim.signals_.size() + 1, 0);
+    for (size_t n = 0; n < prog.cnodes.size(); ++n) {
+        reads[n] = sim.nodes_[n].readSigs;
         std::sort(reads[n].begin(), reads[n].end());
         reads[n].erase(std::unique(reads[n].begin(), reads[n].end()),
                        reads[n].end());
         for (int sig : reads[n])
             ++counts[sig];
     }
-    sigReadersOff_.assign(sim_.signals_.size() + 1, 0);
-    for (size_t s = 0; s < sim_.signals_.size(); ++s)
-        sigReadersOff_[s + 1] = sigReadersOff_[s] + counts[s];
-    sigReaders_.resize(sigReadersOff_.back());
-    std::vector<uint32_t> fill(sigReadersOff_.begin(),
-                               sigReadersOff_.end() - 1);
-    for (size_t n = 0; n < cnodes_.size(); ++n)
+    prog.sigReadersOff.assign(sim.signals_.size() + 1, 0);
+    for (size_t s = 0; s < sim.signals_.size(); ++s)
+        prog.sigReadersOff[s + 1] = prog.sigReadersOff[s] + counts[s];
+    prog.sigReaders.resize(prog.sigReadersOff.back());
+    std::vector<uint32_t> fill(prog.sigReadersOff.begin(),
+                               prog.sigReadersOff.end() - 1);
+    for (size_t n = 0; n < prog.cnodes.size(); ++n)
         for (int sig : reads[n])
-            sigReaders_[fill[sig]++] = int32_t(n);
+            prog.sigReaders[fill[sig]++] = int32_t(n);
 }
 
 void
-CompiledEngine::buildLevels()
+ProgramBuilder::buildLevels()
 {
     // Longest producer chain, walked in the existing topo order so
     // producers are ranked before their consumers. Readers always
     // land at a strictly higher level than any of their producers,
     // which is what lets evalComb() make a single ascending sweep.
     uint32_t max_level = 0;
-    for (int n : sim_.evalOrder_) {
+    for (int n : sim.evalOrder_) {
         uint32_t lvl = 0;
-        for (int sig : sim_.nodes_[n].readSigs) {
-            int32_t p = producer_[sig];
+        for (int sig : sim.nodes_[n].readSigs) {
+            int32_t p = prog.producer[sig];
             if (p >= 0 && p != n)
-                lvl = std::max(lvl, cnodes_[p].level + 1);
+                lvl = std::max(lvl, prog.cnodes[p].level + 1);
         }
-        cnodes_[n].level = lvl;
+        prog.cnodes[n].level = lvl;
         max_level = std::max(max_level, lvl);
     }
-    levelQueue_.assign(max_level + 1, {});
+    prog.numLevels = max_level + 1;
+}
+
+void
+ProgramBuilder::build()
+{
+    const size_t num_nodes = sim.nodes_.size();
+    prog.cnodes.resize(num_nodes);
+    prog.producer.assign(sim.signals_.size(), -1);
+    prog.memNode.assign(sim.mems_.size(), -1);
+    prog.numSignals = sim.signals_.size();
+    prog.numMems = sim.mems_.size();
+    prog.numNodes = num_nodes;
+
+    for (size_t n = 0; n < num_nodes; ++n) {
+        const auto &node = sim.nodes_[n];
+        CNode &cn = prog.cnodes[n];
+        cn.lhs = node.lhs;
+        cn.width = node.lhsWidth;
+        switch (node.kind) {
+          case Simulator::NodeKind::CombAssign:
+            cn.kind = CNode::Comb;
+            prog.producer[node.lhs] = int32_t(n);
+            compileNode(int(n));
+            break;
+          case Simulator::NodeKind::MemRead:
+            cn.kind = CNode::MemRead;
+            cn.mem = node.mem;
+            prog.producer[node.lhs] = int32_t(n);
+            prog.memNode[node.mem] = int32_t(n);
+            break;
+          case Simulator::NodeKind::RegNext:
+            cn.kind = CNode::RegNext;
+            cn.regSlot = sim.regNextSlot_.at(node.lhs);
+            compileNode(int(n));
+            break;
+        }
+    }
+
+    buildReaderTable();
+    buildLevels();
+}
+
+std::shared_ptr<const CompiledProgram>
+compileProgram(const Simulator &sim)
+{
+    ProgramBuilder builder{sim, {}};
+    builder.build();
+    return std::make_shared<const CompiledProgram>(
+        std::move(builder.prog));
+}
+
+CompiledEngine::CompiledEngine(
+    Simulator &sim, std::shared_ptr<const CompiledProgram> program)
+    : sim_(sim)
+{
+    if (program) {
+        // Adopt a precompiled program only when its shape fingerprint
+        // matches this simulator exactly; a cache serving a stale or
+        // foreign artifact must degrade to a fresh compile, never to
+        // wrong results.
+        if (program->numSignals == sim_.signals_.size() &&
+            program->numMems == sim_.mems_.size() &&
+            program->numNodes == sim_.nodes_.size()) {
+            prog_ = std::move(program);
+        } else {
+            warn("precompiled program shape mismatch (",
+                 program->numNodes, " nodes for a ",
+                 sim_.nodes_.size(),
+                 "-node design); recompiling");
+        }
+    }
+    if (!prog_)
+        prog_ = compileProgram(sim_);
+
+    dirty_.assign(prog_->cnodes.size(), 0);
+    levelQueue_.assign(prog_->numLevels, {});
+    markAll();
 }
 
 void
@@ -249,16 +351,16 @@ CompiledEngine::markNode(int n)
 {
     if (!dirty_[n]) {
         dirty_[n] = 1;
-        levelQueue_[cnodes_[n].level].push_back(int32_t(n));
+        levelQueue_[prog_->cnodes[n].level].push_back(int32_t(n));
     }
 }
 
 void
 CompiledEngine::markReaders(int sig)
 {
-    for (uint32_t i = sigReadersOff_[sig];
-         i < sigReadersOff_[sig + 1]; ++i)
-        markNode(sigReaders_[i]);
+    for (uint32_t i = prog_->sigReadersOff[sig];
+         i < prog_->sigReadersOff[sig + 1]; ++i)
+        markNode(prog_->sigReaders[i]);
 }
 
 void
@@ -268,32 +370,32 @@ CompiledEngine::onSignalWrite(int sig)
     // A driven signal whose value was overwritten from the outside
     // (poke) must be recomputed by its driver on the next evalComb,
     // exactly as the interpreter's full sweep would.
-    if (producer_[sig] >= 0)
-        markNode(producer_[sig]);
+    if (prog_->producer[sig] >= 0)
+        markNode(prog_->producer[sig]);
 }
 
 void
 CompiledEngine::onMemWrite(int mem)
 {
-    if (memNode_[mem] >= 0)
-        markNode(memNode_[mem]);
+    if (prog_->memNode[mem] >= 0)
+        markNode(prog_->memNode[mem]);
 }
 
 void
 CompiledEngine::markAll()
 {
-    for (size_t n = 0; n < cnodes_.size(); ++n)
+    for (size_t n = 0; n < prog_->cnodes.size(); ++n)
         markNode(int(n));
 }
 
 uint64_t
 CompiledEngine::load(int32_t ref) const
 {
-    return ref >= 0 ? sim_.values_[ref] : consts_[~ref];
+    return ref >= 0 ? sim_.values_[ref] : prog_->consts[~ref];
 }
 
 uint64_t
-CompiledEngine::execInstr(const Instr &in) const
+CompiledEngine::execInstr(const CompiledProgram::Instr &in) const
 {
     switch (in.op) {
       case Instr::Push:
@@ -316,17 +418,17 @@ CompiledEngine::execInstr(const Instr &in) const
 }
 
 uint64_t
-CompiledEngine::execNode(const CNode &cn) const
+CompiledEngine::execNode(const CompiledProgram::CNode &cn) const
 {
     // Fused single-instruction nodes (the common case after fusion)
     // bypass the stack entirely.
     if (cn.end - cn.start == 1)
-        return execInstr(code_[cn.start]);
+        return execInstr(prog_->code[cn.start]);
 
     auto &st = stack_;
     st.clear();
     for (uint32_t i = cn.start; i < cn.end; ++i) {
-        const Instr &in = code_[i];
+        const Instr &in = prog_->code[i];
         switch (in.op) {
           case Instr::Push:
           case Instr::UnF:
@@ -396,7 +498,7 @@ CompiledEngine::evalComb()
         // index loop over the current queue is stable.
         for (size_t i = 0; i < queue.size(); ++i) {
             int n = queue[i];
-            const CNode &cn = cnodes_[n];
+            const CNode &cn = prog_->cnodes[n];
             dirty_[n] = 0;
             ++evaluated;
             switch (cn.kind) {
@@ -427,7 +529,7 @@ CompiledEngine::evalComb()
         queue.clear();
     }
     nodesEvaluated_ += evaluated;
-    nodesSkipped_ += cnodes_.size() - evaluated;
+    nodesSkipped_ += prog_->cnodes.size() - evaluated;
 }
 
 } // namespace fireaxe::rtlsim

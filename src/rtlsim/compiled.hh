@@ -17,9 +17,19 @@
  *  - anything else falls back to the generic stack forms, so the
  *    engine evaluates arbitrary expressions.
  *
- * Evaluation is driven by activity gating. A signal→reader adjacency
- * table (CSR layout) maps every signal to the nodes that read it;
- * each node carries a dirty bit and a levelized rank (longest
+ * The product of that compilation is a CompiledProgram: an immutable
+ * value derived solely from the flat circuit (bytecode, per-node
+ * records, constant pool, signal→reader CSR table, producer maps,
+ * levelized ranks). Because it holds no live state, a program is
+ * shareable: any number of Simulator instances constructed from the
+ * same flat circuit can evaluate through one shared program — this
+ * is the content-addressed compiled artifact the service cache
+ * (src/svc) stores so a repeat submission of a known design skips
+ * the compile entirely.
+ *
+ * Evaluation is driven by activity gating. The program's CSR table
+ * maps every signal to the nodes that read it; each node carries a
+ * dirty bit (per engine instance) and a levelized rank (longest
  * producer chain). evalComb() drains per-level dirty queues in
  * ascending level order: re-evaluating a node whose output changed
  * marks its readers dirty, which always live at a strictly higher
@@ -39,6 +49,7 @@
 #define FIREAXE_RTLSIM_COMPILED_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "firrtl/ir.hh"
@@ -47,30 +58,14 @@ namespace fireaxe::rtlsim {
 
 class Simulator;
 
-class CompiledEngine
+/**
+ * The immutable compiled form of one flat circuit. Derived solely
+ * from the circuit's node programs (never from live values), so one
+ * program can back any number of simulator instances of the same
+ * design concurrently — engine instances only read it.
+ */
+struct CompiledProgram
 {
-  public:
-    /** Compile @p sim's node programs; everything starts dirty. */
-    explicit CompiledEngine(Simulator &sim);
-
-    /** Evaluate all dirty nodes in levelized order. */
-    void evalComb();
-
-    /** A signal's value changed outside evalComb (poke, register
-     *  latch, state restore): mark its readers — and, if a
-     *  combinational driver exists, the driver itself — dirty. */
-    void onSignalWrite(int sig);
-
-    /** A memory's contents changed: mark its read node dirty. */
-    void onMemWrite(int mem);
-
-    /** Invalidate everything (reset / checkpoint load). */
-    void markAll();
-
-    uint64_t nodesEvaluated() const { return nodesEvaluated_; }
-    uint64_t nodesSkipped() const { return nodesSkipped_; }
-
-  private:
     /** One bytecode instruction. Operand refs @c a/b/c: >= 0 is a
      *  live-signal index, < 0 is ~index into the constant pool. */
     struct Instr
@@ -110,34 +105,92 @@ class CompiledEngine
         uint32_t level = 0;          ///< levelized rank
     };
 
-    int32_t constRef(uint64_t value);
-    void compileNode(int n);
-    void buildReaderTable();
-    void buildLevels();
+    std::vector<Instr> code;
+    std::vector<CNode> cnodes;
+    std::vector<uint64_t> consts;
+    /** Signal → reading nodes, CSR layout. */
+    std::vector<uint32_t> sigReadersOff;
+    std::vector<int32_t> sigReaders;
+    /** Signal → combinational producer node (CombAssign/MemRead),
+     *  -1 when none (inputs, registers). */
+    std::vector<int32_t> producer;
+    /** Memory index → its MemRead node. */
+    std::vector<int32_t> memNode;
+    /** Number of distinct levelized ranks (max level + 1). */
+    uint32_t numLevels = 1;
+
+    /** Shape fingerprint of the simulator the program was compiled
+     *  from — a precompiled program is only adopted when it matches
+     *  the constructing simulator exactly. */
+    size_t numSignals = 0;
+    size_t numMems = 0;
+    size_t numNodes = 0;
+
+    /** Approximate resident bytes (cache accounting). */
+    size_t byteSize() const;
+};
+
+class CompiledEngine
+{
+  public:
+    /**
+     * Attach to @p sim. With a null @p program, compile sim's node
+     * programs one-shot; with a precompiled program whose shape
+     * fingerprint matches, adopt it and skip compilation entirely (a
+     * mismatched program is ignored with a warning and a fresh
+     * compile — a cache handing over the wrong artifact must never
+     * corrupt results). Everything starts dirty either way.
+     */
+    explicit CompiledEngine(
+        Simulator &sim,
+        std::shared_ptr<const CompiledProgram> program = nullptr);
+
+    /** The immutable program this engine evaluates (shareable with
+     *  other simulators of the same flat circuit). */
+    const std::shared_ptr<const CompiledProgram> &program() const
+    {
+        return prog_;
+    }
+
+    /** Evaluate all dirty nodes in levelized order. */
+    void evalComb();
+
+    /** A signal's value changed outside evalComb (poke, register
+     *  latch, state restore): mark its readers — and, if a
+     *  combinational driver exists, the driver itself — dirty. */
+    void onSignalWrite(int sig);
+
+    /** A memory's contents changed: mark its read node dirty. */
+    void onMemWrite(int mem);
+
+    /** Invalidate everything (reset / checkpoint load). */
+    void markAll();
+
+    uint64_t nodesEvaluated() const { return nodesEvaluated_; }
+    uint64_t nodesSkipped() const { return nodesSkipped_; }
+
+  private:
     void markNode(int n);
     void markReaders(int sig);
     uint64_t load(int32_t ref) const;
-    uint64_t execInstr(const Instr &in) const;
-    uint64_t execNode(const CNode &cn) const;
+    uint64_t execInstr(const CompiledProgram::Instr &in) const;
+    uint64_t execNode(const CompiledProgram::CNode &cn) const;
 
     Simulator &sim_;
-    std::vector<Instr> code_;
-    std::vector<CNode> cnodes_;
-    std::vector<uint64_t> consts_;
-    /** Signal → reading nodes, CSR layout. */
-    std::vector<uint32_t> sigReadersOff_;
-    std::vector<int32_t> sigReaders_;
-    /** Signal → combinational producer node (CombAssign/MemRead),
-     *  -1 when none (inputs, registers). */
-    std::vector<int32_t> producer_;
-    /** Memory index → its MemRead node. */
-    std::vector<int32_t> memNode_;
+    std::shared_ptr<const CompiledProgram> prog_;
+    // Mutable evaluation state, per engine instance (the program
+    // itself is shared and read-only).
     std::vector<uint8_t> dirty_;
     std::vector<std::vector<int32_t>> levelQueue_;
     mutable std::vector<uint64_t> stack_;
     uint64_t nodesEvaluated_ = 0;
     uint64_t nodesSkipped_ = 0;
 };
+
+/** Compile @p sim's node programs into a fresh shareable program
+ *  (what CompiledEngine does internally when handed no program). */
+std::shared_ptr<const CompiledProgram>
+compileProgram(const Simulator &sim);
 
 } // namespace fireaxe::rtlsim
 

@@ -21,7 +21,9 @@ using firrtl::PortDir;
 using firrtl::SignalKind;
 using firrtl::UnOpKind;
 
-Simulator::Simulator(const Circuit &flat_circuit, EvalEngine engine)
+Simulator::Simulator(
+    const Circuit &flat_circuit, EvalEngine engine,
+    std::shared_ptr<const CompiledProgram> precompiled)
     : engine_(engine)
 {
     const Module &top = flat_circuit.top();
@@ -110,11 +112,18 @@ Simulator::Simulator(const Circuit &flat_circuit, EvalEngine engine)
     buildTopoOrder();
     buildDepMatrix();
     if (engine_ == EvalEngine::Compiled)
-        compiled_ = std::make_unique<CompiledEngine>(*this);
+        compiled_ = std::make_unique<CompiledEngine>(
+            *this, std::move(precompiled));
     evalComb();
 }
 
 Simulator::~Simulator() = default;
+
+std::shared_ptr<const CompiledProgram>
+Simulator::compiledProgram() const
+{
+    return compiled_ ? compiled_->program() : nullptr;
+}
 
 uint64_t
 Simulator::nodesEvaluated() const

@@ -34,6 +34,8 @@
 namespace fireaxe::rtlsim {
 
 class CompiledEngine;
+struct CompiledProgram;
+struct ProgramBuilder;
 
 /** Categories of flat signals. */
 enum class SigKind { Input, Output, Comb, Reg };
@@ -69,9 +71,17 @@ class Simulator
      *                     compilation plus activity gating (see
      *                     rtlsim/engine.hh). Defaults to the
      *                     process-wide FIREAXE_EVAL choice.
+     * @param precompiled  optional shared compiled program (Compiled
+     *                     engine only) harvested from an earlier
+     *                     simulator of the same flat circuit — the
+     *                     content-addressed artifact the service
+     *                     cache stores. A mismatched program is
+     *                     ignored (fresh compile) with a warning.
      */
-    explicit Simulator(const firrtl::Circuit &flat_circuit,
-                       EvalEngine engine = defaultEvalEngine());
+    explicit Simulator(
+        const firrtl::Circuit &flat_circuit,
+        EvalEngine engine = defaultEvalEngine(),
+        std::shared_ptr<const CompiledProgram> precompiled = nullptr);
     ~Simulator();
 
     // The compiled engine holds a back-reference to this simulator,
@@ -81,6 +91,11 @@ class Simulator
 
     /** The engine this simulator evaluates with. */
     EvalEngine evalEngine() const { return engine_; }
+
+    /** The shared compiled program backing this simulator (null
+     *  under Interpret). Shareable with any simulator of the same
+     *  flat circuit — this is what the artifact cache stores. */
+    std::shared_ptr<const CompiledProgram> compiledProgram() const;
 
     /** Evaluation-node executions across all evalComb() calls (the
      *  interpreter evaluates every node every call). */
@@ -161,6 +176,7 @@ class Simulator
 
   private:
     friend class CompiledEngine;
+    friend struct ProgramBuilder;
 
     struct POp
     {

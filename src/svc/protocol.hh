@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The fireaxe.job.v1 wire protocol: newline-delimited JSON over a
+ * local stream socket. One JSON object per line in both directions.
+ *
+ * Client → server requests:
+ *   {"type":"submit","schema":"fireaxe.job.v1","job":{...}}
+ *   {"type":"status"}
+ *   {"type":"shutdown"}          — drain and exit (used by tests/CI)
+ *
+ * Server → client lines (job ids scope everything, so one connection
+ * can interleave several jobs):
+ *   {"type":"ack","job":N}                        — accepted, queued
+ *   {"type":"status","job":N,"state":"..."}       — lifecycle edges
+ *   {"type":"stream","job":N,"data":{...}}        — one telemetry
+ *       fireaxe.stream.v1 line, forwarded verbatim as it is produced
+ *   {"type":"result","job":N,...}                 — terminal success
+ *   {"type":"error","job":N,"code":"...","message":"...",
+ *    "report":"..."}                              — terminal failure
+ *       (code "verify" carries the rendered static-verifier report)
+ *   {"type":"service_status",...}                 — status reply
+ *
+ * 64-bit hashes travel as "0x..." hex strings: the JSON parser holds
+ * numbers as doubles, which silently lose bits above 2^53 — a trace
+ * hash that survives the round trip only most of the time is worse
+ * than none.
+ */
+
+#ifndef FIREAXE_SVC_PROTOCOL_HH
+#define FIREAXE_SVC_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "svc/cache.hh"
+#include "svc/jobrunner.hh"
+#include "svc/jobspec.hh"
+
+namespace fireaxe::svc {
+
+/** Protocol schema tag; a submit naming any other schema is
+ *  rejected. */
+constexpr const char *kJobSchema = "fireaxe.job.v1";
+
+/** One parsed client request. */
+struct Request
+{
+    enum class Kind { Submit, Status, Shutdown };
+    Kind kind = Kind::Status;
+    JobSpec job; ///< Submit only
+};
+
+/**
+ * Parse one request line. False + diagnostic on malformed JSON, an
+ * unknown type, a wrong schema, or a job object that fails
+ * parseJobSpec's strict field checks.
+ */
+bool parseRequest(const std::string &line, Request &req,
+                  std::string &error);
+
+/** "0x" + lowercase hex (the wire form of every 64-bit hash). */
+std::string hexHash(uint64_t h);
+
+/** Parse hexHash's output (also accepts bare hex); 0 on garbage. */
+uint64_t parseHexHash(const std::string &text);
+
+// --- server → client line renderers (no trailing newline) ---------
+
+std::string ackLine(uint64_t job);
+std::string statusLine(uint64_t job, const std::string &state);
+/** Wrap one raw telemetry JSONL line (already valid JSON). */
+std::string streamLine(uint64_t job, const std::string &data);
+std::string errorLine(uint64_t job, const std::string &code,
+                      const std::string &message,
+                      const std::string &report = "");
+std::string resultLine(uint64_t job, const std::string &target,
+                       const RunOutcome &outcome);
+std::string serviceStatusLine(uint64_t submitted, uint64_t active,
+                              uint64_t completed,
+                              const CacheShardStats &elab,
+                              const CacheShardStats &verify,
+                              const CacheShardStats &programs);
+
+} // namespace fireaxe::svc
+
+#endif // FIREAXE_SVC_PROTOCOL_HH

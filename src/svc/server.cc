@@ -1,0 +1,326 @@
+#include "svc/server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/json.hh"
+#include "svc/protocol.hh"
+
+namespace fireaxe::svc {
+
+namespace {
+
+/** Write the whole buffer, riding out EINTR and short writes.
+ *  MSG_NOSIGNAL: a peer that hung up mid-job turns into a failed
+ *  write, not a process-killing SIGPIPE. */
+bool
+writeAll(int fd, const char *data, size_t len)
+{
+    while (len > 0) {
+        ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        len -= size_t(n);
+    }
+    return true;
+}
+
+} // namespace
+
+Server::Server(const ServerConfig &cfg)
+    : cfg_(cfg), service_(cfg.service)
+{}
+
+Server::~Server()
+{
+    requestShutdown();
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    for (int fd : wakePipe_)
+        if (fd >= 0)
+            ::close(fd);
+    {
+        std::lock_guard<std::mutex> lock(threadsMtx_);
+        for (auto &t : threads_)
+            if (t.joinable())
+                t.join();
+    }
+    if (!cfg_.socketPath.empty())
+        ::unlink(cfg_.socketPath.c_str());
+}
+
+bool
+Server::start(std::string &error)
+{
+    if (cfg_.socketPath.empty()) {
+        error = "no socket path configured";
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (cfg_.socketPath.size() >= sizeof(addr.sun_path)) {
+        error = "socket path too long: " + cfg_.socketPath;
+        return false;
+    }
+    std::strncpy(addr.sun_path, cfg_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    ::unlink(cfg_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        error = "bind " + cfg_.socketPath + ": " +
+                std::strerror(errno);
+        return false;
+    }
+    if (::listen(listenFd_, 16) < 0) {
+        error = std::string("listen: ") + std::strerror(errno);
+        return false;
+    }
+    if (::pipe(wakePipe_) < 0) {
+        error = std::string("pipe: ") + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+void
+Server::run()
+{
+    while (!shutdown_.load(std::memory_order_acquire)) {
+        pollfd fds[2];
+        fds[0] = {listenFd_, POLLIN, 0};
+        fds[1] = {wakePipe_[0], POLLIN, 0};
+        int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (fds[1].revents & POLLIN)
+            break; // woken by requestShutdown()
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::lock_guard<std::mutex> lock(threadsMtx_);
+        threads_.emplace_back(
+            [this, fd] { handleConnection(fd); });
+    }
+    // Drain: in-flight jobs quiesce and report through their
+    // connections, queued jobs get structured rejections.
+    service_.drain();
+    // Stop accepting before joining readers: a reader blocked on
+    // read() returns once its client sees the results and closes.
+    ::shutdown(listenFd_, SHUT_RDWR);
+    std::vector<std::thread> readers;
+    {
+        std::lock_guard<std::mutex> lock(threadsMtx_);
+        readers.swap(threads_);
+    }
+    for (auto &t : readers)
+        if (t.joinable())
+            t.join();
+}
+
+void
+Server::requestShutdown()
+{
+    shutdown_.store(true, std::memory_order_release);
+    if (wakePipe_[1] >= 0) {
+        char byte = 1;
+        // Best-effort wake; the loop also re-checks the flag.
+        (void)!::write(wakePipe_[1], &byte, 1);
+    }
+}
+
+void
+Server::handleConnection(int fd)
+{
+    // One mutex per connection: worker threads (results, telemetry
+    // stream lines) and this reader (acks, status replies) all write
+    // whole lines under it.
+    auto write_mtx = std::make_shared<std::mutex>();
+    auto send = [fd, write_mtx](const std::string &line) {
+        std::lock_guard<std::mutex> lock(*write_mtx);
+        std::string framed = line;
+        framed.push_back('\n');
+        writeAll(fd, framed.data(), framed.size());
+    };
+
+    std::string buf;
+    std::vector<uint64_t> jobs;
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        buf.append(chunk, size_t(n));
+        size_t pos;
+        while ((pos = buf.find('\n')) != std::string::npos) {
+            std::string line = buf.substr(0, pos);
+            buf.erase(0, pos + 1);
+            if (line.empty())
+                continue;
+            Request req;
+            std::string error;
+            if (!parseRequest(line, req, error)) {
+                send(errorLine(0, "bad_request", error));
+                continue;
+            }
+            switch (req.kind) {
+            case Request::Kind::Submit: {
+                uint64_t id = service_.submit(req.job, send);
+                send(ackLine(id));
+                jobs.push_back(id);
+                break;
+            }
+            case Request::Kind::Status:
+                send(serviceStatusLine(
+                    service_.jobsSubmitted(),
+                    service_.jobsActive(),
+                    service_.jobsCompleted(),
+                    service_.cache().elabStats(),
+                    service_.cache().reportStats(),
+                    service_.cache().programStats()));
+                break;
+            case Request::Kind::Shutdown:
+                send(statusLine(0, "shutting_down"));
+                requestShutdown();
+                break;
+            }
+        }
+    }
+    // The client hung up; any jobs it still owns keep running, but
+    // their sinks must not touch the closed descriptor. Wait for
+    // them — results are simply dropped on the floor once the
+    // submitter is gone, matching fire-and-forget semantics.
+    for (uint64_t id : jobs)
+        service_.waitJob(id);
+    ::close(fd);
+}
+
+// --- Client -------------------------------------------------------
+
+bool
+Client::connect(const std::string &socket_path, std::string &error)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        error = "socket path too long: " + socket_path;
+        return false;
+    }
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        error = "connect " + socket_path + ": " +
+                std::strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::sendLine(const std::string &line, std::string &error)
+{
+    if (fd_ < 0) {
+        error = "not connected";
+        return false;
+    }
+    std::string framed = line;
+    framed.push_back('\n');
+    if (!writeAll(fd_, framed.data(), framed.size())) {
+        error = std::string("write: ") + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::readLine(std::string &line, std::string &error)
+{
+    if (fd_ < 0) {
+        error = "not connected";
+        return false;
+    }
+    for (;;) {
+        size_t pos = buf_.find('\n');
+        if (pos != std::string::npos) {
+            line = buf_.substr(0, pos);
+            buf_.erase(0, pos + 1);
+            return true;
+        }
+        char chunk[4096];
+        ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0) {
+            error = std::string("read: ") + std::strerror(errno);
+            return false;
+        }
+        if (n == 0) {
+            error = "connection closed";
+            return false;
+        }
+        buf_.append(chunk, size_t(n));
+    }
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buf_.clear();
+}
+
+bool
+Client::submit(const JobSpec &spec, std::string &error)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.key("type");
+    w.value("submit");
+    w.key("schema");
+    w.value(kJobSchema);
+    w.key("job");
+    {
+        std::ostringstream job_os;
+        obs::JsonWriter job_w(job_os);
+        spec.writeJson(job_w);
+        w.raw(job_os.str());
+    }
+    w.endObject();
+    return sendLine(os.str(), error);
+}
+
+} // namespace fireaxe::svc

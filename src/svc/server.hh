@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The fireaxed transport: a Unix-domain stream socket speaking
+ * newline-delimited fireaxe.job.v1 (src/svc/protocol.hh), plus the
+ * small blocking client the CLI's --connect mode and the smoke tests
+ * use.
+ *
+ * Server shape: one accept loop (poll over the listen socket and a
+ * self-pipe, so a signal handler can wake it), one reader thread per
+ * connection, and one mutex per connection serializing every write
+ * back to it — job results, status edges, and telemetry stream lines
+ * land on the socket whole-line-atomically even when several jobs
+ * for the same client run concurrently in the service's worker pool.
+ *
+ * Shutdown: requestShutdown() is async-signal-safe (an atomic flag
+ * and one write() to the self-pipe). run() then stops accepting,
+ * drains the service — in-flight jobs quiesce and report stopped
+ * results through their connections — and joins everything before
+ * returning.
+ */
+
+#ifndef FIREAXE_SVC_SERVER_HH
+#define FIREAXE_SVC_SERVER_HH
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/jobspec.hh"
+#include "svc/service.hh"
+
+namespace fireaxe::svc {
+
+struct ServerConfig
+{
+    /** Filesystem path of the listening socket (unlinked and
+     *  re-bound on start). */
+    std::string socketPath;
+    ServiceConfig service;
+};
+
+class Server
+{
+  public:
+    explicit Server(const ServerConfig &cfg);
+    ~Server();
+
+    /** Bind + listen. False with a diagnostic on failure. */
+    bool start(std::string &error);
+
+    /** Serve until requestShutdown(); drains the service and joins
+     *  every connection before returning. */
+    void run();
+
+    /** Async-signal-safe shutdown trigger (SIGTERM/SIGINT path). */
+    void requestShutdown();
+
+    SimService &service() { return service_; }
+
+    const std::string &socketPath() const { return cfg_.socketPath; }
+
+  private:
+    void handleConnection(int fd);
+
+    ServerConfig cfg_;
+    SimService service_;
+    int listenFd_ = -1;
+    int wakePipe_[2] = {-1, -1};
+    std::atomic<bool> shutdown_{false};
+    std::mutex threadsMtx_;
+    std::vector<std::thread> threads_;
+};
+
+/**
+ * Blocking line-oriented client. Connect, send request lines, read
+ * response lines; readLine() returns false on EOF or error.
+ */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client() { close(); }
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    bool connect(const std::string &socket_path, std::string &error);
+    bool sendLine(const std::string &line, std::string &error);
+    bool readLine(std::string &line, std::string &error);
+    void close();
+    bool connected() const { return fd_ >= 0; }
+
+    /** Render + send a submit request for @p spec. */
+    bool submit(const JobSpec &spec, std::string &error);
+
+  private:
+    int fd_ = -1;
+    std::string buf_;
+};
+
+} // namespace fireaxe::svc
+
+#endif // FIREAXE_SVC_SERVER_HH

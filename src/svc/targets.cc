@@ -1,0 +1,113 @@
+#include "svc/targets.hh"
+
+#include <set>
+
+#include "ripper/nocselect.hh"
+#include "target/accelerators.hh"
+#include "target/big_core.hh"
+#include "target/bus_soc.hh"
+#include "target/noc_soc.hh"
+#include "target/paper_examples.hh"
+
+namespace fireaxe::svc {
+
+namespace {
+
+ripper::PartitionSpec
+singleGroup(const char *group, std::set<std::string> paths)
+{
+    ripper::PartitionSpec spec;
+    spec.groups.push_back({group, std::move(paths), 1});
+    return spec;
+}
+
+} // namespace
+
+const std::vector<TargetInfo> &
+targetRegistry()
+{
+    static const std::vector<TargetInfo> targets = {
+        {"fig2", "paper Fig. 2 two-block example",
+         [] { return target::buildFig2Target(); },
+         [](const firrtl::Circuit &) {
+             return singleGroup("blockB", {"blockB"});
+         }},
+        {"fig3", "paper Fig. 3 producer/consumer example",
+         [] { return target::buildFig3Target(); },
+         [](const firrtl::Circuit &) {
+             return singleGroup("consumer", {"consumer"});
+         }},
+        {"bus-soc", "bus-based SoC, two tiles pulled out",
+         [] {
+             target::BusSocConfig cfg;
+             cfg.numTiles = 4;
+             cfg.memWords = 256;
+             return target::buildBusSoc(cfg);
+         },
+         [](const firrtl::Circuit &) {
+             return singleGroup("tiles", target::busSocTilePaths(2));
+         }},
+        {"ring-noc", "ring NoC SoC, one router node pulled out",
+         [] {
+             target::RingNocSocConfig cfg;
+             cfg.numNodes = 4;
+             cfg.memWords = 256;
+             return target::buildRingNocSoc(cfg);
+         },
+         [](const firrtl::Circuit &soc) {
+             return singleGroup("n1", ripper::selectNocGroup(soc, {1}));
+         }},
+        {"big-core", "frontend/backend split core (§V-B)",
+         [] {
+             target::BigCoreConfig cfg;
+             cfg.fetchWidth = 2;
+             cfg.fieldsPerInst = 3;
+             cfg.traceWords = 4;
+             cfg.lsuWords = 2;
+             return target::buildBigCore(cfg);
+         },
+         [](const firrtl::Circuit &) {
+             return singleGroup("backend", {"backend"});
+         }},
+        {"sha3", "SHA-3 accelerator SoC",
+         [] {
+             target::Sha3Config cfg;
+             cfg.roundCycles = 50;
+             return target::buildSha3Soc(cfg);
+         },
+         [](const firrtl::Circuit &) {
+             return singleGroup("accel", {"accel"});
+         }},
+        {"gemmini", "Gemmini-style accelerator SoC",
+         [] {
+             target::GemminiConfig cfg;
+             cfg.macCycles = 500;
+             return target::buildGemminiSoc(cfg);
+         },
+         [](const firrtl::Circuit &) {
+             return singleGroup("accel", {"accel"});
+         }},
+        {"boot", "boot-ROM instruction-stream SoC",
+         [] {
+             target::BootConfig cfg;
+             cfg.instructions = 2000;
+             cfg.fenceInterval = 256;
+             return target::buildBootSoc(cfg);
+         },
+         [](const firrtl::Circuit &) {
+             return singleGroup("accel", {"accel"});
+         }},
+    };
+    return targets;
+}
+
+const TargetInfo *
+findTarget(const std::string &name)
+{
+    for (const auto &t : targetRegistry())
+        if (name == t.name)
+            return &t;
+    return nullptr;
+}
+
+} // namespace fireaxe::svc

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The shipped-target registry: every src/target design with its
+ * canonical FireRipper partition spec, under one stable name. The
+ * command-line tools (`fireaxe-run --target NAME`, fireaxe-lint) and
+ * the simulation service (`fireaxed`, src/svc/jobspec.hh) all resolve
+ * targets here, so a job submitted over the wire names exactly the
+ * same designs a local CLI run does.
+ */
+
+#ifndef FIREAXE_SVC_TARGETS_HH
+#define FIREAXE_SVC_TARGETS_HH
+
+#include <string>
+#include <vector>
+
+#include "firrtl/ir.hh"
+#include "ripper/partition.hh"
+
+namespace fireaxe::svc {
+
+/** One shipped design with its canonical partition spec. */
+struct TargetInfo
+{
+    const char *name;
+    const char *summary;
+    firrtl::Circuit (*build)();
+    ripper::PartitionSpec (*spec)(const firrtl::Circuit &);
+};
+
+/** Every shipped target, in listing order. */
+const std::vector<TargetInfo> &targetRegistry();
+
+/** Registry entry by name; nullptr if unknown. */
+const TargetInfo *findTarget(const std::string &name);
+
+} // namespace fireaxe::svc
+
+#endif // FIREAXE_SVC_TARGETS_HH

@@ -1,21 +1,21 @@
 /**
  * @file
  * fireaxe-run: execute a shipped target design's partitioned
- * co-simulation from the command line, with the full recovery
- * surface exposed — periodic crash-consistent snapshots
- * (`--snapshot-every` / `--snapshot-dir`) and whole-run resume from
- * a committed snapshot (`--resume`).
+ * co-simulation, either directly in this process or — with
+ * `--connect SOCKET` — by submitting the same job to a running
+ * `fireaxed` daemon over the fireaxe.job.v1 protocol.
  *
- * Built for the crash-recovery smoke test in CI: a run can be
- * SIGKILLed mid-flight and resumed from its last snapshot, and the
- * printed `final_sig` (FNV-1a over every partition's final signal
- * table) plus the suffix `trace_hash` (FNV-1a over per-cycle output
- * tokens from `--hash-from` onward) must match an uninterrupted
- * golden run — that is the bit-exactness contract of src/recovery.
+ * Both modes funnel through the same svc::JobSpec → svc::JobRunner
+ * pipeline, so the printed `trace_hash` / `final_sig` are identical
+ * whether a job ran here or in the daemon (the CI smoke test asserts
+ * exactly that). The full recovery surface stays exposed: periodic
+ * crash-consistent snapshots (`--snapshot-every` / `--snapshot-dir`)
+ * and whole-run resume from a committed snapshot (`--resume`).
  *
  * Output is `key value` lines on stdout (grep-friendly), plus an
  * optional `--json FILE` row for sweep tooling. Exit status: 0 ok,
- * 2 usage errors, 3 runtime/restore failures, 4 deadlock.
+ * 2 usage errors, 3 runtime/restore/verification failures, 4
+ * deadlock.
  */
 
 #include <cstdint>
@@ -23,21 +23,16 @@
 #include <fstream>
 #include <iostream>
 #include <string>
-#include <vector>
 
-#include "obs/telemetry.hh"
-#include "platform/executor.hh"
-#include "platform/fpga.hh"
+#include "obs/jsonparse.hh"
 #include "sweep_common.hh"
-#include "recovery/snapshot.hh"
-#include "ripper/partition.hh"
-#include "rtlsim/engine.hh"
-#include "targets_common.hh"
-#include "transport/fault.hh"
-#include "transport/link.hh"
+#include "svc/jobrunner.hh"
+#include "svc/jobspec.hh"
+#include "svc/protocol.hh"
+#include "svc/server.hh"
+#include "svc/targets.hh"
 
 using namespace fireaxe;
-using tools::ToolTarget;
 
 namespace {
 
@@ -49,6 +44,8 @@ usage(std::ostream &os, int status)
           "options:\n"
           "  --target NAME       shipped design to run (required)\n"
           "  --list-targets      print the target registry and exit\n"
+          "  --connect SOCKET    submit the job to a fireaxed daemon\n"
+          "                      at SOCKET instead of running here\n"
           "  --cycles N          target cycles to simulate "
           "(default 2000)\n"
           "  --mode exact|fast   partitioning mode (default exact)\n"
@@ -70,6 +67,10 @@ usage(std::ostream &os, int status)
           "trace_hash\n"
           "                      (a resume raises this to the resume "
           "cycle)\n"
+          "  --channel-capacity N\n"
+          "                      override every planned channel's "
+          "token\n"
+          "                      capacity (0 is statically invalid)\n"
           "  --json FILE         append a JSON result row to FILE\n"
           "  --stream FILE       streaming telemetry JSONL (also "
           "FIREAXE_STREAM);\n"
@@ -81,7 +82,7 @@ usage(std::ostream &os, int status)
           "cycles (default 256)\n"
           "\n"
           "targets:\n";
-    for (const auto &t : tools::toolTargets())
+    for (const auto &t : svc::targetRegistry())
         os << "  " << t.name << "  " << t.summary << "\n";
     return status;
 }
@@ -99,18 +100,164 @@ parseU64(const std::string &flag, const std::string &text)
     return v;
 }
 
+/** The uniform key-value report both modes print. */
+void
+printOutcome(const std::string &target, const svc::RunOutcome &o)
+{
+    std::cout << "target " << target << "\n"
+              << "cycles " << o.result.targetCycles << "\n"
+              << "resume_cycle " << o.resumeCycle << "\n"
+              << "hash_from " << o.hashFrom << "\n"
+              << "trace_hash " << svc::hexHash(o.traceHash) << "\n"
+              << "final_sig " << svc::hexHash(o.finalSig) << "\n"
+              << "artifact_hash " << svc::hexHash(o.artifactHash)
+              << "\n"
+              << "snapshots " << o.snapshots << "\n"
+              << "snapshot_bytes " << o.snapshotBytes << "\n"
+              << "snapshot_wall_ms " << o.snapshotWallMs << "\n"
+              << "restores " << o.restores << "\n"
+              << "host_time_ns " << o.result.hostTimeNs << "\n"
+              << "sim_rate_mhz " << o.result.simRateMhz() << "\n"
+              << "retransmits " << o.result.retransmits << "\n"
+              << "deadlocked " << (o.result.deadlocked ? 1 : 0)
+              << "\n"
+              << "stopped " << (o.result.stopped ? 1 : 0) << "\n"
+              << "elab_cache_hit " << (o.elabCacheHit ? 1 : 0)
+              << "\n"
+              << "verify_cache_hit " << (o.verifyCacheHit ? 1 : 0)
+              << "\n"
+              << "program_cache_hit " << (o.programCacheHit ? 1 : 0)
+              << "\n";
+}
+
+void
+appendJsonRow(const std::string &json_path, const svc::JobSpec &spec,
+              const svc::RunOutcome &o)
+{
+    // One JSON object per line, appended — sweep tooling treats the
+    // file as JSONL. The identity prefix is the uniform one from
+    // bench/sweep_common.hh.
+    std::string engine = spec.engine.empty()
+                             ? rtlsim::toString(
+                                   rtlsim::defaultEvalEngine())
+                             : spec.engine;
+    bench::JsonRow row;
+    bench::addRunIdentity(row, "fireaxe.run.v1", spec.target,
+                          o.planHash, o.artifactHash, spec.backend,
+                          engine, spec.workers);
+    row.field("mode", spec.mode)
+        .field("cycles", o.result.targetCycles)
+        .field("resume_cycle", o.resumeCycle)
+        .field("trace_hash", o.traceHash)
+        .field("final_sig", o.finalSig)
+        .field("snapshots", o.snapshots)
+        .field("snapshot_bytes", o.snapshotBytes)
+        .field("snapshot_wall_ms", o.snapshotWallMs)
+        .field("host_time_ns", o.result.hostTimeNs)
+        .field("sim_rate_mhz", o.result.simRateMhz())
+        .field("retransmits", o.result.retransmits)
+        .field("deadlocked", o.result.deadlocked);
+    std::ofstream js(json_path, std::ios::app);
+    js << row.str() << "\n";
+}
+
+/**
+ * Client mode: submit over the socket, forward stream lines into
+ * the --stream file, and reprint the daemon's result in the same
+ * key-value format direct mode uses.
+ */
+int
+runConnected(const std::string &socket_path, svc::JobSpec spec,
+             const std::string &stream_file)
+{
+    // The daemon streams telemetry back over the protocol; the
+    // client materializes the file locally.
+    std::ofstream stream_os;
+    if (!stream_file.empty()) {
+        spec.stream = true;
+        spec.streamPath.clear();
+        stream_os.open(stream_file);
+        if (!stream_os) {
+            std::cerr << "fireaxe-run: cannot open '" << stream_file
+                      << "'\n";
+            return 2;
+        }
+    }
+
+    svc::Client client;
+    std::string error;
+    if (!client.connect(socket_path, error) ||
+        !client.submit(spec, error)) {
+        std::cerr << "fireaxe-run: " << error << "\n";
+        return 3;
+    }
+
+    std::string line;
+    while (client.readLine(line, error)) {
+        obs::JsonValue v;
+        std::string perr;
+        if (!obs::parseJson(line, v, perr)) {
+            std::cerr << "fireaxe-run: bad response line: " << perr
+                      << "\n";
+            return 3;
+        }
+        std::string type = v.text("type");
+        if (type == "stream") {
+            if (stream_os.is_open()) {
+                const obs::JsonValue *data = v.get("data");
+                if (data) {
+                    // Re-extract the raw object text: the line is
+                    // {"type":"stream","job":N,"data":<obj>} and
+                    // "data" is always last, so slice it back out.
+                    size_t at = line.find("\"data\":");
+                    stream_os << line.substr(at + 7,
+                                             line.size() - at - 8)
+                              << "\n";
+                }
+            }
+        } else if (type == "error") {
+            std::cerr << "fireaxe-run: daemon rejected job: "
+                      << v.text("message") << "\n";
+            std::string report = v.text("report");
+            if (!report.empty())
+                std::cerr << report;
+            return 3;
+        } else if (type == "result") {
+            svc::RunOutcome o;
+            o.result.targetCycles = v.u64("cycles");
+            o.resumeCycle = v.u64("resume_cycle");
+            o.hashFrom = v.u64("hash_from");
+            o.traceHash = svc::parseHexHash(v.text("trace_hash"));
+            o.finalSig = svc::parseHexHash(v.text("final_sig"));
+            o.artifactHash =
+                svc::parseHexHash(v.text("artifact_hash"));
+            o.planHash = svc::parseHexHash(v.text("plan_hash"));
+            o.snapshots = v.u64("snapshots");
+            o.restores = v.u64("restores");
+            o.result.hostTimeNs = v.num("host_time_ns");
+            o.result.retransmits = v.u64("retransmits");
+            o.result.deadlocked = v.flag("deadlocked");
+            o.result.stopped = v.flag("stopped");
+            o.elabCacheHit = v.flag("elab_cache_hit");
+            o.verifyCacheHit = v.flag("verify_cache_hit");
+            o.programCacheHit = v.flag("program_cache_hit");
+            printOutcome(v.text("target", spec.target), o);
+            return o.result.deadlocked ? 4 : 0;
+        }
+        // ack / status lines: lifecycle noise, not results.
+    }
+    std::cerr << "fireaxe-run: connection closed before a result: "
+              << error << "\n";
+    return 3;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string target_name, mode = "exact", backend = "sequential";
-    std::string engine, snapshot_dir, json_path, stream_path;
-    uint64_t cycles = 2000, snapshot_every = 0, hash_from = 0;
-    uint64_t seed = 0xF1A57ULL, stream_every = 0;
-    unsigned workers = 0, sample_every = 64;
-    double fault_rate = 0.0;
-    bool resume = false;
+    svc::JobSpec spec;
+    std::string json_path, stream_path, connect_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -123,44 +270,51 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--target") {
-            target_name = value("--target");
+            spec.target = value("--target");
         } else if (arg == "--list-targets") {
-            for (const auto &t : tools::toolTargets())
+            for (const auto &t : svc::targetRegistry())
                 std::cout << t.name << "  " << t.summary << "\n";
             return 0;
+        } else if (arg == "--connect") {
+            connect_path = value("--connect");
         } else if (arg == "--cycles") {
-            cycles = parseU64(arg, value("--cycles"));
+            spec.cycles = parseU64(arg, value("--cycles"));
         } else if (arg == "--mode") {
-            mode = value("--mode");
+            spec.mode = value("--mode");
         } else if (arg == "--backend") {
-            backend = value("--backend");
+            spec.backend = value("--backend");
         } else if (arg == "--workers") {
-            workers =
+            spec.workers =
                 unsigned(parseU64(arg, value("--workers")));
         } else if (arg == "--engine") {
-            engine = value("--engine");
+            spec.engine = value("--engine");
         } else if (arg == "--fault-rate") {
-            fault_rate = std::atof(value("--fault-rate").c_str());
+            spec.faultRate =
+                std::atof(value("--fault-rate").c_str());
         } else if (arg == "--seed") {
-            seed = parseU64(arg, value("--seed"));
+            spec.seed = parseU64(arg, value("--seed"));
         } else if (arg == "--snapshot-every") {
-            snapshot_every =
+            spec.snapshotEvery =
                 parseU64(arg, value("--snapshot-every"));
         } else if (arg == "--snapshot-dir") {
-            snapshot_dir = value("--snapshot-dir");
+            spec.snapshotDir = value("--snapshot-dir");
         } else if (arg == "--resume") {
-            resume = true;
+            spec.resume = true;
         } else if (arg == "--hash-from") {
-            hash_from = parseU64(arg, value("--hash-from"));
+            spec.hashFrom = parseU64(arg, value("--hash-from"));
+        } else if (arg == "--channel-capacity") {
+            spec.channelCapacity =
+                int(parseU64(arg, value("--channel-capacity")));
         } else if (arg == "--json") {
             json_path = value("--json");
         } else if (arg == "--stream") {
             stream_path = value("--stream");
         } else if (arg == "--sample-every") {
-            sample_every =
+            spec.sampleEvery =
                 unsigned(parseU64(arg, value("--sample-every")));
         } else if (arg == "--stream-every") {
-            stream_every = parseU64(arg, value("--stream-every"));
+            spec.streamEvery =
+                parseU64(arg, value("--stream-every"));
         } else if (arg == "--help" || arg == "-h") {
             return usage(std::cout, 0);
         } else {
@@ -170,175 +324,40 @@ main(int argc, char **argv)
         }
     }
 
-    if (target_name.empty())
+    if (spec.target.empty())
         return usage(std::cerr, 2);
-    const ToolTarget *t = tools::findToolTarget(target_name);
-    if (!t) {
-        std::cerr << "fireaxe-run: unknown target '" << target_name
-                  << "'\n";
-        return usage(std::cerr, 2);
-    }
-    if (mode != "exact" && mode != "fast") {
-        std::cerr << "fireaxe-run: --mode must be exact or fast\n";
+    std::string bad = spec.validate();
+    if (!bad.empty()) {
+        std::cerr << "fireaxe-run: " << bad << "\n";
         return 2;
     }
-    if (backend != "sequential" && backend != "parallel") {
-        std::cerr << "fireaxe-run: --backend must be sequential or "
-                     "parallel\n";
-        return 2;
-    }
-    if (resume && snapshot_dir.empty()) {
+    if (spec.resume && spec.snapshotDir.empty()) {
         std::cerr << "fireaxe-run: --resume needs --snapshot-dir\n";
         return 2;
     }
 
-    try {
-        auto circuit = t->build();
-        auto spec = t->spec(circuit);
-        spec.mode = mode == "fast" ? ripper::PartitionMode::Fast
-                                   : ripper::PartitionMode::Exact;
-        auto plan = ripper::partition(circuit, spec);
+    if (!connect_path.empty())
+        return runConnected(connect_path, spec, stream_path);
 
-        std::vector<platform::FpgaSpec> fpgas(
-            plan.partitions.size(), platform::alveoU250(100.0));
-        platform::MultiFpgaSim sim(plan, fpgas,
-                                   transport::qsfpAurora());
-
-        if (fault_rate > 0.0)
-            sim.setFaultModel(
-                transport::FaultConfig::uniform(fault_rate, seed));
-
-        platform::ExecConfig exec;
-        exec.backend = backend == "parallel"
-                           ? platform::ExecBackend::Parallel
-                           : platform::ExecBackend::Sequential;
-        exec.workers = workers;
-        if (!engine.empty())
-            exec.evalEngine = rtlsim::parseEvalEngine(engine);
-        exec.snapshotEveryCycles = snapshot_every;
-        exec.snapshotDir = snapshot_dir;
-        sim.setExecConfig(exec);
-
-        // Streaming telemetry: --stream (or FIREAXE_STREAM in the
-        // environment) turns on metrics + token tracing and exports
-        // a fireaxe.stream.v1 JSONL file for fireaxe-trace.
-        const char *env_stream = std::getenv("FIREAXE_STREAM");
-        if (!stream_path.empty() || (env_stream && *env_stream)) {
-            obs::TelemetryConfig tcfg;
-            tcfg.streamPath = stream_path; // empty = FIREAXE_STREAM
-            tcfg.tokenSampleEvery = sample_every;
-            tcfg.streamEveryCycles = stream_every;
-            tcfg.runLabel = target_name;
-            sim.setTelemetry(tcfg);
-        }
-
-        // Per-partition running trace hash: each partition's monitor
-        // runs on that partition's owning thread, so each slot has a
-        // single writer under either backend. Cycles below hash_from
-        // are excluded symmetrically in a resumed run and in the
-        // golden reference (pass the resume cycle via --hash-from to
-        // the golden), which makes the two suffix hashes comparable.
-        size_t nparts = plan.partitions.size();
-        std::vector<uint64_t> traceHash(
-            nparts, 1469598103934665603ull);
-        for (size_t p = 0; p < nparts; ++p) {
-            sim.setMonitor(
-                int(p), [&, p](rtlsim::Simulator &s, unsigned thread,
-                               uint64_t cycle) {
-                    if (cycle < hash_from)
-                        return;
-                    uint64_t h = traceHash[p];
-                    h = recovery::fnv1aMix(h, cycle);
-                    h = recovery::fnv1aMix(h, thread);
-                    for (size_t i = 0; i < s.numSignals(); ++i)
-                        h = recovery::fnv1aMix(h,
-                                               s.peekIdx(int(i)));
-                    traceHash[p] = h;
-                });
-        }
-
-        uint64_t resume_cycle = 0;
-        if (resume) {
-            std::string error;
-            if (!sim.restore(snapshot_dir, error)) {
-                std::cerr << "fireaxe-run: restore failed: " << error
-                          << "\n";
-                return 3;
-            }
-            // Partitions may sit at different cycles at the cut; the
-            // comparable suffix starts where the *furthest* one
-            // resumes, so raise the trace filter to that cycle.
-            for (size_t p = 0; p < nparts; ++p)
-                resume_cycle =
-                    std::max(resume_cycle,
-                             sim.model(int(p)).minTargetCycle());
-            hash_from = std::max(hash_from, resume_cycle);
-        }
-
-        auto result = sim.run(cycles);
-
-        uint64_t trace = 1469598103934665603ull;
-        for (size_t p = 0; p < nparts; ++p)
-            trace = recovery::fnv1aMix(trace, traceHash[p]);
-
-        uint64_t final_sig = 1469598103934665603ull;
-        for (size_t p = 0; p < nparts; ++p) {
-            const auto &m = sim.model(int(p));
-            final_sig =
-                recovery::fnv1aMix(final_sig, m.minTargetCycle());
-            for (size_t i = 0; i < m.sim().numSignals(); ++i)
-                final_sig = recovery::fnv1aMix(
-                    final_sig, m.sim().peekIdx(int(i)));
-        }
-
-        std::cout << "target " << target_name << "\n"
-                  << "cycles " << result.targetCycles << "\n"
-                  << "resume_cycle " << resume_cycle << "\n"
-                  << "hash_from " << hash_from << "\n"
-                  << "trace_hash 0x" << std::hex << trace << std::dec
-                  << "\n"
-                  << "final_sig 0x" << std::hex << final_sig
-                  << std::dec << "\n"
-                  << "snapshots " << sim.snapshotCount() << "\n"
-                  << "snapshot_bytes " << sim.lastSnapshotBytes()
-                  << "\n"
-                  << "snapshot_wall_ms " << sim.totalSnapshotWallMs()
-                  << "\n"
-                  << "restores " << sim.restoreCount() << "\n"
-                  << "host_time_ns " << result.hostTimeNs << "\n"
-                  << "sim_rate_mhz " << result.simRateMhz() << "\n"
-                  << "retransmits " << result.retransmits << "\n"
-                  << "deadlocked " << (result.deadlocked ? 1 : 0)
-                  << "\n";
-
-        if (!json_path.empty()) {
-            // One JSON object per line, appended — sweep tooling
-            // treats the file as JSONL. The identity prefix is the
-            // uniform one from bench/sweep_common.hh.
-            bench::JsonRow row;
-            bench::addRunIdentity(
-                row, "fireaxe.run.v1", target_name, sim.planHash(),
-                backend, rtlsim::toString(exec.evalEngine),
-                exec.workers);
-            row.field("mode", mode)
-                .field("cycles", result.targetCycles)
-                .field("resume_cycle", resume_cycle)
-                .field("trace_hash", trace)
-                .field("final_sig", final_sig)
-                .field("snapshots", sim.snapshotCount())
-                .field("snapshot_bytes", sim.lastSnapshotBytes())
-                .field("snapshot_wall_ms", sim.totalSnapshotWallMs())
-                .field("host_time_ns", result.hostTimeNs)
-                .field("sim_rate_mhz", result.simRateMhz())
-                .field("retransmits", result.retransmits)
-                .field("deadlocked", result.deadlocked);
-            std::ofstream js(json_path, std::ios::app);
-            js << row.str() << "\n";
-        }
-
-        return result.deadlocked ? 4 : 0;
-    } catch (const std::exception &e) {
-        std::cerr << "fireaxe-run: " << e.what() << "\n";
-        return 3;
+    // Direct mode: --stream (or FIREAXE_STREAM in the environment)
+    // turns on metrics + token tracing and exports a
+    // fireaxe.stream.v1 JSONL file for fireaxe-trace.
+    spec.streamPath = stream_path;
+    if (spec.streamPath.empty()) {
+        if (const char *env = std::getenv("FIREAXE_STREAM");
+            env && *env)
+            spec.streamPath = env;
     }
+
+    svc::RunOutcome o = svc::runJob(spec);
+    if (!o.error.empty()) {
+        std::cerr << "fireaxe-run: " << o.error << "\n";
+        if (!o.verifyReport.empty())
+            std::cerr << o.verifyReport;
+        return o.exitCode;
+    }
+    printOutcome(spec.target, o);
+    if (!json_path.empty())
+        appendJsonRow(json_path, spec, o);
+    return o.exitCode;
 }

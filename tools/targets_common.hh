@@ -1,131 +1,31 @@
 /**
  * @file
- * The shipped-target registry shared by the command-line tools
- * (fireaxe-lint, fireaxe-run): every src/target design with its
- * canonical FireRipper partition spec, so each tool exposes the same
- * `--target NAME` surface over the same eight designs.
+ * Compatibility shim: the shipped-target registry moved into the
+ * service library (src/svc/targets.hh) so the daemon, the CLI tools,
+ * and the tests all resolve `--target NAME` against one table. The
+ * tools:: aliases below keep existing tool code (fireaxe-lint)
+ * compiling unchanged.
  */
 
 #ifndef FIREAXE_TOOLS_TARGETS_COMMON_HH
 #define FIREAXE_TOOLS_TARGETS_COMMON_HH
 
-#include <set>
-#include <string>
-#include <vector>
-
-#include "firrtl/ir.hh"
-#include "ripper/nocselect.hh"
-#include "ripper/partition.hh"
-#include "target/accelerators.hh"
-#include "target/big_core.hh"
-#include "target/bus_soc.hh"
-#include "target/noc_soc.hh"
-#include "target/paper_examples.hh"
+#include "svc/targets.hh"
 
 namespace fireaxe::tools {
 
-/** One shipped design with its canonical partition spec. */
-struct ToolTarget
-{
-    const char *name;
-    const char *summary;
-    firrtl::Circuit (*build)();
-    ripper::PartitionSpec (*spec)(const firrtl::Circuit &);
-};
-
-inline ripper::PartitionSpec
-singleGroup(const char *group, std::set<std::string> paths)
-{
-    ripper::PartitionSpec spec;
-    spec.groups.push_back({group, std::move(paths), 1});
-    return spec;
-}
+using ToolTarget = svc::TargetInfo;
 
 inline const std::vector<ToolTarget> &
 toolTargets()
 {
-    static const std::vector<ToolTarget> targets = {
-        {"fig2", "paper Fig. 2 two-block example",
-         [] { return target::buildFig2Target(); },
-         [](const firrtl::Circuit &) {
-             return singleGroup("blockB", {"blockB"});
-         }},
-        {"fig3", "paper Fig. 3 producer/consumer example",
-         [] { return target::buildFig3Target(); },
-         [](const firrtl::Circuit &) {
-             return singleGroup("consumer", {"consumer"});
-         }},
-        {"bus-soc", "bus-based SoC, two tiles pulled out",
-         [] {
-             target::BusSocConfig cfg;
-             cfg.numTiles = 4;
-             cfg.memWords = 256;
-             return target::buildBusSoc(cfg);
-         },
-         [](const firrtl::Circuit &) {
-             return singleGroup("tiles", target::busSocTilePaths(2));
-         }},
-        {"ring-noc", "ring NoC SoC, one router node pulled out",
-         [] {
-             target::RingNocSocConfig cfg;
-             cfg.numNodes = 4;
-             cfg.memWords = 256;
-             return target::buildRingNocSoc(cfg);
-         },
-         [](const firrtl::Circuit &soc) {
-             return singleGroup("n1", ripper::selectNocGroup(soc, {1}));
-         }},
-        {"big-core", "frontend/backend split core (§V-B)",
-         [] {
-             target::BigCoreConfig cfg;
-             cfg.fetchWidth = 2;
-             cfg.fieldsPerInst = 3;
-             cfg.traceWords = 4;
-             cfg.lsuWords = 2;
-             return target::buildBigCore(cfg);
-         },
-         [](const firrtl::Circuit &) {
-             return singleGroup("backend", {"backend"});
-         }},
-        {"sha3", "SHA-3 accelerator SoC",
-         [] {
-             target::Sha3Config cfg;
-             cfg.roundCycles = 50;
-             return target::buildSha3Soc(cfg);
-         },
-         [](const firrtl::Circuit &) {
-             return singleGroup("accel", {"accel"});
-         }},
-        {"gemmini", "Gemmini-style accelerator SoC",
-         [] {
-             target::GemminiConfig cfg;
-             cfg.macCycles = 500;
-             return target::buildGemminiSoc(cfg);
-         },
-         [](const firrtl::Circuit &) {
-             return singleGroup("accel", {"accel"});
-         }},
-        {"boot", "boot-ROM instruction-stream SoC",
-         [] {
-             target::BootConfig cfg;
-             cfg.instructions = 2000;
-             cfg.fenceInterval = 256;
-             return target::buildBootSoc(cfg);
-         },
-         [](const firrtl::Circuit &) {
-             return singleGroup("accel", {"accel"});
-         }},
-    };
-    return targets;
+    return svc::targetRegistry();
 }
 
 inline const ToolTarget *
 findToolTarget(const std::string &name)
 {
-    for (const auto &t : toolTargets())
-        if (name == t.name)
-            return &t;
-    return nullptr;
+    return svc::findTarget(name);
 }
 
 } // namespace fireaxe::tools
