@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Static-analysis benchmark: predicted-vs-measured FMR over every
+ * shipped target, plus the analyzer's own latency.
+ *
+ * For each target the bench runs the cut-cost analyzer (pure static
+ * prediction, no simulation), then actually co-simulates the same
+ * plan and reads the measured per-partition FMR back from telemetry.
+ * The printed table is the EXPERIMENTS.md predicted-vs-measured
+ * table; `--json FILE` emits one row per target for tooling. The
+ * analyzer must stay under 100 ms per target (the CI lint-smoke
+ * gate) — the `analyze_ms` column makes regressions visible here
+ * too.
+ *
+ * Usage: bench_analyze [--cycles N] [--json FILE]
+ */
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyze/cutcost.hh"
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "obs/json.hh"
+#include "platform/executor.hh"
+#include "platform/fpga.hh"
+#include "ripper/partition.hh"
+#include "svc/targets.hh"
+#include "transport/link.hh"
+
+using namespace fireaxe;
+
+int
+main(int argc, char **argv)
+{
+    uint64_t cycles = 2000;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (!strcmp(argv[i], "--cycles") && i + 1 < argc)
+            cycles = std::strtoull(argv[++i], nullptr, 10);
+        else if (!strcmp(argv[i], "--json") && i + 1 < argc)
+            json_path = argv[++i];
+        else
+            fatal("usage: bench_analyze [--cycles N] [--json FILE]");
+    }
+
+    TextTable table({"target", "predicted FMR lb", "measured FMR",
+                     "ratio", "top blocker", "agrees", "analyze_ms"});
+    std::ostringstream rows;
+    obs::JsonWriter rw(rows);
+    rw.beginArray();
+
+    for (const auto &t : svc::targetRegistry()) {
+        auto circuit = t.build();
+        auto plan = ripper::partition(circuit, t.spec(circuit));
+        analyze::CutCostOptions copts; // qsfp-aurora @ 50 MHz
+        auto cost = analyze::analyzeCutCost(plan, copts);
+
+        platform::MultiFpgaSim sim(
+            plan,
+            std::vector<platform::FpgaSpec>(plan.partitions.size(),
+                                            platform::alveoU250(50.0)),
+            transport::qsfpAurora());
+        sim.setTelemetry({});
+        auto result = sim.run(cycles);
+        if (result.deadlocked)
+            fatal("bench_analyze: '", t.name, "' deadlocked");
+
+        std::vector<double> fmrs(plan.partitionNames.size(), 0.0);
+        double measured = 0.0;
+        size_t slowest = 0;
+        for (size_t p = 0; p < plan.partitionNames.size(); ++p) {
+            fmrs[p] = result.metrics.gauge(
+                "part." + plan.partitionNames[p] + ".fmr");
+            if (fmrs[p] > measured) {
+                measured = fmrs[p];
+                slowest = p;
+            }
+        }
+
+        // Agreement: some measured-slowest partition's predicted
+        // blocker sits in the top predicted-chain tie set. Ties on
+        // both sides are real — symmetric cuts (fig2) pace both
+        // partitions identically, so partitions within 2% of the
+        // max count as slowest.
+        const std::string &blocker =
+            cost.partitions[slowest].blockingChannel;
+        bool agrees = false;
+        for (size_t p = 0; p < fmrs.size(); ++p) {
+            if (fmrs[p] < measured * 0.98)
+                continue;
+            for (const auto &c : cost.channels)
+                if (!cost.channels.empty() &&
+                    c.chainNs == cost.channels.front().chainNs &&
+                    c.name == cost.partitions[p].blockingChannel)
+                    agrees = true;
+        }
+
+        double ratio =
+            cost.predictedFmrLb > 0.0 ? measured / cost.predictedFmrLb
+                                      : 0.0;
+        char pred[32], meas[32], rat[32], ms[32];
+        snprintf(pred, sizeof(pred), "%.1f", cost.predictedFmrLb);
+        snprintf(meas, sizeof(meas), "%.1f", measured);
+        snprintf(rat, sizeof(rat), "%.2fx", ratio);
+        snprintf(ms, sizeof(ms), "%.2f", cost.analysisMs);
+        table.addRow({t.name, pred, meas, rat, blocker,
+                      agrees ? "yes" : "NO", ms});
+
+        rw.beginObject();
+        rw.key("target");
+        rw.value(std::string(t.name));
+        rw.key("predicted_fmr_lb");
+        rw.value(cost.predictedFmrLb);
+        rw.key("measured_fmr");
+        rw.value(measured);
+        rw.key("ratio");
+        rw.value(ratio);
+        rw.key("top_blocker");
+        rw.value(blocker);
+        rw.key("agrees");
+        rw.value(agrees);
+        rw.key("analyze_ms");
+        rw.value(cost.analysisMs);
+        rw.key("within_2x");
+        rw.value(ratio >= 1.0 && ratio <= 2.0);
+        rw.endObject();
+    }
+    rw.endArray();
+
+    std::cout << "=== predicted vs measured FMR (" << cycles
+              << " target cycles, qsfp-aurora @ 50 MHz) ===\n";
+    table.print(std::cout);
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        os << rows.str() << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Constant propagation over a flattened module (SCCP-style, on the
+ * src/analyze dataflow framework).
+ *
+ * The lattice per signal is Bottom < Const(v) < Top: Bottom means "no
+ * value observed yet" (optimistic start), Const(v) means "provably
+ * equal to v in every cycle of every execution", Top means "varies or
+ * unknown". Register feedback is handled by joining the reset value
+ * with the fixpoint value of the next-value expression; registers
+ * without a reset network (Reg::hasReset == false) start at Top.
+ * Folding uses rtlsim/ops.hh, the same single definition of operator
+ * semantics both simulation engines execute, so "provably constant"
+ * here means bit-exactly constant in simulation.
+ *
+ * Clients: constant-driven boundary detection (IR009), the dead-logic
+ * refinement's mux-arm pruning, and X-reachability masking.
+ */
+
+#ifndef FIREAXE_ANALYZE_CONSTPROP_HH
+#define FIREAXE_ANALYZE_CONSTPROP_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "analyze/dataflow.hh"
+
+namespace fireaxe::analyze {
+
+/** One lattice value. */
+struct ConstValue
+{
+    enum class State { Bottom, Const, Top };
+    State state = State::Bottom;
+    uint64_t value = 0;
+
+    bool isConst() const { return state == State::Const; }
+    bool isTop() const { return state == State::Top; }
+
+    static ConstValue bottom() { return {}; }
+    static ConstValue top() { return {State::Top, 0}; }
+    static ConstValue of(uint64_t v) { return {State::Const, v}; }
+
+    /** Lattice join (least upper bound). */
+    static ConstValue join(const ConstValue &a, const ConstValue &b);
+
+    bool
+    operator==(const ConstValue &o) const
+    {
+        return state == o.state &&
+               (state != State::Const || value == o.value);
+    }
+};
+
+/** Result of a propagation run. */
+struct ConstPropResult
+{
+    std::map<std::string, ConstValue> values;
+
+    /** Is @p sig provably constant? Writes the value when so. */
+    bool isConst(const std::string &sig, uint64_t *out = nullptr) const;
+
+    const ConstValue &valueOf(const std::string &sig) const;
+
+    /** Abstractly evaluate an expression under the fixpoint values
+     *  (used by clients to re-query e.g. a pruned mux selector). */
+    ConstValue eval(const firrtl::ExprPtr &e) const;
+};
+
+/** Run constant propagation to a fixpoint over the graph. */
+ConstPropResult propagateConstants(const DataflowGraph &graph);
+
+} // namespace fireaxe::analyze
+
+#endif // FIREAXE_ANALYZE_CONSTPROP_HH

@@ -1,0 +1,497 @@
+#include "analyze/cutcost.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "analyze/dataflow.hh"
+#include "base/graph.hh"
+#include "base/logging.hh"
+#include "obs/json.hh"
+#include "passes/flatten.hh"
+
+namespace fireaxe::analyze {
+
+using ripper::ChannelPlan;
+using ripper::PartitionMode;
+using ripper::PartitionPlan;
+
+std::vector<std::vector<std::string>>
+channelDependencies(const PartitionPlan &plan,
+                    const std::vector<passes::PortDeps> &summaries)
+{
+    // (partition, input port) -> delivering channel index.
+    std::map<std::pair<int, std::string>, int> in_port_channel;
+    for (size_t c = 0; c < plan.channels.size(); ++c)
+        for (int n : plan.channels[c].netIndices)
+            in_port_channel[{plan.channels[c].dstPart,
+                             plan.nets[n].dstPort}] = int(c);
+
+    std::vector<std::vector<std::string>> out(plan.channels.size());
+    for (size_t c = 0; c < plan.channels.size(); ++c) {
+        const ChannelPlan &ch = plan.channels[c];
+        if (size_t(ch.srcPart) >= summaries.size())
+            continue;
+        std::set<std::string> deps;
+        for (int n : ch.netIndices) {
+            const auto &port_deps = summaries[ch.srcPart].deps;
+            auto it = port_deps.find(plan.nets[n].srcPort);
+            if (it == port_deps.end())
+                continue;
+            for (const auto &in : it->second) {
+                auto cit = in_port_channel.find({ch.srcPart, in});
+                if (cit != in_port_channel.end())
+                    deps.insert(plan.channels[cit->second].name);
+            }
+        }
+        out[c].assign(deps.begin(), deps.end());
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+partLabel(const PartitionPlan &plan, size_t p)
+{
+    if (p < plan.partitionNames.size() &&
+        !plan.partitionNames[p].empty())
+        return plan.partitionNames[p];
+    return "p" + std::to_string(p);
+}
+
+} // namespace
+
+CutCostReport
+analyzeCutCost(const PartitionPlan &plan,
+               const std::vector<passes::PortDeps> &summaries,
+               const CutCostOptions &options)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    CutCostReport report;
+    report.mode =
+        plan.mode == PartitionMode::Exact ? "exact" : "fast";
+    report.linkName = options.link.name;
+    report.hostClockMhz = options.hostClockMhz;
+    report.hostPeriodNs =
+        options.hostClockMhz > 0 ? 1000.0 / options.hostClockMhz : 0;
+
+    // Combinational depth of every boundary source port, from the
+    // flattened source partition.
+    std::vector<DataflowGraph> graphs;
+    graphs.reserve(plan.partitions.size());
+    for (const auto &pc : plan.partitions)
+        graphs.emplace_back(passes::flattenAll(pc));
+
+    report.channels.resize(plan.channels.size());
+    for (size_t c = 0; c < plan.channels.size(); ++c) {
+        const ChannelPlan &ch = plan.channels[c];
+        ChannelCost &cost = report.channels[c];
+        cost.index = int(c);
+        cost.name = ch.name;
+        cost.srcPart = ch.srcPart;
+        cost.dstPart = ch.dstPart;
+        cost.sinkClass = ch.sinkClass;
+        cost.widthBits = ch.widthBits;
+        cost.serNs = transport::tokenSerNs(options.link, ch.widthBits);
+        cost.flightNs = transport::tokenLatencyNs(options.link);
+        cost.costNs = cost.serNs + cost.flightNs;
+        cost.chainNs = cost.costNs;
+        cost.depChain = {ch.name};
+        if (size_t(ch.srcPart) < graphs.size()) {
+            for (int n : ch.netIndices)
+                cost.combDepth = std::max(
+                    cost.combDepth,
+                    graphs[ch.srcPart].combDepthOf(
+                        plan.nets[n].srcPort));
+        }
+    }
+
+    // Dependency chaining: only exact mode chains within a target
+    // cycle; fast-mode channels consume seed tokens from the
+    // previous cycle and never wait on each other.
+    std::map<std::string, size_t> by_name;
+    for (size_t c = 0; c < plan.channels.size(); ++c)
+        by_name[plan.channels[c].name] = c;
+    if (plan.mode == PartitionMode::Exact &&
+        !plan.channels.empty()) {
+        auto deps = channelDependencies(plan, summaries);
+        base::StringDigraph waits;
+        for (size_t c = 0; c < plan.channels.size(); ++c) {
+            waits.ensureNode(plan.channels[c].name);
+            for (const auto &d : deps[c])
+                if (by_name.count(d))
+                    waits.addEdge(d, plan.channels[c].name);
+        }
+        auto comps = waits.stronglyConnectedComponents();
+        std::reverse(comps.begin(), comps.end()); // deps first
+        for (const auto &comp : comps) {
+            if (comp.size() > 1 ||
+                (comp.size() == 1 &&
+                 waits.hasEdge(comp[0], comp[0]))) {
+                // A wait-for cycle (LBDN003 territory): leave the
+                // member chains at single-token cost.
+                report.cyclic = true;
+                continue;
+            }
+            ChannelCost &cost =
+                report.channels[by_name.at(comp[0])];
+            const ChannelCost *deepest = nullptr;
+            for (const auto &d : deps[cost.index]) {
+                auto it = by_name.find(d);
+                if (it == by_name.end())
+                    continue;
+                const ChannelCost &dep =
+                    report.channels[it->second];
+                if (!deepest || dep.chainNs > deepest->chainNs)
+                    deepest = &dep;
+            }
+            if (deepest) {
+                cost.chainNs = cost.costNs + deepest->chainNs;
+                cost.depChain = deepest->depChain;
+                cost.depChain.push_back(cost.name);
+            }
+        }
+    }
+
+    // Per-partition roll-up.
+    double total_chain = 0;
+    for (const auto &c : report.channels)
+        total_chain += c.chainNs;
+    report.partitions.resize(plan.partitions.size());
+    for (size_t p = 0; p < plan.partitions.size(); ++p) {
+        PartitionCost &pc = report.partitions[p];
+        pc.index = int(p);
+        pc.name = partLabel(plan, p);
+        pc.fame5Threads =
+            p < plan.fame5Threads.size() ? plan.fame5Threads[p] : 1;
+        pc.computeNs = report.hostPeriodNs * pc.fame5Threads;
+        const ChannelCost *blocker = nullptr;
+        for (const auto &c : report.channels) {
+            if (c.srcPart == int(p))
+                pc.outboundBits += c.widthBits;
+            if (c.dstPart != int(p))
+                continue;
+            pc.inboundBits += c.widthBits;
+            if (!blocker || c.chainNs > blocker->chainNs)
+                blocker = &c;
+        }
+        if (blocker) {
+            pc.waitNs = blocker->chainNs;
+            pc.blockingChannel = blocker->name;
+            report.channels[blocker->index].blocking = true;
+        }
+        pc.fmrLb = report.hostPeriodNs > 0
+                       ? (pc.waitNs + pc.computeNs) /
+                             report.hostPeriodNs
+                       : 1.0;
+        report.predictedFmrLb =
+            std::max(report.predictedFmrLb, pc.fmrLb);
+    }
+    for (auto &c : report.channels)
+        c.sharePct =
+            total_chain > 0 ? 100.0 * c.chainNs / total_chain : 0.0;
+
+    // Rank: deepest predicted chain first; name breaks ties
+    // deterministically.
+    std::sort(report.channels.begin(), report.channels.end(),
+              [](const ChannelCost &a, const ChannelCost &b) {
+                  if (a.chainNs != b.chainNs)
+                      return a.chainNs > b.chainNs;
+                  return a.name < b.name;
+              });
+    for (size_t i = 0; i < report.channels.size(); ++i)
+        report.channels[i].rank = int(i) + 1;
+
+    report.analysisMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    return report;
+}
+
+CutCostReport
+analyzeCutCost(const PartitionPlan &plan, const CutCostOptions &options)
+{
+    std::vector<passes::PortDeps> summaries;
+    summaries.reserve(plan.partitions.size());
+    for (const auto &pc : plan.partitions) {
+        passes::CombDepAnalysis analysis(pc,
+                                         passes::LoopPolicy::Record);
+        summaries.push_back(analysis.forModule(pc.topName));
+    }
+    return analyzeCutCost(plan, summaries, options);
+}
+
+void
+CutCostReport::writeJson(std::ostream &os,
+                         const std::string &target) const
+{
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.key("schema");
+    w.value("fireaxe.analysis.v1");
+    if (!target.empty()) {
+        w.key("target");
+        w.value(target);
+    }
+    w.key("mode");
+    w.value(mode);
+    w.key("link");
+    w.value(linkName);
+    w.key("host_clock_mhz");
+    w.value(hostClockMhz);
+    w.key("host_period_ns");
+    w.value(hostPeriodNs);
+    w.key("predicted_fmr_lb");
+    w.value(predictedFmrLb);
+    w.key("cyclic");
+    w.value(cyclic);
+    w.key("analysis_ms");
+    w.value(analysisMs);
+    w.key("partitions");
+    w.beginArray();
+    for (const auto &p : partitions) {
+        w.beginObject();
+        w.key("part");
+        w.value(p.index);
+        w.key("name");
+        w.value(p.name);
+        w.key("fame5_threads");
+        w.value(uint64_t(p.fame5Threads));
+        w.key("inbound_bits");
+        w.value(uint64_t(p.inboundBits));
+        w.key("outbound_bits");
+        w.value(uint64_t(p.outboundBits));
+        w.key("wait_ns");
+        w.value(p.waitNs);
+        w.key("compute_ns");
+        w.value(p.computeNs);
+        w.key("predicted_fmr_lb");
+        w.value(p.fmrLb);
+        w.key("blocking_channel");
+        w.value(p.blockingChannel);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("channels");
+    w.beginArray();
+    for (const auto &c : channels) {
+        w.beginObject();
+        w.key("rank");
+        w.value(c.rank);
+        w.key("id");
+        w.value(c.index);
+        w.key("name");
+        w.value(c.name);
+        w.key("src");
+        w.value(c.srcPart);
+        w.key("dst");
+        w.value(c.dstPart);
+        w.key("sink_class");
+        w.value(c.sinkClass);
+        w.key("width_bits");
+        w.value(uint64_t(c.widthBits));
+        w.key("comb_depth");
+        w.value(uint64_t(c.combDepth));
+        w.key("ser_ns");
+        w.value(c.serNs);
+        w.key("flight_ns");
+        w.value(c.flightNs);
+        w.key("cost_ns");
+        w.value(c.costNs);
+        w.key("chain_ns");
+        w.value(c.chainNs);
+        w.key("share_pct");
+        w.value(c.sharePct);
+        w.key("blocking");
+        w.value(c.blocking);
+        w.key("dep_chain");
+        w.beginArray();
+        for (const auto &d : c.depChain)
+            w.value(d);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+std::string
+CutCostReport::renderText() const
+{
+    std::ostringstream os;
+    os << "cut-cost prediction (" << mode << " mode, " << linkName
+       << " link, " << hostClockMhz << " MHz host):\n";
+    os << "  predicted FMR lower bound: " << predictedFmrLb
+       << (cyclic ? " [UNRELIABLE: wait-for cycle]" : "") << "\n";
+    for (const auto &p : partitions) {
+        os << "  partition " << p.index << " (" << p.name
+           << "): wait " << p.waitNs << " ns + compute "
+           << p.computeNs << " ns/cycle -> FMR >= " << p.fmrLb;
+        if (!p.blockingChannel.empty())
+            os << ", blocked by '" << p.blockingChannel << "'";
+        os << "\n";
+    }
+    for (const auto &c : channels) {
+        os << "  #" << c.rank << " " << c.name << ": "
+           << c.widthBits << " bits/cycle, comb depth "
+           << c.combDepth << ", chain " << c.chainNs << " ns ("
+           << c.sharePct << "%)";
+        if (c.depChain.size() > 1) {
+            os << " via";
+            for (const auto &d : c.depChain)
+                os << " '" << d << "'";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+PlacementCost
+estimatePlacementCost(const firrtl::Circuit &target,
+                      const passes::CombDepAnalysis &deps,
+                      const std::vector<std::vector<std::string>> &bins,
+                      const PlacementCostOptions &options)
+{
+    const firrtl::Module &top = target.top();
+    double host_period =
+        options.hostClockMhz > 0 ? 1000.0 / options.hostClockMhz
+                                 : 20.0;
+
+    PlacementCost result;
+    result.binWaitNs.assign(std::max<size_t>(bins.size(), 1), 0.0);
+    if (bins.size() <= 1) {
+        result.predictedFmrLb = 1.0;
+        return result;
+    }
+
+    std::map<std::string, int> bin_of; // instance -> bin; absent = 0
+    for (size_t b = 0; b < bins.size(); ++b)
+        for (const auto &inst : bins[b])
+            bin_of[inst] = int(b);
+
+    auto ownerBin = [&](const std::string &sig) {
+        auto [owner, field] = firrtl::splitRef(sig);
+        if (owner.empty() || !top.findInstance(owner))
+            return 0; // top-local logic rides with the rest partition
+        auto it = bin_of.find(owner);
+        return it != bin_of.end() ? it->second : 0;
+    };
+
+    /** Is @p sig, read at the top level, combinationally coupled to
+     *  its owner's inputs (a sink-class source in LI-BDN terms)? */
+    auto isCombSource = [&](const std::string &sig) {
+        auto [owner, field] = firrtl::splitRef(sig);
+        const firrtl::Instance *inst =
+            owner.empty() ? nullptr : top.findInstance(owner);
+        if (inst) {
+            const auto &summary = deps.forModule(inst->moduleName);
+            return summary.isSinkOutput(field);
+        }
+        // Top-local wires are comb; regs and rdata are state.
+        firrtl::SignalKind kind = top.resolve(target, sig).kind;
+        return kind == firrtl::SignalKind::Wire;
+    };
+
+    // Directed cross-bin traffic: total bits and comb-coupled bits.
+    struct Direction
+    {
+        unsigned totalBits = 0;
+        unsigned sinkBits = 0;
+    };
+    std::map<std::pair<int, int>, Direction> directions;
+    for (const auto &c : top.connects) {
+        int dst = ownerBin(c.lhs);
+        std::vector<std::string> refs;
+        collectRefs(c.rhs, refs);
+        for (const auto &r : refs) {
+            int src = ownerBin(r);
+            if (src == dst)
+                continue;
+            unsigned width = top.resolve(target, r).width;
+            if (!width)
+                width = 1;
+            Direction &d = directions[{src, dst}];
+            d.totalBits += width;
+            if (isCombSource(r))
+                d.sinkBits += width;
+        }
+    }
+
+    // Channels at bin granularity, mirroring FireRipper's
+    // channelization: exact mode splits a comb-coupled direction into
+    // a source-class and a sink-class channel; fast mode ships one
+    // seeded channel per direction.
+    struct BinChannel
+    {
+        int src, dst;
+        unsigned bits;
+        bool sink;
+        double costNs, chainNs;
+    };
+    std::vector<BinChannel> channels;
+    bool exact = options.mode == PartitionMode::Exact;
+    for (const auto &[dir, d] : directions) {
+        auto cost = [&](unsigned bits) {
+            return transport::tokenSerNs(options.link, bits) +
+                   transport::tokenLatencyNs(options.link);
+        };
+        if (exact && d.sinkBits > 0) {
+            if (d.totalBits > d.sinkBits) {
+                unsigned bits = d.totalBits - d.sinkBits;
+                channels.push_back({dir.first, dir.second, bits,
+                                    false, cost(bits), cost(bits)});
+            }
+            channels.push_back({dir.first, dir.second, d.sinkBits,
+                                true, cost(d.sinkBits),
+                                cost(d.sinkBits)});
+        } else {
+            channels.push_back({dir.first, dir.second, d.totalBits,
+                                false, cost(d.totalBits),
+                                cost(d.totalBits)});
+        }
+    }
+
+    // Chain fixpoint: a sink-class channel waits on its source bin's
+    // inbound channels. Bounded iteration doubles as the cycle guard
+    // (a true wait-for cycle would diverge; clamp and move on).
+    if (exact) {
+        for (size_t iter = 0; iter <= channels.size(); ++iter) {
+            bool changed = false;
+            for (auto &c : channels) {
+                if (!c.sink)
+                    continue;
+                double in_chain = 0;
+                for (const auto &o : channels)
+                    if (o.dst == c.src)
+                        in_chain = std::max(in_chain, o.chainNs);
+                double next = c.costNs + in_chain;
+                if (next > c.chainNs + 1e-9) {
+                    c.chainNs = next;
+                    changed = true;
+                }
+            }
+            if (!changed)
+                break;
+        }
+    }
+
+    for (const auto &c : channels) {
+        if (size_t(c.dst) < result.binWaitNs.size())
+            result.binWaitNs[c.dst] =
+                std::max(result.binWaitNs[c.dst], c.chainNs);
+    }
+    for (double wait : result.binWaitNs)
+        result.predictedFmrLb =
+            std::max(result.predictedFmrLb,
+                     (wait + host_period) / host_period);
+    return result;
+}
+
+} // namespace fireaxe::analyze

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Static cut-cost analysis: predict, before any simulation runs,
+ * which channels of a PartitionPlan will block partitions and what
+ * FMR (host-cycles per target-cycle) the token protocol forces.
+ *
+ * The model prices one target cycle of the LI-BDN schedule:
+ *
+ *  - a token on channel c costs
+ *      cost(c) = tokenSerNs(link, widthBits) + tokenLatencyNs(link);
+ *  - in exact mode a sink-class channel cannot fire until every
+ *    channel it combinationally depends on has delivered *this
+ *    cycle's* token, so its effective latency is a chain:
+ *      chain(c) = cost(c) + max over deps d of chain(d);
+ *  - in fast mode every channel is seeded (consumes last cycle's
+ *    token), so chain(c) = cost(c);
+ *  - a partition must wait for the deepest chain among its inbound
+ *    channels before it can close the cycle, while its own model
+ *    evaluation costs hostPeriodNs x fame5Threads:
+ *      fmrLb(p) = (wait(p) + hostPeriodNs*threads) / hostPeriodNs.
+ *
+ * This is a *lower bound*: it prices serialization, flight and
+ * dependency chaining but not retransmissions, scheduler jitter or
+ * host-side overhead — exactly the components `fireaxe-trace`'s
+ * measured critical-path report attributes, which is what the
+ * fig2 validation test compares against. Channel dependencies are
+ * recomputed from the partition port summaries (the same
+ * recomputation the LI-BDN verifier cross-checks declarations
+ * against — channelDependencies() is shared with it).
+ *
+ * The report renders as `fireaxe.analysis.v1` JSON, shaped to be
+ * diffable against `fireaxe.critpath.v1`: same channel names, ranked
+ * by predicted blocking contribution.
+ */
+
+#ifndef FIREAXE_ANALYZE_CUTCOST_HH
+#define FIREAXE_ANALYZE_CUTCOST_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "passes/combdep.hh"
+#include "ripper/partition.hh"
+#include "transport/link.hh"
+
+namespace fireaxe::analyze {
+
+/**
+ * Recompute each channel's true dependency channels from the
+ * partition port summaries: channel c depends on channel d when one
+ * of c's source ports combinationally depends (per the summary of
+ * c's source partition) on an input port that d delivers. Returned
+ * per channel index, as sorted channel names.
+ */
+std::vector<std::vector<std::string>>
+channelDependencies(const ripper::PartitionPlan &plan,
+                    const std::vector<passes::PortDeps> &summaries);
+
+/** Knobs of the cost model and its diagnostic thresholds. */
+struct CutCostOptions
+{
+    transport::LinkParams link = transport::qsfpAurora();
+    /** Host (FPGA) clock driving the partition models. */
+    double hostClockMhz = 50.0;
+    /** PLAN009 threshold: a channel whose boundary ports sit at this
+     *  combinational depth or deeper marks a cut through deep logic
+     *  (long intra-cycle dependency chains, fragile timing). */
+    unsigned deepCombDepth = 12;
+    /** PLAN010 threshold: warn-note a partition predicted to spend
+     *  more than this share of each host cycle waiting for tokens. */
+    double hotWaitSharePct = 50.0;
+};
+
+/** Per-channel prediction. */
+struct ChannelCost
+{
+    int index = -1;            ///< plan.channels index
+    std::string name;
+    int srcPart = 0, dstPart = 0;
+    bool sinkClass = false;
+    unsigned widthBits = 0;
+    /** Max combinational depth (driver hops) of the channel's source
+     *  ports within the flattened source partition. */
+    unsigned combDepth = 0;
+    double serNs = 0.0;    ///< serialization occupancy per token
+    double flightNs = 0.0; ///< link flight latency
+    double costNs = 0.0;   ///< serNs + flightNs
+    double chainNs = 0.0;  ///< costNs + deepest dependency chain
+    /** Channel names on the longest chain, upstream first, this
+     *  channel last. */
+    std::vector<std::string> depChain;
+    /** chainNs as a share of the sum over all channels (global
+     *  predicted blocking contribution), percent. */
+    double sharePct = 0.0;
+    /** Predicted blocker: the deepest inbound chain of dstPart. */
+    bool blocking = false;
+    int rank = 0; ///< 1-based position in the ranked report
+};
+
+/** Per-partition prediction. */
+struct PartitionCost
+{
+    int index = 0;
+    std::string name;
+    unsigned fame5Threads = 1;
+    unsigned inboundBits = 0, outboundBits = 0;
+    double waitNs = 0.0;    ///< deepest inbound chain per target cycle
+    double computeNs = 0.0; ///< hostPeriodNs * fame5Threads
+    double fmrLb = 1.0;     ///< (waitNs + computeNs) / hostPeriodNs
+    std::string blockingChannel; ///< empty when no inbound channels
+};
+
+/** The full prediction for one plan. */
+struct CutCostReport
+{
+    std::string mode;     ///< "exact" / "fast"
+    std::string linkName;
+    double hostClockMhz = 0.0;
+    double hostPeriodNs = 0.0;
+    double predictedFmrLb = 1.0; ///< max over partitions
+    /** Channel wait-for cycle found; chain costs are then clamped to
+     *  single-token costs and unreliable (the verifier's LBDN003
+     *  rejects such plans anyway). */
+    bool cyclic = false;
+    double analysisMs = 0.0; ///< wall time of the analysis
+    std::vector<ChannelCost> channels; ///< ranked, deepest chain first
+    std::vector<PartitionCost> partitions;
+
+    /** `fireaxe.analysis.v1`; @p target names the analyzed design. */
+    void writeJson(std::ostream &os,
+                   const std::string &target = "") const;
+    std::string renderText() const;
+};
+
+/** Analyze a plan, reusing already-computed port summaries. */
+CutCostReport analyzeCutCost(const ripper::PartitionPlan &plan,
+                             const std::vector<passes::PortDeps> &summaries,
+                             const CutCostOptions &options = {});
+
+/** Convenience overload: computes the summaries itself. */
+CutCostReport analyzeCutCost(const ripper::PartitionPlan &plan,
+                             const CutCostOptions &options = {});
+
+/**
+ * Bin-granularity placement scoring for the auto-partitioner: given
+ * top-level instance bins (bin 0 = rest-of-SoC logic), predict the
+ * placement's FMR lower bound without running FireRipper. The same
+ * cost model as analyzeCutCost, approximated at bin granularity
+ * (cross-bin nets become channels; a sink-class channel waits on all
+ * of its source bin's inbound channels).
+ */
+struct PlacementCostOptions
+{
+    transport::LinkParams link = transport::qsfpAurora();
+    double hostClockMhz = 50.0;
+    ripper::PartitionMode mode = ripper::PartitionMode::Exact;
+};
+
+struct PlacementCost
+{
+    double predictedFmrLb = 1.0;
+    std::vector<double> binWaitNs; ///< per bin, per target cycle
+};
+
+PlacementCost
+estimatePlacementCost(const firrtl::Circuit &target,
+                      const passes::CombDepAnalysis &deps,
+                      const std::vector<std::vector<std::string>> &bins,
+                      const PlacementCostOptions &options = {});
+
+} // namespace fireaxe::analyze
+
+#endif // FIREAXE_ANALYZE_CUTCOST_HH

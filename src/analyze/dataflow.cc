@@ -1,0 +1,212 @@
+#include "analyze/dataflow.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/logging.hh"
+
+namespace fireaxe::analyze {
+
+using firrtl::Circuit;
+using firrtl::Module;
+using firrtl::SignalInfo;
+using firrtl::SignalKind;
+
+DataflowGraph::DataflowGraph(Circuit flat) : flat_(std::move(flat))
+{
+    build();
+}
+
+void
+DataflowGraph::build()
+{
+    const Module &mod = flat_.top();
+
+    // Materialize every named signal in both graphs, even ones with
+    // no edges (e.g. an output driven by a bare literal): the solvers
+    // visit graph nodes, so a signal missing here is a signal no pass
+    // would ever evaluate.
+    auto ensure = [&](const std::string &n) {
+        comb_.ensureNode(n);
+        full_.ensureNode(n);
+    };
+    for (const auto &p : mod.ports)
+        ensure(p.name);
+    for (const auto &w : mod.wires)
+        ensure(w.name);
+    for (const auto &r : mod.regs)
+        ensure(r.name);
+    for (const auto &m : mod.mems)
+        for (const char *s :
+             {".raddr", ".rdata", ".waddr", ".wdata", ".wen"})
+            ensure(m.name + s);
+
+    for (const auto &c : mod.connects) {
+        ensure(c.lhs);
+        drivers_[c.lhs] = c.rhs;
+        SignalKind lhs_kind = flat_.top().resolve(flat_, c.lhs).kind;
+        bool sequential_sink =
+            lhs_kind == SignalKind::Reg ||
+            lhs_kind == SignalKind::MemWAddr ||
+            lhs_kind == SignalKind::MemWData ||
+            lhs_kind == SignalKind::MemWEn;
+        std::vector<std::string> refs;
+        collectRefs(c.rhs, refs);
+        for (const auto &r : refs) {
+            full_.addEdge(r, c.lhs);
+            if (!sequential_sink)
+                comb_.addEdge(r, c.lhs);
+        }
+    }
+
+    for (const auto &m : mod.mems) {
+        // Combinational read path.
+        comb_.addEdge(m.name + ".raddr", m.name + ".rdata");
+        full_.addEdge(m.name + ".raddr", m.name + ".rdata");
+        // Write port influences future reads through the array state.
+        for (const char *w : {".waddr", ".wdata", ".wen"})
+            full_.addEdge(m.name + w, m.name + ".rdata");
+    }
+}
+
+const firrtl::ExprPtr *
+DataflowGraph::driverOf(const std::string &sig) const
+{
+    auto it = drivers_.find(sig);
+    return it != drivers_.end() ? &it->second : nullptr;
+}
+
+SignalInfo
+DataflowGraph::info(const std::string &sig) const
+{
+    return flat_.top().resolve(flat_, sig);
+}
+
+std::set<std::string>
+DataflowGraph::fanInCone(const std::string &sig) const
+{
+    // One-shot reverse BFS; cheaper than materializing reversed().
+    std::map<std::string, std::set<std::string>> rev;
+    for (const auto &[from, succs] : full_.adjacency())
+        for (const auto &to : succs)
+            rev[to].insert(from);
+    std::set<std::string> seen{sig};
+    std::deque<std::string> work{sig};
+    while (!work.empty()) {
+        std::string cur = std::move(work.front());
+        work.pop_front();
+        auto it = rev.find(cur);
+        if (it == rev.end())
+            continue;
+        for (const auto &src : it->second)
+            if (seen.insert(src).second)
+                work.push_back(src);
+    }
+    return seen;
+}
+
+std::set<std::string>
+DataflowGraph::fanOutCone(const std::string &sig) const
+{
+    return full_.reachableFrom(sig);
+}
+
+const std::map<std::string, unsigned> &
+DataflowGraph::combDepths() const
+{
+    if (depthsComputed_)
+        return depths_;
+    depthsComputed_ = true;
+
+    // Tarjan completion order lists every component after all
+    // components reachable from it; reversed, predecessors come
+    // first, which is the order a longest-path DP needs.
+    auto comps = comb_.stronglyConnectedComponents();
+    std::reverse(comps.begin(), comps.end());
+
+    std::map<std::string, std::set<std::string>> rev;
+    for (const auto &[from, succs] : comb_.adjacency())
+        for (const auto &to : succs)
+            rev[to].insert(from);
+
+    for (const auto &comp : comps) {
+        if (comp.size() > 1 ||
+            (comp.size() == 1 && comb_.hasEdge(comp[0], comp[0])))
+            combCycle_ = true;
+        for (const auto &sig : comp) {
+            unsigned depth = 0;
+            auto it = rev.find(sig);
+            if (it != rev.end()) {
+                for (const auto &src : it->second) {
+                    auto dit = depths_.find(src);
+                    if (dit != depths_.end())
+                        depth = std::max(depth, dit->second + 1);
+                }
+            }
+            depths_[sig] = depth;
+        }
+    }
+    return depths_;
+}
+
+unsigned
+DataflowGraph::combDepthOf(const std::string &sig) const
+{
+    const auto &d = combDepths();
+    auto it = d.find(sig);
+    return it != d.end() ? it->second : 0;
+}
+
+bool
+DataflowGraph::hasCombCycle() const
+{
+    combDepths();
+    return combCycle_;
+}
+
+void
+DataflowGraph::solve(
+    const base::StringDigraph &prop,
+    const std::function<bool(const std::string &)> &update) const
+{
+    std::deque<std::string> work;
+    std::set<std::string> queued;
+    for (const auto &[sig, _] : prop.adjacency()) {
+        work.push_back(sig);
+        queued.insert(sig);
+    }
+    // Safety valve: a non-monotone update function could ping-pong
+    // forever; |V|^2 * height bounds any sane lattice pass and turns
+    // a latent bug into a loud failure instead of a hang.
+    size_t budget = (queued.size() + 1) * (queued.size() + 1) * 8;
+    while (!work.empty()) {
+        FIREAXE_ASSERT(budget-- > 0,
+                       "dataflow solver failed to converge "
+                       "(non-monotone update function?)");
+        std::string sig = std::move(work.front());
+        work.pop_front();
+        queued.erase(sig);
+        if (!update(sig))
+            continue;
+        for (const auto &next : prop.successors(sig)) {
+            if (queued.insert(next).second)
+                work.push_back(next);
+        }
+    }
+}
+
+void
+DataflowGraph::solveForward(
+    const std::function<bool(const std::string &)> &update) const
+{
+    solve(full_, update);
+}
+
+void
+DataflowGraph::solveBackward(
+    const std::function<bool(const std::string &)> &update) const
+{
+    solve(full_.reversed(), update);
+}
+
+} // namespace fireaxe::analyze

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The dataflow substrate of src/analyze: a signal-level graph over
+ * one *flattened* module (passes::flattenAll output) plus the
+ * worklist solvers every lattice pass shares.
+ *
+ * Two graphs are maintained over the same node space (every named
+ * signal of the flat module, including memory sub-signals like
+ * "m.rdata"):
+ *
+ *  - the *combinational* graph has an edge a -> b when b's driver
+ *    reads a in the same target cycle (connect to a comb sink, or a
+ *    memory's raddr -> rdata read path);
+ *  - the *full* graph additionally has the sequential edges a -> b
+ *    where a influences b across a clock edge (register next-value
+ *    connects, and memory write-port signals -> rdata through the
+ *    array state).
+ *
+ * Passes walk these graphs with the generic forward/backward worklist
+ * solvers: a pass supplies a monotone update function per signal and
+ * the solver re-queues dependents until a fixpoint. Fan-in/fan-out
+ * cones and per-signal combinational depth (longest comb path from
+ * any sequential/constant/input source) are provided directly since
+ * every client needs them.
+ */
+
+#ifndef FIREAXE_ANALYZE_DATAFLOW_HH
+#define FIREAXE_ANALYZE_DATAFLOW_HH
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "base/graph.hh"
+#include "firrtl/ir.hh"
+
+namespace fireaxe::analyze {
+
+class DataflowGraph
+{
+  public:
+    /** Build from a flattened circuit (single module of interest =
+     *  its top; typically passes::flattenAll output). The circuit is
+     *  copied so the graph owns its lifetime. */
+    explicit DataflowGraph(firrtl::Circuit flat);
+
+    const firrtl::Circuit &circuit() const { return flat_; }
+    const firrtl::Module &module() const { return flat_.top(); }
+
+    /** Same-cycle dependence edges only. */
+    const base::StringDigraph &combGraph() const { return comb_; }
+    /** Comb plus across-clock-edge dependence. */
+    const base::StringDigraph &fullGraph() const { return full_; }
+
+    /** The connect expression driving @p sig; nullptr if undriven. */
+    const firrtl::ExprPtr *driverOf(const std::string &sig) const;
+
+    /** Kind/width of a signal (SignalKind::Unknown if unresolvable). */
+    firrtl::SignalInfo info(const std::string &sig) const;
+
+    /** Every signal that can influence @p sig, across any number of
+     *  clock edges (@p sig included). */
+    std::set<std::string> fanInCone(const std::string &sig) const;
+
+    /** Every signal @p sig can influence, across any number of clock
+     *  edges (@p sig included). */
+    std::set<std::string> fanOutCone(const std::string &sig) const;
+
+    /**
+     * Longest combinational path, in edges, from any comb source
+     * (input port, register output, literal-only driver, rdata fed by
+     * state) to each signal. 0 for sources themselves. Signals on a
+     * combinational cycle get the depth of their component entry
+     * (cycles are the verifier's IR004 problem, not ours); see
+     * hasCombCycle().
+     */
+    const std::map<std::string, unsigned> &combDepths() const;
+
+    /** Depth of one signal (0 when unknown). */
+    unsigned combDepthOf(const std::string &sig) const;
+
+    bool hasCombCycle() const;
+
+    /**
+     * Forward worklist solver: calls update(sig) for every signal
+     * once, then whenever update returns true (the signal's abstract
+     * value changed) re-queues every full-graph successor, until a
+     * fixpoint. Monotone updates over a finite lattice terminate.
+     */
+    void solveForward(
+        const std::function<bool(const std::string &)> &update) const;
+
+    /** Backward solver: change propagates to predecessors instead. */
+    void solveBackward(
+        const std::function<bool(const std::string &)> &update) const;
+
+  private:
+    void build();
+    void solve(const base::StringDigraph &prop,
+               const std::function<bool(const std::string &)> &update)
+        const;
+
+    firrtl::Circuit flat_;
+    base::StringDigraph comb_;
+    base::StringDigraph full_;
+    std::map<std::string, firrtl::ExprPtr> drivers_;
+    mutable std::map<std::string, unsigned> depths_; // lazy
+    mutable bool depthsComputed_ = false;
+    mutable bool combCycle_ = false;
+};
+
+} // namespace fireaxe::analyze
+
+#endif // FIREAXE_ANALYZE_DATAFLOW_HH

@@ -1,0 +1,115 @@
+#include "analyze/deadcode.hh"
+
+#include <deque>
+#include <map>
+
+namespace fireaxe::analyze {
+
+using firrtl::ExprKind;
+using firrtl::ExprPtr;
+using firrtl::Module;
+using firrtl::PortDir;
+
+namespace {
+
+/** The refs of @p e that can still influence its value given the
+ *  constant fixpoint: constant subtrees contribute nothing, a mux
+ *  with a constant selector only exposes the taken arm. */
+void
+usedRefs(const ExprPtr &e, const ConstPropResult &consts,
+         std::set<std::string> &out)
+{
+    if (consts.eval(e).isConst())
+        return;
+    if (e->kind == ExprKind::Ref) {
+        out.insert(e->name);
+        return;
+    }
+    if (e->kind == ExprKind::Mux) {
+        ConstValue sel = consts.eval(e->args[0]);
+        if (sel.isConst()) {
+            usedRefs(e->args[sel.value ? 1 : 2], consts, out);
+            return;
+        }
+    }
+    for (const auto &arg : e->args)
+        usedRefs(arg, consts, out);
+}
+
+/** Reverse-BFS liveness from the output ports over @p rev. */
+std::set<std::string>
+aliveSet(const Module &mod,
+         const std::map<std::string, std::set<std::string>> &rev)
+{
+    std::set<std::string> alive;
+    std::deque<std::string> work;
+    for (const auto &p : mod.ports) {
+        if (p.dir == PortDir::Output) {
+            alive.insert(p.name);
+            work.push_back(p.name);
+        }
+    }
+    while (!work.empty()) {
+        std::string cur = std::move(work.front());
+        work.pop_front();
+        auto it = rev.find(cur);
+        if (it == rev.end())
+            continue;
+        for (const auto &src : it->second)
+            if (alive.insert(src).second)
+                work.push_back(src);
+    }
+    return alive;
+}
+
+} // namespace
+
+DeadLogicResult
+refineDeadLogic(const DataflowGraph &graph,
+                const ConstPropResult &consts)
+{
+    const Module &mod = graph.module();
+
+    // Baseline: every ref of every driver keeps its sink's sources
+    // alive; observing rdata needs the whole memory write cone.
+    std::map<std::string, std::set<std::string>> base_rev;
+    // Refined: constant sinks need nothing; drivers contribute only
+    // the refs that can still change the value.
+    std::map<std::string, std::set<std::string>> fine_rev;
+
+    for (const auto &c : mod.connects) {
+        std::vector<std::string> refs;
+        collectRefs(c.rhs, refs);
+        base_rev[c.lhs].insert(refs.begin(), refs.end());
+        if (!consts.isConst(c.lhs))
+            usedRefs(c.rhs, consts, fine_rev[c.lhs]);
+    }
+    for (const auto &m : mod.mems) {
+        std::set<std::string> srcs{m.name + ".raddr",
+                                   m.name + ".waddr",
+                                   m.name + ".wdata", m.name + ".wen"};
+        base_rev[m.name + ".rdata"].insert(srcs.begin(), srcs.end());
+        fine_rev[m.name + ".rdata"].insert(srcs.begin(), srcs.end());
+    }
+
+    std::set<std::string> base_alive = aliveSet(mod, base_rev);
+    std::set<std::string> fine_alive = aliveSet(mod, fine_rev);
+
+    DeadLogicResult result;
+    auto classify = [&](const std::string &name) {
+        if (!base_alive.count(name))
+            result.baselineDead.insert(name);
+        else if (!fine_alive.count(name))
+            result.refinedDead.insert(name);
+    };
+    for (const auto &w : mod.wires)
+        classify(w.name);
+    for (const auto &r : mod.regs)
+        classify(r.name);
+    for (const auto &m : mod.mems)
+        if (!fine_alive.count(m.name + ".rdata"))
+            result.writeOnlyMems.push_back(m.name);
+    return result;
+}
+
+} // namespace fireaxe::analyze

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Dead / write-only logic refinement (on the src/analyze dataflow
+ * framework).
+ *
+ * PR 4's IR005 check is a plain reverse BFS from the output ports
+ * over the unflattened modules: anything that can't reach an output
+ * is dead. This pass runs on the flattened netlist with two
+ * refinements that catch strictly more:
+ *
+ *  - *Constant pruning*: a signal constant propagation proved
+ *    constant needs none of its inputs — its liveness does not keep
+ *    its fan-in alive. Likewise a mux whose selector is constant only
+ *    keeps the taken arm (and the selector's own cone) alive.
+ *  - *Write-only memories*: a memory whose rdata never reaches an
+ *    output is pure write-only state — the whole write-port cone
+ *    feeding it is dead weight on the FPGA.
+ *
+ * To avoid re-reporting what the baseline already catches, the result
+ * separates baseline-dead signals from refined-only findings; the
+ * verifier emits IR005 for the refined-only set (flat names) next to
+ * the per-module baseline pass.
+ */
+
+#ifndef FIREAXE_ANALYZE_DEADCODE_HH
+#define FIREAXE_ANALYZE_DEADCODE_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/constprop.hh"
+#include "analyze/dataflow.hh"
+
+namespace fireaxe::analyze {
+
+/** Result of a dead-logic refinement run. */
+struct DeadLogicResult
+{
+    /** Wires/regs dead even under the baseline reverse BFS (the
+     *  unrefined analysis would flag these too). */
+    std::set<std::string> baselineDead;
+    /** Wires/regs alive under the baseline but dead once constant
+     *  pruning is applied — the refinement's added value. */
+    std::set<std::string> refinedDead;
+    /** Memories whose rdata cannot reach any output port. */
+    std::vector<std::string> writeOnlyMems;
+};
+
+/** Run the refinement. @p consts must come from the same graph. */
+DeadLogicResult refineDeadLogic(const DataflowGraph &graph,
+                                const ConstPropResult &consts);
+
+} // namespace fireaxe::analyze
+
+#endif // FIREAXE_ANALYZE_DEADCODE_HH

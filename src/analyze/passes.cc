@@ -1,0 +1,49 @@
+#include "analyze/passes.hh"
+
+#include "passes/flatten.hh"
+
+namespace fireaxe::analyze {
+
+using firrtl::PortDir;
+
+CircuitAnalysis
+analyzeCircuit(const firrtl::Circuit &circuit,
+               const CircuitAnalysisOptions &options)
+{
+    CircuitAnalysis out;
+    out.graph = std::make_unique<DataflowGraph>(
+        passes::flattenAll(circuit));
+    const firrtl::Module &mod = out.graph->module();
+
+    if (options.constants || options.xreach || options.deadLogic)
+        out.consts = propagateConstants(*out.graph);
+
+    if (options.constants) {
+        for (const auto &p : mod.ports) {
+            if (p.dir != PortDir::Output)
+                continue;
+            uint64_t value = 0;
+            if (out.consts.isConst(p.name, &value))
+                out.constOutputs.push_back(
+                    {p.name, p.width, value});
+        }
+    }
+
+    if (options.xreach) {
+        out.xreach = reachUninitialized(*out.graph, out.consts);
+        for (const auto &p : mod.ports) {
+            if (p.dir != PortDir::Output)
+                continue;
+            if (out.xreach.isTainted(p.name))
+                out.xEscapes.push_back(
+                    {p.name, out.xreach.witness.at(p.name)});
+        }
+    }
+
+    if (options.deadLogic)
+        out.dead = refineDeadLogic(*out.graph, out.consts);
+
+    return out;
+}
+
+} // namespace fireaxe::analyze

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The production pass pipeline of src/analyze: flatten a circuit,
+ * run constant propagation, X-reachability and the dead-logic
+ * refinement over it, and distill the findings that matter at a
+ * partition boundary. src/verify translates these into stable
+ * diagnostics (IR009 constant-driven boundary, IR010 X escape,
+ * IR005 refinements); tools and tests can also consume the raw
+ * results directly.
+ */
+
+#ifndef FIREAXE_ANALYZE_PASSES_HH
+#define FIREAXE_ANALYZE_PASSES_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyze/constprop.hh"
+#include "analyze/deadcode.hh"
+#include "analyze/dataflow.hh"
+#include "analyze/xreach.hh"
+
+namespace fireaxe::analyze {
+
+/** Which passes to run. */
+struct CircuitAnalysisOptions
+{
+    bool constants = true; ///< constant propagation + IR009 findings
+    bool xreach = true;    ///< X-reachability + IR010 findings
+    bool deadLogic = true; ///< dead/write-only refinement (IR005)
+};
+
+/** An output port proven constant: every token sent across this
+ *  boundary carries the same value — the cut wastes link bandwidth
+ *  and the downstream logic could fold it away. */
+struct ConstBoundaryFinding
+{
+    std::string port;
+    unsigned width = 0;
+    uint64_t value = 0;
+};
+
+/** An output port an unreset register's unknown power-up value can
+ *  reach: across a partition boundary this can diverge from the
+ *  monolithic simulation. */
+struct XEscapeFinding
+{
+    std::string port;
+    std::string source; ///< witness unreset register (flat name)
+};
+
+/** Everything the pipeline computed, for diagnostics and tests. */
+struct CircuitAnalysis
+{
+    /** The flattened netlist and its graphs (owned). */
+    std::unique_ptr<DataflowGraph> graph;
+    ConstPropResult consts;
+    XReachResult xreach;
+    DeadLogicResult dead;
+    std::vector<ConstBoundaryFinding> constOutputs;
+    std::vector<XEscapeFinding> xEscapes;
+};
+
+/** Run the pipeline over @p circuit (flattened internally). The
+ *  circuit must be structurally valid (the verifier's IR001-IR008
+ *  gate); see verify::Options::checkAnalyze for the gated entry. */
+CircuitAnalysis analyzeCircuit(const firrtl::Circuit &circuit,
+                               const CircuitAnalysisOptions &options = {});
+
+} // namespace fireaxe::analyze
+
+#endif // FIREAXE_ANALYZE_PASSES_HH

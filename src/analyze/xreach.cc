@@ -1,0 +1,45 @@
+#include "analyze/xreach.hh"
+
+#include <deque>
+
+namespace fireaxe::analyze {
+
+XReachResult
+reachUninitialized(const DataflowGraph &graph,
+                   const ConstPropResult &consts)
+{
+    XReachResult result;
+    for (const auto &r : graph.module().regs)
+        if (!r.hasReset)
+            result.sources.insert(r.name);
+    if (result.sources.empty())
+        return result;
+
+    // Plain forward BFS is enough: taint is a two-point lattice and
+    // every edge transfer is "propagate unless the sink is provably
+    // constant". Seeding sources in name order makes the witness for
+    // any multiply-reachable signal deterministic.
+    std::deque<std::string> work;
+    for (const auto &src : result.sources) {
+        result.tainted.insert(src);
+        result.witness[src] = src;
+        work.push_back(src);
+    }
+    while (!work.empty()) {
+        std::string cur = std::move(work.front());
+        work.pop_front();
+        for (const auto &next : graph.fullGraph().successors(cur)) {
+            if (result.tainted.count(next))
+                continue;
+            // A constant sink can't be perturbed by the unknown bits.
+            if (consts.isConst(next))
+                continue;
+            result.tainted.insert(next);
+            result.witness[next] = result.witness[cur];
+            work.push_back(next);
+        }
+    }
+    return result;
+}
+
+} // namespace fireaxe::analyze

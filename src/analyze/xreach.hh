@@ -1,0 +1,57 @@
+/**
+ * @file
+ * X / uninitialized-state reachability (on the src/analyze dataflow
+ * framework).
+ *
+ * Registers without a reset network (Reg::hasReset == false) power up
+ * at an unknown value on real hardware even though the simulators
+ * deterministically start them at their declared init. This pass
+ * computes where those unknown bits can *flow*: forward taint over
+ * the full dependence graph (combinational edges, register
+ * next-value edges, and memory writes through the array state to
+ * rdata). A signal that constant propagation proved constant is
+ * immune — the unknown input provably cannot change its value.
+ *
+ * The dangerous case for a partitioned simulation is an X that
+ * escapes through a partition-boundary output port: the two sides of
+ * the boundary may then disagree with a monolithic simulation of the
+ * same design (FPGA power-up state vs software zero-init). The
+ * verifier surfaces those escapes as IR010 warnings.
+ */
+
+#ifndef FIREAXE_ANALYZE_XREACH_HH
+#define FIREAXE_ANALYZE_XREACH_HH
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "analyze/constprop.hh"
+#include "analyze/dataflow.hh"
+
+namespace fireaxe::analyze {
+
+/** Result of an X-reachability run. */
+struct XReachResult
+{
+    /** Registers that source X (hasReset == false). */
+    std::set<std::string> sources;
+    /** Every signal an X can reach (sources included). */
+    std::set<std::string> tainted;
+    /** For each tainted signal, one witness source register. */
+    std::map<std::string, std::string> witness;
+
+    bool
+    isTainted(const std::string &sig) const
+    {
+        return tainted.count(sig) != 0;
+    }
+};
+
+/** Run the taint analysis. @p consts must come from the same graph. */
+XReachResult reachUninitialized(const DataflowGraph &graph,
+                                const ConstPropResult &consts);
+
+} // namespace fireaxe::analyze
+
+#endif // FIREAXE_ANALYZE_XREACH_HH

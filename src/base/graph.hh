@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Shared directed-graph algorithms over string-named nodes.
+ *
+ * Several subsystems maintain a signal/module/channel dependency
+ * graph and need the same machinery: strongly connected components
+ * for cycle detection (combinational loops in passes/combdep,
+ * instantiation cycles in verify/ir, channel wait-for cycles in
+ * verify/libdn) and BFS reachability for cone extraction and
+ * diagnostic paths. Each used to carry its own hand-rolled iterative
+ * Tarjan or coloring DFS; this header is the single implementation
+ * they all share, and the substrate the src/analyze dataflow
+ * framework builds its fan-in/fan-out cones on.
+ *
+ * All traversals are iterative (explicit stacks) so million-node
+ * flattened netlists cannot blow the call stack.
+ */
+
+#ifndef FIREAXE_BASE_GRAPH_HH
+#define FIREAXE_BASE_GRAPH_HH
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fireaxe::base {
+
+/**
+ * A directed graph with string-named nodes and set-valued adjacency.
+ * Nodes exist implicitly: anything that appears as an edge endpoint
+ * (or is explicitly ensured) is a node.
+ */
+class StringDigraph
+{
+  public:
+    void
+    addEdge(const std::string &from, const std::string &to)
+    {
+        fwd_[from].insert(to);
+        fwd_[to]; // materialize the sink so every node has an entry
+    }
+
+    void
+    ensureNode(const std::string &node)
+    {
+        fwd_[node];
+    }
+
+    bool
+    hasEdge(const std::string &from, const std::string &to) const
+    {
+        auto it = fwd_.find(from);
+        return it != fwd_.end() && it->second.count(to) != 0;
+    }
+
+    const std::set<std::string> &
+    successors(const std::string &node) const
+    {
+        static const std::set<std::string> kEmpty;
+        auto it = fwd_.find(node);
+        return it != fwd_.end() ? it->second : kEmpty;
+    }
+
+    const std::map<std::string, std::set<std::string>> &
+    adjacency() const
+    {
+        return fwd_;
+    }
+
+    /** Reversed copy (every edge flipped). */
+    StringDigraph
+    reversed() const
+    {
+        StringDigraph rev;
+        for (const auto &[from, succs] : fwd_) {
+            rev.ensureNode(from);
+            for (const auto &to : succs)
+                rev.addEdge(to, from);
+        }
+        return rev;
+    }
+
+    /**
+     * Strongly connected components via iterative Tarjan. Components
+     * are returned in completion order (every component appears after
+     * all components it has edges into — reverse topological order of
+     * the condensation); nodes within a component are listed in DFS
+     * discovery order.
+     */
+    std::vector<std::vector<std::string>>
+    stronglyConnectedComponents() const
+    {
+        struct NodeInfo
+        {
+            int index = -1;
+            int lowlink = -1;
+            bool onStack = false;
+        };
+        struct Frame
+        {
+            const std::string *node;
+            std::set<std::string>::const_iterator it, end;
+        };
+
+        std::map<std::string, NodeInfo> info;
+        std::vector<std::string> sccStack;
+        std::vector<std::vector<std::string>> out;
+        int nextIndex = 0;
+
+        for (const auto &[root, _] : fwd_) {
+            if (info[root].index >= 0)
+                continue;
+            std::vector<Frame> stack;
+            auto push = [&](const std::string &node) {
+                NodeInfo &ni = info[node];
+                ni.index = ni.lowlink = nextIndex++;
+                ni.onStack = true;
+                sccStack.push_back(node);
+                const auto &succ = successors(node);
+                stack.push_back({&node, succ.begin(), succ.end()});
+            };
+            push(root);
+            while (!stack.empty()) {
+                Frame &f = stack.back();
+                if (f.it != f.end) {
+                    const std::string &next = *f.it++;
+                    NodeInfo &nni = info[next];
+                    if (nni.index < 0) {
+                        push(next);
+                    } else if (nni.onStack) {
+                        NodeInfo &ni = info[*f.node];
+                        ni.lowlink = std::min(ni.lowlink, nni.index);
+                    }
+                    continue;
+                }
+                NodeInfo &ni = info[*f.node];
+                if (ni.lowlink == ni.index) {
+                    std::vector<std::string> comp;
+                    for (;;) {
+                        std::string w = sccStack.back();
+                        sccStack.pop_back();
+                        info[w].onStack = false;
+                        bool done = w == *f.node;
+                        comp.push_back(std::move(w));
+                        if (done)
+                            break;
+                    }
+                    // Popped in reverse discovery order.
+                    std::reverse(comp.begin(), comp.end());
+                    out.push_back(std::move(comp));
+                }
+                std::string done = *f.node;
+                stack.pop_back();
+                if (!stack.empty()) {
+                    NodeInfo &pi = info[*stack.back().node];
+                    pi.lowlink =
+                        std::min(pi.lowlink, info[done].lowlink);
+                }
+            }
+        }
+        return out;
+    }
+
+    /**
+     * The SCCs that contain a cycle: components of two or more nodes,
+     * plus single nodes with a self-edge. Same ordering guarantees as
+     * stronglyConnectedComponents().
+     */
+    std::vector<std::vector<std::string>>
+    cyclicComponents() const
+    {
+        std::vector<std::vector<std::string>> out;
+        for (auto &comp : stronglyConnectedComponents()) {
+            if (comp.size() > 1 ||
+                (comp.size() == 1 && hasEdge(comp[0], comp[0])))
+                out.push_back(std::move(comp));
+        }
+        return out;
+    }
+
+    /** Every node reachable from @p from by forward edges, @p from
+     *  included. */
+    std::set<std::string>
+    reachableFrom(const std::string &from) const
+    {
+        std::set<std::string> seen{from};
+        std::deque<std::string> work{from};
+        while (!work.empty()) {
+            std::string cur = std::move(work.front());
+            work.pop_front();
+            for (const auto &next : successors(cur))
+                if (seen.insert(next).second)
+                    work.push_back(next);
+        }
+        return seen;
+    }
+
+    /** Shortest path from @p from to @p to (inclusive); empty when
+     *  unreachable. */
+    std::vector<std::string>
+    shortestPath(const std::string &from, const std::string &to) const
+    {
+        std::map<std::string, std::string> parent;
+        std::deque<std::string> work{from};
+        parent[from] = "";
+        while (!work.empty()) {
+            std::string cur = std::move(work.front());
+            work.pop_front();
+            if (cur == to) {
+                std::vector<std::string> path;
+                for (std::string n = cur; !n.empty(); n = parent[n])
+                    path.push_back(n);
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            for (const auto &next : successors(cur)) {
+                if (!parent.count(next)) {
+                    parent[next] = cur;
+                    work.push_back(next);
+                }
+            }
+        }
+        return {};
+    }
+
+  private:
+    std::map<std::string, std::set<std::string>> fwd_;
+};
+
+} // namespace fireaxe::base
+
+#endif // FIREAXE_BASE_GRAPH_HH

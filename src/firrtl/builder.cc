@@ -44,6 +44,15 @@ ModuleBuilder::reg(const std::string &reg_name, unsigned width,
     return ref(reg_name, width);
 }
 
+ExprPtr
+ModuleBuilder::regUninit(const std::string &reg_name, unsigned width)
+{
+    FIREAXE_ASSERT(width >= 1 && width <= maxBitWidth,
+                   "reg ", reg_name, " width=", width);
+    mod_.regs.push_back({reg_name, width, 0, /*hasReset=*/false});
+    return ref(reg_name, width);
+}
+
 void
 ModuleBuilder::mem(const std::string &mem_name, unsigned depth,
                    unsigned width)

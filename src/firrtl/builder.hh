@@ -39,6 +39,10 @@ class ModuleBuilder
     /** Declare a register with an initial value. */
     ExprPtr reg(const std::string &name, unsigned width,
                 uint64_t init = 0);
+    /** Declare a register with no reset network: the simulators power
+     *  it up at 0, but hardware would start at an unknown value (an X
+     *  source for the src/analyze reachability pass). */
+    ExprPtr regUninit(const std::string &name, unsigned width);
     /** Declare a memory (comb read, sync write). */
     void mem(const std::string &name, unsigned depth, unsigned width);
     /** Instantiate a previously declared module. */

@@ -106,12 +106,17 @@ struct Wire
     unsigned width;
 };
 
-/** A register clocked by the implicit clock; starts at @c init. */
+/** A register clocked by the implicit clock; starts at @c init.
+ *  When @c hasReset is false the register has no reset network: the
+ *  simulators still power it up at @c init (deterministically), but
+ *  on real hardware its initial value would be unknown, which the
+ *  src/analyze X-reachability pass treats as an X source (IR010). */
 struct Reg
 {
     std::string name;
     unsigned width;
     uint64_t init = 0;
+    bool hasReset = true;
 };
 
 /**

@@ -316,16 +316,18 @@ parseCircuit(std::istream &in)
             continue;
         }
         if (kw == "reg") {
-            // reg <name> : UInt<w>, init <v>
-            if (tokens.size() < 6 || tokens[2] != ":" ||
-                tokens[4] != "init")
+            // reg <name> : UInt<w>, init <v>   (or ", uninit")
+            bool uninit = tokens.size() >= 5 && tokens[4] == "uninit";
+            if (tokens.size() < (uninit ? 5u : 6u) || tokens[2] != ":" ||
+                (!uninit && tokens[4] != "init"))
                 fatal("line ", line_no, ": bad reg declaration");
             std::string type = tokens[3];
             if (type.back() == ',')
                 type.pop_back();
             mod->regs.push_back({tokens[1],
                                  parseTypeWidth(type, line_no),
-                                 std::stoull(tokens[5])});
+                                 uninit ? 0 : std::stoull(tokens[5]),
+                                 !uninit});
             continue;
         }
         if (kw == "mem") {

@@ -96,8 +96,11 @@ printModule(std::ostream &os, const Circuit &circuit, const Module &mod)
     for (const auto &w : mod.wires)
         os << "    wire " << w.name << " : UInt<" << w.width << ">\n";
     for (const auto &r : mod.regs) {
-        os << "    reg " << r.name << " : UInt<" << r.width
-           << ">, init " << r.init << "\n";
+        os << "    reg " << r.name << " : UInt<" << r.width << ">, ";
+        if (r.hasReset)
+            os << "init " << r.init << "\n";
+        else
+            os << "uninit\n";
     }
     for (const auto &m : mod.mems) {
         os << "    mem " << m.name << " : UInt<" << m.width << ">["

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <deque>
-#include <functional>
 
 #include "base/logging.hh"
 
@@ -25,11 +24,7 @@ CombDepAnalysis::CombDepAnalysis(const Circuit &circuit, LoopPolicy policy)
 void
 CombDepAnalysis::analyzeModule(const Circuit &circuit, const Module &mod)
 {
-    ModuleGraph graph;
-
-    auto addEdge = [&](const std::string &from, const std::string &to) {
-        graph.fwd[from].insert(to);
-    };
+    base::StringDigraph graph;
 
     // Connect statements: the sink depends on every referenced source,
     // except when the sink is a register (sequential barrier) or a
@@ -46,19 +41,17 @@ CombDepAnalysis::analyzeModule(const Circuit &circuit, const Module &mod)
         std::vector<std::string> refs;
         collectRefs(c.rhs, refs);
         for (const auto &r : refs) {
-            SignalKind src_kind = mod.resolve(circuit, r).kind;
-            // Registers and memory read data... rdata IS combinational
+            // Registers and memory read data: rdata IS combinational
             // (comb-read memory); registers are not sources of comb
             // dependence on inputs by themselves, but an edge from a
             // reg hurts nothing: regs have no incoming comb edges.
-            (void)src_kind;
-            addEdge(r, c.lhs);
+            graph.addEdge(r, c.lhs);
         }
     }
 
     // Memories: combinational read path raddr -> rdata.
     for (const auto &m : mod.mems)
-        addEdge(m.name + ".raddr", m.name + ".rdata");
+        graph.addEdge(m.name + ".raddr", m.name + ".rdata");
 
     // Instances: edges from the child's input ports to the output
     // ports that the child's summary says are combinationally
@@ -67,98 +60,22 @@ CombDepAnalysis::analyzeModule(const Circuit &circuit, const Module &mod)
         const PortDeps &child = forModule(inst.moduleName);
         for (const auto &[out, ins] : child.deps) {
             for (const auto &in : ins) {
-                addEdge(inst.name + "." + in, inst.name + "." + out);
+                graph.addEdge(inst.name + "." + in,
+                              inst.name + "." + out);
             }
         }
     }
 
-    // Detect combinational loops (would make the module
-    // unsimulatable) as non-trivial SCCs of the dependency graph,
-    // using an iterative Tarjan so deep netlists can't blow the call
-    // stack. Self-edges count as loops too.
-    {
-        struct NodeInfo
-        {
-            int index = -1;
-            int lowlink = -1;
-            bool onStack = false;
-        };
-        std::map<std::string, NodeInfo> info;
-        std::vector<std::string> sccStack;
-        int nextIndex = 0;
-
-        struct Frame
-        {
-            std::string node;
-            std::set<std::string>::const_iterator it, end;
-        };
-
-        auto strongconnect = [&](const std::string &root) {
-            static const std::set<std::string> kEmpty;
-            std::vector<Frame> stack;
-            auto push = [&](const std::string &node) {
-                NodeInfo &ni = info[node];
-                ni.index = ni.lowlink = nextIndex++;
-                ni.onStack = true;
-                sccStack.push_back(node);
-                auto git = graph.fwd.find(node);
-                const auto &succ =
-                    git != graph.fwd.end() ? git->second : kEmpty;
-                stack.push_back({node, succ.begin(), succ.end()});
-            };
-            push(root);
-            while (!stack.empty()) {
-                Frame &f = stack.back();
-                if (f.it != f.end) {
-                    const std::string &next = *f.it++;
-                    NodeInfo &nni = info[next];
-                    if (nni.index < 0) {
-                        push(next);
-                    } else if (nni.onStack) {
-                        NodeInfo &ni = info[f.node];
-                        ni.lowlink = std::min(ni.lowlink, nni.index);
-                    }
-                    continue;
-                }
-                NodeInfo &ni = info[f.node];
-                if (ni.lowlink == ni.index) {
-                    // Root of an SCC: pop it off.
-                    std::vector<std::string> comp;
-                    for (;;) {
-                        std::string w = sccStack.back();
-                        sccStack.pop_back();
-                        info[w].onStack = false;
-                        comp.push_back(w);
-                        if (w == f.node)
-                            break;
-                    }
-                    bool self_edge = comp.size() == 1 &&
-                        graph.fwd.count(comp[0]) &&
-                        graph.fwd.at(comp[0]).count(comp[0]);
-                    if (comp.size() > 1 || self_edge) {
-                        std::reverse(comp.begin(), comp.end());
-                        if (policy_ == LoopPolicy::Fatal) {
-                            fatal("module '", mod.name,
-                                  "': combinational loop through '",
-                                  comp.front(), "' -> '",
-                                  comp.size() > 1 ? comp[1] : comp[0],
-                                  "'");
-                        }
-                        loops_.push_back({mod.name, std::move(comp)});
-                    }
-                }
-                std::string done = f.node;
-                stack.pop_back();
-                if (!stack.empty()) {
-                    NodeInfo &pi = info[stack.back().node];
-                    pi.lowlink = std::min(pi.lowlink, info[done].lowlink);
-                }
-            }
-        };
-
-        for (const auto &[node, _] : graph.fwd)
-            if (info[node].index < 0)
-                strongconnect(node);
+    // Combinational loops (would make the module unsimulatable) are
+    // the cyclic SCCs of the dependency graph (base/graph.hh's shared
+    // iterative Tarjan; self-edges count as loops too).
+    for (auto &comp : graph.cyclicComponents()) {
+        if (policy_ == LoopPolicy::Fatal) {
+            fatal("module '", mod.name,
+                  "': combinational loop through '", comp.front(),
+                  "' -> '", comp.size() > 1 ? comp[1] : comp[0], "'");
+        }
+        loops_.push_back({mod.name, std::move(comp)});
     }
 
     // Forward BFS from each input port; record reached output ports.
@@ -170,19 +87,7 @@ CombDepAnalysis::analyzeModule(const Circuit &circuit, const Module &mod)
     for (const auto &p : mod.ports) {
         if (p.dir != PortDir::Input)
             continue;
-        std::set<std::string> seen{p.name};
-        std::deque<std::string> work{p.name};
-        while (!work.empty()) {
-            std::string cur = work.front();
-            work.pop_front();
-            auto it = graph.fwd.find(cur);
-            if (it == graph.fwd.end())
-                continue;
-            for (const auto &next : it->second) {
-                if (seen.insert(next).second)
-                    work.push_back(next);
-            }
-        }
+        std::set<std::string> seen = graph.reachableFrom(p.name);
         for (const auto &q : mod.ports) {
             if (q.dir == PortDir::Output && seen.count(q.name))
                 summary.deps[q.name].insert(p.name);
@@ -202,41 +107,22 @@ CombDepAnalysis::forModule(const std::string &name) const
     return it->second;
 }
 
+const base::StringDigraph &
+CombDepAnalysis::graphForModule(const std::string &name) const
+{
+    auto it = graphs_.find(name);
+    if (it == graphs_.end())
+        fatal("no combinational graph for module '", name, "'");
+    return it->second;
+}
+
 std::vector<std::string>
 CombDepAnalysis::combPath(const std::string &module_name,
                           const std::string &from_input,
                           const std::string &to_output) const
 {
-    auto git = graphs_.find(module_name);
-    if (git == graphs_.end())
-        fatal("no combinational graph for module '", module_name, "'");
-    const ModuleGraph &graph = git->second;
-
-    // BFS with parent tracking for a shortest diagnostic path.
-    std::map<std::string, std::string> parent;
-    std::deque<std::string> work{from_input};
-    parent[from_input] = "";
-    while (!work.empty()) {
-        std::string cur = work.front();
-        work.pop_front();
-        if (cur == to_output) {
-            std::vector<std::string> path;
-            for (std::string n = cur; !n.empty(); n = parent[n])
-                path.push_back(n);
-            std::reverse(path.begin(), path.end());
-            return path;
-        }
-        auto it = graph.fwd.find(cur);
-        if (it == graph.fwd.end())
-            continue;
-        for (const auto &next : it->second) {
-            if (!parent.count(next)) {
-                parent[next] = cur;
-                work.push_back(next);
-            }
-        }
-    }
-    return {};
+    return graphForModule(module_name)
+        .shortestPath(from_input, to_output);
 }
 
 } // namespace fireaxe::passes

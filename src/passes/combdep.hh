@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "base/graph.hh"
 #include "firrtl/ir.hh"
 
 namespace fireaxe::passes {
@@ -87,19 +88,19 @@ class CombDepAnalysis
                                       const std::string &from_input,
                                       const std::string &to_output) const;
 
-  private:
-    struct ModuleGraph
-    {
-        // adjacency: signal -> combinationally-driven signals
-        std::map<std::string, std::set<std::string>> fwd;
-    };
+    /** The per-module signal dependency graph (comb edges only);
+     *  fatal() if unknown. Consumed by src/analyze for comb-depth
+     *  computation without rebuilding the netlist graph. */
+    const base::StringDigraph &
+    graphForModule(const std::string &name) const;
 
+  private:
     void analyzeModule(const firrtl::Circuit &circuit,
                        const firrtl::Module &mod);
 
     LoopPolicy policy_;
     std::map<std::string, PortDeps> summaries_;
-    std::map<std::string, ModuleGraph> graphs_;
+    std::map<std::string, base::StringDigraph> graphs_;
     std::vector<CombLoop> loops_;
 };
 

@@ -94,7 +94,7 @@ class Flattener
             flat_->wires.push_back({mangle(path, w.name), w.width});
         for (const auto &r : mod.regs)
             flat_->regs.push_back(
-                {mangle(path, r.name), r.width, r.init});
+                {mangle(path, r.name), r.width, r.init, r.hasReset});
         for (const auto &m : mod.mems)
             flat_->mems.push_back(
                 {mangle(path, m.name), m.depth, m.width});

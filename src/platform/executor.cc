@@ -141,6 +141,11 @@ MultiFpgaSim::runPreflight()
     // plan unrunnable.
     verify::Options options;
     options.checkDeadLogic = false;
+    // Price the PLAN009/PLAN010 cut-cost predictions with the sim's
+    // actual transport and host clock, not the model defaults.
+    options.cutCost.link = link_;
+    if (!fpgas_.empty())
+        options.cutCost.hostClockMhz = fpgas_[0].clockMhz;
     preflight_ = verify::verifyPlan(plan_, options);
     preflightRan_ = true;
 }

@@ -5,7 +5,9 @@
 #include <set>
 #include <sstream>
 
+#include "analyze/cutcost.hh"
 #include "base/logging.hh"
+#include "passes/combdep.hh"
 #include "passes/resources.hh"
 
 namespace fireaxe::ripper {
@@ -79,23 +81,39 @@ autoPartition(const Circuit &target, const AutoPartitionOptions &opts)
         }
     }
 
-    // First-fit decreasing with affinity tie-breaking: place each
-    // instance (largest first) into the feasible bin holding the
-    // most strongly connected already-placed instances; fall back
-    // to the emptiest feasible bin.
+    // First-fit decreasing, scored by the static cut-cost model:
+    // place each instance (largest first) into the feasible bin
+    // whose trial placement predicts the lowest FMR lower bound
+    // (unplaced instances count toward the rest bin, so the score
+    // tightens as the placement fills in); ties go to the bin
+    // holding the most strongly connected already-placed instances,
+    // then to the emptiest bin.
     std::sort(items.begin(), items.end(),
               [](const Item &a, const Item &b) {
                   return a.luts > b.luts;
               });
     auto affinity = instanceAffinity(target);
+    passes::CombDepAnalysis deps(target, passes::LoopPolicy::Record);
+    analyze::PlacementCostOptions cost_opts;
+    cost_opts.link = opts.link;
+    cost_opts.hostClockMhz = opts.hostClockMhz;
+    cost_opts.mode = opts.mode;
 
     AutoPartitionResult result;
     result.bins.push_back({{}, rest_luts, 0.0}); // bin 0 = rest
+
+    auto bin_instances = [&result]() {
+        std::vector<std::vector<std::string>> bins;
+        for (const auto &bin : result.bins)
+            bins.push_back(bin.instances);
+        return bins;
+    };
 
     std::map<std::string, size_t> placed;
     for (const auto &item : items) {
         size_t best_bin = SIZE_MAX;
         uint64_t best_affinity = 0;
+        double best_fmr = 0.0;
         for (size_t b = 0; b < result.bins.size(); ++b) {
             if (result.bins[b].luts + item.luts > opts.lutBudget)
                 continue;
@@ -108,13 +126,25 @@ autoPartition(const Circuit &target, const AutoPartitionOptions &opts)
                 if (it != affinity.end())
                     score += it->second;
             }
+            double fmr = 0.0;
+            if (opts.costScoring) {
+                auto trial = bin_instances();
+                trial[b].push_back(item.name);
+                fmr = analyze::estimatePlacementCost(
+                          target, deps, trial, cost_opts)
+                          .predictedFmrLb;
+            }
             bool better =
-                best_bin == SIZE_MAX || score > best_affinity ||
-                (score == best_affinity &&
-                 result.bins[b].luts < result.bins[best_bin].luts);
+                best_bin == SIZE_MAX || fmr < best_fmr ||
+                (fmr == best_fmr &&
+                 (score > best_affinity ||
+                  (score == best_affinity &&
+                   result.bins[b].luts <
+                       result.bins[best_bin].luts)));
             if (better) {
                 best_bin = b;
                 best_affinity = score;
+                best_fmr = fmr;
             }
         }
         if (best_bin == SIZE_MAX) {
@@ -138,6 +168,11 @@ autoPartition(const Circuit &target, const AutoPartitionOptions &opts)
         if (bin.luts > opts.lutBudget)
             result.fits = false;
     }
+    if (result.bins.size() > 1)
+        result.predictedFmrLb =
+            analyze::estimatePlacementCost(target, deps,
+                                           bin_instances(), cost_opts)
+                .predictedFmrLb;
 
     result.spec.mode = opts.mode;
     for (size_t b = 1; b < result.bins.size(); ++b) {
@@ -165,6 +200,12 @@ describeAutoPartition(const AutoPartitionResult &result)
         for (const auto &inst : bin.instances)
             os << " " << inst;
         os << "\n";
+    }
+    if (result.fpgasUsed > 1) {
+        os << "  predicted FMR lower bound (cut-cost model): ";
+        os.precision(2);
+        os.setf(std::ios::fixed);
+        os << result.predictedFmrLb << "\n";
     }
     return os.str();
 }

@@ -12,9 +12,13 @@
  * autoPartition() implements that flow: it estimates each top-level
  * instance's resource footprint, greedily bin-packs instances onto
  * FPGAs (first-fit decreasing, with the rest-of-SoC logic charged to
- * partition 0), prefers placements that keep directly-connected
- * instances together (narrower boundaries), and reports the
- * projected per-FPGA utilization before any simulation is built.
+ * partition 0), scores each feasible placement of an instance with
+ * the static cut-cost model (analyze::estimatePlacementCost) and
+ * takes the one minimizing the predicted FMR lower bound — i.e. the
+ * boundary the token protocol will stall on least — breaking ties
+ * toward stronger instance affinity (shared signal width), and
+ * reports the projected per-FPGA utilization plus the predicted FMR
+ * before any simulation is built.
  */
 
 #ifndef FIREAXE_RIPPER_AUTOPARTITION_HH
@@ -25,6 +29,7 @@
 #include <vector>
 
 #include "ripper/partition.hh"
+#include "transport/link.hh"
 
 namespace fireaxe::ripper {
 
@@ -36,6 +41,13 @@ struct AutoPartitionOptions
     /** Upper bound on FPGAs (including the rest partition). */
     unsigned maxFpgas = 8;
     PartitionMode mode = PartitionMode::Exact;
+    /** Cost-model pricing of candidate placements (the scoring
+     *  function): transport and host clock of the eventual sim. */
+    transport::LinkParams link = transport::qsfpAurora();
+    double hostClockMhz = 50.0;
+    /** Disable cut-cost scoring (fall back to pure affinity) —
+     *  mainly for A/B comparisons in tests and benchmarks. */
+    bool costScoring = true;
 };
 
 /** Per-FPGA placement feedback. */
@@ -53,6 +65,9 @@ struct AutoPartitionResult
     bool fits = false;    ///< all bins within budget
     unsigned fpgasUsed = 0;
     std::vector<AutoPartitionBin> bins; ///< bin 0 = rest partition
+    /** Cut-cost model's predicted FMR lower bound for the chosen
+     *  placement (1.0 for a single-FPGA placement). */
+    double predictedFmrLb = 1.0;
 };
 
 /**

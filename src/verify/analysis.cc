@@ -1,0 +1,105 @@
+#include "verify/analysis.hh"
+
+#include <sstream>
+
+#include "analyze/passes.hh"
+
+namespace fireaxe::verify {
+
+using ripper::PartitionPlan;
+
+void
+checkCircuitAnalysis(const firrtl::Circuit &circuit, Report &report,
+                     const std::string &partition,
+                     bool check_dead_logic)
+{
+    analyze::CircuitAnalysisOptions opts;
+    opts.deadLogic = check_dead_logic;
+    analyze::CircuitAnalysis result =
+        analyze::analyzeCircuit(circuit, opts);
+    const std::string &mod = result.graph->module().name;
+
+    for (const auto &f : result.constOutputs) {
+        std::ostringstream msg;
+        msg << "output port always carries the constant value "
+            << f.value << " (" << f.width
+            << " bit(s) of boundary bandwidth per cycle spent on a "
+               "value the sink could fold away)";
+        report.add("IR009", Severity::Warning, msg.str(),
+                   {partition, mod, f.port});
+    }
+
+    for (const auto &f : result.xEscapes) {
+        report.add("IR010", Severity::Warning,
+                   "unreset register '" + f.source +
+                       "' can reach this output port; its unknown "
+                       "power-up value may escape the partition "
+                       "boundary before the first reset",
+                   {partition, mod, f.port});
+    }
+
+    if (check_dead_logic) {
+        for (const auto &sig : result.dead.refinedDead) {
+            report.add("IR005", Severity::Warning,
+                       "dead once constants are propagated: no "
+                       "non-constant path to any output port "
+                       "(refinement beyond reverse reachability)",
+                       {partition, mod, sig});
+        }
+        for (const auto &mem : result.dead.writeOnlyMems) {
+            report.add("IR005", Severity::Warning,
+                       "write-only memory: its read data never "
+                       "reaches an output port, so the whole write "
+                       "cone is dead weight",
+                       {partition, mod, mem});
+        }
+    }
+}
+
+analyze::CutCostReport
+checkPlanCutCost(const PartitionPlan &plan,
+                 const std::vector<passes::PortDeps> &summaries,
+                 const analyze::CutCostOptions &options,
+                 Report &report)
+{
+    analyze::CutCostReport cost =
+        analyze::analyzeCutCost(plan, summaries, options);
+
+    for (const auto &ch : cost.channels) {
+        if (ch.combDepth < options.deepCombDepth)
+            continue;
+        std::string part = "p" + std::to_string(ch.srcPart);
+        std::ostringstream msg;
+        msg << "cut passes behind combinational depth " << ch.combDepth
+            << " (threshold " << options.deepCombDepth
+            << "): the channel's source ports end a long intra-cycle "
+               "driver chain, so its token launches late in the host "
+               "cycle and FPGA timing closure is fragile";
+        report.add("PLAN009", Severity::Warning, msg.str(),
+                   {part, "", ch.name});
+    }
+
+    for (const auto &p : cost.partitions) {
+        if (p.blockingChannel.empty())
+            continue;
+        double cycle_ns = p.waitNs + p.computeNs;
+        double share =
+            cycle_ns > 0.0 ? 100.0 * p.waitNs / cycle_ns : 0.0;
+        if (share <= options.hotWaitSharePct)
+            continue;
+        std::ostringstream msg;
+        msg.setf(std::ios::fixed);
+        msg.precision(1);
+        msg << "predicted hot channel '" << p.blockingChannel
+            << "': partition is predicted to spend " << p.waitNs
+            << " ns of every " << cycle_ns
+            << " ns target cycle waiting on it (FMR lower bound "
+            << p.fmrLb << ")";
+        report.add("PLAN010", Severity::Note, msg.str(),
+                   {p.name, "", p.blockingChannel});
+    }
+
+    return cost;
+}
+
+} // namespace fireaxe::verify

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Bridge from src/analyze's dataflow results to stable diagnostics:
+ * constant-driven boundary ports (IR009), X escapes from unreset
+ * registers (IR010), constant-propagation refinements of the dead
+ * logic warning (IR005), plus the static cut-cost findings over a
+ * partition plan (PLAN009 deep combinational cut, PLAN010 predicted
+ * hot channel).
+ *
+ * These checks are gated like the others in verify.cc: the circuit
+ * must have passed the structural IR gate (analyzeCircuit flattens
+ * and resolves references), and the plan checks additionally require
+ * a structurally valid plan and cycle-free partitions (the cost
+ * model indexes partitions by the plan's own numbers and trusts the
+ * port summaries).
+ */
+
+#ifndef FIREAXE_VERIFY_ANALYSIS_HH
+#define FIREAXE_VERIFY_ANALYSIS_HH
+
+#include <string>
+#include <vector>
+
+#include "analyze/cutcost.hh"
+#include "passes/combdep.hh"
+#include "ripper/partition.hh"
+#include "verify/diag.hh"
+
+namespace fireaxe::verify {
+
+/**
+ * Run the analyze pipeline over @p circuit and emit IR009/IR010 plus
+ * IR005 refinements into @p report. @p partition labels the source
+ * location (empty for a stand-alone circuit). @p check_dead_logic
+ * mirrors Options::checkDeadLogic (IR005 is the noisy family).
+ */
+void checkCircuitAnalysis(const firrtl::Circuit &circuit,
+                          Report &report,
+                          const std::string &partition = "",
+                          bool check_dead_logic = true);
+
+/**
+ * Run the static cut-cost analyzer over @p plan (reusing the
+ * verifier's per-partition port summaries) and emit PLAN009/PLAN010.
+ * Returns the full prediction so callers (pre-flight, lint) can also
+ * render or serialize it without recomputing.
+ */
+analyze::CutCostReport
+checkPlanCutCost(const ripper::PartitionPlan &plan,
+                 const std::vector<passes::PortDeps> &summaries,
+                 const analyze::CutCostOptions &options,
+                 Report &report);
+
+} // namespace fireaxe::verify
+
+#endif // FIREAXE_VERIFY_ANALYSIS_HH

@@ -56,6 +56,14 @@ checkRegistry()
          "instantiation cycle"},
         {"IR008", Severity::Error,
          "duplicate signal or instance name within a module"},
+        {"IR009", Severity::Warning,
+         "constant-driven boundary: an output port is proven to carry "
+         "the same value every cycle (constant propagation); the cut "
+         "wastes link bandwidth serializing it"},
+        {"IR010", Severity::Warning,
+         "X escape: an unreset register's unknown power-up value can "
+         "reach an output port, so a partitioned run may diverge from "
+         "the monolithic simulation until reset"},
         {"LBDN001", Severity::Error,
          "under-declared channel dependency: the channel's source ports "
          "combinationally depend on an input channel the plan does not "
@@ -95,6 +103,18 @@ checkRegistry()
          "fast-mode channel carries an un-buffered combinational "
          "cross-partition path; runs, but values arrive one target "
          "cycle late (cycle-approximate)"},
+        {"PLAN009", Severity::Warning,
+         "deep combinational cut: a channel's source ports sit behind "
+         "a long intra-cycle driver chain in the source partition "
+         "(fragile FPGA timing, late token launch)"},
+        {"PLAN010", Severity::Note,
+         "predicted hot channel: the static cut-cost model predicts a "
+         "partition will spend most of each host cycle waiting on one "
+         "blocking channel (see fireaxe-lint --analyze)"},
+        {"TOOL001", Severity::Error,
+         "tool input error: unknown target, unreadable file, or "
+         "parse failure (reported as a diagnostic so --json output "
+         "stays machine-readable)"},
     };
     return registry;
 }

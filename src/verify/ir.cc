@@ -6,6 +6,8 @@
 #include <set>
 #include <sstream>
 
+#include "base/graph.hh"
+
 namespace fireaxe::verify {
 
 using firrtl::Circuit;
@@ -260,36 +262,21 @@ checkCircuitStructure(const Circuit &circuit, Report &report,
         }
     }
     if (hierarchy_ok) {
-        // Instantiation cycles (module instantiating an ancestor).
-        std::map<std::string, int> state; // 0 new, 1 visiting, 2 done
-        std::vector<std::pair<const Module *, size_t>> stack;
+        // Instantiation cycles (module instantiating an ancestor):
+        // cyclic SCCs of the module instantiation graph, via the
+        // shared base/graph.hh Tarjan.
+        base::StringDigraph inst_graph;
         for (const auto &[name, mod] : circuit.modules) {
-            if (state[name])
-                continue;
-            stack.push_back({&mod, 0});
-            state[name] = 1;
-            while (!stack.empty()) {
-                auto &[m, idx] = stack.back();
-                if (idx < m->instances.size()) {
-                    const std::string &child =
-                        m->instances[idx++].moduleName;
-                    int s = state[child];
-                    if (s == 1) {
-                        report.add("IR007", Severity::Error,
-                                   "instantiation cycle through "
-                                   "module '" + child + "'",
-                                   {partition, m->name, ""});
-                        hierarchy_ok = false;
-                    } else if (s == 0) {
-                        state[child] = 1;
-                        stack.push_back(
-                            {circuit.findModule(child), 0});
-                    }
-                    continue;
-                }
-                state[m->name] = 2;
-                stack.pop_back();
-            }
+            inst_graph.ensureNode(name);
+            for (const auto &inst : mod.instances)
+                inst_graph.addEdge(name, inst.moduleName);
+        }
+        for (const auto &comp : inst_graph.cyclicComponents()) {
+            report.add("IR007", Severity::Error,
+                       "instantiation cycle through module '" +
+                           comp.front() + "'",
+                       {partition, comp.back(), ""});
+            hierarchy_ok = false;
         }
     }
     if (!hierarchy_ok)

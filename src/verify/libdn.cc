@@ -4,53 +4,22 @@
 #include <set>
 #include <sstream>
 
+#include "analyze/cutcost.hh"
+#include "base/graph.hh"
+
 namespace fireaxe::verify {
 
 using ripper::ChannelPlan;
 using ripper::PartitionMode;
 using ripper::PartitionPlan;
 
-namespace {
-
-/** Map each (partition, input port) to the index of the channel that
- *  delivers it. Plan structure is assumed valid (each net covered by
- *  exactly one channel). */
-std::map<std::pair<int, std::string>, int>
-inputPortChannels(const PartitionPlan &plan)
-{
-    std::map<std::pair<int, std::string>, int> out;
-    for (size_t c = 0; c < plan.channels.size(); ++c)
-        for (int n : plan.channels[c].netIndices)
-            out[{plan.channels[c].dstPart, plan.nets[n].dstPort}] =
-                int(c);
-    return out;
-}
-
-} // namespace
-
 std::vector<std::vector<std::string>>
 trueChannelDeps(const PartitionPlan &plan,
                 const std::vector<passes::PortDeps> &summaries)
 {
-    auto in_port_channel = inputPortChannels(plan);
-    std::vector<std::vector<std::string>> out(plan.channels.size());
-    for (size_t c = 0; c < plan.channels.size(); ++c) {
-        const ChannelPlan &ch = plan.channels[c];
-        std::set<std::string> deps;
-        for (int n : ch.netIndices) {
-            const auto &port_deps = summaries[ch.srcPart].deps;
-            auto it = port_deps.find(plan.nets[n].srcPort);
-            if (it == port_deps.end())
-                continue;
-            for (const auto &in : it->second) {
-                auto cit = in_port_channel.find({ch.srcPart, in});
-                if (cit != in_port_channel.end())
-                    deps.insert(plan.channels[cit->second].name);
-            }
-        }
-        out[c].assign(deps.begin(), deps.end());
-    }
-    return out;
+    // One recomputation, shared with the static cut-cost analyzer:
+    // both must agree on what a channel truly waits on.
+    return analyze::channelDependencies(plan, summaries);
 }
 
 void
@@ -131,60 +100,29 @@ checkLibdnProtocol(const PartitionPlan &plan,
     // LBDN003: cycles in the recomputed channel wait-for graph. A
     // channel waits for its true dependency channels; with no seed
     // tokens (exact mode) a cycle means no channel in it can ever
-    // fire. Iterative DFS over channel indices.
+    // fire. Cyclic SCCs of the wait-for graph via the shared
+    // base/graph.hh Tarjan; one diagnostic per cycle.
     {
-        std::map<std::string, int> state; // keyed by channel name
-        for (size_t root = 0; root < plan.channels.size(); ++root) {
-            const std::string &root_name = plan.channels[root].name;
-            if (state[root_name])
-                continue;
-            // Stack of (channel index, next dep position, path pos).
-            std::vector<std::pair<int, size_t>> stack;
-            std::vector<int> path;
-            stack.push_back({int(root), 0});
-            state[root_name] = 1;
-            path.push_back(int(root));
-            while (!stack.empty()) {
-                auto &[c, idx] = stack.back();
-                const auto &deps = truth[c];
-                if (idx < deps.size()) {
-                    const std::string &dep = deps[idx++];
-                    auto it = by_name.find(dep);
-                    if (it == by_name.end())
-                        continue;
-                    int d = it->second;
-                    int s = state[dep];
-                    if (s == 1) {
-                        // Found a cycle: slice it out of the path.
-                        std::ostringstream msg;
-                        msg << "channel wait-for cycle:";
-                        size_t start = 0;
-                        while (path[start] != d)
-                            ++start;
-                        for (size_t i = start; i < path.size(); ++i) {
-                            msg << " '"
-                                << plan.channels[path[i]].name
-                                << "' ->";
-                        }
-                        msg << " '" << dep
-                            << "' (no channel in the cycle can ever "
-                               "fire: statically provable deadlock)";
-                        std::string cyc_part = "p";
-                        cyc_part += std::to_string(
-                            plan.channels[d].srcPart);
-                        report.add("LBDN003", Severity::Error,
-                                   msg.str(), {cyc_part, "", dep});
-                    } else if (s == 0) {
-                        state[dep] = 1;
-                        stack.push_back({d, 0});
-                        path.push_back(d);
-                    }
-                    continue;
-                }
-                state[plan.channels[c].name] = 2;
-                stack.pop_back();
-                path.pop_back();
-            }
+        base::StringDigraph waits;
+        for (size_t c = 0; c < plan.channels.size(); ++c) {
+            waits.ensureNode(plan.channels[c].name);
+            for (const auto &dep : truth[c])
+                if (by_name.count(dep))
+                    waits.addEdge(plan.channels[c].name, dep);
+        }
+        for (const auto &comp : waits.cyclicComponents()) {
+            std::ostringstream msg;
+            msg << "channel wait-for cycle:";
+            for (const auto &name : comp)
+                msg << " '" << name << "' ->";
+            msg << " '" << comp.front()
+                << "' (no channel in the cycle can ever fire: "
+                   "statically provable deadlock)";
+            int c = by_name.at(comp.front());
+            std::string cyc_part = "p";
+            cyc_part += std::to_string(plan.channels[c].srcPart);
+            report.add("LBDN003", Severity::Error, msg.str(),
+                       {cyc_part, "", comp.front()});
         }
     }
 }

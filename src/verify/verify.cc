@@ -16,6 +16,9 @@ verifyCircuit(const firrtl::Circuit &circuit, const Options &options)
                                      passes::LoopPolicy::Record);
     checkCircuitDeps(circuit, analysis, report, "",
                      options.checkDeadLogic);
+    if (options.checkAnalyze && analysis.loops().empty())
+        checkCircuitAnalysis(circuit, report, "",
+                             options.checkDeadLogic);
     return report;
 }
 
@@ -67,6 +70,19 @@ verifyPlan(const ripper::PartitionPlan &plan, const Options &options)
             cycles = cycles || !analyses[p].loops().empty();
         }
     }
+    if (options.checkAnalyze) {
+        for (size_t p = 0; p < plan.partitions.size(); ++p) {
+            if (!analyses[p].loops().empty())
+                continue; // IR004 already rejects this partition
+            std::string label =
+                p < plan.partitionNames.size() &&
+                        !plan.partitionNames[p].empty()
+                    ? plan.partitionNames[p]
+                    : "p" + std::to_string(p);
+            checkCircuitAnalysis(plan.partitions[p], report, label,
+                                 options.checkDeadLogic);
+        }
+    }
 
     // With intra-partition cycles the port summaries are unreliable;
     // with a malformed plan the index spaces are. Either way the
@@ -78,6 +94,8 @@ verifyPlan(const ripper::PartitionPlan &plan, const Options &options)
         checkLibdnProtocol(plan, summaries, report);
     if (options.checkPlan)
         checkPlanCuts(plan, summaries, report);
+    if (options.checkAnalyze)
+        checkPlanCutCost(plan, summaries, options.cutCost, report);
 
     return report;
 }

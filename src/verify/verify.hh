@@ -14,8 +14,10 @@
 #ifndef FIREAXE_VERIFY_VERIFY_HH
 #define FIREAXE_VERIFY_VERIFY_HH
 
+#include "analyze/cutcost.hh"
 #include "firrtl/ir.hh"
 #include "ripper/partition.hh"
+#include "verify/analysis.hh"
 #include "verify/diag.hh"
 #include "verify/ir.hh"
 #include "verify/libdn.hh"
@@ -30,6 +32,12 @@ struct Options
     bool checkLibdn = true;    ///< LBDNxxx over the channel plan
     bool checkPlan = true;     ///< PLANxxx over the plan structure
     bool checkDeadLogic = true; ///< IR005 (the only noisy warning)
+    /** Dataflow analyses: IR009/IR010 per circuit, PLAN009/PLAN010
+     *  over the plan's predicted cut cost. */
+    bool checkAnalyze = true;
+    /** Cost-model knobs for the PLAN009/PLAN010 checks; pre-flight
+     *  overrides link/hostClockMhz with the actual sim config. */
+    analyze::CutCostOptions cutCost;
 };
 
 /** Verify a stand-alone circuit (IR checks only). */

@@ -11,10 +11,21 @@
  *    FireRipper spec, and runs the full check suite (IR + LBDN +
  *    PLAN) over the resulting plan.
  *
+ * `--analyze` additionally runs the static cut-cost analyzer over
+ * each target's plan and emits its `fireaxe.analysis.v1` report
+ * (predicted blocking channels + per-partition FMR lower bounds) —
+ * JSON on stdout under `--json` (diagnostics then go to stderr so
+ * stdout stays one machine-readable document per target), rendered
+ * text otherwise.
+ *
  * Output is compiler-style text by default, `--json` for tooling.
  * Exit status: 0 clean (or warnings without `--werror`), 1 findings,
- * 2 usage / input errors. `--list-checks` enumerates every
- * diagnostic code the verifier implements.
+ * 2 usage / input errors. `--werror` behaves identically in text and
+ * JSON modes, and under `--json` input errors (unknown target,
+ * unreadable or unparseable file) are emitted as TOOL001 diagnostic
+ * rows instead of bare stderr text, so stdout is always parseable.
+ * `--list-checks` enumerates every diagnostic code the verifier
+ * implements.
  */
 
 #include <cstring>
@@ -23,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/cutcost.hh"
 #include "firrtl/parser.hh"
 #include "targets_common.hh"
 #include "verify/verify.hh"
@@ -47,6 +59,8 @@ usage(std::ostream &os, int status)
           "\n"
           "options:\n"
           "  --mode exact|fast partitioning mode (default exact)\n"
+          "  --analyze         also run the static cut-cost analyzer\n"
+          "                    (fireaxe.analysis.v1; targets only)\n"
           "  --json            render the report as JSON\n"
           "  --werror          exit 1 on warnings too\n"
           "  --no-dead-logic   skip the IR005 dead-logic warning\n"
@@ -68,6 +82,24 @@ reportStatus(const verify::Report &report, bool werror)
     return 0;
 }
 
+/**
+ * Report an input error. In JSON mode it becomes a TOOL001
+ * diagnostic row on stdout (machine-readable); in text mode the
+ * traditional bare stderr line. Exit status 2 either way.
+ */
+int
+inputError(bool json, const std::string &message)
+{
+    if (json) {
+        verify::Report report;
+        report.add("TOOL001", verify::Severity::Error, message);
+        std::cout << report.renderJson();
+    } else {
+        std::cerr << "fireaxe-lint: " << message << "\n";
+    }
+    return 2;
+}
+
 } // namespace
 
 int
@@ -75,7 +107,7 @@ main(int argc, char **argv)
 {
     std::string fir, target_name, mode = "exact";
     bool all_targets = false, json = false, werror = false;
-    bool list_checks = false;
+    bool list_checks = false, analyze_mode = false;
     verify::Options options;
 
     for (int i = 1; i < argc; ++i) {
@@ -96,6 +128,8 @@ main(int argc, char **argv)
             all_targets = true;
         } else if (arg == "--mode") {
             mode = value("--mode");
+        } else if (arg == "--analyze") {
+            analyze_mode = true;
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--werror") {
@@ -125,24 +159,23 @@ main(int argc, char **argv)
                  int(all_targets);
     if (inputs != 1)
         return usage(std::cerr, 2);
-    if (mode != "exact" && mode != "fast") {
-        std::cerr << "fireaxe-lint: --mode must be exact or fast\n";
-        return 2;
-    }
+    if (mode != "exact" && mode != "fast")
+        return inputError(json, "--mode must be exact or fast");
 
     if (!fir.empty()) {
+        if (analyze_mode)
+            return inputError(json,
+                              "--analyze needs a partition plan; use "
+                              "--target or --all-targets");
         std::ifstream in(fir);
-        if (!in) {
-            std::cerr << "fireaxe-lint: cannot open '" << fir << "'\n";
-            return 2;
-        }
+        if (!in)
+            return inputError(json, "cannot open '" + fir + "'");
         firrtl::Circuit circuit;
         try {
             circuit = firrtl::parseCircuit(in);
         } catch (const std::exception &e) {
-            std::cerr << "fireaxe-lint: parse error: " << e.what()
-                      << "\n";
-            return 2;
+            return inputError(json, "parse error: " +
+                                        std::string(e.what()));
         }
         auto report = verify::verifyCircuit(circuit, options);
         std::cout << (json ? report.renderJson()
@@ -154,11 +187,9 @@ main(int argc, char **argv)
     for (const auto &t : toolTargets())
         if (all_targets || target_name == t.name)
             selected.push_back(&t);
-    if (selected.empty()) {
-        std::cerr << "fireaxe-lint: unknown target '" << target_name
-                  << "'\n";
-        return usage(std::cerr, 2);
-    }
+    if (selected.empty())
+        return inputError(json,
+                          "unknown target '" + target_name + "'");
 
     int status = 0;
     for (const ToolTarget *t : selected) {
@@ -170,8 +201,22 @@ main(int argc, char **argv)
         auto report = verify::verifyPlan(plan, options);
         if (all_targets && !json)
             std::cout << "--- " << t->name << " (" << mode << ") ---\n";
-        std::cout << (json ? report.renderJson()
-                           : report.renderText());
+        if (analyze_mode) {
+            auto cost = analyze::analyzeCutCost(plan,
+                                                options.cutCost);
+            if (json) {
+                // stdout carries exactly one fireaxe.analysis.v1
+                // document per target; diagnostics go to stderr.
+                cost.writeJson(std::cout, t->name);
+                std::cerr << report.renderText();
+            } else {
+                std::cout << report.renderText()
+                          << cost.renderText();
+            }
+        } else {
+            std::cout << (json ? report.renderJson()
+                               : report.renderText());
+        }
         status = std::max(status, reportStatus(report, werror));
     }
     return status;
