@@ -90,6 +90,22 @@ class JsonRow
         return field(key, std::string_view(v));
     }
 
+    /** Open a nested object value; pair with endObjectField(). */
+    JsonRow &
+    beginObjectField(std::string_view key)
+    {
+        w_.key(key);
+        w_.beginObject();
+        return *this;
+    }
+
+    JsonRow &
+    endObjectField()
+    {
+        w_.endObject();
+        return *this;
+    }
+
     /** Finish the object and return its JSON text. */
     std::string
     str()
@@ -122,12 +138,21 @@ class JsonRow
  *   backend       — "sequential" / "parallel"
  *   engine        — evaluation engine name
  *   workers       — parallel worker count (0 = auto / n.a.)
+ *   exec          — the same execution config as one nested object
+ *                   {backend, engine, workers, batch_depth}; the
+ *                   one uniform place sweep tooling reads the config
+ *                   from (the flat fields stay for back-compat)
  */
 inline JsonRow &
 addRunIdentity(JsonRow &row, std::string_view schema,
                std::string_view target, uint64_t plan_hash,
                uint64_t artifact_hash, std::string_view backend,
-               std::string_view engine, unsigned workers)
+               std::string_view engine, unsigned workers,
+               // Benches pick up batching from the environment (the
+               // default ExecConfig does), so the default here is the
+               // same resolved value — rows stay truthful under
+               // FIREAXE_BATCH_DEPTH without touching every caller.
+               unsigned batch_depth = platform::defaultBatchDepth())
 {
     row.field("schema", schema)
         .field("target", target)
@@ -136,6 +161,12 @@ addRunIdentity(JsonRow &row, std::string_view schema,
         .field("backend", backend)
         .field("engine", engine)
         .field("workers", workers);
+    row.beginObjectField("exec")
+        .field("backend", backend)
+        .field("engine", engine)
+        .field("workers", workers)
+        .field("batch_depth", batch_depth)
+        .endObjectField();
     return row;
 }
 

@@ -1,0 +1,140 @@
+#include "analyze/batching.hh"
+
+#include <map>
+#include <set>
+
+#include "analyze/dataflow.hh"
+#include "passes/flatten.hh"
+
+namespace fireaxe::analyze {
+
+using firrtl::SignalKind;
+using ripper::PartitionPlan;
+
+BatchLegalityReport
+analyzeBatchLegality(const PartitionPlan &plan,
+                     const BatchLegalityOptions &options)
+{
+    BatchLegalityReport report;
+    report.channels.resize(plan.channels.size());
+
+    // Which partition produces each input port of each partition.
+    // -1 marks an externally-driven input (poked by a driver, not
+    // delivered by any channel): the consumer cannot know it.
+    std::map<std::pair<int, std::string>, int> input_source;
+    for (const auto &net : plan.nets)
+        input_source[{net.dstPart, net.dstPort}] = net.srcPart;
+
+    // One flattened dataflow graph per source partition, built
+    // lazily (a plan's channels usually originate from few
+    // partitions).
+    std::vector<std::unique_ptr<DataflowGraph>> graphs(
+        plan.partitions.size());
+    auto graphFor = [&](int p) -> DataflowGraph & {
+        auto &g = graphs[size_t(p)];
+        if (!g) {
+            g = std::make_unique<DataflowGraph>(
+                passes::flattenAll(plan.partitions[size_t(p)]));
+        }
+        return *g;
+    };
+
+    for (size_t c = 0; c < plan.channels.size(); ++c) {
+        const ripper::ChannelPlan &ch = plan.channels[c];
+        ChannelBatchInfo &info = report.channels[c];
+        info.index = int(c);
+        info.name = ch.name;
+        info.srcPart = ch.srcPart;
+        info.dstPart = ch.dstPart;
+        info.legal = true;
+
+        if (size_t(ch.srcPart) >= plan.partitions.size()) {
+            info.legal = false;
+            info.reason = "source partition index out of range";
+            info.maxBatchDepth = 1;
+            continue;
+        }
+        DataflowGraph &graph = graphFor(ch.srcPart);
+
+        // Shadow cone: transitive fan-in of every source port, over
+        // comb and sequential edges.
+        std::set<std::string> cone;
+        for (int n : ch.netIndices) {
+            if (size_t(n) >= plan.nets.size())
+                continue;
+            auto fan = graph.fanInCone(plan.nets[n].srcPort);
+            cone.insert(fan.begin(), fan.end());
+        }
+
+        for (const std::string &sig : cone) {
+            firrtl::SignalInfo si = graph.info(sig);
+            switch (si.kind) {
+            case SignalKind::Reg:
+                info.coneRegBits += si.width;
+                break;
+            case SignalKind::MemRAddr:
+            case SignalKind::MemRData:
+            case SignalKind::MemWAddr:
+            case SignalKind::MemWData:
+            case SignalKind::MemWEn:
+                info.legal = false;
+                if (info.reason.empty())
+                    info.reason = "memory '" + sig +
+                                  "' in the source cone (the "
+                                  "consumer cannot mirror array "
+                                  "state)";
+                break;
+            case SignalKind::InPort: {
+                auto it = input_source.find({ch.srcPart, sig});
+                int feeder =
+                    it == input_source.end() ? -1 : it->second;
+                if (feeder != ch.dstPart) {
+                    info.legal = false;
+                    if (info.reason.empty()) {
+                        info.reason =
+                            "source cone reads input '" + sig +
+                            "' " +
+                            (feeder < 0
+                                 ? std::string("driven externally")
+                                 : "delivered by partition p" +
+                                       std::to_string(feeder)) +
+                            ", which the consumer cannot reproduce "
+                            "locally (combinationally-coupled "
+                            "boundary)";
+                    }
+                }
+                break;
+            }
+            default:
+                break; // wires/outputs are shadow logic, not state
+            }
+            if (!info.legal)
+                break;
+        }
+
+        if (info.legal && info.coneRegBits > options.maxConeRegBits) {
+            info.legal = false;
+            info.reason =
+                "source cone holds " +
+                std::to_string(info.coneRegBits) +
+                " register bits of shadow state (budget " +
+                std::to_string(options.maxConeRegBits) + ")";
+        }
+
+        info.maxBatchDepth = info.legal ? options.maxDepth : 1;
+    }
+    return report;
+}
+
+BatchLegalityReport
+annotateBatchDepths(PartitionPlan &plan,
+                    const BatchLegalityOptions &options)
+{
+    BatchLegalityReport report = analyzeBatchLegality(plan, options);
+    for (size_t c = 0; c < plan.channels.size(); ++c)
+        plan.channels[c].maxBatchDepth =
+            report.channels[c].maxBatchDepth;
+    return report;
+}
+
+} // namespace fireaxe::analyze

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Static depth-N batching legality analysis.
+ *
+ * Depth-N token batching (libdn::TokenChannel::configureBatching)
+ * amortizes the link round-trip over N target cycles: the consumer
+ * reproduces the first N-1 tokens of each epoch locally from a
+ * *shadow cone* — a replica of the producer-side logic that drives
+ * the channel's source ports — refreshed by the register image the
+ * epoch-boundary frame carries. That is only realizable when the
+ * shadow cone is self-contained and small:
+ *
+ *  - it must hold no memories (mirroring an array would ship the
+ *    array, defeating the amortization);
+ *  - its register state must fit the per-frame image budget
+ *    (maxConeRegBits);
+ *  - every input port it reads must be driven by the *consumer*
+ *    partition itself — the consumer knows those values locally.
+ *    An input fed by a third partition (a combinationally-coupled
+ *    boundary through someone else) makes the cone unreproducible.
+ *
+ * The cone is the transitive fan-in closure of the channel's source
+ * ports over the full (sequential + combinational) dataflow graph of
+ * the flattened source partition — the same analyze::DataflowGraph
+ * substrate the PLAN009 comb-path check prices cuts with.
+ *
+ * Channels that pass get maxBatchDepth = options.maxDepth (the
+ * executor clamps the requested ExecConfig::batchDepth to it);
+ * channels that fail are clamped to 1, and verify's PLAN011 reports
+ * the reason when batching was actually requested across them.
+ */
+
+#ifndef FIREAXE_ANALYZE_BATCHING_HH
+#define FIREAXE_ANALYZE_BATCHING_HH
+
+#include <string>
+#include <vector>
+
+#include "ripper/partition.hh"
+
+namespace fireaxe::analyze {
+
+struct BatchLegalityOptions
+{
+    /** Shadow-state budget: register bits the epoch-boundary frame
+     *  may carry as the cone's refresh image. */
+    unsigned maxConeRegBits = 4096;
+    /** Depth granted to legal channels (the executor clamps the
+     *  requested depth to this). */
+    unsigned maxDepth = 1024;
+};
+
+/** Verdict for one channel. */
+struct ChannelBatchInfo
+{
+    int index = -1; ///< plan.channels index
+    std::string name;
+    int srcPart = 0, dstPart = 0;
+    bool legal = false;
+    /** Deepest legal batch: options.maxDepth when legal, else 1. */
+    unsigned maxBatchDepth = 1;
+    /** Register bits of the source cone (the shadow image size). */
+    unsigned coneRegBits = 0;
+    /** Why the channel is clamped; empty when legal. */
+    std::string reason;
+};
+
+struct BatchLegalityReport
+{
+    std::vector<ChannelBatchInfo> channels; ///< plan.channels order
+};
+
+/** Run the legality analysis over every channel of @p plan. */
+BatchLegalityReport
+analyzeBatchLegality(const ripper::PartitionPlan &plan,
+                     const BatchLegalityOptions &options = {});
+
+/** Run the analysis and record each verdict in the plan
+ *  (ChannelPlan::maxBatchDepth). Returns the report. */
+BatchLegalityReport
+annotateBatchDepths(ripper::PartitionPlan &plan,
+                    const BatchLegalityOptions &options = {});
+
+} // namespace fireaxe::analyze
+
+#endif // FIREAXE_ANALYZE_BATCHING_HH

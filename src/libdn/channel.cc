@@ -12,13 +12,17 @@ TokenChannel::saveCkpt(std::ostream &os) const
 {
     FIREAXE_ASSERT(!concurrent_, "channel '", name_,
                    "' checkpoint requires a quiesce point");
-    os << "fireaxe-chan 1\n";
+    os << "fireaxe-chan 2\n";
     os << name_ << " " << widthBits_ << " " << capacity_ << "\n";
     os << enqCount_ << " " << deqCount_ << " "
        << doubleBits(serTime()) << " " << doubleBits(latency()) << " "
        << doubleBits(serializer_->lastDepart) << " "
        << doubleBits(producerNowNs_) << " "
        << doubleBits(consumerNowNs_) << "\n";
+    // Epoch (batching) position: a snapshot may land mid-epoch, so
+    // the frame phase and the stop-and-wait horizon are part of the
+    // token schedule's state.
+    os << batchPos_ << " " << doubleBits(stallUntil_) << "\n";
     os << queue_.size() << "\n";
     for (size_t i = 0; i < queue_.size(); ++i) {
         const Entry &e = queue_.at(i);
@@ -42,7 +46,7 @@ TokenChannel::tryLoadCkpt(std::istream &is, std::string &error)
     std::string magic;
     unsigned version = 0;
     is >> magic >> version;
-    if (magic != "fireaxe-chan" || version != 1)
+    if (magic != "fireaxe-chan" || version != 2)
         return fail("not a channel checkpoint stream");
     std::string name;
     unsigned width = 0;
@@ -60,6 +64,8 @@ TokenChannel::tryLoadCkpt(std::istream &is, std::string &error)
              cnow_b = 0;
     is >> enq >> deq >> ser_b >> lat_b >> depart_b >> pnow_b >>
         cnow_b;
+    uint64_t batch_pos = 0, stall_b = 0;
+    is >> batch_pos >> stall_b;
     size_t qsize = 0;
     is >> qsize;
     if (!is)
@@ -91,6 +97,8 @@ TokenChannel::tryLoadCkpt(std::istream &is, std::string &error)
     serializer_->lastDepart = bitsToDouble(depart_b);
     producerNowNs_ = bitsToDouble(pnow_b);
     consumerNowNs_ = bitsToDouble(cnow_b);
+    batchPos_ = batch_pos;
+    stallUntil_ = bitsToDouble(stall_b);
     while (!queue_.empty())
         queue_.popFront();
     for (auto &e : entries)

@@ -134,6 +134,85 @@ class TokenChannel
                           : std::make_shared<LinkSerializer>();
     }
 
+    /**
+     * Configure depth-N token batching (epochs). With @p depth > 1
+     * the channel ships one link frame per @p depth tokens: the
+     * first depth-1 tokens of each epoch are within-epoch tokens the
+     * consumer reproduces locally from the last epoch-boundary
+     * register image (the shadow cone the static legality pass
+     * proved small and self-contained), so they never occupy the
+     * shared link and become visible after @p payload_ser_ns only.
+     * Every depth'th token is the epoch boundary: the whole frame
+     * (@p frame_overhead_ns + depth x payload_ser_ns) departs on the
+     * shared serializer and flies for latency().
+     *
+     * @p pipelined selects overlap of frame flight with the next
+     * epoch's compute; when false the channel applies stop-and-wait
+     * backpressure (the first token of epoch k+1 is refused until
+     * epoch k's frame has been delivered).
+     *
+     * Token values and order are untouched — batching only retimes
+     * visibility — so any depth is observationally bit-exact.
+     * depth 1 restores the unbatched per-token path exactly.
+     */
+    void
+    configureBatching(unsigned depth, double payload_ser_ns,
+                      double frame_overhead_ns, bool pipelined)
+    {
+        FIREAXE_ASSERT(depth >= 1, "channel '", name_,
+                       "': batch depth must be >= 1");
+        batchDepth_.store(depth, std::memory_order_relaxed);
+        payloadSerNs_.store(payload_ser_ns,
+                            std::memory_order_relaxed);
+        frameOverheadNs_.store(frame_overhead_ns,
+                               std::memory_order_relaxed);
+        pipelined_ = pipelined;
+    }
+
+    unsigned
+    batchDepth() const
+    {
+        return batchDepth_.load(std::memory_order_relaxed);
+    }
+
+    bool pipelinedEpochs() const { return pipelined_; }
+
+    /**
+     * Whether an enqueue attempted at host time @p now could be
+     * accepted as far as the epoch protocol is concerned (it may
+     * still fail on occupancy — see full()). False only while a
+     * stop-and-wait epoch stall is pending: batching enabled,
+     * pipelined epochs off, at an epoch boundary, and the previous
+     * frame has not landed yet. Producer-side state only — must be
+     * called from the producing partition's thread, like
+     * tryEnqTimed().
+     */
+    bool
+    writableAt(double now) const
+    {
+        return pipelined_ || batchDepth() <= 1 || batchPos_ != 0 ||
+               now >= stallUntil_;
+    }
+
+    /** Payload-only serialization of one token within a frame. */
+    double
+    payloadSerNs() const
+    {
+        return payloadSerNs_.load(std::memory_order_relaxed);
+    }
+
+    /** Link occupancy of one transmission unit: a whole frame when
+     *  batching, one token otherwise. */
+    double
+    frameSerNs() const
+    {
+        unsigned depth = batchDepth();
+        if (depth <= 1)
+            return serTime();
+        return frameOverheadNs_.load(std::memory_order_relaxed) +
+               double(depth) * payloadSerNs();
+    }
+
     double
     serTime() const
     {
@@ -254,6 +333,42 @@ class TokenChannel
         producerNowNs_ = std::max(producerNowNs_, now);
         if (full())
             return false;
+        unsigned depth = batchDepth();
+        if (depth > 1) {
+            if (!pipelined_ && batchPos_ == 0 && now < stallUntil_)
+                return false; // stop-and-wait: frame k still flying
+            double depart, ready;
+            if (batchPos_ + 1 < depth) {
+                // Within-epoch token: reproduced at the consumer from
+                // the epoch-boundary image, so it never crosses the
+                // link — payload evaluation cost only, no serializer
+                // contention, no flight.
+                depart = now + payloadSerNs();
+                ready = depart;
+                ++batchPos_;
+            } else {
+                // Epoch boundary: the whole frame departs the link.
+                depart = std::max(now, serializer_->lastDepart) +
+                         frameSerNs();
+                serializer_->lastDepart = depart;
+                ready = depart + latency();
+                batchPos_ = 0;
+                if (!pipelined_)
+                    stallUntil_ = ready;
+            }
+            queue_.pushBack({std::move(token), ready, now});
+            ++enqCount_;
+            if (probe_) {
+                if (probe_->countsTokens())
+                    probe_->onEnqueue(now, producerOccupancy());
+                if (probe_->tokenSampled(enqCount_)) {
+                    probe_->onTokenEnqueue(enqCount_, now, depart,
+                                           ready, ready - depart,
+                                           0.0);
+                }
+            }
+            return true;
+        }
         double depart = std::max(now, serializer_->lastDepart) +
                         serTime();
         serializer_->lastDepart = depart;
@@ -448,6 +563,22 @@ class TokenChannel
     obs::ChannelProbe *probe_ = nullptr;
     std::shared_ptr<LinkSerializer> serializer_ =
         std::make_shared<LinkSerializer>();
+
+    // --- depth-N batching state (configureBatching) ---------------
+    // Timing fields are atomic for the same reason serTime_ is:
+    // failover() reverts batching from the producer's worker thread
+    // while the consumer reads frameSerNs() for recovery timing.
+    std::atomic<unsigned> batchDepth_{1};
+    std::atomic<double> payloadSerNs_{0.0};
+    std::atomic<double> frameOverheadNs_{0.0};
+    /** Producer-only (tryEnqTimed). */
+    bool pipelined_ = true;
+    /** Position of the next enqueue within the current epoch
+     *  (producer-only). */
+    uint64_t batchPos_ = 0;
+    /** Stop-and-wait horizon (pipelined epochs off): delivery time
+     *  of the last boundary frame (producer-only). */
+    double stallUntil_ = 0.0;
 
     // --- concurrent-mode state ------------------------------------
     bool concurrent_ = false;

@@ -196,7 +196,8 @@ LIBDNModel::threadTick(ThreadState &th, double now)
     for (const auto &ch : th.inChans)
         situation.push_back(ch->headReady(now));
     for (size_t c = 0; c < th.outChans.size(); ++c)
-        situation.push_back(!th.fired[c] && !th.outChans[c]->full());
+        situation.push_back(!th.fired[c] && !th.outChans[c]->full() &&
+                            th.outChans[c]->writableAt(now));
     if (th.situationValid && situation == th.lastSituation)
         return false;
     th.lastSituation = situation;

@@ -143,11 +143,47 @@ ReliableTokenChannel::tryEnqTimed(Token &token, double now)
     producerNowNs_ = std::max(producerNowNs_, now);
     if (full())
         return false;
+    unsigned depth = batchDepth();
+    if (depth > 1 && !pipelined_ && batchPos_ == 0 &&
+        now < stallUntil_)
+        return false; // stop-and-wait: last epoch's frame still flying
 
     uint64_t seq = nextSeq_++;
     uint32_t crc = tokenCrc(token);
     rtxBuf_.pushBack({token, 0.0, seq, crc, false, now});
     ++enqCount2_;
+
+    if (depth > 1 && batchPos_ + 1 < depth) {
+        // Within-epoch token of a batched channel: the consumer
+        // reproduces it locally from the last epoch-boundary image,
+        // so it never traverses the physical link — no serializer
+        // slot, no fault draw, payload evaluation cost only. It still
+        // enters the sequence/CRC/ack machinery: a frame-granular
+        // retransmission replays the whole epoch from rtxBuf_.
+        ++batchPos_;
+        double ready = now + payloadSerNs();
+        queue2_.pushBack({std::move(token), ready, seq, crc, false,
+                          now});
+        ++qPushes2_;
+        if (probe_) {
+            if (probe_->countsTokens())
+                probe_->onEnqueue(now, relOccupancy());
+            if (probe_->tokenSampled(seq))
+                probe_->onTokenEnqueue(seq, now, ready, ready, 0.0,
+                                       0.0);
+        }
+        return true;
+    }
+    // Unbatched token, or a batched channel's epoch boundary: the
+    // transmission unit (token or whole frame) occupies the shared
+    // link and is exposed to the fault model. frameSerNs() is
+    // serTime() when batchDepth is 1, so the two cases share one
+    // path — at frame granularity, drops and corruption hit the
+    // boundary token and every recovery charge is a frame
+    // serialization.
+    double unit_ser = frameSerNs();
+    if (depth > 1)
+        batchPos_ = 0;
 
     transport::FaultEvent ev = drawFault(txRng_);
 
@@ -161,7 +197,7 @@ ReliableTokenChannel::tryEnqTimed(Token &token, double now)
     }
 
     double depart = std::max(now, serializer_->lastDepart) + stall +
-                    serTime();
+                    unit_ser;
     serializer_->lastDepart = depart;
 
     // Lost tokens are recovered by the producer's retransmit timer:
@@ -187,7 +223,7 @@ ReliableTokenChannel::tryEnqTimed(Token &token, double now)
         txStats_.add("retransmits_timeout");
         if (probe_)
             probe_->onEvent("retransmit_timeout", now);
-        serializer_->lastDepart += serTime();
+        serializer_->lastDepart += unit_ser;
         ev = drawFault(txRng_);
     }
 
@@ -203,15 +239,17 @@ ReliableTokenChannel::tryEnqTimed(Token &token, double now)
         entry.payload[word] ^= uint64_t(1) << (ev.corruptBit % 64);
     }
     bool duplicate = ev.duplicate;
-    double dup_ready = entry.readyTime + serTime();
+    double dup_ready = entry.readyTime + unit_ser;
     Token dup_payload;
     if (duplicate) {
         txStats_.add("tokens_duplicated");
         if (probe_)
             probe_->onEvent("duplicate", now);
-        serializer_->lastDepart += serTime();
+        serializer_->lastDepart += unit_ser;
         dup_payload = entry.payload;
     }
+    if (depth > 1 && !pipelined_)
+        stallUntil_ = entry.readyTime;
     queue2_.pushBack(std::move(entry));
     ++qPushes2_;
     if (duplicate) {
@@ -302,7 +340,9 @@ ReliableTokenChannel::scheduleRetransmit(uint64_t seq,
         rxStats_.add("retransmits_nak");
         if (probe_)
             probe_->onEvent("retransmit_nak", now);
-        delay += serTime() + latency();
+        // Batched channels retransmit at frame granularity: a NAKed
+        // boundary token resends the whole epoch's frame.
+        delay += frameSerNs() + latency();
         transport::FaultEvent ev = drawFault(rxRng_);
         if (!ev.damagesToken())
             break;
@@ -468,6 +508,12 @@ void
 ReliableTokenChannel::failover(double ser_time, double latency)
 {
     setTiming(ser_time, latency, nullptr);
+    // The fallback transport has no epoch-batching gateware: revert
+    // to per-token transmission. Tokens already stamped keep their
+    // ready times; future enqueues pay the per-token cost.
+    batchDepth_.store(1, std::memory_order_relaxed);
+    batchPos_ = 0;
+    stallUntil_ = 0.0;
     faultsActive_.store(false, std::memory_order_relaxed);
     failed_.store(false, std::memory_order_relaxed);
     txStats_.add("failovers");

@@ -59,6 +59,36 @@ analyzeCriticalPath(const CritPathInput &input)
             return ra.fireNs < rb.fireNs;
         });
 
+        // Pre-scan: the consumer's unthrottled compute pace is its
+        // fastest observed per-cycle fire advance. Depth-N batched
+        // runs need it (see the shadow-token windows below): inside
+        // an epoch burst the fastest windows are pure compute, so
+        // the minimum is a tight pace estimate.
+        double pace = 0.0;
+        {
+            bool have = false;
+            uint64_t pc = 0;
+            double pf = 0.0;
+            size_t j = 0;
+            while (j < idx.size()) {
+                uint64_t cycle = input.records[idx[j]].targetCycle;
+                double fire = 0.0;
+                for (; j < idx.size() &&
+                       input.records[idx[j]].targetCycle == cycle;
+                     ++j)
+                    fire = std::max(fire,
+                                    input.records[idx[j]].fireNs);
+                if (have && cycle > pc && fire > pf) {
+                    double per = (fire - pf) / double(cycle - pc);
+                    if (pace == 0.0 || per < pace)
+                        pace = per;
+                }
+                have = true;
+                pc = cycle;
+                pf = fire;
+            }
+        }
+
         // Walk the fire windows (groups of equal target cycle)
         // pairwise: the previous window's fire opens the current one.
         size_t i = 0;
@@ -99,16 +129,45 @@ analyzeCriticalPath(const CritPathInput &input)
             double start = fire - perCycle;
             const TokenRecord &crit = input.records[critIdx];
 
-            double waitEnd = clampTo(crit.readyNs, start, fire);
-            double tProd = clampTo(crit.produceNs, start, waitEnd);
+            // Depth-N batching: a within-epoch token never crosses
+            // the physical link (the consumer recomputes it locally
+            // from the epoch frame's shadow state), and its record
+            // says so — zero flight, depart == ready. A fire window
+            // blocked by such a token is not link-blocked the way a
+            // framed token is: the consumer overlaps its own compute
+            // with the token's availability, so only the part of the
+            // window beyond the consumer's unthrottled pace is real
+            // idle (measured part.*.wait_ns never includes compute).
+            // Shift the attribution start forward by `pace` and drop
+            // the window when the token was ready before that point
+            // — that is a pure compute-paced burst window. Unbatched
+            // tokens always carry positive flight (every transport
+            // has nonzero latency), so depth-1 runs never take this
+            // branch.
+            bool shadow = crit.flightNs <= 0.0 &&
+                          crit.penaltyNs <= 0.0 && crit.nakNs <= 0.0;
+            double attrStart = start;
+            if (shadow) {
+                attrStart = std::min(start + pace, fire);
+                if (crit.readyNs <= attrStart) {
+                    havePrev = true;
+                    prevCycle = cycle;
+                    prevFire = fire;
+                    continue;
+                }
+            }
+
+            double waitEnd = clampTo(crit.readyNs, attrStart, fire);
+            double tProd =
+                clampTo(crit.produceNs, attrStart, waitEnd);
             double tDep = clampTo(crit.departNs, tProd, waitEnd);
-            double upstream = tProd - start;
+            double upstream = tProd - attrStart;
             double ser = tDep - tProd;
             double rest = waitEnd - tDep;
             double rtx =
                 std::min(crit.penaltyNs + crit.nakNs, rest);
             double flight = rest - rtx;
-            double wait = waitEnd - start;
+            double wait = waitEnd - attrStart;
 
             ChannelAttribution &ca = chans[crit.channel];
             if (ca.blockingFires == 0) {

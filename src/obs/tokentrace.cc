@@ -119,6 +119,8 @@ StreamWriter::writeHeader(const StreamRunInfo &info)
     w.value(info.engine);
     w.key("workers");
     w.value(uint64_t(info.workers));
+    w.key("batch_depth");
+    w.value(uint64_t(info.batchDepth));
     w.key("sample_every");
     w.value(uint64_t(info.sampleEvery));
     w.key("partitions");

@@ -201,6 +201,9 @@ struct StreamRunInfo
     std::string backend;
     std::string engine;
     unsigned workers = 0;
+    /** Requested token batch depth (ExecConfig::batchDepth); 1 =
+     *  classic per-cycle tokens. */
+    unsigned batchDepth = 1;
     unsigned sampleEvery = 1;
     /** Index = partition id. */
     std::vector<std::string> partitions;

@@ -12,6 +12,7 @@
 #include <set>
 #include <sstream>
 
+#include "analyze/batching.hh"
 #include "base/logging.hh"
 #include "base/serial.hh"
 #include "par/engine.hh"
@@ -26,6 +27,29 @@ using libdn::ChannelPtr;
 using libdn::LIBDNModel;
 using libdn::TokenChannel;
 using ripper::PartitionMode;
+
+unsigned
+defaultBatchDepth()
+{
+    const char *env = std::getenv("FIREAXE_BATCH_DEPTH");
+    if (!env || !*env)
+        return 1;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end || v == 0)
+        return 1;
+    return unsigned(v);
+}
+
+bool
+defaultPipelinedEpochs()
+{
+    const char *env = std::getenv("FIREAXE_PIPELINED_EPOCHS");
+    if (!env || !*env)
+        return true;
+    std::string v(env);
+    return !(v == "0" || v == "false" || v == "off");
+}
 
 uint64_t
 designContentHash(const ripper::PartitionPlan &plan)
@@ -48,7 +72,8 @@ planStructureHash(const ripper::PartitionPlan &plan)
            << "\n";
     for (const auto &ch : plan.channels)
         os << ch.name << " " << ch.srcPart << " " << ch.dstPart
-           << " " << ch.widthBits << " " << ch.capacity << "\n";
+           << " " << ch.widthBits << " " << ch.capacity << " "
+           << ch.maxBatchDepth << "\n";
     return recovery::fnv1a(os.str());
 }
 
@@ -146,14 +171,49 @@ MultiFpgaSim::runPreflight()
     options.cutCost.link = link_;
     if (!fpgas_.empty())
         options.cutCost.hostClockMhz = fpgas_[0].clockMhz;
+    // PLAN011: warn per channel the batching legality pass clamps
+    // when a depth > 1 is requested for this run.
+    options.requestedBatchDepth = execConfig_.batchDepth;
     preflight_ = verify::verifyPlan(plan_, options);
     preflightRan_ = true;
+}
+
+void
+MultiFpgaSim::setExecConfig(const ExecConfig &cfg)
+{
+    execConfig_ = cfg;
+    // Annotate eagerly so a planHash() taken between configuration
+    // and init() already reflects the batching clamps (the service
+    // records the hash at prepare time, the stream header at init).
+    if (!initialized_ && execConfig_.batchDepth > 1)
+        ensureBatchAnnotation();
+}
+
+void
+MultiFpgaSim::ensureBatchAnnotation()
+{
+    // The ripper cannot run the legality pass itself (src/analyze
+    // consumes the plan headers but the auto-partitioner links
+    // analyze for its cost model), so executors annotate their own
+    // plan copies on demand. The verdicts are depth-independent
+    // (legal boundaries get the pass's maxDepth ceiling), so one
+    // annotation serves any requested depth.
+    if (batchAnnotated_)
+        return;
+    analyze::annotateBatchDepths(plan_);
+    batchAnnotated_ = true;
 }
 
 void
 MultiFpgaSim::init()
 {
     FIREAXE_ASSERT(!initialized_);
+
+    // Depth-N batching: the plan copy must carry its per-channel
+    // clamps before the pre-flight (PLAN011), the channel wiring
+    // below, and planHash() queries.
+    if (execConfig_.batchDepth > 1)
+        ensureBatchAnnotation();
 
     // FIREAXE_NO_VERIFY=1 is the process-level --no-verify escape
     // hatch: it demotes Enforce to WarnOnly so a rejected plan still
@@ -222,15 +282,36 @@ MultiFpgaSim::init()
             in_spec.ports.push_back(plan_.nets[n].dstPort);
         }
 
+        // Effective batch depth: the requested depth clamped by the
+        // legality pass (maxBatchDepth == 0 means the pass did not
+        // run, i.e. batching was not requested). Batched channels
+        // need room for a whole in-flight epoch plus the one being
+        // produced, so the capacity grows to 2N+2.
+        unsigned eff_depth = 1;
+        if (execConfig_.batchDepth > 1)
+            eff_depth = std::min(execConfig_.batchDepth,
+                                 ch.maxBatchDepth ? ch.maxBatchDepth
+                                                  : 1u);
+        size_t capacity = ch.capacity;
+        if (eff_depth > 1)
+            capacity = std::max(capacity,
+                                size_t(2) * eff_depth + 2);
+
         auto chan = std::make_shared<libdn::ReliableTokenChannel>(
             ch.name, ch.widthBits, faults_,
-            libdn::ReliableTokenChannel::Params{}, ch.capacity);
+            libdn::ReliableTokenChannel::Params{}, capacity);
         auto &ser = serializers[{ch.srcPart, ch.dstPart}];
         if (!ser)
             ser = std::make_shared<libdn::LinkSerializer>();
         double ser_ns = transport::tokenSerNs(link_, ch.widthBits);
         double lat_ns = transport::tokenLatencyNs(link_);
         chan->setTiming(ser_ns, lat_ns, ser);
+        if (eff_depth > 1)
+            chan->configureBatching(
+                eff_depth,
+                transport::payloadSerNs(link_, ch.widthBits),
+                transport::frameOverheadNs(link_),
+                execConfig_.pipelinedEpochs);
         channels_.push_back({chan, ch.srcPart, ch.dstPart, false,
                              ser, ser_ns, lat_ns});
 
@@ -322,6 +403,7 @@ MultiFpgaSim::setupTelemetry()
                     : "sequential";
             info.engine = rtlsim::toString(execConfig_.evalEngine);
             info.workers = execConfig_.workers;
+            info.batchDepth = execConfig_.batchDepth;
             info.sampleEvery = tt ? tt->sampleEvery() : 1;
             info.partitions = plan_.partitionNames;
             if (tt)
@@ -662,6 +744,16 @@ MultiFpgaSim::run(uint64_t target_cycles)
         uint64_t cur = minCycleAll();
         uint64_t next = std::min(
             target_cycles, (cur / every + 1) * every);
+        // Under depth-N batching, land the chunk boundary on an
+        // epoch multiple so autosnapshots quiesce at batch
+        // boundaries (any cut is *consistent* either way — the
+        // channels checkpoint their epoch cursor — but epoch-aligned
+        // cuts keep producers out of mid-frame positions).
+        if (execConfig_.batchDepth > 1 && next < target_cycles) {
+            uint64_t d = execConfig_.batchDepth;
+            next = std::min(target_cycles,
+                            (next + d - 1) / d * d);
+        }
         RunResult result = runOnce(next);
         if (result.deadlocked || result.stopped)
             return result;
@@ -889,6 +981,11 @@ MultiFpgaSim::runParallel(uint64_t target_cycles)
     descs.reserve(channels_.size());
     for (auto &cs : channels_) {
         double cur = cs.chan->serTime() + cs.chan->latency();
+        // A batched channel delivers within-epoch tokens after just
+        // the payload serialization delta (the frame token is always
+        // later), so that is its smallest enqueue-to-visible delay.
+        if (cs.chan->batchDepth() > 1)
+            cur = std::min(cur, cs.chan->payloadSerNs());
         double fail =
             transport::tokenSerNs(host, cs.chan->widthBits()) +
             transport::tokenLatencyNs(host);

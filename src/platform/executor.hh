@@ -185,6 +185,14 @@ struct RunResult
     }
 };
 
+/** Process-wide default token batch depth: FIREAXE_BATCH_DEPTH when
+ *  set to a positive integer, else 1 (unbatched). */
+unsigned defaultBatchDepth();
+
+/** Process-wide default for pipelined epochs: true unless
+ *  FIREAXE_PIPELINED_EPOCHS is set to 0/false/off. */
+bool defaultPipelinedEpochs();
+
 /** How MultiFpgaSim::run() executes the partitions. */
 enum class ExecBackend
 {
@@ -240,6 +248,29 @@ struct ExecConfig
      * restart); whole-run rollback/restore is unaffected.
      */
     size_t replayLogDepth = 1024;
+    /**
+     * Depth-N token batching (latency hiding): a partition may run
+     * up to N target cycles ahead across a fully registered cut and
+     * ship the N tokens as one framed link transaction (one
+     * seq+CRC+frame overhead per batch). init() runs the static
+     * legality pass (analyze::annotateBatchDepths) and clamps the
+     * requested depth per channel — an illegal boundary (PLAN011)
+     * silently runs at depth 1, so results stay bit-exact
+     * regardless. 1 (default) is the classic per-cycle protocol and
+     * is bit-identical to pre-batching builds *including host time*.
+     * Defaults to the FIREAXE_BATCH_DEPTH environment variable via
+     * defaultBatchDepth().
+     */
+    unsigned batchDepth = defaultBatchDepth();
+    /**
+     * Pipelined epochs (default on): overlap epoch k's frame flight
+     * with epoch k+1's compute. When off, the producer stalls at
+     * each epoch boundary until the previous frame has been
+     * delivered (stop-and-wait); token values and order are
+     * identical either way — only modeled host time differs.
+     * FIREAXE_PIPELINED_EPOCHS=0 flips the default off.
+     */
+    bool pipelinedEpochs = defaultPipelinedEpochs();
 
     static ExecConfig
     parallel(unsigned workers = 0)
@@ -365,8 +396,12 @@ class MultiFpgaSim
     /** Select the execution backend for subsequent run() calls; may
      *  be changed between runs (the two backends resume each other's
      *  state bit-exactly up to the documented hostTimeNs caveat in
-     *  DESIGN.md). */
-    void setExecConfig(const ExecConfig &cfg) { execConfig_ = cfg; }
+     *  DESIGN.md). `batchDepth` and `evalEngine` are exceptions:
+     *  both are fixed at init() time. Requesting a batch depth > 1
+     *  immediately runs the static legality pass over the plan copy
+     *  (so planHash() reflects the per-channel clamps even before
+     *  init()). */
+    void setExecConfig(const ExecConfig &cfg);
     const ExecConfig &execConfig() const { return execConfig_; }
 
     /**
@@ -550,6 +585,9 @@ class MultiFpgaSim
     /** Run the static verifier over the plan once, caching the
      *  report (used by init's gate and the deadlock diagnosis). */
     void runPreflight();
+    /** Run analyze::annotateBatchDepths over the plan copy exactly
+     *  once (no-op when already annotated). */
+    void ensureBatchAnnotation();
     DeadlockDiagnosis buildDiagnosis(double now);
     /** Wire probes / handles; called from init() when telemetry_. */
     void setupTelemetry();
@@ -603,6 +641,8 @@ class MultiFpgaSim
     VerifyPolicy verifyPolicy_ = VerifyPolicy::Enforce;
     verify::Report preflight_;
     bool preflightRan_ = false;
+    /** The batching legality pass already annotated plan_. */
+    bool batchAnnotated_ = false;
     std::vector<FpgaSpec> fpgas_;
     transport::LinkParams link_;
     transport::FaultModel faults_;

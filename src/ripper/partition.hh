@@ -104,6 +104,16 @@ struct ChannelPlan
     /** Token capacity of the transport channel (credits available to
      *  the source before the sink drains). */
     size_t capacity = 16;
+    /**
+     * Deepest legal token batch (epoch length) on this channel, as
+     * determined by the static batching legality pass
+     * (analyze::annotateBatchDepths): 1 when the boundary disqualifies
+     * depth-N batching (combinationally coupled across partitions,
+     * memory-bearing source cone, or oversized shadow state), 0 when
+     * the pass has not run. The executor clamps the requested
+     * ExecConfig::batchDepth to this per channel.
+     */
+    unsigned maxBatchDepth = 0;
 };
 
 /** Partition feedback (Section III: "quick feedback about the

@@ -131,6 +131,8 @@ JobRunner::prepare()
         exec.workers = spec_.workers;
         if (!spec_.engine.empty())
             exec.evalEngine = rtlsim::parseEvalEngine(spec_.engine);
+        if (spec_.batchDepth > 0)
+            exec.batchDepth = spec_.batchDepth;
         exec.snapshotEveryCycles = spec_.snapshotEvery;
         exec.snapshotDir = spec_.snapshotDir;
         sim_->setExecConfig(exec);

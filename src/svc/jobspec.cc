@@ -58,6 +58,10 @@ JobSpec::writeJson(obs::JsonWriter &w) const
         w.key("engine");
         w.value(engine);
     }
+    if (batchDepth > 0) {
+        w.key("batch_depth");
+        w.value(uint64_t(batchDepth));
+    }
     w.key("cycles");
     w.value(cycles);
     if (faultRate > 0.0) {
@@ -181,6 +185,10 @@ parseJobSpec(const obs::JsonValue &v, JobSpec &spec,
             if (!takeU64(v, key, u, error))
                 return false;
             spec.workers = unsigned(u);
+        } else if (key == "batch_depth") {
+            if (!takeU64(v, key, u, error))
+                return false;
+            spec.batchDepth = unsigned(u);
         } else if (key == "cycles") {
             if (!takeU64(v, key, spec.cycles, error))
                 return false;

@@ -40,6 +40,11 @@ struct JobSpec
     /** Evaluation engine: "" = process default (FIREAXE_EVAL),
      *  "interpret" or "compiled". */
     std::string engine;
+    /** Depth-N token batching (ExecConfig::batchDepth); 0 = process
+     *  default (FIREAXE_BATCH_DEPTH), 1 = classic per-cycle tokens.
+     *  Illegal boundaries are clamped per channel (PLAN011), so any
+     *  depth is bit-exact. */
+    unsigned batchDepth = 0;
     /** Target cycles to simulate. */
     uint64_t cycles = 2000;
 

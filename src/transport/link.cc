@@ -50,4 +50,17 @@ tokenLatencyNs(const LinkParams &link)
     return link.latencyNs;
 }
 
+double
+payloadSerNs(const LinkParams &link, unsigned bits)
+{
+    FIREAXE_ASSERT(link.bitsPerNs > 0.0);
+    return double(bits) / link.bitsPerNs;
+}
+
+double
+frameOverheadNs(const LinkParams &link)
+{
+    return link.perTokenOverheadNs;
+}
+
 } // namespace fireaxe::transport

@@ -69,6 +69,18 @@ double tokenSerNs(const LinkParams &link, unsigned bits);
 /** Flight latency of the link. */
 double tokenLatencyNs(const LinkParams &link);
 
+/**
+ * Payload-only serialization of @p bits (no per-token framing).
+ * Depth-N batching pays the fixed per-token overhead once per frame:
+ * a frame of N tokens occupies the link for
+ * `frameOverheadNs + N * payloadSerNs`, which degenerates to
+ * tokenSerNs exactly at N = 1.
+ */
+double payloadSerNs(const LinkParams &link, unsigned bits);
+
+/** Fixed per-frame occupancy (framing, DMA setup, driver; ns). */
+double frameOverheadNs(const LinkParams &link);
+
 } // namespace fireaxe::transport
 
 #endif // FIREAXE_TRANSPORT_LINK_HH

@@ -102,4 +102,28 @@ checkPlanCutCost(const PartitionPlan &plan,
     return cost;
 }
 
+analyze::BatchLegalityReport
+checkPlanBatching(const PartitionPlan &plan,
+                  unsigned requested_batch_depth, Report &report)
+{
+    analyze::BatchLegalityReport legality =
+        analyze::analyzeBatchLegality(plan);
+
+    if (requested_batch_depth <= 1)
+        return legality; // unbatched: nothing to warn about
+
+    for (const auto &ch : legality.channels) {
+        if (ch.legal)
+            continue;
+        std::string part = "p" + std::to_string(ch.srcPart);
+        std::ostringstream msg;
+        msg << "batch depth " << requested_batch_depth
+            << " requested, but " << ch.reason
+            << "; the channel runs unbatched (depth 1)";
+        report.add("PLAN011", Severity::Warning, msg.str(),
+                   {part, "", ch.name});
+    }
+    return legality;
+}
+
 } // namespace fireaxe::verify

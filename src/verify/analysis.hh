@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/batching.hh"
 #include "analyze/cutcost.hh"
 #include "passes/combdep.hh"
 #include "ripper/partition.hh"
@@ -50,6 +51,18 @@ checkPlanCutCost(const ripper::PartitionPlan &plan,
                  const std::vector<passes::PortDeps> &summaries,
                  const analyze::CutCostOptions &options,
                  Report &report);
+
+/**
+ * Run the depth-N batching legality analysis over @p plan and emit
+ * PLAN011 for every channel the pass clamps while a batch depth
+ * greater than 1 was requested (@p requested_batch_depth; 1 emits
+ * nothing — unbatched runs never cross an illegal boundary). Returns
+ * the full legality report so the pre-flight can apply per-channel
+ * clamps without recomputing.
+ */
+analyze::BatchLegalityReport
+checkPlanBatching(const ripper::PartitionPlan &plan,
+                  unsigned requested_batch_depth, Report &report);
 
 } // namespace fireaxe::verify
 

@@ -111,6 +111,11 @@ checkRegistry()
          "predicted hot channel: the static cut-cost model predicts a "
          "partition will spend most of each host cycle waiting on one "
          "blocking channel (see fireaxe-lint --analyze)"},
+        {"PLAN011", Severity::Warning,
+         "depth-N token batching requested across a boundary whose "
+         "source cone disqualifies it (combinationally coupled "
+         "through a third party, memory-bearing, or oversized shadow "
+         "state); the channel is clamped to depth 1"},
         {"TOOL001", Severity::Error,
          "tool input error: unknown target, unreadable file, or "
          "parse failure (reported as a diagnostic so --json output "

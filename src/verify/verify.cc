@@ -94,8 +94,10 @@ verifyPlan(const ripper::PartitionPlan &plan, const Options &options)
         checkLibdnProtocol(plan, summaries, report);
     if (options.checkPlan)
         checkPlanCuts(plan, summaries, report);
-    if (options.checkAnalyze)
+    if (options.checkAnalyze) {
         checkPlanCutCost(plan, summaries, options.cutCost, report);
+        checkPlanBatching(plan, options.requestedBatchDepth, report);
+    }
 
     return report;
 }

@@ -38,6 +38,11 @@ struct Options
     /** Cost-model knobs for the PLAN009/PLAN010 checks; pre-flight
      *  overrides link/hostClockMhz with the actual sim config. */
     analyze::CutCostOptions cutCost;
+    /** Batch depth the run will request (ExecConfig::batchDepth);
+     *  PLAN011 fires for every channel the batching legality pass
+     *  clamps while this is > 1. 1 (the default) keeps stand-alone
+     *  verification quiet. */
+    unsigned requestedBatchDepth = 1;
 };
 
 /** Verify a stand-alone circuit (IR checks only). */

@@ -496,6 +496,12 @@ TEST(CutCost, Fig2PredictionMatchesMeasuredRun)
         std::vector<platform::FpgaSpec>(2, platform::alveoU250(50.0)),
         transport::qsfpAurora());
     sim.setTelemetry({});
+    // The cut-cost model prices every cut token's full link cost;
+    // depth-N batching (e.g. FIREAXE_BATCH_DEPTH in a CI sweep)
+    // would drive the measured FMR below the predicted lower bound.
+    platform::ExecConfig exec;
+    exec.batchDepth = 1;
+    sim.setExecConfig(exec);
     auto result = sim.run(1500);
     ASSERT_FALSE(result.deadlocked);
 

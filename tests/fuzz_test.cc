@@ -330,6 +330,22 @@ recorder(std::vector<uint64_t> &out, const std::string &signal)
     };
 }
 
+/** FNV-1a over a monitor trace: the per-cycle witness of the whole
+ *  signal table (status xors every boundary-crossing output). Two
+ *  runs with equal hashes saw bit-identical tables every cycle. */
+uint64_t
+traceHash(const std::vector<uint64_t> &trace)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (uint64_t v : trace) {
+        for (int b = 0; b < 64; b += 8) {
+            h ^= (v >> b) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    }
+    return h;
+}
+
 } // namespace
 
 /**
@@ -521,6 +537,111 @@ TEST(FuzzPartitioned, BackendsAndEnginesMatchGolden)
                                 : "parallel")
                         << "; replay with FIREAXE_FUZZ_SEED=" << seed;
                 }
+            }
+        }
+    }
+}
+
+/**
+ * Batching differential: depth-N token batching and pipelined epochs
+ * change only the modeled host time, never token values or order, so
+ * every (depth, pipelined, backend, engine) combination must
+ * reproduce the depth-1 sequential golden's monitor trace — the
+ * per-cycle signal-table witness — and its trace hash, bit-exactly.
+ * Each seed draws one depth from {1, 2, 8, 32} and a pipelined
+ * on/off coin so the corpus covers the grid without multiplying the
+ * run time by eight. FIREAXE_FUZZ_BATCH scales the corpus.
+ */
+TEST(FuzzPartitioned, BatchDepthsMatchDepthOneGolden)
+{
+    const uint64_t circuits = envU64("FIREAXE_FUZZ_BATCH", 12);
+    const uint64_t only = envU64("FIREAXE_FUZZ_SEED", 0);
+    const uint64_t cycles = 48;
+    const unsigned depths[] = {1, 2, 8, 32};
+
+    for (uint64_t seed = 1; seed <= circuits; ++seed) {
+        if (only && seed != only)
+            continue;
+        firrtl::Circuit circuit = randomPartitionedCircuit(seed);
+
+        std::vector<uint64_t> mono;
+        platform::runMonolithic(circuit, nullptr,
+                                recorder(mono, "status"), cycles);
+        ASSERT_EQ(mono.size(), cycles);
+
+        ripper::PartitionSpec spec;
+        spec.mode = ripper::PartitionMode::Exact;
+        spec.groups.push_back({"blka", {"dut_a"}, 1});
+        ripper::PartitionPlan plan = ripper::partition(circuit, spec);
+
+        auto runOnce = [&](platform::ExecBackend backend,
+                           rtlsim::EvalEngine engine, unsigned depth,
+                           bool pipelined, std::vector<uint64_t> &out) {
+            platform::MultiFpgaSim sim(
+                plan,
+                std::vector<platform::FpgaSpec>(
+                    plan.partitions.size(),
+                    platform::alveoU250(50.0)),
+                transport::qsfpAurora());
+            platform::ExecConfig cfg;
+            cfg.backend = backend;
+            cfg.evalEngine = engine;
+            cfg.batchDepth = depth;
+            cfg.pipelinedEpochs = pipelined;
+            sim.setExecConfig(cfg);
+            sim.setMonitor(0, recorder(out, "status"));
+            auto result = sim.run(cycles);
+            ASSERT_FALSE(result.deadlocked)
+                << "deadlock at depth " << depth
+                << "; replay with FIREAXE_FUZZ_SEED=" << seed;
+        };
+
+        // Depth-1 sequential interpret is the golden; it must itself
+        // match the monolithic run (sanity of the whole chain).
+        std::vector<uint64_t> golden;
+        runOnce(platform::ExecBackend::Sequential,
+                rtlsim::EvalEngine::Interpret, 1, true, golden);
+        ASSERT_GE(golden.size(), mono.size());
+        for (size_t i = 0; i < mono.size(); ++i)
+            ASSERT_EQ(golden[i], mono[i])
+                << "golden diverges from monolithic at cycle " << i
+                << "; replay with FIREAXE_FUZZ_SEED=" << seed;
+        golden.resize(mono.size());
+        const uint64_t goldenHash = traceHash(golden);
+
+        FuzzRng draw(seed * 0x9e3779b97f4a7c15ull + 11);
+        const unsigned depth = depths[draw() % 4];
+        const bool pipelined = draw() % 2 == 0;
+
+        const rtlsim::EvalEngine engines[] = {
+            rtlsim::EvalEngine::Interpret,
+            rtlsim::EvalEngine::Compiled};
+        const platform::ExecBackend backends[] = {
+            platform::ExecBackend::Sequential,
+            platform::ExecBackend::Parallel};
+        for (auto engine : engines) {
+            for (auto backend : backends) {
+                std::vector<uint64_t> trace;
+                runOnce(backend, engine, depth, pipelined, trace);
+                ASSERT_GE(trace.size(), golden.size())
+                    << "short trace at depth " << depth
+                    << "; replay with FIREAXE_FUZZ_SEED=" << seed;
+                for (size_t i = 0; i < golden.size(); ++i) {
+                    ASSERT_EQ(trace[i], golden[i])
+                        << "batching divergence at cycle " << i
+                        << " under depth " << depth << ", pipelined "
+                        << pipelined << ", engine "
+                        << rtlsim::toString(engine) << ", backend "
+                        << (backend ==
+                                    platform::ExecBackend::Sequential
+                                ? "sequential"
+                                : "parallel")
+                        << "; replay with FIREAXE_FUZZ_SEED=" << seed;
+                }
+                trace.resize(golden.size());
+                ASSERT_EQ(traceHash(trace), goldenHash)
+                    << "trace-hash divergence at depth " << depth
+                    << "; replay with FIREAXE_FUZZ_SEED=" << seed;
             }
         }
     }

@@ -226,6 +226,12 @@ TEST(Executor, QsfpBeatsPcieBeatsHostPcie)
     auto rate = [&](const transport::LinkParams &link,
                     uint64_t cycles) {
         MultiFpgaSim sim(plan, u250s(2, 60.0), link);
+        // This test validates the per-cycle transport cost model;
+        // depth-N batching (e.g. from FIREAXE_BATCH_DEPTH in a CI
+        // sweep) deliberately hides exactly that cost.
+        ExecConfig exec;
+        exec.batchDepth = 1;
+        sim.setExecConfig(exec);
         auto result = sim.run(cycles);
         EXPECT_FALSE(result.deadlocked);
         return result.simRateMhz();

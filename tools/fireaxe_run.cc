@@ -56,6 +56,10 @@ usage(std::ostream &os, int status)
           "  --engine interpret|compiled\n"
           "                      evaluation engine (default: "
           "FIREAXE_EVAL)\n"
+          "  --batch-depth N     depth-N token batching (default: "
+          "FIREAXE_BATCH_DEPTH\n"
+          "                      or 1); illegal boundaries clamp to "
+          "1 (PLAN011)\n"
           "  --fault-rate R      inject faults at rate R per token\n"
           "  --seed S            fault-injection seed\n"
           "  --snapshot-every N  autosnapshot every N target cycles\n"
@@ -100,9 +104,19 @@ parseU64(const std::string &flag, const std::string &text)
     return v;
 }
 
+/** Requested batch depth the run will use: the spec's explicit
+ *  value, else the process-wide FIREAXE_BATCH_DEPTH default. */
+unsigned
+effectiveBatchDepth(const svc::JobSpec &spec)
+{
+    return spec.batchDepth ? spec.batchDepth
+                           : platform::defaultBatchDepth();
+}
+
 /** The uniform key-value report both modes print. */
 void
-printOutcome(const std::string &target, const svc::RunOutcome &o)
+printOutcome(const std::string &target, const svc::RunOutcome &o,
+             unsigned batch_depth)
 {
     std::cout << "target " << target << "\n"
               << "cycles " << o.result.targetCycles << "\n"
@@ -117,6 +131,7 @@ printOutcome(const std::string &target, const svc::RunOutcome &o)
               << "snapshot_wall_ms " << o.snapshotWallMs << "\n"
               << "restores " << o.restores << "\n"
               << "host_time_ns " << o.result.hostTimeNs << "\n"
+              << "batch_depth " << batch_depth << "\n"
               << "sim_rate_mhz " << o.result.simRateMhz() << "\n"
               << "retransmits " << o.result.retransmits << "\n"
               << "deadlocked " << (o.result.deadlocked ? 1 : 0)
@@ -141,10 +156,11 @@ appendJsonRow(const std::string &json_path, const svc::JobSpec &spec,
                              ? rtlsim::toString(
                                    rtlsim::defaultEvalEngine())
                              : spec.engine;
+    unsigned batch_depth = effectiveBatchDepth(spec);
     bench::JsonRow row;
     bench::addRunIdentity(row, "fireaxe.run.v1", spec.target,
                           o.planHash, o.artifactHash, spec.backend,
-                          engine, spec.workers);
+                          engine, spec.workers, batch_depth);
     row.field("mode", spec.mode)
         .field("cycles", o.result.targetCycles)
         .field("resume_cycle", o.resumeCycle)
@@ -241,7 +257,8 @@ runConnected(const std::string &socket_path, svc::JobSpec spec,
             o.elabCacheHit = v.flag("elab_cache_hit");
             o.verifyCacheHit = v.flag("verify_cache_hit");
             o.programCacheHit = v.flag("program_cache_hit");
-            printOutcome(v.text("target", spec.target), o);
+            printOutcome(v.text("target", spec.target), o,
+                         effectiveBatchDepth(spec));
             return o.result.deadlocked ? 4 : 0;
         }
         // ack / status lines: lifecycle noise, not results.
@@ -288,6 +305,9 @@ main(int argc, char **argv)
                 unsigned(parseU64(arg, value("--workers")));
         } else if (arg == "--engine") {
             spec.engine = value("--engine");
+        } else if (arg == "--batch-depth") {
+            spec.batchDepth =
+                unsigned(parseU64(arg, value("--batch-depth")));
         } else if (arg == "--fault-rate") {
             spec.faultRate =
                 std::atof(value("--fault-rate").c_str());
@@ -356,7 +376,7 @@ main(int argc, char **argv)
             std::cerr << o.verifyReport;
         return o.exitCode;
     }
-    printOutcome(spec.target, o);
+    printOutcome(spec.target, o, effectiveBatchDepth(spec));
     if (!json_path.empty())
         appendJsonRow(json_path, spec, o);
     return o.exitCode;
